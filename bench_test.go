@@ -1,0 +1,451 @@
+// Benchmarks: one testing.B target per experiment in DESIGN.md §5
+// (E1–E16). cmd/implbench prints the full parameter sweeps and series for
+// EXPERIMENTS.md; these benches pin each experiment's core measurement so
+// `go test -bench` tracks regressions. Paper: Bhattacharjee et al.,
+// "Impliance", CIDR 2007 — a vision paper with no absolute numbers, so
+// shapes (who wins, crossovers) are what matters; see EXPERIMENTS.md.
+package impliance_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"impliance"
+	"impliance/internal/baseline/searchonly"
+	"impliance/internal/docmodel"
+	"impliance/internal/exec"
+	"impliance/internal/expr"
+	"impliance/internal/sched"
+	"impliance/internal/storage/compress"
+	"impliance/internal/workload"
+)
+
+func benchApp(b *testing.B, mutate ...func(*impliance.Config)) *impliance.Appliance {
+	b.Helper()
+	cfg := impliance.Config{DataNodes: 4, GridNodes: 2, ClusterNodes: 1, Workers: 2, Codec: compress.None}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	app, err := impliance.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { app.Close() })
+	return app
+}
+
+func loadItems(b *testing.B, app *impliance.Appliance, items []workload.Item) {
+	b.Helper()
+	for _, it := range items {
+		if _, err := app.Ingest(impliance.Item{Body: it.Body, MediaType: it.MediaType, Source: it.Source}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	app.Drain()
+}
+
+// BenchmarkE01_PipelineEndToEnd: Figure 1 dataflow — ingest + background
+// annotate + annotation-resolved retrieval, per document.
+func BenchmarkE01_PipelineEndToEnd(b *testing.B) {
+	app := benchApp(b)
+	g := workload.New(1)
+	profiles := g.CustomerProfiles(20)
+	items := g.CallTranscripts(b.N, profiles, 0.8)
+	b.ResetTimer()
+	for _, it := range items {
+		if _, err := app.Ingest(impliance.Item{Body: it.Body, MediaType: it.MediaType, Source: it.Source}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	app.Drain()
+	if _, err := app.Search("negative", 10); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkE02_ViewRoundTrip: Figure 2 — SQL over a system view.
+func BenchmarkE02_ViewRoundTrip(b *testing.B) {
+	app := benchApp(b)
+	loadItems(b, app, workload.New(2).InsuranceClaims(500, 0.2))
+	app.RegisterView("claims", impliance.SourceIs("claims"), map[string]string{
+		"id": "/claim/@id", "amount": "/claim/amount", "flagged": "/claim/flagged",
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := app.ExecSQL("SELECT id, amount FROM claims WHERE flagged = true ORDER BY amount DESC LIMIT 10"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE03_ScaleOutDataNodes: Figure 3 — pushed-down scan over a
+// fixed corpus partitioned across N data nodes (sub-benchmarks sweep N;
+// per-node critical path halves as N doubles — see implbench E3).
+func BenchmarkE03_ScaleOutDataNodes(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			app := benchApp(b, func(c *impliance.Config) { c.DataNodes = n })
+			loadItems(b, app, workload.New(3).UniformRows(2000, 10000, 20, 8))
+			q := impliance.Query{Filter: impliance.Cmp("/k", impliance.OpLt, impliance.Int(100))}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE04_ScaleOutGridNodes: distributed aggregation with the merge
+// phase on grid nodes (sweep grid count).
+func BenchmarkE04_ScaleOutGridNodes(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("grid=%d", n), func(b *testing.B) {
+			app := benchApp(b, func(c *impliance.Config) { c.GridNodes = n })
+			loadItems(b, app, workload.New(4).UniformRows(2000, 1000, 100, 4))
+			q := impliance.Query{
+				Filter: impliance.True(),
+				GroupBy: &impliance.GroupSpec{
+					By:   []string{"/cat"},
+					Aggs: []impliance.AggSpec{{Kind: impliance.AggCount}, {Kind: impliance.AggSum, Path: "/val"}},
+				},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE05_SchedulerAffinity: mixed workload under affinity vs random
+// placement.
+func BenchmarkE05_SchedulerAffinity(b *testing.B) {
+	for _, random := range []bool{false, true} {
+		name := "affinity"
+		if random {
+			name = "random"
+		}
+		b.Run(name, func(b *testing.B) {
+			app := benchApp(b, func(c *impliance.Config) { c.RandomPlacement = random })
+			loadItems(b, app, workload.New(5).UniformRows(1000, 1000, 50, 4))
+			agg := impliance.Query{
+				Filter: impliance.True(),
+				GroupBy: &impliance.GroupSpec{
+					By:   []string{"/cat"},
+					Aggs: []impliance.AggSpec{{Kind: impliance.AggSum, Path: "/val"}},
+				},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Run(agg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE06_SystemComparison: Figure 4 — keyword retrieval on the
+// appliance vs the search-only baseline (the only comparator that can run
+// this query class at all; the capability matrix is in implbench E6).
+func BenchmarkE06_SystemComparison(b *testing.B) {
+	g := workload.New(6)
+	profiles := g.CustomerProfiles(20)
+	items := g.CallTranscripts(500, profiles, 0.8)
+	b.Run("impliance", func(b *testing.B) {
+		app := benchApp(b)
+		loadItems(b, app, items)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := app.Search("refund angry", 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("searchonly", func(b *testing.B) {
+		// Direct index engine without fabric, replication, annotations.
+		se := newSearchOnly(items)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			se.Search("refund angry", 10)
+		}
+	})
+}
+
+// BenchmarkE07_PlannerPredictability: the same range query under the
+// simple planner vs the cost-based optimizer with stale statistics.
+func BenchmarkE07_PlannerPredictability(b *testing.B) {
+	for _, useOpt := range []bool{false, true} {
+		name := "simple"
+		if useOpt {
+			name = "costopt-stale"
+		}
+		b.Run(name, func(b *testing.B) {
+			app := benchApp(b, func(c *impliance.Config) { c.UseCostOptimizer = useOpt })
+			g := workload.New(7)
+			loadItems(b, app, g.UniformRows(1000, 10000, 10, 6))
+			if useOpt {
+				app.Engine().CollectStatistics()
+			}
+			// Drift after statistics: "k < 300" becomes unselective.
+			loadItems(b, app, g.UniformRows(2000, 300, 10, 6))
+			q := impliance.Query{Filter: impliance.Cmp("/k", impliance.OpLt, impliance.Int(300))}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE08_TopKJoinCrossover: indexed-NL (k=10) vs hash (full) join.
+func BenchmarkE08_TopKJoinCrossover(b *testing.B) {
+	g := workload.New(8)
+	customers := g.CustomerProfiles(200)
+	orders := g.PurchaseOrders(1000, customers, 0)
+	join := &impliance.JoinClause{
+		LeftPath: "/customer_ref", RightPath: "/customer_id",
+		RightFilter: impliance.SourceIs("crm-profiles"),
+	}
+	app := benchApp(b)
+	loadItems(b, app, append(customers, orders...))
+	b.Run("inl-k10", func(b *testing.B) {
+		q := impliance.Query{Filter: impliance.SourceIs("po-feed"), Join: join, K: 10}
+		for i := 0; i < b.N; i++ {
+			if _, err := app.Run(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hash-full", func(b *testing.B) {
+		q := impliance.Query{Filter: impliance.SourceIs("po-feed"), Join: join}
+		for i := 0; i < b.N; i++ {
+			if _, err := app.Run(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE09_PushdownDataReduction: selective scan with storage-side
+// filtering vs shipping everything.
+func BenchmarkE09_PushdownDataReduction(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "pushdown"
+		if disable {
+			name = "no-pushdown"
+		}
+		b.Run(name, func(b *testing.B) {
+			app := benchApp(b, func(c *impliance.Config) { c.DisablePushdown = disable })
+			loadItems(b, app, workload.New(9).UniformRows(1000, 1000, 10, 20))
+			q := impliance.Query{Filter: impliance.Cmp("/k", impliance.OpLt, impliance.Int(10))}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE10_AsyncIngest: accept-time cost per document, async vs sync
+// index+annotate.
+func BenchmarkE10_AsyncIngest(b *testing.B) {
+	for _, syncIdx := range []bool{false, true} {
+		name := "async"
+		if syncIdx {
+			name = "sync"
+		}
+		b.Run(name, func(b *testing.B) {
+			app := benchApp(b, func(c *impliance.Config) { c.SyncIndexing = syncIdx })
+			g := workload.New(10)
+			profiles := g.CustomerProfiles(20)
+			items := g.CallTranscripts(b.N, profiles, 0.8)
+			b.ResetTimer()
+			for _, it := range items {
+				if _, err := app.Ingest(impliance.Item{Body: it.Body, MediaType: it.MediaType, Source: it.Source}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			app.Drain()
+		})
+	}
+}
+
+// BenchmarkE11_PriorityInterleaving: interactive queue wait while a
+// background backlog drains, priority vs FIFO.
+func BenchmarkE11_PriorityInterleaving(b *testing.B) {
+	for _, fifo := range []bool{false, true} {
+		name := "priority"
+		if fifo {
+			name = "fifo"
+		}
+		b.Run(name, func(b *testing.B) {
+			pool := sched.NewPool(2, fifo)
+			defer pool.Close()
+			for i := 0; i < 500; i++ {
+				pool.Submit(sched.Background, func() {
+					x := 0
+					for j := 0; j < 100000; j++ {
+						x += j
+					}
+					_ = x
+				})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pool.SubmitWait(sched.Interactive, func() {}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE12_VersionedUpdates: version-append updates, async vs sync
+// replica convergence.
+func BenchmarkE12_VersionedUpdates(b *testing.B) {
+	for _, syncRep := range []bool{false, true} {
+		name := "async-versions"
+		if syncRep {
+			name = "sync-replicas"
+		}
+		b.Run(name, func(b *testing.B) {
+			app := benchApp(b, func(c *impliance.Config) { c.SyncReplication = syncRep })
+			var ids []impliance.DocID
+			for i := 0; i < 50; i++ {
+				id, err := app.Ingest(impliance.Item{
+					Body:      impliance.Object(impliance.F("v", impliance.Int(0))),
+					MediaType: "relational/row", Source: "kv",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids = append(ids, id)
+			}
+			app.Drain()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Update(ids[i%len(ids)], impliance.Object(impliance.F("v", impliance.Int(int64(i))))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE13_FailureRecovery: kill a data node and repair replication.
+func BenchmarkE13_FailureRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		app := benchApp(b)
+		loadItems(b, app, workload.New(13).UniformRows(200, 1000, 10, 4))
+		eng := app.Engine()
+		dead := eng.DataNodeIDs()[0]
+		eng.Fabric().Kill(dead)
+		b.StartTimer()
+		if _, err := eng.RecoverDataNode(dead); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		app.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkE14_ConnectionQueries: shortest-path connection queries over
+// the discovered join index.
+func BenchmarkE14_ConnectionQueries(b *testing.B) {
+	app := benchApp(b)
+	g := workload.New(14)
+	customers := g.CustomerProfiles(50)
+	loadItems(b, app, append(customers, g.PurchaseOrders(400, customers, 0.3)...))
+	if _, err := app.RunDiscovery(); err != nil {
+		b.Fatal(err)
+	}
+	orders, _ := app.Run(impliance.Query{Filter: impliance.SourceIs("po-feed"), K: 20})
+	profiles, _ := app.Run(impliance.Query{Filter: impliance.SourceIs("crm-profiles"), K: 20})
+	if len(orders.Rows) == 0 || len(profiles.Rows) == 0 {
+		b.Fatal("corpus missing")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := orders.Rows[i%len(orders.Rows)].Docs[0].ID
+		c := profiles.Rows[i%len(profiles.Rows)].Docs[0].ID
+		app.Connect(a, c, 4)
+	}
+}
+
+// BenchmarkE15_CompressionPushdown: ingest with storage-side compression
+// on and off (bytes ratio is reported by implbench E15).
+func BenchmarkE15_CompressionPushdown(b *testing.B) {
+	pad := strings.Repeat("all data flows into the stewing pot ", 20)
+	for _, codec := range []compress.Codec{compress.None, compress.Flate} {
+		b.Run(codec.Name(), func(b *testing.B) {
+			app := benchApp(b, func(c *impliance.Config) { c.Codec = codec })
+			body := impliance.Object(impliance.F("text", impliance.String(pad)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Ingest(impliance.Item{Body: body, MediaType: "text/plain", Source: "pad"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			app.Drain()
+		})
+	}
+}
+
+// BenchmarkE16_AdaptiveReordering: adaptive vs static conjunct order over
+// a skewed-selectivity filter.
+func BenchmarkE16_AdaptiveReordering(b *testing.B) {
+	n := 50000
+	docs := make([]*docmodel.Document, n)
+	for i := 0; i < n; i++ {
+		docs[i] = &docmodel.Document{
+			ID: docmodel.DocID{Origin: 1, Seq: uint64(i + 1)}, Version: 1,
+			Root: docmodel.Object(
+				docmodel.F("a", docmodel.Int(int64(i%100))),
+				docmodel.F("b", docmodel.Int(int64(i%100))),
+			),
+		}
+	}
+	pred := expr.And(
+		expr.Cmp("/a", expr.OpLt, docmodel.Int(99)), // passes 99%
+		expr.Cmp("/b", expr.OpLt, docmodel.Int(1)),  // passes 1%
+	)
+	b.Run("adaptive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op := exec.NewAdaptiveFilter(exec.NewScan(exec.NewSliceCursor(docs), expr.True()), pred, 0, 128)
+			if _, err := exec.Collect(op); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("static-worst", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op := exec.NewStaticFilter(exec.NewScan(exec.NewSliceCursor(docs), expr.True()), pred, 0)
+			if _, err := exec.Collect(op); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// newSearchOnly loads the search-appliance baseline with the items.
+func newSearchOnly(items []workload.Item) *searchonly.Engine {
+	eng := searchonly.New()
+	for _, it := range items {
+		eng.Add(it.Body)
+	}
+	return eng
+}

@@ -1,0 +1,131 @@
+// Command implctl is a local appliance workbench: it boots an in-process
+// appliance, loads a seeded demo corpus (or user files), and answers
+// one-shot queries — handy for exploring the system without the HTTP
+// server.
+//
+// Usage:
+//
+//	implctl demo                          # load demo corpus, print stats
+//	implctl search  <keyword...>          # demo corpus + ranked search
+//	implctl sql     <statement>           # demo corpus + SQL
+//	implctl ingest  <file> [query...]     # ingest a file, optionally search it
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"impliance"
+	"impliance/internal/expr"
+	"impliance/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		log.Fatal("usage: implctl demo | search <kw...> | sql <stmt> | ingest <file> [query...]")
+	}
+	app, err := impliance.Open(impliance.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer app.Close()
+
+	switch os.Args[1] {
+	case "demo":
+		loadDemo(app)
+		m := app.MetricsSnapshot()
+		fmt.Printf("demo corpus loaded: %d documents, %d annotations, %d join edges\n",
+			m.Documents, m.Annotations, m.JoinEdges)
+		fmt.Printf("indexed docs: %d; interconnect: %d msgs / %d KB\n",
+			m.IndexedDocs, m.Net.Messages, m.Net.Bytes/1024)
+
+	case "search":
+		if len(os.Args) < 3 {
+			log.Fatal("usage: implctl search <keyword...>")
+		}
+		loadDemo(app)
+		rows, err := app.Search(strings.Join(os.Args[2:], " "), 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rows {
+			fmt.Printf("%-8s %.3f  %.90s\n", r.Docs[0].ID, r.Score, r.Docs[0].Root.String())
+		}
+		if len(rows) == 0 {
+			fmt.Println("no hits")
+		}
+
+	case "sql":
+		if len(os.Args) < 3 {
+			log.Fatal("usage: implctl sql <statement>")
+		}
+		loadDemo(app)
+		res, err := app.ExecSQL(strings.Join(os.Args[2:], " "))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(strings.Join(res.Columns, "\t"))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Println(strings.Join(cells, "\t"))
+		}
+
+	case "ingest":
+		if len(os.Args) < 3 {
+			log.Fatal("usage: implctl ingest <file> [query...]")
+		}
+		data, err := os.ReadFile(os.Args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		id, err := app.IngestBytes(os.Args[2], data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		app.Drain()
+		d, _ := app.Get(id)
+		fmt.Printf("ingested %s as %s (%s)\n", os.Args[2], id, d.MediaType)
+		if len(os.Args) > 3 {
+			rows, err := app.Search(strings.Join(os.Args[3:], " "), 5)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("query matches it: %v\n", len(rows) > 0 && rows[0].Docs[0].ID == id)
+		}
+
+	default:
+		log.Fatalf("unknown subcommand %q", os.Args[1])
+	}
+}
+
+// loadDemo fills the appliance with the CRM demo corpus and registers the
+// matching views.
+func loadDemo(app *impliance.Appliance) {
+	g := workload.New(2026)
+	profiles := g.CustomerProfiles(30)
+	items := append(profiles, g.CallTranscripts(150, profiles, 0.9)...)
+	items = append(items, g.InsuranceClaims(100, 0.15)...)
+	for _, it := range items {
+		if _, err := app.Ingest(impliance.Item{Body: it.Body, MediaType: it.MediaType, Source: it.Source}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	app.Drain()
+	if _, err := app.RunDiscovery(); err != nil {
+		log.Fatal(err)
+	}
+	app.RegisterView("claims", expr.SourceIs("claims"), map[string]string{
+		"id": "/claim/@id", "patient": "/claim/patient", "procedure": "/claim/procedure",
+		"amount": "/claim/amount", "flagged": "/claim/flagged",
+	})
+	app.RegisterView("customers", expr.SourceIs("crm-profiles"), map[string]string{
+		"id": "/customer_id", "name": "/name", "city": "/city",
+		"segment": "/segment", "ltv": "/lifetime_value",
+	})
+}

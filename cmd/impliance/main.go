@@ -1,0 +1,240 @@
+// Command impliance runs an appliance instance behind an HTTP API — the
+// turn-key deployment of paper §3.1: start the binary and the system is
+// operational, no schema or configuration required.
+//
+// Endpoints:
+//
+//	POST /ingest?source=NAME     body = raw bytes (JSON/XML/e-mail/text/binary, sniffed)
+//	GET  /doc/{id}               fetch latest version as JSON
+//	GET  /search?q=...&k=10      ranked keyword search
+//	GET  /facets?q=...&dim=/path facet counts (repeat dim=)
+//	POST /sql                    body = SQL statement text
+//	GET  /connect?a=ID&b=ID      connection path between two documents
+//	POST /discover               run an inter-document discovery pass
+//	GET  /metrics                appliance health counters
+//
+// Flags:
+//
+//	-addr :8080    listen address
+//	-data N        data nodes
+//	-grid N        grid nodes
+//	-dir PATH      persist WALs under PATH (default: in-memory)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"impliance"
+	"impliance/internal/docmodel"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataNodes := flag.Int("data", 4, "data nodes")
+	gridNodes := flag.Int("grid", 2, "grid nodes")
+	dir := flag.String("dir", "", "persistence directory (empty = in-memory)")
+	flag.Parse()
+
+	app, err := impliance.Open(impliance.Config{
+		DataNodes: *dataNodes, GridNodes: *gridNodes, Dir: *dir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer app.Close()
+
+	s := &server{app: app}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.ingest)
+	mux.HandleFunc("GET /doc/", s.doc)
+	mux.HandleFunc("GET /search", s.search)
+	mux.HandleFunc("GET /facets", s.facets)
+	mux.HandleFunc("POST /sql", s.sql)
+	mux.HandleFunc("GET /connect", s.connect)
+	mux.HandleFunc("POST /discover", s.discover)
+	mux.HandleFunc("GET /metrics", s.metrics)
+
+	log.Printf("impliance appliance listening on %s (data=%d grid=%d dir=%q)",
+		*addr, *dataNodes, *gridNodes, *dir)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+type server struct {
+	app *impliance.Appliance
+}
+
+func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
+	source := r.URL.Query().Get("source")
+	if source == "" {
+		source = "http"
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.app.IngestBytes(source, body)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]string{"id": id.String()})
+}
+
+func (s *server) doc(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/doc/")
+	id, err := docmodel.ParseDocID(idStr)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	d, err := s.app.Get(id)
+	if err != nil {
+		httpErr(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"id":%q,"version":%d,"mediaType":%q,"source":%q,"body":%s}`,
+		d.ID, d.Version, d.MediaType, d.Source, docmodel.ToJSON(d.Root))
+}
+
+func (s *server) search(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+	if k <= 0 {
+		k = 10
+	}
+	rows, err := s.app.Search(q, k)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	type hit struct {
+		ID    string          `json:"id"`
+		Score float64         `json:"score"`
+		Body  json.RawMessage `json:"body"`
+	}
+	out := make([]hit, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, hit{
+			ID:    row.Docs[0].ID.String(),
+			Score: row.Score,
+			Body:  docmodel.ToJSON(row.Docs[0].Root),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) facets(w http.ResponseWriter, r *http.Request) {
+	req := impliance.FacetRequest{
+		Keyword:    r.URL.Query().Get("q"),
+		Dimensions: r.URL.Query()["dim"],
+		Refine:     impliance.True(),
+	}
+	res, err := s.app.Facets(req)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	type bucket struct {
+		Value json.RawMessage `json:"value"`
+		Count int             `json:"count"`
+	}
+	type dim struct {
+		Path    string   `json:"path"`
+		Buckets []bucket `json:"buckets"`
+	}
+	out := struct {
+		Total int   `json:"total"`
+		Dims  []dim `json:"dimensions"`
+	}{Total: res.Total}
+	for _, d := range res.Dimensions {
+		nd := dim{Path: d.Path}
+		for _, b := range d.Buckets {
+			nd.Buckets = append(nd.Buckets, bucket{Value: docmodel.ToJSON(b.Value), Count: b.Count})
+		}
+		out.Dims = append(out.Dims, nd)
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) sql(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.app.ExecSQL(string(body))
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out := struct {
+		Columns []string            `json:"columns"`
+		Rows    [][]json.RawMessage `json:"rows"`
+	}{Columns: res.Columns}
+	for _, row := range res.Rows {
+		jr := make([]json.RawMessage, len(row))
+		for i, v := range row {
+			jr[i] = docmodel.ToJSON(v)
+		}
+		out.Rows = append(out.Rows, jr)
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) connect(w http.ResponseWriter, r *http.Request) {
+	a, err := docmodel.ParseDocID(r.URL.Query().Get("a"))
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	b, err := docmodel.ParseDocID(r.URL.Query().Get("b"))
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	path := s.app.Connect(a, b, 6)
+	type edge struct{ From, To, Label string }
+	out := struct {
+		Connected bool   `json:"connected"`
+		Path      []edge `json:"path"`
+	}{Connected: path != nil}
+	for _, e := range path {
+		out.Path = append(out.Path, edge{e.From.String(), e.To.String(), e.Label})
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) discover(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.app.RunDiscovery()
+	if err != nil {
+		httpErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.app.MetricsSnapshot())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+func httpErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

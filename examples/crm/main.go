@@ -1,0 +1,95 @@
+// CRM analytics: the paper's first use case (§2.1.1). Call-center
+// transcripts (unstructured) are ingested next to customer master data
+// (structured). Background annotators extract entities and sentiment;
+// discovery links transcripts to profiles through resolved person
+// entities; faceted search then answers "which enterprise customers are
+// unhappy, and about which products?" — a question neither a DBMS nor a
+// search engine answers alone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"impliance"
+	"impliance/internal/workload"
+)
+
+func main() {
+	app, err := impliance.Open(impliance.Config{DataNodes: 4, GridNodes: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer app.Close()
+
+	gen := workload.New(42)
+	profiles := gen.CustomerProfiles(50)
+	transcripts := gen.CallTranscripts(300, profiles, 0.9)
+
+	for _, p := range profiles {
+		mustIngest(app, p)
+	}
+	for _, tr := range transcripts {
+		mustIngest(app, tr)
+	}
+	app.Drain()
+
+	// Inter-document discovery: resolve entities, build join edges.
+	rep, err := app.RunDiscovery()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovery: %d mentions -> %d entities, %d edges, %d schema families\n",
+		rep.Mentions, rep.EntityClusters, rep.EntityEdges, rep.SchemaFamilies)
+
+	// Faceted search: negative calls, faceted by sentiment label via the
+	// sentiment annotations exposed as a SQL view.
+	res, err := app.ExecSQL(
+		"SELECT label, count(*) FROM sentiments GROUP BY label ORDER BY label")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sentiment over all calls:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-8s %s\n", row[0].StringVal(), row[1])
+	}
+
+	// Keyword search enriched by annotations: "angry refund" surfaces the
+	// unhappy transcripts.
+	hits, err := app.Search("angry refund", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top unhappy calls (%d shown):\n", len(hits))
+	for _, h := range hits {
+		text := h.Docs[0].First("/text").StringVal()
+		if len(text) > 70 {
+			text = text[:70] + "..."
+		}
+		fmt.Printf("  %.2f  %s\n", h.Score, text)
+	}
+
+	// Connection query: how is this unhappy call connected to a customer
+	// profile? (Entity edges discovered above answer it.)
+	if len(hits) > 0 {
+		call := hits[0].Docs[0]
+		related := app.RelatedTo(call.ID, 2)
+		for _, id := range related {
+			d, err := app.Get(id)
+			if err != nil || !d.Root.Has("customer_id") {
+				continue
+			}
+			path := app.Connect(call.ID, id, 3)
+			fmt.Printf("call %s connects to customer %s (%s) via %d hop(s)\n",
+				call.ID, d.First("/customer_id").StringVal(), d.First("/name").StringVal(), len(path))
+			break
+		}
+	}
+}
+
+func mustIngest(app *impliance.Appliance, it workload.Item) {
+	_, err := app.Ingest(impliance.Item{Body: it.Body, MediaType: it.MediaType, Source: it.Source})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+// Quickstart: boot an appliance, throw heterogeneous data in with no
+// schema or preparation (the paper's "stewing pot", §2.2), and retrieve
+// it through keyword search, structured query, and SQL.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"impliance"
+)
+
+func main() {
+	app, err := impliance.Open(impliance.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer app.Close()
+
+	// Ingest three formats with zero preparation.
+	if _, err := app.IngestBytes("note.txt",
+		[]byte("Grace Hopper reported the WidgetPro in Boston works great, excellent build")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := app.IngestBytes("order.json",
+		[]byte(`{"customer": "CU-00001", "product": "WidgetPro", "total": 199.99}`)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := app.IngestBytes("claim.xml",
+		[]byte(`<claim id="CL-7"><patient>Mary Codd</patient><amount>1200</amount></claim>`)); err != nil {
+		log.Fatal(err)
+	}
+	app.Drain() // let background indexing and annotation finish
+
+	// 1. Keyword search spans every format.
+	hits, err := app.Search("widgetpro", 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("keyword 'widgetpro': %d hits\n", len(hits))
+	for _, h := range hits {
+		fmt.Printf("  %-8s score=%.2f  %s\n", h.Docs[0].ID, h.Score, h.Docs[0].MediaType)
+	}
+
+	// 2. Structured query with a pushed-down predicate.
+	res, err := app.Run(impliance.Query{
+		Filter: impliance.Cmp("/claim/amount", impliance.OpGt, impliance.Int(1000)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("claims over $1000: %d (plan: %s)\n", len(res.Rows), res.Plan)
+
+	// 3. SQL over a view (paper Figure 2).
+	app.RegisterView("orders", impliance.Exists("/customer"), map[string]string{
+		"customer": "/customer",
+		"product":  "/product",
+		"total":    "/total",
+	})
+	sqlRes, err := app.ExecSQL("SELECT customer, total FROM orders WHERE total > 100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range sqlRes.Rows {
+		fmt.Printf("SQL row: customer=%s total=%s\n", row[0], row[1])
+	}
+
+	// 4. Annotations were derived automatically in the background.
+	m := app.MetricsSnapshot()
+	fmt.Printf("documents=%d annotations=%d joinEdges=%d\n", m.Documents, m.Annotations, m.JoinEdges)
+}

@@ -1,0 +1,293 @@
+// Package impliance is a reproduction of "Impliance: A Next Generation
+// Information Management Appliance" (Bhattacharjee et al., CIDR 2007): an
+// information-management appliance that stores, indexes, annotates, and
+// queries structured, semi-structured, and unstructured data under one
+// uniform document model, on a simulated cluster of data, grid, and
+// cluster nodes.
+//
+// The package is a thin facade over the engine in internal/core. A
+// minimal session:
+//
+//	app, err := impliance.Open(impliance.Config{})
+//	defer app.Close()
+//	id, _ := app.IngestBytes("note.txt", []byte("Grace Hopper visited Boston"))
+//	app.Drain() // wait for background indexing/annotation
+//	hits, _ := app.Search("hopper", 10)
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// experiment suite.
+package impliance
+
+import (
+	"impliance/internal/annot"
+	"impliance/internal/core"
+	"impliance/internal/discovery"
+	"impliance/internal/docmodel"
+	"impliance/internal/exec"
+	"impliance/internal/expr"
+	"impliance/internal/ingest"
+	"impliance/internal/plan"
+	"impliance/internal/query"
+	"impliance/internal/virt"
+)
+
+// Re-exported data-model types: the uniform document model every piece of
+// ingested data is mapped into (paper §3.2).
+type (
+	// Value is a node in a document tree.
+	Value = docmodel.Value
+	// Field is a named member of an object value.
+	Field = docmodel.Field
+	// DocID identifies a document.
+	DocID = docmodel.DocID
+	// VersionKey identifies one immutable document version.
+	VersionKey = docmodel.VersionKey
+	// Document is one immutable version of a document.
+	Document = docmodel.Document
+)
+
+// Value constructors.
+var (
+	// Null is the null value.
+	Null = docmodel.Null
+	// Bool constructs a boolean value.
+	Bool = docmodel.Bool
+	// Int constructs an integer value.
+	Int = docmodel.Int
+	// Float constructs a floating-point value.
+	Float = docmodel.Float
+	// String constructs a string value.
+	String = docmodel.String
+	// Bytes constructs a binary value.
+	Bytes = docmodel.Bytes
+	// TimeVal constructs a timestamp value.
+	TimeVal = docmodel.Time
+	// Array constructs an array value.
+	Array = docmodel.Array
+	// Object constructs an object value.
+	Object = docmodel.Object
+	// F constructs a Field.
+	F = docmodel.F
+	// Ref constructs a document reference.
+	Ref = docmodel.Ref
+)
+
+// Predicate constructors (pushed down to storage nodes at execution).
+type (
+	// Expr is a structured predicate over documents.
+	Expr = expr.Expr
+	// Op is a comparison operator.
+	Op = expr.Op
+	// AggKind selects an aggregate function.
+	AggKind = expr.AggKind
+	// AggSpec is one aggregate over a path.
+	AggSpec = expr.AggSpec
+	// GroupSpec is a grouped aggregation specification.
+	GroupSpec = expr.GroupSpec
+)
+
+// Comparison operators.
+const (
+	OpEq = expr.OpEq
+	OpNe = expr.OpNe
+	OpLt = expr.OpLt
+	OpLe = expr.OpLe
+	OpGt = expr.OpGt
+	OpGe = expr.OpGe
+)
+
+// Aggregate kinds.
+const (
+	AggCount = expr.AggCount
+	AggSum   = expr.AggSum
+	AggMin   = expr.AggMin
+	AggMax   = expr.AggMax
+	AggAvg   = expr.AggAvg
+)
+
+// Predicate constructors.
+var (
+	// True matches every document.
+	True = expr.True
+	// Cmp compares the values at a path against a literal.
+	Cmp = expr.Cmp
+	// Contains matches documents whose text at a path contains all terms.
+	Contains = expr.Contains
+	// Exists matches documents having any value at a path.
+	Exists = expr.Exists
+	// And conjoins predicates.
+	And = expr.And
+	// Or disjoins predicates.
+	Or = expr.Or
+	// Not negates a predicate.
+	Not = expr.Not
+	// SourceIs matches documents by ingestion source.
+	SourceIs = expr.SourceIs
+	// MediaTypeIs matches documents by media type.
+	MediaTypeIs = expr.MediaTypeIs
+)
+
+// Query types.
+type (
+	// Query is the logical query form all interfaces compile to.
+	Query = plan.Query
+	// JoinClause joins matching documents against a second collection.
+	JoinClause = plan.JoinClause
+	// SortSpec orders results.
+	SortSpec = plan.SortSpec
+	// Row is one result tuple.
+	Row = exec.Row
+	// Result is a completed query with its plan.
+	Result = core.Result
+	// SQLResult is a completed SQL query.
+	SQLResult = core.SQLResult
+	// FacetRequest is one faceted-search interaction step.
+	FacetRequest = query.FacetRequest
+	// FacetResult is a faceted-search answer.
+	FacetResult = query.FacetResult
+	// Edge is one discovered relationship.
+	Edge = discovery.Edge
+	// DiscoveryReport summarizes a discovery pass.
+	DiscoveryReport = core.DiscoveryReport
+	// Metrics is an appliance health snapshot.
+	Metrics = core.Metrics
+	// Item is one ingest-ready piece of data.
+	Item = core.Item
+	// DataClass drives replication policy.
+	DataClass = virt.DataClass
+)
+
+// Data classes (paper §3.4 storage management).
+const (
+	ClassUser       = virt.ClassUser
+	ClassDerived    = virt.ClassDerived
+	ClassRegulatory = virt.ClassRegulatory
+)
+
+// Drill refines a faceted-search state by clicking a bucket.
+var Drill = query.Drill
+
+// Config sizes an appliance. The zero value boots a small working
+// appliance — the paper's "operational out of the box" requirement.
+type Config = core.Config
+
+// Appliance is a running Impliance instance: one system image over the
+// simulated data/grid/cluster node fabric.
+type Appliance struct {
+	eng *core.Engine
+}
+
+// Open boots an appliance.
+func Open(cfg Config) (*Appliance, error) {
+	eng, err := core.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Appliance{eng: eng}, nil
+}
+
+// Close shuts the appliance down.
+func (a *Appliance) Close() error { return a.eng.Close() }
+
+// Engine exposes the underlying engine for experiments and advanced use
+// (fabric failure injection, interconnect counters, schedulers).
+func (a *Appliance) Engine() *core.Engine { return a.eng }
+
+// --- Ingestion: the stewing pot (paper §2.2) ---
+
+// Ingest infuses a pre-mapped document body.
+func (a *Appliance) Ingest(item Item) (DocID, error) { return a.eng.Ingest(item) }
+
+// IngestBatch infuses many items.
+func (a *Appliance) IngestBatch(items []Item) ([]DocID, error) { return a.eng.IngestBatch(items) }
+
+// IngestBytes sniffs and maps raw bytes (JSON, XML, e-mail, text, or
+// binary) and infuses the result — no schema, no preparation.
+func (a *Appliance) IngestBytes(filename string, data []byte) (DocID, error) {
+	body, mediaType, err := ingest.Auto(filename, data)
+	if err != nil {
+		return DocID{}, err
+	}
+	return a.eng.Ingest(Item{Body: body, MediaType: mediaType, Source: filename})
+}
+
+// IngestCSV maps a CSV file (header row + data rows) to one document per
+// row under the given source name.
+func (a *Appliance) IngestCSV(source string, data []byte) ([]DocID, error) {
+	rows, err := ingest.CSV(data)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]Item, 0, len(rows))
+	for _, r := range rows {
+		items = append(items, Item{Body: r, MediaType: ingest.MediaRow, Source: source})
+	}
+	return a.eng.IngestBatch(items)
+}
+
+// Update appends a new immutable version of a document (paper §4: no
+// in-place updates).
+func (a *Appliance) Update(id DocID, newBody Value) (VersionKey, error) {
+	return a.eng.Update(id, newBody)
+}
+
+// Get fetches the latest version of a document.
+func (a *Appliance) Get(id DocID) (*Document, error) { return a.eng.Get(id) }
+
+// GetVersion fetches a specific immutable version.
+func (a *Appliance) GetVersion(key VersionKey) (*Document, error) { return a.eng.GetVersion(key) }
+
+// VersionCount reports how many versions of a document exist.
+func (a *Appliance) VersionCount(id DocID) int { return a.eng.VersionCount(id) }
+
+// Drain blocks until queued background work (indexing, annotation,
+// replication) has completed.
+func (a *Appliance) Drain() { a.eng.DrainBackground() }
+
+// --- Retrieval (paper §3.2.1) ---
+
+// Search is ranked keyword retrieval: the out-of-the-box interface.
+func (a *Appliance) Search(keyword string, k int) ([]*Row, error) { return a.eng.Search(keyword, k) }
+
+// Run executes a structured logical query.
+func (a *Appliance) Run(q Query) (*Result, error) { return a.eng.Run(q) }
+
+// Facets executes one faceted-search interaction step with drill-down and
+// optional per-bucket aggregates.
+func (a *Appliance) Facets(req FacetRequest) (*FacetResult, error) { return a.eng.Facets(req) }
+
+// ExecSQL runs a SQL statement against the view catalog (paper Figure 2).
+func (a *Appliance) ExecSQL(sql string) (*SQLResult, error) { return a.eng.ExecSQL(sql) }
+
+// RegisterView exposes documents matching base as a relational view.
+func (a *Appliance) RegisterView(name string, base Expr, attrs map[string]string) {
+	a.eng.RegisterView(name, base, attrs)
+}
+
+// Connect answers "how are these two pieces of data connected?" over the
+// discovered relationship graph (paper §3.2.1).
+func (a *Appliance) Connect(x, y DocID, maxHops int) []Edge { return a.eng.Connect(x, y, maxHops) }
+
+// RelatedTo returns the transitive closure of relationships around a
+// document (paper §2.1.3's legal-discovery need).
+func (a *Appliance) RelatedTo(id DocID, maxHops int) []DocID { return a.eng.RelatedTo(id, maxHops) }
+
+// AnnotationsOf lists the annotation documents derived from a base
+// document.
+func (a *Appliance) AnnotationsOf(id DocID) ([]*Document, error) { return a.eng.AnnotationsOf(id) }
+
+// --- Discovery (paper §3.2) ---
+
+// RunDiscovery executes one inter-document discovery pass: entity
+// resolution, value-join discovery, schema mapping; discovered
+// relationships land in the join index.
+func (a *Appliance) RunDiscovery() (*DiscoveryReport, error) { return a.eng.RunDiscovery() }
+
+// MetricsSnapshot reports appliance health counters.
+func (a *Appliance) MetricsSnapshot() Metrics { return a.eng.MetricsSnapshot() }
+
+// AnnotationMediaType is the media type of annotation documents.
+const AnnotationMediaType = annot.MediaAnnotation
+
+// AnnotationSource is the ingestion source of annotation documents.
+const AnnotationSource = annot.AnnotationSource

@@ -1,0 +1,149 @@
+package impliance_test
+
+import (
+	"fmt"
+	"testing"
+
+	"impliance"
+	"impliance/internal/storage/compress"
+)
+
+func openApp(t *testing.T) *impliance.Appliance {
+	t.Helper()
+	app, err := impliance.Open(impliance.Config{DataNodes: 2, GridNodes: 1, ClusterNodes: 1, Codec: compress.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { app.Close() })
+	return app
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	app := openApp(t)
+
+	// Ingest raw bytes of several formats with zero preparation.
+	jsonID, err := app.IngestBytes("order.json", []byte(`{"customer": "CU-1", "total": 99.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmlID, err := app.IngestBytes("claim.xml", []byte(`<claim id="C-1"><patient>Mary Codd</patient></claim>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	textID, err := app.IngestBytes("note.txt", []byte("Grace Hopper praised the excellent WidgetPro in Boston"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Drain()
+
+	// All three retrievable.
+	for _, id := range []impliance.DocID{jsonID, xmlID, textID} {
+		if _, err := app.Get(id); err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+	}
+
+	// Keyword search spans formats.
+	hits, err := app.Search("hopper", 10)
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("search: %v, %d hits", err, len(hits))
+	}
+
+	// Structured query over the JSON document.
+	res, err := app.Run(impliance.Query{
+		Filter: impliance.Cmp("/customer", impliance.OpEq, impliance.String("CU-1")),
+	})
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("structured query: %v, %d rows", err, len(res.Rows))
+	}
+
+	// Annotations were derived in the background.
+	anns, err := app.AnnotationsOf(textID)
+	if err != nil || len(anns) == 0 {
+		t.Fatalf("annotations: %v, %d", err, len(anns))
+	}
+
+	// Versioned update.
+	key, err := app.Update(jsonID, impliance.Object(
+		impliance.F("customer", impliance.String("CU-1")),
+		impliance.F("total", impliance.Float(120)),
+	))
+	if err != nil || key.Ver != 2 {
+		t.Fatalf("update: %v %v", key, err)
+	}
+	if app.VersionCount(jsonID) != 2 {
+		t.Error("version chain")
+	}
+	old, err := app.GetVersion(impliance.VersionKey{Doc: jsonID, Ver: 1})
+	if err != nil || old.First("/total").FloatVal() != 99.5 {
+		t.Error("old version must remain readable")
+	}
+}
+
+func TestPublicCSVAndSQL(t *testing.T) {
+	app := openApp(t)
+	csv := "region,amount\n" +
+		"east,100\n" + "west,250\n" + "east,50\n"
+	ids, err := app.IngestCSV("sales", []byte(csv))
+	if err != nil || len(ids) != 3 {
+		t.Fatalf("csv: %v %d", err, len(ids))
+	}
+	app.Drain()
+	app.RegisterView("sales", impliance.SourceIs("sales"), map[string]string{
+		"region": "/region",
+		"amount": "/amount",
+	})
+	res, err := app.ExecSQL("SELECT region, sum(amount) FROM sales GROUP BY region ORDER BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].StringVal() != "east" || res.Rows[0][1].FloatVal() != 150 {
+		t.Errorf("east sum = %v", res.Rows[0])
+	}
+}
+
+func TestPublicFacetsAndConnect(t *testing.T) {
+	app := openApp(t)
+	for i := 0; i < 12; i++ {
+		_, err := app.Ingest(impliance.Item{
+			Body: impliance.Object(
+				impliance.F("text", impliance.String(fmt.Sprintf("ticket about GadgetMax from John Smith case %d", i))),
+				impliance.F("severity", impliance.String([]string{"low", "high"}[i%2])),
+			),
+			MediaType: "text/plain",
+			Source:    "tickets",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	app.Drain()
+	fr, err := app.Facets(impliance.FacetRequest{
+		Keyword:    "gadgetmax",
+		Dimensions: []string{"/severity"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Total != 12 || len(fr.Dimensions[0].Buckets) != 2 {
+		t.Fatalf("facets: total=%d buckets=%v", fr.Total, fr.Dimensions[0].Buckets)
+	}
+	// Discovery links tickets mentioning the same person.
+	if _, err := app.RunDiscovery(); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := app.Search("gadgetmax", 0)
+	if len(hits) >= 2 {
+		a, b := hits[0].Docs[0].ID, hits[1].Docs[0].ID
+		if path := app.Connect(a, b, 3); path == nil {
+			t.Error("tickets sharing an entity should connect")
+		}
+	}
+	m := app.MetricsSnapshot()
+	if m.Documents != 12 || m.JoinEdges == 0 {
+		t.Errorf("metrics: %+v", m)
+	}
+}

@@ -1,0 +1,163 @@
+// Package annot implements the annotator framework of paper §3.2: "the
+// row is annotated by annotators that have expressed an interest in this
+// type of data... The annotators create new annotation documents that
+// refer to the initial row document, and contain information extracted
+// from the row."
+//
+// Annotators run asynchronously after ingestion (scheduled by the core
+// engine as background work on data nodes — intra-document analysis per
+// paper §3.3) and produce *annotation documents*: ordinary documents whose
+// Annotates field references the base document. Because annotations are
+// documents, they are themselves indexed, searchable, and versioned, and
+// the query engine needs no special understanding of them (paper §2.2:
+// "the query processing engine does not 'understand' the annotations").
+//
+// Substitution note (DESIGN.md §2): the paper envisions UIMA-scale NLP.
+// The built-in annotators here are dictionary/regex/lexicon based — enough
+// to exercise the discovery dataflow end to end with controllable
+// precision on synthetic corpora.
+package annot
+
+import (
+	"sort"
+
+	"impliance/internal/docmodel"
+)
+
+// MediaAnnotation is the media type assigned to annotation documents.
+const MediaAnnotation = "application/x-impliance-annotation"
+
+// AnnotationSource is the ingestion source recorded on annotation
+// documents. Annotations do not inherit the base document's source, so
+// source-scoped queries over user data never double-count derived
+// documents; provenance is preserved through the base reference.
+const AnnotationSource = "impliance:annotations"
+
+// Annotator is an intra-document analysis (paper §3.3: "Data nodes
+// perform intra-document analyses: tasks like entity extraction and
+// sentiment detection within a single document").
+type Annotator interface {
+	// Name identifies the annotator; it is recorded on every annotation
+	// document it produces.
+	Name() string
+	// Interested reports whether the annotator wants this document
+	// ("annotators that have expressed an interest in this type of data").
+	Interested(d *docmodel.Document) bool
+	// Annotate returns annotation bodies extracted from the document.
+	// Returning no bodies is normal (nothing found).
+	Annotate(d *docmodel.Document) []docmodel.Value
+}
+
+// Registry holds the appliance's installed annotators.
+type Registry struct {
+	annotators []Annotator
+}
+
+// NewRegistry creates a registry with the given annotators.
+func NewRegistry(annotators ...Annotator) *Registry {
+	return &Registry{annotators: annotators}
+}
+
+// Register appends an annotator.
+func (r *Registry) Register(a Annotator) { r.annotators = append(r.annotators, a) }
+
+// Names lists registered annotator names in registration order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.annotators))
+	for i, a := range r.annotators {
+		out[i] = a.Name()
+	}
+	return out
+}
+
+// Run applies every interested annotator to the document and returns the
+// resulting annotation documents (without IDs — the engine persists them
+// and assigns identity). Annotation documents are never re-annotated,
+// preventing feedback loops.
+func (r *Registry) Run(base *docmodel.Document) []*docmodel.Document {
+	if base.IsAnnotation() {
+		return nil
+	}
+	var out []*docmodel.Document
+	for _, a := range r.annotators {
+		if !a.Interested(base) {
+			continue
+		}
+		for _, body := range a.Annotate(base) {
+			out = append(out, &docmodel.Document{
+				MediaType: MediaAnnotation,
+				Source:    AnnotationSource,
+				Annotates: base.ID,
+				Annotator: a.Name(),
+				Root: body.Set("base", docmodel.Ref(base.ID)).
+					Set("base_version", docmodel.Int(int64(base.Version))),
+			})
+		}
+	}
+	return out
+}
+
+// Entity is one extracted entity mention.
+type Entity struct {
+	Type string // "person", "location", "product", "money", "phone", "email", "code"
+	Text string // surface form
+	Norm string // normalized form used for resolution
+	Path string // document path the mention was found at
+}
+
+// EntityValue renders the entity as a document value.
+func (e Entity) EntityValue() docmodel.Value {
+	return docmodel.Object(
+		docmodel.F("type", docmodel.String(e.Type)),
+		docmodel.F("text", docmodel.String(e.Text)),
+		docmodel.F("norm", docmodel.String(e.Norm)),
+		docmodel.F("path", docmodel.String(e.Path)),
+	)
+}
+
+// EntitiesFromAnnotation re-parses entities out of an entity annotation
+// document (the inverse of EntityValue); the discovery layer uses this.
+func EntitiesFromAnnotation(d *docmodel.Document) []Entity {
+	var out []Entity
+	for _, v := range d.At("/entities") {
+		if v.Kind() != docmodel.KindObject {
+			continue
+		}
+		out = append(out, Entity{
+			Type: v.Get("type").StringVal(),
+			Text: v.Get("text").StringVal(),
+			Norm: v.Get("norm").StringVal(),
+			Path: v.Get("path").StringVal(),
+		})
+	}
+	return out
+}
+
+// stringLeaves walks every string leaf of a document with its path.
+func stringLeaves(d *docmodel.Document, fn func(path, s string)) {
+	d.WalkLeaves(func(pv docmodel.PathVisit) bool {
+		if pv.Value.Kind() == docmodel.KindString {
+			fn(pv.Path, pv.Value.StringVal())
+		}
+		return true
+	})
+}
+
+func dedupeEntities(ents []Entity) []Entity {
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].Type != ents[j].Type {
+			return ents[i].Type < ents[j].Type
+		}
+		if ents[i].Norm != ents[j].Norm {
+			return ents[i].Norm < ents[j].Norm
+		}
+		return ents[i].Path < ents[j].Path
+	})
+	out := ents[:0]
+	for i, e := range ents {
+		if i == 0 || e != ents[i-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package annot
+
+import (
+	"testing"
+
+	"impliance/internal/docmodel"
+)
+
+func transcript(seq uint64, body string) *docmodel.Document {
+	return &docmodel.Document{
+		ID:        docmodel.DocID{Origin: 1, Seq: seq},
+		Version:   1,
+		MediaType: "text/plain",
+		Source:    "callcenter",
+		Root:      docmodel.Object(docmodel.F("text", docmodel.String(body))),
+	}
+}
+
+func entityTypesOf(ents []Entity) map[string][]string {
+	out := map[string][]string{}
+	for _, e := range ents {
+		out[e.Type] = append(out[e.Type], e.Norm)
+	}
+	return out
+}
+
+func TestEntityAnnotatorExtractsAllClasses(t *testing.T) {
+	a := NewDefaultEntityAnnotator([]string{"widgetpro", "gadget max"})
+	d := transcript(1, "John Smith from San Jose called about WidgetPro. "+
+		"Billed $1,299.50 to card, callback 408-555-1212, "+
+		"email john.smith@example.com, case ID CS-4417. He also wants Gadget Max.")
+	anns := a.Annotate(d)
+	if len(anns) != 1 {
+		t.Fatalf("annotations = %d", len(anns))
+	}
+	ad := &docmodel.Document{Root: anns[0]}
+	ents := EntitiesFromAnnotation(ad)
+	byType := entityTypesOf(ents)
+
+	if got := byType["person"]; len(got) != 1 || got[0] != "john smith" {
+		t.Errorf("person = %v", got)
+	}
+	if got := byType["location"]; len(got) != 1 || got[0] != "san jose" {
+		t.Errorf("location = %v", got)
+	}
+	if got := byType["money"]; len(got) != 1 || got[0] != "$1,299.50" {
+		t.Errorf("money = %v", got)
+	}
+	if got := byType["phone"]; len(got) != 1 || got[0] != "408-555-1212" {
+		t.Errorf("phone = %v", got)
+	}
+	if got := byType["email"]; len(got) != 1 || got[0] != "john.smith@example.com" {
+		t.Errorf("email = %v", got)
+	}
+	if got := byType["code"]; len(got) != 1 || got[0] != "cs-4417" {
+		t.Errorf("code = %v", got)
+	}
+	if got := byType["product"]; len(got) != 2 {
+		t.Errorf("products = %v", got)
+	}
+	if ad.First("/count").IntVal() != int64(len(ents)) {
+		t.Error("count field mismatch")
+	}
+}
+
+func TestEntityAnnotatorNoFalsePersons(t *testing.T) {
+	a := NewDefaultEntityAnnotator(nil)
+	// "Big Sur" has no dictionary first name; "John" alone is not a bigram.
+	d := transcript(1, "Big Sur is nice. John was here. The Thing happened.")
+	if anns := a.Annotate(d); len(anns) != 0 {
+		ents := EntitiesFromAnnotation(&docmodel.Document{Root: anns[0]})
+		for _, e := range ents {
+			if e.Type == "person" {
+				t.Errorf("false person: %+v", e)
+			}
+		}
+	}
+}
+
+func TestEntityDedupe(t *testing.T) {
+	a := NewDefaultEntityAnnotator(nil)
+	d := transcript(1, "Mary Jones met Mary Jones in London. London again.")
+	anns := a.Annotate(d)
+	ents := EntitiesFromAnnotation(&docmodel.Document{Root: anns[0]})
+	byType := entityTypesOf(ents)
+	if len(byType["person"]) != 1 {
+		t.Errorf("duplicate person mentions should dedupe: %v", byType["person"])
+	}
+	if len(byType["location"]) != 1 {
+		t.Errorf("duplicate locations should dedupe: %v", byType["location"])
+	}
+}
+
+func TestEntityWordBoundaries(t *testing.T) {
+	a := NewEntityAnnotator(Dictionaries{Locations: []string{"rome"}})
+	d := transcript(1, "The chrome browser is not in rome.")
+	anns := a.Annotate(d)
+	if len(anns) != 1 {
+		t.Fatal("expected one annotation")
+	}
+	ents := EntitiesFromAnnotation(&docmodel.Document{Root: anns[0]})
+	if len(ents) != 1 || ents[0].Norm != "rome" {
+		t.Errorf("boundary matching: %v", ents)
+	}
+}
+
+func TestEntityInterested(t *testing.T) {
+	a := NewDefaultEntityAnnotator(nil)
+	if !a.Interested(transcript(1, "text here")) {
+		t.Error("text doc should interest entity annotator")
+	}
+	numeric := &docmodel.Document{Root: docmodel.Object(docmodel.F("n", docmodel.Int(5)))}
+	if a.Interested(numeric) {
+		t.Error("numeric-only doc should not interest entity annotator")
+	}
+}
+
+func TestEntityPathRecorded(t *testing.T) {
+	a := NewDefaultEntityAnnotator(nil)
+	d := &docmodel.Document{
+		ID: docmodel.DocID{Origin: 1, Seq: 2}, Version: 1,
+		Root: docmodel.Object(
+			docmodel.F("subject", docmodel.String("meeting with Grace Hopper")),
+			docmodel.F("body", docmodel.String("see you in Tokyo")),
+		),
+	}
+	ents := EntitiesFromAnnotation(&docmodel.Document{Root: a.Annotate(d)[0]})
+	paths := map[string]string{}
+	for _, e := range ents {
+		paths[e.Type] = e.Path
+	}
+	if paths["person"] != "/subject" || paths["location"] != "/body" {
+		t.Errorf("paths = %v", paths)
+	}
+}
+
+func TestSentimentScoring(t *testing.T) {
+	a := NewSentimentAnnotator()
+	pos := transcript(1, "I love this product, it is excellent and wonderful, thank you so much for the great help")
+	anns := a.Annotate(pos)
+	if len(anns) != 1 {
+		t.Fatal("no sentiment annotation")
+	}
+	ad := &docmodel.Document{Root: anns[0]}
+	if ad.First("/label").StringVal() != "positive" {
+		t.Errorf("label = %s", ad.First("/label"))
+	}
+	if ad.First("/score").FloatVal() <= 0 {
+		t.Error("positive score expected")
+	}
+
+	neg := transcript(2, "terrible awful broken useless product, very angry and disappointed, want a refund now because of this problem")
+	ad = &docmodel.Document{Root: a.Annotate(neg)[0]}
+	if ad.First("/label").StringVal() != "negative" {
+		t.Errorf("label = %s", ad.First("/label"))
+	}
+
+	mixed := transcript(3, "good product but terrible support, happy with device, angry about the billing problem though")
+	ad = &docmodel.Document{Root: a.Annotate(mixed)[0]}
+	if got := ad.First("/label").StringVal(); got != "neutral" && got != "negative" {
+		t.Errorf("mixed label = %s", got)
+	}
+}
+
+func TestSentimentStemsInflections(t *testing.T) {
+	a := NewSentimentAnnotator()
+	d := transcript(1, "totally loved it, recommending to everyone, thanks so much indeed friends")
+	anns := a.Annotate(d)
+	if len(anns) == 0 {
+		t.Fatal("stemmed lexicon should match loved/recommending/thanks")
+	}
+	ad := &docmodel.Document{Root: anns[0]}
+	if ad.First("/positive_hits").IntVal() < 2 {
+		t.Errorf("positive hits = %s", ad.First("/positive_hits"))
+	}
+}
+
+func TestSentimentNoHitsNoAnnotation(t *testing.T) {
+	a := NewSentimentAnnotator()
+	if anns := a.Annotate(transcript(1, "the delivery arrived on tuesday afternoon as scheduled")); len(anns) != 0 {
+		t.Error("neutral factual text should yield no sentiment annotation")
+	}
+}
+
+func TestSentimentInterestedThreshold(t *testing.T) {
+	a := NewSentimentAnnotator()
+	if a.Interested(transcript(1, "ok")) {
+		t.Error("tiny text should not interest sentiment")
+	}
+	if !a.Interested(transcript(1, "this is a longer piece of customer feedback text")) {
+		t.Error("prose should interest sentiment")
+	}
+}
+
+func TestRegistryRunWrapsAnnotationDocs(t *testing.T) {
+	reg := NewRegistry(NewDefaultEntityAnnotator(nil), NewSentimentAnnotator())
+	base := transcript(7, "Linda Park from Boston says the product is excellent and she is very happy with everything")
+	anns := reg.Run(base)
+	if len(anns) != 2 {
+		t.Fatalf("annotation docs = %d, want 2 (entity + sentiment)", len(anns))
+	}
+	for _, ad := range anns {
+		if ad.Annotates != base.ID {
+			t.Errorf("annotation must reference base: %v", ad.Annotates)
+		}
+		if ad.MediaType != MediaAnnotation {
+			t.Errorf("media type = %s", ad.MediaType)
+		}
+		if ad.Root.Get("base").RefVal() != base.ID {
+			t.Error("body must embed base ref")
+		}
+		if ad.Root.Get("base_version").IntVal() != 1 {
+			t.Error("body must record base version")
+		}
+		refs := ad.Refs()
+		if len(refs) != 1 || refs[0] != base.ID {
+			t.Errorf("Refs = %v", refs)
+		}
+	}
+	if reg.Names()[0] != "entity" || reg.Names()[1] != "sentiment" {
+		t.Errorf("names = %v", reg.Names())
+	}
+}
+
+func TestRegistryNeverAnnotatesAnnotations(t *testing.T) {
+	reg := NewRegistry(NewDefaultEntityAnnotator(nil))
+	base := transcript(7, "Linda Park visited Boston")
+	anns := reg.Run(base)
+	if len(anns) == 0 {
+		t.Fatal("expected annotations")
+	}
+	anns[0].ID = docmodel.DocID{Origin: 1, Seq: 99}
+	if again := reg.Run(anns[0]); len(again) != 0 {
+		t.Error("annotation documents must not be re-annotated (feedback loop)")
+	}
+}
+
+func TestRegistryRegisterAppends(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(NewSentimentAnnotator())
+	if len(reg.Names()) != 1 {
+		t.Error("Register failed")
+	}
+}

@@ -1,0 +1,192 @@
+package annot
+
+import (
+	"regexp"
+	"strings"
+
+	"impliance/internal/docmodel"
+)
+
+// EntityAnnotator extracts typed entity mentions from the text of a
+// document: person names (dictionary-seeded capitalized bigrams),
+// locations and products (dictionaries), and pattern entities (money,
+// phone numbers, e-mail addresses, reference codes). This is the
+// intra-document half of the paper's discovery pipeline (§3.3).
+type EntityAnnotator struct {
+	firstNames map[string]struct{}
+	locations  map[string]struct{}
+	products   map[string]struct{}
+}
+
+// Dictionaries seed the entity annotator. Empty slices disable that
+// entity class. The workload generators draw from the same lists so
+// synthetic corpora and extraction agree (DESIGN.md substitution table).
+type Dictionaries struct {
+	FirstNames []string
+	Locations  []string
+	Products   []string
+}
+
+// DefaultFirstNames is a compact seed dictionary of given names.
+var DefaultFirstNames = []string{
+	"james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+	"linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+	"joseph", "jessica", "thomas", "sarah", "charles", "karen", "grace",
+	"ada", "alan", "edsger", "donald", "barbara", "niklaus", "tony",
+}
+
+// DefaultLocations is a compact seed dictionary of place names.
+var DefaultLocations = []string{
+	"almaden", "san jose", "new york", "london", "tokyo", "paris",
+	"zurich", "austin", "boston", "seattle", "chicago", "denver",
+	"portland", "atlanta", "dallas", "miami",
+}
+
+// NewEntityAnnotator builds an entity annotator over the dictionaries.
+func NewEntityAnnotator(dicts Dictionaries) *EntityAnnotator {
+	return &EntityAnnotator{
+		firstNames: lowerSet(dicts.FirstNames),
+		locations:  lowerSet(dicts.Locations),
+		products:   lowerSet(dicts.Products),
+	}
+}
+
+// NewDefaultEntityAnnotator uses the package's default name and location
+// dictionaries plus the given product catalog.
+func NewDefaultEntityAnnotator(products []string) *EntityAnnotator {
+	return NewEntityAnnotator(Dictionaries{
+		FirstNames: DefaultFirstNames,
+		Locations:  DefaultLocations,
+		Products:   products,
+	})
+}
+
+func lowerSet(words []string) map[string]struct{} {
+	m := make(map[string]struct{}, len(words))
+	for _, w := range words {
+		m[strings.ToLower(w)] = struct{}{}
+	}
+	return m
+}
+
+// Name implements Annotator.
+func (a *EntityAnnotator) Name() string { return "entity" }
+
+// Interested implements Annotator: any non-annotation document with text.
+func (a *EntityAnnotator) Interested(d *docmodel.Document) bool {
+	has := false
+	d.WalkLeaves(func(pv docmodel.PathVisit) bool {
+		if pv.Value.Kind() == docmodel.KindString && pv.Value.StringVal() != "" {
+			has = true
+			return false
+		}
+		return true
+	})
+	return has
+}
+
+var (
+	moneyRe = regexp.MustCompile(`\$[0-9][0-9,]*(?:\.[0-9]{2})?`)
+	phoneRe = regexp.MustCompile(`\b[0-9]{3}[-. ][0-9]{3}[-. ][0-9]{4}\b`)
+	emailRe = regexp.MustCompile(`\b[A-Za-z0-9._%+\-]+@[A-Za-z0-9.\-]+\.[A-Za-z]{2,}\b`)
+	codeRe  = regexp.MustCompile(`\b[A-Z]{2,4}-[0-9]{2,8}\b`)
+	// capWord matches a capitalized word for person-name bigrams.
+	capWordRe = regexp.MustCompile(`\b[A-Z][a-z]+\b`)
+)
+
+// Annotate implements Annotator: one annotation document carrying every
+// entity found in the base document.
+func (a *EntityAnnotator) Annotate(d *docmodel.Document) []docmodel.Value {
+	var ents []Entity
+	stringLeaves(d, func(path, s string) {
+		ents = append(ents, a.extract(path, s)...)
+	})
+	ents = dedupeEntities(ents)
+	if len(ents) == 0 {
+		return nil
+	}
+	vals := make([]docmodel.Value, len(ents))
+	for i, e := range ents {
+		vals[i] = e.EntityValue()
+	}
+	return []docmodel.Value{docmodel.Object(
+		docmodel.F("entities", docmodel.Array(vals...)),
+		docmodel.F("count", docmodel.Int(int64(len(vals)))),
+	)}
+}
+
+func (a *EntityAnnotator) extract(path, s string) []Entity {
+	var out []Entity
+	add := func(typ, text string) {
+		out = append(out, Entity{Type: typ, Text: text, Norm: strings.ToLower(text), Path: path})
+	}
+	for _, m := range moneyRe.FindAllString(s, -1) {
+		add("money", m)
+	}
+	for _, m := range phoneRe.FindAllString(s, -1) {
+		add("phone", m)
+	}
+	for _, m := range emailRe.FindAllString(s, -1) {
+		add("email", m)
+	}
+	for _, m := range codeRe.FindAllString(s, -1) {
+		add("code", m)
+	}
+
+	// Person names: a dictionary first name followed by a capitalized word.
+	caps := capWordRe.FindAllStringIndex(s, -1)
+	for i := 0; i+1 < len(caps); i++ {
+		first := s[caps[i][0]:caps[i][1]]
+		if _, ok := a.firstNames[strings.ToLower(first)]; !ok {
+			continue
+		}
+		// The next capitalized word must be adjacent (whitespace only).
+		gap := s[caps[i][1]:caps[i+1][0]]
+		if strings.TrimSpace(gap) != "" || len(gap) > 2 {
+			continue
+		}
+		last := s[caps[i+1][0]:caps[i+1][1]]
+		add("person", first+" "+last)
+	}
+
+	// Locations and products: dictionary scan over lower-cased text,
+	// longest phrases first (multi-word entries like "san jose").
+	low := strings.ToLower(s)
+	for loc := range a.locations {
+		if containsWord(low, loc) {
+			add("location", loc)
+		}
+	}
+	for p := range a.products {
+		if containsWord(low, p) {
+			add("product", p)
+		}
+	}
+	return out
+}
+
+// containsWord reports whether phrase occurs in s on word boundaries.
+func containsWord(s, phrase string) bool {
+	idx := 0
+	for {
+		i := strings.Index(s[idx:], phrase)
+		if i < 0 {
+			return false
+		}
+		start := idx + i
+		end := start + len(phrase)
+		leftOK := start == 0 || !isWordByte(s[start-1])
+		rightOK := end == len(s) || !isWordByte(s[end])
+		if leftOK && rightOK {
+			return true
+		}
+		idx = start + 1
+		if idx >= len(s) {
+			return false
+		}
+	}
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}

@@ -1,0 +1,98 @@
+package annot
+
+import (
+	"strings"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/text"
+)
+
+// SentimentAnnotator scores document text with a polarity lexicon — the
+// paper's example of sentiment detection as an intra-document analysis
+// (§3.3). The CRM use case (§2.1.1) correlates this with customer
+// profiles to drive offers.
+type SentimentAnnotator struct {
+	positive map[string]struct{}
+	negative map[string]struct{}
+}
+
+// Default polarity lexicons (stemmed at load so inflections match).
+var (
+	defaultPositive = []string{
+		"good", "great", "excellent", "happy", "love", "wonderful", "best",
+		"fantastic", "satisfied", "pleased", "helpful", "recommend",
+		"amazing", "perfect", "thanks", "thank", "awesome", "delighted",
+	}
+	defaultNegative = []string{
+		"bad", "terrible", "awful", "unhappy", "hate", "worst", "angry",
+		"disappointed", "broken", "refund", "complaint", "problem",
+		"useless", "slow", "cancel", "frustrated", "horrible", "defective",
+	}
+)
+
+// NewSentimentAnnotator builds the annotator with the default lexicons.
+func NewSentimentAnnotator() *SentimentAnnotator {
+	return NewSentimentAnnotatorWithLexicon(defaultPositive, defaultNegative)
+}
+
+// NewSentimentAnnotatorWithLexicon builds the annotator with custom
+// polarity word lists.
+func NewSentimentAnnotatorWithLexicon(positive, negative []string) *SentimentAnnotator {
+	a := &SentimentAnnotator{positive: map[string]struct{}{}, negative: map[string]struct{}{}}
+	for _, w := range positive {
+		a.positive[text.Stem(strings.ToLower(w))] = struct{}{}
+	}
+	for _, w := range negative {
+		a.negative[text.Stem(strings.ToLower(w))] = struct{}{}
+	}
+	return a
+}
+
+// Name implements Annotator.
+func (a *SentimentAnnotator) Name() string { return "sentiment" }
+
+// Interested implements Annotator: documents with a reasonable amount of
+// prose (at least five tokens across string fields).
+func (a *SentimentAnnotator) Interested(d *docmodel.Document) bool {
+	tokens := 0
+	d.WalkLeaves(func(pv docmodel.PathVisit) bool {
+		if pv.Value.Kind() == docmodel.KindString {
+			tokens += len(text.DefaultAnalyzer.Terms(pv.Value.StringVal()))
+		}
+		return tokens < 5
+	})
+	return tokens >= 5
+}
+
+// Annotate implements Annotator: one annotation with the polarity score in
+// [-1, 1], a label, and the raw hit counts.
+func (a *SentimentAnnotator) Annotate(d *docmodel.Document) []docmodel.Value {
+	pos, neg := 0, 0
+	stringLeaves(d, func(_, s string) {
+		text.DefaultAnalyzer.TokenizeFunc(s, func(tok text.Token) {
+			if _, ok := a.positive[tok.Term]; ok {
+				pos++
+			}
+			if _, ok := a.negative[tok.Term]; ok {
+				neg++
+			}
+		})
+	})
+	if pos == 0 && neg == 0 {
+		return nil
+	}
+	score := float64(pos-neg) / float64(pos+neg)
+	label := "neutral"
+	switch {
+	case score > 0.25:
+		label = "positive"
+	case score < -0.25:
+		label = "negative"
+	}
+	return []docmodel.Value{docmodel.Object(
+		docmodel.F("score", docmodel.Float(score)),
+		docmodel.F("label", docmodel.String(label)),
+		docmodel.F("positive_hits", docmodel.Int(int64(pos))),
+		docmodel.F("negative_hits", docmodel.Int(int64(neg))),
+	)}
+}

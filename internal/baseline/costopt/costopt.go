@@ -1,0 +1,272 @@
+// Package costopt is the conventional cost-based optimizer that Impliance
+// deliberately does *not* use (paper §3.3). It exists as the experimental
+// comparator for the simple planner: it maintains per-path statistics
+// (cardinalities, distinct counts, equi-depth histograms), estimates
+// selectivities, and picks the cheapest access path and join method under
+// a textbook cost model.
+//
+// With fresh statistics it beats the simple planner on selective range
+// queries; when statistics go stale — the maintenance burden the paper's
+// TCO argument targets — its estimates mislead it into index-fetching huge
+// result sets or mis-choosing join methods, and latency becomes
+// unpredictable. Experiment E7 measures exactly this spread.
+package costopt
+
+import (
+	"sort"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/plan"
+)
+
+// Cost model constants: relative per-document costs. A random index fetch
+// costs several sequential-scan touches, the classic 'clustered scan vs
+// unclustered fetch' trade-off the paper alludes to in §3.1.
+const (
+	costScanDoc   = 1.0
+	costIndexRead = 4.0
+	costHashBuild = 1.5
+	costHashProbe = 1.0
+	costINLProbe  = 4.0
+)
+
+// PathStats summarizes one path's value distribution.
+type PathStats struct {
+	Count    int64 // leaf occurrences
+	Docs     int64 // documents with the path
+	Distinct int64
+	// Bounds is an equi-depth histogram: sorted boundary values dividing
+	// the observed values into equal-count buckets.
+	Bounds []docmodel.Value
+}
+
+// Stats is a statistics snapshot for a document collection.
+type Stats struct {
+	Total int64 // total documents
+	Paths map[string]*PathStats
+}
+
+// histBuckets is the equi-depth histogram resolution.
+const histBuckets = 32
+
+// CollectStats performs a full statistics pass over the documents — the
+// maintenance work the simple planner avoids.
+func CollectStats(docs []*docmodel.Document) *Stats {
+	s := &Stats{Paths: map[string]*PathStats{}}
+	values := map[string][]docmodel.Value{}
+	for _, d := range docs {
+		s.Total++
+		seenPath := map[string]bool{}
+		d.WalkLeaves(func(pv docmodel.PathVisit) bool {
+			ps, ok := s.Paths[pv.Path]
+			if !ok {
+				ps = &PathStats{}
+				s.Paths[pv.Path] = ps
+			}
+			ps.Count++
+			if !seenPath[pv.Path] {
+				ps.Docs++
+				seenPath[pv.Path] = true
+			}
+			values[pv.Path] = append(values[pv.Path], pv.Value)
+			return true
+		})
+	}
+	for path, vals := range values {
+		ps := s.Paths[path]
+		sort.Slice(vals, func(i, j int) bool { return vals[i].Compare(vals[j]) < 0 })
+		distinct := int64(0)
+		for i, v := range vals {
+			if i == 0 || v.Compare(vals[i-1]) != 0 {
+				distinct++
+			}
+		}
+		ps.Distinct = distinct
+		step := len(vals) / histBuckets
+		if step < 1 {
+			step = 1
+		}
+		for i := step; i < len(vals); i += step {
+			ps.Bounds = append(ps.Bounds, vals[i])
+		}
+	}
+	return s
+}
+
+// EstimateSelectivity estimates the fraction of documents matching the
+// predicate using the collected statistics.
+func (s *Stats) EstimateSelectivity(e expr.Expr) float64 {
+	if s.Total == 0 {
+		return 1
+	}
+	sel := 1.0
+	for _, c := range e.Conjuncts() {
+		sel *= s.conjunctSelectivity(c)
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+func (s *Stats) conjunctSelectivity(c expr.Expr) float64 {
+	if c.IsTrue() {
+		return 1
+	}
+	paths := c.Paths()
+	if len(paths) == 0 {
+		return 0.5 // metadata predicates: no stats kept
+	}
+	path := paths[0]
+	ps, ok := s.Paths[path]
+	if !ok {
+		return 0.01 // unknown path: assume rare
+	}
+	frac := float64(ps.Docs) / float64(s.Total)
+	if v, isEq := c.EqualityOn(path); isEq {
+		_ = v
+		if ps.Distinct == 0 {
+			return frac
+		}
+		return frac / float64(ps.Distinct)
+	}
+	if lo, hi, loInc, hiInc, isRange := c.RangeOn(path); isRange {
+		return frac * s.rangeFraction(ps, lo, hi, loInc, hiInc)
+	}
+	// Contains / Exists defaults.
+	return frac * 0.1
+}
+
+// rangeFraction estimates the covered fraction via the histogram.
+func (s *Stats) rangeFraction(ps *PathStats, lo, hi *docmodel.Value, loInc, hiInc bool) float64 {
+	if len(ps.Bounds) == 0 {
+		return 0.3
+	}
+	pos := func(v docmodel.Value, high bool) float64 {
+		i := sort.Search(len(ps.Bounds), func(i int) bool {
+			c := ps.Bounds[i].Compare(v)
+			if high {
+				return c > 0
+			}
+			return c >= 0
+		})
+		return float64(i) / float64(len(ps.Bounds))
+	}
+	start, end := 0.0, 1.0
+	if lo != nil {
+		start = pos(*lo, !loInc)
+	}
+	if hi != nil {
+		end = pos(*hi, hiInc)
+	}
+	if end < start {
+		return 0
+	}
+	frac := end - start
+	if frac < 1e-4 {
+		frac = 1e-4
+	}
+	return frac
+}
+
+// Optimizer picks plans by estimated cost.
+type Optimizer struct {
+	stats *Stats
+	// InnerCount estimates the inner collection size for join costing.
+	InnerCount int64
+}
+
+// NewOptimizer builds an optimizer over a statistics snapshot. The
+// statistics may be arbitrarily stale relative to the data — deliberately:
+// E7 exploits this.
+func NewOptimizer(stats *Stats) *Optimizer { return &Optimizer{stats: stats} }
+
+// Stats exposes the snapshot (for estimate assertions in tests).
+func (o *Optimizer) Stats() *Stats { return o.stats }
+
+// Plan chooses an access path and join method by comparing estimated
+// costs, emitting the same Plan type the simple planner does.
+func (o *Optimizer) Plan(q plan.Query) *plan.Plan {
+	p := &plan.Plan{
+		Residual: q.Filter,
+		GroupBy:  q.GroupBy,
+		OrderBy:  q.OrderBy,
+		K:        q.K,
+		JoinSpec: q.Join,
+	}
+	n := float64(o.stats.Total)
+	if q.Keyword != "" {
+		p.Access = plan.Access{Kind: plan.AccessKeyword, Keyword: q.Keyword}
+		p.Explain = append(p.Explain, "cost: keyword must use full-text index")
+	} else {
+		scanCost := n * costScanDoc
+		bestCost := scanCost
+		best := plan.Access{Kind: plan.AccessScan}
+		bestWhy := "cost: full scan"
+		for _, path := range q.Filter.Paths() {
+			if v, ok := q.Filter.EqualityOn(path); ok {
+				sel := o.stats.EstimateSelectivity(expr.Cmp(path, expr.OpEq, v))
+				c := sel*n*costIndexRead + 1
+				if c < bestCost {
+					bestCost = c
+					best = plan.Access{Kind: plan.AccessValueEq, Path: path, Value: v}
+					bestWhy = "cost: selective equality index on " + path
+				}
+				continue
+			}
+			if lo, hi, loInc, hiInc, ok := q.Filter.RangeOn(path); ok {
+				sel := o.stats.EstimateSelectivity(rangeExprFor(path, lo, hi, loInc, hiInc))
+				c := sel*n*costIndexRead + 1
+				if c < bestCost {
+					bestCost = c
+					best = plan.Access{Kind: plan.AccessValueRange, Path: path, Lo: lo, Hi: hi, LoInc: loInc, HiInc: hiInc}
+					bestWhy = "cost: selective range index on " + path
+				}
+			}
+		}
+		p.Access = best
+		p.Explain = append(p.Explain, bestWhy)
+	}
+
+	if q.Join != nil {
+		outerSel := o.stats.EstimateSelectivity(q.Filter)
+		outerEst := outerSel * n
+		if q.K > 0 && float64(q.K) < outerEst {
+			outerEst = float64(q.K)
+		}
+		inner := float64(o.InnerCount)
+		if inner <= 0 {
+			inner = n
+		}
+		inlCost := outerEst * costINLProbe
+		hashCost := inner*costHashBuild + outerEst*costHashProbe
+		if inlCost <= hashCost {
+			p.Join = plan.JoinINL
+			p.Explain = append(p.Explain, "cost: INL join cheaper")
+		} else {
+			p.Join = plan.JoinHash
+			p.Explain = append(p.Explain, "cost: hash join cheaper")
+		}
+	}
+	return p
+}
+
+func rangeExprFor(path string, lo, hi *docmodel.Value, loInc, hiInc bool) expr.Expr {
+	var kids []expr.Expr
+	if lo != nil {
+		op := expr.OpGt
+		if loInc {
+			op = expr.OpGe
+		}
+		kids = append(kids, expr.Cmp(path, op, *lo))
+	}
+	if hi != nil {
+		op := expr.OpLt
+		if hiInc {
+			op = expr.OpLe
+		}
+		kids = append(kids, expr.Cmp(path, op, *hi))
+	}
+	return expr.And(kids...)
+}

@@ -1,0 +1,133 @@
+package costopt
+
+import (
+	"math"
+	"testing"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/plan"
+)
+
+func uniformDocs(n int) []*docmodel.Document {
+	docs := make([]*docmodel.Document, n)
+	for i := 0; i < n; i++ {
+		docs[i] = &docmodel.Document{
+			ID: docmodel.DocID{Origin: 1, Seq: uint64(i + 1)}, Version: 1,
+			Root: docmodel.Object(
+				docmodel.F("v", docmodel.Int(int64(i))),
+				docmodel.F("cat", docmodel.String([]string{"a", "b", "c", "d"}[i%4])),
+			),
+		}
+	}
+	return docs
+}
+
+func TestCollectStats(t *testing.T) {
+	s := CollectStats(uniformDocs(1000))
+	if s.Total != 1000 {
+		t.Errorf("total = %d", s.Total)
+	}
+	vs := s.Paths["/v"]
+	if vs == nil || vs.Docs != 1000 || vs.Distinct != 1000 {
+		t.Fatalf("v stats = %+v", vs)
+	}
+	cs := s.Paths["/cat"]
+	if cs.Distinct != 4 {
+		t.Errorf("cat distinct = %d", cs.Distinct)
+	}
+	if len(vs.Bounds) == 0 {
+		t.Error("histogram missing")
+	}
+}
+
+func TestSelectivityEstimates(t *testing.T) {
+	s := CollectStats(uniformDocs(1000))
+	// Equality on cat: 1/4 of docs.
+	sel := s.EstimateSelectivity(expr.Cmp("/cat", expr.OpEq, docmodel.String("a")))
+	if math.Abs(sel-0.25) > 0.05 {
+		t.Errorf("eq selectivity = %f, want ~0.25", sel)
+	}
+	// Range covering 10%.
+	sel = s.EstimateSelectivity(expr.Cmp("/v", expr.OpLt, docmodel.Int(100)))
+	if math.Abs(sel-0.1) > 0.07 {
+		t.Errorf("range selectivity = %f, want ~0.1", sel)
+	}
+	// Conjunction multiplies.
+	sel = s.EstimateSelectivity(expr.And(
+		expr.Cmp("/cat", expr.OpEq, docmodel.String("a")),
+		expr.Cmp("/v", expr.OpLt, docmodel.Int(100)),
+	))
+	if sel > 0.08 {
+		t.Errorf("conjunctive selectivity = %f", sel)
+	}
+	// Unknown path assumed rare.
+	if s.EstimateSelectivity(expr.Cmp("/nope", expr.OpEq, docmodel.Int(1))) > 0.05 {
+		t.Error("unknown path should estimate rare")
+	}
+}
+
+func TestOptimizerPicksIndexWhenSelective(t *testing.T) {
+	s := CollectStats(uniformDocs(10000))
+	o := NewOptimizer(s)
+	// 1% range: index pays off.
+	p := o.Plan(plan.Query{Filter: expr.Cmp("/v", expr.OpLt, docmodel.Int(100))})
+	if p.Access.Kind != plan.AccessValueRange {
+		t.Errorf("selective range should use index: %+v (%v)", p.Access, p.Explain)
+	}
+	// 90% range: scan pays off.
+	p = o.Plan(plan.Query{Filter: expr.Cmp("/v", expr.OpLt, docmodel.Int(9000))})
+	if p.Access.Kind != plan.AccessScan {
+		t.Errorf("unselective range should scan: %+v (%v)", p.Access, p.Explain)
+	}
+}
+
+func TestOptimizerMisledByStaleStats(t *testing.T) {
+	// Stats built when /v spanned 0..9999; data later shifted to 0..99,
+	// so "v < 100" now matches everything.
+	stale := CollectStats(uniformDocs(10000))
+	o := NewOptimizer(stale)
+	p := o.Plan(plan.Query{Filter: expr.Cmp("/v", expr.OpLt, docmodel.Int(100))})
+	if p.Access.Kind != plan.AccessValueRange {
+		t.Fatalf("stale optimizer should (wrongly) pick the index: %v", p.Explain)
+	}
+	// This is the E7 mechanism: the plan index-fetches ~100% of documents
+	// at random-access cost. The simple planner's scan never degrades.
+}
+
+func TestOptimizerJoinChoice(t *testing.T) {
+	s := CollectStats(uniformDocs(10000))
+	o := NewOptimizer(s)
+	o.InnerCount = 10000
+	j := &plan.JoinClause{LeftPath: "/cat", RightPath: "/id", RightFilter: expr.True()}
+	// Tiny outer (top-k): INL.
+	p := o.Plan(plan.Query{Filter: expr.True(), Join: j, K: 5})
+	if p.Join != plan.JoinINL {
+		t.Errorf("k=5 join = %s", p.Join)
+	}
+	// Huge outer: hash.
+	p = o.Plan(plan.Query{Filter: expr.True(), Join: j})
+	if p.Join != plan.JoinHash {
+		t.Errorf("full join = %s", p.Join)
+	}
+}
+
+func TestOptimizerKeywordPassThrough(t *testing.T) {
+	o := NewOptimizer(CollectStats(uniformDocs(10)))
+	p := o.Plan(plan.Query{Keyword: "x"})
+	if p.Access.Kind != plan.AccessKeyword {
+		t.Error("keyword access required")
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	s := CollectStats(nil)
+	if s.EstimateSelectivity(expr.True()) != 1 {
+		t.Error("empty stats should estimate 1")
+	}
+	o := NewOptimizer(s)
+	p := o.Plan(plan.Query{Filter: expr.Cmp("/v", expr.OpLt, docmodel.Int(5))})
+	if p == nil {
+		t.Fatal("plan must not be nil")
+	}
+}

@@ -1,0 +1,107 @@
+// Package kvfile is the file-server comparator for experiment E6 (paper
+// Figure 4's NetApp corner): a plain "bag of bytes" repository. It scales
+// trivially and stores anything, but — exactly as the paper says of file
+// systems ("a 'repository of last resort'... without the powerful
+// querying capability we take for granted in databases") — search reaches
+// only file metadata, never content.
+package kvfile
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrUnsupported marks capabilities a file server does not have.
+var ErrUnsupported = errors.New("kvfile: operation not supported by a file store")
+
+// FileInfo is the queryable metadata of one stored object.
+type FileInfo struct {
+	Path    string
+	Size    int64
+	ModTime time.Time
+}
+
+// Store is an in-memory file server.
+type Store struct {
+	mu    sync.RWMutex
+	files map[string]*file
+}
+
+type file struct {
+	info FileInfo
+	data []byte
+}
+
+// New creates an empty store.
+func New() *Store { return &Store{files: map[string]*file{}} }
+
+// Put stores bytes at a path (overwriting — no versioning).
+func (s *Store) Put(path string, data []byte, modTime time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := append([]byte{}, data...)
+	s.files[path] = &file{
+		info: FileInfo{Path: path, Size: int64(len(cp)), ModTime: modTime},
+		data: cp,
+	}
+}
+
+// Get retrieves bytes by exact path — the "unique identifier that is
+// magically known by the requestor" retrieval mode of paper §2.2.
+func (s *Store) Get(path string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.files[path]
+	if !ok {
+		return nil, fmt.Errorf("kvfile: %s not found", path)
+	}
+	return append([]byte{}, f.data...), nil
+}
+
+// Len returns the number of stored files.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.files)
+}
+
+// FindByName searches metadata only: substring match on path.
+func (s *Store) FindByName(substr string) []FileInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []FileInfo
+	for _, f := range s.files {
+		if strings.Contains(f.info.Path, substr) {
+			out = append(out, f.info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// FindModifiedSince searches metadata only: files modified after t.
+func (s *Store) FindModifiedSince(t time.Time) []FileInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []FileInfo
+	for _, f := range s.files {
+		if f.info.ModTime.After(t) {
+			out = append(out, f.info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// ContentSearch is not a file-server capability.
+func (s *Store) ContentSearch(string) error { return ErrUnsupported }
+
+// Join is not a file-server capability.
+func (s *Store) Join() error { return ErrUnsupported }
+
+// Aggregate is not a file-server capability.
+func (s *Store) Aggregate() error { return ErrUnsupported }

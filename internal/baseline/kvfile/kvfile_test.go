@@ -1,0 +1,63 @@
+package kvfile
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPutGetOverwrite(t *testing.T) {
+	s := New()
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	s.Put("/docs/a.txt", []byte("v1"), t0)
+	s.Put("/docs/a.txt", []byte("v2"), t0.Add(time.Hour))
+	got, err := s.Get("/docs/a.txt")
+	if err != nil || string(got) != "v2" {
+		t.Errorf("get: %q %v", got, err)
+	}
+	if s.Len() != 1 {
+		t.Error("overwrite should not duplicate (no versioning — that's the point)")
+	}
+	if _, err := s.Get("/nope"); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestMetadataSearchOnly(t *testing.T) {
+	s := New()
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	s.Put("/claims/2026/c1.pdf", []byte("fraud keywords inside content"), t0)
+	s.Put("/claims/2026/c2.pdf", []byte("benign"), t0.Add(2*time.Hour))
+	s.Put("/hr/handbook.pdf", []byte("x"), t0)
+
+	byName := s.FindByName("claims")
+	if len(byName) != 2 {
+		t.Errorf("FindByName = %v", byName)
+	}
+	since := s.FindModifiedSince(t0.Add(time.Hour))
+	if len(since) != 1 || since[0].Path != "/claims/2026/c2.pdf" {
+		t.Errorf("FindModifiedSince = %v", since)
+	}
+	// Content is invisible to search — the paper's point about file
+	// systems as repositories of last resort.
+	if err := s.ContentSearch("fraud"); !errors.Is(err, ErrUnsupported) {
+		t.Error("content search must be unsupported")
+	}
+	if err := s.Join(); !errors.Is(err, ErrUnsupported) {
+		t.Error("join must be unsupported")
+	}
+	if err := s.Aggregate(); !errors.Is(err, ErrUnsupported) {
+		t.Error("aggregate must be unsupported")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := New()
+	s.Put("/a", []byte("abc"), time.Now())
+	got, _ := s.Get("/a")
+	got[0] = 'X'
+	again, _ := s.Get("/a")
+	if string(again) != "abc" {
+		t.Error("Get must return a defensive copy")
+	}
+}

@@ -1,0 +1,235 @@
+// Package relstore is the relational-only comparator used by experiment
+// E6 (paper Figure 4's Netezza/Datallegro quadrant): a single-image
+// engine that manages *only* schema-declared tables of typed rows. It is
+// deliberately capable within that scope — typed columns, predicate
+// filters, hash joins, grouped aggregation, secondary indexes — and
+// deliberately incapable outside it: no schema-less ingestion, no keyword
+// search over content, no nested documents, no annotations, no connection
+// queries. The capability battery scores exactly these boundaries.
+package relstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/ingest"
+)
+
+// Errors.
+var (
+	ErrNoTable     = errors.New("relstore: no such table")
+	ErrSchema      = errors.New("relstore: row does not match schema")
+	ErrUnsupported = errors.New("relstore: operation not supported by a relational-only engine")
+	ErrTableExists = errors.New("relstore: table exists")
+)
+
+// DB is the relational engine.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+}
+
+type table struct {
+	name    string
+	columns []ingest.Column
+	rows    []docmodel.Value
+	// indexes: column name -> sorted (value, rowIdx) pairs.
+	indexes map[string][]indexEntry
+}
+
+type indexEntry struct {
+	val docmodel.Value
+	row int
+}
+
+// NewDB creates an empty relational store.
+func NewDB() *DB { return &DB{tables: map[string]*table{}} }
+
+// CreateTable declares a table schema — the up-front modelling step
+// Impliance's stewing-pot ingestion avoids (and the TCO proxy counts).
+func (db *DB) CreateTable(name string, columns []ingest.Column) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return fmt.Errorf("%w: %s", ErrTableExists, name)
+	}
+	if len(columns) == 0 {
+		return fmt.Errorf("relstore: table %s needs columns", name)
+	}
+	db.tables[name] = &table{name: name, columns: columns, indexes: map[string][]indexEntry{}}
+	return nil
+}
+
+// CreateIndex declares a secondary index on a column (another knob the
+// TCO proxy counts).
+func (db *DB) CreateIndex(tableName, column string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	if !t.hasColumn(column) {
+		return fmt.Errorf("%w: column %s", ErrSchema, column)
+	}
+	entries := make([]indexEntry, 0, len(t.rows))
+	for i, r := range t.rows {
+		entries = append(entries, indexEntry{val: r.Get(column), row: i})
+	}
+	sortEntries(entries)
+	t.indexes[column] = entries
+	return nil
+}
+
+func (t *table) hasColumn(name string) bool {
+	for _, c := range t.columns {
+		if c.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds a row, enforcing the declared schema.
+func (db *DB) Insert(tableName string, vals []any) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	row, err := ingest.Row(t.columns, vals)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrSchema, err)
+	}
+	idx := len(t.rows)
+	t.rows = append(t.rows, row)
+	for col, entries := range t.indexes {
+		entries = append(entries, indexEntry{val: row.Get(col), row: idx})
+		sortEntries(entries)
+		t.indexes[col] = entries
+	}
+	return nil
+}
+
+// InsertDocument rejects anything that is not a flat relational row — the
+// capability boundary the battery probes.
+func (db *DB) InsertDocument(d *docmodel.Document) error {
+	for _, f := range d.Root.Fields() {
+		switch f.Value.Kind() {
+		case docmodel.KindObject, docmodel.KindArray, docmodel.KindRef:
+			return fmt.Errorf("%w: nested or semi-structured data", ErrUnsupported)
+		}
+	}
+	if d.MediaType != ingest.MediaRow {
+		return fmt.Errorf("%w: media type %s", ErrUnsupported, d.MediaType)
+	}
+	return fmt.Errorf("%w: rows must be inserted into a declared table", ErrUnsupported)
+}
+
+// KeywordSearch is not a relational capability.
+func (db *DB) KeywordSearch(string, int) error { return ErrUnsupported }
+
+// Connect (graph connection queries) is not a relational capability.
+func (db *DB) Connect(a, b string) error { return ErrUnsupported }
+
+// rowFilter adapts expr predicates to rows (columns are root fields, so
+// expr paths are "/col").
+func rowDoc(row docmodel.Value) *docmodel.Document {
+	return &docmodel.Document{Root: row}
+}
+
+// Select returns rows of the table matching the filter, using a column
+// index when one applies to an equality conjunct.
+func (db *DB) Select(tableName string, filter expr.Expr) ([]docmodel.Value, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	// Try an indexed equality access.
+	for col, entries := range t.indexes {
+		if v, ok := filter.EqualityOn("/" + col); ok {
+			var out []docmodel.Value
+			i := sort.Search(len(entries), func(i int) bool { return entries[i].val.Compare(v) >= 0 })
+			for ; i < len(entries) && entries[i].val.Compare(v) == 0; i++ {
+				row := t.rows[entries[i].row]
+				if filter.Eval(rowDoc(row)) {
+					out = append(out, row)
+				}
+			}
+			return out, nil
+		}
+	}
+	var out []docmodel.Value
+	for _, row := range t.rows {
+		if filter.Eval(rowDoc(row)) {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// Join performs an equality hash join between two tables.
+func (db *DB) Join(leftTable, leftCol, rightTable, rightCol string,
+	leftFilter, rightFilter expr.Expr) ([][2]docmodel.Value, error) {
+	left, err := db.Select(leftTable, leftFilter)
+	if err != nil {
+		return nil, err
+	}
+	right, err := db.Select(rightTable, rightFilter)
+	if err != nil {
+		return nil, err
+	}
+	ht := map[string][]docmodel.Value{}
+	for _, r := range right {
+		key := string(docmodel.EncodeValue(r.Get(rightCol)))
+		ht[key] = append(ht[key], r)
+	}
+	var out [][2]docmodel.Value
+	for _, l := range left {
+		key := string(docmodel.EncodeValue(l.Get(leftCol)))
+		for _, r := range ht[key] {
+			out = append(out, [2]docmodel.Value{l, r})
+		}
+	}
+	return out, nil
+}
+
+// Aggregate runs a grouped aggregation over a table.
+func (db *DB) Aggregate(tableName string, filter expr.Expr, spec expr.GroupSpec) ([]expr.GroupRow, error) {
+	rows, err := db.Select(tableName, filter)
+	if err != nil {
+		return nil, err
+	}
+	g := expr.NewGroupState(spec)
+	for _, r := range rows {
+		g.Update(rowDoc(r))
+	}
+	return g.Rows(), nil
+}
+
+// RowCount returns a table's cardinality.
+func (db *DB) RowCount(tableName string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	return len(t.rows), nil
+}
+
+func sortEntries(entries []indexEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		if c := entries[i].val.Compare(entries[j].val); c != 0 {
+			return c < 0
+		}
+		return entries[i].row < entries[j].row
+	})
+}

@@ -1,0 +1,134 @@
+package relstore
+
+import (
+	"errors"
+	"testing"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/ingest"
+)
+
+func custSchema() []ingest.Column {
+	return []ingest.Column{
+		{Name: "id", Type: ingest.ColInt},
+		{Name: "name", Type: ingest.ColString},
+		{Name: "region", Type: ingest.ColString},
+	}
+}
+
+func seededDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	if err := db.CreateTable("customers", custSchema()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		err := db.Insert("customers", []any{int64(i), "cust", []string{"e", "w"}[i%2]})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CreateTable("orders", []ingest.Column{
+		{Name: "oid", Type: ingest.ColInt},
+		{Name: "cust_id", Type: ingest.ColInt},
+		{Name: "amount", Type: ingest.ColFloat},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := db.Insert("orders", []any{int64(i), int64(i % 100), float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestCreateTableAndInsert(t *testing.T) {
+	db := seededDB(t)
+	n, err := db.RowCount("customers")
+	if err != nil || n != 100 {
+		t.Errorf("rows = %d, %v", n, err)
+	}
+	if err := db.CreateTable("customers", custSchema()); !errors.Is(err, ErrTableExists) {
+		t.Errorf("duplicate table: %v", err)
+	}
+	if err := db.Insert("ghost", nil); !errors.Is(err, ErrNoTable) {
+		t.Errorf("missing table: %v", err)
+	}
+	if err := db.Insert("customers", []any{int64(1)}); !errors.Is(err, ErrSchema) {
+		t.Errorf("schema violation: %v", err)
+	}
+}
+
+func TestSelectWithAndWithoutIndex(t *testing.T) {
+	db := seededDB(t)
+	filter := expr.Cmp("/region", expr.OpEq, docmodel.String("e"))
+	rows, err := db.Select("customers", filter)
+	if err != nil || len(rows) != 50 {
+		t.Fatalf("scan select: %d, %v", len(rows), err)
+	}
+	if err := db.CreateIndex("customers", "region"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = db.Select("customers", filter)
+	if err != nil || len(rows) != 50 {
+		t.Fatalf("indexed select: %d, %v", len(rows), err)
+	}
+	// Residual conjuncts still apply on the index path.
+	rows, _ = db.Select("customers", expr.And(filter, expr.Cmp("/id", expr.OpLt, docmodel.Int(10))))
+	if len(rows) != 5 {
+		t.Errorf("residual filter: %d", len(rows))
+	}
+	if err := db.CreateIndex("customers", "nope"); err == nil {
+		t.Error("index on missing column must fail")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	db := seededDB(t)
+	pairs, err := db.Join("orders", "cust_id", "customers", "id", expr.True(), expr.True())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 50 {
+		t.Fatalf("join pairs = %d", len(pairs))
+	}
+	for _, p := range pairs {
+		if p[0].Get("cust_id").IntVal() != p[1].Get("id").IntVal() {
+			t.Error("join key mismatch")
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	db := seededDB(t)
+	rows, err := db.Aggregate("customers", expr.True(), expr.GroupSpec{
+		By:   []string{"/region"},
+		Aggs: []expr.AggSpec{{Kind: expr.AggCount}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Aggs[0].IntVal() != 50 {
+		t.Errorf("agg rows: %+v", rows)
+	}
+}
+
+func TestCapabilityBoundaries(t *testing.T) {
+	db := NewDB()
+	if err := db.KeywordSearch("fraud", 10); !errors.Is(err, ErrUnsupported) {
+		t.Error("keyword search must be unsupported")
+	}
+	if err := db.Connect("a", "b"); !errors.Is(err, ErrUnsupported) {
+		t.Error("connection queries must be unsupported")
+	}
+	nested := &docmodel.Document{
+		MediaType: ingest.MediaJSON,
+		Root: docmodel.Object(docmodel.F("nested", docmodel.Object(
+			docmodel.F("x", docmodel.Int(1))))),
+	}
+	if err := db.InsertDocument(nested); !errors.Is(err, ErrUnsupported) {
+		t.Error("nested document must be rejected")
+	}
+}

@@ -1,0 +1,86 @@
+// Package searchonly is the enterprise-search comparator for experiment
+// E6 (paper Figure 4's OSES/OmniFind/Google Base region): documents of
+// any shape can be thrown in and found by ranked keyword search with
+// facet counts, but there is no structured composition — no joins, no
+// grouped aggregation beyond facet counting, no versioned updates, and no
+// discovered relationships.
+package searchonly
+
+import (
+	"errors"
+	"sync"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/index"
+)
+
+// ErrUnsupported marks capabilities a search appliance does not have.
+var ErrUnsupported = errors.New("searchonly: operation not supported by a search appliance")
+
+// Engine is the search-only appliance.
+type Engine struct {
+	mu   sync.Mutex
+	ix   *index.Index
+	docs map[docmodel.DocID]*docmodel.Document
+	seq  uint64
+}
+
+// New creates an empty engine.
+func New() *Engine {
+	return &Engine{ix: index.New(nil), docs: map[docmodel.DocID]*docmodel.Document{}}
+}
+
+// Add ingests a document body (any shape — search appliances crawl
+// everything) and returns its ID.
+func (e *Engine) Add(root docmodel.Value) docmodel.DocID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.seq++
+	d := &docmodel.Document{
+		ID:      docmodel.DocID{Origin: 1, Seq: e.seq},
+		Version: 1,
+		Root:    root,
+	}
+	e.docs[d.ID] = d
+	e.ix.Add(d)
+	return d.ID
+}
+
+// Get retrieves a document by ID.
+func (e *Engine) Get(id docmodel.DocID) (*docmodel.Document, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d, ok := e.docs[id]
+	return d, ok
+}
+
+// Len returns the corpus size.
+func (e *Engine) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.docs)
+}
+
+// Search runs ranked keyword retrieval.
+func (e *Engine) Search(query string, k int) []index.Hit {
+	return e.ix.Search(query, k)
+}
+
+// Facets counts distinct values at a path over the whole corpus (facet
+// navigation is what separates Google Base from bare keyword search).
+func (e *Engine) Facets(path string, limit int) []index.FacetCount {
+	return e.ix.Facets(path, nil, limit)
+}
+
+// Join is not a search-appliance capability.
+func (e *Engine) Join() error { return ErrUnsupported }
+
+// Aggregate (beyond facet counts) is not a search-appliance capability.
+func (e *Engine) Aggregate() error { return ErrUnsupported }
+
+// Connect (relationship traversal) is not a search-appliance capability.
+func (e *Engine) Connect() error { return ErrUnsupported }
+
+// UpdateVersioned is not a search-appliance capability: re-adding a
+// document replaces it with a new identity, losing history.
+func (e *Engine) UpdateVersioned() error { return ErrUnsupported }

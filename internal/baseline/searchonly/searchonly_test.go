@@ -1,0 +1,54 @@
+package searchonly
+
+import (
+	"errors"
+	"testing"
+
+	"impliance/internal/docmodel"
+)
+
+func TestAddAndSearch(t *testing.T) {
+	e := New()
+	id1 := e.Add(docmodel.Object(docmodel.F("text", docmodel.String("insurance fraud detection"))))
+	e.Add(docmodel.Object(docmodel.F("text", docmodel.String("cooking recipes"))))
+	hits := e.Search("fraud", 10)
+	if len(hits) != 1 || hits[0].ID != id1 {
+		t.Errorf("hits = %v", hits)
+	}
+	if d, ok := e.Get(id1); !ok || d.First("/text").StringVal() == "" {
+		t.Error("Get failed")
+	}
+	if e.Len() != 2 {
+		t.Errorf("len = %d", e.Len())
+	}
+}
+
+func TestFacets(t *testing.T) {
+	e := New()
+	for _, c := range []string{"news", "news", "blog"} {
+		e.Add(docmodel.Object(
+			docmodel.F("category", docmodel.String(c)),
+			docmodel.F("text", docmodel.String("content words")),
+		))
+	}
+	fc := e.Facets("/category", 10)
+	if len(fc) != 2 || fc[0].Value.StringVal() != "news" || fc[0].Count != 2 {
+		t.Errorf("facets = %v", fc)
+	}
+}
+
+func TestCapabilityBoundaries(t *testing.T) {
+	e := New()
+	if err := e.Join(); !errors.Is(err, ErrUnsupported) {
+		t.Error("join must be unsupported")
+	}
+	if err := e.Aggregate(); !errors.Is(err, ErrUnsupported) {
+		t.Error("aggregate must be unsupported")
+	}
+	if err := e.Connect(); !errors.Is(err, ErrUnsupported) {
+		t.Error("connect must be unsupported")
+	}
+	if err := e.UpdateVersioned(); !errors.Is(err, ErrUnsupported) {
+		t.Error("versioned update must be unsupported")
+	}
+}

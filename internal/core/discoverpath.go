@@ -1,0 +1,246 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"impliance/internal/annot"
+	"impliance/internal/discovery"
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/fabric"
+	"impliance/internal/sched"
+	"impliance/internal/virt"
+)
+
+// Discovery orchestration (paper §3.3: "Annotation extraction requires
+// the capabilities of all three node types. Data nodes perform
+// intra-document analyses... The output of intra-document analyses may be
+// fed to grid nodes for inter-document analyses that identify
+// relationships spanning multiple documents. Finally, cluster nodes are
+// responsible for persisting newly extracted structures and relationships
+// reliably and consistently.")
+//
+// Intra-document annotation runs at ingest time (ingestpath.go). This
+// file hosts the inter-document passes: entity resolution across the
+// accumulated entity annotations, value-join discovery across document
+// shapes, and schema-family mapping — each producing join-index edges
+// persisted through the cluster node lock service.
+
+// DiscoveryReport summarizes one inter-document discovery pass.
+type DiscoveryReport struct {
+	Mentions       int
+	EntityClusters int
+	EntityEdges    int
+	ValueJoins     int
+	SchemaFamilies int
+	JoinEdgesTotal int
+}
+
+// RunDiscovery executes one full inter-document discovery pass. It can be
+// invoked any time ("permitting automated information discovery at any
+// time, not just at data loading time", §3.2); typically the appliance
+// runs it as background work via ScheduleDiscovery.
+func (e *Engine) RunDiscovery() (*DiscoveryReport, error) {
+	report := &DiscoveryReport{}
+
+	// Phase 1 (data-node output): gather entity mentions from existing
+	// annotation documents.
+	mentions, err := e.collectMentions()
+	if err != nil {
+		return nil, err
+	}
+	report.Mentions = len(mentions)
+
+	// Phase 2 (grid-node analysis): resolve entities, propose value joins.
+	e.attributeWork(sched.TaskInterAnalysis)
+	clusters := discovery.NewResolver().Resolve(mentions)
+	report.EntityClusters = len(clusters)
+
+	latest, err := e.latestBaseDocs()
+	if err != nil {
+		return nil, err
+	}
+	e.shapesMu.Lock()
+	families := discovery.NewSchemaMapper().Map(e.shapes.Groups())
+	e.shapesMu.Unlock()
+	report.SchemaFamilies = len(families)
+
+	// Phase 3 (cluster-node persistence): take the join-index lock, then
+	// materialize edges.
+	token, release, err := e.acquireClusterLock("joinindex", "discovery")
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if !e.locks.Validate("joinindex", token) {
+		return nil, fmt.Errorf("core: fencing token invalidated mid-discovery")
+	}
+	report.EntityEdges = discovery.BuildEntityEdges(e.joinIdx, clusters, 32)
+	joins := discovery.NewValueJoinDiscoverer().Discover(latest, e.joinIdx)
+	report.ValueJoins = len(joins)
+	report.JoinEdgesTotal = e.joinIdx.EdgeCount()
+	return report, nil
+}
+
+// ScheduleDiscovery queues RunDiscovery as background work, returning a
+// channel that yields the report (or nil on failure).
+func (e *Engine) ScheduleDiscovery() <-chan *DiscoveryReport {
+	out := make(chan *DiscoveryReport, 1)
+	e.pool.Submit(sched.Background, func() {
+		rep, err := e.RunDiscovery()
+		if err != nil {
+			out <- nil
+			return
+		}
+		out <- rep
+	})
+	return out
+}
+
+// collectMentions walks entity annotation documents on all data nodes.
+func (e *Engine) collectMentions() ([]discovery.Mention, error) {
+	var mentions []discovery.Mention
+	seen := map[docmodel.DocID]struct{}{}
+	for _, dn := range e.aliveData() {
+		dn.store.Scan(func(d *docmodel.Document) bool {
+			if !d.IsAnnotation() || d.Annotator != "entity" {
+				return true
+			}
+			if _, dup := seen[d.ID]; dup {
+				return true
+			}
+			seen[d.ID] = struct{}{}
+			for _, ent := range annot.EntitiesFromAnnotation(d) {
+				mentions = append(mentions, discovery.Mention{
+					Doc:  d.Annotates,
+					Type: ent.Type,
+					Norm: ent.Norm,
+				})
+			}
+			return true
+		})
+	}
+	return mentions, nil
+}
+
+// latestBaseDocs returns the deduplicated latest versions of all
+// non-annotation documents.
+func (e *Engine) latestBaseDocs() ([]*docmodel.Document, error) {
+	return e.distributedScan(expr.Not(expr.MediaTypeIs(annot.MediaAnnotation)))
+}
+
+// acquireClusterLock takes a named lock through the cluster leader's lock
+// service and returns the fencing token plus a release func.
+func (e *Engine) acquireClusterLock(name, owner string) (uint64, func(), error) {
+	leader := e.group.Leader()
+	if leader.IsZero() {
+		return 0, nil, fmt.Errorf("core: no cluster leader")
+	}
+	raw, err := e.fab.Call(leader, msgLock, mustJSON(lockReq{Name: name, Owner: owner}))
+	if err != nil {
+		return 0, nil, err
+	}
+	var resp lockResp
+	if err := unmarshal(raw, &resp); err != nil {
+		return 0, nil, err
+	}
+	if !resp.OK {
+		return 0, nil, fmt.Errorf("core: lock %q busy", name)
+	}
+	release := func() {
+		_, _ = e.fab.Call(leader, msgUnlock, mustJSON(lockReq{Name: name, Owner: owner}))
+	}
+	return resp.Token, release, nil
+}
+
+// Connect answers the paper's flagship structured question — "given two
+// pieces of data, we should be able to ask how they are connected"
+// (§3.2.1) — over the discovered join index.
+func (e *Engine) Connect(a, b docmodel.DocID, maxHops int) []discovery.Edge {
+	return e.joinIdx.Connect(a, b, maxHops)
+}
+
+// RelatedTo returns the transitive closure of relationships around a
+// document (legal-compliance discovery, §2.1.3).
+func (e *Engine) RelatedTo(id docmodel.DocID, maxHops int) []docmodel.DocID {
+	return e.joinIdx.ConnectedComponent(id, maxHops)
+}
+
+// AnnotationsOf returns the annotation documents attached to a base
+// document (any annotator), via the join index "annotates" edges.
+func (e *Engine) AnnotationsOf(id docmodel.DocID) ([]*docmodel.Document, error) {
+	var out []*docmodel.Document
+	for _, edge := range e.joinIdx.Neighbors(id) {
+		if edge.Label != "annotates" && edge.Label != "ref" {
+			continue
+		}
+		d, err := e.Get(edge.To)
+		if err != nil {
+			continue
+		}
+		if d.IsAnnotation() && d.Annotates == id {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// SchemaFamilies exposes the current schema-mapping state.
+func (e *Engine) SchemaFamilies() []discovery.SchemaFamily {
+	e.shapesMu.Lock()
+	defer e.shapesMu.Unlock()
+	return discovery.NewSchemaMapper().Map(e.shapes.Groups())
+}
+
+// HeartbeatTick advances the consistency group one round (experiments
+// drive time explicitly). Evicted nodes trigger broker replacement
+// requests and lock eviction.
+func (e *Engine) HeartbeatTick() []fabric.NodeID {
+	evicted := e.group.Tick()
+	for range evicted {
+		e.locks.Evict("discovery")
+	}
+	return evicted
+}
+
+// RecoverDataNode handles a data-node failure end to end: the broker
+// replaces the group member, the storage manager re-replicates affected
+// documents onto surviving nodes, and the new index owners re-index those
+// documents. Returns the number of repaired replicas.
+func (e *Engine) RecoverDataNode(dead fabric.NodeID) (int, error) {
+	affected := e.smgr.DocsOn(dead)
+	// Ask the broker for a replacement member; lacking spares/donors is
+	// not fatal — replication is repaired among survivors regardless.
+	if _, err := e.broker.RequestReplacement("data", dead); err != nil && !errors.Is(err, virt.ErrNoResources) {
+		return 0, err
+	}
+	repaired, err := e.smgr.HandleNodeFailure(dead, e.aliveDataIDs())
+	if err != nil {
+		return repaired, err
+	}
+	// Transfer ownership: the dead node stops answering (even if revived
+	// later) and each affected document's new first holder takes over,
+	// re-indexing it if needed.
+	if deadDN, ok := e.byNode[dead]; ok {
+		deadDN.clearOwned()
+	}
+	for _, id := range affected {
+		dn, err := e.primaryFor(id)
+		if err != nil {
+			continue
+		}
+		d, err := dn.store.Get(id)
+		if err != nil {
+			continue
+		}
+		dn.setOwned(id)
+		dn.mu.Lock()
+		_, already := dn.indexedVer[id]
+		dn.mu.Unlock()
+		if !already {
+			dn.indexDoc(d)
+		}
+	}
+	return repaired, nil
+}

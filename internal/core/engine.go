@@ -1,0 +1,451 @@
+// Package core assembles the Impliance appliance: it boots the simulated
+// fabric (data/grid/cluster nodes), wires per-data-node stores and
+// indexes, runs the asynchronous indexing/annotation pipeline, executes
+// planned queries across the nodes, and hosts the discovery and
+// virtualization machinery. This is the "single system image" of paper
+// §3.3 — clients see one engine; placement, replication, and parallelism
+// are internal.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"impliance/internal/annot"
+	"impliance/internal/baseline/costopt"
+	"impliance/internal/discovery"
+	"impliance/internal/docmodel"
+	"impliance/internal/fabric"
+	"impliance/internal/index"
+	"impliance/internal/plan"
+	"impliance/internal/query"
+	"impliance/internal/sched"
+	"impliance/internal/storage"
+	"impliance/internal/storage/compress"
+	"impliance/internal/virt"
+	"impliance/internal/workload"
+)
+
+// Config sizes and configures an appliance instance. The zero value plus
+// Normalize gives a small working appliance — the "operational out of the
+// box" requirement (§3.1). The ablation switches exist for the
+// experiments in EXPERIMENTS.md and default to the paper's design.
+type Config struct {
+	// Topology (paper Figure 3).
+	DataNodes    int // default 4
+	GridNodes    int // default 2
+	ClusterNodes int // default 1
+
+	// Workers sizes the background execution pool (default 4).
+	Workers int
+
+	// Dir persists data-node WALs under this directory ("" = in-memory).
+	Dir string
+
+	// Codec compresses stored frames (default compress.Flate; E15 ablation
+	// sets compress.None).
+	Codec compress.Codec
+
+	// Replication assigns replica counts by data class (§3.4).
+	Replication virt.ReplicationPolicy
+
+	// Annotators installs the discovery annotators (default: entity +
+	// sentiment with the standard product catalog).
+	Annotators []annot.Annotator
+
+	// --- Ablation switches (EXPERIMENTS.md) ---
+
+	// SyncIndexing indexes and annotates inline with ingestion (E10
+	// ablation; the paper's design is asynchronous).
+	SyncIndexing bool
+	// SyncReplication waits for every replica write during ingestion (E12
+	// ablation; the paper's versioned design replicates asynchronously).
+	SyncReplication bool
+	// FIFOScheduling disables priority interleaving (E11 ablation).
+	FIFOScheduling bool
+	// RandomPlacement ignores operator/node-kind affinity (E5 ablation).
+	RandomPlacement bool
+	// DisablePushdown ships whole documents to the engine instead of
+	// filtering/aggregating inside storage nodes (E9 ablation).
+	DisablePushdown bool
+	// UseCostOptimizer plans with the statistics-based optimizer instead
+	// of the simple planner (E7 comparator). Statistics must be collected
+	// with CollectStatistics; they go stale on purpose.
+	UseCostOptimizer bool
+}
+
+// Normalize fills defaults in place.
+func (c *Config) Normalize() {
+	if c.DataNodes <= 0 {
+		c.DataNodes = 4
+	}
+	if c.GridNodes <= 0 {
+		c.GridNodes = 2
+	}
+	if c.ClusterNodes <= 0 {
+		c.ClusterNodes = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Codec == nil {
+		c.Codec = compress.Flate
+	}
+	if c.Replication.Factor == nil {
+		c.Replication = virt.DefaultPolicy()
+	}
+	if c.Annotators == nil {
+		c.Annotators = []annot.Annotator{
+			annot.NewDefaultEntityAnnotator(workload.Products),
+			annot.NewSentimentAnnotator(),
+		}
+	}
+}
+
+// dataNode bundles a fabric node with its store and index.
+type dataNode struct {
+	node  *fabric.Node
+	store *storage.Store
+	ix    *index.Index
+
+	mu         sync.Mutex
+	indexedVer map[docmodel.DocID]*docmodel.Document // version currently indexed
+	owned      map[docmodel.DocID]struct{}           // docs this node answers for
+}
+
+// setOwned marks this node as the document's answering owner.
+func (dn *dataNode) setOwned(id docmodel.DocID) {
+	dn.mu.Lock()
+	dn.owned[id] = struct{}{}
+	dn.mu.Unlock()
+}
+
+// isOwned reports whether this node answers for the document.
+func (dn *dataNode) isOwned(id docmodel.DocID) bool {
+	dn.mu.Lock()
+	_, ok := dn.owned[id]
+	dn.mu.Unlock()
+	return ok
+}
+
+// clearOwned strips all ownership (applied to dead nodes at recovery so a
+// later revival cannot double-report).
+func (dn *dataNode) clearOwned() {
+	dn.mu.Lock()
+	dn.owned = map[docmodel.DocID]struct{}{}
+	dn.mu.Unlock()
+}
+
+// ownedIDs snapshots the node's owned documents in deterministic order.
+func (dn *dataNode) ownedIDs() []docmodel.DocID {
+	dn.mu.Lock()
+	out := make([]docmodel.DocID, 0, len(dn.owned))
+	for id := range dn.owned {
+		out = append(out, id)
+	}
+	dn.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Engine is a running appliance instance.
+type Engine struct {
+	cfg Config
+
+	fab     *fabric.Fabric
+	data    []*dataNode
+	byNode  map[fabric.NodeID]*dataNode
+	grids   []*fabric.Node
+	cluster []*fabric.Node
+
+	placer sched.Placer
+	pool   *sched.Pool
+	group  *fabric.ConsistencyGroup
+	locks  *fabric.LockTable
+	broker *virt.Broker
+	smgr   *virt.StorageManager
+
+	joinIdx  *discovery.JoinIndex
+	registry *annot.Registry
+	shapes   *discovery.ShapeAccumulator
+	shapesMu sync.Mutex
+
+	planner *plan.Planner
+	catalog *query.Catalog
+
+	optMu sync.Mutex
+	opt   *costopt.Optimizer
+
+	rrMu sync.Mutex
+	rr   int
+
+	// mergesByKind counts merge operators executed per node kind (E5's
+	// placement-quality metric).
+	mergesByKind [3]atomic.Uint64
+
+	closed bool
+	mu     sync.Mutex
+}
+
+// MergeCountByKind reports how many merge operators each node kind has
+// executed (instrumentation for the placement experiments).
+func (e *Engine) MergeCountByKind() (data, grid, cluster uint64) {
+	return e.mergesByKind[fabric.Data].Load(),
+		e.mergesByKind[fabric.Grid].Load(),
+		e.mergesByKind[fabric.Cluster].Load()
+}
+
+// Open boots an appliance.
+func Open(cfg Config) (*Engine, error) {
+	cfg.Normalize()
+	e := &Engine{
+		cfg:      cfg,
+		fab:      fabric.New(),
+		byNode:   map[fabric.NodeID]*dataNode{},
+		locks:    fabric.NewLockTable(),
+		broker:   virt.NewBroker(),
+		joinIdx:  discovery.NewJoinIndex(),
+		registry: annot.NewRegistry(cfg.Annotators...),
+		shapes:   discovery.NewShapeAccumulator(),
+		planner:  plan.NewPlanner(),
+		catalog:  query.NewCatalog(),
+	}
+
+	// Boot data nodes: fabric node + store + index each.
+	for i := 0; i < cfg.DataNodes; i++ {
+		n := e.fab.AddNode(fabric.Data)
+		dir := ""
+		if cfg.Dir != "" {
+			dir = filepath.Join(cfg.Dir, n.ID.String())
+		}
+		st, err := storage.Open(uint32(i+1), storage.Options{Dir: dir, Codec: cfg.Codec})
+		if err != nil {
+			e.fab.Close()
+			return nil, fmt.Errorf("core: boot %s: %w", n.ID, err)
+		}
+		dn := &dataNode{
+			node: n, store: st, ix: index.New(nil),
+			indexedVer: map[docmodel.DocID]*docmodel.Document{},
+			owned:      map[docmodel.DocID]struct{}{},
+		}
+		n.SetHandler(e.dataHandler(dn))
+		e.data = append(e.data, dn)
+		e.byNode[n.ID] = dn
+	}
+	// Grid nodes.
+	for i := 0; i < cfg.GridNodes; i++ {
+		n := e.fab.AddNode(fabric.Grid)
+		n.SetHandler(e.gridHandler(n))
+		e.grids = append(e.grids, n)
+	}
+	// Cluster nodes and their consistency group.
+	var members []fabric.NodeID
+	for i := 0; i < cfg.ClusterNodes; i++ {
+		n := e.fab.AddNode(fabric.Cluster)
+		n.SetHandler(e.clusterHandler(n))
+		e.cluster = append(e.cluster, n)
+		members = append(members, n.ID)
+	}
+	e.group = fabric.NewConsistencyGroup(e.fab, members, 3)
+
+	// Virtualization: one group per role, registered with the broker.
+	dg := virt.NewGroup("data", virt.RoleData, 1)
+	for _, dn := range e.data {
+		dg.Add(dn.node.ID)
+	}
+	gg := virt.NewGroup("grid", virt.RoleGrid, 1)
+	for _, g := range e.grids {
+		gg.Add(g.ID)
+	}
+	cg := virt.NewGroup("cluster", virt.RoleCluster, 1, members...)
+	e.broker.AddGroup(dg)
+	e.broker.AddGroup(gg)
+	e.broker.AddGroup(cg)
+
+	e.smgr = virt.NewStorageManager(cfg.Replication, replicaAccess{e})
+
+	if cfg.RandomPlacement {
+		e.placer = sched.NewRandomPlacer(e.fab, 1)
+	} else {
+		e.placer = sched.NewAffinityPlacer(e.fab)
+	}
+	e.pool = sched.NewPool(cfg.Workers, cfg.FIFOScheduling)
+
+	e.registerSystemViews()
+	return e, nil
+}
+
+// Close shuts the appliance down.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.pool.Close()
+	var firstErr error
+	for _, dn := range e.data {
+		if err := dn.store.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	e.fab.Close()
+	return firstErr
+}
+
+// Fabric exposes the underlying fabric (experiments kill nodes, read
+// interconnect counters).
+func (e *Engine) Fabric() *fabric.Fabric { return e.fab }
+
+// Pool exposes the execution pool (experiments read queue stats).
+func (e *Engine) Pool() *sched.Pool { return e.pool }
+
+// Broker exposes the resource broker.
+func (e *Engine) Broker() *virt.Broker { return e.broker }
+
+// StorageManager exposes placement state.
+func (e *Engine) StorageManager() *virt.StorageManager { return e.smgr }
+
+// JoinIndex exposes discovered relationships.
+func (e *Engine) JoinIndex() *discovery.JoinIndex { return e.joinIdx }
+
+// Catalog exposes the view catalog for registering application views.
+func (e *Engine) Catalog() *query.Catalog { return e.catalog }
+
+// DataStoreStats exposes the i-th data node's store counters (experiment
+// instrumentation).
+func (e *Engine) DataStoreStats(i int) (puts, gets, scanned, raw, stored uint64) {
+	if i < 0 || i >= len(e.data) {
+		return 0, 0, 0, 0, 0
+	}
+	return e.data[i].store.StatsSnapshot()
+}
+
+// NodeHandledCounts returns, for every node of the kind, how many
+// messages its loop has processed (experiment instrumentation for load
+// distribution).
+func (e *Engine) NodeHandledCounts(kind fabric.NodeKind) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, id := range e.fab.NodesOf(kind) {
+		if n, ok := e.fab.Node(id); ok {
+			_, _, handled := n.Stats()
+			out[id.String()] = handled
+		}
+	}
+	return out
+}
+
+// DataNodeIDs lists the engine's data node IDs.
+func (e *Engine) DataNodeIDs() []fabric.NodeID {
+	out := make([]fabric.NodeID, len(e.data))
+	for i, dn := range e.data {
+		out[i] = dn.node.ID
+	}
+	return out
+}
+
+// aliveData returns the alive data nodes.
+func (e *Engine) aliveData() []*dataNode {
+	var out []*dataNode
+	for _, dn := range e.data {
+		if dn.node.Alive() {
+			out = append(out, dn)
+		}
+	}
+	return out
+}
+
+func (e *Engine) aliveDataIDs() []fabric.NodeID {
+	var out []fabric.NodeID
+	for _, dn := range e.aliveData() {
+		out = append(out, dn.node.ID)
+	}
+	return out
+}
+
+// nextPrimary picks the next primary data node round-robin.
+func (e *Engine) nextPrimary() (*dataNode, error) {
+	alive := e.aliveData()
+	if len(alive) == 0 {
+		return nil, errors.New("core: no alive data nodes")
+	}
+	e.rrMu.Lock()
+	dn := alive[e.rr%len(alive)]
+	e.rr++
+	e.rrMu.Unlock()
+	return dn, nil
+}
+
+// pickReplicas chooses rf total holders: the primary plus its successors
+// in ring order, so replica load spreads evenly across the nodes.
+func (e *Engine) pickReplicas(primary *dataNode, rf int) []fabric.NodeID {
+	alive := e.aliveData()
+	start := 0
+	for i, dn := range alive {
+		if dn == primary {
+			start = i
+			break
+		}
+	}
+	targets := []fabric.NodeID{primary.node.ID}
+	for i := 1; i < len(alive) && len(targets) < rf; i++ {
+		targets = append(targets, alive[(start+i)%len(alive)].node.ID)
+	}
+	return targets
+}
+
+// Metrics is a point-in-time snapshot of appliance health counters.
+type Metrics struct {
+	Documents     int
+	Annotations   int
+	IndexedDocs   int
+	JoinEdges     int
+	Net           fabric.NetStats
+	StoredBytes   uint64
+	RawBytes      uint64
+	BacklogTasks  int
+	GroupEpoch    uint64
+	ClusterLeader fabric.NodeID
+}
+
+// MetricsSnapshot gathers current counters.
+func (e *Engine) MetricsSnapshot() Metrics {
+	m := Metrics{
+		Net:           e.fab.NetStats(),
+		BacklogTasks:  e.pool.Backlog(),
+		JoinEdges:     e.joinIdx.EdgeCount(),
+		GroupEpoch:    e.group.Epoch(),
+		ClusterLeader: e.group.Leader(),
+	}
+	seen := map[docmodel.DocID]struct{}{}
+	for _, dn := range e.data {
+		m.IndexedDocs += dn.ix.DocCount()
+		_, _, _, raw, stored := dn.store.StatsSnapshot()
+		m.RawBytes += raw
+		m.StoredBytes += stored
+		dn.store.Scan(func(d *docmodel.Document) bool {
+			if _, dup := seen[d.ID]; dup {
+				return true // replica: count each document once
+			}
+			seen[d.ID] = struct{}{}
+			if d.IsAnnotation() {
+				m.Annotations++
+			} else {
+				m.Documents++
+			}
+			return true
+		})
+	}
+	return m
+}
+
+// now is the engine clock (overridable would be for tests; wall time is
+// fine since experiments measure relative durations).
+func (e *Engine) now() time.Time { return time.Now() }

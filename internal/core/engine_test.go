@@ -1,0 +1,676 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/fabric"
+	"impliance/internal/plan"
+	"impliance/internal/query"
+	"impliance/internal/storage/compress"
+	"impliance/internal/virt"
+	"impliance/internal/workload"
+)
+
+func testEngine(t *testing.T, mutate ...func(*Config)) *Engine {
+	t.Helper()
+	cfg := Config{DataNodes: 3, GridNodes: 2, ClusterNodes: 2, Workers: 4, Codec: compress.None}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func textItem(s, source string) Item {
+	return Item{
+		Body:      docmodel.Object(docmodel.F("text", docmodel.String(s))),
+		MediaType: "text/plain",
+		Source:    source,
+	}
+}
+
+func TestIngestGetRoundTrip(t *testing.T) {
+	e := testEngine(t)
+	id, err := e.Ingest(textItem("hello impliance", "unit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.First("/text").StringVal() != "hello impliance" {
+		t.Errorf("body = %s", d.Root)
+	}
+	if d.Version != 1 || d.Source != "unit" {
+		t.Errorf("header = %+v", d)
+	}
+	if _, err := e.Get(docmodel.DocID{Origin: 99, Seq: 99}); err == nil {
+		t.Error("unknown id must fail")
+	}
+}
+
+func TestIngestDistributesAcrossDataNodes(t *testing.T) {
+	e := testEngine(t)
+	for i := 0; i < 30; i++ {
+		if _, err := e.Ingest(textItem(fmt.Sprintf("doc %d", i), "unit")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.DrainBackground()
+	perNode := 0
+	for _, dn := range e.data {
+		if dn.store.Len() > 0 {
+			perNode++
+		}
+		if dn.store.Len() > 25 {
+			t.Errorf("node %s hoards %d docs", dn.node.ID, dn.store.Len())
+		}
+	}
+	if perNode != 3 {
+		t.Errorf("only %d/3 nodes hold data", perNode)
+	}
+}
+
+func TestReplicationFactorByClass(t *testing.T) {
+	e := testEngine(t)
+	uid, _ := e.Ingest(textItem("user data", "u"))
+	e.DrainBackground()
+	if got := len(e.smgr.Holders(uid)); got != 2 {
+		t.Errorf("user data holders = %d, want 2", got)
+	}
+	it := textItem("derived data", "d")
+	it.Class = virt.ClassDerived
+	did, _ := e.Ingest(it)
+	if got := len(e.smgr.Holders(did)); got != 1 {
+		t.Errorf("derived holders = %d, want 1", got)
+	}
+	it = textItem("regulated data", "r")
+	it.Class = virt.ClassRegulatory
+	rid, _ := e.Ingest(it)
+	if got := len(e.smgr.Holders(rid)); got != 3 {
+		t.Errorf("regulatory holders = %d, want 3", got)
+	}
+}
+
+func TestAsyncReplicaConvergence(t *testing.T) {
+	e := testEngine(t)
+	id, _ := e.Ingest(textItem("replicate me", "u"))
+	e.DrainBackground()
+	holders := e.smgr.Holders(id)
+	if len(holders) != 2 {
+		t.Fatalf("holders = %v", holders)
+	}
+	for _, h := range holders {
+		dn := e.byNode[h]
+		if _, err := dn.store.Get(id); err != nil {
+			t.Errorf("replica missing on %s: %v", h, err)
+		}
+	}
+}
+
+func TestUpdateCreatesVersions(t *testing.T) {
+	e := testEngine(t)
+	id, _ := e.Ingest(textItem("version one", "u"))
+	e.DrainBackground()
+	key, err := e.Update(id, docmodel.Object(docmodel.F("text", docmodel.String("version two"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.Ver != 2 {
+		t.Errorf("version = %d", key.Ver)
+	}
+	e.DrainBackground()
+	latest, _ := e.Get(id)
+	if latest.First("/text").StringVal() != "version two" {
+		t.Error("latest should be v2")
+	}
+	v1, err := e.GetVersion(docmodel.VersionKey{Doc: id, Ver: 1})
+	if err != nil || v1.First("/text").StringVal() != "version one" {
+		t.Error("v1 must remain readable")
+	}
+	if e.VersionCount(id) != 2 {
+		t.Errorf("version count = %d", e.VersionCount(id))
+	}
+	// The index serves the new version only.
+	rows, err := e.Search("version two", 10)
+	if err != nil || len(rows) != 1 {
+		t.Errorf("search v2: %v %v", rows, err)
+	}
+	rows, _ = e.Search("one", 10)
+	for _, r := range rows {
+		if r.Docs[0].ID == id {
+			t.Error("stale version still indexed")
+		}
+	}
+}
+
+func TestKeywordSearchAcrossNodes(t *testing.T) {
+	e := testEngine(t)
+	for i := 0; i < 20; i++ {
+		e.Ingest(textItem(fmt.Sprintf("common token plus unique%d", i), "u"))
+	}
+	e.DrainBackground()
+	rows, err := e.Search("common", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Errorf("hits = %d, want 20 (across all nodes, deduplicated)", len(rows))
+	}
+	rows, _ = e.Search("unique7", 10)
+	if len(rows) != 1 {
+		t.Errorf("unique hit = %d", len(rows))
+	}
+	rows, _ = e.Search("common", 5)
+	if len(rows) != 5 {
+		t.Errorf("top-k = %d", len(rows))
+	}
+}
+
+func TestStructuredQueryValueIndex(t *testing.T) {
+	e := testEngine(t)
+	g := workload.New(1)
+	items := g.UniformRows(200, 100, 5, 2)
+	for _, it := range items {
+		e.Ingest(Item{Body: it.Body, MediaType: it.MediaType, Source: it.Source})
+	}
+	e.DrainBackground()
+	res, err := e.Run(plan.Query{Filter: expr.Cmp("/cat", expr.OpEq, docmodel.String("c01"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Access.Kind != plan.AccessValueEq {
+		t.Errorf("plan should use value index: %s", res.Plan)
+	}
+	want := 0
+	for _, it := range items {
+		if it.Body.Get("cat").StringVal() == "c01" {
+			want++
+		}
+	}
+	if len(res.Rows) != want {
+		t.Errorf("rows = %d, want %d", len(res.Rows), want)
+	}
+}
+
+func TestStructuredQueryScanWithRange(t *testing.T) {
+	e := testEngine(t)
+	for i := 0; i < 100; i++ {
+		e.Ingest(Item{Body: docmodel.Object(docmodel.F("k", docmodel.Int(int64(i)))), MediaType: "relational/row", Source: "u"})
+	}
+	e.DrainBackground()
+	res, err := e.Run(plan.Query{Filter: expr.Cmp("/k", expr.OpLt, docmodel.Int(10))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Access.Kind != plan.AccessScan {
+		t.Errorf("range should scan under simple planner: %s", res.Plan)
+	}
+	if len(res.Rows) != 10 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestDistributedAggregation(t *testing.T) {
+	e := testEngine(t)
+	for i := 0; i < 60; i++ {
+		e.Ingest(Item{Body: docmodel.Object(
+			docmodel.F("region", docmodel.String([]string{"e", "w", "n"}[i%3])),
+			docmodel.F("amt", docmodel.Int(int64(i))),
+		), MediaType: "relational/row", Source: "sales"})
+	}
+	e.DrainBackground()
+	res, err := e.Run(plan.Query{
+		Filter:  expr.SourceIs("sales"),
+		GroupBy: &expr.GroupSpec{By: []string{"/region"}, Aggs: []expr.AggSpec{{Kind: expr.AggCount}, {Kind: expr.AggSum, Path: "/amt"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	totalCount := int64(0)
+	for _, r := range res.Rows {
+		totalCount += r.Cols[1].IntVal()
+	}
+	if totalCount != 60 {
+		t.Errorf("total count = %d (replica double counting?)", totalCount)
+	}
+}
+
+func TestTopKJoinUsesINL(t *testing.T) {
+	e := testEngine(t)
+	g := workload.New(2)
+	customers := g.CustomerProfiles(30)
+	for _, c := range customers {
+		e.Ingest(Item{Body: c.Body, MediaType: c.MediaType, Source: c.Source})
+	}
+	orders := g.PurchaseOrders(100, customers, 0)
+	for _, o := range orders {
+		e.Ingest(Item{Body: o.Body, MediaType: o.MediaType, Source: o.Source})
+	}
+	e.DrainBackground()
+	q := plan.Query{
+		Filter: expr.SourceIs("po-feed"),
+		Join: &plan.JoinClause{
+			LeftPath:    "/customer_ref",
+			RightPath:   "/customer_id",
+			RightFilter: expr.SourceIs("crm-profiles"),
+		},
+		K: 5,
+	}
+	res, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Join != plan.JoinINL {
+		t.Errorf("top-k join should be INL: %s", res.Plan)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if len(r.Docs) != 2 {
+			t.Fatal("join should pair docs")
+		}
+		if r.Docs[0].First("/customer_ref").StringVal() != r.Docs[1].First("/customer_id").StringVal() {
+			t.Error("join key mismatch")
+		}
+	}
+	// Full join (no K) uses hash join and returns everything.
+	q.K = 0
+	res, err = e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Join != plan.JoinHash {
+		t.Errorf("full join should hash: %s", res.Plan)
+	}
+	if len(res.Rows) != 100 {
+		t.Errorf("full join rows = %d", len(res.Rows))
+	}
+}
+
+func TestAnnotationsProducedAndQueryable(t *testing.T) {
+	e := testEngine(t)
+	id, _ := e.Ingest(textItem("John Smith from Boston loves the WidgetPro, it is excellent and wonderful", "cc"))
+	e.DrainBackground()
+	anns, err := e.AnnotationsOf(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) < 2 {
+		t.Fatalf("annotations = %d, want entity + sentiment", len(anns))
+	}
+	byAnnotator := map[string]*docmodel.Document{}
+	for _, a := range anns {
+		byAnnotator[a.Annotator] = a
+	}
+	ent := byAnnotator["entity"]
+	if ent == nil {
+		t.Fatal("entity annotation missing")
+	}
+	sent := byAnnotator["sentiment"]
+	if sent == nil || sent.First("/label").StringVal() != "positive" {
+		t.Errorf("sentiment annotation: %v", sent)
+	}
+	// Annotations are searchable through the normal interfaces.
+	res, err := e.ExecSQL("SELECT base, label, score FROM sentiments WHERE label = 'positive'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("sentiment view rows = %d", len(res.Rows))
+	}
+}
+
+func TestSQLEndToEnd(t *testing.T) {
+	e := testEngine(t)
+	g := workload.New(3)
+	for _, c := range g.InsuranceClaims(50, 0.2) {
+		e.Ingest(Item{Body: c.Body, MediaType: c.MediaType, Source: c.Source})
+	}
+	e.DrainBackground()
+	e.RegisterView("claims", expr.SourceIs("claims"), map[string]string{
+		"id":        "/claim/@id",
+		"patient":   "/claim/patient",
+		"amount":    "/claim/amount",
+		"flagged":   "/claim/flagged",
+		"procedure": "/claim/procedure",
+	})
+	res, err := e.ExecSQL("SELECT id, amount FROM claims WHERE flagged = true ORDER BY amount DESC LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 2 || res.Columns[0] != "id" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if len(res.Rows) == 0 || len(res.Rows) > 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i-1][1].IntVal() < res.Rows[i][1].IntVal() {
+			t.Error("not sorted desc")
+		}
+	}
+	agg, err := e.ExecSQL("SELECT procedure, count(*), avg(amount) FROM claims GROUP BY procedure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, r := range agg.Rows {
+		total += r[1].IntVal()
+	}
+	if total != 50 {
+		t.Errorf("grouped counts sum to %d", total)
+	}
+}
+
+func TestFacetedSearchWithDrillDown(t *testing.T) {
+	e := testEngine(t)
+	g := workload.New(4)
+	for _, c := range g.InsuranceClaims(80, 0.25) {
+		e.Ingest(Item{Body: c.Body, MediaType: c.MediaType, Source: c.Source})
+	}
+	e.DrainBackground()
+	res, err := e.Facets(query.FacetRequest{
+		Refine:     expr.SourceIs("claims"),
+		Dimensions: []string{"/claim/procedure", "/claim/flagged"},
+		Aggregates: []expr.AggSpec{{Kind: expr.AggAvg, Path: "/claim/amount"}},
+		K:          5,
+		FacetLimit: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 80 {
+		t.Errorf("total = %d", res.Total)
+	}
+	if len(res.Dimensions) != 2 {
+		t.Fatalf("dimensions = %d", len(res.Dimensions))
+	}
+	procs := res.Dimensions[0]
+	if len(procs.Buckets) == 0 || len(procs.Buckets) > 4 {
+		t.Fatalf("buckets = %d", len(procs.Buckets))
+	}
+	sum := 0
+	for _, b := range res.Dimensions[1].Buckets {
+		sum += b.Count
+	}
+	if sum != 80 {
+		t.Errorf("flagged facet counts sum to %d", sum)
+	}
+	// Per-bucket aggregates on first dimension.
+	if len(procs.Buckets[0].Aggregates) != 1 || procs.Buckets[0].Aggregates[0].FloatVal() <= 0 {
+		t.Errorf("bucket aggregates = %v", procs.Buckets[0].Aggregates)
+	}
+	// Drill-down narrows the candidate set.
+	drilled, err := e.Facets(query.FacetRequest{
+		Refine:     query.Drill(expr.SourceIs("claims"), procs.Path, procs.Buckets[0].Value),
+		Dimensions: []string{"/claim/flagged"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drilled.Total != procs.Buckets[0].Count {
+		t.Errorf("drill total = %d, want %d", drilled.Total, procs.Buckets[0].Count)
+	}
+}
+
+func TestKeywordFacets(t *testing.T) {
+	e := testEngine(t)
+	for i := 0; i < 10; i++ {
+		e.Ingest(Item{Body: docmodel.Object(
+			docmodel.F("text", docmodel.String("contract renewal pending")),
+			docmodel.F("dept", docmodel.String([]string{"legal", "sales"}[i%2])),
+		), MediaType: "text/plain", Source: "m"})
+	}
+	e.Ingest(textItem("unrelated memo", "m"))
+	e.DrainBackground()
+	res, err := e.Facets(query.FacetRequest{Keyword: "contract renewal", Dimensions: []string{"/dept"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 10 {
+		t.Errorf("keyword facet total = %d", res.Total)
+	}
+	if len(res.Dimensions[0].Buckets) != 2 {
+		t.Errorf("dept buckets = %v", res.Dimensions[0].Buckets)
+	}
+}
+
+func TestDiscoveryAndConnectionQueries(t *testing.T) {
+	e := testEngine(t)
+	g := workload.New(5)
+	customers := g.CustomerProfiles(10)
+	for _, c := range customers {
+		e.Ingest(Item{Body: c.Body, MediaType: c.MediaType, Source: c.Source})
+	}
+	// Transcripts always mention a known customer.
+	for _, c := range g.CallTranscripts(30, customers, 1.0) {
+		e.Ingest(Item{Body: c.Body, MediaType: c.MediaType, Source: c.Source})
+	}
+	for _, o := range g.PurchaseOrders(40, customers, 0.3) {
+		e.Ingest(Item{Body: o.Body, MediaType: o.MediaType, Source: o.Source})
+	}
+	e.DrainBackground()
+	rep, err := e.RunDiscovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mentions == 0 || rep.EntityClusters == 0 {
+		t.Fatalf("discovery found nothing: %+v", rep)
+	}
+	if rep.EntityEdges == 0 {
+		t.Error("no entity edges")
+	}
+	if rep.ValueJoins == 0 {
+		t.Error("no value joins (orders should join profiles on customer id)")
+	}
+	if rep.SchemaFamilies == 0 {
+		t.Error("no schema families")
+	}
+	// A purchase order should connect to its customer profile.
+	orders, err := e.Run(plan.Query{Filter: expr.SourceIs("po-feed"), K: 1})
+	if err != nil || len(orders.Rows) == 0 {
+		t.Fatal("no orders")
+	}
+	order := orders.Rows[0].Docs[0]
+	ref := order.First("/customer_ref").StringVal()
+	profiles, err := e.Run(plan.Query{Filter: expr.Cmp("/customer_id", expr.OpEq, docmodel.String(ref))})
+	if err != nil || len(profiles.Rows) == 0 {
+		t.Fatal("customer profile missing")
+	}
+	path := e.Connect(order.ID, profiles.Rows[0].Docs[0].ID, 4)
+	if path == nil {
+		t.Error("order should connect to its customer profile via join edges")
+	}
+	// Transitive closure is non-trivial.
+	comp := e.RelatedTo(order.ID, 3)
+	if len(comp) < 2 {
+		t.Errorf("related component = %d", len(comp))
+	}
+}
+
+func TestSchemaFamiliesUnifyOrderShapes(t *testing.T) {
+	e := testEngine(t)
+	g := workload.New(6)
+	customers := g.CustomerProfiles(5)
+	for _, o := range g.PurchaseOrders(40, customers, 0.5) {
+		e.Ingest(Item{Body: o.Body, MediaType: o.MediaType, Source: o.Source})
+	}
+	e.DrainBackground()
+	fams := e.SchemaFamilies()
+	// Orders in two shapes should fold into one family.
+	var orderFam *discoveryFamily
+	for i := range fams {
+		if len(fams[i].Groups) == 2 {
+			orderFam = &discoveryFamily{paths: fams[i].PathsFor("customerref")}
+		}
+	}
+	if orderFam == nil {
+		t.Fatalf("order shapes not unified: %d families", len(fams))
+	}
+	if len(orderFam.paths) != 2 {
+		t.Errorf("customer_ref should map to both shapes: %v", orderFam.paths)
+	}
+}
+
+type discoveryFamily struct{ paths []string }
+
+func TestConsistencyGroupAndFailover(t *testing.T) {
+	e := testEngine(t)
+	leader := e.group.Leader()
+	if leader.IsZero() {
+		t.Fatal("no leader")
+	}
+	e.fab.Kill(leader)
+	for i := 0; i < 3; i++ {
+		e.HeartbeatTick()
+	}
+	if e.group.Leader() == leader {
+		t.Error("leadership should move after eviction")
+	}
+}
+
+func TestDataNodeFailureRecovery(t *testing.T) {
+	e := testEngine(t)
+	var ids []docmodel.DocID
+	for i := 0; i < 30; i++ {
+		id, _ := e.Ingest(textItem(fmt.Sprintf("important payload %d", i), "u"))
+		ids = append(ids, id)
+	}
+	e.DrainBackground()
+	dead := e.data[0].node.ID
+	e.fab.Kill(dead)
+	repaired, err := e.RecoverDataNode(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired == 0 {
+		t.Error("nothing repaired")
+	}
+	// Every document remains readable and searchable.
+	for _, id := range ids {
+		if _, err := e.Get(id); err != nil {
+			t.Errorf("doc %s unreadable after recovery: %v", id, err)
+		}
+	}
+	rows, err := e.Search("important payload", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 30 {
+		t.Errorf("search after recovery = %d/30", len(rows))
+	}
+}
+
+func TestSyncVsAsyncIngestVisibility(t *testing.T) {
+	sync := testEngine(t, func(c *Config) { c.SyncIndexing = true })
+	id, _ := sync.Ingest(textItem("immediately searchable", "u"))
+	rows, err := sync.Search("immediately", 1)
+	if err != nil || len(rows) != 1 || rows[0].Docs[0].ID != id {
+		t.Error("sync indexing should make docs searchable immediately")
+	}
+}
+
+func TestCostOptimizerPathWorks(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.UseCostOptimizer = true })
+	for i := 0; i < 200; i++ {
+		e.Ingest(Item{Body: docmodel.Object(docmodel.F("k", docmodel.Int(int64(i)))), MediaType: "relational/row", Source: "u"})
+	}
+	e.DrainBackground()
+	e.CollectStatistics()
+	res, err := e.Run(plan.Query{Filter: expr.Cmp("/k", expr.OpLt, docmodel.Int(10))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Access.Kind != plan.AccessValueRange {
+		t.Errorf("fresh stats should pick index range: %s (%v)", res.Plan, res.Plan.Explain)
+	}
+	if len(res.Rows) != 10 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestPushdownReducesInterconnectBytes(t *testing.T) {
+	run := func(disable bool) uint64 {
+		e := testEngine(t, func(c *Config) { c.DisablePushdown = disable })
+		for i := 0; i < 200; i++ {
+			e.Ingest(Item{Body: docmodel.Object(
+				docmodel.F("k", docmodel.Int(int64(i))),
+				docmodel.F("pad", docmodel.String(strings.Repeat("x", 200))),
+			), MediaType: "relational/row", Source: "u"})
+		}
+		e.DrainBackground()
+		e.fab.ResetNetStats()
+		res, err := e.Run(plan.Query{Filter: expr.Cmp("/k", expr.OpLt, docmodel.Int(4))})
+		if err != nil || len(res.Rows) != 4 {
+			t.Fatalf("query failed: %v rows=%d", err, len(res.Rows))
+		}
+		return e.fab.NetStats().Bytes
+	}
+	with := run(false)
+	without := run(true)
+	if with*3 > without {
+		t.Errorf("pushdown should move >3x fewer bytes: with=%d without=%d", with, without)
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	e := testEngine(t)
+	e.Ingest(textItem("Grace Hopper is wonderful and excellent, truly great work", "u"))
+	e.DrainBackground()
+	m := e.MetricsSnapshot()
+	if m.Documents != 1 {
+		t.Errorf("documents = %d", m.Documents)
+	}
+	if m.Annotations == 0 {
+		t.Error("annotations missing from metrics")
+	}
+	if m.IndexedDocs == 0 || m.StoredBytes == 0 {
+		t.Error("index/storage metrics empty")
+	}
+	if m.ClusterLeader.IsZero() {
+		t.Error("no leader in metrics")
+	}
+}
+
+func TestViewAsRow(t *testing.T) {
+	e := testEngine(t)
+	e.RegisterView("notes", expr.True(), map[string]string{"text": "/text"})
+	id, _ := e.Ingest(textItem("note body", "u"))
+	e.DrainBackground()
+	row, err := e.ViewAsRow("notes", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Get("text").StringVal() != "note body" {
+		t.Errorf("row = %s", row)
+	}
+	if _, err := e.ViewAsRow("ghost", id); err == nil {
+		t.Error("unknown view must fail")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	e := testEngine(t)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+}
+
+var _ = fabric.NodeID{}

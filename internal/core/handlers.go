@@ -1,0 +1,362 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/fabric"
+	"impliance/internal/index"
+	"impliance/internal/text"
+)
+
+// Message kinds understood by the node handlers. Data nodes serve the
+// storage-local operations that the paper pushes down (§3.1, §3.3); grid
+// nodes merge partial aggregates; cluster nodes serve heartbeats and the
+// lock service.
+const (
+	msgPut          = "put"            // data: store a new document/version
+	msgReplica      = "replica"        // data: install a replicated version
+	msgGet          = "get"            // data: fetch latest version by id
+	msgGetBatch     = "get-batch"      // data: fetch many latest versions
+	msgScanFiltered = "scan-filtered"  // data: pushed-down filtered scan
+	msgScanAll      = "scan-all"       // data: full scan (pushdown ablation)
+	msgAggPartial   = "agg-partial"    // data: pushed-down partial aggregate
+	msgSearch       = "search"         // data: ranked keyword search
+	msgValueLookup  = "value-lookup"   // data: value index eq/range probe
+	msgPathLookup   = "path-lookup"    // data: structural path probe
+	msgFacets       = "facets"         // data: facet counts over candidates
+	msgMerge        = "merge-partials" // grid: merge partial aggregates
+	msgHeartbeat    = "heartbeat"      // cluster: liveness probe
+	msgLock         = "lock"           // cluster: acquire named lock
+	msgUnlock       = "unlock"         // cluster: release named lock
+)
+
+// dataHandler serves a data node's messages against its store and index.
+func (e *Engine) dataHandler(dn *dataNode) fabric.Handler {
+	return func(kind string, payload []byte) ([]byte, error) {
+		switch kind {
+		case msgPut:
+			doc, err := docmodel.DecodeDocument(payload)
+			if err != nil {
+				return nil, err
+			}
+			key, err := dn.store.Put(doc)
+			if err != nil {
+				return nil, err
+			}
+			stored, err := dn.store.GetVersion(key)
+			if err != nil {
+				return nil, err
+			}
+			return docmodel.EncodeDocument(stored), nil
+
+		case msgReplica:
+			doc, err := docmodel.DecodeDocument(payload)
+			if err != nil {
+				return nil, err
+			}
+			return nil, dn.store.PutReplica(doc)
+
+		case msgGet:
+			id, err := docmodel.ParseDocID(string(payload))
+			if err != nil {
+				return nil, err
+			}
+			d, err := dn.store.Get(id)
+			if err != nil {
+				return nil, err
+			}
+			return docmodel.EncodeDocument(d), nil
+
+		case msgGetBatch:
+			var req getBatchReq
+			if err := json.Unmarshal(payload, &req); err != nil {
+				return nil, err
+			}
+			ids, err := parseIDs(req.IDs)
+			if err != nil {
+				return nil, err
+			}
+			var docs []*docmodel.Document
+			for _, id := range ids {
+				if d, err := dn.store.Get(id); err == nil {
+					docs = append(docs, d)
+				}
+			}
+			return encodeDocs(docs), nil
+
+		case msgScanFiltered:
+			filter, err := expr.Decode(payload)
+			if err != nil {
+				return nil, err
+			}
+			var docs []*docmodel.Document
+			dn.store.ScanSubset(dn.ownedIDs(), filter, func(d *docmodel.Document) bool {
+				docs = append(docs, d)
+				return true
+			})
+			return encodeDocs(docs), nil
+
+		case msgScanAll:
+			var docs []*docmodel.Document
+			dn.store.ScanSubset(dn.ownedIDs(), expr.True(), func(d *docmodel.Document) bool {
+				docs = append(docs, d)
+				return true
+			})
+			return encodeDocs(docs), nil
+
+		case msgAggPartial:
+			var req aggReq
+			if err := json.Unmarshal(payload, &req); err != nil {
+				return nil, err
+			}
+			filter, err := expr.Decode(req.Filter)
+			if err != nil {
+				return nil, err
+			}
+			g := expr.NewGroupState(req.spec())
+			dn.store.ScanSubset(dn.ownedIDs(), filter, func(d *docmodel.Document) bool {
+				g.Update(d)
+				return true
+			})
+			return g.EncodePartials(), nil
+
+		case msgSearch:
+			var req searchReq
+			if err := json.Unmarshal(payload, &req); err != nil {
+				return nil, err
+			}
+			hits := dn.ix.SearchTerms(req.Terms, req.K)
+			return mustJSON(hitsToWire(hits)), nil
+
+		case msgValueLookup:
+			var req valueLookupReq
+			if err := json.Unmarshal(payload, &req); err != nil {
+				return nil, err
+			}
+			var ids []docmodel.DocID
+			if req.Range {
+				var lo, hi *docmodel.Value
+				if req.Lo != nil {
+					v, err := docmodel.DecodeValue(req.Lo)
+					if err != nil {
+						return nil, err
+					}
+					lo = &v
+				}
+				if req.Hi != nil {
+					v, err := docmodel.DecodeValue(req.Hi)
+					if err != nil {
+						return nil, err
+					}
+					hi = &v
+				}
+				ids = dn.ix.ValueRange(req.Path, lo, hi, req.LoInc, req.HiInc)
+			} else {
+				v, err := docmodel.DecodeValue(req.Value)
+				if err != nil {
+					return nil, err
+				}
+				ids = dn.ix.ValueLookup(req.Path, v)
+			}
+			return mustJSON(idListResp{IDs: idStrings(ids)}), nil
+
+		case msgPathLookup:
+			ids := dn.ix.PathLookup(string(payload))
+			return mustJSON(idListResp{IDs: idStrings(ids)}), nil
+
+		case msgMerge, msgHeartbeat:
+			// Any node kind can execute any operator (paper §3.3); the
+			// affinity placer just avoids it. The random-placement ablation
+			// exercises this path.
+			return e.mergeOrHeartbeat(fabricDataKind, kind, payload)
+
+		case msgFacets:
+			var req facetsReq
+			if err := json.Unmarshal(payload, &req); err != nil {
+				return nil, err
+			}
+			var candidates map[docmodel.DocID]struct{}
+			if !req.All {
+				ids, err := parseIDs(req.IDs)
+				if err != nil {
+					return nil, err
+				}
+				candidates = map[docmodel.DocID]struct{}{}
+				for _, id := range ids {
+					candidates[id] = struct{}{}
+				}
+			}
+			fc := dn.ix.Facets(req.Path, candidates, req.Limit)
+			out := make([]facetBucketWire, len(fc))
+			for i, b := range fc {
+				out[i] = facetBucketWire{Value: docmodel.EncodeValue(b.Value), Count: b.Count}
+			}
+			return mustJSON(out), nil
+
+		default:
+			return nil, fmt.Errorf("core: data node %s: unknown message %q", dn.node.ID, kind)
+		}
+	}
+}
+
+// gridHandler serves grid-node computations (merge phases).
+func (e *Engine) gridHandler(n *fabric.Node) fabric.Handler {
+	return func(kind string, payload []byte) ([]byte, error) {
+		switch kind {
+		case msgHeartbeat, msgMerge:
+			return e.mergeOrHeartbeat(fabric.Grid, kind, payload)
+		default:
+			return nil, fmt.Errorf("core: grid node %s: unknown message %q", n.ID, kind)
+		}
+	}
+}
+
+// fabricDataKind avoids importing fabric.Data at every data-handler call
+// site.
+const fabricDataKind = fabric.Data
+
+// mergeOrHeartbeat implements the node-kind-independent operations,
+// attributing merge executions to the hosting node kind.
+func (e *Engine) mergeOrHeartbeat(nodeKind fabric.NodeKind, kind string, payload []byte) ([]byte, error) {
+	if kind == msgHeartbeat {
+		return nil, nil
+	}
+	e.mergesByKind[nodeKind].Add(1)
+	var req mergeReq
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	spec := aggReq{By: req.By, Aggs: req.Aggs}.spec()
+	merged := expr.NewGroupState(spec)
+	for _, pb := range req.Partials {
+		g, err := expr.DecodePartials(spec, pb)
+		if err != nil {
+			return nil, err
+		}
+		merged.Merge(g)
+	}
+	// Reply with the merged state re-encoded; the caller finalizes.
+	return merged.EncodePartials(), nil
+}
+
+// clusterHandler serves consistency-group and lock-service messages.
+func (e *Engine) clusterHandler(n *fabric.Node) fabric.Handler {
+	return func(kind string, payload []byte) ([]byte, error) {
+		switch kind {
+		case msgHeartbeat, msgMerge:
+			return e.mergeOrHeartbeat(fabric.Cluster, kind, payload)
+		case msgLock:
+			var req lockReq
+			if err := json.Unmarshal(payload, &req); err != nil {
+				return nil, err
+			}
+			token, ok := e.locks.Acquire(req.Name, req.Owner)
+			return mustJSON(lockResp{Token: token, OK: ok}), nil
+		case msgUnlock:
+			var req lockReq
+			if err := json.Unmarshal(payload, &req); err != nil {
+				return nil, err
+			}
+			e.locks.Release(req.Name, req.Owner)
+			return nil, nil
+		default:
+			return nil, fmt.Errorf("core: cluster node %s: unknown message %q", n.ID, kind)
+		}
+	}
+}
+
+// ownsDoc reports whether the node is the document's answering owner.
+// Replicated documents exist on several nodes, but exactly one owner
+// contributes each document to scans, aggregates, and index answers, so
+// distributed results count every document once. Ownership is assigned to
+// the primary at ingest and transferred during failure recovery
+// (RecoverDataNode); the check is a per-node map lookup so concurrent
+// scans on different nodes never contend on shared state.
+func (e *Engine) ownsDoc(dn *dataNode, id docmodel.DocID) bool {
+	return dn.isOwned(id)
+}
+
+// indexDoc makes the given version the node's live-indexed version,
+// removing the previously indexed one (incremental maintenance, §3.3).
+func (dn *dataNode) indexDoc(d *docmodel.Document) {
+	dn.mu.Lock()
+	old := dn.indexedVer[d.ID]
+	dn.indexedVer[d.ID] = d
+	dn.mu.Unlock()
+	if old != nil {
+		dn.ix.Remove(old)
+	}
+	dn.ix.Add(d)
+}
+
+// searchAllNodes fans a keyword search out to every alive data node and
+// merges ranked hits (paper §3.3's example: "a query can be parallelized
+// by performing full-text index search on a set of data nodes").
+func (e *Engine) searchAllNodes(keyword string, k int) ([]index.Hit, error) {
+	terms := text.DefaultAnalyzer.Terms(keyword)
+	if len(terms) == 0 {
+		return nil, nil
+	}
+	payload := mustJSON(searchReq{Terms: terms, K: k})
+	results, err := e.fanOutData(msgSearch, func(*dataNode) []byte { return payload })
+	if err != nil {
+		return nil, err
+	}
+	var all []index.Hit
+	for _, raw := range results {
+		var ws []searchHit
+		if err := json.Unmarshal(raw, &ws); err != nil {
+			return nil, err
+		}
+		hits, err := hitsFromWire(ws)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, hits...)
+	}
+	sortHits(all)
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
+}
+
+func sortHits(hits []index.Hit) {
+	// Descending score, ascending ID tie-break (same as index package).
+	sort.Slice(hits, func(i, j int) bool { return hitLess(hits[i], hits[j]) })
+}
+
+func hitLess(a, b index.Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID.Compare(b.ID) < 0
+}
+
+// fanOutData calls every alive data node concurrently and gathers raw
+// replies in node order.
+func (e *Engine) fanOutData(kind string, payloadFor func(*dataNode) []byte) ([][]byte, error) {
+	alive := e.aliveData()
+	results := make([][]byte, len(alive))
+	errs := make([]error, len(alive))
+	done := make(chan int, len(alive))
+	for i, dn := range alive {
+		go func(i int, dn *dataNode) {
+			results[i], errs[i] = e.fab.Call(dn.node.ID, kind, payloadFor(dn))
+			done <- i
+		}(i, dn)
+	}
+	for range alive {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

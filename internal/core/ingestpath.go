@@ -1,0 +1,230 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"impliance/internal/discovery"
+	"impliance/internal/docmodel"
+	"impliance/internal/fabric"
+	"impliance/internal/sched"
+	"impliance/internal/virt"
+)
+
+// Item is one piece of data to infuse, already mapped into the native
+// model (package ingest does the mapping; workload generators emit Items
+// directly).
+type Item struct {
+	Body      docmodel.Value
+	MediaType string
+	Source    string
+	// Class drives replication (default ClassUser).
+	Class virt.DataClass
+}
+
+// Ingest infuses a document into the stewing pot (paper §2.2): it is
+// persisted in native format on a primary data node, registered with the
+// storage manager, replicated per policy, and — asynchronously, unless
+// SyncIndexing — indexed, shape-observed, and annotated. The returned ID
+// is immediately usable for retrieval even before indexing completes.
+func (e *Engine) Ingest(item Item) (docmodel.DocID, error) {
+	primary, err := e.nextPrimary()
+	if err != nil {
+		return docmodel.DocID{}, err
+	}
+	doc := &docmodel.Document{
+		MediaType:  item.MediaType,
+		Source:     item.Source,
+		IngestedAt: e.now(),
+		Root:       item.Body,
+	}
+	stored, err := e.putOn(primary, doc)
+	if err != nil {
+		return docmodel.DocID{}, err
+	}
+	rf := e.cfg.Replication.FactorFor(item.Class)
+	targets := e.pickReplicas(primary, rf)
+	e.smgr.Register(stored.ID, item.Class, targets...)
+	primary.setOwned(stored.ID)
+	e.replicate(stored, targets[1:])
+	e.postIngest(primary, stored)
+	return stored.ID, nil
+}
+
+// IngestBatch infuses many items, returning their IDs.
+func (e *Engine) IngestBatch(items []Item) ([]docmodel.DocID, error) {
+	ids := make([]docmodel.DocID, 0, len(items))
+	for _, it := range items {
+		id, err := e.Ingest(it)
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Update appends a new immutable version of an existing document (paper
+// §4: "changes are implemented as the addition of a new version").
+func (e *Engine) Update(id docmodel.DocID, newBody docmodel.Value) (docmodel.VersionKey, error) {
+	primary, err := e.primaryFor(id)
+	if err != nil {
+		return docmodel.VersionKey{}, err
+	}
+	latest, err := primary.store.Get(id)
+	if err != nil {
+		return docmodel.VersionKey{}, err
+	}
+	doc := latest.Clone()
+	doc.Version = 0 // store assigns next
+	doc.Root = newBody
+	doc.IngestedAt = e.now()
+	stored, err := e.putOn(primary, doc)
+	if err != nil {
+		return docmodel.VersionKey{}, err
+	}
+	// Replicate the new version to the other holders.
+	holders := e.smgr.Holders(id)
+	var otherNodes []*dataNode
+	for _, h := range holders {
+		if dn, ok := e.byNode[h]; ok && dn != primary {
+			otherNodes = append(otherNodes, dn)
+		}
+	}
+	e.replicateTo(stored, otherNodes)
+	e.postIngest(primary, stored)
+	return stored.Key(), nil
+}
+
+// putOn persists the document on the node via the fabric and returns the
+// stored version (with assigned ID/version).
+func (e *Engine) putOn(dn *dataNode, doc *docmodel.Document) (*docmodel.Document, error) {
+	reply, err := e.fab.Call(dn.node.ID, msgPut, docmodel.EncodeDocument(doc))
+	if err != nil {
+		return nil, err
+	}
+	return docmodel.DecodeDocument(reply)
+}
+
+// replicate ships the stored version to the target node IDs, honoring the
+// SyncReplication ablation.
+func (e *Engine) replicate(stored *docmodel.Document, targets []fabric.NodeID) {
+	var nodes []*dataNode
+	for _, t := range targets {
+		if dn, ok := e.byNode[t]; ok {
+			nodes = append(nodes, dn)
+		}
+	}
+	e.replicateTo(stored, nodes)
+}
+
+func (e *Engine) replicateTo(stored *docmodel.Document, nodes []*dataNode) {
+	if len(nodes) == 0 {
+		return
+	}
+	payload := docmodel.EncodeDocument(stored)
+	if e.cfg.SyncReplication {
+		for _, dn := range nodes {
+			// Synchronous: the ingest path stalls on every replica (E12
+			// ablation of the paper's async versioned replication).
+			_, _ = e.fab.Call(dn.node.ID, msgReplica, payload)
+		}
+		return
+	}
+	for _, dn := range nodes {
+		target := dn.node.ID
+		e.pool.Submit(sched.Background, func() {
+			_ = e.fab.Send(target, msgReplica, payload)
+		})
+	}
+}
+
+// postIngest schedules (or runs inline) the derived work: indexing, shape
+// observation, ref edges, annotation.
+func (e *Engine) postIngest(primary *dataNode, stored *docmodel.Document) {
+	work := func() {
+		primary.indexDoc(stored)
+		e.shapesMu.Lock()
+		e.shapes.Observe(stored)
+		e.shapesMu.Unlock()
+		discovery.BuildRefEdges(e.joinIdx, stored)
+		e.annotate(primary, stored)
+	}
+	if e.cfg.SyncIndexing {
+		work()
+		return
+	}
+	e.pool.Submit(sched.Background, work)
+}
+
+// annotate runs interested annotators and infuses their annotation
+// documents (derived data class) back through the normal ingest path on
+// the same primary — annotations are ordinary documents (§3.2).
+func (e *Engine) annotate(primary *dataNode, base *docmodel.Document) {
+	for _, ann := range e.registry.Run(base) {
+		ann.IngestedAt = e.now()
+		stored, err := e.putOn(primary, ann)
+		if err != nil {
+			continue
+		}
+		e.smgr.Register(stored.ID, virt.ClassDerived, primary.node.ID)
+		primary.setOwned(stored.ID)
+		primary.indexDoc(stored)
+		discovery.BuildRefEdges(e.joinIdx, stored)
+	}
+}
+
+// Get fetches the latest version of a document from any alive holder.
+func (e *Engine) Get(id docmodel.DocID) (*docmodel.Document, error) {
+	dn, err := e.primaryFor(id)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := e.fab.Call(dn.node.ID, msgGet, []byte(id.String()))
+	if err != nil {
+		return nil, err
+	}
+	return docmodel.DecodeDocument(reply)
+}
+
+// GetVersion fetches one specific immutable version.
+func (e *Engine) GetVersion(key docmodel.VersionKey) (*docmodel.Document, error) {
+	dn, err := e.primaryFor(key.Doc)
+	if err != nil {
+		return nil, err
+	}
+	return dn.store.GetVersion(key)
+}
+
+// VersionCount reports how many versions of the document exist.
+func (e *Engine) VersionCount(id docmodel.DocID) int {
+	dn, err := e.primaryFor(id)
+	if err != nil {
+		return 0
+	}
+	return dn.store.VersionCount(id)
+}
+
+// primaryFor returns the first alive holder of the document.
+func (e *Engine) primaryFor(id docmodel.DocID) (*dataNode, error) {
+	holders := e.smgr.Holders(id)
+	if len(holders) == 0 {
+		return nil, fmt.Errorf("core: unknown document %s", id)
+	}
+	for _, h := range holders {
+		if dn, ok := e.byNode[h]; ok && dn.node.Alive() {
+			return dn, nil
+		}
+	}
+	return nil, errors.New("core: no alive holder for " + id.String())
+}
+
+// DrainBackground blocks until queued background work (indexing,
+// annotation, replication) has completed — used by tests and experiments
+// that need a quiesced appliance.
+func (e *Engine) DrainBackground() {
+	e.pool.Drain()
+	// Annotation submits follow-on work (replication sends); drain twice
+	// to fence the second wave.
+	e.pool.Drain()
+}

@@ -1,0 +1,593 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"impliance/internal/baseline/costopt"
+	"impliance/internal/docmodel"
+	"impliance/internal/exec"
+	"impliance/internal/expr"
+	"impliance/internal/index"
+	"impliance/internal/plan"
+	"impliance/internal/query"
+	"impliance/internal/sched"
+)
+
+// Result is a completed query: result rows plus the plan that produced
+// them (EXPLAIN comes for free).
+type Result struct {
+	Rows []*exec.Row
+	Plan *plan.Plan
+}
+
+// Run plans and executes a logical query across the appliance.
+func (e *Engine) Run(q plan.Query) (*Result, error) {
+	if q.Filter.IsTrue() {
+		q.Filter = expr.True()
+	}
+	p := e.planFor(q)
+	rows, err := e.execute(p, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rows: rows, Plan: p}, nil
+}
+
+// planFor plans with the simple planner, or — for the E7 comparator —
+// the cost-based optimizer over whatever statistics were last collected.
+func (e *Engine) planFor(q plan.Query) *plan.Plan {
+	if e.cfg.UseCostOptimizer {
+		e.optMu.Lock()
+		opt := e.opt
+		e.optMu.Unlock()
+		if opt != nil {
+			return opt.Plan(q)
+		}
+	}
+	return e.planner.Plan(q)
+}
+
+// CollectStatistics runs the full statistics pass the cost-based
+// comparator needs (the maintenance burden the simple planner avoids).
+// Statistics are a snapshot: they do not track subsequent ingestion.
+func (e *Engine) CollectStatistics() {
+	var docs []*docmodel.Document
+	for _, dn := range e.aliveData() {
+		dn.store.Scan(func(d *docmodel.Document) bool {
+			docs = append(docs, d)
+			return true
+		})
+	}
+	e.optMu.Lock()
+	e.opt = costopt.NewOptimizer(costopt.CollectStats(docs))
+	e.optMu.Unlock()
+}
+
+// execute interprets a plan against the cluster.
+func (e *Engine) execute(p *plan.Plan, q plan.Query) ([]*exec.Row, error) {
+	// Fast path first: pushed-down distributed aggregation (scan access,
+	// no join) never materializes the matching documents at all — data
+	// nodes compute partials, a grid node merges (§3.1, §3.3).
+	if p.GroupBy != nil && p.Join == plan.JoinNone && p.Access.Kind == plan.AccessScan && !e.cfg.DisablePushdown {
+		return e.distributedAggregate(p.Residual, *p.GroupBy)
+	}
+
+	outer, err := e.gather(p)
+	if err != nil {
+		return nil, err
+	}
+	var op exec.Operator = outer
+	if p.Join != plan.JoinNone && p.JoinSpec != nil {
+		op, err = e.buildJoin(p, op)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.GroupBy != nil {
+		e.attributeWork(sched.TaskAgg)
+		op = exec.NewGroupAgg(op, 0, *p.GroupBy)
+	}
+	if p.OrderBy != nil {
+		e.attributeWork(sched.TaskSort)
+		key := exec.RowKey{ColIdx: -1, DocIdx: 0, Path: p.OrderBy.Path, ByScore: p.OrderBy.ByScore}
+		if p.GroupBy != nil {
+			// After aggregation rows have only columns; order by first col.
+			key = exec.RowKey{ColIdx: 0}
+		}
+		if p.K > 0 {
+			op = exec.NewTopK(op, key, p.OrderBy.Desc, p.K)
+		} else {
+			op = exec.NewSort(op, key, p.OrderBy.Desc)
+		}
+	} else if p.K > 0 {
+		op = exec.NewLimit(op, p.K)
+	}
+	return exec.Collect(op)
+}
+
+// gather materializes the access path into an operator over outer rows.
+func (e *Engine) gather(p *plan.Plan) (exec.Operator, error) {
+	switch p.Access.Kind {
+	case plan.AccessKeyword:
+		k := p.K
+		if p.Join != plan.JoinNone || p.GroupBy != nil {
+			k = 0 // downstream operators need the full candidate set
+		}
+		hits, err := e.searchAllNodes(p.Access.Keyword, k)
+		if err != nil {
+			return nil, err
+		}
+		docs, scores, err := e.fetchHits(hits)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]*exec.Row, 0, len(docs))
+		for i, d := range docs {
+			if !p.Residual.Eval(d) {
+				continue
+			}
+			rows = append(rows, &exec.Row{Docs: []*docmodel.Document{d}, Score: scores[i]})
+		}
+		return &rowSource{rows: rows}, nil
+
+	case plan.AccessValueEq, plan.AccessValueRange:
+		req := valueLookupReq{Path: p.Access.Path}
+		if p.Access.Kind == plan.AccessValueEq {
+			req.Value = docmodel.EncodeValue(p.Access.Value)
+		} else {
+			req.Range = true
+			req.LoInc, req.HiInc = p.Access.LoInc, p.Access.HiInc
+			if p.Access.Lo != nil {
+				req.Lo = docmodel.EncodeValue(*p.Access.Lo)
+			}
+			if p.Access.Hi != nil {
+				req.Hi = docmodel.EncodeValue(*p.Access.Hi)
+			}
+		}
+		docs, err := e.lookupAndFetch(req)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]*exec.Row, 0, len(docs))
+		for _, d := range docs {
+			if p.Residual.Eval(d) {
+				rows = append(rows, &exec.Row{Docs: []*docmodel.Document{d}})
+			}
+		}
+		return &rowSource{rows: rows}, nil
+
+	case plan.AccessScan:
+		docs, err := e.distributedScan(p.Residual)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]*exec.Row, 0, len(docs))
+		for _, d := range docs {
+			rows = append(rows, &exec.Row{Docs: []*docmodel.Document{d}})
+		}
+		return &rowSource{rows: rows}, nil
+
+	default:
+		return nil, fmt.Errorf("core: unsupported access kind %s", p.Access.Kind)
+	}
+}
+
+// distributedScan runs the (possibly pushed-down) scan on every data node
+// and returns deduplicated latest versions. With pushdown the filter runs
+// inside the storage nodes and only matches cross the interconnect; the
+// ablation ships everything and filters engine-side (adaptively).
+func (e *Engine) distributedScan(filter expr.Expr) ([]*docmodel.Document, error) {
+	var results [][]byte
+	var err error
+	if e.cfg.DisablePushdown {
+		results, err = e.fanOutData(msgScanAll, func(*dataNode) []byte { return nil })
+	} else {
+		payload := filter.Encode()
+		results, err = e.fanOutData(msgScanFiltered, func(*dataNode) []byte { return payload })
+	}
+	if err != nil {
+		return nil, err
+	}
+	seen := map[docmodel.DocID]struct{}{}
+	var docs []*docmodel.Document
+	for _, raw := range results {
+		batch, err := decodeDocs(raw)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range batch {
+			if _, dup := seen[d.ID]; dup {
+				continue // replicas: count each document once
+			}
+			seen[d.ID] = struct{}{}
+			if e.cfg.DisablePushdown && !filter.Eval(d) {
+				continue
+			}
+			docs = append(docs, d)
+		}
+	}
+	sortDocs(docs)
+	return docs, nil
+}
+
+// distributedAggregate runs two-phase aggregation: partials on data
+// nodes, merge on a grid node, finalize here.
+func (e *Engine) distributedAggregate(filter expr.Expr, spec expr.GroupSpec) ([]*exec.Row, error) {
+	req := specToWire(spec)
+	req.Filter = filter.Encode()
+	payload := mustJSON(req)
+	partials, err := e.fanOutData(msgAggPartial, func(*dataNode) []byte { return payload })
+	if err != nil {
+		return nil, err
+	}
+	gridID, err := e.placer.Place(sched.TaskAgg)
+	if err != nil {
+		return nil, err
+	}
+	merged, err := e.fab.Call(gridID, msgMerge, mustJSON(mergeReq{
+		By: spec.By, Aggs: req.Aggs, Partials: partials,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	state, err := expr.DecodePartials(spec, merged)
+	if err != nil {
+		return nil, err
+	}
+	var rows []*exec.Row
+	for _, gr := range state.Rows() {
+		row := &exec.Row{}
+		row.Cols = append(row.Cols, gr.Key...)
+		row.Cols = append(row.Cols, gr.Aggs...)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// buildJoin attaches the planned join operator.
+func (e *Engine) buildJoin(p *plan.Plan, outer exec.Operator) (exec.Operator, error) {
+	spec := p.JoinSpec
+	rf := spec.RightFilter
+	if rf.IsTrue() {
+		rf = expr.True()
+	}
+	e.attributeWork(sched.TaskJoin)
+	switch p.Join {
+	case plan.JoinINL:
+		probe := func(v docmodel.Value) []*docmodel.Document {
+			docs, err := e.lookupAndFetch(valueLookupReq{
+				Path:  spec.RightPath,
+				Value: docmodel.EncodeValue(v),
+			})
+			if err != nil {
+				return nil
+			}
+			out := docs[:0]
+			for _, d := range docs {
+				if rf.Eval(d) {
+					out = append(out, d)
+				}
+			}
+			return out
+		}
+		return exec.NewIndexedNLJoin(outer, 0, spec.LeftPath, probe), nil
+	case plan.JoinHash:
+		inner, err := e.distributedScan(rf)
+		if err != nil {
+			return nil, err
+		}
+		build := exec.NewScan(exec.NewSliceCursor(inner), expr.True())
+		return exec.NewHashJoin(build, outer, 0, spec.RightPath, 0, spec.LeftPath), nil
+	default:
+		return nil, fmt.Errorf("core: unsupported join method %s", p.Join)
+	}
+}
+
+// lookupAndFetch probes every data node's value index and fetches the
+// matching documents from the node that reported them.
+func (e *Engine) lookupAndFetch(req valueLookupReq) ([]*docmodel.Document, error) {
+	payload := mustJSON(req)
+	alive := e.aliveData()
+	type nodeIDs struct {
+		dn  *dataNode
+		ids []string
+	}
+	found := make([]nodeIDs, len(alive))
+	results, err := e.fanOutData(msgValueLookup, func(*dataNode) []byte { return payload })
+	if err != nil {
+		return nil, err
+	}
+	for i, raw := range results {
+		var resp idListResp
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			return nil, err
+		}
+		found[i] = nodeIDs{dn: alive[i], ids: resp.IDs}
+	}
+	seen := map[docmodel.DocID]struct{}{}
+	var docs []*docmodel.Document
+	for _, f := range found {
+		if len(f.ids) == 0 {
+			continue
+		}
+		raw, err := e.fab.Call(f.dn.node.ID, msgGetBatch, mustJSON(getBatchReq{IDs: f.ids}))
+		if err != nil {
+			return nil, err
+		}
+		batch, err := decodeDocs(raw)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range batch {
+			if _, dup := seen[d.ID]; !dup {
+				seen[d.ID] = struct{}{}
+				docs = append(docs, d)
+			}
+		}
+	}
+	sortDocs(docs)
+	return docs, nil
+}
+
+// fetchHits retrieves the documents behind search hits. Hits that land on
+// *annotation* documents resolve to their base document — the paper's
+// point that annotations enrich retrieval of the underlying data ("the
+// end user uses an interactive retrieval interface... optionally making
+// use of the annotations added by the discovery process", §2.2). A base
+// document hit both directly and via its annotations keeps its best
+// score; results come back score-descending, deduplicated.
+func (e *Engine) fetchHits(hits []index.Hit) ([]*docmodel.Document, []float64, error) {
+	fetched, err := e.fetchByID(hitIDs(hits))
+	if err != nil {
+		return nil, nil, err
+	}
+	// Resolve annotation hits to their bases.
+	bestScore := map[docmodel.DocID]float64{}
+	var order []docmodel.DocID
+	var baseNeeded []docmodel.DocID
+	for _, h := range hits {
+		d, ok := fetched[h.ID]
+		if !ok {
+			continue // index slightly ahead of placement: skip ghost hit
+		}
+		target := h.ID
+		if d.IsAnnotation() {
+			target = d.Annotates
+			if _, have := fetched[target]; !have {
+				baseNeeded = append(baseNeeded, target)
+			}
+		}
+		if s, seen := bestScore[target]; !seen {
+			bestScore[target] = h.Score
+			order = append(order, target)
+		} else if h.Score > s {
+			bestScore[target] = h.Score
+		}
+	}
+	if len(baseNeeded) > 0 {
+		bases, err := e.fetchByID(baseNeeded)
+		if err != nil {
+			return nil, nil, err
+		}
+		for id, d := range bases {
+			fetched[id] = d
+		}
+	}
+	var docs []*docmodel.Document
+	var scores []float64
+	for _, id := range order {
+		if d, ok := fetched[id]; ok {
+			docs = append(docs, d)
+			scores = append(scores, bestScore[id])
+		}
+	}
+	// Dedup can disturb score order; restore descending.
+	sortDocsByScore(docs, scores)
+	return docs, scores, nil
+}
+
+func hitIDs(hits []index.Hit) []docmodel.DocID {
+	out := make([]docmodel.DocID, len(hits))
+	for i, h := range hits {
+		out[i] = h.ID
+	}
+	return out
+}
+
+// fetchByID batch-fetches documents from their owning nodes.
+func (e *Engine) fetchByID(ids []docmodel.DocID) (map[docmodel.DocID]*docmodel.Document, error) {
+	perNode := map[*dataNode][]string{}
+	for _, id := range ids {
+		dn, err := e.primaryFor(id)
+		if err != nil {
+			continue
+		}
+		perNode[dn] = append(perNode[dn], id.String())
+	}
+	out := map[docmodel.DocID]*docmodel.Document{}
+	for dn, strs := range perNode {
+		raw, err := e.fab.Call(dn.node.ID, msgGetBatch, mustJSON(getBatchReq{IDs: strs}))
+		if err != nil {
+			return nil, err
+		}
+		batch, err := decodeDocs(raw)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range batch {
+			out[d.ID] = d
+		}
+	}
+	return out, nil
+}
+
+func sortDocsByScore(docs []*docmodel.Document, scores []float64) {
+	idx := make([]int, len(docs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return docs[idx[a]].ID.Compare(docs[idx[b]].ID) < 0
+	})
+	nd := make([]*docmodel.Document, len(docs))
+	ns := make([]float64, len(scores))
+	for i, j := range idx {
+		nd[i], ns[i] = docs[j], scores[j]
+	}
+	copy(docs, nd)
+	copy(scores, ns)
+}
+
+// Search is the out-of-the-box ranked keyword interface (paper §3.2.1),
+// returning hydrated documents with scores.
+func (e *Engine) Search(keyword string, k int) ([]*exec.Row, error) {
+	res, err := e.Run(plan.Query{Keyword: keyword, Filter: expr.True(), K: k,
+		OrderBy: &plan.SortSpec{ByScore: true, Desc: true}})
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// Facets executes one faceted-search interaction step (paper §3.2.1).
+func (e *Engine) Facets(req query.FacetRequest) (*query.FacetResult, error) {
+	req.Normalize()
+	// Candidate set: keyword hits refined by the drill-down predicate, or
+	// a pushed-down scan when there is no keyword.
+	var hits []index.Hit
+	var candidates []docmodel.DocID
+	if req.Keyword != "" {
+		all, err := e.searchAllNodes(req.Keyword, 0)
+		if err != nil {
+			return nil, err
+		}
+		docs, scores, err := e.fetchHits(all)
+		if err != nil {
+			return nil, err
+		}
+		for i, d := range docs {
+			if req.Refine.Eval(d) {
+				candidates = append(candidates, d.ID)
+				hits = append(hits, index.Hit{ID: d.ID, Score: scores[i]})
+			}
+		}
+	} else {
+		docs, err := e.distributedScan(req.Refine)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range docs {
+			candidates = append(candidates, d.ID)
+			hits = append(hits, index.Hit{ID: d.ID})
+		}
+	}
+	result := &query.FacetResult{Total: len(candidates)}
+	if len(hits) > req.K {
+		result.Hits = hits[:req.K]
+	} else {
+		result.Hits = hits
+	}
+
+	idStrs := idStrings(candidates)
+	for dimIdx, dim := range req.Dimensions {
+		buckets, err := e.facetDim(dim, idStrs, req.FacetLimit)
+		if err != nil {
+			return nil, err
+		}
+		// OLAP flavor: per-bucket aggregates for the first dimension.
+		if dimIdx == 0 && len(req.Aggregates) > 0 {
+			for bi := range buckets {
+				rows, err := e.distributedAggregate(
+					query.Drill(req.Refine, dim, buckets[bi].Value),
+					expr.GroupSpec{Aggs: req.Aggregates},
+				)
+				if err != nil {
+					return nil, err
+				}
+				if len(rows) == 1 {
+					buckets[bi].Aggregates = rows[0].Cols
+				}
+			}
+		}
+		result.Dimensions = append(result.Dimensions, query.FacetDimension{Path: dim, Buckets: buckets})
+	}
+	return result, nil
+}
+
+// facetDim merges facet counts for one dimension across data nodes.
+func (e *Engine) facetDim(path string, candidateIDs []string, limit int) ([]query.FacetBucket, error) {
+	payload := mustJSON(facetsReq{Path: path, IDs: candidateIDs, Limit: 0})
+	results, err := e.fanOutData(msgFacets, func(*dataNode) []byte { return payload })
+	if err != nil {
+		return nil, err
+	}
+	merged := map[string]*query.FacetBucket{}
+	for _, raw := range results {
+		var ws []facetBucketWire
+		if err := json.Unmarshal(raw, &ws); err != nil {
+			return nil, err
+		}
+		for _, w := range ws {
+			v, err := docmodel.DecodeValue(w.Value)
+			if err != nil {
+				return nil, err
+			}
+			key := string(w.Value)
+			if b, ok := merged[key]; ok {
+				b.Count += w.Count
+			} else {
+				merged[key] = &query.FacetBucket{Value: v, Count: w.Count}
+			}
+		}
+	}
+	out := make([]query.FacetBucket, 0, len(merged))
+	for _, b := range merged {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value.Compare(out[j].Value) < 0
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// attributeWork records that a unit of the given task kind ran, charging
+// the chosen node's work counter (scheduler-visible load accounting).
+func (e *Engine) attributeWork(kind sched.TaskKind) {
+	if id, err := e.placer.Place(kind); err == nil {
+		if n, ok := e.fab.Node(id); ok {
+			n.AddWork(1)
+		}
+	}
+}
+
+// rowSource adapts a materialized row slice to the Operator interface.
+type rowSource struct {
+	rows []*exec.Row
+	pos  int
+}
+
+func (r *rowSource) Open() error { return nil }
+func (r *rowSource) Next() (*exec.Row, error) {
+	if r.pos >= len(r.rows) {
+		return nil, nil
+	}
+	row := r.rows[r.pos]
+	r.pos++
+	return row, nil
+}
+func (r *rowSource) Close() error { return nil }
+
+func sortDocs(docs []*docmodel.Document) {
+	sort.Slice(docs, func(i, j int) bool { return docs[i].ID.Compare(docs[j].ID) < 0 })
+}

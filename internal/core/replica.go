@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/fabric"
+)
+
+// replicaAccess implements virt.ReplicaAccess over the engine's data
+// nodes, letting the storage manager repair replication after failures.
+// Fetches read the surviving node's store directly (the storage manager
+// runs inside the appliance); installs go over the fabric so repair
+// traffic is visible in the interconnect accounting.
+type replicaAccess struct {
+	e *Engine
+}
+
+// FetchVersions implements virt.ReplicaAccess.
+func (ra replicaAccess) FetchVersions(node fabric.NodeID, id docmodel.DocID) ([]*docmodel.Document, error) {
+	dn, ok := ra.e.byNode[node]
+	if !ok {
+		return nil, fmt.Errorf("core: %s is not a data node", node)
+	}
+	if !dn.node.Alive() {
+		return nil, fmt.Errorf("core: %s is down", node)
+	}
+	n := dn.store.VersionCount(id)
+	if n == 0 {
+		return nil, fmt.Errorf("core: %s does not hold %s", node, id)
+	}
+	out := make([]*docmodel.Document, 0, n)
+	for v := uint32(1); v <= uint32(n); v++ {
+		d, err := dn.store.GetVersion(docmodel.VersionKey{Doc: id, Ver: v})
+		if err != nil {
+			continue // sparse chain on a lagging replica
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: %s holds no readable versions of %s", node, id)
+	}
+	return out, nil
+}
+
+// Install implements virt.ReplicaAccess.
+func (ra replicaAccess) Install(node fabric.NodeID, doc *docmodel.Document) error {
+	_, err := ra.e.fab.Call(node, msgReplica, docmodel.EncodeDocument(doc))
+	return err
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"impliance/internal/annot"
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/plan"
+	"impliance/internal/query"
+)
+
+// System-supplied views (paper Figure 2): native and annotation documents
+// re-exposed to SQL "without having to rewrite the entire application to
+// use new APIs".
+
+// registerSystemViews installs the built-in views at boot.
+func (e *Engine) registerSystemViews() {
+	// sentiments: the sentiment annotations as a relational table.
+	e.catalog.Register(query.NewView("sentiments",
+		expr.And(expr.MediaTypeIs(annot.MediaAnnotation), expr.Exists("/score")),
+		map[string]string{
+			"base":          "/base",
+			"score":         "/score",
+			"label":         "/label",
+			"positive_hits": "/positive_hits",
+			"negative_hits": "/negative_hits",
+		}))
+	// entities: one row per entity annotation document.
+	e.catalog.Register(query.NewView("entities",
+		expr.And(expr.MediaTypeIs(annot.MediaAnnotation), expr.Exists("/entities")),
+		map[string]string{
+			"base":  "/base",
+			"count": "/count",
+			"type":  "/entities/type",
+			"norm":  "/entities/norm",
+		}))
+	// documents: generic metadata over every base document.
+	e.catalog.Register(query.NewView("documents",
+		expr.Not(expr.MediaTypeIs(annot.MediaAnnotation)),
+		map[string]string{
+			"text": "/text",
+		}))
+}
+
+// RegisterView adds an application view over the native documents.
+func (e *Engine) RegisterView(name string, base expr.Expr, attrs map[string]string) {
+	e.catalog.Register(query.NewView(name, base, attrs))
+}
+
+// SQLResult is a completed SQL query: column labels and value rows.
+type SQLResult struct {
+	Columns []string
+	Rows    [][]docmodel.Value
+	Plan    *plan.Plan
+}
+
+// ExecSQL parses, compiles, and executes a SQL statement against the view
+// catalog — the Figure 2 path from SQL applications to native documents.
+func (e *Engine) ExecSQL(sql string) (*SQLResult, error) {
+	st, err := query.ParseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := st.Compile(e.catalog)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Run(compiled.Query)
+	if err != nil {
+		return nil, err
+	}
+	out := &SQLResult{Columns: compiled.Columns, Plan: res.Plan}
+
+	if compiled.Query.GroupBy != nil {
+		// Aggregated: row columns are group keys then aggregates; project
+		// them into the select-list order.
+		spec := compiled.Query.GroupBy
+		for _, r := range res.Rows {
+			row := make([]docmodel.Value, 0, len(compiled.Items))
+			aggIdx := 0
+			for _, it := range compiled.Items {
+				if it.IsAgg {
+					row = append(row, r.Cols[len(spec.By)+aggIdx])
+					aggIdx++
+					continue
+				}
+				gi, err := groupKeyIndex(st.GroupBy, it.Attr)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, r.Cols[gi])
+			}
+			out.Rows = append(out.Rows, row)
+		}
+		return out, nil
+	}
+
+	// Plain projection: map each result document through the view.
+	for _, r := range res.Rows {
+		if len(r.Docs) == 0 {
+			continue
+		}
+		d := r.Docs[0]
+		row := make([]docmodel.Value, 0, len(compiled.Items))
+		for _, it := range compiled.Items {
+			path, err := compiled.View.PathOf(it.Attr)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, d.First(path))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func groupKeyIndex(groupBy []string, attr string) (int, error) {
+	for i, g := range groupBy {
+		if equalFold(g, attr) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: %s not in GROUP BY", attr)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// NativeToXML exports a document's body as XML (the XML view of
+// Figure 2). It lives here rather than in package ingest so callers reach
+// every Figure 2 projection through the engine.
+func (e *Engine) ViewAsRow(viewName string, id docmodel.DocID) (docmodel.Value, error) {
+	v, err := e.catalog.Lookup(viewName)
+	if err != nil {
+		return docmodel.Null, err
+	}
+	d, err := e.Get(id)
+	if err != nil {
+		return docmodel.Null, err
+	}
+	return v.RowFromDoc(d), nil
+}

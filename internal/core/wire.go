@@ -1,0 +1,189 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/index"
+)
+
+// Wire formats for fabric messages. Documents travel in their native
+// binary encoding; small control structures travel as JSON. Every byte is
+// accounted by the fabric, which is what the pushdown and scale-out
+// experiments measure.
+
+// encodeDocs concatenates length-prefixed document encodings.
+func encodeDocs(docs []*docmodel.Document) []byte {
+	buf := make([]byte, 0, 256*len(docs)+8)
+	buf = binary.AppendUvarint(buf, uint64(len(docs)))
+	for _, d := range docs {
+		b := docmodel.EncodeDocument(d)
+		buf = binary.AppendUvarint(buf, uint64(len(b)))
+		buf = append(buf, b...)
+	}
+	return buf
+}
+
+// decodeDocs parses encodeDocs output.
+func decodeDocs(b []byte) ([]*docmodel.Document, error) {
+	n, off := binary.Uvarint(b)
+	if off <= 0 {
+		return nil, fmt.Errorf("core: bad doc batch header")
+	}
+	out := make([]*docmodel.Document, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, m := binary.Uvarint(b[off:])
+		if m <= 0 || uint64(len(b)-off-m) < l {
+			return nil, fmt.Errorf("core: truncated doc batch")
+		}
+		off += m
+		d, err := docmodel.DecodeDocument(b[off : off+int(l)])
+		if err != nil {
+			return nil, err
+		}
+		off += int(l)
+		out = append(out, d)
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("core: trailing bytes in doc batch")
+	}
+	return out, nil
+}
+
+// wire control structs (JSON).
+
+type searchReq struct {
+	Terms []string `json:"terms"`
+	K     int      `json:"k"`
+}
+
+type searchHit struct {
+	ID    string  `json:"id"`
+	Score float64 `json:"score"`
+}
+
+type valueLookupReq struct {
+	Path  string `json:"path"`
+	Value []byte `json:"value,omitempty"` // docmodel.EncodeValue
+	Lo    []byte `json:"lo,omitempty"`
+	Hi    []byte `json:"hi,omitempty"`
+	LoInc bool   `json:"lo_inc,omitempty"`
+	HiInc bool   `json:"hi_inc,omitempty"`
+	Range bool   `json:"range,omitempty"`
+}
+
+type idListResp struct {
+	IDs []string `json:"ids"`
+}
+
+type getBatchReq struct {
+	IDs []string `json:"ids"`
+}
+
+type aggReq struct {
+	Filter []byte        `json:"filter"` // expr.Encode
+	By     []string      `json:"by"`
+	Aggs   []aggSpecWire `json:"aggs"`
+}
+
+type aggSpecWire struct {
+	Kind uint8  `json:"kind"`
+	Path string `json:"path,omitempty"`
+}
+
+func specToWire(spec expr.GroupSpec) aggReq {
+	r := aggReq{By: spec.By}
+	for _, a := range spec.Aggs {
+		r.Aggs = append(r.Aggs, aggSpecWire{Kind: uint8(a.Kind), Path: a.Path})
+	}
+	return r
+}
+
+func (r aggReq) spec() expr.GroupSpec {
+	spec := expr.GroupSpec{By: r.By}
+	for _, a := range r.Aggs {
+		spec.Aggs = append(spec.Aggs, expr.AggSpec{Kind: expr.AggKind(a.Kind), Path: a.Path})
+	}
+	return spec
+}
+
+type mergeReq struct {
+	By       []string      `json:"by"`
+	Aggs     []aggSpecWire `json:"aggs"`
+	Partials [][]byte      `json:"partials"`
+}
+
+type facetsReq struct {
+	Path  string   `json:"path"`
+	IDs   []string `json:"ids,omitempty"` // nil = all docs on the node
+	All   bool     `json:"all,omitempty"`
+	Limit int      `json:"limit"`
+}
+
+type facetBucketWire struct {
+	Value []byte `json:"value"`
+	Count int    `json:"count"`
+}
+
+type lockReq struct {
+	Name  string `json:"name"`
+	Owner string `json:"owner"`
+}
+
+type lockResp struct {
+	Token uint64 `json:"token"`
+	OK    bool   `json:"ok"`
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("core: marshal wire struct: %v", err))
+	}
+	return b
+}
+
+func unmarshal(b []byte, v any) error { return json.Unmarshal(b, v) }
+
+func parseIDs(ids []string) ([]docmodel.DocID, error) {
+	out := make([]docmodel.DocID, 0, len(ids))
+	for _, s := range ids {
+		id, err := docmodel.ParseDocID(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+func idStrings(ids []docmodel.DocID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = id.String()
+	}
+	return out
+}
+
+func hitsToWire(hits []index.Hit) []searchHit {
+	out := make([]searchHit, len(hits))
+	for i, h := range hits {
+		out[i] = searchHit{ID: h.ID.String(), Score: h.Score}
+	}
+	return out
+}
+
+func hitsFromWire(ws []searchHit) ([]index.Hit, error) {
+	out := make([]index.Hit, len(ws))
+	for i, w := range ws {
+		id, err := docmodel.ParseDocID(w.ID)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = index.Hit{ID: id, Score: w.Score}
+	}
+	return out, nil
+}

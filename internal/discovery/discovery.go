@@ -1,0 +1,200 @@
+// Package discovery implements the inter-document analyses of paper §3.2:
+// consolidating structures from different sources (schema mapping),
+// resolving entity mentions across documents (entity resolution), and
+// identifying relationships "by running various analyses on all pairs of
+// documents (conceptually)" — materialized as join indexes that the query
+// layer exploits ("Discovered relationships can be stored as join indexes
+// and utilized at query time").
+//
+// In the node topology of §3.3, these are grid-node analyses: their inputs
+// are the entity annotations that data nodes produced intra-document, and
+// their outputs are persisted via cluster nodes.
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/text"
+)
+
+// Mention is one entity mention to resolve: a normalized surface form
+// found in a document.
+type Mention struct {
+	Doc  docmodel.DocID
+	Type string // entity class ("person", "product", ...)
+	Norm string // normalized surface form
+}
+
+// EntityCluster is a resolved real-world entity: the set of mentions the
+// resolver decided are the same thing.
+type EntityCluster struct {
+	ID        int
+	Type      string
+	Canonical string   // most frequent norm in the cluster
+	Norms     []string // distinct norms, sorted
+	Docs      []docmodel.DocID
+}
+
+// Resolver groups mentions into entity clusters using blocking plus
+// string similarity — the "entity relationship resolution" analysis the
+// paper cites (Jonas, SIGMOD 2006) scaled down to dictionary workloads.
+type Resolver struct {
+	// MinSimilarity is the trigram similarity above which two norms are
+	// considered the same entity (default 0.55).
+	MinSimilarity float64
+	// MaxEditDistance also merges pairs within this Levenshtein distance
+	// (default 1; catches short-name typos trigram similarity misses).
+	MaxEditDistance int
+	// Window is the sorted-neighborhood comparison window (default 8).
+	Window int
+}
+
+// NewResolver returns a resolver with default thresholds.
+func NewResolver() *Resolver {
+	return &Resolver{MinSimilarity: 0.55, MaxEditDistance: 1, Window: 8}
+}
+
+// Resolve clusters the mentions. Mentions of different types never merge.
+// The algorithm is sorted-neighborhood: within each type block, norms are
+// sorted and each norm is compared against the next Window norms; matches
+// union. Deterministic for a given input set.
+func (r *Resolver) Resolve(mentions []Mention) []EntityCluster {
+	// Distinct norms per type, with doc sets.
+	type key struct{ typ, norm string }
+	docsByNorm := map[key]map[docmodel.DocID]struct{}{}
+	countByNorm := map[key]int{}
+	for _, m := range mentions {
+		k := key{m.Type, m.Norm}
+		set, ok := docsByNorm[k]
+		if !ok {
+			set = map[docmodel.DocID]struct{}{}
+			docsByNorm[k] = set
+		}
+		set[m.Doc] = struct{}{}
+		countByNorm[k]++
+	}
+	// Group norms by type.
+	normsByType := map[string][]string{}
+	for k := range docsByNorm {
+		normsByType[k.typ] = append(normsByType[k.typ], k.norm)
+	}
+
+	var clusters []EntityCluster
+	types := make([]string, 0, len(normsByType))
+	for t := range normsByType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+
+	for _, typ := range types {
+		norms := normsByType[typ]
+		sort.Strings(norms)
+		uf := newUnionFind(len(norms))
+		w := r.Window
+		if w <= 0 {
+			w = 8
+		}
+		for i := range norms {
+			for j := i + 1; j < len(norms) && j <= i+w; j++ {
+				if r.same(norms[i], norms[j]) {
+					uf.union(i, j)
+				}
+			}
+		}
+		// Materialize clusters.
+		members := map[int][]int{}
+		for i := range norms {
+			root := uf.find(i)
+			members[root] = append(members[root], i)
+		}
+		roots := make([]int, 0, len(members))
+		for root := range members {
+			roots = append(roots, root)
+		}
+		sort.Ints(roots)
+		for _, root := range roots {
+			var c EntityCluster
+			c.Type = typ
+			docSet := map[docmodel.DocID]struct{}{}
+			bestCount := -1
+			for _, i := range members[root] {
+				norm := norms[i]
+				c.Norms = append(c.Norms, norm)
+				k := key{typ, norm}
+				if countByNorm[k] > bestCount {
+					bestCount = countByNorm[k]
+					c.Canonical = norm
+				}
+				for d := range docsByNorm[k] {
+					docSet[d] = struct{}{}
+				}
+			}
+			for d := range docSet {
+				c.Docs = append(c.Docs, d)
+			}
+			sort.Slice(c.Docs, func(i, j int) bool { return c.Docs[i].Compare(c.Docs[j]) < 0 })
+			sort.Strings(c.Norms)
+			c.ID = len(clusters)
+			clusters = append(clusters, c)
+		}
+	}
+	return clusters
+}
+
+func (r *Resolver) same(a, b string) bool {
+	if a == b {
+		return true
+	}
+	if text.TrigramSimilarity(a, b) >= r.MinSimilarity {
+		return true
+	}
+	if r.MaxEditDistance > 0 &&
+		text.Levenshtein(a, b, r.MaxEditDistance) <= r.MaxEditDistance {
+		return true
+	}
+	return false
+}
+
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}
+
+// ClusterLabel renders a stable label for a resolved entity, used as the
+// join-edge label.
+func ClusterLabel(c EntityCluster) string {
+	return fmt.Sprintf("entity:%s:%s", c.Type, strings.ReplaceAll(c.Canonical, " ", "_"))
+}

@@ -1,0 +1,337 @@
+package discovery
+
+import (
+	"fmt"
+	"testing"
+
+	"impliance/internal/docmodel"
+)
+
+func id(seq uint64) docmodel.DocID { return docmodel.DocID{Origin: 1, Seq: seq} }
+
+func TestResolverMergesVariants(t *testing.T) {
+	r := NewResolver()
+	mentions := []Mention{
+		{Doc: id(1), Type: "person", Norm: "john smith"},
+		{Doc: id(2), Type: "person", Norm: "john smith"},
+		{Doc: id(3), Type: "person", Norm: "john smyth"}, // typo variant
+		{Doc: id(4), Type: "person", Norm: "mary jones"},
+		{Doc: id(5), Type: "location", Norm: "john smith"}, // different type never merges
+	}
+	clusters := r.Resolve(mentions)
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %d: %+v", len(clusters), clusters)
+	}
+	var johns *EntityCluster
+	for i := range clusters {
+		if clusters[i].Type == "person" && clusters[i].Canonical == "john smith" {
+			johns = &clusters[i]
+		}
+	}
+	if johns == nil {
+		t.Fatal("john smith cluster missing")
+	}
+	if len(johns.Docs) != 3 {
+		t.Errorf("john cluster docs = %v", johns.Docs)
+	}
+	if len(johns.Norms) != 2 {
+		t.Errorf("john cluster norms = %v", johns.Norms)
+	}
+}
+
+func TestResolverCanonicalIsMostFrequent(t *testing.T) {
+	r := NewResolver()
+	mentions := []Mention{
+		{Doc: id(1), Type: "person", Norm: "jon smith"},
+		{Doc: id(2), Type: "person", Norm: "john smith"},
+		{Doc: id(3), Type: "person", Norm: "john smith"},
+	}
+	clusters := r.Resolve(mentions)
+	if len(clusters) != 1 || clusters[0].Canonical != "john smith" {
+		t.Errorf("canonical = %+v", clusters)
+	}
+}
+
+func TestResolverKeepsDistinctApart(t *testing.T) {
+	r := NewResolver()
+	mentions := []Mention{
+		{Doc: id(1), Type: "product", Norm: "widgetpro"},
+		{Doc: id(2), Type: "product", Norm: "gadgetmax"},
+		{Doc: id(3), Type: "product", Norm: "thingamajig"},
+	}
+	if clusters := r.Resolve(mentions); len(clusters) != 3 {
+		t.Errorf("distinct products merged: %+v", clusters)
+	}
+}
+
+func TestResolverDeterministic(t *testing.T) {
+	r := NewResolver()
+	var mentions []Mention
+	for i := uint64(0); i < 50; i++ {
+		mentions = append(mentions, Mention{Doc: id(i), Type: "person", Norm: fmt.Sprintf("person %c", 'a'+i%10)})
+	}
+	a := r.Resolve(mentions)
+	b := r.Resolve(mentions)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic cluster count")
+	}
+	for i := range a {
+		if a[i].Canonical != b[i].Canonical || len(a[i].Docs) != len(b[i].Docs) {
+			t.Fatal("non-deterministic clusters")
+		}
+	}
+}
+
+func TestJoinIndexEdgesAndNeighbors(t *testing.T) {
+	ji := NewJoinIndex()
+	ji.AddEdge(id(1), id(2), "x")
+	ji.AddEdge(id(1), id(2), "x")    // duplicate ignored
+	ji.AddEdge(id(1), id(2), "y")    // different label kept
+	ji.AddEdge(id(1), id(1), "self") // self loop ignored
+	if ji.EdgeCount() != 2 {
+		t.Errorf("edges = %d", ji.EdgeCount())
+	}
+	n := ji.Neighbors(id(1))
+	if len(n) != 2 || n[0].Label != "x" || n[1].Label != "y" {
+		t.Errorf("neighbors = %v", n)
+	}
+	// Undirected: reverse direction visible.
+	if len(ji.Neighbors(id(2))) != 2 {
+		t.Error("reverse edges missing")
+	}
+}
+
+func TestConnectFindsShortestPath(t *testing.T) {
+	ji := NewJoinIndex()
+	// Chain 1-2-3-4 plus shortcut 1-4 via another edge? No: test shortest.
+	ji.AddEdge(id(1), id(2), "a")
+	ji.AddEdge(id(2), id(3), "b")
+	ji.AddEdge(id(3), id(4), "c")
+	path := ji.Connect(id(1), id(4), 6)
+	if len(path) != 3 {
+		t.Fatalf("path = %v", path)
+	}
+	if path[0].Label != "a" || path[2].Label != "c" {
+		t.Errorf("path order: %v", path)
+	}
+	// Add a shortcut and verify BFS prefers it.
+	ji.AddEdge(id(1), id(4), "direct")
+	path = ji.Connect(id(1), id(4), 6)
+	if len(path) != 1 || path[0].Label != "direct" {
+		t.Errorf("shortcut not used: %v", path)
+	}
+	// Hop bound respected.
+	ji2 := NewJoinIndex()
+	ji2.AddEdge(id(1), id(2), "a")
+	ji2.AddEdge(id(2), id(3), "b")
+	if p := ji2.Connect(id(1), id(3), 1); p != nil {
+		t.Errorf("hop bound violated: %v", p)
+	}
+	// Unreachable.
+	if p := ji.Connect(id(1), id(99), 6); p != nil {
+		t.Errorf("unreachable should be nil: %v", p)
+	}
+	// Self connection is empty path.
+	if p := ji.Connect(id(1), id(1), 6); p == nil || len(p) != 0 {
+		t.Errorf("self path: %v", p)
+	}
+}
+
+func TestConnectedComponent(t *testing.T) {
+	ji := NewJoinIndex()
+	ji.AddEdge(id(1), id(2), "a")
+	ji.AddEdge(id(2), id(3), "a")
+	ji.AddEdge(id(10), id(11), "b")
+	comp := ji.ConnectedComponent(id(1), 0)
+	if len(comp) != 3 {
+		t.Errorf("component = %v", comp)
+	}
+	comp = ji.ConnectedComponent(id(1), 1)
+	if len(comp) != 2 {
+		t.Errorf("bounded component = %v", comp)
+	}
+}
+
+func TestBuildEntityEdgesCliqueAndStar(t *testing.T) {
+	ji := NewJoinIndex()
+	small := EntityCluster{Type: "person", Canonical: "a b", Docs: []docmodel.DocID{id(1), id(2), id(3)}}
+	added := BuildEntityEdges(ji, []EntityCluster{small}, 32)
+	if added != 3 { // 3 choose 2
+		t.Errorf("clique edges = %d", added)
+	}
+	// Hub cluster uses star topology.
+	var docs []docmodel.DocID
+	for i := uint64(100); i < 150; i++ {
+		docs = append(docs, id(i))
+	}
+	big := EntityCluster{Type: "location", Canonical: "metropolis", Docs: docs}
+	ji2 := NewJoinIndex()
+	added = BuildEntityEdges(ji2, []EntityCluster{big}, 32)
+	if added != 49 {
+		t.Errorf("star edges = %d, want 49", added)
+	}
+	// Still connected through the hub.
+	if p := ji2.Connect(id(120), id(140), 4); p == nil {
+		t.Error("star cluster should stay connected")
+	}
+}
+
+func TestBuildRefEdges(t *testing.T) {
+	ji := NewJoinIndex()
+	d := &docmodel.Document{
+		ID:        id(5),
+		Version:   1,
+		Annotates: id(1),
+		Root: docmodel.Object(
+			docmodel.F("base", docmodel.Ref(id(1))),
+			docmodel.F("other", docmodel.Ref(id(2))),
+		),
+	}
+	BuildRefEdges(ji, d)
+	n := ji.Neighbors(id(5))
+	if len(n) != 3 { // ref to 1, ref to 2, annotates 1
+		t.Errorf("ref edges = %v", n)
+	}
+}
+
+func orderDoc(seq uint64, source string, fields ...docmodel.Field) *docmodel.Document {
+	return &docmodel.Document{ID: id(seq), Version: 1, Source: source, Root: docmodel.Object(fields...)}
+}
+
+func TestShapeAccumulatorAndSchemaMapping(t *testing.T) {
+	sa := NewShapeAccumulator()
+	// Purchase orders from a CSV feed.
+	for i := uint64(1); i <= 5; i++ {
+		sa.Observe(orderDoc(i, "csv",
+			docmodel.F("customer_name", docmodel.String("x")),
+			docmodel.F("total", docmodel.Int(int64(i))),
+		))
+	}
+	// The same record type from e-mail ingestion: different field casing.
+	for i := uint64(10); i <= 12; i++ {
+		sa.Observe(orderDoc(i, "mail",
+			docmodel.F("CustomerName", docmodel.String("y")),
+			docmodel.F("Total", docmodel.Int(3)),
+		))
+	}
+	// A completely different shape.
+	sa.Observe(orderDoc(20, "hr",
+		docmodel.F("employee", docmodel.Object(docmodel.F("badge", docmodel.Int(7)))),
+		docmodel.F("department", docmodel.String("z")),
+		docmodel.F("floor", docmodel.Int(3)),
+	))
+
+	groups := sa.Groups()
+	if len(groups) != 3 {
+		t.Fatalf("shape groups = %d", len(groups))
+	}
+	if len(groups[0].Docs) != 5 {
+		t.Error("largest group first")
+	}
+
+	fams := NewSchemaMapper().Map(groups)
+	if len(fams) != 2 {
+		t.Fatalf("families = %d: %+v", len(fams), fams)
+	}
+	// The order family unifies both shapes.
+	orders := fams[0]
+	if len(orders.Groups) != 2 {
+		t.Fatalf("order family groups = %d", len(orders.Groups))
+	}
+	paths := orders.PathsFor("customername")
+	if len(paths) != 2 {
+		t.Errorf("customer name paths = %v (attrs: %v)", paths, orders.AttrToPaths)
+	}
+	if len(orders.Docs()) != 8 {
+		t.Errorf("order family docs = %d", len(orders.Docs()))
+	}
+}
+
+func TestCanonicalAttr(t *testing.T) {
+	cases := map[string]string{
+		"/po/Customer_Name": "customername",
+		"customerName":      "customername",
+		"/a/@id":            "id",
+		"/item/#text":       "text",
+		"/orders/skus":      "sku",
+	}
+	for in, want := range cases {
+		if got := CanonicalAttr(in); got != want {
+			t.Errorf("CanonicalAttr(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSchemaMapperSkipsAnnotations(t *testing.T) {
+	sa := NewShapeAccumulator()
+	ann := orderDoc(1, "sys", docmodel.F("score", docmodel.Float(0.5)))
+	ann.Annotates = id(99)
+	sa.Observe(ann)
+	if len(sa.Groups()) != 0 {
+		t.Error("annotations must not form schema groups")
+	}
+}
+
+func TestValueJoinDiscovery(t *testing.T) {
+	// Customers (shape A) and purchase orders (shape B) share customer ids.
+	var docs []*docmodel.Document
+	for i := uint64(1); i <= 4; i++ {
+		docs = append(docs, orderDoc(i, "mdm",
+			docmodel.F("id", docmodel.String(fmt.Sprintf("C-%d", i))),
+			docmodel.F("name", docmodel.String("cust")),
+		))
+	}
+	for i := uint64(10); i <= 15; i++ {
+		docs = append(docs, orderDoc(i, "po",
+			docmodel.F("po_no", docmodel.Int(int64(i))),
+			docmodel.F("cust_ref", docmodel.String(fmt.Sprintf("C-%d", i%4+1))),
+			docmodel.F("amount", docmodel.Int(100)),
+		))
+	}
+	ji := NewJoinIndex()
+	joins := NewValueJoinDiscoverer().Discover(docs, ji)
+	if len(joins) == 0 {
+		t.Fatal("no joins discovered")
+	}
+	found := false
+	for _, j := range joins {
+		if (j.PathA == "/id" && j.PathB == "/cust_ref") || (j.PathA == "/cust_ref" && j.PathB == "/id") {
+			found = true
+			if j.Matches != 4 {
+				t.Errorf("matches = %d, want 4", j.Matches)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("id/cust_ref join missing: %+v", joins)
+	}
+	// Edges let a connection query walk PO -> customer.
+	if p := ji.Connect(id(10), id(3), 2); p == nil {
+		t.Error("join edges should connect PO 10 to customer C-3")
+	}
+}
+
+func TestValueJoinIgnoresSameShape(t *testing.T) {
+	var docs []*docmodel.Document
+	for i := uint64(1); i <= 6; i++ {
+		docs = append(docs, orderDoc(i, "x",
+			docmodel.F("k", docmodel.String(fmt.Sprintf("v%d", i%2))),
+		))
+	}
+	joins := NewValueJoinDiscoverer().Discover(docs, nil)
+	if len(joins) != 0 {
+		t.Errorf("same-shape joins proposed: %+v", joins)
+	}
+}
+
+func TestValueJoinThresholds(t *testing.T) {
+	// One shared value only: below MinMatches.
+	docs := []*docmodel.Document{
+		orderDoc(1, "a", docmodel.F("x", docmodel.String("shared")), docmodel.F("pad", docmodel.Int(1))),
+		orderDoc(2, "b", docmodel.F("y", docmodel.String("shared"))),
+	}
+	joins := NewValueJoinDiscoverer().Discover(docs, nil)
+	if len(joins) != 0 {
+		t.Errorf("singleton coincidence became a join: %+v", joins)
+	}
+}

@@ -1,0 +1,220 @@
+package discovery
+
+import (
+	"sort"
+	"sync"
+
+	"impliance/internal/docmodel"
+)
+
+// Edge is one discovered relationship between two documents.
+type Edge struct {
+	From  docmodel.DocID
+	To    docmodel.DocID
+	Label string // e.g. "ref", "entity:person:john_smith", "join:/po/cust=/cust/id"
+}
+
+// JoinIndex stores discovered relationships as an adjacency structure —
+// the paper's "join indexes" (§3.2) that connection queries traverse at
+// query time instead of recomputing pairwise analyses.
+type JoinIndex struct {
+	mu    sync.RWMutex
+	adj   map[docmodel.DocID][]Edge
+	edges int
+}
+
+// NewJoinIndex creates an empty join index.
+func NewJoinIndex() *JoinIndex {
+	return &JoinIndex{adj: map[docmodel.DocID][]Edge{}}
+}
+
+// AddEdge records an undirected relationship (stored as two directed
+// entries). Duplicate (from,to,label) edges are ignored.
+func (ji *JoinIndex) AddEdge(a, b docmodel.DocID, label string) {
+	if a == b {
+		return
+	}
+	ji.mu.Lock()
+	defer ji.mu.Unlock()
+	if ji.hasLocked(a, b, label) {
+		return
+	}
+	ji.adj[a] = append(ji.adj[a], Edge{From: a, To: b, Label: label})
+	ji.adj[b] = append(ji.adj[b], Edge{From: b, To: a, Label: label})
+	ji.edges++
+}
+
+func (ji *JoinIndex) hasLocked(a, b docmodel.DocID, label string) bool {
+	for _, e := range ji.adj[a] {
+		if e.To == b && e.Label == label {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the edges incident to the document, sorted by target
+// then label for determinism.
+func (ji *JoinIndex) Neighbors(id docmodel.DocID) []Edge {
+	ji.mu.RLock()
+	defer ji.mu.RUnlock()
+	out := append([]Edge{}, ji.adj[id]...)
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].To.Compare(out[j].To); c != 0 {
+			return c < 0
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// EdgeCount returns the number of undirected edges stored.
+func (ji *JoinIndex) EdgeCount() int {
+	ji.mu.RLock()
+	defer ji.mu.RUnlock()
+	return ji.edges
+}
+
+// Connect finds a shortest path between two documents through discovered
+// relationships, up to maxHops edges — the paper's flagship structured
+// query: "given two pieces of data, we should be able to ask how they are
+// connected" (§3.2.1). Returns nil when no connection exists within the
+// bound.
+func (ji *JoinIndex) Connect(a, b docmodel.DocID, maxHops int) []Edge {
+	if a == b {
+		return []Edge{}
+	}
+	if maxHops <= 0 {
+		maxHops = 6
+	}
+	ji.mu.RLock()
+	defer ji.mu.RUnlock()
+
+	parents := map[docmodel.DocID]visit{a: {id: a}}
+	frontier := []docmodel.DocID{a}
+	for depth := 0; depth < maxHops && len(frontier) > 0; depth++ {
+		var next []docmodel.DocID
+		for _, cur := range frontier {
+			// Deterministic expansion order.
+			edges := append([]Edge{}, ji.adj[cur]...)
+			sort.Slice(edges, func(i, j int) bool {
+				if c := edges[i].To.Compare(edges[j].To); c != 0 {
+					return c < 0
+				}
+				return edges[i].Label < edges[j].Label
+			})
+			for _, e := range edges {
+				if _, seen := parents[e.To]; seen {
+					continue
+				}
+				parents[e.To] = visit{id: e.To, via: e, prev: cur}
+				if e.To == b {
+					return reconstruct(parents, a, b)
+				}
+				next = append(next, e.To)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+func reconstruct(parents map[docmodel.DocID]visit, a, b docmodel.DocID) []Edge {
+	var path []Edge
+	cur := b
+	for cur != a {
+		v := parents[cur]
+		path = append(path, v.via)
+		cur = v.prev
+	}
+	// Reverse into a→b order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+type visit struct {
+	id   docmodel.DocID
+	via  Edge
+	prev docmodel.DocID
+}
+
+// ConnectedComponent returns every document reachable from id within
+// maxHops (the legal-compliance "transitive closure of relationships",
+// paper §2.1.3), sorted.
+func (ji *JoinIndex) ConnectedComponent(id docmodel.DocID, maxHops int) []docmodel.DocID {
+	if maxHops <= 0 {
+		maxHops = 16
+	}
+	ji.mu.RLock()
+	defer ji.mu.RUnlock()
+	seen := map[docmodel.DocID]struct{}{id: {}}
+	frontier := []docmodel.DocID{id}
+	for depth := 0; depth < maxHops && len(frontier) > 0; depth++ {
+		var next []docmodel.DocID
+		for _, cur := range frontier {
+			for _, e := range ji.adj[cur] {
+				if _, ok := seen[e.To]; !ok {
+					seen[e.To] = struct{}{}
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make([]docmodel.DocID, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// BuildEntityEdges adds relationship edges for every resolved entity
+// cluster: documents mentioning the same entity are connected. Clusters
+// touching more than maxFanout documents use a star topology around the
+// first document to bound edge count (hub entities like a big city would
+// otherwise add O(n²) edges).
+func BuildEntityEdges(ji *JoinIndex, clusters []EntityCluster, maxFanout int) int {
+	if maxFanout <= 0 {
+		maxFanout = 32
+	}
+	added := 0
+	for _, c := range clusters {
+		if len(c.Docs) < 2 {
+			continue
+		}
+		label := ClusterLabel(c)
+		if len(c.Docs) <= maxFanout {
+			for i := 0; i < len(c.Docs); i++ {
+				for j := i + 1; j < len(c.Docs); j++ {
+					ji.AddEdge(c.Docs[i], c.Docs[j], label)
+					added++
+				}
+			}
+		} else {
+			hub := c.Docs[0]
+			for _, d := range c.Docs[1:] {
+				ji.AddEdge(hub, d, label)
+				added++
+			}
+		}
+	}
+	return added
+}
+
+// BuildRefEdges adds an edge for every document reference (annotation →
+// base links and any ingested refs).
+func BuildRefEdges(ji *JoinIndex, d *docmodel.Document) int {
+	n := 0
+	for _, ref := range d.Refs() {
+		ji.AddEdge(d.ID, ref, "ref")
+		n++
+	}
+	if d.IsAnnotation() {
+		ji.AddEdge(d.ID, d.Annotates, "annotates")
+		n++
+	}
+	return n
+}

@@ -1,0 +1,226 @@
+package discovery
+
+import (
+	"sort"
+	"strings"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/text"
+)
+
+// Schema mapping (paper §3.2: "using schema mapping technologies,
+// structures from different sources can be consolidated. Thus, customer
+// purchase orders can all be searched together, whether they are ingested
+// into Impliance via e-mail, a spreadsheet, a Microsoft Word document, a
+// relational row, or other formats").
+//
+// No schema is ever declared, so mapping works from structure alone:
+// documents are grouped by structural fingerprint, fingerprint groups with
+// overlapping path signatures form a *schema family*, and within a family
+// each concrete path maps to a canonical attribute derived from its
+// normalized leaf name. A query against the canonical attribute fans out
+// to every concrete path mapped to it.
+
+// SchemaGroup is one exact structural shape and the documents having it.
+type SchemaGroup struct {
+	Fingerprint docmodel.Fingerprint
+	Signature   []string // sorted path:kindclass entries
+	Docs        []docmodel.DocID
+	Sources     map[string]int // ingestion sources seen, with counts
+}
+
+// SchemaFamily is a set of groups judged to describe the same record type.
+type SchemaFamily struct {
+	ID     int
+	Groups []SchemaGroup
+	// AttrToPaths maps each canonical attribute to the concrete paths that
+	// realize it across the family's groups.
+	AttrToPaths map[string][]string
+}
+
+// Docs returns all document IDs in the family, sorted.
+func (f *SchemaFamily) Docs() []docmodel.DocID {
+	var out []docmodel.DocID
+	for _, g := range f.Groups {
+		out = append(out, g.Docs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// PathsFor returns the concrete paths realizing a canonical attribute.
+func (f *SchemaFamily) PathsFor(attr string) []string {
+	return f.AttrToPaths[CanonicalAttr(attr)]
+}
+
+// SchemaMapper clusters document shapes into families.
+type SchemaMapper struct {
+	// MinOverlap is the signature Jaccard similarity above which two
+	// groups join the same family (default 0.5).
+	MinOverlap float64
+}
+
+// NewSchemaMapper returns a mapper with default thresholds.
+func NewSchemaMapper() *SchemaMapper { return &SchemaMapper{MinOverlap: 0.5} }
+
+// NewShapeAccumulator creates an accumulator for incremental observation.
+func NewShapeAccumulator() *ShapeAccumulator {
+	return &ShapeAccumulator{groups: map[docmodel.Fingerprint]*SchemaGroup{}}
+}
+
+// ShapeAccumulator folds documents into exact structural groups; it is the
+// streaming front half of schema mapping (runs as documents are ingested).
+type ShapeAccumulator struct {
+	groups map[docmodel.Fingerprint]*SchemaGroup
+}
+
+// Observe adds one document to its shape group. Annotation documents are
+// skipped — their shapes are system-defined, not source schemas.
+func (sa *ShapeAccumulator) Observe(d *docmodel.Document) {
+	if d.IsAnnotation() {
+		return
+	}
+	fp := docmodel.StructuralFingerprint(d.Root)
+	g, ok := sa.groups[fp]
+	if !ok {
+		g = &SchemaGroup{
+			Fingerprint: fp,
+			Signature:   docmodel.PathSignature(d.Root),
+			Sources:     map[string]int{},
+		}
+		sa.groups[fp] = g
+	}
+	g.Docs = append(g.Docs, d.ID)
+	g.Sources[d.Source]++
+}
+
+// Groups returns the accumulated exact-shape groups, largest first.
+func (sa *ShapeAccumulator) Groups() []SchemaGroup {
+	out := make([]SchemaGroup, 0, len(sa.groups))
+	for _, g := range sa.groups {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Docs) != len(out[j].Docs) {
+			return len(out[i].Docs) > len(out[j].Docs)
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+// Map clusters shape groups into schema families and derives the
+// attribute mapping for each family.
+func (m *SchemaMapper) Map(groups []SchemaGroup) []SchemaFamily {
+	minOverlap := m.MinOverlap
+	if minOverlap <= 0 {
+		minOverlap = 0.5
+	}
+	n := len(groups)
+	uf := newUnionFind(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if docmodel.SignatureOverlap(groups[i].Signature, groups[j].Signature) >= minOverlap {
+				uf.union(i, j)
+			} else if attrOverlap(groups[i].Signature, groups[j].Signature) >= minOverlap {
+				// Same attributes under different concrete paths (e.g. the
+				// XML order vs the CSV order): still the same record type.
+				uf.union(i, j)
+			}
+		}
+	}
+	members := map[int][]int{}
+	for i := 0; i < n; i++ {
+		members[uf.find(i)] = append(members[uf.find(i)], i)
+	}
+	roots := make([]int, 0, len(members))
+	for r := range members {
+		roots = append(roots, r)
+	}
+	// Deterministic family order: biggest families first.
+	sort.Slice(roots, func(a, b int) bool {
+		da, db := 0, 0
+		for _, i := range members[roots[a]] {
+			da += len(groups[i].Docs)
+		}
+		for _, i := range members[roots[b]] {
+			db += len(groups[i].Docs)
+		}
+		if da != db {
+			return da > db
+		}
+		return groups[roots[a]].Fingerprint < groups[roots[b]].Fingerprint
+	})
+
+	var fams []SchemaFamily
+	for fi, root := range roots {
+		fam := SchemaFamily{ID: fi, AttrToPaths: map[string][]string{}}
+		for _, i := range members[root] {
+			fam.Groups = append(fam.Groups, groups[i])
+			for _, sig := range groups[i].Signature {
+				path := sig[:strings.LastIndexByte(sig, ':')]
+				attr := CanonicalAttr(path)
+				if !containsStr(fam.AttrToPaths[attr], path) {
+					fam.AttrToPaths[attr] = append(fam.AttrToPaths[attr], path)
+				}
+			}
+		}
+		for attr := range fam.AttrToPaths {
+			sort.Strings(fam.AttrToPaths[attr])
+		}
+		fams = append(fams, fam)
+	}
+	return fams
+}
+
+// CanonicalAttr normalizes a path (or bare attribute name) to a canonical
+// attribute: the last path segment, lower-cased, punctuation stripped,
+// stemmed. "/po/Customer_Name", "/order/customerName" and "customer-names"
+// all map to the same attribute.
+func CanonicalAttr(path string) string {
+	seg := path
+	if i := strings.LastIndexByte(seg, '/'); i >= 0 {
+		seg = seg[i+1:]
+	}
+	seg = strings.TrimPrefix(seg, "@")
+	seg = strings.TrimPrefix(seg, "#")
+	var sb strings.Builder
+	for _, r := range seg {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			sb.WriteRune(r - 'A' + 'a')
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		}
+	}
+	return text.Stem(sb.String())
+}
+
+// attrOverlap is Jaccard similarity over canonical attribute:kindclass
+// pairs — path-shape-insensitive comparison of two signatures.
+func attrOverlap(a, b []string) float64 {
+	return docmodel.SignatureOverlap(attrSig(a), attrSig(b))
+}
+
+func attrSig(sig []string) []string {
+	seen := map[string]struct{}{}
+	for _, s := range sig {
+		i := strings.LastIndexByte(s, ':')
+		seen[CanonicalAttr(s[:i])+":"+s[i+1:]] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

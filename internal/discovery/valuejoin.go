@@ -1,0 +1,177 @@
+package discovery
+
+import (
+	"fmt"
+	"sort"
+
+	"impliance/internal/docmodel"
+)
+
+// Value-join discovery: finding foreign-key-like relationships between
+// paths of different document shapes by value overlap — the paper's
+// example that "a purchase order can be identified to reference several
+// master data records, including detailed information about a certain
+// customer and product" (§3.2). Discovered joins become join-index edges.
+
+// PathJoin is a discovered joinable path pair.
+type PathJoin struct {
+	PathA, PathB string
+	Overlap      float64 // containment of the smaller side's values
+	Matches      int     // distinct values appearing on both sides
+}
+
+// Label renders the join-edge label.
+func (pj PathJoin) Label() string { return fmt.Sprintf("join:%s=%s", pj.PathA, pj.PathB) }
+
+// ValueJoinDiscoverer scans documents' scalar leaves and proposes joins.
+type ValueJoinDiscoverer struct {
+	// MinOverlap is the value-containment threshold (default 0.3): the
+	// fraction of the smaller side's distinct values that appear on the
+	// other side.
+	MinOverlap float64
+	// MinMatches is the minimum number of distinct shared values
+	// (default 2) so singleton coincidences do not become joins.
+	MinMatches int
+	// MaxFanout bounds edges added per shared value (default 16).
+	MaxFanout int
+}
+
+// NewValueJoinDiscoverer returns a discoverer with default thresholds.
+func NewValueJoinDiscoverer() *ValueJoinDiscoverer {
+	return &ValueJoinDiscoverer{MinOverlap: 0.3, MinMatches: 2, MaxFanout: 16}
+}
+
+type pathValues struct {
+	path string
+	// distinct scalar value (encoded) -> docs containing it at this path
+	vals map[string][]docmodel.DocID
+}
+
+// Discover proposes path joins over the documents and, when ji is
+// non-nil, adds an edge for every document pair sharing a join value.
+// Only cross-shape joins are proposed: joining a path to itself within
+// one homogeneous collection is the self-join case the query layer
+// handles without discovery.
+func (vj *ValueJoinDiscoverer) Discover(docs []*docmodel.Document, ji *JoinIndex) []PathJoin {
+	minOverlap := vj.MinOverlap
+	if minOverlap <= 0 {
+		minOverlap = 0.3
+	}
+	minMatches := vj.MinMatches
+	if minMatches <= 0 {
+		minMatches = 2
+	}
+	maxFanout := vj.MaxFanout
+	if maxFanout <= 0 {
+		maxFanout = 16
+	}
+
+	// Collect per (shape, path) distinct values. Shape separation keeps
+	// /id of customers distinct from /id of orders.
+	type shapedPath struct {
+		shape docmodel.Fingerprint
+		path  string
+	}
+	collected := map[shapedPath]*pathValues{}
+	for _, d := range docs {
+		if d.IsAnnotation() {
+			continue
+		}
+		shape := docmodel.StructuralFingerprint(d.Root)
+		d.WalkLeaves(func(pv docmodel.PathVisit) bool {
+			switch pv.Value.Kind() {
+			case docmodel.KindString, docmodel.KindInt:
+			default:
+				return true // joins over floats/times are noise
+			}
+			key := shapedPath{shape, pv.Path}
+			pvs, ok := collected[key]
+			if !ok {
+				pvs = &pathValues{path: pv.Path, vals: map[string][]docmodel.DocID{}}
+				collected[key] = pvs
+			}
+			enc := string(docmodel.EncodeValue(pv.Value))
+			ids := pvs.vals[enc]
+			if len(ids) == 0 || ids[len(ids)-1] != d.ID {
+				pvs.vals[enc] = append(ids, d.ID)
+			}
+			return true
+		})
+	}
+
+	keys := make([]shapedPath, 0, len(collected))
+	for k := range collected {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].shape != keys[j].shape {
+			return keys[i].shape < keys[j].shape
+		}
+		return keys[i].path < keys[j].path
+	})
+
+	var joins []PathJoin
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			a, b := keys[i], keys[j]
+			if a.shape == b.shape {
+				continue // only cross-shape joins
+			}
+			pa, pb := collected[a], collected[b]
+			matches := 0
+			small := len(pa.vals)
+			if len(pb.vals) < small {
+				small = len(pb.vals)
+			}
+			if small == 0 {
+				continue
+			}
+			for enc := range pa.vals {
+				if _, ok := pb.vals[enc]; ok {
+					matches++
+				}
+			}
+			overlap := float64(matches) / float64(small)
+			if matches < minMatches || overlap < minOverlap {
+				continue
+			}
+			pj := PathJoin{PathA: pa.path, PathB: pb.path, Overlap: overlap, Matches: matches}
+			joins = append(joins, pj)
+			if ji != nil {
+				addJoinEdges(ji, pa, pb, pj.Label(), maxFanout)
+			}
+		}
+	}
+	sort.Slice(joins, func(i, j int) bool {
+		if joins[i].Matches != joins[j].Matches {
+			return joins[i].Matches > joins[j].Matches
+		}
+		if joins[i].PathA != joins[j].PathA {
+			return joins[i].PathA < joins[j].PathA
+		}
+		return joins[i].PathB < joins[j].PathB
+	})
+	return joins
+}
+
+func addJoinEdges(ji *JoinIndex, pa, pb *pathValues, label string, maxFanout int) {
+	for enc, aDocs := range pa.vals {
+		bDocs, ok := pb.vals[enc]
+		if !ok {
+			continue
+		}
+		n := 0
+		for _, ad := range aDocs {
+			for _, bd := range bDocs {
+				ji.AddEdge(ad, bd, label)
+				n++
+				if n >= maxFanout {
+					break
+				}
+			}
+			if n >= maxFanout {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package docmodel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Binary codec for documents. This is the appliance's native persisted
+// format (paper §3.2: "when data is persisted, it is first persisted in
+// Impliance's native format"). The encoding is self-describing,
+// length-prefixed, and varint-based, so storage nodes can apply pushed-down
+// predicates without a schema catalog.
+
+var (
+	// ErrCorrupt is returned when decoding malformed bytes.
+	ErrCorrupt = errors.New("docmodel: corrupt encoding")
+)
+
+const codecVersion = 1
+
+// EncodeDocument serializes a document version into a fresh buffer.
+func EncodeDocument(d *Document) []byte {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, codecVersion)
+	buf = appendUvarint(buf, uint64(d.ID.Origin))
+	buf = appendUvarint(buf, d.ID.Seq)
+	buf = appendUvarint(buf, uint64(d.Version))
+	buf = appendString(buf, d.MediaType)
+	buf = appendString(buf, d.Source)
+	buf = appendUvarint(buf, uint64(d.IngestedAt.UTC().UnixNano()))
+	buf = appendUvarint(buf, uint64(d.Annotates.Origin))
+	buf = appendUvarint(buf, d.Annotates.Seq)
+	buf = appendString(buf, d.Annotator)
+	buf = appendValue(buf, d.Root)
+	return buf
+}
+
+// DecodeDocument parses a buffer produced by EncodeDocument.
+func DecodeDocument(b []byte) (*Document, error) {
+	if len(b) == 0 || b[0] != codecVersion {
+		return nil, fmt.Errorf("%w: bad codec version", ErrCorrupt)
+	}
+	r := reader{b: b, off: 1}
+	var d Document
+	d.ID.Origin = uint32(r.uvarint())
+	d.ID.Seq = r.uvarint()
+	d.Version = uint32(r.uvarint())
+	d.MediaType = r.str()
+	d.Source = r.str()
+	d.IngestedAt = time.Unix(0, int64(r.uvarint())).UTC()
+	d.Annotates.Origin = uint32(r.uvarint())
+	d.Annotates.Seq = r.uvarint()
+	d.Annotator = r.str()
+	d.Root = r.value(0)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-r.off)
+	}
+	return &d, nil
+}
+
+// EncodeValue serializes a single value (used by index payloads).
+func EncodeValue(v Value) []byte {
+	return appendValue(make([]byte, 0, 32), v)
+}
+
+// DecodeValue parses a buffer produced by EncodeValue.
+func DecodeValue(b []byte) (Value, error) {
+	r := reader{b: b}
+	v := r.value(0)
+	if r.err != nil {
+		return Null, r.err
+	}
+	if r.off != len(b) {
+		return Null, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return v, nil
+}
+
+func appendValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.Kind()))
+	switch v.Kind() {
+	case KindNull:
+	case KindBool:
+		if v.BoolVal() {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case KindInt:
+		buf = appendUvarint(buf, zigzag(v.IntVal()))
+	case KindFloat:
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v.FloatVal()))
+		buf = append(buf, tmp[:]...)
+	case KindString:
+		buf = appendString(buf, v.StringVal())
+	case KindBytes:
+		buf = appendUvarint(buf, uint64(len(v.BytesVal())))
+		buf = append(buf, v.BytesVal()...)
+	case KindTime:
+		t := v.TimeVal()
+		buf = appendUvarint(buf, zigzag(t.Unix()))
+		buf = appendUvarint(buf, uint64(t.Nanosecond()))
+	case KindRef:
+		buf = appendUvarint(buf, uint64(v.RefVal().Origin))
+		buf = appendUvarint(buf, v.RefVal().Seq)
+	case KindArray:
+		buf = appendUvarint(buf, uint64(v.Len()))
+		for _, e := range v.Elems() {
+			buf = appendValue(buf, e)
+		}
+	case KindObject:
+		buf = appendUvarint(buf, uint64(v.Len()))
+		for _, f := range v.Fields() {
+			buf = appendString(buf, f.Name)
+			buf = appendValue(buf, f.Value)
+		}
+	}
+	return buf
+}
+
+// maxDepth bounds recursion when decoding untrusted bytes.
+const maxDepth = 256
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrCorrupt
+	}
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	c := r.b[r.off]
+	r.off++
+	return c
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	u, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return u
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.b)-r.off) < n {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *reader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.b)-r.off) < n {
+		r.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:r.off+int(n)])
+	r.off += int(n)
+	return out
+}
+
+func (r *reader) value(depth int) Value {
+	if r.err != nil {
+		return Null
+	}
+	if depth > maxDepth {
+		r.fail()
+		return Null
+	}
+	k := Kind(r.byte())
+	switch k {
+	case KindNull:
+		return Null
+	case KindBool:
+		return Bool(r.byte() != 0)
+	case KindInt:
+		return Int(unzigzag(r.uvarint()))
+	case KindFloat:
+		if r.off+8 > len(r.b) {
+			r.fail()
+			return Null
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+		r.off += 8
+		return Float(f)
+	case KindString:
+		return String(r.str())
+	case KindBytes:
+		return Bytes(r.bytes())
+	case KindTime:
+		sec := unzigzag(r.uvarint())
+		nsec := r.uvarint()
+		if nsec >= 1e9 {
+			r.fail()
+			return Null
+		}
+		return Time(time.Unix(sec, int64(nsec)).UTC())
+	case KindRef:
+		origin := r.uvarint()
+		seq := r.uvarint()
+		if origin > math.MaxUint32 {
+			r.fail()
+			return Null
+		}
+		return Ref(DocID{Origin: uint32(origin), Seq: seq})
+	case KindArray:
+		n := r.uvarint()
+		if r.err != nil || n > uint64(len(r.b)) {
+			r.fail()
+			return Null
+		}
+		elems := make([]Value, 0, n)
+		for i := uint64(0); i < n; i++ {
+			elems = append(elems, r.value(depth+1))
+			if r.err != nil {
+				return Null
+			}
+		}
+		return Array(elems...)
+	case KindObject:
+		n := r.uvarint()
+		if r.err != nil || n > uint64(len(r.b)) {
+			r.fail()
+			return Null
+		}
+		fields := make([]Field, 0, n)
+		for i := uint64(0); i < n; i++ {
+			name := r.str()
+			fields = append(fields, F(name, r.value(depth+1)))
+			if r.err != nil {
+				return Null
+			}
+		}
+		return Object(fields...)
+	default:
+		r.fail()
+		return Null
+	}
+}
+
+func appendUvarint(buf []byte, u uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], u)
+	return append(buf, tmp[:n]...)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func zigzag(i int64) uint64   { return uint64((i << 1) ^ (i >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

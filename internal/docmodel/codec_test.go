@@ -1,0 +1,291 @@
+package docmodel
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEncodeDecodeDocumentRoundTrip(t *testing.T) {
+	d := sampleDoc()
+	d.Annotates = DocID{Origin: 8, Seq: 15}
+	d.Annotator = "entity"
+	b := EncodeDocument(d)
+	got, err := DecodeDocument(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != d.ID || got.Version != d.Version || got.MediaType != d.MediaType ||
+		got.Source != d.Source || !got.IngestedAt.Equal(d.IngestedAt) ||
+		got.Annotates != d.Annotates || got.Annotator != d.Annotator {
+		t.Errorf("header mismatch: %+v vs %+v", got, d)
+	}
+	if !got.Root.Equal(d.Root) {
+		t.Errorf("body mismatch:\n got %s\nwant %s", got.Root, d.Root)
+	}
+}
+
+func TestDecodeDocumentRejectsCorruption(t *testing.T) {
+	d := sampleDoc()
+	b := EncodeDocument(d)
+	if _, err := DecodeDocument(nil); err == nil {
+		t.Error("nil buffer must fail")
+	}
+	if _, err := DecodeDocument(b[:len(b)/2]); err == nil {
+		t.Error("truncated buffer must fail")
+	}
+	bad := append([]byte{}, b...)
+	bad[0] = 99 // wrong codec version
+	if _, err := DecodeDocument(bad); err == nil {
+		t.Error("wrong version byte must fail")
+	}
+	// Trailing garbage must be detected.
+	if _, err := DecodeDocument(append(append([]byte{}, b...), 0xFF)); err == nil {
+		t.Error("trailing bytes must fail")
+	}
+}
+
+func TestDecodeValueFuzzDoesNotPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	valid := EncodeValue(sampleDoc().Root)
+	for i := 0; i < 2000; i++ {
+		b := append([]byte{}, valid...)
+		// Flip a few random bytes; decoder must either succeed or error,
+		// never panic or loop.
+		for j := 0; j < 3; j++ {
+			b[rng.Intn(len(b))] = byte(rng.Intn(256))
+		}
+		_, _ = DecodeValue(b)
+	}
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(64)
+		b := make([]byte, n)
+		rng.Read(b)
+		_, _ = DecodeValue(b)
+	}
+}
+
+// randomValue builds an arbitrary document tree for property testing.
+func randomValue(rng *rand.Rand, depth int) Value {
+	if depth > 4 {
+		return Int(rng.Int63())
+	}
+	switch rng.Intn(10) {
+	case 0:
+		return Null
+	case 1:
+		return Bool(rng.Intn(2) == 0)
+	case 2:
+		return Int(rng.Int63() - math.MaxInt64/2)
+	case 3:
+		return Float(rng.NormFloat64() * 1e6)
+	case 4:
+		return String(randomString(rng))
+	case 5:
+		b := make([]byte, rng.Intn(16))
+		rng.Read(b)
+		return Bytes(b)
+	case 6:
+		return Time(time.Unix(rng.Int63n(4e9)-2e9, rng.Int63n(1e9)).UTC())
+	case 7:
+		return Ref(DocID{Origin: rng.Uint32(), Seq: rng.Uint64()})
+	case 8:
+		n := rng.Intn(4)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randomValue(rng, depth+1)
+		}
+		return Array(elems...)
+	default:
+		n := rng.Intn(4)
+		fields := make([]Field, n)
+		for i := range fields {
+			fields[i] = F(randomString(rng), randomValue(rng, depth+1))
+		}
+		return Object(fields...)
+	}
+}
+
+func randomString(rng *rand.Rand) string {
+	n := rng.Intn(12)
+	b := make([]rune, n)
+	letters := []rune("abcdefghij κλμ 日本語/with.specials-")
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		v := randomValue(rng, 0)
+		got, err := DecodeValue(EncodeValue(v))
+		if err != nil {
+			t.Fatalf("iteration %d: decode failed: %v for %s", i, err, v)
+		}
+		if !got.Equal(v) {
+			t.Fatalf("iteration %d: round trip mismatch:\n got %s\nwant %s", i, got, v)
+		}
+	}
+}
+
+func TestPropertyCompareConsistentWithEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 500; i++ {
+		a := randomValue(rng, 0)
+		b := randomValue(rng, 0)
+		if a.Equal(b) && a.Compare(b) != 0 {
+			t.Fatalf("Equal but Compare != 0: %s vs %s", a, b)
+		}
+		if a.Compare(b) == 0 && isNumeric(a.Kind()) == isNumeric(b.Kind()) &&
+			a.Kind() == b.Kind() && !a.Equal(b) {
+			// Same-kind Compare==0 must imply Equal except float -0/+0.
+			if a.Kind() == KindFloat {
+				continue
+			}
+			t.Fatalf("Compare==0 but !Equal: %s vs %s", a, b)
+		}
+	}
+}
+
+func TestPropertyContentHashEqualDocsViaQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomValue(rng, 0)
+		d1 := &Document{ID: DocID{1, 1}, Version: 1, Root: v}
+		d2 := &Document{ID: DocID{2, 9}, Version: 5, Root: v}
+		// Hash covers the body only, so same body => same hash.
+		return d1.ContentHash() == d2.ContentHash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyZigzagRoundTrip(t *testing.T) {
+	f := func(i int64) bool { return unzigzag(zigzag(i)) == i }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	v := Object(
+		F("s", String("hi")),
+		F("i", Int(42)),
+		F("f", Float(1.25)),
+		F("b", Bool(true)),
+		F("n", Null),
+		F("a", Array(Int(1), Int(2))),
+	)
+	j := ToJSON(v)
+	got, err := FromJSON(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// encoding/json does not preserve map key order, so FromJSON returns
+	// objects with sorted fields (documented); compare modulo field order.
+	if !got.Equal(v.SortFields()) {
+		t.Errorf("JSON round trip:\n got %s\nwant %s\njson %s", got, v.SortFields(), j)
+	}
+}
+
+func TestJSONFieldOrderPreservedOnOutput(t *testing.T) {
+	v := Object(F("zebra", Int(1)), F("apple", Int(2)))
+	j := string(ToJSON(v))
+	if j != `{"zebra":1,"apple":2}` {
+		t.Errorf("field order not preserved: %s", j)
+	}
+}
+
+func TestJSONSpecialRenderings(t *testing.T) {
+	ts := time.Date(2026, 3, 4, 5, 6, 7, 0, time.UTC)
+	v := Object(
+		F("t", Time(ts)),
+		F("raw", Bytes([]byte{0xDE, 0xAD})),
+		F("r", Ref(DocID{2, 5})),
+		F("nan", Float(math.NaN())),
+	)
+	j := string(ToJSON(v))
+	for _, want := range []string{`"2026-03-04T05:06:07Z"`, `"3q0="`, `{"$ref":"2.5"}`, `"nan":null`} {
+		if !contains(j, want) {
+			t.Errorf("JSON %s missing %s", j, want)
+		}
+	}
+}
+
+func TestFromJSONNumberClassification(t *testing.T) {
+	v, err := FromJSON([]byte(`{"i": 7, "f": 7.5, "big": 1e300}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Get("i").Kind() != KindInt {
+		t.Error("integral JSON number should map to Int")
+	}
+	if v.Get("f").Kind() != KindFloat || v.Get("big").Kind() != KindFloat {
+		t.Error("fractional/huge JSON numbers should map to Float")
+	}
+}
+
+func TestFromJSONMalformed(t *testing.T) {
+	if _, err := FromJSON([]byte(`{"x": `)); err == nil {
+		t.Error("malformed JSON must fail")
+	}
+}
+
+func TestFingerprintInsensitiveToOrderAndRepetition(t *testing.T) {
+	a := Object(F("name", String("x")), F("qty", Int(1)),
+		F("items", Array(Object(F("sku", String("a"))))))
+	b := Object(F("qty", Float(2.5)), F("name", String("y")),
+		F("items", Array(Object(F("sku", String("b"))), Object(F("sku", String("c"))))))
+	if StructuralFingerprint(a) != StructuralFingerprint(b) {
+		t.Error("fingerprint should ignore field order, int/float class, repetition")
+	}
+	c := Object(F("name", String("x")), F("extra", Bool(true)))
+	if StructuralFingerprint(a) == StructuralFingerprint(c) {
+		t.Error("different shapes should fingerprint differently")
+	}
+}
+
+func TestSignatureOverlap(t *testing.T) {
+	a := PathSignature(Object(F("a", Int(1)), F("b", String("x"))))
+	b := PathSignature(Object(F("a", Int(2)), F("c", String("y"))))
+	got := SignatureOverlap(a, b)
+	if math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Errorf("overlap = %f, want 1/3", got)
+	}
+	if SignatureOverlap(nil, nil) != 1 {
+		t.Error("two empty signatures are identical")
+	}
+	if SignatureOverlap(a, nil) != 0 {
+		t.Error("empty vs non-empty should be 0")
+	}
+	if SignatureOverlap(a, a) != 1 {
+		t.Error("self overlap should be 1")
+	}
+}
+
+func TestEncodedSizeReasonable(t *testing.T) {
+	d := sampleDoc()
+	b := EncodeDocument(d)
+	if len(b) > 400 {
+		t.Errorf("encoding unexpectedly large: %d bytes", len(b))
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+var _ = reflect.DeepEqual // keep reflect import if quick usage changes

@@ -1,0 +1,335 @@
+package docmodel
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DocID identifies a logical document within an appliance. The node that
+// first persisted the document contributes Origin, and Seq is that node's
+// monotonically increasing sequence number; together they are unique
+// without any global coordination, matching the paper's requirement that
+// ingest never blocks on a central authority.
+type DocID struct {
+	Origin uint32
+	Seq    uint64
+}
+
+// IsZero reports whether the ID is the zero (invalid) ID.
+func (id DocID) IsZero() bool { return id.Origin == 0 && id.Seq == 0 }
+
+// Compare orders IDs by (Origin, Seq).
+func (id DocID) Compare(other DocID) int {
+	switch {
+	case id.Origin < other.Origin:
+		return -1
+	case id.Origin > other.Origin:
+		return 1
+	case id.Seq < other.Seq:
+		return -1
+	case id.Seq > other.Seq:
+		return 1
+	}
+	return 0
+}
+
+// String renders the ID as "origin.seq".
+func (id DocID) String() string {
+	return strconv.FormatUint(uint64(id.Origin), 10) + "." + strconv.FormatUint(id.Seq, 10)
+}
+
+// ParseDocID parses the "origin.seq" form produced by String.
+func ParseDocID(s string) (DocID, error) {
+	dot := strings.IndexByte(s, '.')
+	if dot < 0 {
+		return DocID{}, fmt.Errorf("docmodel: malformed doc id %q", s)
+	}
+	o, err := strconv.ParseUint(s[:dot], 10, 32)
+	if err != nil {
+		return DocID{}, fmt.Errorf("docmodel: malformed doc id %q: %v", s, err)
+	}
+	q, err := strconv.ParseUint(s[dot+1:], 10, 64)
+	if err != nil {
+		return DocID{}, fmt.Errorf("docmodel: malformed doc id %q: %v", s, err)
+	}
+	return DocID{Origin: uint32(o), Seq: q}, nil
+}
+
+// VersionKey identifies one immutable version of a document. Versions are
+// numbered from 1; version n+1 supersedes version n. Updates never happen
+// in place (paper §4): a new version is appended and replicas converge
+// asynchronously.
+type VersionKey struct {
+	Doc DocID
+	Ver uint32
+}
+
+// String renders the key as "origin.seq@ver".
+func (k VersionKey) String() string {
+	return k.Doc.String() + "@" + strconv.FormatUint(uint64(k.Ver), 10)
+}
+
+// Document is one immutable version of a document: the unit of ingestion,
+// storage, indexing, annotation, and retrieval.
+type Document struct {
+	ID      DocID
+	Version uint32 // 1 for the initially infused version
+
+	// MediaType records the original external format, e.g. "relational/row",
+	// "application/xml", "message/rfc822", "text/plain", "application/json".
+	MediaType string
+
+	// Source names the ingestion source (a feed, table, or mailbox); it is
+	// queryable metadata, not an access path.
+	Source string
+
+	// IngestedAt is when this version entered the appliance.
+	IngestedAt time.Time
+
+	// Root is the document body. For most formats this is an object.
+	Root Value
+
+	// Annotates, when non-zero, marks this document as an annotation
+	// document derived from the given base document (paper §3.2: annotators
+	// "create new annotation documents that refer to the initial
+	// document"). Base documents leave it zero.
+	Annotates DocID
+
+	// Annotator names the annotator that produced an annotation document.
+	Annotator string
+}
+
+// Key returns the version key for this document version.
+func (d *Document) Key() VersionKey { return VersionKey{Doc: d.ID, Ver: d.Version} }
+
+// IsAnnotation reports whether this is a derived annotation document.
+func (d *Document) IsAnnotation() bool { return !d.Annotates.IsZero() }
+
+// Clone returns a shallow copy of the document with a deep-shared body
+// (values are immutable, so sharing is safe).
+func (d *Document) Clone() *Document {
+	cp := *d
+	return &cp
+}
+
+// A PathVisit is one leaf (or ref) reached during a structural walk: the
+// slash-separated path from the root and the value found there. Array
+// elements repeat the same path, as in XML element repetition, so the path
+// index naturally groups repeated substructure.
+type PathVisit struct {
+	Path  string
+	Value Value
+}
+
+// WalkLeaves calls fn for every leaf value in the tree, depth-first, with
+// its structural path. Object traversal follows field order. fn returning
+// false stops the walk early.
+func (d *Document) WalkLeaves(fn func(PathVisit) bool) {
+	walk("", d.Root, fn)
+}
+
+func walk(prefix string, v Value, fn func(PathVisit) bool) bool {
+	switch v.Kind() {
+	case KindObject:
+		for _, f := range v.Fields() {
+			if !walk(prefix+"/"+f.Name, f.Value, fn) {
+				return false
+			}
+		}
+		// An empty object is itself observable at its path.
+		if v.Len() == 0 {
+			return fn(PathVisit{Path: orRoot(prefix), Value: v})
+		}
+		return true
+	case KindArray:
+		if v.Len() == 0 {
+			return fn(PathVisit{Path: orRoot(prefix), Value: v})
+		}
+		for _, e := range v.Elems() {
+			if !walk(prefix, e, fn) {
+				return false
+			}
+		}
+		return true
+	default:
+		return fn(PathVisit{Path: orRoot(prefix), Value: v})
+	}
+}
+
+func orRoot(p string) string {
+	if p == "" {
+		return "/"
+	}
+	return p
+}
+
+// Leaves collects every PathVisit in the document.
+func (d *Document) Leaves() []PathVisit {
+	var out []PathVisit
+	d.WalkLeaves(func(pv PathVisit) bool {
+		out = append(out, pv)
+		return true
+	})
+	return out
+}
+
+// Paths returns the sorted set of distinct structural paths in the
+// document. The appliance indexes every one of these automatically
+// (paper §3.2: "indexes each document by its values as well as its
+// structures (e.g., every path in the document)").
+func (d *Document) Paths() []string {
+	seen := map[string]struct{}{}
+	d.WalkLeaves(func(pv PathVisit) bool {
+		seen[pv.Path] = struct{}{}
+		return true
+	})
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sortStrings(out)
+	return out
+}
+
+// At returns the values found at the given slash-separated path. Array
+// elements fan out — both along the path and at its end — matching the
+// leaf-walk semantics the path index uses, so At("/to") on a document whose
+// "to" field is an array yields the individual addresses. A path of "/"
+// returns the root unexpanded.
+func (d *Document) At(path string) []Value {
+	if path == "" || path == "/" {
+		return []Value{d.Root}
+	}
+	segs := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	cur := []Value{d.Root}
+	for _, seg := range segs {
+		var next []Value
+		for _, v := range cur {
+			next = appendAtSegment(next, v, seg)
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		cur = next
+	}
+	return flattenArrays(nil, cur)
+}
+
+func flattenArrays(dst []Value, vs []Value) []Value {
+	for _, v := range vs {
+		if v.Kind() == KindArray {
+			dst = flattenArrays(dst, v.Elems())
+		} else {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+func appendAtSegment(dst []Value, v Value, seg string) []Value {
+	switch v.Kind() {
+	case KindArray:
+		for _, e := range v.Elems() {
+			dst = appendAtSegment(dst, e, seg)
+		}
+	case KindObject:
+		for _, f := range v.Fields() {
+			if f.Name == seg {
+				dst = append(dst, f.Value)
+			}
+		}
+	}
+	return dst
+}
+
+// First returns the first value at path, or Null.
+func (d *Document) First(path string) Value {
+	vs := d.At(path)
+	if len(vs) == 0 {
+		return Null
+	}
+	return vs[0]
+}
+
+// Refs returns every document reference contained in the tree, in walk
+// order. The connection-query engine treats these as graph edges.
+func (d *Document) Refs() []DocID {
+	var out []DocID
+	d.WalkLeaves(func(pv PathVisit) bool {
+		if pv.Value.Kind() == KindRef {
+			out = append(out, pv.Value.RefVal())
+		}
+		return true
+	})
+	return out
+}
+
+// ContentHash returns a 64-bit structural hash of the document body,
+// stable across processes. Identical bodies hash identically; it is used
+// for replica verification and deduplication, not for security.
+func (d *Document) ContentHash() uint64 {
+	h := fnv.New64a()
+	hashValue(h, d.Root)
+	return h.Sum64()
+}
+
+type hash64 interface {
+	Write([]byte) (int, error)
+	Sum64() uint64
+}
+
+func hashValue(h hash64, v Value) {
+	var tag [1]byte
+	tag[0] = byte(v.Kind())
+	h.Write(tag[:])
+	switch v.Kind() {
+	case KindBool:
+		if v.BoolVal() {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	case KindInt:
+		writeU64(h, uint64(v.IntVal()))
+	case KindFloat:
+		writeU64(h, mathFloat64bits(v.FloatVal()))
+	case KindString:
+		h.Write([]byte(v.StringVal()))
+	case KindBytes:
+		h.Write(v.BytesVal())
+	case KindTime:
+		t := v.TimeVal()
+		writeU64(h, uint64(t.Unix()))
+		writeU64(h, uint64(t.Nanosecond()))
+	case KindRef:
+		writeU64(h, uint64(v.RefVal().Origin))
+		writeU64(h, v.RefVal().Seq)
+	case KindArray:
+		for _, e := range v.Elems() {
+			hashValue(h, e)
+		}
+	case KindObject:
+		for _, f := range v.Fields() {
+			h.Write([]byte(f.Name))
+			h.Write([]byte{0})
+			hashValue(h, f.Value)
+		}
+	}
+}
+
+func writeU64(h hash64, u uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+	h.Write(b[:])
+}
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+func mathFloat64bits(f float64) uint64 { return math.Float64bits(f) }

@@ -1,0 +1,108 @@
+package docmodel
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Structural fingerprinting groups documents that share a schema shape even
+// though no schema was ever declared (paper §3.2: "using schema mapping
+// technologies, structures from different sources can be consolidated").
+// The fingerprint is insensitive to field order, array lengths, and the
+// Int/Float distinction, so a purchase order ingested from e-mail and one
+// ingested from a spreadsheet fingerprint identically when their leaf paths
+// agree.
+
+// Fingerprint is a 64-bit structural schema signature.
+type Fingerprint uint64
+
+// StructuralFingerprint computes the fingerprint of a document body.
+func StructuralFingerprint(root Value) Fingerprint {
+	sig := PathSignature(root)
+	h := fnv.New64a()
+	for _, e := range sig {
+		h.Write([]byte(e))
+		h.Write([]byte{0})
+	}
+	return Fingerprint(h.Sum64())
+}
+
+// PathSignature returns the sorted list of "path:kindclass" strings that
+// defines the document's shape. Kind classes fold Int and Float into
+// "num" and treat Time as its own class; arrays contribute their element
+// shapes (repetition collapses).
+func PathSignature(root Value) []string {
+	seen := map[string]struct{}{}
+	var visit func(prefix string, v Value)
+	visit = func(prefix string, v Value) {
+		switch v.Kind() {
+		case KindObject:
+			for _, f := range v.Fields() {
+				visit(prefix+"/"+f.Name, f.Value)
+			}
+		case KindArray:
+			for _, e := range v.Elems() {
+				visit(prefix, e)
+			}
+		default:
+			p := prefix
+			if p == "" {
+				p = "/"
+			}
+			seen[p+":"+kindClass(v.Kind())] = struct{}{}
+		}
+	}
+	visit("", root)
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func kindClass(k Kind) string {
+	switch k {
+	case KindInt, KindFloat:
+		return "num"
+	case KindBool:
+		return "bool"
+	case KindTime:
+		return "time"
+	case KindBytes:
+		return "bytes"
+	case KindRef:
+		return "ref"
+	case KindNull:
+		return "null"
+	default:
+		return "str"
+	}
+}
+
+// SignatureOverlap returns the Jaccard similarity of two path signatures,
+// used by schema mapping to decide whether two document shapes describe the
+// same real-world record type.
+func SignatureOverlap(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	set := make(map[string]struct{}, len(a))
+	for _, s := range a {
+		set[s] = struct{}{}
+	}
+	inter := 0
+	for _, s := range b {
+		if _, ok := set[s]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,144 @@
+package docmodel
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+)
+
+// JSON interchange. The native model is richer than JSON (times, bytes,
+// refs, int-vs-float), so the mapping is: times render as RFC 3339 strings,
+// bytes as base64 strings, refs as {"$ref": "origin.seq"}. FromJSONValue
+// maps JSON numbers to Int when integral, Float otherwise; it never
+// produces Time/Bytes/Ref (those are re-derived by annotators).
+
+// ToJSON renders the value as JSON text.
+func ToJSON(v Value) []byte {
+	b, err := json.Marshal(toJSONAny(v))
+	if err != nil {
+		// Only unencodable floats can fail; render them as null.
+		return []byte("null")
+	}
+	return b
+}
+
+func toJSONAny(v Value) any {
+	switch v.Kind() {
+	case KindNull:
+		return nil
+	case KindBool:
+		return v.BoolVal()
+	case KindInt:
+		return v.IntVal()
+	case KindFloat:
+		f := v.FloatVal()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil
+		}
+		return f
+	case KindString:
+		return v.StringVal()
+	case KindBytes:
+		return base64.StdEncoding.EncodeToString(v.BytesVal())
+	case KindTime:
+		return v.TimeVal().Format(time.RFC3339Nano)
+	case KindRef:
+		return map[string]any{"$ref": v.RefVal().String()}
+	case KindArray:
+		out := make([]any, 0, v.Len())
+		for _, e := range v.Elems() {
+			out = append(out, toJSONAny(e))
+		}
+		return out
+	case KindObject:
+		// Use an ordered rendering via json.RawMessage assembly to keep
+		// field order; encoding/json maps would sort keys.
+		return orderedObject(v)
+	}
+	return nil
+}
+
+// orderedObject marshals object fields preserving their order.
+type orderedObject Value
+
+// MarshalJSON implements json.Marshaler for ordered objects.
+func (o orderedObject) MarshalJSON() ([]byte, error) {
+	v := Value(o)
+	buf := []byte{'{'}
+	for i, f := range v.Fields() {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		name, err := json.Marshal(f.Name)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, name...)
+		buf = append(buf, ':')
+		val, err := json.Marshal(toJSONAny(f.Value))
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, val...)
+	}
+	return append(buf, '}'), nil
+}
+
+// FromJSON parses JSON text into a Value.
+func FromJSON(b []byte) (Value, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.UseNumber()
+	var raw any
+	if err := dec.Decode(&raw); err != nil {
+		return Null, fmt.Errorf("docmodel: parse json: %w", err)
+	}
+	return FromJSONValue(raw), nil
+}
+
+// FromJSONValue converts a decoded encoding/json value (any of nil, bool,
+// string, json.Number, float64, []any, map[string]any) into a Value. Map
+// key order is not preserved by encoding/json, so object fields come out
+// sorted; ingestors that care about order build values directly.
+func FromJSONValue(raw any) Value {
+	switch x := raw.(type) {
+	case nil:
+		return Null
+	case bool:
+		return Bool(x)
+	case string:
+		return String(x)
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			return Int(i)
+		}
+		f, _ := x.Float64()
+		return Float(f)
+	case float64:
+		if x == math.Trunc(x) && math.Abs(x) < 1<<53 {
+			return Int(int64(x))
+		}
+		return Float(x)
+	case []any:
+		elems := make([]Value, 0, len(x))
+		for _, e := range x {
+			elems = append(elems, FromJSONValue(e))
+		}
+		return Array(elems...)
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		fields := make([]Field, 0, len(keys))
+		for _, k := range keys {
+			fields = append(fields, F(k, FromJSONValue(x[k])))
+		}
+		return Object(fields...)
+	default:
+		return String(fmt.Sprint(x))
+	}
+}

@@ -1,0 +1,487 @@
+// Package docmodel implements Impliance's uniform document model (paper
+// §3.2, Figure 2): a single native representation into which every kind of
+// input — relational rows, XML, JSON, e-mail, plain text, multimedia
+// metadata — is mapped on ingestion.
+//
+// A document is an immutable, versioned tree of typed values. Object fields
+// are ordered (so XML and relational column order survive round-trips), and
+// every leaf is addressable by a structural path such as
+// "/claim/patient/name". The model deliberately carries no schema: schema
+// is discovered later by the annotation and discovery subsystems.
+package docmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The kinds of value a document tree may contain.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindBytes
+	KindTime
+	KindArray
+	KindObject
+	KindRef // reference to another document (annotation links, join edges)
+)
+
+var kindNames = [...]string{
+	KindNull:   "null",
+	KindBool:   "bool",
+	KindInt:    "int",
+	KindFloat:  "float",
+	KindString: "string",
+	KindBytes:  "bytes",
+	KindTime:   "time",
+	KindArray:  "array",
+	KindObject: "object",
+	KindRef:    "ref",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+// Value is a node in a document tree. The zero Value is null.
+//
+// Values are treated as immutable once attached to a Document; mutating
+// helpers (Set, Append) return new trees sharing unchanged substructure.
+type Value struct {
+	kind Kind
+	num  uint64 // bool/int/float/time payload
+	str  string // string payload
+	by   []byte // bytes payload
+	arr  []Value
+	obj  []Field
+	ref  DocID
+	sec  int64 // time seconds; num holds nanos
+}
+
+// Field is a single named member of an object value. Field order is
+// significant and preserved.
+type Field struct {
+	Name  string
+	Value Value
+}
+
+// Null is the null value.
+var Null = Value{}
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	var n uint64
+	if b {
+		n = 1
+	}
+	return Value{kind: KindBool, num: n}
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, num: uint64(i)} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, num: math.Float64bits(f)} }
+
+// String returns a string value.
+func String(s string) Value { return Value{kind: KindString, str: s} }
+
+// Bytes returns a binary value. The slice is not copied; callers must not
+// mutate it afterwards.
+func Bytes(b []byte) Value { return Value{kind: KindBytes, by: b} }
+
+// Time returns a timestamp value with nanosecond precision (UTC).
+func Time(t time.Time) Value {
+	t = t.UTC()
+	return Value{kind: KindTime, sec: t.Unix(), num: uint64(t.Nanosecond())}
+}
+
+// Array returns an array value from the given elements.
+func Array(elems ...Value) Value { return Value{kind: KindArray, arr: elems} }
+
+// Object returns an object value from the given fields, preserving order.
+func Object(fields ...Field) Value { return Value{kind: KindObject, obj: fields} }
+
+// Ref returns a reference to another document. References are how
+// annotation documents point at their base document and how discovered
+// relationships link entities (paper §3.2).
+func Ref(id DocID) Value { return Value{kind: KindRef, ref: id} }
+
+// F is shorthand for constructing a Field.
+func F(name string, v Value) Field { return Field{Name: name, Value: v} }
+
+// Kind reports the dynamic kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// BoolVal returns the boolean payload (false if not a bool).
+func (v Value) BoolVal() bool { return v.kind == KindBool && v.num != 0 }
+
+// IntVal returns the integer payload (0 if not an int).
+func (v Value) IntVal() int64 {
+	if v.kind != KindInt {
+		return 0
+	}
+	return int64(v.num)
+}
+
+// FloatVal returns the float payload; integer values are widened.
+func (v Value) FloatVal() float64 {
+	switch v.kind {
+	case KindFloat:
+		return math.Float64frombits(v.num)
+	case KindInt:
+		return float64(int64(v.num))
+	default:
+		return 0
+	}
+}
+
+// StringVal returns the string payload ("" if not a string).
+func (v Value) StringVal() string {
+	if v.kind != KindString {
+		return ""
+	}
+	return v.str
+}
+
+// BytesVal returns the bytes payload (nil if not bytes).
+func (v Value) BytesVal() []byte {
+	if v.kind != KindBytes {
+		return nil
+	}
+	return v.by
+}
+
+// TimeVal returns the timestamp payload (zero time if not a time).
+func (v Value) TimeVal() time.Time {
+	if v.kind != KindTime {
+		return time.Time{}
+	}
+	return time.Unix(v.sec, int64(v.num)).UTC()
+}
+
+// RefVal returns the referenced document ID (zero if not a ref).
+func (v Value) RefVal() DocID {
+	if v.kind != KindRef {
+		return DocID{}
+	}
+	return v.ref
+}
+
+// Len returns the number of elements (array) or fields (object), else 0.
+func (v Value) Len() int {
+	switch v.kind {
+	case KindArray:
+		return len(v.arr)
+	case KindObject:
+		return len(v.obj)
+	default:
+		return 0
+	}
+}
+
+// Elem returns the i-th array element; Null if out of range or not array.
+func (v Value) Elem(i int) Value {
+	if v.kind != KindArray || i < 0 || i >= len(v.arr) {
+		return Null
+	}
+	return v.arr[i]
+}
+
+// Elems returns the backing element slice of an array (nil otherwise).
+// Callers must not mutate it.
+func (v Value) Elems() []Value {
+	if v.kind != KindArray {
+		return nil
+	}
+	return v.arr
+}
+
+// Field returns the i-th field of an object.
+func (v Value) Field(i int) Field {
+	if v.kind != KindObject || i < 0 || i >= len(v.obj) {
+		return Field{}
+	}
+	return v.obj[i]
+}
+
+// Fields returns the backing field slice of an object (nil otherwise).
+// Callers must not mutate it.
+func (v Value) Fields() []Field {
+	if v.kind != KindObject {
+		return nil
+	}
+	return v.obj
+}
+
+// Get returns the first field with the given name, or Null.
+func (v Value) Get(name string) Value {
+	if v.kind != KindObject {
+		return Null
+	}
+	for _, f := range v.obj {
+		if f.Name == name {
+			return f.Value
+		}
+	}
+	return Null
+}
+
+// Has reports whether an object has a field with the given name.
+func (v Value) Has(name string) bool {
+	if v.kind != KindObject {
+		return false
+	}
+	for _, f := range v.obj {
+		if f.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Set returns a copy of the object with the named field replaced (or
+// appended if absent). The receiver is unchanged.
+func (v Value) Set(name string, val Value) Value {
+	if v.kind != KindObject {
+		return Object(F(name, val))
+	}
+	out := make([]Field, len(v.obj), len(v.obj)+1)
+	copy(out, v.obj)
+	for i := range out {
+		if out[i].Name == name {
+			out[i].Value = val
+			return Value{kind: KindObject, obj: out}
+		}
+	}
+	out = append(out, F(name, val))
+	return Value{kind: KindObject, obj: out}
+}
+
+// Append returns a copy of the array with elems appended.
+func (v Value) Append(elems ...Value) Value {
+	if v.kind != KindArray {
+		return Array(elems...)
+	}
+	out := make([]Value, 0, len(v.arr)+len(elems))
+	out = append(out, v.arr...)
+	out = append(out, elems...)
+	return Value{kind: KindArray, arr: out}
+}
+
+// Equal reports deep structural equality, including field order.
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindBool, KindInt:
+		return v.num == w.num
+	case KindFloat:
+		return math.Float64frombits(v.num) == math.Float64frombits(w.num)
+	case KindString:
+		return v.str == w.str
+	case KindBytes:
+		return string(v.by) == string(w.by)
+	case KindTime:
+		return v.sec == w.sec && v.num == w.num
+	case KindRef:
+		return v.ref == w.ref
+	case KindArray:
+		if len(v.arr) != len(w.arr) {
+			return false
+		}
+		for i := range v.arr {
+			if !v.arr[i].Equal(w.arr[i]) {
+				return false
+			}
+		}
+		return true
+	case KindObject:
+		if len(v.obj) != len(w.obj) {
+			return false
+		}
+		for i := range v.obj {
+			if v.obj[i].Name != w.obj[i].Name || !v.obj[i].Value.Equal(w.obj[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Compare orders two values. Values of different kinds order by kind; this
+// gives the value index a total order. Arrays/objects compare element-wise.
+func (v Value) Compare(w Value) int {
+	if v.kind != w.kind {
+		// Numeric kinds compare cross-kind so that Int(3) < Float(3.5).
+		if isNumeric(v.kind) && isNumeric(w.kind) {
+			return cmpFloat(v.FloatVal(), w.FloatVal())
+		}
+		if v.kind < w.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		return int(v.num) - int(w.num)
+	case KindInt:
+		a, b := int64(v.num), int64(w.num)
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		return cmpFloat(math.Float64frombits(v.num), math.Float64frombits(w.num))
+	case KindString:
+		return strings.Compare(v.str, w.str)
+	case KindBytes:
+		return strings.Compare(string(v.by), string(w.by))
+	case KindTime:
+		switch {
+		case v.sec != w.sec:
+			if v.sec < w.sec {
+				return -1
+			}
+			return 1
+		case v.num != w.num:
+			if v.num < w.num {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	case KindRef:
+		return v.ref.Compare(w.ref)
+	case KindArray:
+		n := min(len(v.arr), len(w.arr))
+		for i := 0; i < n; i++ {
+			if c := v.arr[i].Compare(w.arr[i]); c != 0 {
+				return c
+			}
+		}
+		return len(v.arr) - len(w.arr)
+	case KindObject:
+		n := min(len(v.obj), len(w.obj))
+		for i := 0; i < n; i++ {
+			if c := strings.Compare(v.obj[i].Name, w.obj[i].Name); c != 0 {
+				return c
+			}
+			if c := v.obj[i].Value.Compare(w.obj[i].Value); c != 0 {
+				return c
+			}
+		}
+		return len(v.obj) - len(w.obj)
+	}
+	return 0
+}
+
+func isNumeric(k Kind) bool { return k == KindInt || k == KindFloat }
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// String renders the value in a compact JSON-like form for debugging.
+func (v Value) String() string {
+	var sb strings.Builder
+	v.render(&sb)
+	return sb.String()
+}
+
+func (v Value) render(sb *strings.Builder) {
+	switch v.kind {
+	case KindNull:
+		sb.WriteString("null")
+	case KindBool:
+		if v.num != 0 {
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
+		}
+	case KindInt:
+		sb.WriteString(strconv.FormatInt(int64(v.num), 10))
+	case KindFloat:
+		sb.WriteString(strconv.FormatFloat(math.Float64frombits(v.num), 'g', -1, 64))
+	case KindString:
+		sb.WriteString(strconv.Quote(v.str))
+	case KindBytes:
+		fmt.Fprintf(sb, "bytes[%d]", len(v.by))
+	case KindTime:
+		sb.WriteString(v.TimeVal().Format(time.RFC3339Nano))
+	case KindRef:
+		sb.WriteString("ref:")
+		sb.WriteString(v.ref.String())
+	case KindArray:
+		sb.WriteByte('[')
+		for i, e := range v.arr {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			e.render(sb)
+		}
+		sb.WriteByte(']')
+	case KindObject:
+		sb.WriteByte('{')
+		for i, f := range v.obj {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Quote(f.Name))
+			sb.WriteByte(':')
+			f.Value.render(sb)
+		}
+		sb.WriteByte('}')
+	}
+}
+
+// SortFields returns a copy of an object with fields sorted by name; used
+// by structural fingerprinting so field order does not fragment schemas.
+func (v Value) SortFields() Value {
+	if v.kind != KindObject {
+		return v
+	}
+	out := make([]Field, len(v.obj))
+	copy(out, v.obj)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return Value{kind: KindObject, obj: out}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,338 @@
+package docmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func sampleDoc() *Document {
+	return &Document{
+		ID:         DocID{Origin: 3, Seq: 42},
+		Version:    2,
+		MediaType:  "application/json",
+		Source:     "unit-test",
+		IngestedAt: time.Date(2026, 6, 11, 10, 0, 0, 0, time.UTC),
+		Root: Object(
+			F("customer", Object(
+				F("name", String("Ada Lovelace")),
+				F("age", Int(36)),
+				F("vip", Bool(true)),
+			)),
+			F("orders", Array(
+				Object(F("sku", String("A-1")), F("qty", Int(2)), F("price", Float(19.5))),
+				Object(F("sku", String("B-9")), F("qty", Int(1)), F("price", Float(7.25))),
+			)),
+			F("note", Null),
+			F("blob", Bytes([]byte{1, 2, 3})),
+			F("when", Time(time.Date(2026, 1, 2, 3, 4, 5, 6, time.UTC))),
+			F("base", Ref(DocID{Origin: 1, Seq: 7})),
+		),
+	}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Bool(true).BoolVal() || Bool(false).BoolVal() {
+		t.Error("BoolVal mismatch")
+	}
+	if Int(-17).IntVal() != -17 {
+		t.Errorf("IntVal = %d, want -17", Int(-17).IntVal())
+	}
+	if Float(2.5).FloatVal() != 2.5 {
+		t.Error("FloatVal mismatch")
+	}
+	if Int(4).FloatVal() != 4.0 {
+		t.Error("Int should widen through FloatVal")
+	}
+	if String("x").StringVal() != "x" {
+		t.Error("StringVal mismatch")
+	}
+	if string(Bytes([]byte("ab")).BytesVal()) != "ab" {
+		t.Error("BytesVal mismatch")
+	}
+	ts := time.Date(2020, 5, 6, 7, 8, 9, 10, time.UTC)
+	if !Time(ts).TimeVal().Equal(ts) {
+		t.Error("TimeVal mismatch")
+	}
+	id := DocID{Origin: 9, Seq: 100}
+	if Ref(id).RefVal() != id {
+		t.Error("RefVal mismatch")
+	}
+	// Wrong-kind accessors return zero values.
+	if String("x").IntVal() != 0 || Int(1).StringVal() != "" || Null.BytesVal() != nil {
+		t.Error("cross-kind accessors should return zero values")
+	}
+}
+
+func TestObjectGetSetHas(t *testing.T) {
+	o := Object(F("a", Int(1)), F("b", Int(2)))
+	if o.Get("a").IntVal() != 1 || o.Get("b").IntVal() != 2 {
+		t.Fatal("Get mismatch")
+	}
+	if !o.Get("zzz").IsNull() {
+		t.Error("missing field should be Null")
+	}
+	if !o.Has("a") || o.Has("zzz") {
+		t.Error("Has mismatch")
+	}
+	o2 := o.Set("a", Int(10))
+	if o.Get("a").IntVal() != 1 {
+		t.Error("Set must not mutate receiver")
+	}
+	if o2.Get("a").IntVal() != 10 {
+		t.Error("Set replacement failed")
+	}
+	o3 := o.Set("c", Int(3))
+	if o3.Len() != 3 || o3.Get("c").IntVal() != 3 {
+		t.Error("Set append failed")
+	}
+	if o3.Field(2).Name != "c" {
+		t.Error("appended field must preserve order at the end")
+	}
+}
+
+func TestArrayAppendAndElems(t *testing.T) {
+	a := Array(Int(1))
+	b := a.Append(Int(2), Int(3))
+	if a.Len() != 1 {
+		t.Error("Append must not mutate receiver")
+	}
+	if b.Len() != 3 || b.Elem(2).IntVal() != 3 {
+		t.Error("Append failed")
+	}
+	if !b.Elem(99).IsNull() {
+		t.Error("out-of-range Elem should be Null")
+	}
+	if Null.Append(Int(5)).Len() != 1 {
+		t.Error("Append to non-array should create an array")
+	}
+}
+
+func TestEqualAndCompare(t *testing.T) {
+	d1 := sampleDoc().Root
+	d2 := sampleDoc().Root
+	if !d1.Equal(d2) {
+		t.Fatal("identical trees must be Equal")
+	}
+	if d1.Compare(d2) != 0 {
+		t.Fatal("identical trees must Compare 0")
+	}
+	if Int(1).Equal(Float(1)) {
+		t.Error("Int and Float are distinct kinds for Equal")
+	}
+	if Int(1).Compare(Float(1.5)) >= 0 {
+		t.Error("cross-numeric compare should order Int(1) < Float(1.5)")
+	}
+	if Int(2).Compare(Float(1.5)) <= 0 {
+		t.Error("cross-numeric compare should order Int(2) > Float(1.5)")
+	}
+	if String("a").Compare(String("b")) >= 0 {
+		t.Error("string compare broken")
+	}
+	if Array(Int(1)).Compare(Array(Int(1), Int(2))) >= 0 {
+		t.Error("shorter array should order first")
+	}
+	if Bool(false).Compare(Bool(true)) >= 0 {
+		t.Error("false < true")
+	}
+	ts1, ts2 := Time(time.Unix(10, 0)), Time(time.Unix(20, 0))
+	if ts1.Compare(ts2) >= 0 {
+		t.Error("time ordering broken")
+	}
+}
+
+func TestCompareIsTotalOrderOnKinds(t *testing.T) {
+	vals := []Value{
+		Null, Bool(true), Int(5), Float(2.5), String("s"),
+		Bytes([]byte("b")), Time(time.Unix(0, 0)),
+		Array(Int(1)), Object(F("k", Int(1))), Ref(DocID{1, 1}),
+	}
+	for i := range vals {
+		for j := range vals {
+			c1, c2 := vals[i].Compare(vals[j]), vals[j].Compare(vals[i])
+			if sign(c1) != -sign(c2) {
+				t.Errorf("Compare not antisymmetric for %v vs %v", vals[i], vals[j])
+			}
+			if i == j && c1 != 0 {
+				t.Errorf("Compare(x,x) != 0 for %v", vals[i])
+			}
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestWalkLeavesAndPaths(t *testing.T) {
+	d := sampleDoc()
+	paths := d.Paths()
+	want := []string{
+		"/base", "/blob", "/customer/age", "/customer/name", "/customer/vip",
+		"/note", "/orders/price", "/orders/qty", "/orders/sku", "/when",
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("Paths() = %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("Paths()[%d] = %q, want %q", i, paths[i], want[i])
+		}
+	}
+	// Array elements repeat the same path: /orders/sku appears twice in leaves.
+	n := 0
+	for _, pv := range d.Leaves() {
+		if pv.Path == "/orders/sku" {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("expected 2 leaves at /orders/sku, got %d", n)
+	}
+}
+
+func TestWalkLeavesEarlyStop(t *testing.T) {
+	d := sampleDoc()
+	count := 0
+	d.WalkLeaves(func(pv PathVisit) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d leaves, want 3", count)
+	}
+}
+
+func TestAt(t *testing.T) {
+	d := sampleDoc()
+	if got := d.First("/customer/name").StringVal(); got != "Ada Lovelace" {
+		t.Errorf("At /customer/name = %q", got)
+	}
+	skus := d.At("/orders/sku")
+	if len(skus) != 2 || skus[0].StringVal() != "A-1" || skus[1].StringVal() != "B-9" {
+		t.Errorf("At /orders/sku = %v", skus)
+	}
+	if d.At("/missing/path") != nil {
+		t.Error("missing path should return nil")
+	}
+	if len(d.At("/")) != 1 || d.At("/")[0].Kind() != KindObject {
+		t.Error("root path should return root")
+	}
+	if !d.First("/nope").IsNull() {
+		t.Error("First on missing path should be Null")
+	}
+}
+
+func TestRefs(t *testing.T) {
+	d := sampleDoc()
+	refs := d.Refs()
+	if len(refs) != 1 || refs[0] != (DocID{Origin: 1, Seq: 7}) {
+		t.Errorf("Refs = %v", refs)
+	}
+}
+
+func TestContentHashStability(t *testing.T) {
+	a, b := sampleDoc(), sampleDoc()
+	if a.ContentHash() != b.ContentHash() {
+		t.Error("identical documents must hash identically")
+	}
+	c := sampleDoc()
+	c.Root = c.Root.Set("extra", Int(1))
+	if a.ContentHash() == c.ContentHash() {
+		t.Error("different documents should (almost surely) hash differently")
+	}
+}
+
+func TestDocIDStringRoundTrip(t *testing.T) {
+	id := DocID{Origin: 12, Seq: 987654321}
+	got, err := ParseDocID(id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != id {
+		t.Errorf("round trip %v != %v", got, id)
+	}
+	for _, bad := range []string{"", "12", "a.b", "1.", ".2", "1.x", "99999999999999.1"} {
+		if _, err := ParseDocID(bad); err == nil {
+			t.Errorf("ParseDocID(%q) should fail", bad)
+		}
+	}
+}
+
+func TestVersionKeyString(t *testing.T) {
+	k := VersionKey{Doc: DocID{1, 2}, Ver: 3}
+	if k.String() != "1.2@3" {
+		t.Errorf("VersionKey.String() = %q", k.String())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindString.String() != "string" || KindObject.String() != "object" {
+		t.Error("Kind names wrong")
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	v := Object(F("a", Array(Int(1), Float(2.5))), F("b", String("x")))
+	got := v.String()
+	want := `{"a":[1,2.5],"b":"x"}`
+	if got != want {
+		t.Errorf("String() = %s, want %s", got, want)
+	}
+	if Bool(true).String() != "true" || Null.String() != "null" {
+		t.Error("scalar rendering broken")
+	}
+}
+
+func TestSortFields(t *testing.T) {
+	v := Object(F("b", Int(2)), F("a", Int(1)))
+	s := v.SortFields()
+	if s.Field(0).Name != "a" || s.Field(1).Name != "b" {
+		t.Error("SortFields did not sort")
+	}
+	if v.Field(0).Name != "b" {
+		t.Error("SortFields must not mutate receiver")
+	}
+	if !Int(1).SortFields().Equal(Int(1)) {
+		t.Error("SortFields on non-object should be identity")
+	}
+}
+
+func TestFloatSpecialValues(t *testing.T) {
+	if !Float(math.NaN()).Equal(Float(math.NaN())) {
+		// NaN equality via bit comparison is intentional for storage dedup.
+		t.Skip("NaN bit-equality not guaranteed across NaN payloads")
+	}
+}
+
+func TestAnnotationFlag(t *testing.T) {
+	d := sampleDoc()
+	if d.IsAnnotation() {
+		t.Error("base doc must not be annotation")
+	}
+	d.Annotates = DocID{1, 1}
+	if !d.IsAnnotation() {
+		t.Error("doc with Annotates set must be annotation")
+	}
+}
+
+func TestClone(t *testing.T) {
+	d := sampleDoc()
+	c := d.Clone()
+	c.Version = 99
+	if d.Version == 99 {
+		t.Error("Clone must not share header")
+	}
+	if !c.Root.Equal(d.Root) {
+		t.Error("Clone should share body")
+	}
+}

@@ -1,0 +1,168 @@
+package exec
+
+import (
+	"sort"
+
+	"impliance/internal/expr"
+)
+
+// AdaptiveFilter evaluates a conjunction while reordering its conjuncts at
+// runtime by observed selectivity — the paper's adaptive-query-processing
+// escape hatch for the statistics-free simple planner (§3.3: "the field of
+// adaptive query processing has advanced significantly... we can borrow
+// and extend some of the techniques to make query operators self-adaptable
+// at runtime", citing Eddies and progressive optimization).
+//
+// Every Window rows, conjuncts are re-sorted so the most selective (lowest
+// pass rate) runs first, minimizing total predicate evaluations without
+// any a-priori statistics. Stats decay so the operator tracks shifting
+// data distributions.
+type AdaptiveFilter struct {
+	child  Operator
+	docIdx int
+	window int
+
+	conjuncts []adaptiveConjunct
+	sinceSort int
+
+	// Evals counts total predicate evaluations (the E16 ablation metric).
+	Evals int
+}
+
+type adaptiveConjunct struct {
+	pred   expr.Expr
+	evals  float64
+	passes float64
+}
+
+func (c *adaptiveConjunct) passRate() float64 {
+	if c.evals == 0 {
+		return 0.5 // unknown: assume coin flip
+	}
+	return c.passes / c.evals
+}
+
+// NewAdaptiveFilter builds the operator from a predicate whose top-level
+// conjuncts may be reordered freely. window controls re-sort frequency
+// (default 128 rows).
+func NewAdaptiveFilter(child Operator, pred expr.Expr, docIdx, window int) *AdaptiveFilter {
+	if window <= 0 {
+		window = 128
+	}
+	af := &AdaptiveFilter{child: child, docIdx: docIdx, window: window}
+	for _, c := range pred.Conjuncts() {
+		af.conjuncts = append(af.conjuncts, adaptiveConjunct{pred: c})
+	}
+	return af
+}
+
+// Open implements Operator.
+func (af *AdaptiveFilter) Open() error { return af.child.Open() }
+
+// Next implements Operator.
+func (af *AdaptiveFilter) Next() (*Row, error) {
+	for {
+		row, err := af.child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		if af.evalRow(row) {
+			return row, nil
+		}
+	}
+}
+
+func (af *AdaptiveFilter) evalRow(row *Row) bool {
+	if af.docIdx >= len(row.Docs) {
+		return false
+	}
+	d := row.Docs[af.docIdx]
+	pass := true
+	for i := range af.conjuncts {
+		c := &af.conjuncts[i]
+		af.Evals++
+		c.evals++
+		if c.pred.Eval(d) {
+			c.passes++
+		} else {
+			pass = false
+			break // short-circuit: later conjuncts unevaluated
+		}
+	}
+	af.sinceSort++
+	if af.sinceSort >= af.window {
+		af.resort()
+		af.sinceSort = 0
+	}
+	return pass
+}
+
+// resort orders conjuncts by ascending pass rate (most selective first)
+// and decays the counters so the ordering adapts to drift.
+func (af *AdaptiveFilter) resort() {
+	sort.SliceStable(af.conjuncts, func(i, j int) bool {
+		return af.conjuncts[i].passRate() < af.conjuncts[j].passRate()
+	})
+	for i := range af.conjuncts {
+		af.conjuncts[i].evals *= 0.5
+		af.conjuncts[i].passes *= 0.5
+	}
+}
+
+// Order returns the current conjunct ordering (for tests and EXPLAIN).
+func (af *AdaptiveFilter) Order() []string {
+	out := make([]string, len(af.conjuncts))
+	for i, c := range af.conjuncts {
+		out[i] = c.pred.String()
+	}
+	return out
+}
+
+// Close implements Operator.
+func (af *AdaptiveFilter) Close() error { return af.child.Close() }
+
+// StaticFilter is the ablation twin of AdaptiveFilter: it evaluates the
+// conjuncts in their given order, never reordering.
+type StaticFilter struct {
+	child     Operator
+	docIdx    int
+	conjuncts []expr.Expr
+
+	// Evals counts total predicate evaluations.
+	Evals int
+}
+
+// NewStaticFilter builds the fixed-order conjunction filter.
+func NewStaticFilter(child Operator, pred expr.Expr, docIdx int) *StaticFilter {
+	return &StaticFilter{child: child, docIdx: docIdx, conjuncts: pred.Conjuncts()}
+}
+
+// Open implements Operator.
+func (sf *StaticFilter) Open() error { return sf.child.Open() }
+
+// Next implements Operator.
+func (sf *StaticFilter) Next() (*Row, error) {
+	for {
+		row, err := sf.child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		if sf.docIdx >= len(row.Docs) {
+			continue
+		}
+		pass := true
+		for _, c := range sf.conjuncts {
+			sf.Evals++
+			if !c.Eval(row.Docs[sf.docIdx]) {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			return row, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (sf *StaticFilter) Close() error { return sf.child.Close() }

@@ -1,0 +1,307 @@
+// Package exec implements Impliance's physical query operators. In line
+// with the paper's simple-planner philosophy (§3.3: "we propose to build a
+// simple planner that allows only a few limited choices of the underlying
+// physical operators"), the operator vocabulary is deliberately small:
+// scan, index scan, filter (plus an adaptive reordering variant), project,
+// indexed nested-loop join, hash join, sort, top-k, limit, group
+// aggregation, and exchange.
+//
+// Operators follow the pull-based iterator model: Open, Next until nil,
+// Close. Rows carry the joined tuple of documents plus computed columns.
+// The distributed story lives a layer up: data nodes evaluate pushed-down
+// scans/partials (internal/storage), grid nodes run these operators over
+// what crosses the interconnect (internal/core wires the two together).
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+)
+
+// Row is one tuple flowing between operators: a joined list of source
+// documents plus computed columns (projections and aggregates) and an
+// optional relevance score.
+type Row struct {
+	Docs  []*docmodel.Document
+	Cols  []docmodel.Value
+	Score float64
+}
+
+// Clone copies the row header (documents and column slices are shared,
+// they are immutable).
+func (r *Row) Clone() *Row {
+	cp := &Row{Score: r.Score}
+	cp.Docs = append(cp.Docs, r.Docs...)
+	cp.Cols = append(cp.Cols, r.Cols...)
+	return cp
+}
+
+// Operator is a pull-based iterator over rows.
+type Operator interface {
+	// Open prepares the operator (and its children) for iteration.
+	Open() error
+	// Next returns the next row, or nil at end of stream.
+	Next() (*Row, error)
+	// Close releases resources; the operator may not be reused.
+	Close() error
+}
+
+// ErrNotOpen is returned by Next on an unopened operator.
+var ErrNotOpen = errors.New("exec: operator not open")
+
+// Cursor supplies source documents to a Scan.
+type Cursor interface {
+	// Next returns the next document and true, or false at the end.
+	Next() (*docmodel.Document, bool)
+}
+
+// SliceCursor iterates an in-memory document slice.
+type SliceCursor struct {
+	docs []*docmodel.Document
+	pos  int
+}
+
+// NewSliceCursor wraps a document slice.
+func NewSliceCursor(docs []*docmodel.Document) *SliceCursor {
+	return &SliceCursor{docs: docs}
+}
+
+// Next implements Cursor.
+func (c *SliceCursor) Next() (*docmodel.Document, bool) {
+	if c.pos >= len(c.docs) {
+		return nil, false
+	}
+	d := c.docs[c.pos]
+	c.pos++
+	return d, true
+}
+
+// Scan emits one row per source document passing the filter.
+type Scan struct {
+	cursor Cursor
+	filter expr.Expr
+	open   bool
+	// Scanned counts documents pulled (pre-filter), for cost accounting.
+	Scanned int
+}
+
+// NewScan creates a scan over the cursor with the (possibly True) filter.
+func NewScan(cursor Cursor, filter expr.Expr) *Scan {
+	return &Scan{cursor: cursor, filter: filter}
+}
+
+// Open implements Operator.
+func (s *Scan) Open() error { s.open = true; return nil }
+
+// Next implements Operator.
+func (s *Scan) Next() (*Row, error) {
+	if !s.open {
+		return nil, ErrNotOpen
+	}
+	for {
+		d, ok := s.cursor.Next()
+		if !ok {
+			return nil, nil
+		}
+		s.Scanned++
+		if s.filter.Eval(d) {
+			return &Row{Docs: []*docmodel.Document{d}}, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (s *Scan) Close() error { s.open = false; return nil }
+
+// IndexScan emits rows for an ID list resolved through a fetch function —
+// the access path produced by index lookups.
+type IndexScan struct {
+	ids    []docmodel.DocID
+	scores []float64 // optional, parallel to ids (relevance from the index)
+	fetch  func(docmodel.DocID) (*docmodel.Document, bool)
+	filter expr.Expr
+	pos    int
+	open   bool
+}
+
+// NewIndexScan creates an index scan. scores may be nil.
+func NewIndexScan(ids []docmodel.DocID, scores []float64,
+	fetch func(docmodel.DocID) (*docmodel.Document, bool), filter expr.Expr) *IndexScan {
+	return &IndexScan{ids: ids, scores: scores, fetch: fetch, filter: filter}
+}
+
+// Open implements Operator.
+func (s *IndexScan) Open() error {
+	if s.fetch == nil {
+		return fmt.Errorf("exec: index scan needs a fetch function")
+	}
+	s.open = true
+	return nil
+}
+
+// Next implements Operator.
+func (s *IndexScan) Next() (*Row, error) {
+	if !s.open {
+		return nil, ErrNotOpen
+	}
+	for s.pos < len(s.ids) {
+		i := s.pos
+		s.pos++
+		d, ok := s.fetch(s.ids[i])
+		if !ok {
+			continue // index slightly stale vs store: skip ghosts
+		}
+		if !s.filter.Eval(d) {
+			continue
+		}
+		row := &Row{Docs: []*docmodel.Document{d}}
+		if s.scores != nil {
+			row.Score = s.scores[i]
+		}
+		return row, nil
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (s *IndexScan) Close() error { s.open = false; return nil }
+
+// Filter drops rows whose indicated document fails the predicate.
+type Filter struct {
+	child  Operator
+	pred   expr.Expr
+	docIdx int
+	// Evals counts predicate evaluations (ablation metric).
+	Evals int
+}
+
+// NewFilter wraps child with a predicate on Docs[docIdx].
+func NewFilter(child Operator, pred expr.Expr, docIdx int) *Filter {
+	return &Filter{child: child, pred: pred, docIdx: docIdx}
+}
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.child.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() (*Row, error) {
+	for {
+		row, err := f.child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		if f.docIdx >= len(row.Docs) {
+			return nil, fmt.Errorf("exec: filter doc index %d out of range", f.docIdx)
+		}
+		f.Evals++
+		if f.pred.Eval(row.Docs[f.docIdx]) {
+			return row, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.child.Close() }
+
+// ColRef names a projected column: a path evaluated against one of the
+// row's documents.
+type ColRef struct {
+	DocIdx int
+	Path   string
+}
+
+// Project appends the referenced values as row columns.
+type Project struct {
+	child Operator
+	cols  []ColRef
+}
+
+// NewProject creates a projection.
+func NewProject(child Operator, cols []ColRef) *Project {
+	return &Project{child: child, cols: cols}
+}
+
+// Open implements Operator.
+func (p *Project) Open() error { return p.child.Open() }
+
+// Next implements Operator.
+func (p *Project) Next() (*Row, error) {
+	row, err := p.child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	for _, c := range p.cols {
+		if c.DocIdx >= len(row.Docs) {
+			return nil, fmt.Errorf("exec: project doc index %d out of range", c.DocIdx)
+		}
+		row.Cols = append(row.Cols, row.Docs[c.DocIdx].First(c.Path))
+	}
+	return row, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.child.Close() }
+
+// Limit stops after n rows.
+type Limit struct {
+	child Operator
+	n     int
+	seen  int
+}
+
+// NewLimit wraps child with a row cap.
+func NewLimit(child Operator, n int) *Limit { return &Limit{child: child, n: n} }
+
+// Open implements Operator.
+func (l *Limit) Open() error { return l.child.Open() }
+
+// Next implements Operator.
+func (l *Limit) Next() (*Row, error) {
+	if l.seen >= l.n {
+		return nil, nil
+	}
+	row, err := l.child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	l.seen++
+	return row, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.child.Close() }
+
+// Collect drains an operator into a slice (convenience for callers and
+// tests). The operator is opened and closed.
+func Collect(op Operator) ([]*Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []*Row
+	for {
+		row, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// sortRowsBy sorts rows by a key function with deterministic tie-breaks.
+func sortRowsBy(rows []*Row, key func(*Row) docmodel.Value, desc bool) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		c := key(rows[i]).Compare(key(rows[j]))
+		if desc {
+			return c > 0
+		}
+		return c < 0
+	})
+}

@@ -1,0 +1,223 @@
+package exec
+
+import (
+	"fmt"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+)
+
+// IndexedNLJoin probes an index for each outer row — the join method the
+// paper singles out for top-k retrieval interfaces (§3.3: "given a
+// keyword-search interface that requires only the top-k results, indexed
+// nested-loop joins may always be the preferred join method"). Its cost is
+// proportional to the number of outer rows actually consumed, so under a
+// Limit/TopK it does only k probes' worth of work, while a hash join pays
+// to build the whole hash table first.
+type IndexedNLJoin struct {
+	outer    Operator
+	probe    func(docmodel.Value) []*docmodel.Document
+	outerIdx int
+	path     string
+
+	pending []*Row
+	// Probes counts index probes (ablation metric for E8).
+	Probes int
+}
+
+// NewIndexedNLJoin joins each outer row's value at path (from document
+// outerIdx) against the probe function, emitting one row per match with
+// the inner document appended.
+func NewIndexedNLJoin(outer Operator, outerIdx int, path string,
+	probe func(docmodel.Value) []*docmodel.Document) *IndexedNLJoin {
+	return &IndexedNLJoin{outer: outer, probe: probe, outerIdx: outerIdx, path: path}
+}
+
+// Open implements Operator.
+func (j *IndexedNLJoin) Open() error {
+	if j.probe == nil {
+		return fmt.Errorf("exec: indexed NL join needs a probe function")
+	}
+	return j.outer.Open()
+}
+
+// Next implements Operator.
+func (j *IndexedNLJoin) Next() (*Row, error) {
+	for {
+		if len(j.pending) > 0 {
+			row := j.pending[0]
+			j.pending = j.pending[1:]
+			return row, nil
+		}
+		outer, err := j.outer.Next()
+		if err != nil || outer == nil {
+			return nil, err
+		}
+		if j.outerIdx >= len(outer.Docs) {
+			return nil, fmt.Errorf("exec: join outer doc index %d out of range", j.outerIdx)
+		}
+		for _, v := range outer.Docs[j.outerIdx].At(j.path) {
+			j.Probes++
+			for _, inner := range j.probe(v) {
+				matched := outer.Clone()
+				matched.Docs = append(matched.Docs, inner)
+				j.pending = append(j.pending, matched)
+			}
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *IndexedNLJoin) Close() error { return j.outer.Close() }
+
+// HashJoin builds a hash table over the build side and streams the probe
+// side — the bulk join for full-result analytics.
+type HashJoin struct {
+	build     Operator
+	probeSide Operator
+	buildIdx  int
+	probeIdx  int
+	buildPath string
+	probePath string
+
+	table   map[string][]*Row
+	pending []*Row
+	// BuildRows counts rows hashed (ablation metric for E8).
+	BuildRows int
+}
+
+// NewHashJoin joins probe rows against build rows on path value equality.
+// The emitted row is probe row's documents followed by build row's.
+func NewHashJoin(build, probe Operator, buildIdx int, buildPath string,
+	probeIdx int, probePath string) *HashJoin {
+	return &HashJoin{
+		build: build, probeSide: probe,
+		buildIdx: buildIdx, probeIdx: probeIdx,
+		buildPath: buildPath, probePath: probePath,
+	}
+}
+
+// Open implements Operator: drains and hashes the entire build side.
+func (j *HashJoin) Open() error {
+	if err := j.build.Open(); err != nil {
+		return err
+	}
+	defer j.build.Close()
+	j.table = map[string][]*Row{}
+	for {
+		row, err := j.build.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		if j.buildIdx >= len(row.Docs) {
+			return fmt.Errorf("exec: hash join build doc index %d out of range", j.buildIdx)
+		}
+		j.BuildRows++
+		for _, v := range row.Docs[j.buildIdx].At(j.buildPath) {
+			key := string(docmodel.EncodeValue(v))
+			j.table[key] = append(j.table[key], row)
+		}
+	}
+	return j.probeSide.Open()
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (*Row, error) {
+	for {
+		if len(j.pending) > 0 {
+			row := j.pending[0]
+			j.pending = j.pending[1:]
+			return row, nil
+		}
+		probe, err := j.probeSide.Next()
+		if err != nil || probe == nil {
+			return nil, err
+		}
+		if j.probeIdx >= len(probe.Docs) {
+			return nil, fmt.Errorf("exec: hash join probe doc index %d out of range", j.probeIdx)
+		}
+		seen := map[*Row]struct{}{}
+		for _, v := range probe.Docs[j.probeIdx].At(j.probePath) {
+			key := string(docmodel.EncodeValue(v))
+			for _, b := range j.table[key] {
+				if _, dup := seen[b]; dup {
+					continue // array fan-out matched the same pair twice
+				}
+				seen[b] = struct{}{}
+				matched := probe.Clone()
+				matched.Docs = append(matched.Docs, b.Docs...)
+				matched.Cols = append(matched.Cols, b.Cols...)
+				j.pending = append(j.pending, matched)
+			}
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	return j.probeSide.Close()
+}
+
+// GroupAgg performs grouped aggregation over one of the row's documents
+// using the mergeable machinery from package expr.
+type GroupAgg struct {
+	child  Operator
+	spec   expr.GroupSpec
+	docIdx int
+
+	rows []expr.GroupRow
+	pos  int
+}
+
+// NewGroupAgg aggregates Docs[docIdx] of each input row under spec.
+func NewGroupAgg(child Operator, docIdx int, spec expr.GroupSpec) *GroupAgg {
+	return &GroupAgg{child: child, spec: spec, docIdx: docIdx}
+}
+
+// Open implements Operator: fully accumulates the child.
+func (g *GroupAgg) Open() error {
+	if err := g.child.Open(); err != nil {
+		return err
+	}
+	defer g.child.Close()
+	state := expr.NewGroupState(g.spec)
+	for {
+		row, err := g.child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		if g.docIdx >= len(row.Docs) {
+			return fmt.Errorf("exec: group agg doc index %d out of range", g.docIdx)
+		}
+		state.Update(row.Docs[g.docIdx])
+	}
+	g.rows = state.Rows()
+	return nil
+}
+
+// Next implements Operator: emits one row per group, key columns then
+// aggregate columns.
+func (g *GroupAgg) Next() (*Row, error) {
+	if g.pos >= len(g.rows) {
+		return nil, nil
+	}
+	gr := g.rows[g.pos]
+	g.pos++
+	row := &Row{}
+	row.Cols = append(row.Cols, gr.Key...)
+	row.Cols = append(row.Cols, gr.Aggs...)
+	return row, nil
+}
+
+// Close implements Operator.
+func (g *GroupAgg) Close() error {
+	g.rows = nil
+	return nil
+}

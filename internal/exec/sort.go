@@ -1,0 +1,299 @@
+package exec
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+
+	"impliance/internal/docmodel"
+)
+
+// RowKey extracts the ordering key from a row: either a column by index
+// (for rows out of GroupAgg/Project) or a document path.
+type RowKey struct {
+	// ColIdx selects Cols[ColIdx] when >= 0.
+	ColIdx int
+	// Path evaluated on Docs[DocIdx] when ColIdx < 0.
+	DocIdx int
+	Path   string
+	// ByScore orders by the row's relevance score (overrides the others).
+	ByScore bool
+}
+
+// KeyOf evaluates the key against a row.
+func (k RowKey) KeyOf(r *Row) docmodel.Value {
+	if k.ByScore {
+		return docmodel.Float(r.Score)
+	}
+	if k.ColIdx >= 0 {
+		if k.ColIdx < len(r.Cols) {
+			return r.Cols[k.ColIdx]
+		}
+		return docmodel.Null
+	}
+	if k.DocIdx < len(r.Docs) {
+		return r.Docs[k.DocIdx].First(k.Path)
+	}
+	return docmodel.Null
+}
+
+// Sort is a blocking full sort.
+type Sort struct {
+	child Operator
+	key   RowKey
+	desc  bool
+	rows  []*Row
+	pos   int
+}
+
+// NewSort sorts the child's rows by key.
+func NewSort(child Operator, key RowKey, desc bool) *Sort {
+	return &Sort{child: child, key: key, desc: desc}
+}
+
+// Open implements Operator: drains and sorts the child.
+func (s *Sort) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	defer s.child.Close()
+	for {
+		row, err := s.child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		s.rows = append(s.rows, row)
+	}
+	sortRowsBy(s.rows, s.key.KeyOf, s.desc)
+	return nil
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (*Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// TopK keeps only the k best rows by key using a bounded heap — the
+// retrieval-interface operator of §3.3 (keyword search "requires only the
+// top-k results").
+type TopK struct {
+	child Operator
+	key   RowKey
+	desc  bool
+	k     int
+	rows  []*Row
+	pos   int
+}
+
+// NewTopK keeps the k largest (desc=true) or smallest rows by key.
+func NewTopK(child Operator, key RowKey, desc bool, k int) *TopK {
+	return &TopK{child: child, key: key, desc: desc, k: k}
+}
+
+type rowHeap struct {
+	rows []*Row
+	key  RowKey
+	desc bool
+}
+
+func (h *rowHeap) Len() int { return len(h.rows) }
+func (h *rowHeap) Less(i, j int) bool {
+	// The heap root is the *worst* retained row, evicted first.
+	c := h.key.KeyOf(h.rows[i]).Compare(h.key.KeyOf(h.rows[j]))
+	if h.desc {
+		return c < 0
+	}
+	return c > 0
+}
+func (h *rowHeap) Swap(i, j int) { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *rowHeap) Push(x any)    { h.rows = append(h.rows, x.(*Row)) }
+func (h *rowHeap) Pop() any {
+	old := h.rows
+	n := len(old)
+	x := old[n-1]
+	h.rows = old[:n-1]
+	return x
+}
+
+// Open implements Operator.
+func (t *TopK) Open() error {
+	if t.k <= 0 {
+		return fmt.Errorf("exec: top-k needs k > 0")
+	}
+	if err := t.child.Open(); err != nil {
+		return err
+	}
+	defer t.child.Close()
+	h := &rowHeap{key: t.key, desc: t.desc}
+	for {
+		row, err := t.child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		if h.Len() < t.k {
+			heap.Push(h, row)
+			continue
+		}
+		// Replace the root if this row beats the current worst.
+		c := t.key.KeyOf(row).Compare(t.key.KeyOf(h.rows[0]))
+		if (t.desc && c > 0) || (!t.desc && c < 0) {
+			h.rows[0] = row
+			heap.Fix(h, 0)
+		}
+	}
+	// Extract in final order.
+	t.rows = make([]*Row, h.Len())
+	for i := h.Len() - 1; i >= 0; i-- {
+		t.rows[i] = heap.Pop(h).(*Row)
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (t *TopK) Next() (*Row, error) {
+	if t.pos >= len(t.rows) {
+		return nil, nil
+	}
+	r := t.rows[t.pos]
+	t.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (t *TopK) Close() error {
+	t.rows = nil
+	return nil
+}
+
+// Exchange merges the outputs of several child operators, optionally
+// running them concurrently — the operator that models shuffling partial
+// results from data nodes into a grid-node computation (paper §3.3's
+// example query flow).
+type Exchange struct {
+	children []Operator
+	parallel bool
+
+	rows chan *Row
+	errs chan error
+	done chan struct{}
+	wg   sync.WaitGroup
+	err  error
+	mu   sync.Mutex
+}
+
+// NewExchange merges children; with parallel=true each child is drained
+// in its own goroutine (row order across children is then unspecified).
+func NewExchange(children []Operator, parallel bool) *Exchange {
+	return &Exchange{children: children, parallel: parallel}
+}
+
+// Open implements Operator.
+func (e *Exchange) Open() error {
+	e.rows = make(chan *Row, 64)
+	e.errs = make(chan error, len(e.children))
+	e.done = make(chan struct{})
+	if e.parallel {
+		for _, c := range e.children {
+			if err := c.Open(); err != nil {
+				return err
+			}
+		}
+		for _, c := range e.children {
+			e.wg.Add(1)
+			go func(c Operator) {
+				defer e.wg.Done()
+				e.drain(c)
+			}(c)
+		}
+		go func() {
+			e.wg.Wait()
+			close(e.rows)
+		}()
+		return nil
+	}
+	// Serial: drain children in order in one goroutine.
+	for _, c := range e.children {
+		if err := c.Open(); err != nil {
+			return err
+		}
+	}
+	go func() {
+		for _, c := range e.children {
+			e.drain(c)
+		}
+		close(e.rows)
+	}()
+	return nil
+}
+
+func (e *Exchange) drain(c Operator) {
+	defer c.Close()
+	for {
+		row, err := c.Next()
+		if err != nil {
+			select {
+			case e.errs <- err:
+			default:
+			}
+			return
+		}
+		if row == nil {
+			return
+		}
+		select {
+		case e.rows <- row:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+// Next implements Operator.
+func (e *Exchange) Next() (*Row, error) {
+	for {
+		select {
+		case err := <-e.errs:
+			return nil, err
+		case row, ok := <-e.rows:
+			if !ok {
+				// Drain any straggler error.
+				select {
+				case err := <-e.errs:
+					return nil, err
+				default:
+					return nil, nil
+				}
+			}
+			return row, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (e *Exchange) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case <-e.done:
+	default:
+		close(e.done)
+	}
+	return nil
+}

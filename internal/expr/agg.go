@@ -1,0 +1,358 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"impliance/internal/docmodel"
+)
+
+// Aggregation specs and mergeable partial state. Data nodes compute
+// partials locally (paper §3.1 pushdown), grid nodes merge them — the
+// standard two-phase aggregation the paper's node topology implies.
+
+// AggKind selects an aggregate function.
+type AggKind uint8
+
+// Aggregate functions.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+var aggNames = [...]string{"count", "sum", "min", "max", "avg"}
+
+// String returns the SQL-style name of the aggregate.
+func (k AggKind) String() string {
+	if int(k) < len(aggNames) {
+		return aggNames[k]
+	}
+	return "agg?"
+}
+
+// AggSpec is one aggregate over a document path. For AggCount the path may
+// be empty (count rows); otherwise only documents with a value at the path
+// contribute.
+type AggSpec struct {
+	Kind AggKind
+	Path string
+}
+
+// String renders the spec as e.g. "sum(/orders/price)".
+func (a AggSpec) String() string { return fmt.Sprintf("%s(%s)", a.Kind, a.Path) }
+
+// GroupSpec is a grouped aggregation: group documents by the values at the
+// By paths and compute each aggregate per group. Empty By means one global
+// group.
+type GroupSpec struct {
+	By   []string
+	Aggs []AggSpec
+}
+
+// Partial is the mergeable state of one aggregate in one group.
+type Partial struct {
+	Count int64
+	Sum   float64
+	Min   docmodel.Value
+	Max   docmodel.Value
+	seen  bool
+}
+
+// Update folds one value into the partial.
+func (p *Partial) Update(v docmodel.Value) {
+	p.Count++
+	switch v.Kind() {
+	case docmodel.KindInt, docmodel.KindFloat:
+		p.Sum += v.FloatVal()
+	}
+	if !p.seen {
+		p.Min, p.Max, p.seen = v, v, true
+		return
+	}
+	if v.Compare(p.Min) < 0 {
+		p.Min = v
+	}
+	if v.Compare(p.Max) > 0 {
+		p.Max = v
+	}
+}
+
+// Merge folds another partial into this one. Partials from different data
+// nodes merge associatively and commutatively.
+func (p *Partial) Merge(o *Partial) {
+	if o.Count == 0 {
+		return
+	}
+	p.Count += o.Count
+	p.Sum += o.Sum
+	if !p.seen {
+		p.Min, p.Max, p.seen = o.Min, o.Max, o.seen
+		return
+	}
+	if o.seen {
+		if o.Min.Compare(p.Min) < 0 {
+			p.Min = o.Min
+		}
+		if o.Max.Compare(p.Max) > 0 {
+			p.Max = o.Max
+		}
+	}
+}
+
+// Final produces the aggregate's result value.
+func (p *Partial) Final(kind AggKind) docmodel.Value {
+	switch kind {
+	case AggCount:
+		return docmodel.Int(p.Count)
+	case AggSum:
+		return docmodel.Float(p.Sum)
+	case AggAvg:
+		if p.Count == 0 {
+			return docmodel.Null
+		}
+		return docmodel.Float(p.Sum / float64(p.Count))
+	case AggMin:
+		if !p.seen {
+			return docmodel.Null
+		}
+		return p.Min
+	case AggMax:
+		if !p.seen {
+			return docmodel.Null
+		}
+		return p.Max
+	}
+	return docmodel.Null
+}
+
+// GroupState accumulates grouped partials; it is itself mergeable.
+type GroupState struct {
+	Spec   GroupSpec
+	groups map[string]*groupEntry
+}
+
+type groupEntry struct {
+	key      []docmodel.Value
+	partials []Partial
+}
+
+// NewGroupState creates an empty accumulator for the spec.
+func NewGroupState(spec GroupSpec) *GroupState {
+	return &GroupState{Spec: spec, groups: map[string]*groupEntry{}}
+}
+
+// Update folds one document into the accumulator.
+func (g *GroupState) Update(d *docmodel.Document) {
+	keyVals := make([]docmodel.Value, len(g.Spec.By))
+	for i, path := range g.Spec.By {
+		keyVals[i] = d.First(path)
+	}
+	entry := g.entryFor(keyVals)
+	for i, spec := range g.Spec.Aggs {
+		if spec.Kind == AggCount && spec.Path == "" {
+			entry.partials[i].Update(docmodel.Int(1))
+			continue
+		}
+		for _, v := range d.At(spec.Path) {
+			if !v.IsNull() {
+				entry.partials[i].Update(v)
+			}
+		}
+	}
+}
+
+func (g *GroupState) entryFor(keyVals []docmodel.Value) *groupEntry {
+	k := encodeKey(keyVals)
+	entry, ok := g.groups[k]
+	if !ok {
+		entry = &groupEntry{key: keyVals, partials: make([]Partial, len(g.Spec.Aggs))}
+		g.groups[k] = entry
+	}
+	return entry
+}
+
+func encodeKey(vals []docmodel.Value) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		b := docmodel.EncodeValue(v)
+		sb.WriteString(fmt.Sprintf("%d:", len(b)))
+		sb.Write(b)
+	}
+	return sb.String()
+}
+
+// Merge folds another accumulator (same spec) into this one.
+func (g *GroupState) Merge(o *GroupState) {
+	for k, oe := range o.groups {
+		entry, ok := g.groups[k]
+		if !ok {
+			entry = &groupEntry{key: oe.key, partials: make([]Partial, len(g.Spec.Aggs))}
+			g.groups[k] = entry
+		}
+		for i := range oe.partials {
+			entry.partials[i].Merge(&oe.partials[i])
+		}
+	}
+}
+
+// GroupRow is one finalized output group.
+type GroupRow struct {
+	Key  []docmodel.Value // values of the By paths
+	Aggs []docmodel.Value // finalized aggregates, parallel to Spec.Aggs
+}
+
+// Rows finalizes the accumulator into output rows, sorted by group key for
+// determinism.
+func (g *GroupState) Rows() []GroupRow {
+	out := make([]GroupRow, 0, len(g.groups))
+	for _, e := range g.groups {
+		row := GroupRow{Key: e.key, Aggs: make([]docmodel.Value, len(g.Spec.Aggs))}
+		for i, spec := range g.Spec.Aggs {
+			row.Aggs[i] = e.partials[i].Final(spec.Kind)
+		}
+		out = append(out, row)
+	}
+	sortRows(out)
+	return out
+}
+
+// Len reports the number of groups accumulated so far.
+func (g *GroupState) Len() int { return len(g.groups) }
+
+func sortRows(rows []GroupRow) {
+	// Simple insertion-free sort via sort.Slice equivalent without
+	// importing sort here would be silly; use lexicographic key compare.
+	quickSortRows(rows, 0, len(rows)-1)
+}
+
+func quickSortRows(rows []GroupRow, lo, hi int) {
+	for lo < hi {
+		p := partitionRows(rows, lo, hi)
+		if p-lo < hi-p {
+			quickSortRows(rows, lo, p-1)
+			lo = p + 1
+		} else {
+			quickSortRows(rows, p+1, hi)
+			hi = p - 1
+		}
+	}
+}
+
+func partitionRows(rows []GroupRow, lo, hi int) int {
+	pivot := rows[(lo+hi)/2]
+	i, j := lo, hi
+	for i <= j {
+		for compareKeys(rows[i].Key, pivot.Key) < 0 {
+			i++
+		}
+		for compareKeys(rows[j].Key, pivot.Key) > 0 {
+			j--
+		}
+		if i <= j {
+			rows[i], rows[j] = rows[j], rows[i]
+			i++
+			j--
+		}
+	}
+	return j + 1
+}
+
+func compareKeys(a, b []docmodel.Value) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
+		}
+	}
+	return len(a) - len(b)
+}
+
+// EncodePartials serializes a GroupState for interconnect transfer (data
+// node → grid node). The encoding carries group keys and raw partials so
+// merging on the receiver is exact.
+func (g *GroupState) EncodePartials() []byte {
+	buf := make([]byte, 0, 256)
+	buf = appendUvarint(buf, uint64(len(g.groups)))
+	for _, e := range g.groups {
+		buf = appendUvarint(buf, uint64(len(e.key)))
+		for _, v := range e.key {
+			vb := docmodel.EncodeValue(v)
+			buf = appendUvarint(buf, uint64(len(vb)))
+			buf = append(buf, vb...)
+		}
+		for i := range e.partials {
+			p := &e.partials[i]
+			buf = appendUvarint(buf, uint64(p.Count))
+			buf = appendUvarint(buf, math.Float64bits(p.Sum))
+			if p.seen {
+				buf = append(buf, 1)
+				mb := docmodel.EncodeValue(p.Min)
+				buf = appendUvarint(buf, uint64(len(mb)))
+				buf = append(buf, mb...)
+				xb := docmodel.EncodeValue(p.Max)
+				buf = appendUvarint(buf, uint64(len(xb)))
+				buf = append(buf, xb...)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+	}
+	return buf
+}
+
+// DecodePartials parses bytes produced by EncodePartials into a GroupState
+// with the given spec.
+func DecodePartials(spec GroupSpec, b []byte) (*GroupState, error) {
+	g := NewGroupState(spec)
+	d := decoder{b: b}
+	nGroups := d.uvarint()
+	for i := uint64(0); i < nGroups && d.err == nil; i++ {
+		nKey := d.uvarint()
+		key := make([]docmodel.Value, 0, nKey)
+		for j := uint64(0); j < nKey && d.err == nil; j++ {
+			key = append(key, d.value())
+		}
+		entry := g.entryFor(key)
+		for j := range entry.partials {
+			p := &entry.partials[j]
+			var np Partial
+			np.Count = int64(d.uvarint())
+			np.Sum = math.Float64frombits(d.uvarint())
+			if d.byte() == 1 {
+				np.Min = d.value()
+				np.Max = d.value()
+				np.seen = true
+			}
+			p.Merge(&np)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("%w: trailing bytes in partials", ErrCorrupt)
+	}
+	return g, nil
+}
+
+func (d *decoder) value() docmodel.Value {
+	n := d.uvarint()
+	if d.err != nil || uint64(len(d.b)-d.off) < n {
+		d.fail()
+		return docmodel.Null
+	}
+	v, err := docmodel.DecodeValue(d.b[d.off : d.off+int(n)])
+	if err != nil {
+		d.err = err
+		return docmodel.Null
+	}
+	d.off += int(n)
+	return v
+}

@@ -1,0 +1,203 @@
+package expr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"impliance/internal/docmodel"
+)
+
+// Wire encoding of predicate trees. Interconnect messages carry encoded
+// predicates, so the fabric's byte accounting — which the pushdown
+// experiments measure — reflects their true size.
+
+// ErrCorrupt reports malformed predicate bytes.
+var ErrCorrupt = errors.New("expr: corrupt encoding")
+
+// Encode serializes the predicate.
+func (e Expr) Encode() []byte {
+	return e.appendTo(make([]byte, 0, 64))
+}
+
+func (e Expr) appendTo(buf []byte) []byte {
+	buf = append(buf, byte(e.kind))
+	switch e.kind {
+	case kTrue:
+	case kCmp:
+		buf = appendString(buf, e.path)
+		buf = append(buf, byte(e.op))
+		val := docmodel.EncodeValue(e.val)
+		buf = appendUvarint(buf, uint64(len(val)))
+		buf = append(buf, val...)
+	case kContains:
+		buf = appendString(buf, e.path)
+		buf = appendString(buf, e.str)
+	case kExists:
+		buf = appendString(buf, e.path)
+	case kAnd, kOr:
+		buf = appendUvarint(buf, uint64(len(e.kids)))
+		for _, k := range e.kids {
+			buf = k.appendTo(buf)
+		}
+	case kNot:
+		buf = e.kids[0].appendTo(buf)
+	case kMediaType, kSource:
+		buf = appendString(buf, e.str)
+	}
+	return buf
+}
+
+// Decode parses bytes produced by Encode.
+func Decode(b []byte) (Expr, error) {
+	d := decoder{b: b}
+	e := d.expr(0)
+	if d.err != nil {
+		return True(), d.err
+	}
+	if d.off != len(b) {
+		return True(), fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return e, nil
+}
+
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+const maxExprDepth = 64
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrCorrupt
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || d.off >= len(d.b) {
+		d.fail()
+		return 0
+	}
+	c := d.b[d.off]
+	d.off++
+	return c
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	u, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return u
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil || uint64(len(d.b)-d.off) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *decoder) expr(depth int) Expr {
+	if d.err != nil || depth > maxExprDepth {
+		d.fail()
+		return True()
+	}
+	kind := exprKind(d.byte())
+	switch kind {
+	case kTrue:
+		return True()
+	case kCmp:
+		path := d.str()
+		op := Op(d.byte())
+		if op > OpGe {
+			d.fail()
+			return True()
+		}
+		n := d.uvarint()
+		if d.err != nil || uint64(len(d.b)-d.off) < n {
+			d.fail()
+			return True()
+		}
+		val, err := docmodel.DecodeValue(d.b[d.off : d.off+int(n)])
+		if err != nil {
+			d.err = err
+			return True()
+		}
+		d.off += int(n)
+		return Cmp(path, op, val)
+	case kContains:
+		path := d.str()
+		return Contains(path, d.str())
+	case kExists:
+		return Exists(d.str())
+	case kAnd, kOr:
+		n := d.uvarint()
+		if d.err != nil || n > uint64(len(d.b)) {
+			d.fail()
+			return True()
+		}
+		kids := make([]Expr, 0, n)
+		for i := uint64(0); i < n; i++ {
+			kids = append(kids, d.expr(depth+1))
+			if d.err != nil {
+				return True()
+			}
+		}
+		if kind == kAnd {
+			return Expr{kind: kAnd, kids: kids}
+		}
+		return Expr{kind: kOr, kids: kids}
+	case kNot:
+		return Not(d.expr(depth + 1))
+	case kMediaType:
+		return MediaTypeIs(d.str())
+	case kSource:
+		return SourceIs(d.str())
+	default:
+		d.fail()
+		return True()
+	}
+}
+
+func appendUvarint(buf []byte, u uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], u)
+	return append(buf, tmp[:n]...)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// Equal reports structural equality of two predicates (used in tests and
+// plan caching).
+func (e Expr) Equal(o Expr) bool {
+	if e.kind != o.kind || e.path != o.path || e.op != o.op || e.str != o.str {
+		return false
+	}
+	if !e.val.Equal(o.val) {
+		return false
+	}
+	if len(e.kids) != len(o.kids) {
+		return false
+	}
+	for i := range e.kids {
+		if !e.kids[i].Equal(o.kids[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,373 @@
+// Package expr defines the serializable predicate and aggregation
+// specifications that flow between Impliance components. Because the
+// appliance controls its whole software stack, higher layers hand these
+// specs *down* to the storage software for early data reduction (paper
+// §3.1: "higher-level functionality such as aggregation and predicate
+// application can be more easily 'pushed down' closer to the storage").
+// Specs are plain data — encodable for interconnect transfer and byte
+// accounting — not Go closures.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/text"
+)
+
+// Op is a comparison operator.
+type Op uint8
+
+// Comparison operators.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var opNames = [...]string{"=", "!=", "<", "<=", ">", ">="}
+
+// String returns the SQL-style spelling of the operator.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "?"
+}
+
+// Expr is a predicate over documents. The zero-value-free constructors
+// below build the tree; Eval applies it.
+type Expr struct {
+	kind exprKind
+	path string
+	op   Op
+	val  docmodel.Value
+	str  string
+	kids []Expr
+}
+
+type exprKind uint8
+
+const (
+	kTrue exprKind = iota
+	kCmp
+	kContains
+	kExists
+	kAnd
+	kOr
+	kNot
+	kMediaType
+	kSource
+)
+
+// True matches every document.
+func True() Expr { return Expr{kind: kTrue} }
+
+// Cmp matches documents having any value at path that compares to v under
+// op. Array fan-out gives existential semantics, as in XPath.
+func Cmp(path string, op Op, v docmodel.Value) Expr {
+	return Expr{kind: kCmp, path: path, op: op, val: v}
+}
+
+// Contains matches documents whose string values at path contain every
+// term of the analyzed query string. An empty path searches all text in
+// the document.
+func Contains(path, query string) Expr {
+	return Expr{kind: kContains, path: path, str: query}
+}
+
+// Exists matches documents that have at least one value at path.
+func Exists(path string) Expr { return Expr{kind: kExists, path: path} }
+
+// And matches when all children match. And() is True.
+func And(kids ...Expr) Expr {
+	if len(kids) == 1 {
+		return kids[0]
+	}
+	return Expr{kind: kAnd, kids: kids}
+}
+
+// Or matches when any child matches. Or() is False (Not True).
+func Or(kids ...Expr) Expr {
+	if len(kids) == 1 {
+		return kids[0]
+	}
+	return Expr{kind: kOr, kids: kids}
+}
+
+// Not negates its child.
+func Not(kid Expr) Expr { return Expr{kind: kNot, kids: []Expr{kid}} }
+
+// MediaTypeIs matches documents whose ingestion media type equals mt.
+func MediaTypeIs(mt string) Expr { return Expr{kind: kMediaType, str: mt} }
+
+// SourceIs matches documents ingested from the named source.
+func SourceIs(src string) Expr { return Expr{kind: kSource, str: src} }
+
+// Eval reports whether the document satisfies the predicate.
+func (e Expr) Eval(d *docmodel.Document) bool {
+	switch e.kind {
+	case kTrue:
+		return true
+	case kCmp:
+		for _, v := range d.At(e.path) {
+			if compatible(v, e.val) && applyOp(v.Compare(e.val), e.op) {
+				return true
+			}
+		}
+		return false
+	case kContains:
+		return containsTerms(d, e.path, e.str)
+	case kExists:
+		return len(d.At(e.path)) > 0
+	case kAnd:
+		for _, k := range e.kids {
+			if !k.Eval(d) {
+				return false
+			}
+		}
+		return true
+	case kOr:
+		for _, k := range e.kids {
+			if k.Eval(d) {
+				return true
+			}
+		}
+		return false
+	case kNot:
+		return !e.kids[0].Eval(d)
+	case kMediaType:
+		return d.MediaType == e.str
+	case kSource:
+		return d.Source == e.str
+	}
+	return false
+}
+
+// compatible gates comparisons to same-kind (or numeric cross-kind) pairs
+// so that e.g. age > 30 never matches a string "thirty".
+func compatible(a, b docmodel.Value) bool {
+	if a.Kind() == b.Kind() {
+		return true
+	}
+	an := a.Kind() == docmodel.KindInt || a.Kind() == docmodel.KindFloat
+	bn := b.Kind() == docmodel.KindInt || b.Kind() == docmodel.KindFloat
+	return an && bn
+}
+
+func applyOp(cmp int, op Op) bool {
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+func containsTerms(d *docmodel.Document, path, query string) bool {
+	terms := text.DefaultAnalyzer.Terms(query)
+	if len(terms) == 0 {
+		return true
+	}
+	need := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		need[t] = true
+	}
+	remaining := len(need)
+	check := func(v docmodel.Value) bool {
+		if v.Kind() != docmodel.KindString {
+			return false
+		}
+		text.DefaultAnalyzer.TokenizeFunc(v.StringVal(), func(tok text.Token) {
+			if need[tok.Term] {
+				need[tok.Term] = false
+				remaining--
+			}
+		})
+		return remaining == 0
+	}
+	if path == "" {
+		done := false
+		d.WalkLeaves(func(pv docmodel.PathVisit) bool {
+			if check(pv.Value) {
+				done = true
+				return false
+			}
+			return true
+		})
+		return done || remaining == 0
+	}
+	for _, v := range d.At(path) {
+		if check(v) {
+			return true
+		}
+	}
+	return remaining == 0
+}
+
+// String renders the predicate for plans and debugging.
+func (e Expr) String() string {
+	switch e.kind {
+	case kTrue:
+		return "true"
+	case kCmp:
+		return fmt.Sprintf("%s %s %s", e.path, e.op, e.val)
+	case kContains:
+		if e.path == "" {
+			return fmt.Sprintf("contains(%q)", e.str)
+		}
+		return fmt.Sprintf("contains(%s, %q)", e.path, e.str)
+	case kExists:
+		return fmt.Sprintf("exists(%s)", e.path)
+	case kAnd:
+		return joinKids(e.kids, " AND ")
+	case kOr:
+		return joinKids(e.kids, " OR ")
+	case kNot:
+		return "NOT (" + e.kids[0].String() + ")"
+	case kMediaType:
+		return fmt.Sprintf("mediatype = %q", e.str)
+	case kSource:
+		return fmt.Sprintf("source = %q", e.str)
+	}
+	return "?"
+}
+
+func joinKids(kids []Expr, sep string) string {
+	if len(kids) == 0 {
+		if sep == " AND " {
+			return "true"
+		}
+		return "false"
+	}
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		parts[i] = "(" + k.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// Conjuncts flattens nested ANDs into a conjunct list; used by the planner
+// and the adaptive filter-reordering operator.
+func (e Expr) Conjuncts() []Expr {
+	if e.kind != kAnd {
+		return []Expr{e}
+	}
+	var out []Expr
+	for _, k := range e.kids {
+		out = append(out, k.Conjuncts()...)
+	}
+	return out
+}
+
+// IsTrue reports whether the predicate is the constant True.
+func (e Expr) IsTrue() bool { return e.kind == kTrue }
+
+// Paths returns every path mentioned in the predicate (deduplicated).
+// The simple planner uses this to pick an index.
+func (e Expr) Paths() []string {
+	seen := map[string]struct{}{}
+	e.collectPaths(seen)
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sortStrings(out)
+	return out
+}
+
+func (e Expr) collectPaths(seen map[string]struct{}) {
+	switch e.kind {
+	case kCmp, kExists:
+		seen[e.path] = struct{}{}
+	case kContains:
+		if e.path != "" {
+			seen[e.path] = struct{}{}
+		}
+	}
+	for _, k := range e.kids {
+		k.collectPaths(seen)
+	}
+}
+
+// EqualityOn returns (value, true) when the predicate — or one of its
+// top-level conjuncts — is an equality comparison on the given path.
+func (e Expr) EqualityOn(path string) (docmodel.Value, bool) {
+	for _, c := range e.Conjuncts() {
+		if c.kind == kCmp && c.op == OpEq && c.path == path {
+			return c.val, true
+		}
+	}
+	return docmodel.Null, false
+}
+
+// RangeOn extracts range bounds on the given path from the top-level
+// conjuncts: <, <=, >, >= (and = as a closed point range). ok is false
+// when no conjunct constrains the path. Both planners use this to decide
+// whether a value-index range access applies.
+func (e Expr) RangeOn(path string) (lo, hi *docmodel.Value, loInc, hiInc, ok bool) {
+	for _, c := range e.Conjuncts() {
+		if c.kind != kCmp || c.path != path {
+			continue
+		}
+		v := c.val
+		switch c.op {
+		case OpEq:
+			return &v, &v, true, true, true
+		case OpLt:
+			if hi == nil || v.Compare(*hi) < 0 {
+				hi, hiInc = &v, false
+			}
+			ok = true
+		case OpLe:
+			if hi == nil || v.Compare(*hi) < 0 {
+				hi, hiInc = &v, true
+			}
+			ok = true
+		case OpGt:
+			if lo == nil || v.Compare(*lo) > 0 {
+				lo, loInc = &v, false
+			}
+			ok = true
+		case OpGe:
+			if lo == nil || v.Compare(*lo) > 0 {
+				lo, loInc = &v, true
+			}
+			ok = true
+		}
+	}
+	return lo, hi, loInc, hiInc, ok
+}
+
+// ContainsQueries returns the keyword queries of every Contains conjunct,
+// which the planner routes to the full-text index.
+func (e Expr) ContainsQueries() []string {
+	var out []string
+	for _, c := range e.Conjuncts() {
+		if c.kind == kContains {
+			out = append(out, c.str)
+		}
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

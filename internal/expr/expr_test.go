@@ -1,0 +1,382 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"impliance/internal/docmodel"
+)
+
+func testDoc() *docmodel.Document {
+	return &docmodel.Document{
+		ID:        docmodel.DocID{Origin: 1, Seq: 1},
+		Version:   1,
+		MediaType: "application/json",
+		Source:    "feed-a",
+		Root: docmodel.Object(
+			docmodel.F("name", docmodel.String("Grace Hopper")),
+			docmodel.F("age", docmodel.Int(52)),
+			docmodel.F("score", docmodel.Float(9.5)),
+			docmodel.F("active", docmodel.Bool(true)),
+			docmodel.F("tags", docmodel.Array(docmodel.String("navy"), docmodel.String("compiler"))),
+			docmodel.F("bio", docmodel.String("Invented the first compiler and popularized machine-independent languages")),
+		),
+	}
+}
+
+func TestCmpEval(t *testing.T) {
+	d := testDoc()
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Cmp("/age", OpEq, docmodel.Int(52)), true},
+		{Cmp("/age", OpNe, docmodel.Int(52)), false},
+		{Cmp("/age", OpGt, docmodel.Int(50)), true},
+		{Cmp("/age", OpGe, docmodel.Int(52)), true},
+		{Cmp("/age", OpLt, docmodel.Int(52)), false},
+		{Cmp("/age", OpLe, docmodel.Int(52)), true},
+		// Numeric cross-kind: int field vs float literal.
+		{Cmp("/age", OpGt, docmodel.Float(51.5)), true},
+		{Cmp("/score", OpLt, docmodel.Int(10)), true},
+		// Kind-gated: int field never matches string literal.
+		{Cmp("/age", OpEq, docmodel.String("52")), false},
+		// Array fan-out: existential match.
+		{Cmp("/tags", OpEq, docmodel.String("navy")), true},
+		{Cmp("/tags", OpEq, docmodel.String("army")), false},
+		// Missing path never matches.
+		{Cmp("/missing", OpEq, docmodel.Int(1)), false},
+	}
+	for i, c := range cases {
+		if got := c.e.Eval(d); got != c.want {
+			t.Errorf("case %d %s: got %v, want %v", i, c.e, got, c.want)
+		}
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	d := testDoc()
+	tru := Cmp("/age", OpEq, docmodel.Int(52))
+	fls := Cmp("/age", OpEq, docmodel.Int(1))
+	if !And(tru, tru).Eval(d) || And(tru, fls).Eval(d) {
+		t.Error("And broken")
+	}
+	if !Or(fls, tru).Eval(d) || Or(fls, fls).Eval(d) {
+		t.Error("Or broken")
+	}
+	if Not(tru).Eval(d) || !Not(fls).Eval(d) {
+		t.Error("Not broken")
+	}
+	if !And().Eval(d) {
+		t.Error("empty And is True")
+	}
+	if Or().Eval(d) {
+		t.Error("empty Or is False")
+	}
+	if !True().Eval(d) {
+		t.Error("True broken")
+	}
+}
+
+func TestContainsEval(t *testing.T) {
+	d := testDoc()
+	if !Contains("/bio", "compiler").Eval(d) {
+		t.Error("single term")
+	}
+	if !Contains("/bio", "machine independent LANGUAGES").Eval(d) {
+		t.Error("multi term with case and stemming")
+	}
+	if Contains("/bio", "compiler unicorn").Eval(d) {
+		t.Error("all terms must be present")
+	}
+	// Empty path searches all text.
+	if !Contains("", "grace navy").Eval(d) {
+		t.Error("whole-document search should span fields")
+	}
+	if !Contains("/bio", "").Eval(d) {
+		t.Error("empty query matches")
+	}
+	if Contains("/age", "52").Eval(d) {
+		t.Error("contains only applies to strings")
+	}
+}
+
+func TestExistsAndMetadata(t *testing.T) {
+	d := testDoc()
+	if !Exists("/name").Eval(d) || Exists("/nope").Eval(d) {
+		t.Error("Exists broken")
+	}
+	if !MediaTypeIs("application/json").Eval(d) || MediaTypeIs("text/plain").Eval(d) {
+		t.Error("MediaTypeIs broken")
+	}
+	if !SourceIs("feed-a").Eval(d) || SourceIs("feed-b").Eval(d) {
+		t.Error("SourceIs broken")
+	}
+}
+
+func TestConjunctsFlattening(t *testing.T) {
+	e := And(Cmp("/a", OpEq, docmodel.Int(1)), And(Exists("/b"), Exists("/c")))
+	cs := e.Conjuncts()
+	if len(cs) != 3 {
+		t.Errorf("Conjuncts = %d, want 3", len(cs))
+	}
+	single := Exists("/x")
+	if len(single.Conjuncts()) != 1 {
+		t.Error("non-And should be single conjunct")
+	}
+}
+
+func TestPathsAndEqualityOn(t *testing.T) {
+	e := And(Cmp("/a", OpEq, docmodel.Int(1)), Contains("/b", "x"), Exists("/c"), Contains("", "y"))
+	paths := e.Paths()
+	want := []string{"/a", "/b", "/c"}
+	if len(paths) != len(want) {
+		t.Fatalf("Paths = %v", paths)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Errorf("Paths[%d] = %s", i, paths[i])
+		}
+	}
+	v, ok := e.EqualityOn("/a")
+	if !ok || v.IntVal() != 1 {
+		t.Error("EqualityOn /a")
+	}
+	if _, ok := e.EqualityOn("/b"); ok {
+		t.Error("EqualityOn should not match Contains")
+	}
+	qs := e.ContainsQueries()
+	if len(qs) != 2 || qs[0] != "x" || qs[1] != "y" {
+		t.Errorf("ContainsQueries = %v", qs)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := And(Cmp("/age", OpGt, docmodel.Int(30)), Not(Exists("/deleted")))
+	s := e.String()
+	if s != "(/age > 30) AND (NOT (exists(/deleted)))" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	exprs := []Expr{
+		True(),
+		Cmp("/a/b", OpLe, docmodel.Float(3.5)),
+		Contains("/text", "hello world"),
+		Contains("", "anywhere"),
+		Exists("/x"),
+		Not(Exists("/x")),
+		MediaTypeIs("application/xml"),
+		SourceIs("mail"),
+		And(Cmp("/a", OpEq, docmodel.Int(1)), Or(Exists("/b"), Not(True())), Contains("/c", "q")),
+	}
+	for i, e := range exprs {
+		got, err := Decode(e.Encode())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !got.Equal(e) {
+			t.Errorf("case %d: round trip %s != %s", i, got, e)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	valid := And(Cmp("/a", OpEq, docmodel.Int(1)), Contains("/b", "x")).Encode()
+	panics := 0
+	for i := 0; i < 1000; i++ {
+		b := append([]byte{}, valid...)
+		for j := 0; j < 2; j++ {
+			b[rng.Intn(len(b))] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if recover() != nil {
+					panics++
+				}
+			}()
+			_, _ = Decode(b)
+		}()
+	}
+	if panics != 0 {
+		t.Errorf("decoder panicked %d times on corrupted input", panics)
+	}
+	if _, err := Decode([]byte{255}); err == nil {
+		t.Error("unknown kind must fail")
+	}
+}
+
+func TestPartialUpdateAndFinal(t *testing.T) {
+	var p Partial
+	for _, v := range []int64{5, 1, 9, 3} {
+		p.Update(docmodel.Int(v))
+	}
+	if p.Final(AggCount).IntVal() != 4 {
+		t.Error("count")
+	}
+	if p.Final(AggSum).FloatVal() != 18 {
+		t.Error("sum")
+	}
+	if p.Final(AggAvg).FloatVal() != 4.5 {
+		t.Error("avg")
+	}
+	if p.Final(AggMin).IntVal() != 1 || p.Final(AggMax).IntVal() != 9 {
+		t.Error("min/max")
+	}
+	var empty Partial
+	if !empty.Final(AggMin).IsNull() || !empty.Final(AggAvg).IsNull() {
+		t.Error("empty partial should finalize Null for min/avg")
+	}
+	if empty.Final(AggCount).IntVal() != 0 {
+		t.Error("empty count is 0")
+	}
+}
+
+func TestPartialMergeEquivalentToCombinedUpdates(t *testing.T) {
+	vals := []float64{1.5, -2, 7, 0.25, 100, -3.5}
+	var whole Partial
+	for _, v := range vals {
+		whole.Update(docmodel.Float(v))
+	}
+	var a, b Partial
+	for i, v := range vals {
+		if i%2 == 0 {
+			a.Update(docmodel.Float(v))
+		} else {
+			b.Update(docmodel.Float(v))
+		}
+	}
+	a.Merge(&b)
+	for _, k := range []AggKind{AggCount, AggSum, AggAvg, AggMin, AggMax} {
+		if !a.Final(k).Equal(whole.Final(k)) {
+			t.Errorf("%s: merged %s != whole %s", k, a.Final(k), whole.Final(k))
+		}
+	}
+	// Merging an empty partial is a no-op.
+	var empty Partial
+	a2 := a
+	a2.Merge(&empty)
+	if a2.Final(AggSum).FloatVal() != a.Final(AggSum).FloatVal() {
+		t.Error("merging empty changed state")
+	}
+	// Merging INTO an empty partial adopts the other side.
+	var fresh Partial
+	fresh.Merge(&whole)
+	if !fresh.Final(AggMin).Equal(whole.Final(AggMin)) {
+		t.Error("merge into empty lost min")
+	}
+}
+
+func makeOrderDoc(region string, amount float64) *docmodel.Document {
+	return &docmodel.Document{Root: docmodel.Object(
+		docmodel.F("region", docmodel.String(region)),
+		docmodel.F("amount", docmodel.Float(amount)),
+	)}
+}
+
+func TestGroupStateGroupsAndSorts(t *testing.T) {
+	spec := GroupSpec{
+		By:   []string{"/region"},
+		Aggs: []AggSpec{{AggCount, ""}, {AggSum, "/amount"}},
+	}
+	g := NewGroupState(spec)
+	g.Update(makeOrderDoc("west", 10))
+	g.Update(makeOrderDoc("east", 5))
+	g.Update(makeOrderDoc("west", 7))
+	rows := g.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	if rows[0].Key[0].StringVal() != "east" || rows[1].Key[0].StringVal() != "west" {
+		t.Errorf("rows not sorted by key: %v %v", rows[0].Key, rows[1].Key)
+	}
+	if rows[1].Aggs[0].IntVal() != 2 || rows[1].Aggs[1].FloatVal() != 17 {
+		t.Errorf("west aggs = %v", rows[1].Aggs)
+	}
+}
+
+func TestGroupStateMergeMatchesSingle(t *testing.T) {
+	spec := GroupSpec{By: []string{"/region"}, Aggs: []AggSpec{{AggAvg, "/amount"}, {AggMax, "/amount"}}}
+	whole := NewGroupState(spec)
+	a, b := NewGroupState(spec), NewGroupState(spec)
+	rng := rand.New(rand.NewSource(11))
+	regions := []string{"n", "s", "e", "w"}
+	for i := 0; i < 200; i++ {
+		d := makeOrderDoc(regions[rng.Intn(4)], rng.Float64()*100)
+		whole.Update(d)
+		if i%2 == 0 {
+			a.Update(d)
+		} else {
+			b.Update(d)
+		}
+	}
+	a.Merge(b)
+	wr, ar := whole.Rows(), a.Rows()
+	if len(wr) != len(ar) {
+		t.Fatalf("group counts differ: %d vs %d", len(wr), len(ar))
+	}
+	for i := range wr {
+		for j := range wr[i].Aggs {
+			// Sums/averages accumulate in different orders when split, so
+			// compare floats with a relative tolerance.
+			w, a := wr[i].Aggs[j], ar[i].Aggs[j]
+			if w.Kind() == docmodel.KindFloat {
+				diff := w.FloatVal() - a.FloatVal()
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > 1e-9*(1+absF(w.FloatVal())) {
+					t.Errorf("group %d agg %d: %s vs %s", i, j, w, a)
+				}
+			} else if !w.Equal(a) {
+				t.Errorf("group %d agg %d: %s vs %s", i, j, w, a)
+			}
+		}
+	}
+}
+
+func absF(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func TestGroupPartialsWireRoundTrip(t *testing.T) {
+	spec := GroupSpec{By: []string{"/region"}, Aggs: []AggSpec{{AggCount, ""}, {AggSum, "/amount"}, {AggMin, "/amount"}}}
+	g := NewGroupState(spec)
+	g.Update(makeOrderDoc("west", 10))
+	g.Update(makeOrderDoc("east", 2.5))
+	g.Update(makeOrderDoc("west", -4))
+
+	got, err := DecodePartials(spec, g.EncodePartials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, gr := g.Rows(), got.Rows()
+	if len(wr) != len(gr) {
+		t.Fatalf("rows %d vs %d", len(wr), len(gr))
+	}
+	for i := range wr {
+		for j := range wr[i].Aggs {
+			if !wr[i].Aggs[j].Equal(gr[i].Aggs[j]) {
+				t.Errorf("row %d agg %d mismatch: %s vs %s", i, j, wr[i].Aggs[j], gr[i].Aggs[j])
+			}
+		}
+	}
+	if _, err := DecodePartials(spec, []byte{1, 2, 3}); err == nil {
+		t.Error("garbage partials must fail")
+	}
+}
+
+func TestGroupCountPathCountsValues(t *testing.T) {
+	spec := GroupSpec{Aggs: []AggSpec{{AggCount, "/tags"}}}
+	g := NewGroupState(spec)
+	g.Update(testDoc()) // two tags
+	rows := g.Rows()
+	if rows[0].Aggs[0].IntVal() != 2 {
+		t.Errorf("count(/tags) = %s, want 2", rows[0].Aggs[0])
+	}
+}

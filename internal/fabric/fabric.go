@@ -1,0 +1,335 @@
+// Package fabric simulates the physical substrate of an Impliance cluster
+// (paper §3.3, Figure 3): data nodes that own storage, grid nodes for
+// stateless analytics, and cluster nodes for consistent coordination, all
+// joined by a commodity interconnect.
+//
+// Substitution note (see DESIGN.md §2): the paper assumes racks of blade
+// servers. We model each node as an in-process worker with its own mailbox
+// and serial execution loop, and the interconnect as a message layer that
+// accounts every byte and message. The paper's scale-out arguments are
+// about topology and data movement — who owns data, what crosses the
+// interconnect, where operators run — all of which this model preserves
+// and measures. Failure injection (Kill/Revive) and heartbeat-driven
+// membership let the virtualization layer react the way §3.4 describes.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// NodeKind distinguishes the three node flavors of paper Figure 3.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	Data NodeKind = iota
+	Grid
+	Cluster
+)
+
+var kindNames = [...]string{"data", "grid", "cluster"}
+
+// String returns the kind's lower-case name.
+func (k NodeKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// NodeID identifies a node within the fabric.
+type NodeID struct {
+	Kind NodeKind
+	Num  int
+}
+
+// String renders the ID as e.g. "data-3".
+func (id NodeID) String() string { return fmt.Sprintf("%s-%d", id.Kind, id.Num) }
+
+// IsZero reports whether the ID is unset.
+func (id NodeID) IsZero() bool { return id == NodeID{} }
+
+// Handler processes one delivered message on the node's serial loop and
+// returns the reply payload (for calls) or nil (for one-way sends).
+type Handler func(msgKind string, payload []byte) ([]byte, error)
+
+// Errors returned by the fabric.
+var (
+	ErrNodeDown     = errors.New("fabric: node down")
+	ErrNoSuchNode   = errors.New("fabric: no such node")
+	ErrFabricClosed = errors.New("fabric: closed")
+)
+
+// NetStats is a snapshot of interconnect counters. The pushdown and
+// scale-out experiments read these to measure data movement.
+type NetStats struct {
+	Messages uint64
+	Bytes    uint64
+	Drops    uint64
+}
+
+// Node is one simulated machine.
+type Node struct {
+	ID NodeID
+
+	mu      sync.Mutex
+	handler Handler
+	alive   bool
+
+	inbox chan envelope
+	done  chan struct{}
+
+	// Counters.
+	msgsIn   atomic.Uint64
+	bytesIn  atomic.Uint64
+	handled  atomic.Uint64
+	workNano atomic.Uint64 // reserved for cost accounting by upper layers
+}
+
+type envelope struct {
+	kind    string
+	payload []byte
+	reply   chan result
+}
+
+type result struct {
+	payload []byte
+	err     error
+}
+
+// SetHandler installs the node's message handler. Must be called before
+// messages are sent to the node.
+func (n *Node) SetHandler(h Handler) {
+	n.mu.Lock()
+	n.handler = h
+	n.mu.Unlock()
+}
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive
+}
+
+// Stats returns the node's delivery counters.
+func (n *Node) Stats() (msgs, bytes, handled uint64) {
+	return n.msgsIn.Load(), n.bytesIn.Load(), n.handled.Load()
+}
+
+// AddWork lets upper layers attribute simulated work (nanoseconds of
+// notional compute) to the node, so experiments can report per-node load.
+func (n *Node) AddWork(nanos uint64) { n.workNano.Add(nanos) }
+
+// Work returns accumulated simulated work.
+func (n *Node) Work() uint64 { return n.workNano.Load() }
+
+func (n *Node) loop() {
+	for env := range n.inbox {
+		n.mu.Lock()
+		h := n.handler
+		alive := n.alive
+		n.mu.Unlock()
+		var res result
+		switch {
+		case !alive:
+			res.err = fmt.Errorf("%w: %s", ErrNodeDown, n.ID)
+		case h == nil:
+			res.err = fmt.Errorf("fabric: %s has no handler", n.ID)
+		default:
+			res.payload, res.err = safeHandle(h, env.kind, env.payload)
+			n.handled.Add(1)
+		}
+		if env.reply != nil {
+			env.reply <- res
+		}
+	}
+	close(n.done)
+}
+
+func safeHandle(h Handler, kind string, payload []byte) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fabric: handler panic on %q: %v", kind, r)
+		}
+	}()
+	return h(kind, payload)
+}
+
+// Fabric is the cluster: nodes plus the accounted interconnect.
+type Fabric struct {
+	mu     sync.RWMutex
+	nodes  map[NodeID]*Node
+	nextNo map[NodeKind]int
+	closed bool
+
+	msgs  atomic.Uint64
+	bytes atomic.Uint64
+	drops atomic.Uint64
+}
+
+// New creates an empty fabric.
+func New() *Fabric {
+	return &Fabric{
+		nodes:  map[NodeID]*Node{},
+		nextNo: map[NodeKind]int{},
+	}
+}
+
+// AddNode provisions a node of the given kind and starts its loop. The
+// mailbox depth models the node's admission queue.
+func (f *Fabric) AddNode(kind NodeKind) *Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nextNo[kind]++
+	n := &Node{
+		ID:    NodeID{Kind: kind, Num: f.nextNo[kind]},
+		alive: true,
+		inbox: make(chan envelope, 1024),
+		done:  make(chan struct{}),
+	}
+	f.nodes[n.ID] = n
+	go n.loop()
+	return n
+}
+
+// Node returns the node with the given ID.
+func (f *Fabric) Node(id NodeID) (*Node, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, ok := f.nodes[id]
+	return n, ok
+}
+
+// NodesOf lists the IDs of all nodes of a kind, in creation order.
+func (f *Fabric) NodesOf(kind NodeKind) []NodeID {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var out []NodeID
+	for i := 1; i <= f.nextNo[kind]; i++ {
+		id := NodeID{Kind: kind, Num: i}
+		if _, ok := f.nodes[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// AliveOf lists alive nodes of a kind.
+func (f *Fabric) AliveOf(kind NodeKind) []NodeID {
+	var out []NodeID
+	for _, id := range f.NodesOf(kind) {
+		if n, ok := f.Node(id); ok && n.Alive() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Call sends a request to the target node and waits for its reply. Both
+// request and reply bytes are accounted against the interconnect.
+func (f *Fabric) Call(to NodeID, msgKind string, payload []byte) ([]byte, error) {
+	reply := make(chan result, 1)
+	if err := f.enqueue(to, envelope{kind: msgKind, payload: payload, reply: reply}); err != nil {
+		return nil, err
+	}
+	res := <-reply
+	if res.err == nil {
+		f.msgs.Add(1)
+		f.bytes.Add(uint64(len(res.payload) + 16))
+	}
+	return res.payload, res.err
+}
+
+// Send delivers a one-way message (no reply awaited). Delivery order to a
+// single node follows send order; errors surface only through drops.
+func (f *Fabric) Send(to NodeID, msgKind string, payload []byte) error {
+	return f.enqueue(to, envelope{kind: msgKind, payload: payload})
+}
+
+// enqueue validates the target and places the envelope in its mailbox.
+// The read lock is held across the channel send so Close cannot close the
+// mailbox mid-send; the node loop keeps draining, so the send cannot
+// deadlock against a pending Close.
+func (f *Fabric) enqueue(to NodeID, env envelope) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return ErrFabricClosed
+	}
+	n, ok := f.nodes[to]
+	if !ok {
+		f.drops.Add(1)
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, to)
+	}
+	if !n.Alive() {
+		f.drops.Add(1)
+		return fmt.Errorf("%w: %s", ErrNodeDown, to)
+	}
+	f.msgs.Add(1)
+	f.bytes.Add(uint64(len(env.payload) + len(env.kind) + 16))
+	n.msgsIn.Add(1)
+	n.bytesIn.Add(uint64(len(env.payload)))
+	n.inbox <- env
+	return nil
+}
+
+// Kill marks a node dead: its queued and future messages error, modelling
+// a crashed blade. Storage owned by the node is not touched — recovery is
+// the virtualization layer's job (paper §3.4).
+func (f *Fabric) Kill(id NodeID) bool {
+	n, ok := f.Node(id)
+	if !ok {
+		return false
+	}
+	n.mu.Lock()
+	n.alive = false
+	n.mu.Unlock()
+	return true
+}
+
+// Revive brings a killed node back (a replaced blade with the same ID).
+func (f *Fabric) Revive(id NodeID) bool {
+	n, ok := f.Node(id)
+	if !ok {
+		return false
+	}
+	n.mu.Lock()
+	n.alive = true
+	n.mu.Unlock()
+	return true
+}
+
+// NetStats snapshots the interconnect counters.
+func (f *Fabric) NetStats() NetStats {
+	return NetStats{Messages: f.msgs.Load(), Bytes: f.bytes.Load(), Drops: f.drops.Load()}
+}
+
+// ResetNetStats zeroes the interconnect counters (between experiment runs).
+func (f *Fabric) ResetNetStats() {
+	f.msgs.Store(0)
+	f.bytes.Store(0)
+	f.drops.Store(0)
+}
+
+// Close stops all node loops. The fabric is unusable afterwards.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	nodes := make([]*Node, 0, len(f.nodes))
+	for _, n := range f.nodes {
+		nodes = append(nodes, n)
+	}
+	f.mu.Unlock()
+	for _, n := range nodes {
+		close(n.inbox)
+		<-n.done
+	}
+}

@@ -1,0 +1,295 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func echoFabric(t *testing.T, kinds ...NodeKind) (*Fabric, []*Node) {
+	t.Helper()
+	f := New()
+	t.Cleanup(f.Close)
+	var nodes []*Node
+	for _, k := range kinds {
+		n := f.AddNode(k)
+		n.SetHandler(func(kind string, payload []byte) ([]byte, error) {
+			return append([]byte("echo:"), payload...), nil
+		})
+		nodes = append(nodes, n)
+	}
+	return f, nodes
+}
+
+func TestNodeIDsAndKinds(t *testing.T) {
+	f, nodes := echoFabric(t, Data, Data, Grid, Cluster)
+	if nodes[0].ID.String() != "data-1" || nodes[1].ID.String() != "data-2" {
+		t.Errorf("data node ids: %v %v", nodes[0].ID, nodes[1].ID)
+	}
+	if nodes[2].ID.Kind != Grid || nodes[3].ID.Kind != Cluster {
+		t.Error("kinds wrong")
+	}
+	if got := f.NodesOf(Data); len(got) != 2 {
+		t.Errorf("NodesOf(Data) = %v", got)
+	}
+	if got := f.AliveOf(Grid); len(got) != 1 {
+		t.Errorf("AliveOf(Grid) = %v", got)
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	f, nodes := echoFabric(t, Data)
+	out, err := f.Call(nodes[0].ID, "ping", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "echo:hello" {
+		t.Errorf("reply = %q", out)
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	f, nodes := echoFabric(t, Data)
+	if _, err := f.Call(NodeID{Kind: Grid, Num: 9}, "x", nil); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("missing node: %v", err)
+	}
+	f.Kill(nodes[0].ID)
+	if _, err := f.Call(nodes[0].ID, "x", nil); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("dead node: %v", err)
+	}
+	if f.NetStats().Drops != 2 {
+		t.Errorf("drops = %d", f.NetStats().Drops)
+	}
+	f.Revive(nodes[0].ID)
+	if _, err := f.Call(nodes[0].ID, "x", []byte("y")); err != nil {
+		t.Errorf("revived node should answer: %v", err)
+	}
+}
+
+func TestHandlerErrorAndPanicContainment(t *testing.T) {
+	f := New()
+	defer f.Close()
+	n := f.AddNode(Grid)
+	n.SetHandler(func(kind string, payload []byte) ([]byte, error) {
+		switch kind {
+		case "fail":
+			return nil, fmt.Errorf("boom")
+		case "panic":
+			panic("kaput")
+		}
+		return nil, nil
+	})
+	if _, err := f.Call(n.ID, "fail", nil); err == nil || err.Error() != "boom" {
+		t.Errorf("handler error: %v", err)
+	}
+	if _, err := f.Call(n.ID, "panic", nil); err == nil {
+		t.Error("panic must surface as error")
+	}
+	// Node still serves after a panic.
+	if _, err := f.Call(n.ID, "ok", nil); err != nil {
+		t.Errorf("node dead after panic: %v", err)
+	}
+}
+
+func TestNoHandler(t *testing.T) {
+	f := New()
+	defer f.Close()
+	n := f.AddNode(Data)
+	if _, err := f.Call(n.ID, "x", nil); err == nil {
+		t.Error("call to handler-less node must fail")
+	}
+}
+
+func TestSendOneWayAndOrdering(t *testing.T) {
+	f := New()
+	defer f.Close()
+	n := f.AddNode(Data)
+	var mu sync.Mutex
+	var got []string
+	var wg sync.WaitGroup
+	wg.Add(10)
+	n.SetHandler(func(kind string, payload []byte) ([]byte, error) {
+		mu.Lock()
+		got = append(got, string(payload))
+		mu.Unlock()
+		wg.Done()
+		return nil, nil
+	})
+	for i := 0; i < 10; i++ {
+		if err := f.Send(n.ID, "seq", []byte(fmt.Sprintf("%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	for i := 0; i < 10; i++ {
+		if got[i] != fmt.Sprintf("%d", i) {
+			t.Fatalf("per-node delivery order violated: %v", got)
+		}
+	}
+}
+
+func TestNetAccounting(t *testing.T) {
+	f, nodes := echoFabric(t, Data)
+	f.ResetNetStats()
+	payload := make([]byte, 1000)
+	f.Call(nodes[0].ID, "big", payload)
+	st := f.NetStats()
+	if st.Messages != 2 {
+		t.Errorf("messages = %d, want 2 (request+reply)", st.Messages)
+	}
+	if st.Bytes < 2000 {
+		t.Errorf("bytes = %d, want >= 2000 (1000 out, 1005 echo back)", st.Bytes)
+	}
+	msgs, bytes, handled := nodes[0].Stats()
+	if msgs != 1 || bytes != 1000 || handled != 1 {
+		t.Errorf("node stats: %d %d %d", msgs, bytes, handled)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	f, nodes := echoFabric(t, Data, Data, Grid, Grid)
+	var wg sync.WaitGroup
+	var failures atomic.Uint64
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				target := nodes[(w+i)%len(nodes)]
+				out, err := f.Call(target.ID, "m", []byte{byte(i)})
+				if err != nil || len(out) != 6 {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Errorf("%d concurrent calls failed", failures.Load())
+	}
+}
+
+func TestCloseUnblocksAndRejects(t *testing.T) {
+	f, nodes := echoFabric(t, Data)
+	f.Close()
+	if err := f.Send(nodes[0].ID, "x", nil); !errors.Is(err, ErrFabricClosed) {
+		t.Errorf("send after close: %v", err)
+	}
+	f.Close() // double close is safe
+}
+
+func TestConsistencyGroupEviction(t *testing.T) {
+	f := New()
+	defer f.Close()
+	var members []NodeID
+	for i := 0; i < 3; i++ {
+		n := f.AddNode(Cluster)
+		n.SetHandler(func(string, []byte) ([]byte, error) { return nil, nil })
+		members = append(members, n.ID)
+	}
+	g := NewConsistencyGroup(f, members, 2)
+	if g.Leader() != members[0] {
+		t.Errorf("leader = %v", g.Leader())
+	}
+	startEpoch := g.Epoch()
+
+	// Healthy ticks: no eviction, epoch stable.
+	for i := 0; i < 3; i++ {
+		if ev := g.Tick(); len(ev) != 0 {
+			t.Fatalf("healthy eviction: %v", ev)
+		}
+	}
+	if g.Epoch() != startEpoch {
+		t.Error("epoch moved without membership change")
+	}
+
+	// Kill the leader; after threshold ticks it is evicted.
+	f.Kill(members[0])
+	if ev := g.Tick(); len(ev) != 0 {
+		t.Fatal("eviction before threshold")
+	}
+	ev := g.Tick()
+	if len(ev) != 1 || ev[0] != members[0] {
+		t.Fatalf("eviction = %v", ev)
+	}
+	if g.Leader() != members[1] {
+		t.Errorf("new leader = %v", g.Leader())
+	}
+	if g.Epoch() != startEpoch+1 {
+		t.Errorf("epoch = %d, want %d", g.Epoch(), startEpoch+1)
+	}
+	if len(g.Members()) != 2 {
+		t.Errorf("members = %v", g.Members())
+	}
+
+	// A recovered node can rejoin; epoch advances again.
+	f.Revive(members[0])
+	g.Join(members[0])
+	if len(g.Members()) != 3 || g.Epoch() != startEpoch+2 {
+		t.Error("rejoin failed")
+	}
+	// A transient failure under threshold resets on success.
+	f.Kill(members[2])
+	g.Tick()
+	f.Revive(members[2])
+	g.Tick()
+	f.Kill(members[2])
+	g.Tick()
+	if len(g.Members()) != 3 {
+		t.Error("missed-count should reset after a healthy heartbeat")
+	}
+}
+
+func TestLockTable(t *testing.T) {
+	lt := NewLockTable()
+	tok1, ok := lt.Acquire("doc-5", "worker-a")
+	if !ok || tok1 == 0 {
+		t.Fatal("first acquire must succeed")
+	}
+	// Re-entrant for same owner, same token.
+	tok2, ok := lt.Acquire("doc-5", "worker-a")
+	if !ok || tok2 != tok1 {
+		t.Error("re-entrant acquire should return same token")
+	}
+	if _, ok := lt.Acquire("doc-5", "worker-b"); ok {
+		t.Error("contended acquire must fail")
+	}
+	if !lt.Validate("doc-5", tok1) {
+		t.Error("token should validate while held")
+	}
+	if !lt.Release("doc-5", "worker-a") {
+		t.Error("release by owner must succeed")
+	}
+	if lt.Release("doc-5", "worker-a") {
+		t.Error("double release must fail")
+	}
+	if lt.Validate("doc-5", tok1) {
+		t.Error("stale token must not validate")
+	}
+	// New acquisition gets a fresh fencing token.
+	tok3, ok := lt.Acquire("doc-5", "worker-b")
+	if !ok || tok3 == tok1 {
+		t.Error("fencing token must advance")
+	}
+	// Evict releases everything held by an owner.
+	lt.Acquire("doc-6", "worker-b")
+	if n := lt.Evict("worker-b"); n != 2 {
+		t.Errorf("evicted %d locks, want 2", n)
+	}
+	if _, ok := lt.Acquire("doc-6", "worker-c"); !ok {
+		t.Error("lock must be free after eviction")
+	}
+}
+
+func TestWorkAccounting(t *testing.T) {
+	f := New()
+	defer f.Close()
+	n := f.AddNode(Grid)
+	n.AddWork(100)
+	n.AddWork(50)
+	if n.Work() != 150 {
+		t.Errorf("work = %d", n.Work())
+	}
+}

@@ -1,0 +1,186 @@
+package fabric
+
+import (
+	"sort"
+	"sync"
+)
+
+// ConsistencyGroup models the paper's cluster-node coordination (§3.3:
+// "Cluster nodes are responsible for making consistent locking and caching
+// decisions on data within data consistency groups... being a part of a
+// consistency group requires overhead for heart-beats and for reacting to
+// nodes joining or leaving the group").
+//
+// Heartbeats are driven by explicit Tick calls so simulations are
+// deterministic: each tick, every member is probed over the fabric (the
+// messages are accounted); a member missing `threshold` consecutive probes
+// is evicted and the group epoch advances. The lowest-numbered live member
+// is the leader.
+type ConsistencyGroup struct {
+	f         *Fabric
+	threshold int
+
+	mu      sync.Mutex
+	members map[NodeID]int // missed-heartbeat counts
+	epoch   uint64
+}
+
+// NewConsistencyGroup forms a group over the given members. threshold is
+// the number of consecutive missed heartbeats that evicts a member.
+func NewConsistencyGroup(f *Fabric, members []NodeID, threshold int) *ConsistencyGroup {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	g := &ConsistencyGroup{f: f, threshold: threshold, members: map[NodeID]int{}, epoch: 1}
+	for _, id := range members {
+		g.members[id] = 0
+	}
+	return g
+}
+
+// Tick runs one heartbeat round. Returns the IDs evicted this round.
+func (g *ConsistencyGroup) Tick() []NodeID {
+	g.mu.Lock()
+	ids := make([]NodeID, 0, len(g.members))
+	for id := range g.members {
+		ids = append(ids, id)
+	}
+	g.mu.Unlock()
+
+	var evicted []NodeID
+	for _, id := range ids {
+		_, err := g.f.Call(id, "heartbeat", nil)
+		g.mu.Lock()
+		if _, still := g.members[id]; !still {
+			g.mu.Unlock()
+			continue
+		}
+		if err != nil {
+			g.members[id]++
+			if g.members[id] >= g.threshold {
+				delete(g.members, id)
+				g.epoch++
+				evicted = append(evicted, id)
+			}
+		} else {
+			g.members[id] = 0
+		}
+		g.mu.Unlock()
+	}
+	return evicted
+}
+
+// Join adds a member (an arriving node); the epoch advances.
+func (g *ConsistencyGroup) Join(id NodeID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.members[id]; !ok {
+		g.members[id] = 0
+		g.epoch++
+	}
+}
+
+// Members returns the current membership, sorted.
+func (g *ConsistencyGroup) Members() []NodeID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]NodeID, 0, len(g.members))
+	for id := range g.members {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Num < out[j].Num
+	})
+	return out
+}
+
+// Leader returns the lowest-numbered member (zero NodeID if empty).
+func (g *ConsistencyGroup) Leader() NodeID {
+	m := g.Members()
+	if len(m) == 0 {
+		return NodeID{}
+	}
+	return m[0]
+}
+
+// Epoch returns the current membership epoch.
+func (g *ConsistencyGroup) Epoch() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch
+}
+
+// LockTable is the consistent lock service a cluster node hosts for
+// persisting discovered structures reliably (paper §3.3: cluster nodes
+// "are responsible for persisting newly extracted structures and
+// relationships reliably and consistently"). Locks carry fencing tokens so
+// a stale holder's writes can be rejected after reassignment.
+type LockTable struct {
+	mu    sync.Mutex
+	locks map[string]lockEntry
+	next  uint64
+}
+
+type lockEntry struct {
+	owner string
+	token uint64
+}
+
+// NewLockTable creates an empty lock table.
+func NewLockTable() *LockTable {
+	return &LockTable{locks: map[string]lockEntry{}}
+}
+
+// Acquire takes (or re-enters) the named lock for owner, returning a
+// fencing token; ok is false when another owner holds it.
+func (lt *LockTable) Acquire(name, owner string) (token uint64, ok bool) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if e, held := lt.locks[name]; held {
+		if e.owner != owner {
+			return 0, false
+		}
+		return e.token, true
+	}
+	lt.next++
+	lt.locks[name] = lockEntry{owner: owner, token: lt.next}
+	return lt.next, true
+}
+
+// Release drops the lock if owner holds it.
+func (lt *LockTable) Release(name, owner string) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if e, held := lt.locks[name]; held && e.owner == owner {
+		delete(lt.locks, name)
+		return true
+	}
+	return false
+}
+
+// Validate reports whether the token is still the live token for name —
+// the fencing check a storage write performs.
+func (lt *LockTable) Validate(name string, token uint64) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	e, held := lt.locks[name]
+	return held && e.token == token
+}
+
+// Evict forcibly releases all locks held by owner (applied when the group
+// evicts a dead node).
+func (lt *LockTable) Evict(owner string) int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	n := 0
+	for name, e := range lt.locks {
+		if e.owner == owner {
+			delete(lt.locks, name)
+			n++
+		}
+	}
+	return n
+}

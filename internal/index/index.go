@@ -1,0 +1,431 @@
+// Package index implements the appliance's automatic indexing of every
+// document (paper §3.2: "Impliance automatically indexes each document by
+// its values as well as its structures (e.g., every path in the document)
+// for efficient keyword and structural search").
+//
+// Three index families are maintained per data node:
+//
+//   - a positional full-text inverted index with BM25 ranking over every
+//     string leaf;
+//   - a structural path index mapping each distinct path to the documents
+//     containing it;
+//   - a typed value index per path supporting equality and range lookups
+//     with the document model's total value order.
+//
+// Indexing is incremental (paper §3.3: "it is important to be able to
+// incrementally maintain the index") and decoupled from ingestion: the
+// core engine feeds documents through an asynchronous pipeline, and a new
+// version's terms replace the old version's. The index is derived data —
+// rebuildable from the store — so it is deliberately not persisted
+// (paper §3.4 storage management: derived data "can be re-created").
+package index
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/text"
+)
+
+// BM25 constants (standard Robertson/Spärck Jones defaults).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// Hit is one ranked search result.
+type Hit struct {
+	ID    docmodel.DocID
+	Score float64
+}
+
+// Index is a thread-safe per-node index over the latest document versions.
+type Index struct {
+	analyzer *text.Analyzer
+
+	mu       sync.RWMutex
+	terms    map[string]*postingList
+	paths    map[string]map[docmodel.DocID]struct{}
+	values   map[string]*valueIndex
+	docLen   map[docmodel.DocID]int
+	totalLen int64
+}
+
+type postingList struct {
+	docs map[docmodel.DocID]*posting
+}
+
+type posting struct {
+	tf        int
+	positions []int32
+}
+
+// New creates an empty index using the given analyzer (nil for the
+// appliance default).
+func New(analyzer *text.Analyzer) *Index {
+	if analyzer == nil {
+		analyzer = text.DefaultAnalyzer
+	}
+	return &Index{
+		analyzer: analyzer,
+		terms:    map[string]*postingList{},
+		paths:    map[string]map[docmodel.DocID]struct{}{},
+		values:   map[string]*valueIndex{},
+		docLen:   map[docmodel.DocID]int{},
+	}
+}
+
+// Add indexes a document version. If an older version of the same document
+// is currently indexed, the caller must Remove it first (the core engine
+// tracks which version is live).
+func (ix *Index) Add(d *docmodel.Document) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	pos := int32(0)
+	length := 0
+	d.WalkLeaves(func(pv docmodel.PathVisit) bool {
+		// Structural path index.
+		set, ok := ix.paths[pv.Path]
+		if !ok {
+			set = map[docmodel.DocID]struct{}{}
+			ix.paths[pv.Path] = set
+		}
+		set[d.ID] = struct{}{}
+
+		// Typed value index (scalars only; arrays fan out in the walk).
+		switch pv.Value.Kind() {
+		case docmodel.KindObject, docmodel.KindArray:
+		default:
+			ix.valueIndexFor(pv.Path).add(pv.Value, d.ID)
+		}
+
+		// Full-text postings over string leaves. Positions run across the
+		// whole document so phrase matching never spans fields (a gap is
+		// inserted between fields).
+		if pv.Value.Kind() == docmodel.KindString {
+			maxPos := int32(-1)
+			ix.analyzer.TokenizeFunc(pv.Value.StringVal(), func(tok text.Token) {
+				pl, ok := ix.terms[tok.Term]
+				if !ok {
+					pl = &postingList{docs: map[docmodel.DocID]*posting{}}
+					ix.terms[tok.Term] = pl
+				}
+				p, ok := pl.docs[d.ID]
+				if !ok {
+					p = &posting{}
+					pl.docs[d.ID] = p
+				}
+				p.tf++
+				p.positions = append(p.positions, pos+int32(tok.Pos))
+				if int32(tok.Pos) > maxPos {
+					maxPos = int32(tok.Pos)
+				}
+				length++
+			})
+			pos += maxPos + 1 + 8 // gap so phrases never span fields
+		}
+		return true
+	})
+	ix.totalLen += int64(length)
+	ix.docLen[d.ID] = length
+}
+
+// Remove unindexes a document version (pass the exact version that was
+// added). Removing a never-added document is a no-op.
+func (ix *Index) Remove(d *docmodel.Document) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.docLen[d.ID]; !ok {
+		return
+	}
+	d.WalkLeaves(func(pv docmodel.PathVisit) bool {
+		if set, ok := ix.paths[pv.Path]; ok {
+			delete(set, d.ID)
+			if len(set) == 0 {
+				delete(ix.paths, pv.Path)
+			}
+		}
+		switch pv.Value.Kind() {
+		case docmodel.KindObject, docmodel.KindArray:
+		default:
+			if vi, ok := ix.values[pv.Path]; ok {
+				vi.remove(d.ID)
+			}
+		}
+		if pv.Value.Kind() == docmodel.KindString {
+			ix.analyzer.TokenizeFunc(pv.Value.StringVal(), func(tok text.Token) {
+				if pl, ok := ix.terms[tok.Term]; ok {
+					delete(pl.docs, d.ID)
+					if len(pl.docs) == 0 {
+						delete(ix.terms, tok.Term)
+					}
+				}
+			})
+		}
+		return true
+	})
+	ix.totalLen -= int64(ix.docLen[d.ID])
+	delete(ix.docLen, d.ID)
+}
+
+// DocCount returns the number of indexed documents.
+func (ix *Index) DocCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docLen)
+}
+
+// TermCount returns the number of distinct terms.
+func (ix *Index) TermCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.terms)
+}
+
+// Search runs a ranked keyword query: documents matching any query term,
+// scored with BM25, top k returned (k <= 0 means all). This is the paper's
+// out-of-the-box retrieval interface (§3.2.1).
+func (ix *Index) Search(query string, k int) []Hit {
+	terms := ix.analyzer.Terms(query)
+	return ix.SearchTerms(terms, k)
+}
+
+// SearchTerms is Search over pre-analyzed terms.
+func (ix *Index) SearchTerms(terms []string, k int) []Hit {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(terms) == 0 {
+		return nil
+	}
+	n := len(ix.docLen)
+	if n == 0 {
+		return nil
+	}
+	avg := float64(ix.totalLen) / float64(n)
+	if avg == 0 {
+		avg = 1
+	}
+	scores := map[docmodel.DocID]float64{}
+	for _, term := range terms {
+		pl, ok := ix.terms[term]
+		if !ok {
+			continue
+		}
+		idf := math.Log(1 + (float64(n)-float64(len(pl.docs))+0.5)/(float64(len(pl.docs))+0.5))
+		for id, p := range pl.docs {
+			dl := float64(ix.docLen[id])
+			tf := float64(p.tf)
+			scores[id] += idf * (tf * (bm25K1 + 1)) / (tf + bm25K1*(1-bm25B+bm25B*dl/avg))
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for id, s := range scores {
+		hits = append(hits, Hit{ID: id, Score: s})
+	}
+	sortHits(hits)
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// SearchAllTerms returns documents containing every term (conjunctive),
+// ranked by BM25. Used by the Contains predicate's index route.
+func (ix *Index) SearchAllTerms(terms []string, k int) []Hit {
+	ix.mu.RLock()
+	candidates := ix.intersect(terms)
+	ix.mu.RUnlock()
+	if candidates == nil {
+		return nil
+	}
+	hits := ix.SearchTerms(terms, 0)
+	out := hits[:0]
+	for _, h := range hits {
+		if _, ok := candidates[h.ID]; ok {
+			out = append(out, h)
+		}
+	}
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// intersect returns the docs containing every term; caller holds RLock.
+// Returns nil when any term is absent.
+func (ix *Index) intersect(terms []string) map[docmodel.DocID]struct{} {
+	if len(terms) == 0 {
+		return nil
+	}
+	// Start from the rarest term for cheap intersection.
+	lists := make([]*postingList, len(terms))
+	for i, t := range terms {
+		pl, ok := ix.terms[t]
+		if !ok {
+			return nil
+		}
+		lists[i] = pl
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i].docs) < len(lists[j].docs) })
+	out := map[docmodel.DocID]struct{}{}
+	for id := range lists[0].docs {
+		out[id] = struct{}{}
+	}
+	for _, pl := range lists[1:] {
+		for id := range out {
+			if _, ok := pl.docs[id]; !ok {
+				delete(out, id)
+			}
+		}
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+// MatchPhrase returns documents where the terms appear consecutively (in
+// analyzer positions). Stopwords removed by the analyzer leave gaps, so
+// phrases are matched over surviving terms.
+func (ix *Index) MatchPhrase(phrase string) []docmodel.DocID {
+	toks := ix.analyzer.Tokenize(phrase)
+	if len(toks) == 0 {
+		return nil
+	}
+	terms := make([]string, len(toks))
+	for i, tk := range toks {
+		terms[i] = tk.Term
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	candidates := ix.intersect(terms)
+	var out []docmodel.DocID
+	for id := range candidates {
+		if ix.phraseAt(id, toks) {
+			out = append(out, id)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+func (ix *Index) phraseAt(id docmodel.DocID, toks []text.Token) bool {
+	first := ix.terms[toks[0].Term].docs[id]
+	for _, start := range first.positions {
+		ok := true
+		for i := 1; i < len(toks); i++ {
+			want := start + int32(toks[i].Pos-toks[0].Pos)
+			if !hasPosition(ix.terms[toks[i].Term].docs[id].positions, want) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func hasPosition(positions []int32, want int32) bool {
+	i := sort.Search(len(positions), func(i int) bool { return positions[i] >= want })
+	return i < len(positions) && positions[i] == want
+}
+
+// PathLookup returns documents containing the structural path, sorted.
+func (ix *Index) PathLookup(path string) []docmodel.DocID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	set := ix.paths[path]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]docmodel.DocID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+// PathList returns every indexed structural path, sorted. This powers
+// schema exploration without any declared schema.
+func (ix *Index) PathList() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.paths))
+	for p := range ix.paths {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValueLookup returns documents having exactly v at path, sorted.
+func (ix *Index) ValueLookup(path string, v docmodel.Value) []docmodel.DocID {
+	// Write lock: value-index reads may lazily sort/compact.
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	vi, ok := ix.values[path]
+	if !ok {
+		return nil
+	}
+	return vi.lookup(v)
+}
+
+// ValueRange returns documents with a value at path in [lo, hi] (nil
+// bounds are open), sorted by document ID.
+func (ix *Index) ValueRange(path string, lo, hi *docmodel.Value, loInc, hiInc bool) []docmodel.DocID {
+	// Write lock: value-index reads may lazily sort/compact.
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	vi, ok := ix.values[path]
+	if !ok {
+		return nil
+	}
+	return vi.rangeLookup(lo, hi, loInc, hiInc)
+}
+
+// FacetCount is one facet bucket: a distinct value and its document count.
+type FacetCount struct {
+	Value docmodel.Value
+	Count int
+}
+
+// Facets computes the distinct values at path over an optional candidate
+// set (nil = all docs), sorted by descending count then value — the
+// building block of the multi-faceted search interface (paper §3.2.1).
+func (ix *Index) Facets(path string, candidates map[docmodel.DocID]struct{}, limit int) []FacetCount {
+	// Write lock: value-index reads may lazily sort/compact.
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	vi, ok := ix.values[path]
+	if !ok {
+		return nil
+	}
+	return vi.facets(candidates, limit)
+}
+
+func (ix *Index) valueIndexFor(path string) *valueIndex {
+	vi, ok := ix.values[path]
+	if !ok {
+		vi = newValueIndex()
+		ix.values[path] = vi
+	}
+	return vi
+}
+
+func sortHits(hits []Hit) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID.Compare(hits[j].ID) < 0
+	})
+}
+
+func sortIDs(ids []docmodel.DocID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Compare(ids[j]) < 0 })
+}

@@ -1,0 +1,370 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"impliance/internal/docmodel"
+)
+
+func doc(seq uint64, fields ...docmodel.Field) *docmodel.Document {
+	return &docmodel.Document{
+		ID:      docmodel.DocID{Origin: 1, Seq: seq},
+		Version: 1,
+		Root:    docmodel.Object(fields...),
+	}
+}
+
+func textDoc(seq uint64, body string) *docmodel.Document {
+	return doc(seq, docmodel.F("text", docmodel.String(body)))
+}
+
+func TestSearchRanksRelevantFirst(t *testing.T) {
+	ix := New(nil)
+	ix.Add(textDoc(1, "databases store structured data in tables"))
+	ix.Add(textDoc(2, "the appliance manages databases databases databases"))
+	ix.Add(textDoc(3, "cats chase mice"))
+
+	hits := ix.Search("databases", 10)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits[0].ID.Seq != 2 {
+		t.Errorf("doc with higher tf should rank first: %v", hits)
+	}
+	if hits[0].Score <= hits[1].Score {
+		t.Error("scores must be descending")
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	ix := New(nil)
+	for i := uint64(1); i <= 50; i++ {
+		ix.Add(textDoc(i, "impliance appliance information"))
+	}
+	hits := ix.Search("impliance", 5)
+	if len(hits) != 5 {
+		t.Errorf("top-k should cap hits: %d", len(hits))
+	}
+	if got := ix.Search("impliance", 0); len(got) != 50 {
+		t.Errorf("k=0 returns all: %d", len(got))
+	}
+}
+
+func TestSearchStemmingAndStopwords(t *testing.T) {
+	ix := New(nil)
+	ix.Add(textDoc(1, "the system was running quickly"))
+	if len(ix.Search("run", 10)) != 1 {
+		t.Error("stemming should match run/running")
+	}
+	if len(ix.Search("the was", 10)) != 0 {
+		t.Error("stopword-only query should match nothing")
+	}
+}
+
+func TestSearchMissingTerm(t *testing.T) {
+	ix := New(nil)
+	ix.Add(textDoc(1, "hello world"))
+	if len(ix.Search("zebra", 10)) != 0 {
+		t.Error("missing term should return no hits")
+	}
+	if len(ix.Search("", 10)) != 0 {
+		t.Error("empty query should return no hits")
+	}
+}
+
+func TestSearchAllTermsConjunctive(t *testing.T) {
+	ix := New(nil)
+	ix.Add(textDoc(1, "alpha beta"))
+	ix.Add(textDoc(2, "alpha gamma"))
+	ix.Add(textDoc(3, "alpha beta gamma"))
+	hits := ix.SearchAllTerms([]string{"alpha", "beta"}, 0)
+	if len(hits) != 2 {
+		t.Fatalf("conjunctive hits = %v", hits)
+	}
+	for _, h := range hits {
+		if h.ID.Seq == 2 {
+			t.Error("doc 2 lacks beta")
+		}
+	}
+	if hits := ix.SearchAllTerms([]string{"alpha", "zzz"}, 0); len(hits) != 0 {
+		t.Error("absent term makes conjunction empty")
+	}
+}
+
+func TestMatchPhrase(t *testing.T) {
+	ix := New(nil)
+	ix.Add(textDoc(1, "information management appliance"))
+	ix.Add(textDoc(2, "management of appliance information"))
+	ids := ix.MatchPhrase("information management")
+	if len(ids) != 1 || ids[0].Seq != 1 {
+		t.Errorf("phrase hits = %v", ids)
+	}
+	// Phrases never span fields.
+	ix.Add(doc(3,
+		docmodel.F("a", docmodel.String("information")),
+		docmodel.F("b", docmodel.String("management")),
+	))
+	ids = ix.MatchPhrase("information management")
+	if len(ids) != 1 {
+		t.Errorf("cross-field phrase should not match: %v", ids)
+	}
+}
+
+func TestPathIndex(t *testing.T) {
+	ix := New(nil)
+	ix.Add(doc(1, docmodel.F("customer", docmodel.Object(docmodel.F("name", docmodel.String("Ada"))))))
+	ix.Add(doc(2, docmodel.F("order", docmodel.Object(docmodel.F("sku", docmodel.String("X"))))))
+	ids := ix.PathLookup("/customer/name")
+	if len(ids) != 1 || ids[0].Seq != 1 {
+		t.Errorf("PathLookup = %v", ids)
+	}
+	paths := ix.PathList()
+	if len(paths) != 2 || paths[0] != "/customer/name" || paths[1] != "/order/sku" {
+		t.Errorf("PathList = %v", paths)
+	}
+	if ix.PathLookup("/nope") != nil {
+		t.Error("unknown path should be nil")
+	}
+}
+
+func TestValueLookupTyped(t *testing.T) {
+	ix := New(nil)
+	ix.Add(doc(1, docmodel.F("age", docmodel.Int(30))))
+	ix.Add(doc(2, docmodel.F("age", docmodel.Int(40))))
+	ix.Add(doc(3, docmodel.F("age", docmodel.String("40"))))
+	ids := ix.ValueLookup("/age", docmodel.Int(40))
+	if len(ids) != 1 || ids[0].Seq != 2 {
+		t.Errorf("typed equality: %v", ids)
+	}
+	ids = ix.ValueLookup("/age", docmodel.String("40"))
+	if len(ids) != 1 || ids[0].Seq != 3 {
+		t.Errorf("string 40 is distinct from int 40: %v", ids)
+	}
+}
+
+func TestValueRange(t *testing.T) {
+	ix := New(nil)
+	for i := uint64(1); i <= 10; i++ {
+		ix.Add(doc(i, docmodel.F("n", docmodel.Int(int64(i)))))
+	}
+	lo, hi := docmodel.Int(3), docmodel.Int(6)
+	ids := ix.ValueRange("/n", &lo, &hi, true, true)
+	if len(ids) != 4 {
+		t.Errorf("[3,6] = %v", ids)
+	}
+	ids = ix.ValueRange("/n", &lo, &hi, false, false)
+	if len(ids) != 2 {
+		t.Errorf("(3,6) = %v", ids)
+	}
+	ids = ix.ValueRange("/n", &lo, nil, true, false)
+	if len(ids) != 8 {
+		t.Errorf("[3,inf) = %v", ids)
+	}
+	ids = ix.ValueRange("/n", nil, &hi, false, true)
+	if len(ids) != 6 {
+		t.Errorf("(-inf,6] = %v", ids)
+	}
+	if ix.ValueRange("/missing", &lo, &hi, true, true) != nil {
+		t.Error("unknown path range should be nil")
+	}
+}
+
+func TestValueRangeMixedKindsOrdered(t *testing.T) {
+	ix := New(nil)
+	ix.Add(doc(1, docmodel.F("v", docmodel.Int(5))))
+	ix.Add(doc(2, docmodel.F("v", docmodel.Float(5.5))))
+	ix.Add(doc(3, docmodel.F("v", docmodel.String("zzz"))))
+	lo := docmodel.Int(5)
+	hi := docmodel.Int(6)
+	ids := ix.ValueRange("/v", &lo, &hi, true, true)
+	// int 5 and float 5.5 are both in [5,6]; the string is not numeric.
+	if len(ids) != 2 {
+		t.Errorf("numeric range over mixed kinds: %v", ids)
+	}
+}
+
+func TestIncrementalRemoveThenAddNewVersion(t *testing.T) {
+	ix := New(nil)
+	v1 := textDoc(1, "old content about turtles")
+	ix.Add(v1)
+	if len(ix.Search("turtles", 10)) != 1 {
+		t.Fatal("v1 should be searchable")
+	}
+	// New version replaces the old one in the index.
+	v2 := textDoc(1, "new content about rockets")
+	v2.Version = 2
+	ix.Remove(v1)
+	ix.Add(v2)
+	if len(ix.Search("turtles", 10)) != 0 {
+		t.Error("old version terms must be gone")
+	}
+	if len(ix.Search("rockets", 10)) != 1 {
+		t.Error("new version terms must be live")
+	}
+	if ix.DocCount() != 1 {
+		t.Errorf("doc count = %d", ix.DocCount())
+	}
+}
+
+func TestRemoveUnknownIsNoop(t *testing.T) {
+	ix := New(nil)
+	ix.Add(textDoc(1, "keep me"))
+	ix.Remove(textDoc(99, "never added"))
+	if ix.DocCount() != 1 || len(ix.Search("keep", 1)) != 1 {
+		t.Error("removing unknown doc must not disturb index")
+	}
+}
+
+func TestRemoveCleansEmptyPostings(t *testing.T) {
+	ix := New(nil)
+	d := textDoc(1, "unique_term_xyz")
+	ix.Add(d)
+	ix.Remove(d)
+	if ix.TermCount() != 0 {
+		t.Errorf("empty postings should be deleted: %d terms", ix.TermCount())
+	}
+	if len(ix.PathList()) != 0 {
+		t.Error("empty path sets should be deleted")
+	}
+}
+
+func TestFacets(t *testing.T) {
+	ix := New(nil)
+	regions := []string{"west", "west", "west", "east", "east", "north"}
+	for i, r := range regions {
+		ix.Add(doc(uint64(i+1), docmodel.F("region", docmodel.String(r))))
+	}
+	fc := ix.Facets("/region", nil, 0)
+	if len(fc) != 3 {
+		t.Fatalf("facets = %v", fc)
+	}
+	if fc[0].Value.StringVal() != "west" || fc[0].Count != 3 {
+		t.Errorf("top facet = %+v", fc[0])
+	}
+	if fc[1].Value.StringVal() != "east" || fc[1].Count != 2 {
+		t.Errorf("second facet = %+v", fc[1])
+	}
+	// Candidate restriction (drill-down).
+	cands := map[docmodel.DocID]struct{}{
+		{Origin: 1, Seq: 4}: {}, {Origin: 1, Seq: 5}: {}, {Origin: 1, Seq: 6}: {},
+	}
+	fc = ix.Facets("/region", cands, 0)
+	if len(fc) != 2 || fc[0].Value.StringVal() != "east" || fc[0].Count != 2 {
+		t.Errorf("drill-down facets = %v", fc)
+	}
+	// Limit.
+	fc = ix.Facets("/region", nil, 1)
+	if len(fc) != 1 {
+		t.Errorf("limited facets = %v", fc)
+	}
+}
+
+func TestFacetsCountDocsNotOccurrences(t *testing.T) {
+	ix := New(nil)
+	// One doc with the same tag twice must count once.
+	ix.Add(doc(1, docmodel.F("tags", docmodel.Array(docmodel.String("x"), docmodel.String("x")))))
+	ix.Add(doc(2, docmodel.F("tags", docmodel.String("x"))))
+	fc := ix.Facets("/tags", nil, 0)
+	if len(fc) != 1 || fc[0].Count != 2 {
+		t.Errorf("facet doc-count = %v", fc)
+	}
+}
+
+func TestValueIndexCompaction(t *testing.T) {
+	ix := New(nil)
+	docs := make([]*docmodel.Document, 0, 200)
+	for i := uint64(1); i <= 200; i++ {
+		d := doc(i, docmodel.F("n", docmodel.Int(int64(i))))
+		docs = append(docs, d)
+		ix.Add(d)
+	}
+	for _, d := range docs[:150] {
+		ix.Remove(d)
+	}
+	lo := docmodel.Int(1)
+	hi := docmodel.Int(200)
+	ids := ix.ValueRange("/n", &lo, &hi, true, true)
+	if len(ids) != 50 {
+		t.Errorf("after mass removal: %d live ids", len(ids))
+	}
+}
+
+func TestConcurrentIndexingAndSearch(t *testing.T) {
+	ix := New(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				seq := uint64(w*1000 + i + 1)
+				ix.Add(doc(seq,
+					docmodel.F("text", docmodel.String(fmt.Sprintf("worker %d item %d common", w, i))),
+					docmodel.F("n", docmodel.Int(int64(i))),
+				))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			ix.Search("common", 10)
+			ix.Facets("/n", nil, 5)
+			lo := docmodel.Int(0)
+			hi := docmodel.Int(50)
+			ix.ValueRange("/n", &lo, &hi, true, true)
+		}
+	}()
+	wg.Wait()
+	if ix.DocCount() != 400 {
+		t.Errorf("doc count = %d", ix.DocCount())
+	}
+	if len(ix.Search("common", 0)) != 400 {
+		t.Error("all docs should match common")
+	}
+}
+
+func TestPropertyAddRemoveRestoresEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	ix := New(nil)
+	var docs []*docmodel.Document
+	for i := uint64(1); i <= 100; i++ {
+		n := rng.Intn(5) + 1
+		body := ""
+		for j := 0; j < n; j++ {
+			body += words[rng.Intn(len(words))] + " "
+		}
+		d := doc(i,
+			docmodel.F("text", docmodel.String(body)),
+			docmodel.F("n", docmodel.Int(rng.Int63n(50))),
+		)
+		docs = append(docs, d)
+		ix.Add(d)
+	}
+	for _, d := range docs {
+		ix.Remove(d)
+	}
+	if ix.DocCount() != 0 || ix.TermCount() != 0 || len(ix.PathList()) != 0 {
+		t.Errorf("index not empty after removing everything: docs=%d terms=%d paths=%d",
+			ix.DocCount(), ix.TermCount(), len(ix.PathList()))
+	}
+}
+
+func TestSearchDeterministicTieBreak(t *testing.T) {
+	ix := New(nil)
+	ix.Add(textDoc(5, "same words here"))
+	ix.Add(textDoc(2, "same words here"))
+	ix.Add(textDoc(9, "same words here"))
+	hits := ix.Search("words", 0)
+	if len(hits) != 3 {
+		t.Fatal("three hits expected")
+	}
+	if hits[0].ID.Seq != 2 || hits[1].ID.Seq != 5 || hits[2].ID.Seq != 9 {
+		t.Errorf("tie-break should order by ID: %v", hits)
+	}
+}

@@ -1,0 +1,158 @@
+package index
+
+import (
+	"sort"
+
+	"impliance/internal/docmodel"
+)
+
+// valueIndex is the typed per-path value index: a lazily-sorted run of
+// (value, docID) pairs ordered by the document model's total value order,
+// supporting equality and range lookups. Removals tombstone and the run is
+// rebuilt when tombstones dominate — the incremental-maintenance strategy
+// the paper calls for when annotations stream in continuously (§3.3).
+type valueIndex struct {
+	entries []valueEntry
+	removed map[docmodel.DocID]struct{}
+	dirty   bool // true when entries need re-sorting
+}
+
+type valueEntry struct {
+	val docmodel.Value
+	id  docmodel.DocID
+}
+
+func newValueIndex() *valueIndex {
+	return &valueIndex{removed: map[docmodel.DocID]struct{}{}}
+}
+
+// add records a value occurrence. Caller holds the index write lock.
+func (vi *valueIndex) add(v docmodel.Value, id docmodel.DocID) {
+	// Re-adding a doc that was tombstoned resurrects it (new version).
+	delete(vi.removed, id)
+	vi.entries = append(vi.entries, valueEntry{val: v, id: id})
+	vi.dirty = true
+}
+
+// remove tombstones every entry of the doc. Caller holds the write lock.
+func (vi *valueIndex) remove(id docmodel.DocID) {
+	vi.removed[id] = struct{}{}
+	if len(vi.removed)*4 > len(vi.entries) && len(vi.entries) > 64 {
+		vi.compact()
+	}
+}
+
+func (vi *valueIndex) compact() {
+	out := vi.entries[:0]
+	for _, e := range vi.entries {
+		if _, dead := vi.removed[e.id]; !dead {
+			out = append(out, e)
+		}
+	}
+	vi.entries = out
+	vi.removed = map[docmodel.DocID]struct{}{}
+}
+
+func (vi *valueIndex) ensureSorted() {
+	if !vi.dirty {
+		return
+	}
+	sort.Slice(vi.entries, func(i, j int) bool {
+		if c := vi.entries[i].val.Compare(vi.entries[j].val); c != 0 {
+			return c < 0
+		}
+		return vi.entries[i].id.Compare(vi.entries[j].id) < 0
+	})
+	vi.dirty = false
+}
+
+// lookup returns sorted unique doc IDs having exactly v.
+func (vi *valueIndex) lookup(v docmodel.Value) []docmodel.DocID {
+	vi.ensureSorted()
+	lo := sort.Search(len(vi.entries), func(i int) bool { return vi.entries[i].val.Compare(v) >= 0 })
+	var out []docmodel.DocID
+	for i := lo; i < len(vi.entries) && vi.entries[i].val.Compare(v) == 0; i++ {
+		if _, dead := vi.removed[vi.entries[i].id]; dead {
+			continue
+		}
+		out = append(out, vi.entries[i].id)
+	}
+	return dedupIDs(out)
+}
+
+// rangeLookup returns sorted unique doc IDs with a value in the bounds.
+func (vi *valueIndex) rangeLookup(lo, hi *docmodel.Value, loInc, hiInc bool) []docmodel.DocID {
+	vi.ensureSorted()
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(vi.entries), func(i int) bool {
+			c := vi.entries[i].val.Compare(*lo)
+			if loInc {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	var out []docmodel.DocID
+	for i := start; i < len(vi.entries); i++ {
+		if hi != nil {
+			c := vi.entries[i].val.Compare(*hi)
+			if c > 0 || (c == 0 && !hiInc) {
+				break
+			}
+		}
+		if _, dead := vi.removed[vi.entries[i].id]; dead {
+			continue
+		}
+		out = append(out, vi.entries[i].id)
+	}
+	return dedupIDs(out)
+}
+
+// facets buckets live entries by distinct value.
+func (vi *valueIndex) facets(candidates map[docmodel.DocID]struct{}, limit int) []FacetCount {
+	vi.ensureSorted()
+	var out []FacetCount
+	seenInBucket := map[docmodel.DocID]struct{}{}
+	for i := 0; i < len(vi.entries); i++ {
+		e := vi.entries[i]
+		if _, dead := vi.removed[e.id]; dead {
+			continue
+		}
+		if candidates != nil {
+			if _, ok := candidates[e.id]; !ok {
+				continue
+			}
+		}
+		if len(out) > 0 && out[len(out)-1].Value.Compare(e.val) == 0 {
+			if _, dup := seenInBucket[e.id]; !dup {
+				out[len(out)-1].Count++
+				seenInBucket[e.id] = struct{}{}
+			}
+		} else {
+			out = append(out, FacetCount{Value: e.val, Count: 1})
+			seenInBucket = map[docmodel.DocID]struct{}{e.id: {}}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value.Compare(out[j].Value) < 0
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+func dedupIDs(ids []docmodel.DocID) []docmodel.DocID {
+	sortIDs(ids)
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package ingest
+
+import (
+	"fmt"
+	"strings"
+
+	"impliance/internal/docmodel"
+)
+
+// Email maps an RFC 822-style message into the native model: parsed
+// headers (from, to, cc, subject, date) as typed fields, remaining headers
+// under /headers, and the body under /body. The legal-compliance use case
+// (paper §2.1.3) queries e-mail alongside contracts and structured data;
+// this mapper is what makes those messages first-class documents.
+func Email(b []byte) (docmodel.Value, error) {
+	s := strings.ReplaceAll(string(b), "\r\n", "\n")
+	headerPart, body, found := strings.Cut(s, "\n\n")
+	if !found {
+		headerPart, body = s, ""
+	}
+	lines := strings.Split(headerPart, "\n")
+
+	type hdr struct{ name, value string }
+	var headers []hdr
+	for _, line := range lines {
+		if line == "" {
+			continue
+		}
+		// Folded header continuation.
+		if (strings.HasPrefix(line, " ") || strings.HasPrefix(line, "\t")) && len(headers) > 0 {
+			headers[len(headers)-1].value += " " + strings.TrimSpace(line)
+			continue
+		}
+		name, value, ok := strings.Cut(line, ":")
+		if !ok {
+			return docmodel.Null, fmt.Errorf("ingest: malformed email header line %q", line)
+		}
+		headers = append(headers, hdr{strings.ToLower(strings.TrimSpace(name)), strings.TrimSpace(value)})
+	}
+	if len(headers) == 0 {
+		return docmodel.Null, fmt.Errorf("ingest: email has no headers")
+	}
+
+	var fields []docmodel.Field
+	var rest []docmodel.Field
+	for _, h := range headers {
+		switch h.name {
+		case "from", "subject", "message-id", "in-reply-to":
+			fields = append(fields, docmodel.F(h.name, docmodel.String(h.value)))
+		case "to", "cc", "bcc":
+			fields = append(fields, docmodel.F(h.name, addressList(h.value)))
+		case "date":
+			if t, err := parseAnyTime(h.value); err == nil {
+				fields = append(fields, docmodel.F("date", docmodel.Time(t)))
+			} else {
+				fields = append(fields, docmodel.F("date", docmodel.String(h.value)))
+			}
+		default:
+			rest = append(rest, docmodel.F(h.name, docmodel.String(h.value)))
+		}
+	}
+	if len(rest) > 0 {
+		fields = append(fields, docmodel.F("headers", docmodel.Object(rest...)))
+	}
+	fields = append(fields, docmodel.F("body", docmodel.String(strings.TrimSpace(body))))
+	return docmodel.Object(fields...), nil
+}
+
+func addressList(v string) docmodel.Value {
+	parts := strings.Split(v, ",")
+	elems := make([]docmodel.Value, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			elems = append(elems, docmodel.String(p))
+		}
+	}
+	if len(elems) == 1 {
+		return elems[0]
+	}
+	return docmodel.Array(elems...)
+}

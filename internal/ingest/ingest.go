@@ -1,0 +1,357 @@
+// Package ingest maps external data formats into the Impliance native
+// document model (paper §2.2, Figure 1: "the data infused into Impliance is
+// mapped from its initial format to a uniform data model"). Each mapper is
+// lossless for the information the appliance queries: relational rows keep
+// column order and types, XML keeps element order and attributes, e-mail
+// keeps headers and body, binary content keeps its bytes plus extracted
+// metadata.
+//
+// Mapping is the only format-specific code in the appliance; everything
+// downstream (storage, indexing, discovery, query) sees only documents.
+package ingest
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode/utf8"
+
+	"impliance/internal/docmodel"
+)
+
+// Media types assigned by the mappers. These are queryable document
+// metadata, not dispatch keys: once mapped, all documents are equal.
+const (
+	MediaRow    = "relational/row"
+	MediaJSON   = "application/json"
+	MediaXML    = "application/xml"
+	MediaEmail  = "message/rfc822"
+	MediaText   = "text/plain"
+	MediaBinary = "application/octet-stream"
+)
+
+// ColType is the declared type of a relational column.
+type ColType uint8
+
+// Column types supported by the relational mapper.
+const (
+	ColString ColType = iota
+	ColInt
+	ColFloat
+	ColBool
+	ColTime
+)
+
+// Column describes one relational column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Row maps one relational row to a document body, preserving column order
+// (paper §3.2: "consider the insertion of a relational row... The row can
+// immediately be queried by SQL and retrieved without change").
+func Row(cols []Column, vals []any) (docmodel.Value, error) {
+	if len(cols) != len(vals) {
+		return docmodel.Null, fmt.Errorf("ingest: row has %d values for %d columns", len(vals), len(cols))
+	}
+	fields := make([]docmodel.Field, 0, len(cols))
+	for i, c := range cols {
+		v, err := colValue(c, vals[i])
+		if err != nil {
+			return docmodel.Null, fmt.Errorf("ingest: column %q: %w", c.Name, err)
+		}
+		fields = append(fields, docmodel.F(c.Name, v))
+	}
+	return docmodel.Object(fields...), nil
+}
+
+func colValue(c Column, raw any) (docmodel.Value, error) {
+	if raw == nil {
+		return docmodel.Null, nil
+	}
+	switch c.Type {
+	case ColString:
+		switch x := raw.(type) {
+		case string:
+			return docmodel.String(x), nil
+		default:
+			return docmodel.String(fmt.Sprint(x)), nil
+		}
+	case ColInt:
+		switch x := raw.(type) {
+		case int:
+			return docmodel.Int(int64(x)), nil
+		case int64:
+			return docmodel.Int(x), nil
+		case string:
+			i, err := strconv.ParseInt(strings.TrimSpace(x), 10, 64)
+			if err != nil {
+				return docmodel.Null, err
+			}
+			return docmodel.Int(i), nil
+		default:
+			return docmodel.Null, fmt.Errorf("cannot map %T to int column", raw)
+		}
+	case ColFloat:
+		switch x := raw.(type) {
+		case float64:
+			return docmodel.Float(x), nil
+		case int:
+			return docmodel.Float(float64(x)), nil
+		case int64:
+			return docmodel.Float(float64(x)), nil
+		case string:
+			f, err := strconv.ParseFloat(strings.TrimSpace(x), 64)
+			if err != nil {
+				return docmodel.Null, err
+			}
+			return docmodel.Float(f), nil
+		default:
+			return docmodel.Null, fmt.Errorf("cannot map %T to float column", raw)
+		}
+	case ColBool:
+		switch x := raw.(type) {
+		case bool:
+			return docmodel.Bool(x), nil
+		case string:
+			b, err := strconv.ParseBool(strings.TrimSpace(x))
+			if err != nil {
+				return docmodel.Null, err
+			}
+			return docmodel.Bool(b), nil
+		default:
+			return docmodel.Null, fmt.Errorf("cannot map %T to bool column", raw)
+		}
+	case ColTime:
+		switch x := raw.(type) {
+		case time.Time:
+			return docmodel.Time(x), nil
+		case string:
+			t, err := parseAnyTime(strings.TrimSpace(x))
+			if err != nil {
+				return docmodel.Null, err
+			}
+			return docmodel.Time(t), nil
+		default:
+			return docmodel.Null, fmt.Errorf("cannot map %T to time column", raw)
+		}
+	}
+	return docmodel.Null, fmt.Errorf("unknown column type %d", c.Type)
+}
+
+var timeLayouts = []string{
+	time.RFC3339Nano, time.RFC3339, "2006-01-02 15:04:05", "2006-01-02",
+	time.RFC1123Z, time.RFC1123, time.RFC822Z, time.RFC822,
+	"Mon, 2 Jan 2006 15:04:05 -0700",
+}
+
+func parseAnyTime(s string) (time.Time, error) {
+	for _, layout := range timeLayouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("unrecognized time %q", s)
+}
+
+// CSV maps comma-separated text with a header row into one document body
+// per data row. Cell types are inferred (int, float, bool, time, string);
+// empty cells map to null. A best-effort mapper for "throw your data in the
+// stewing pot" ingestion (paper §2.2).
+func CSV(data []byte) ([]docmodel.Value, error) {
+	lines := splitCSVLines(string(data))
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("ingest: empty csv")
+	}
+	header := splitCSVFields(lines[0])
+	if len(header) == 0 || (len(header) == 1 && strings.TrimSpace(header[0]) == "") {
+		return nil, fmt.Errorf("ingest: csv header empty")
+	}
+	var out []docmodel.Value
+	for ln := 1; ln < len(lines); ln++ {
+		if strings.TrimSpace(lines[ln]) == "" {
+			continue
+		}
+		cells := splitCSVFields(lines[ln])
+		if len(cells) != len(header) {
+			return nil, fmt.Errorf("ingest: csv line %d has %d cells, header has %d", ln+1, len(cells), len(header))
+		}
+		fields := make([]docmodel.Field, 0, len(header))
+		for i, h := range header {
+			fields = append(fields, docmodel.F(strings.TrimSpace(h), inferCell(cells[i])))
+		}
+		out = append(out, docmodel.Object(fields...))
+	}
+	return out, nil
+}
+
+func splitCSVLines(s string) []string {
+	s = strings.ReplaceAll(s, "\r\n", "\n")
+	return strings.Split(strings.TrimRight(s, "\n"), "\n")
+}
+
+// splitCSVFields handles double-quoted cells with embedded commas and
+// doubled quotes; it is intentionally a subset of RFC 4180 (no embedded
+// newlines) — the workload generators emit within this subset.
+func splitCSVFields(line string) []string {
+	var out []string
+	var sb strings.Builder
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inQuote:
+			if c == '"' {
+				if i+1 < len(line) && line[i+1] == '"' {
+					sb.WriteByte('"')
+					i++
+				} else {
+					inQuote = false
+				}
+			} else {
+				sb.WriteByte(c)
+			}
+		case c == '"':
+			inQuote = true
+		case c == ',':
+			out = append(out, sb.String())
+			sb.Reset()
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	out = append(out, sb.String())
+	return out
+}
+
+func inferCell(cell string) docmodel.Value {
+	s := strings.TrimSpace(cell)
+	if s == "" {
+		return docmodel.Null
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return docmodel.Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return docmodel.Float(f)
+	}
+	switch strings.ToLower(s) {
+	case "true":
+		return docmodel.Bool(true)
+	case "false":
+		return docmodel.Bool(false)
+	}
+	if t, err := parseAnyTime(s); err == nil {
+		return docmodel.Time(t)
+	}
+	return docmodel.String(cell)
+}
+
+// JSON maps a JSON document into the native model.
+func JSON(b []byte) (docmodel.Value, error) {
+	return docmodel.FromJSON(b)
+}
+
+// Text maps unstructured text: the whole body lands under /text so the
+// full-text indexer and annotators find it at a stable path.
+func Text(s string) docmodel.Value {
+	return docmodel.Object(docmodel.F("text", docmodel.String(s)))
+}
+
+// Binary maps opaque content (multimedia, PDFs) to a document holding the
+// bytes plus extractable metadata. Search over such documents initially
+// covers only this metadata — exactly the content-manager status quo the
+// paper describes — until annotators enrich it.
+func Binary(filename string, content []byte) docmodel.Value {
+	return docmodel.Object(
+		docmodel.F("filename", docmodel.String(filename)),
+		docmodel.F("size", docmodel.Int(int64(len(content)))),
+		docmodel.F("content", docmodel.Bytes(content)),
+	)
+}
+
+// Sniff guesses the media type of raw bytes. Used by the "stewing pot"
+// ingestion path where callers do not declare a format.
+func Sniff(b []byte) string {
+	trimmed := bytes.TrimLeft(b, " \t\r\n")
+	switch {
+	case len(trimmed) == 0:
+		return MediaText
+	case trimmed[0] == '{' || trimmed[0] == '[':
+		return MediaJSON
+	case trimmed[0] == '<':
+		return MediaXML
+	case looksLikeEmail(b):
+		return MediaEmail
+	case utf8.Valid(b) && printableRatio(b) > 0.95:
+		return MediaText
+	default:
+		return MediaBinary
+	}
+}
+
+func looksLikeEmail(b []byte) bool {
+	head := b
+	if len(head) > 2048 {
+		head = head[:2048]
+	}
+	if !utf8.Valid(head) {
+		return false
+	}
+	s := string(head)
+	hits := 0
+	for _, h := range []string{"From:", "To:", "Subject:", "Date:"} {
+		if strings.HasPrefix(s, h) || strings.Contains(s, "\n"+h) {
+			hits++
+		}
+	}
+	return hits >= 2
+}
+
+func printableRatio(b []byte) float64 {
+	if len(b) == 0 {
+		return 1
+	}
+	printable := 0
+	for _, c := range b {
+		if c == '\n' || c == '\r' || c == '\t' || (c >= 0x20) {
+			printable++
+		}
+	}
+	return float64(printable) / float64(len(b))
+}
+
+// Auto sniffs and maps raw bytes, returning the body and assigned media
+// type. Binary content gets the synthetic filename.
+func Auto(filename string, b []byte) (docmodel.Value, string, error) {
+	mt := Sniff(b)
+	switch mt {
+	case MediaJSON:
+		v, err := JSON(b)
+		if err != nil {
+			// JSON-looking but malformed: fall back to text, as the stewing
+			// pot accepts everything.
+			return Text(string(b)), MediaText, nil
+		}
+		return v, MediaJSON, nil
+	case MediaXML:
+		v, err := XML(b)
+		if err != nil {
+			return Text(string(b)), MediaText, nil
+		}
+		return v, MediaXML, nil
+	case MediaEmail:
+		v, err := Email(b)
+		if err != nil {
+			return Text(string(b)), MediaText, nil
+		}
+		return v, MediaEmail, nil
+	case MediaText:
+		return Text(string(b)), MediaText, nil
+	default:
+		return Binary(filename, b), MediaBinary, nil
+	}
+}

@@ -1,0 +1,330 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"impliance/internal/docmodel"
+)
+
+func TestRowPreservesColumnOrderAndTypes(t *testing.T) {
+	cols := []Column{
+		{"id", ColInt}, {"name", ColString}, {"balance", ColFloat},
+		{"active", ColBool}, {"joined", ColTime},
+	}
+	v, err := Row(cols, []any{int64(7), "Ada", 12.5, true, "2026-01-02"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Field(0).Name != "id" || v.Field(4).Name != "joined" {
+		t.Error("column order not preserved")
+	}
+	if v.Get("id").IntVal() != 7 || v.Get("name").StringVal() != "Ada" ||
+		v.Get("balance").FloatVal() != 12.5 || !v.Get("active").BoolVal() {
+		t.Errorf("typed values wrong: %s", v)
+	}
+	if v.Get("joined").Kind() != docmodel.KindTime {
+		t.Error("time column should map to KindTime")
+	}
+}
+
+func TestRowStringCoercions(t *testing.T) {
+	cols := []Column{{"n", ColInt}, {"f", ColFloat}, {"b", ColBool}}
+	v, err := Row(cols, []any{" 42 ", " 2.5 ", " true "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Get("n").IntVal() != 42 || v.Get("f").FloatVal() != 2.5 || !v.Get("b").BoolVal() {
+		t.Errorf("coercions wrong: %s", v)
+	}
+}
+
+func TestRowErrors(t *testing.T) {
+	if _, err := Row([]Column{{"a", ColInt}}, []any{1, 2}); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	if _, err := Row([]Column{{"a", ColInt}}, []any{"xyz"}); err == nil {
+		t.Error("unparsable int must fail")
+	}
+	if _, err := Row([]Column{{"a", ColTime}}, []any{"not a time"}); err == nil {
+		t.Error("unparsable time must fail")
+	}
+	// Nil maps to Null regardless of type.
+	v, err := Row([]Column{{"a", ColInt}}, []any{nil})
+	if err != nil || !v.Get("a").IsNull() {
+		t.Error("nil should map to Null")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	data := []byte("id,name,price,note\n1,widget,9.99,\"big, red\"\n2,gadget,,plain\n")
+	rows, err := CSV(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r0 := rows[0]
+	if r0.Get("id").IntVal() != 1 || r0.Get("name").StringVal() != "widget" {
+		t.Errorf("row 0: %s", r0)
+	}
+	if r0.Get("price").FloatVal() != 9.99 {
+		t.Errorf("price: %s", r0.Get("price"))
+	}
+	if r0.Get("note").StringVal() != "big, red" {
+		t.Errorf("quoted cell: %q", r0.Get("note").StringVal())
+	}
+	if !rows[1].Get("price").IsNull() {
+		t.Error("empty cell should be Null")
+	}
+}
+
+func TestCSVQuotedQuotes(t *testing.T) {
+	rows, err := CSV([]byte("a\n\"say \"\"hi\"\"\"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rows[0].Get("a").StringVal(); got != `say "hi"` {
+		t.Errorf("doubled quotes: %q", got)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := CSV(nil); err == nil {
+		t.Error("empty csv must fail")
+	}
+	if _, err := CSV([]byte("a,b\n1\n")); err == nil {
+		t.Error("ragged row must fail")
+	}
+}
+
+func TestXMLMapping(t *testing.T) {
+	src := []byte(`<claim id="C-9" state="open">
+		<patient><name>John Smith</name><age>44</age></patient>
+		<item code="X1">MRI scan</item>
+		<item code="X2">Consult</item>
+	</claim>`)
+	v, err := XML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := &docmodel.Document{Root: v}
+	if got := doc.First("/claim/@id").StringVal(); got != "C-9" {
+		t.Errorf("@id = %q", got)
+	}
+	if got := doc.First("/claim/patient/name").StringVal(); got != "John Smith" {
+		t.Errorf("name = %q", got)
+	}
+	if got := doc.First("/claim/patient/age").IntVal(); got != 44 {
+		t.Errorf("age should be typed int, got %s", doc.First("/claim/patient/age"))
+	}
+	items := doc.At("/claim/item/#text")
+	if len(items) != 2 || items[0].StringVal() != "MRI scan" {
+		t.Errorf("repeated elements: %v", items)
+	}
+	codes := doc.At("/claim/item/@code")
+	if len(codes) != 2 || codes[1].StringVal() != "X2" {
+		t.Errorf("attrs on repeated elements: %v", codes)
+	}
+}
+
+func TestXMLErrors(t *testing.T) {
+	if _, err := XML([]byte("")); err == nil {
+		t.Error("empty xml must fail")
+	}
+	if _, err := XML([]byte("<a><b></a>")); err == nil {
+		t.Error("mismatched tags must fail")
+	}
+	deep := strings.Repeat("<a>", 300) + strings.Repeat("</a>", 300)
+	if _, err := XML([]byte(deep)); err == nil {
+		t.Error("overly deep xml must fail")
+	}
+}
+
+func TestToXMLRoundTripStructure(t *testing.T) {
+	src := []byte(`<order id="1"><sku>A</sku><sku>B</sku><qty>2</qty></order>`)
+	v, err := XML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(ToXML("root", v))
+	for _, want := range []string{`id="1"`, "<sku>A</sku>", "<sku>B</sku>", "<qty>2</qty>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ToXML output %s missing %s", out, want)
+		}
+	}
+	// Re-parse the export: structure must be stable.
+	v2, err := XML([]byte(out))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, out)
+	}
+	d2 := &docmodel.Document{Root: v2}
+	if len(d2.At("/root/order/sku")) != 2 {
+		t.Error("round-tripped structure lost repeated elements")
+	}
+}
+
+func TestToXMLEscaping(t *testing.T) {
+	v := docmodel.Object(docmodel.F("msg", docmodel.String(`a<b & "c"`)))
+	out := string(ToXML("r", v))
+	if !strings.Contains(out, "a&lt;b &amp; &quot;c&quot;") {
+		t.Errorf("escaping wrong: %s", out)
+	}
+}
+
+const sampleEmail = `From: alice@example.com
+To: bob@example.com, carol@example.com
+Cc: dan@example.com
+Subject: Q3 contract renewal
+Date: Mon, 2 Jan 2006 15:04:05 -0700
+Message-Id: <abc@example.com>
+X-Priority: 1
+
+Bob,
+
+please review the attached contract before Friday.
+
+-- Alice`
+
+func TestEmailMapping(t *testing.T) {
+	v, err := Email([]byte(sampleEmail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &docmodel.Document{Root: v}
+	if d.First("/from").StringVal() != "alice@example.com" {
+		t.Errorf("from = %s", d.First("/from"))
+	}
+	tos := d.At("/to")
+	if len(tos) != 2 || tos[1].StringVal() != "carol@example.com" {
+		t.Errorf("to = %v", tos)
+	}
+	if d.First("/cc").StringVal() != "dan@example.com" {
+		t.Error("single cc should be scalar")
+	}
+	if d.First("/subject").StringVal() != "Q3 contract renewal" {
+		t.Errorf("subject = %s", d.First("/subject"))
+	}
+	if d.First("/date").Kind() != docmodel.KindTime {
+		t.Error("date should parse to KindTime")
+	}
+	wantDate := time.Date(2006, 1, 2, 22, 4, 5, 0, time.UTC)
+	if !d.First("/date").TimeVal().Equal(wantDate) {
+		t.Errorf("date = %v, want %v", d.First("/date").TimeVal(), wantDate)
+	}
+	if d.First("/headers/x-priority").StringVal() != "1" {
+		t.Error("extra headers should land under /headers")
+	}
+	if !strings.Contains(d.First("/body").StringVal(), "review the attached contract") {
+		t.Errorf("body = %q", d.First("/body").StringVal())
+	}
+}
+
+func TestEmailFoldedHeader(t *testing.T) {
+	msg := "From: a@x.com\nSubject: one\n two three\n\nbody"
+	v, err := Email([]byte(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &docmodel.Document{Root: v}
+	if d.First("/subject").StringVal() != "one two three" {
+		t.Errorf("folded subject = %q", d.First("/subject").StringVal())
+	}
+}
+
+func TestEmailErrors(t *testing.T) {
+	if _, err := Email([]byte("no headers here")); err == nil {
+		t.Error("header-less text must fail email parse")
+	}
+}
+
+func TestTextAndBinaryMapping(t *testing.T) {
+	v := Text("hello world")
+	if v.Get("text").StringVal() != "hello world" {
+		t.Error("Text mapping")
+	}
+	b := Binary("pic.jpg", []byte{1, 2, 3})
+	if b.Get("filename").StringVal() != "pic.jpg" || b.Get("size").IntVal() != 3 {
+		t.Error("Binary metadata")
+	}
+	if len(b.Get("content").BytesVal()) != 3 {
+		t.Error("Binary content")
+	}
+}
+
+func TestSniff(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{`{"a":1}`, MediaJSON},
+		{`  [1,2]`, MediaJSON},
+		{`<doc/>`, MediaXML},
+		{sampleEmail, MediaEmail},
+		{"just some plain text\nwith lines", MediaText},
+		{"", MediaText},
+	}
+	for _, c := range cases {
+		if got := Sniff([]byte(c.in)); got != c.want {
+			t.Errorf("Sniff(%.20q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+	if got := Sniff([]byte{0, 1, 2, 0xFF, 0xFE, 0, 0, 0}); got != MediaBinary {
+		t.Errorf("Sniff(binary) = %s", got)
+	}
+}
+
+func TestAutoFallsBackToTextOnMalformed(t *testing.T) {
+	v, mt, err := Auto("x", []byte(`{"broken": `))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != MediaText {
+		t.Errorf("malformed JSON should fall back to text, got %s", mt)
+	}
+	if !strings.Contains(v.Get("text").StringVal(), "broken") {
+		t.Error("fallback should keep raw content")
+	}
+}
+
+func TestAutoDispatch(t *testing.T) {
+	v, mt, err := Auto("f", []byte(`{"k": 5}`))
+	if err != nil || mt != MediaJSON || v.Get("k").IntVal() != 5 {
+		t.Errorf("Auto json: %v %s %s", err, mt, v)
+	}
+	_, mt, _ = Auto("f", []byte(`<a>x</a>`))
+	if mt != MediaXML {
+		t.Errorf("Auto xml: %s", mt)
+	}
+	_, mt, _ = Auto("f", []byte(sampleEmail))
+	if mt != MediaEmail {
+		t.Errorf("Auto email: %s", mt)
+	}
+	_, mt, _ = Auto("f", []byte{0, 255, 254, 0, 0})
+	if mt != MediaBinary {
+		t.Errorf("Auto binary: %s", mt)
+	}
+}
+
+func TestInferCell(t *testing.T) {
+	if inferCell("42").Kind() != docmodel.KindInt {
+		t.Error("int inference")
+	}
+	if inferCell("4.5").Kind() != docmodel.KindFloat {
+		t.Error("float inference")
+	}
+	if inferCell("true").Kind() != docmodel.KindBool {
+		t.Error("bool inference")
+	}
+	if inferCell("2026-06-11").Kind() != docmodel.KindTime {
+		t.Error("time inference")
+	}
+	if inferCell("hello").Kind() != docmodel.KindString {
+		t.Error("string fallback")
+	}
+	if !inferCell("  ").IsNull() {
+		t.Error("blank is null")
+	}
+}

@@ -1,0 +1,174 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"impliance/internal/docmodel"
+)
+
+// XML maps an XML document into the native model. The mapping follows the
+// conventions used by native-XML database systems the paper cites (System
+// RX, Oracle XMLDB):
+//
+//   - an element becomes an object field named after the element;
+//   - attributes become fields prefixed with "@";
+//   - text content becomes a "#text" field (or the element maps directly to
+//     a string when it has neither attributes nor children);
+//   - repeated sibling elements become repeated fields, which the path
+//     index and At() treat as fan-out, matching XML semantics.
+func XML(b []byte) (docmodel.Value, error) {
+	dec := xml.NewDecoder(bytes.NewReader(b))
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return docmodel.Null, fmt.Errorf("ingest: xml has no root element")
+		}
+		if err != nil {
+			return docmodel.Null, fmt.Errorf("ingest: parse xml: %w", err)
+		}
+		if start, ok := tok.(xml.StartElement); ok {
+			v, err := xmlElement(dec, start, 0)
+			if err != nil {
+				return docmodel.Null, err
+			}
+			return docmodel.Object(docmodel.F(start.Name.Local, v)), nil
+		}
+	}
+}
+
+const maxXMLDepth = 128
+
+func xmlElement(dec *xml.Decoder, start xml.StartElement, depth int) (docmodel.Value, error) {
+	if depth > maxXMLDepth {
+		return docmodel.Null, fmt.Errorf("ingest: xml nested deeper than %d", maxXMLDepth)
+	}
+	var fields []docmodel.Field
+	for _, attr := range start.Attr {
+		fields = append(fields, docmodel.F("@"+attr.Name.Local, inferCell(attr.Value)))
+	}
+	var textParts []string
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return docmodel.Null, fmt.Errorf("ingest: parse xml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			child, err := xmlElement(dec, t, depth+1)
+			if err != nil {
+				return docmodel.Null, err
+			}
+			fields = append(fields, docmodel.F(t.Name.Local, child))
+		case xml.CharData:
+			s := strings.TrimSpace(string(t))
+			if s != "" {
+				textParts = append(textParts, s)
+			}
+		case xml.EndElement:
+			text := strings.Join(textParts, " ")
+			if len(fields) == 0 {
+				// Pure text element maps straight to a (typed) scalar.
+				if text == "" {
+					return docmodel.Null, nil
+				}
+				return inferCell(text), nil
+			}
+			if text != "" {
+				fields = append(fields, docmodel.F("#text", docmodel.String(text)))
+			}
+			return docmodel.Object(fields...), nil
+		}
+	}
+}
+
+// ToXML renders a document body as XML for the system-supplied XML view
+// (paper Figure 2). Scalars nest as elements; "@" fields become attributes;
+// "#text" becomes character data. The rendering is for export fidelity of
+// structure, not byte-identical round-tripping of the original input.
+func ToXML(rootName string, v docmodel.Value) []byte {
+	var sb strings.Builder
+	writeXML(&sb, rootName, v)
+	return []byte(sb.String())
+}
+
+func writeXML(sb *strings.Builder, name string, v docmodel.Value) {
+	switch v.Kind() {
+	case docmodel.KindObject:
+		sb.WriteByte('<')
+		sb.WriteString(name)
+		var children []docmodel.Field
+		var textVal string
+		for _, f := range v.Fields() {
+			switch {
+			case strings.HasPrefix(f.Name, "@"):
+				sb.WriteByte(' ')
+				sb.WriteString(f.Name[1:])
+				sb.WriteString(`="`)
+				xmlEscape(sb, scalarText(f.Value))
+				sb.WriteByte('"')
+			case f.Name == "#text":
+				textVal = f.Value.StringVal()
+			default:
+				children = append(children, f)
+			}
+		}
+		if len(children) == 0 && textVal == "" {
+			sb.WriteString("/>")
+			return
+		}
+		sb.WriteByte('>')
+		if textVal != "" {
+			xmlEscape(sb, textVal)
+		}
+		for _, f := range children {
+			writeXML(sb, f.Name, f.Value)
+		}
+		sb.WriteString("</")
+		sb.WriteString(name)
+		sb.WriteByte('>')
+	case docmodel.KindArray:
+		for _, e := range v.Elems() {
+			writeXML(sb, name, e)
+		}
+	default:
+		sb.WriteByte('<')
+		sb.WriteString(name)
+		sb.WriteByte('>')
+		xmlEscape(sb, scalarText(v))
+		sb.WriteString("</")
+		sb.WriteString(name)
+		sb.WriteByte('>')
+	}
+}
+
+func scalarText(v docmodel.Value) string {
+	switch v.Kind() {
+	case docmodel.KindString:
+		return v.StringVal()
+	case docmodel.KindNull:
+		return ""
+	default:
+		return v.String()
+	}
+}
+
+func xmlEscape(sb *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		case '&':
+			sb.WriteString("&amp;")
+		case '"':
+			sb.WriteString("&quot;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package plan implements Impliance's *simple planner* (paper §3.3):
+// "Instead of implementing a full-fledged cost-based optimizer as a
+// conventional database system does, we propose to build a simple planner
+// that allows only a few limited choices of the underlying physical
+// operators. Such a planner is desirable because it offers predictable
+// performance (as opposed to optimal performance) and obviates the need
+// for maintaining complex statistics."
+//
+// The planner is a short, fixed rule list with no statistics:
+//
+//  1. a keyword query routes to the full-text index (top-k);
+//  2. an equality conjunct on a path routes to the value index;
+//  3. everything else is a pushed-down filtered scan, with adaptive
+//     conjunct reordering as the runtime escape hatch;
+//  4. with a top-k request, joins are indexed nested-loop ("indexed
+//     nested-loop joins may always be the preferred join method");
+//     without one, joins are hash joins.
+//
+// The output Plan is interpreted by the core engine against its stores and
+// indexes. The cost-based comparator lives in internal/baseline/costopt
+// and emits the same Plan type, so experiment E7 can execute both.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+)
+
+// Query is the engine's logical query form: what the retrieval interfaces
+// (keyword, faceted, SQL, graph) compile into.
+type Query struct {
+	// Keyword is a free-text ranked query ("" = none).
+	Keyword string
+	// Filter is the structured predicate (True when absent).
+	Filter expr.Expr
+	// Join optionally joins matching documents against a second
+	// collection.
+	Join *JoinClause
+	// GroupBy optionally aggregates the results.
+	GroupBy *expr.GroupSpec
+	// OrderBy optionally orders the results.
+	OrderBy *SortSpec
+	// K caps the result count (0 = unlimited). A non-zero K marks the
+	// query as a retrieval-interface query, which changes join choice.
+	K int
+}
+
+// JoinClause describes an equality join from the query's documents to a
+// second document collection.
+type JoinClause struct {
+	// LeftPath is evaluated on the outer documents.
+	LeftPath string
+	// RightPath is the join key path on the inner collection.
+	RightPath string
+	// RightFilter restricts the inner collection (True when absent).
+	RightFilter expr.Expr
+}
+
+// SortSpec orders results by a path or by relevance score.
+type SortSpec struct {
+	Path    string
+	Desc    bool
+	ByScore bool
+}
+
+// AccessKind enumerates the planner's access methods.
+type AccessKind uint8
+
+// Access methods (deliberately few).
+const (
+	AccessScan       AccessKind = iota // pushed-down filtered scan
+	AccessKeyword                      // full-text index, ranked
+	AccessValueEq                      // value index equality probe
+	AccessValueRange                   // value index range scan
+	AccessPathIndex                    // structural path index
+)
+
+var accessNames = [...]string{"scan", "keyword-index", "value-index-eq", "value-index-range", "path-index"}
+
+// String names the access method.
+func (k AccessKind) String() string {
+	if int(k) < len(accessNames) {
+		return accessNames[k]
+	}
+	return "access?"
+}
+
+// Access is the chosen access path.
+type Access struct {
+	Kind    AccessKind
+	Keyword string
+	Path    string
+	Value   docmodel.Value
+	Lo, Hi  *docmodel.Value
+	LoInc   bool
+	HiInc   bool
+}
+
+// JoinMethod enumerates join implementations.
+type JoinMethod uint8
+
+// Join methods.
+const (
+	JoinNone JoinMethod = iota
+	JoinINL
+	JoinHash
+)
+
+var joinNames = [...]string{"none", "indexed-nl", "hash"}
+
+// String names the join method.
+func (m JoinMethod) String() string {
+	if int(m) < len(joinNames) {
+		return joinNames[m]
+	}
+	return "join?"
+}
+
+// Plan is an executable physical plan description.
+type Plan struct {
+	Access   Access
+	Residual expr.Expr // applied after the access path
+	Adaptive bool      // evaluate Residual with adaptive reordering
+
+	Join     JoinMethod
+	JoinSpec *JoinClause
+
+	GroupBy *expr.GroupSpec
+	OrderBy *SortSpec
+	K       int
+
+	// Explain records the rules that fired, for EXPLAIN output and tests.
+	Explain []string
+}
+
+// String renders a one-line plan summary.
+func (p *Plan) String() string {
+	parts := []string{"access=" + p.Access.Kind.String()}
+	if p.Join != JoinNone {
+		parts = append(parts, "join="+p.Join.String())
+	}
+	if p.GroupBy != nil {
+		parts = append(parts, "group-by")
+	}
+	if p.K > 0 {
+		parts = append(parts, fmt.Sprintf("top-%d", p.K))
+	}
+	if p.Adaptive {
+		parts = append(parts, "adaptive")
+	}
+	return strings.Join(parts, " ")
+}
+
+// Planner is the statistics-free rule planner.
+type Planner struct {
+	// HasValueIndex reports whether a value index exists for the path.
+	// In Impliance every path is indexed automatically, so the default
+	// (nil) treats all paths as indexed; the hook exists for ablations.
+	HasValueIndex func(path string) bool
+}
+
+// NewPlanner creates a simple planner.
+func NewPlanner() *Planner { return &Planner{} }
+
+func (pl *Planner) indexed(path string) bool {
+	if pl.HasValueIndex == nil {
+		return true
+	}
+	return pl.HasValueIndex(path)
+}
+
+// Plan chooses the physical plan for the query by the fixed rules. It
+// never consults data statistics, so the same query always yields the
+// same plan — the predictability the paper argues for.
+func (pl *Planner) Plan(q Query) *Plan {
+	p := &Plan{
+		Residual: q.Filter,
+		GroupBy:  q.GroupBy,
+		OrderBy:  q.OrderBy,
+		K:        q.K,
+		JoinSpec: q.Join,
+	}
+	if p.Residual.IsTrue() {
+		p.Residual = expr.True()
+	}
+
+	switch {
+	case q.Keyword != "":
+		// Rule 1: free text goes to the full-text index.
+		p.Access = Access{Kind: AccessKeyword, Keyword: q.Keyword}
+		p.Explain = append(p.Explain, "rule1: keyword routed to full-text index")
+	default:
+		if path, v, ok := firstEquality(q.Filter, pl.indexed); ok {
+			// Rule 2: equality probes the value index.
+			p.Access = Access{Kind: AccessValueEq, Path: path, Value: v}
+			p.Explain = append(p.Explain, "rule2: equality probes value index on "+path)
+		} else {
+			// Rule 3: pushed-down scan; range predicates are evaluated in
+			// the scan (predictable O(N)) rather than gambling on index
+			// clustering without statistics.
+			p.Access = Access{Kind: AccessScan}
+			p.Explain = append(p.Explain, "rule3: pushed-down filtered scan")
+		}
+	}
+
+	if len(q.Filter.Conjuncts()) > 1 {
+		p.Adaptive = true
+		p.Explain = append(p.Explain, "rule3b: multi-conjunct residual uses adaptive reordering")
+	}
+
+	if q.Join != nil {
+		if q.K > 0 {
+			// Rule 4: top-k retrieval always joins by indexed nested loop.
+			p.Join = JoinINL
+			p.Explain = append(p.Explain, "rule4: top-k join uses indexed nested-loop")
+		} else {
+			p.Join = JoinHash
+			p.Explain = append(p.Explain, "rule4b: full-result join uses hash join")
+		}
+	}
+	return p
+}
+
+// firstEquality returns the lexicographically first equality conjunct on
+// an indexed path — deterministic access choice with no statistics.
+func firstEquality(e expr.Expr, indexed func(string) bool) (string, docmodel.Value, bool) {
+	bestPath := ""
+	var bestVal docmodel.Value
+	found := false
+	for _, path := range e.Paths() {
+		if !indexed(path) {
+			continue
+		}
+		if v, ok := e.EqualityOn(path); ok {
+			if !found || path < bestPath {
+				bestPath, bestVal, found = path, v, true
+			}
+		}
+	}
+	return bestPath, bestVal, found
+}

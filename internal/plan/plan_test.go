@@ -1,0 +1,111 @@
+package plan
+
+import (
+	"testing"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+)
+
+func TestKeywordRoutesToFullText(t *testing.T) {
+	p := NewPlanner().Plan(Query{Keyword: "fraud claims", K: 10})
+	if p.Access.Kind != AccessKeyword || p.Access.Keyword != "fraud claims" {
+		t.Errorf("plan = %s", p)
+	}
+	if p.K != 10 {
+		t.Error("k lost")
+	}
+}
+
+func TestEqualityRoutesToValueIndex(t *testing.T) {
+	q := Query{Filter: expr.And(
+		expr.Cmp("/state", expr.OpEq, docmodel.String("open")),
+		expr.Cmp("/amount", expr.OpGt, docmodel.Int(100)),
+	)}
+	p := NewPlanner().Plan(q)
+	if p.Access.Kind != AccessValueEq || p.Access.Path != "/amount" && p.Access.Path != "/state" {
+		t.Fatalf("plan = %+v", p.Access)
+	}
+	// Deterministic: lexicographically first equality path.
+	if p.Access.Path != "/state" {
+		t.Errorf("access path = %s (only /state has equality)", p.Access.Path)
+	}
+	if !p.Adaptive {
+		t.Error("multi-conjunct residual should be adaptive")
+	}
+}
+
+func TestRangeStaysOnScan(t *testing.T) {
+	q := Query{Filter: expr.Cmp("/amount", expr.OpGt, docmodel.Int(100))}
+	p := NewPlanner().Plan(q)
+	if p.Access.Kind != AccessScan {
+		t.Errorf("simple planner must scan for ranges (predictability): %+v", p.Access)
+	}
+	if p.Adaptive {
+		t.Error("single conjunct should not be adaptive")
+	}
+}
+
+func TestSamePlanEveryTime(t *testing.T) {
+	q := Query{Filter: expr.And(
+		expr.Cmp("/a", expr.OpEq, docmodel.Int(1)),
+		expr.Cmp("/b", expr.OpEq, docmodel.Int(2)),
+	)}
+	pl := NewPlanner()
+	p1, p2 := pl.Plan(q), pl.Plan(q)
+	if p1.Access.Path != p2.Access.Path || p1.Access.Kind != p2.Access.Kind {
+		t.Error("planner must be deterministic")
+	}
+	if p1.Access.Path != "/a" {
+		t.Errorf("first equality by path order: %s", p1.Access.Path)
+	}
+}
+
+func TestJoinMethodByK(t *testing.T) {
+	j := &JoinClause{LeftPath: "/cust", RightPath: "/id", RightFilter: expr.True()}
+	topk := NewPlanner().Plan(Query{Filter: expr.True(), Join: j, K: 10})
+	if topk.Join != JoinINL {
+		t.Errorf("top-k join = %s, want indexed-nl", topk.Join)
+	}
+	full := NewPlanner().Plan(Query{Filter: expr.True(), Join: j})
+	if full.Join != JoinHash {
+		t.Errorf("full join = %s, want hash", full.Join)
+	}
+}
+
+func TestHasValueIndexHook(t *testing.T) {
+	pl := NewPlanner()
+	pl.HasValueIndex = func(path string) bool { return path == "/b" }
+	q := Query{Filter: expr.And(
+		expr.Cmp("/a", expr.OpEq, docmodel.Int(1)),
+		expr.Cmp("/b", expr.OpEq, docmodel.Int(2)),
+	)}
+	p := pl.Plan(q)
+	if p.Access.Kind != AccessValueEq || p.Access.Path != "/b" {
+		t.Errorf("unindexed path chosen: %+v", p.Access)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	j := &JoinClause{LeftPath: "/x", RightPath: "/y", RightFilter: expr.True()}
+	p := NewPlanner().Plan(Query{
+		Keyword: "q", Join: j, K: 5,
+		GroupBy: &expr.GroupSpec{Aggs: []expr.AggSpec{{Kind: expr.AggCount}}},
+		Filter:  expr.True(),
+	})
+	s := p.String()
+	for _, want := range []string{"access=keyword-index", "join=indexed-nl", "group-by", "top-5"} {
+		if !contains(s, want) {
+			t.Errorf("plan string %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

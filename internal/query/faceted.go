@@ -1,0 +1,73 @@
+package query
+
+import (
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/index"
+)
+
+// Faceted search (paper §3.2.1): "an interface for Impliance that extends
+// the concept of faceted search by incorporating more sophisticated
+// analytical capabilities than just counting entities in one dimension."
+// A FacetRequest combines ranked keyword retrieval, structured refinement
+// (the drill-down state), facet counting along requested dimensions, and
+// optional per-bucket aggregates — counting being just the default
+// aggregate.
+
+// FacetRequest is one interaction step of the guided-search session.
+type FacetRequest struct {
+	// Keyword is the free-text query ("" = match all).
+	Keyword string
+	// Refine is the structured drill-down accumulated so far.
+	Refine expr.Expr
+	// Dimensions are the paths to facet on this step.
+	Dimensions []string
+	// Aggregates optionally computes metrics per top bucket of the first
+	// dimension (the OLAP flavor beyond counting).
+	Aggregates []expr.AggSpec
+	// K caps the returned hits (default 10).
+	K int
+	// FacetLimit caps buckets per dimension (default 10).
+	FacetLimit int
+}
+
+// FacetResult is the engine's answer.
+type FacetResult struct {
+	Hits       []index.Hit
+	Total      int // matching documents before K
+	Dimensions []FacetDimension
+}
+
+// FacetDimension is one dimension's buckets.
+type FacetDimension struct {
+	Path    string
+	Buckets []FacetBucket
+}
+
+// FacetBucket is one navigable value with its count and optional
+// aggregates (parallel to FacetRequest.Aggregates).
+type FacetBucket struct {
+	Value      docmodel.Value
+	Count      int
+	Aggregates []docmodel.Value
+}
+
+// Drill returns the refinement produced by clicking a bucket: the current
+// refinement AND dimension == value. This is how the interactive
+// navigation "masks schema complexity from the user".
+func Drill(current expr.Expr, dimension string, value docmodel.Value) expr.Expr {
+	return expr.And(current, expr.Cmp(dimension, expr.OpEq, value))
+}
+
+// Normalize fills request defaults.
+func (r *FacetRequest) Normalize() {
+	if r.K <= 0 {
+		r.K = 10
+	}
+	if r.FacetLimit <= 0 {
+		r.FacetLimit = 10
+	}
+	if r.Refine.IsTrue() {
+		r.Refine = expr.True()
+	}
+}

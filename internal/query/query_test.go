@@ -1,0 +1,268 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/plan"
+)
+
+func claimsView() *View {
+	return NewView("claims", expr.SourceIs("claims"), map[string]string{
+		"id":        "/claim/@id",
+		"patient":   "/claim/patient",
+		"amount":    "/claim/amount",
+		"flagged":   "/claim/flagged",
+		"desc":      "/claim/description",
+		"procedure": "/claim/procedure",
+	})
+}
+
+func catalog() *Catalog {
+	c := NewCatalog()
+	c.Register(claimsView())
+	return c
+}
+
+func TestViewRowFromDoc(t *testing.T) {
+	v := claimsView()
+	d := &docmodel.Document{Root: docmodel.Object(docmodel.F("claim", docmodel.Object(
+		docmodel.F("@id", docmodel.String("CL-1")),
+		docmodel.F("patient", docmodel.String("Jo")),
+		docmodel.F("amount", docmodel.Int(50)),
+	)))}
+	row := v.RowFromDoc(d)
+	if row.Get("id").StringVal() != "CL-1" || row.Get("amount").IntVal() != 50 {
+		t.Errorf("row = %s", row)
+	}
+	// Missing attrs come out null, keeping the row shape stable.
+	if !row.Get("flagged").IsNull() {
+		t.Error("missing attr should be null")
+	}
+	if len(row.Fields()) != 6 {
+		t.Error("row must have every view attribute")
+	}
+}
+
+func TestCatalogLookup(t *testing.T) {
+	c := catalog()
+	if _, err := c.Lookup("CLAIMS"); err != nil {
+		t.Error("lookup should be case-insensitive")
+	}
+	if _, err := c.Lookup("nope"); err == nil {
+		t.Error("missing view must fail")
+	}
+	if len(c.Names()) != 1 {
+		t.Error("names")
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	st, err := ParseSQL("SELECT id, patient FROM claims WHERE amount > 1000 ORDER BY amount DESC LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Select) != 2 || st.Select[0].Attr != "id" {
+		t.Errorf("select = %+v", st.Select)
+	}
+	if st.From != "claims" || st.OrderBy != "amount" || !st.Desc || st.Limit != 5 {
+		t.Errorf("clauses = %+v", st)
+	}
+}
+
+func TestParseStarAndCaseInsensitiveKeywords(t *testing.T) {
+	st, err := ParseSQL("select * from Claims where flagged = true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Star {
+		t.Error("star")
+	}
+	c, err := st.Compile(catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Columns) != 6 {
+		t.Errorf("star columns = %v", c.Columns)
+	}
+}
+
+func TestParseAggregatesAndGroupBy(t *testing.T) {
+	st, err := ParseSQL("SELECT procedure, count(*), sum(amount), avg(amount) FROM claims GROUP BY procedure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := st.Compile(catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Query.GroupBy == nil {
+		t.Fatal("group by missing")
+	}
+	if len(c.Query.GroupBy.Aggs) != 3 {
+		t.Errorf("aggs = %+v", c.Query.GroupBy.Aggs)
+	}
+	if c.Query.GroupBy.By[0] != "/claim/procedure" {
+		t.Errorf("group path = %v", c.Query.GroupBy.By)
+	}
+	if c.Columns[1] != "count(*)" || c.Columns[2] != "sum(amount)" {
+		t.Errorf("columns = %v", c.Columns)
+	}
+}
+
+func TestCompileRejectsBareColumnWithAggregates(t *testing.T) {
+	st, err := ParseSQL("SELECT patient, count(*) FROM claims GROUP BY procedure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Compile(catalog()); err == nil {
+		t.Error("non-grouped bare column must be rejected")
+	}
+}
+
+func TestWhereCompilation(t *testing.T) {
+	st, err := ParseSQL("SELECT id FROM claims WHERE flagged = true AND amount >= 500 OR patient CONTAINS 'smith'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := st.Compile(catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The filter must include the view base and the where tree; verify by
+	// evaluating against matching and non-matching docs.
+	match := &docmodel.Document{Source: "claims", Root: docmodel.Object(docmodel.F("claim", docmodel.Object(
+		docmodel.F("flagged", docmodel.Bool(true)),
+		docmodel.F("amount", docmodel.Int(900)),
+		docmodel.F("patient", docmodel.String("Al Jones")),
+	)))}
+	if !c.Query.Filter.Eval(match) {
+		t.Error("AND branch should match")
+	}
+	viaOr := &docmodel.Document{Source: "claims", Root: docmodel.Object(docmodel.F("claim", docmodel.Object(
+		docmodel.F("flagged", docmodel.Bool(false)),
+		docmodel.F("amount", docmodel.Int(1)),
+		docmodel.F("patient", docmodel.String("Bob Smith")),
+	)))}
+	if !c.Query.Filter.Eval(viaOr) {
+		t.Error("OR branch should match")
+	}
+	wrongSource := match.Clone()
+	wrongSource.Source = "other"
+	if c.Query.Filter.Eval(wrongSource) {
+		t.Error("view base must scope the source")
+	}
+	noMatch := &docmodel.Document{Source: "claims", Root: docmodel.Object(docmodel.F("claim", docmodel.Object(
+		docmodel.F("flagged", docmodel.Bool(false)),
+		docmodel.F("amount", docmodel.Int(1)),
+		docmodel.F("patient", docmodel.String("Carla Chen")),
+	)))}
+	if c.Query.Filter.Eval(noMatch) {
+		t.Error("neither branch should match")
+	}
+}
+
+func TestParensAndNot(t *testing.T) {
+	st, err := ParseSQL("SELECT id FROM claims WHERE NOT (flagged = true OR amount < 10)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := st.Compile(catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := &docmodel.Document{Source: "claims", Root: docmodel.Object(docmodel.F("claim", docmodel.Object(
+		docmodel.F("flagged", docmodel.Bool(false)),
+		docmodel.F("amount", docmodel.Int(100)),
+	)))}
+	if !c.Query.Filter.Eval(doc) {
+		t.Error("NOT() should match unflagged expensive claim")
+	}
+}
+
+func TestStringLiteralEscapes(t *testing.T) {
+	st, err := ParseSQL("SELECT id FROM claims WHERE patient = 'O''Brien'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Where.lit.StringVal() != "O'Brien" {
+		t.Errorf("literal = %q", st.Where.lit.StringVal())
+	}
+}
+
+func TestNumericLiterals(t *testing.T) {
+	st, err := ParseSQL("SELECT id FROM claims WHERE amount = -42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Where.lit.IntVal() != -42 {
+		t.Errorf("int literal = %s", st.Where.lit)
+	}
+	st, _ = ParseSQL("SELECT id FROM claims WHERE amount > 1.5")
+	if st.Where.lit.Kind() != docmodel.KindFloat {
+		t.Error("float literal")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM claims",
+		"SELECT id claims",
+		"SELECT id FROM claims WHERE",
+		"SELECT id FROM claims WHERE amount >",
+		"SELECT id FROM claims LIMIT x",
+		"SELECT id FROM claims trailing garbage",
+		"SELECT sum(*) FROM claims",
+		"SELECT id FROM claims WHERE patient CONTAINS 42",
+		"SELECT id FROM claims WHERE amount ? 5",
+		"SELECT id FROM claims WHERE name = 'unterminated",
+	}
+	for _, sql := range bad {
+		if _, err := ParseSQL(sql); err == nil {
+			t.Errorf("ParseSQL(%q) should fail", sql)
+		}
+	}
+}
+
+func TestCompileUnknownAttrAndView(t *testing.T) {
+	st, _ := ParseSQL("SELECT ghost FROM claims")
+	if _, err := st.Compile(catalog()); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("unknown attr: %v", err)
+	}
+	st, _ = ParseSQL("SELECT id FROM nothere")
+	if _, err := st.Compile(catalog()); err == nil {
+		t.Error("unknown view must fail")
+	}
+}
+
+func TestCompileLimitBecomesK(t *testing.T) {
+	st, _ := ParseSQL("SELECT id FROM claims LIMIT 7")
+	c, err := st.Compile(catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Query.K != 7 {
+		t.Errorf("K = %d", c.Query.K)
+	}
+}
+
+func TestFacetRequestNormalizeAndDrill(t *testing.T) {
+	r := &FacetRequest{}
+	r.Normalize()
+	if r.K != 10 || r.FacetLimit != 10 {
+		t.Error("defaults")
+	}
+	refined := Drill(expr.True(), "/claim/procedure", docmodel.String("MRI scan"))
+	d := &docmodel.Document{Root: docmodel.Object(docmodel.F("claim", docmodel.Object(
+		docmodel.F("procedure", docmodel.String("MRI scan")),
+	)))}
+	if !refined.Eval(d) {
+		t.Error("drill refinement should match bucket docs")
+	}
+}
+
+var _ = plan.Query{} // keep import for clarity of compiled type

@@ -1,0 +1,580 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/plan"
+)
+
+// SQL subset compiled onto views (paper §3.2.1: "traditional structured
+// query languages such as SQL and XQuery can be mapped to this new query
+// interface"). Grammar:
+//
+//	SELECT select_list FROM view
+//	  [WHERE cond {AND|OR cond}...]
+//	  [GROUP BY attr {, attr}...]
+//	  [ORDER BY attr|agg [DESC]]
+//	  [LIMIT n]
+//
+//	select_list := '*' | item {, item}
+//	item        := attr | COUNT(*) | COUNT(attr) | SUM(attr) | AVG(attr)
+//	             | MIN(attr) | MAX(attr)
+//	cond        := attr op literal | attr CONTAINS 'text' | NOT cond
+//	             | '(' cond... ')'
+//	op          := = | != | <> | < | <= | > | >=
+//	literal     := number | 'string' | TRUE | FALSE | NULL
+//
+// AND binds tighter than OR.
+
+// Statement is a parsed SQL query bound to view attribute names (paths
+// are resolved at Compile time against a catalog).
+type Statement struct {
+	Select  []SelectItem
+	From    string
+	Where   *cond
+	GroupBy []string
+	OrderBy string
+	Desc    bool
+	Limit   int
+	Star    bool
+}
+
+// SelectItem is one projection or aggregate.
+type SelectItem struct {
+	Attr  string
+	Agg   expr.AggKind
+	IsAgg bool
+	Star  bool // COUNT(*)
+}
+
+// Label renders the output column name.
+func (si SelectItem) Label() string {
+	if !si.IsAgg {
+		return si.Attr
+	}
+	if si.Star {
+		return "count(*)"
+	}
+	return fmt.Sprintf("%s(%s)", si.Agg, si.Attr)
+}
+
+type cond struct {
+	// leaf
+	attr       string
+	op         expr.Op
+	lit        docmodel.Value
+	contains   string
+	isContains bool
+	// tree
+	and, or []*cond
+	not     *cond
+}
+
+// ParseSQL parses the statement text.
+func ParseSQL(sql string) (*Statement, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, fmt.Errorf("query: parse %q: %w", sql, err)
+	}
+	return st, nil
+}
+
+// Compile resolves the statement against a catalog into an executable
+// logical query plus output metadata.
+type Compiled struct {
+	View    *View
+	Query   plan.Query
+	Columns []string     // output column labels
+	Items   []SelectItem // resolved select list
+}
+
+// Compile binds attribute names to paths via the catalog.
+func (st *Statement) Compile(cat *Catalog) (*Compiled, error) {
+	view, err := cat.Lookup(st.From)
+	if err != nil {
+		return nil, err
+	}
+	out := &Compiled{View: view}
+
+	filter := view.Base
+	if st.Where != nil {
+		w, err := st.Where.toExpr(view)
+		if err != nil {
+			return nil, err
+		}
+		filter = expr.And(view.Base, w)
+	}
+	q := plan.Query{Filter: filter, K: st.Limit}
+
+	items := st.Select
+	if st.Star {
+		for _, a := range view.AttrNames() {
+			items = append(items, SelectItem{Attr: a})
+		}
+	}
+	hasAgg := false
+	for _, it := range items {
+		if it.IsAgg {
+			hasAgg = true
+			continue
+		}
+		if _, err := view.PathOf(it.Attr); err != nil {
+			return nil, err
+		}
+	}
+	if len(st.GroupBy) > 0 || hasAgg {
+		spec := expr.GroupSpec{}
+		for _, a := range st.GroupBy {
+			p, err := view.PathOf(a)
+			if err != nil {
+				return nil, err
+			}
+			spec.By = append(spec.By, p)
+		}
+		for _, it := range items {
+			if !it.IsAgg {
+				if !containsStr(st.GroupBy, it.Attr) {
+					return nil, fmt.Errorf("query: %s must appear in GROUP BY or an aggregate", it.Attr)
+				}
+				continue
+			}
+			if it.Star {
+				spec.Aggs = append(spec.Aggs, expr.AggSpec{Kind: expr.AggCount})
+				continue
+			}
+			p, err := view.PathOf(it.Attr)
+			if err != nil {
+				return nil, err
+			}
+			spec.Aggs = append(spec.Aggs, expr.AggSpec{Kind: it.Agg, Path: p})
+		}
+		q.GroupBy = &spec
+	}
+	if st.OrderBy != "" {
+		p, err := view.PathOf(st.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = &plan.SortSpec{Path: p, Desc: st.Desc}
+	}
+	out.Query = q
+	out.Items = items
+	for _, it := range items {
+		out.Columns = append(out.Columns, it.Label())
+	}
+	return out, nil
+}
+
+func (c *cond) toExpr(view *View) (expr.Expr, error) {
+	switch {
+	case c.not != nil:
+		kid, err := c.not.toExpr(view)
+		if err != nil {
+			return expr.True(), err
+		}
+		return expr.Not(kid), nil
+	case len(c.or) > 0:
+		kids := make([]expr.Expr, 0, len(c.or))
+		for _, k := range c.or {
+			e, err := k.toExpr(view)
+			if err != nil {
+				return expr.True(), err
+			}
+			kids = append(kids, e)
+		}
+		return expr.Or(kids...), nil
+	case len(c.and) > 0:
+		kids := make([]expr.Expr, 0, len(c.and))
+		for _, k := range c.and {
+			e, err := k.toExpr(view)
+			if err != nil {
+				return expr.True(), err
+			}
+			kids = append(kids, e)
+		}
+		return expr.And(kids...), nil
+	case c.isContains:
+		path, err := view.PathOf(c.attr)
+		if err != nil {
+			return expr.True(), err
+		}
+		return expr.Contains(path, c.contains), nil
+	default:
+		path, err := view.PathOf(c.attr)
+		if err != nil {
+			return expr.True(), err
+		}
+		return expr.Cmp(path, c.op, c.lit), nil
+	}
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, x := range ss {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- lexer ---
+
+type tokKind uint8
+
+const (
+	tkIdent tokKind = iota
+	tkNumber
+	tkString
+	tkOp
+	tkPunct
+	tkEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(s string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(s) {
+					return nil, fmt.Errorf("unterminated string literal")
+				}
+				if s[j] == '\'' {
+					if j+1 < len(s) && s[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(s[j])
+				j++
+			}
+			out = append(out, token{tkString, sb.String()})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9'):
+			j := i + 1
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.') {
+				j++
+			}
+			out = append(out, token{tkNumber, s[i:j]})
+			i = j
+		case isIdentByte(c):
+			j := i
+			for j < len(s) && (isIdentByte(s[j]) || s[j] >= '0' && s[j] <= '9') {
+				j++
+			}
+			out = append(out, token{tkIdent, s[i:j]})
+			i = j
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			j := i + 1
+			if j < len(s) && (s[j] == '=' || (c == '<' && s[j] == '>')) {
+				j++
+			}
+			out = append(out, token{tkOp, s[i:j]})
+			i = j
+		case c == ',' || c == '(' || c == ')' || c == '*':
+			out = append(out, token{tkPunct, string(c)})
+			i++
+		default:
+			return nil, fmt.Errorf("unexpected character %q", c)
+		}
+	}
+	return append(out, token{kind: tkEOF}), nil
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '.'
+}
+
+// --- parser ---
+
+type sqlParser struct {
+	toks []token
+	pos  int
+}
+
+func (p *sqlParser) peek() token { return p.toks[p.pos] }
+func (p *sqlParser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *sqlParser) isKw(kw string) bool {
+	t := p.peek()
+	return t.kind == tkIdent && strings.EqualFold(t.text, kw)
+}
+func (p *sqlParser) expectKw(kw string) error {
+	if !p.isKw(kw) {
+		return fmt.Errorf("expected %s, got %q", kw, p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *sqlParser) statement() (*Statement, error) {
+	st := &Statement{}
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.selectList(st); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	from := p.next()
+	if from.kind != tkIdent {
+		return nil, fmt.Errorf("expected view name, got %q", from.text)
+	}
+	st.From = from.text
+
+	if p.isKw("WHERE") {
+		p.next()
+		c, err := p.orCond()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = c
+	}
+	if p.isKw("GROUP") {
+		p.next()
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.next()
+			if t.kind != tkIdent {
+				return nil, fmt.Errorf("expected group-by attribute, got %q", t.text)
+			}
+			st.GroupBy = append(st.GroupBy, t.text)
+			if p.peek().text != "," {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.isKw("ORDER") {
+		p.next()
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		t := p.next()
+		if t.kind != tkIdent {
+			return nil, fmt.Errorf("expected order-by attribute, got %q", t.text)
+		}
+		st.OrderBy = t.text
+		if p.isKw("DESC") {
+			p.next()
+			st.Desc = true
+		} else if p.isKw("ASC") {
+			p.next()
+		}
+	}
+	if p.isKw("LIMIT") {
+		p.next()
+		t := p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad LIMIT %q", t.text)
+		}
+		st.Limit = n
+	}
+	if p.peek().kind != tkEOF {
+		return nil, fmt.Errorf("trailing input at %q", p.peek().text)
+	}
+	return st, nil
+}
+
+var aggKinds = map[string]expr.AggKind{
+	"count": expr.AggCount, "sum": expr.AggSum, "avg": expr.AggAvg,
+	"min": expr.AggMin, "max": expr.AggMax,
+}
+
+func (p *sqlParser) selectList(st *Statement) error {
+	if p.peek().text == "*" {
+		p.next()
+		st.Star = true
+		return nil
+	}
+	for {
+		t := p.next()
+		if t.kind != tkIdent {
+			return fmt.Errorf("expected select item, got %q", t.text)
+		}
+		if agg, ok := aggKinds[strings.ToLower(t.text)]; ok && p.peek().text == "(" {
+			p.next()
+			arg := p.next()
+			item := SelectItem{Agg: agg, IsAgg: true}
+			if arg.text == "*" {
+				if agg != expr.AggCount {
+					return fmt.Errorf("%s(*) is not valid", t.text)
+				}
+				item.Star = true
+			} else if arg.kind == tkIdent {
+				item.Attr = arg.text
+			} else {
+				return fmt.Errorf("bad aggregate argument %q", arg.text)
+			}
+			if p.next().text != ")" {
+				return fmt.Errorf("expected ) after aggregate")
+			}
+			st.Select = append(st.Select, item)
+		} else {
+			st.Select = append(st.Select, SelectItem{Attr: t.text})
+		}
+		if p.peek().text != "," {
+			return nil
+		}
+		p.next()
+	}
+}
+
+// orCond := andCond { OR andCond }
+func (p *sqlParser) orCond() (*cond, error) {
+	first, err := p.andCond()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*cond{first}
+	for p.isKw("OR") {
+		p.next()
+		k, err := p.andCond()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return first, nil
+	}
+	return &cond{or: kids}, nil
+}
+
+// andCond := atom { AND atom }
+func (p *sqlParser) andCond() (*cond, error) {
+	first, err := p.atomCond()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*cond{first}
+	for p.isKw("AND") {
+		p.next()
+		k, err := p.atomCond()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return first, nil
+	}
+	return &cond{and: kids}, nil
+}
+
+func (p *sqlParser) atomCond() (*cond, error) {
+	if p.isKw("NOT") {
+		p.next()
+		kid, err := p.atomCond()
+		if err != nil {
+			return nil, err
+		}
+		return &cond{not: kid}, nil
+	}
+	if p.peek().text == "(" {
+		p.next()
+		c, err := p.orCond()
+		if err != nil {
+			return nil, err
+		}
+		if p.next().text != ")" {
+			return nil, fmt.Errorf("expected )")
+		}
+		return c, nil
+	}
+	attr := p.next()
+	if attr.kind != tkIdent {
+		return nil, fmt.Errorf("expected attribute, got %q", attr.text)
+	}
+	if p.isKw("CONTAINS") {
+		p.next()
+		lit := p.next()
+		if lit.kind != tkString {
+			return nil, fmt.Errorf("CONTAINS needs a string literal")
+		}
+		return &cond{attr: attr.text, isContains: true, contains: lit.text}, nil
+	}
+	opTok := p.next()
+	if opTok.kind != tkOp {
+		return nil, fmt.Errorf("expected operator, got %q", opTok.text)
+	}
+	var op expr.Op
+	switch opTok.text {
+	case "=":
+		op = expr.OpEq
+	case "!=", "<>":
+		op = expr.OpNe
+	case "<":
+		op = expr.OpLt
+	case "<=":
+		op = expr.OpLe
+	case ">":
+		op = expr.OpGt
+	case ">=":
+		op = expr.OpGe
+	default:
+		return nil, fmt.Errorf("unknown operator %q", opTok.text)
+	}
+	lit, err := p.literal()
+	if err != nil {
+		return nil, err
+	}
+	return &cond{attr: attr.text, op: op, lit: lit}, nil
+}
+
+func (p *sqlParser) literal() (docmodel.Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tkString:
+		return docmodel.String(t.text), nil
+	case tkNumber:
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return docmodel.Null, fmt.Errorf("bad number %q", t.text)
+			}
+			return docmodel.Float(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return docmodel.Null, fmt.Errorf("bad number %q", t.text)
+		}
+		return docmodel.Int(i), nil
+	case tkIdent:
+		switch strings.ToLower(t.text) {
+		case "true":
+			return docmodel.Bool(true), nil
+		case "false":
+			return docmodel.Bool(false), nil
+		case "null":
+			return docmodel.Null, nil
+		}
+	}
+	return docmodel.Null, fmt.Errorf("expected literal, got %q", t.text)
+}

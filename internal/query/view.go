@@ -1,0 +1,103 @@
+// Package query implements Impliance's retrieval interfaces over the
+// logical query form of internal/plan:
+//
+//   - system-supplied *views* that re-expose native documents as
+//     relational rows (paper Figure 2: "these derived annotations and
+//     associations may themselves be exposed to SQL applications through
+//     system-supplied views"), plus a SQL subset compiled onto them;
+//   - *faceted search* with drill-down (paper §3.2.1: keyword search +
+//     faceted navigation + OLAP-style aggregates in one interface);
+//   - *connection queries* ("given two pieces of data... ask how they are
+//     connected", §3.2.1), executed against the discovered join index.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+)
+
+// View maps relational attribute names onto document paths, scoped by a
+// base predicate selecting the view's documents. Views are how SQL
+// applications see native and annotation documents without new APIs.
+type View struct {
+	// Name is the view's SQL-visible identifier.
+	Name string
+	// Base restricts the documents the view exposes (e.g. by source or
+	// media type). True exposes everything.
+	Base expr.Expr
+	// Attrs maps attribute name -> document path. Attribute names are
+	// case-insensitive in SQL; keys here are lower-case.
+	Attrs map[string]string
+}
+
+// NewView builds a view; attribute keys are lower-cased.
+func NewView(name string, base expr.Expr, attrs map[string]string) *View {
+	low := make(map[string]string, len(attrs))
+	for k, v := range attrs {
+		low[strings.ToLower(k)] = v
+	}
+	return &View{Name: name, Base: base, Attrs: low}
+}
+
+// PathOf resolves an attribute to its document path.
+func (v *View) PathOf(attr string) (string, error) {
+	p, ok := v.Attrs[strings.ToLower(attr)]
+	if !ok {
+		return "", fmt.Errorf("query: view %s has no attribute %q", v.Name, attr)
+	}
+	return p, nil
+}
+
+// AttrNames lists the view's attributes, sorted.
+func (v *View) AttrNames() []string {
+	out := make([]string, 0, len(v.Attrs))
+	for a := range v.Attrs {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RowFromDoc projects a document into the view's relational row shape —
+// the Figure 2 mapping from the native model back to SQL rows.
+func (v *View) RowFromDoc(d *docmodel.Document) docmodel.Value {
+	fields := make([]docmodel.Field, 0, len(v.Attrs))
+	for _, attr := range v.AttrNames() {
+		fields = append(fields, docmodel.F(attr, d.First(v.Attrs[attr])))
+	}
+	return docmodel.Object(fields...)
+}
+
+// Catalog is a registry of views.
+type Catalog struct {
+	views map[string]*View
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{views: map[string]*View{}} }
+
+// Register adds (or replaces) a view.
+func (c *Catalog) Register(v *View) { c.views[strings.ToLower(v.Name)] = v }
+
+// Lookup finds a view by name (case-insensitive).
+func (c *Catalog) Lookup(name string) (*View, error) {
+	v, ok := c.views[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("query: no view named %q", name)
+	}
+	return v, nil
+}
+
+// Names lists registered view names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.views))
+	for n := range c.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

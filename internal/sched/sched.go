@@ -1,0 +1,359 @@
+// Package sched implements Impliance's execution management: assigning
+// operators to node kinds and interleaving long-running background
+// analysis with latency-sensitive interactive queries.
+//
+// Placement follows paper §3.3: "the scheduler assigns operators to
+// compute nodes based on which operators execute more efficiently — or
+// with greater scalability — on a particular node type"; because the
+// appliance knows its own operators and nodes, the mapping is static
+// knowledge, not a tuning knob. Interleaving follows §3.4: "scheduling
+// prioritized tasks, i.e., managing queues of long-running analysis tasks
+// and properly interleaving these analysis tasks with the execution of
+// queries with more stringent response-time requirements."
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"impliance/internal/fabric"
+)
+
+// TaskKind classifies the work being placed.
+type TaskKind uint8
+
+// Task kinds the appliance schedules.
+const (
+	TaskScan          TaskKind = iota // storage-local scans and index probes
+	TaskIndexSearch                   // full-text / value index search
+	TaskIntraAnalysis                 // per-document annotators
+	TaskJoin                          // joins
+	TaskSort                          // sorts
+	TaskAgg                           // aggregation merge phases
+	TaskInterAnalysis                 // cross-document discovery
+	TaskPersist                       // persisting discovered structures
+	TaskCoordinate                    // locking / consistency decisions
+)
+
+var taskNames = [...]string{
+	"scan", "index-search", "intra-analysis", "join", "sort", "agg",
+	"inter-analysis", "persist", "coordinate",
+}
+
+// String names the task kind.
+func (k TaskKind) String() string {
+	if int(k) < len(taskNames) {
+		return taskNames[k]
+	}
+	return "task?"
+}
+
+// PreferredNodeKind returns the node flavor each task kind runs best on —
+// the affinity table of paper §3.3's example query flow (index search on
+// data nodes → join/sort/aggregate on grid nodes → consistent updates on
+// cluster nodes).
+func PreferredNodeKind(k TaskKind) fabric.NodeKind {
+	switch k {
+	case TaskScan, TaskIndexSearch, TaskIntraAnalysis:
+		return fabric.Data
+	case TaskJoin, TaskSort, TaskAgg, TaskInterAnalysis:
+		return fabric.Grid
+	case TaskPersist, TaskCoordinate:
+		return fabric.Cluster
+	default:
+		return fabric.Grid
+	}
+}
+
+// ErrNoNodes is returned when no alive node can host a task.
+var ErrNoNodes = errors.New("sched: no alive nodes")
+
+// Placer chooses a node for a task.
+type Placer interface {
+	Place(k TaskKind) (fabric.NodeID, error)
+}
+
+// AffinityPlacer places tasks on their preferred node kind, round-robin
+// over alive nodes, falling back to any alive node when the preferred
+// kind has none (paper §3.3: "for better resource utilization, each
+// operation could be executed on any of the node types").
+type AffinityPlacer struct {
+	f  *fabric.Fabric
+	mu sync.Mutex
+	rr map[fabric.NodeKind]int
+	// Fallbacks counts placements that missed their preferred kind.
+	Fallbacks atomic.Uint64
+}
+
+// NewAffinityPlacer creates the placer over a fabric.
+func NewAffinityPlacer(f *fabric.Fabric) *AffinityPlacer {
+	return &AffinityPlacer{f: f, rr: map[fabric.NodeKind]int{}}
+}
+
+// Place implements Placer.
+func (p *AffinityPlacer) Place(k TaskKind) (fabric.NodeID, error) {
+	pref := PreferredNodeKind(k)
+	if id, ok := p.pick(pref); ok {
+		return id, nil
+	}
+	p.Fallbacks.Add(1)
+	for _, kind := range []fabric.NodeKind{fabric.Grid, fabric.Data, fabric.Cluster} {
+		if kind == pref {
+			continue
+		}
+		if id, ok := p.pick(kind); ok {
+			return id, nil
+		}
+	}
+	return fabric.NodeID{}, ErrNoNodes
+}
+
+func (p *AffinityPlacer) pick(kind fabric.NodeKind) (fabric.NodeID, bool) {
+	alive := p.f.AliveOf(kind)
+	if len(alive) == 0 {
+		return fabric.NodeID{}, false
+	}
+	p.mu.Lock()
+	i := p.rr[kind] % len(alive)
+	p.rr[kind]++
+	p.mu.Unlock()
+	return alive[i], true
+}
+
+// RandomPlacer ignores affinity entirely — the E5 ablation: operators land
+// on uniformly random alive nodes.
+type RandomPlacer struct {
+	f   *fabric.Fabric
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandomPlacer creates the ablation placer with a deterministic seed.
+func NewRandomPlacer(f *fabric.Fabric, seed int64) *RandomPlacer {
+	return &RandomPlacer{f: f, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Place implements Placer.
+func (p *RandomPlacer) Place(TaskKind) (fabric.NodeID, error) {
+	var all []fabric.NodeID
+	for _, kind := range []fabric.NodeKind{fabric.Data, fabric.Grid, fabric.Cluster} {
+		all = append(all, p.f.AliveOf(kind)...)
+	}
+	if len(all) == 0 {
+		return fabric.NodeID{}, ErrNoNodes
+	}
+	p.mu.Lock()
+	id := all[p.rng.Intn(len(all))]
+	p.mu.Unlock()
+	return id, nil
+}
+
+// Priority separates latency-sensitive from background work.
+type Priority uint8
+
+// Priorities.
+const (
+	Interactive Priority = iota
+	Background
+)
+
+// QueueStats reports wait-time accounting for one priority class.
+type QueueStats struct {
+	Tasks     uint64
+	TotalWait time.Duration
+	MaxWait   time.Duration
+}
+
+// MeanWait returns the average queue wait.
+func (qs QueueStats) MeanWait() time.Duration {
+	if qs.Tasks == 0 {
+		return 0
+	}
+	return qs.TotalWait / time.Duration(qs.Tasks)
+}
+
+// Pool executes submitted tasks on a fixed worker set. In priority mode
+// (the Impliance design) workers always prefer interactive tasks; in FIFO
+// mode (the E11 ablation) all tasks share one queue.
+type Pool struct {
+	fifo bool
+
+	interactive chan poolTask
+	background  chan poolTask
+	single      chan poolTask
+	quit        chan struct{}
+	wg          sync.WaitGroup
+
+	mu     sync.Mutex
+	stats  map[Priority]*QueueStats
+	closed bool
+}
+
+type poolTask struct {
+	fn       func()
+	pr       Priority
+	enqueued time.Time
+	done     chan time.Duration // closed after run; receives queue wait
+}
+
+// NewPool starts workers. fifo=true disables priority interleaving.
+func NewPool(workers int, fifo bool) *Pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	p := &Pool{
+		fifo:        fifo,
+		interactive: make(chan poolTask, 4096),
+		background:  make(chan poolTask, 65536),
+		single:      make(chan poolTask, 65536),
+		quit:        make(chan struct{}),
+		stats: map[Priority]*QueueStats{
+			Interactive: {},
+			Background:  {},
+		},
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		if p.fifo {
+			select {
+			case t := <-p.single:
+				p.run(t)
+			case <-p.quit:
+				return
+			}
+			continue
+		}
+		// Priority mode: drain interactive first.
+		select {
+		case t := <-p.interactive:
+			p.run(t)
+			continue
+		default:
+		}
+		select {
+		case t := <-p.interactive:
+			p.run(t)
+		case t := <-p.background:
+			p.run(t)
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+func (p *Pool) run(t poolTask) {
+	wait := time.Since(t.enqueued)
+	p.mu.Lock()
+	st := p.stats[t.pr]
+	st.Tasks++
+	st.TotalWait += wait
+	if wait > st.MaxWait {
+		st.MaxWait = wait
+	}
+	p.mu.Unlock()
+	t.fn()
+	if t.done != nil {
+		t.done <- wait
+		close(t.done)
+	}
+}
+
+// Submit enqueues a task; it returns false if the pool is closed.
+func (p *Pool) Submit(pr Priority, fn func()) bool {
+	return p.submit(poolTask{fn: fn, pr: pr, enqueued: time.Now()})
+}
+
+// SubmitWait enqueues a task, blocks until it has run, and returns the
+// time it spent queued (the latency experiments' measurement).
+func (p *Pool) SubmitWait(pr Priority, fn func()) (time.Duration, error) {
+	done := make(chan time.Duration, 1)
+	if !p.submit(poolTask{fn: fn, pr: pr, enqueued: time.Now(), done: done}) {
+		return 0, fmt.Errorf("sched: pool closed")
+	}
+	return <-done, nil
+}
+
+func (p *Pool) submit(t poolTask) bool {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	p.mu.Unlock()
+	if p.fifo {
+		select {
+		case p.single <- t:
+			return true
+		case <-p.quit:
+			return false
+		}
+	}
+	var q chan poolTask
+	if t.pr == Interactive {
+		q = p.interactive
+	} else {
+		q = p.background
+	}
+	select {
+	case q <- t:
+		return true
+	case <-p.quit:
+		return false
+	}
+}
+
+// Stats snapshots the per-priority queue accounting.
+func (p *Pool) Stats(pr Priority) QueueStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return *p.stats[pr]
+}
+
+// Backlog returns the number of queued-but-unstarted tasks.
+func (p *Pool) Backlog() int {
+	if p.fifo {
+		return len(p.single)
+	}
+	return len(p.interactive) + len(p.background)
+}
+
+// Drain blocks until all queued tasks at the time of the call have
+// started and finished, by submitting sentinels to every worker path.
+// It is a test/experiment convenience, not a production barrier.
+func (p *Pool) Drain() {
+	for p.Backlog() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Queued==0 does not mean running==0; run a sentinel at background
+	// priority (lowest) to fence prior work per worker.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	p.Submit(Background, func() { wg.Done() })
+	wg.Wait()
+}
+
+// Close stops the workers after the current tasks finish. Queued tasks
+// are abandoned.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.quit)
+	p.wg.Wait()
+}

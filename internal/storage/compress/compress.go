@@ -1,0 +1,162 @@
+// Package compress provides the block compression codec that runs inside
+// the storage node software (paper §3.1: "the push-down logic is
+// implemented in the software component of a storage unit, and thus can be
+// deployed on any type of commodity hardware" — compression named as a key
+// example). Frames are self-describing and checksummed so a storage node
+// can verify replicas without decoding documents.
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Codec compresses and decompresses byte blocks.
+type Codec interface {
+	// Name identifies the codec in frame headers.
+	Name() string
+	// Compress returns the compressed form of src.
+	Compress(src []byte) ([]byte, error)
+	// Decompress expands a block produced by Compress.
+	Decompress(src []byte) ([]byte, error)
+}
+
+// None is the identity codec.
+var None Codec = noneCodec{}
+
+type noneCodec struct{}
+
+func (noneCodec) Name() string                          { return "none" }
+func (noneCodec) Compress(src []byte) ([]byte, error)   { return src, nil }
+func (noneCodec) Decompress(src []byte) ([]byte, error) { return src, nil }
+
+// Flate is a DEFLATE codec at the default compression level.
+var Flate Codec = flateCodec{level: flate.DefaultCompression}
+
+// FlateFast is DEFLATE at the fastest level, for throughput-bound stores.
+var FlateFast Codec = flateCodec{level: flate.BestSpeed}
+
+type flateCodec struct{ level int }
+
+func (c flateCodec) Name() string {
+	if c.level == flate.BestSpeed {
+		return "flate-fast"
+	}
+	return "flate"
+}
+
+func (c flateCodec) Compress(src []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, c.level)
+	if err != nil {
+		return nil, fmt.Errorf("compress: %w", err)
+	}
+	if _, err := w.Write(src); err != nil {
+		return nil, fmt.Errorf("compress: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("compress: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func (c flateCodec) Decompress(src []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("decompress: %w", err)
+	}
+	return out, nil
+}
+
+// ErrFrame reports a malformed or corrupted frame.
+var ErrFrame = errors.New("compress: bad frame")
+
+// Frame layout:
+//
+//	magic[2] codecID[1] rawLen[uvarint] compLen[uvarint] crc32[4] payload...
+//
+// crc covers the *raw* bytes so corruption is caught after decompression.
+const (
+	magic0 = 0xC4
+	magic1 = 0x5E
+)
+
+var codecIDs = map[string]byte{"none": 0, "flate": 1, "flate-fast": 2}
+
+var codecByID = map[byte]Codec{0: None, 1: Flate, 2: FlateFast}
+
+// EncodeFrame wraps raw bytes into a checksummed frame using the codec.
+func EncodeFrame(c Codec, raw []byte) ([]byte, error) {
+	id, ok := codecIDs[c.Name()]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown codec %q", ErrFrame, c.Name())
+	}
+	payload, err := c.Compress(raw)
+	if err != nil {
+		return nil, err
+	}
+	// If compression expands the block (incompressible data), store raw.
+	if len(payload) >= len(raw) {
+		id = codecIDs["none"]
+		payload = raw
+	}
+	buf := make([]byte, 0, len(payload)+24)
+	buf = append(buf, magic0, magic1, id)
+	buf = binary.AppendUvarint(buf, uint64(len(raw)))
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(raw))
+	buf = append(buf, crc[:]...)
+	buf = append(buf, payload...)
+	return buf, nil
+}
+
+// DecodeFrame parses and verifies a frame, returning the raw bytes and the
+// total number of frame bytes consumed (frames may be concatenated).
+func DecodeFrame(b []byte) (raw []byte, consumed int, err error) {
+	if len(b) < 3 || b[0] != magic0 || b[1] != magic1 {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrFrame)
+	}
+	codec, ok := codecByID[b[2]]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: unknown codec id %d", ErrFrame, b[2])
+	}
+	off := 3
+	rawLen, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("%w: bad rawLen", ErrFrame)
+	}
+	off += n
+	compLen, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("%w: bad compLen", ErrFrame)
+	}
+	off += n
+	if len(b) < off+4 {
+		return nil, 0, fmt.Errorf("%w: truncated crc", ErrFrame)
+	}
+	wantCRC := binary.LittleEndian.Uint32(b[off:])
+	off += 4
+	if uint64(len(b)-off) < compLen {
+		return nil, 0, fmt.Errorf("%w: truncated payload", ErrFrame)
+	}
+	payload := b[off : off+int(compLen)]
+	raw, err = codec.Decompress(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	if uint64(len(raw)) != rawLen {
+		return nil, 0, fmt.Errorf("%w: raw length mismatch", ErrFrame)
+	}
+	if crc32.ChecksumIEEE(raw) != wantCRC {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrFrame)
+	}
+	return raw, off + int(compLen), nil
+}

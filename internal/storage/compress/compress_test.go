@@ -1,0 +1,149 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecsRoundTrip(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("hello"),
+		[]byte(strings.Repeat("the quick brown fox ", 200)),
+		randomBytes(4096, 1),
+	}
+	for _, c := range []Codec{None, Flate, FlateFast} {
+		for i, in := range inputs {
+			comp, err := c.Compress(in)
+			if err != nil {
+				t.Fatalf("%s input %d: %v", c.Name(), i, err)
+			}
+			out, err := c.Decompress(comp)
+			if err != nil {
+				t.Fatalf("%s input %d: %v", c.Name(), i, err)
+			}
+			if !bytes.Equal(out, in) {
+				t.Errorf("%s input %d: round trip mismatch", c.Name(), i)
+			}
+		}
+	}
+}
+
+func TestFlateActuallyCompresses(t *testing.T) {
+	in := []byte(strings.Repeat("impliance stores all your data. ", 500))
+	comp, err := Flate.Compress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(in)/4 {
+		t.Errorf("flate should compress repetitive text >4x: %d -> %d", len(in), len(comp))
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, c := range []Codec{None, Flate, FlateFast} {
+		raw := []byte(strings.Repeat("abc123", 100))
+		frame, err := EncodeFrame(c, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, consumed, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if consumed != len(frame) {
+			t.Errorf("%s: consumed %d of %d", c.Name(), consumed, len(frame))
+		}
+		if !bytes.Equal(got, raw) {
+			t.Errorf("%s: frame round trip mismatch", c.Name())
+		}
+	}
+}
+
+func TestFrameConcatenation(t *testing.T) {
+	a, _ := EncodeFrame(Flate, []byte("first block"))
+	b, _ := EncodeFrame(None, []byte("second block"))
+	joined := append(append([]byte{}, a...), b...)
+	r1, n1, err := DecodeFrame(joined)
+	if err != nil || string(r1) != "first block" {
+		t.Fatalf("first: %v %q", err, r1)
+	}
+	r2, _, err := DecodeFrame(joined[n1:])
+	if err != nil || string(r2) != "second block" {
+		t.Fatalf("second: %v %q", err, r2)
+	}
+}
+
+func TestFrameStoresIncompressibleRaw(t *testing.T) {
+	raw := randomBytes(2048, 2)
+	frame, err := EncodeFrame(Flate, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Incompressible data must not blow up the frame beyond header costs.
+	if len(frame) > len(raw)+32 {
+		t.Errorf("incompressible frame grew: %d -> %d", len(raw), len(frame))
+	}
+	got, _, err := DecodeFrame(frame)
+	if err != nil || !bytes.Equal(got, raw) {
+		t.Error("incompressible round trip failed")
+	}
+}
+
+func TestFrameDetectsCorruption(t *testing.T) {
+	raw := []byte(strings.Repeat("data", 100))
+	frame, _ := EncodeFrame(Flate, raw)
+	rng := rand.New(rand.NewSource(3))
+	detected := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		b := append([]byte{}, frame...)
+		b[rng.Intn(len(b))] ^= byte(1 + rng.Intn(255))
+		got, _, err := DecodeFrame(b)
+		if err != nil || !bytes.Equal(got, raw) {
+			detected++
+		}
+	}
+	// CRC + flate structure catch essentially all single-byte flips.
+	if detected < trials*99/100 {
+		t.Errorf("only %d/%d corruptions detected", detected, trials)
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	if _, _, err := DecodeFrame(nil); err == nil {
+		t.Error("nil frame must fail")
+	}
+	if _, _, err := DecodeFrame([]byte{1, 2, 3}); err == nil {
+		t.Error("bad magic must fail")
+	}
+	frame, _ := EncodeFrame(Flate, []byte("hello world"))
+	if _, _, err := DecodeFrame(frame[:len(frame)-2]); err == nil {
+		t.Error("truncated frame must fail")
+	}
+}
+
+func TestPropertyFrameRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		frame, err := EncodeFrame(Flate, data)
+		if err != nil {
+			return false
+		}
+		got, n, err := DecodeFrame(frame)
+		return err == nil && n == len(frame) && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomBytes(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}

@@ -1,0 +1,471 @@
+// Package storage implements the per-data-node document store: an
+// append-only, versioned repository of native-format documents (paper
+// §3.2: "Impliance treats each such new version of a data item as
+// immutable"; §4: "Impliance does not update data in-place. Instead,
+// changes are implemented as the addition of a new version").
+//
+// The store is the software half of a paper §3.3 *data node*. It owns a
+// subset of the appliance's persistent storage, evaluates pushed-down
+// predicates and partial aggregates locally (paper §3.1), and compresses
+// blocks inside the storage software (ditto). Durability comes from a
+// write-ahead log of checksummed frames; recovery tolerates a torn tail.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/storage/compress"
+)
+
+// Errors returned by the store.
+var (
+	ErrNotFound      = errors.New("storage: document not found")
+	ErrVersionExists = errors.New("storage: version already exists")
+	ErrVersionGap    = errors.New("storage: version gap")
+	ErrClosed        = errors.New("storage: store closed")
+	ErrWrongOrigin   = errors.New("storage: document id minted by another store")
+)
+
+// Options configures a store.
+type Options struct {
+	// Dir is the directory for the write-ahead log; empty means the store
+	// is memory-only (used heavily by simulations and tests).
+	Dir string
+	// Codec compresses log frames; nil means compress.None.
+	Codec compress.Codec
+	// SyncEveryWrite fsyncs after each append. Off by default: the
+	// appliance model batches syncs, and the simulator measures relative
+	// costs, not disk latencies.
+	SyncEveryWrite bool
+}
+
+// Stats are cumulative operation and byte counters, readable concurrently.
+type Stats struct {
+	Puts        atomic.Uint64
+	Gets        atomic.Uint64
+	ScannedDocs atomic.Uint64
+	RawBytes    atomic.Uint64 // pre-compression document bytes
+	StoredBytes atomic.Uint64 // post-compression frame bytes
+}
+
+// Store is a single data node's document repository.
+type Store struct {
+	origin uint32
+	opts   Options
+
+	mu     sync.RWMutex
+	chains map[docmodel.DocID][]*docmodel.Document // version chains, index = ver-1
+	order  []docmodel.DocID                        // insertion order for scans
+	seq    uint64
+	wal    *os.File
+	closed bool
+
+	stats Stats
+}
+
+// Open creates or recovers a store. origin is the node's unique ID-minting
+// prefix; it must be non-zero and stable across restarts of the same node.
+func Open(origin uint32, opts Options) (*Store, error) {
+	if origin == 0 {
+		return nil, fmt.Errorf("storage: origin must be non-zero")
+	}
+	if opts.Codec == nil {
+		opts.Codec = compress.None
+	}
+	s := &Store{
+		origin: origin,
+		opts:   opts,
+		chains: map[docmodel.DocID][]*docmodel.Document{},
+	}
+	if opts.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	path := s.walPath()
+	if err := s.replay(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	s.wal = f
+	return s, nil
+}
+
+func (s *Store) walPath() string { return filepath.Join(s.opts.Dir, "store.wal") }
+
+// replay loads every recoverable frame; a torn tail (truncated last frame)
+// is tolerated and trimmed.
+func (s *Store) replay(path string) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: read wal: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		raw, n, err := compress.DecodeFrame(data[off:])
+		if err != nil {
+			// Torn tail: keep everything before it, truncate the rest.
+			if terr := os.Truncate(path, int64(off)); terr != nil {
+				return fmt.Errorf("storage: truncate torn wal: %w", terr)
+			}
+			break
+		}
+		doc, err := docmodel.DecodeDocument(raw)
+		if err != nil {
+			if terr := os.Truncate(path, int64(off)); terr != nil {
+				return fmt.Errorf("storage: truncate bad wal record: %w", terr)
+			}
+			break
+		}
+		s.applyLocked(doc)
+		off += n
+	}
+	return nil
+}
+
+// applyLocked inserts a replayed/replicated document version; caller holds
+// no lock during replay (single-threaded) — name kept for the Put path.
+func (s *Store) applyLocked(doc *docmodel.Document) {
+	chain := s.chains[doc.ID]
+	for uint32(len(chain)) < doc.Version {
+		chain = append(chain, nil)
+	}
+	if chain[doc.Version-1] == nil {
+		chain[doc.Version-1] = doc
+	}
+	if _, existed := s.chains[doc.ID]; !existed {
+		s.order = append(s.order, doc.ID)
+	}
+	s.chains[doc.ID] = chain
+	if doc.ID.Origin == s.origin && doc.ID.Seq > s.seq {
+		s.seq = doc.ID.Seq
+	}
+}
+
+// NewDocID mints a fresh document ID local to this store. IDs are unique
+// appliance-wide because origins are unique per node (paper §3.3: ingest
+// must not serialize through a central coordinator).
+func (s *Store) NewDocID() docmodel.DocID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return docmodel.DocID{Origin: s.origin, Seq: s.seq}
+}
+
+// Put appends a document version.
+//
+//   - A zero ID mints a new document (version 1).
+//   - A non-zero ID with Version 0 appends the next version of that
+//     document.
+//   - A non-zero ID with an explicit Version must extend the chain by
+//     exactly one (no gaps, no overwrites) — immutability is enforced.
+//
+// The stored document is the caller's; callers must not mutate it after
+// Put (values are immutable by convention).
+func (s *Store) Put(doc *docmodel.Document) (docmodel.VersionKey, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return docmodel.VersionKey{}, ErrClosed
+	}
+	d := doc.Clone()
+	if d.ID.IsZero() {
+		s.seq++
+		d.ID = docmodel.DocID{Origin: s.origin, Seq: s.seq}
+		if d.Version != 0 && d.Version != 1 {
+			return docmodel.VersionKey{}, fmt.Errorf("%w: new document with version %d", ErrVersionGap, d.Version)
+		}
+		d.Version = 1
+	} else {
+		chain := s.chains[d.ID]
+		next := uint32(len(chain)) + 1
+		switch {
+		case d.Version == 0:
+			d.Version = next
+		case d.Version < next:
+			return docmodel.VersionKey{}, fmt.Errorf("%w: %s", ErrVersionExists, docmodel.VersionKey{Doc: d.ID, Ver: d.Version})
+		case d.Version > next:
+			return docmodel.VersionKey{}, fmt.Errorf("%w: have %d versions, got version %d", ErrVersionGap, len(chain), d.Version)
+		}
+	}
+	if err := s.append(d); err != nil {
+		return docmodel.VersionKey{}, err
+	}
+	s.stats.Puts.Add(1)
+	return d.Key(), nil
+}
+
+// PutReplica installs a document version replicated from another node,
+// preserving its identity. It is idempotent: re-delivering a version is a
+// no-op (replica convergence, paper §3.2: versioning "obviates the need to
+// update all replicas of a document consistently and synchronously").
+func (s *Store) PutReplica(doc *docmodel.Document) error {
+	if doc.ID.IsZero() || doc.Version == 0 {
+		return fmt.Errorf("storage: replica must carry id and version")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	chain := s.chains[doc.ID]
+	if uint32(len(chain)) >= doc.Version && chain[doc.Version-1] != nil {
+		return nil // already have it
+	}
+	return s.append(doc.Clone())
+}
+
+// append writes the version to the WAL and installs it in memory.
+// Caller holds s.mu.
+func (s *Store) append(d *docmodel.Document) error {
+	raw := docmodel.EncodeDocument(d)
+	if s.wal != nil {
+		frame, err := compress.EncodeFrame(s.opts.Codec, raw)
+		if err != nil {
+			return err
+		}
+		if _, err := s.wal.Write(frame); err != nil {
+			return fmt.Errorf("storage: append wal: %w", err)
+		}
+		if s.opts.SyncEveryWrite {
+			if err := s.wal.Sync(); err != nil {
+				return fmt.Errorf("storage: sync wal: %w", err)
+			}
+		}
+		s.stats.StoredBytes.Add(uint64(len(frame)))
+	} else {
+		// Memory-only stores still account frame size so experiments can
+		// compare codecs without touching disk.
+		frame, err := compress.EncodeFrame(s.opts.Codec, raw)
+		if err != nil {
+			return err
+		}
+		s.stats.StoredBytes.Add(uint64(len(frame)))
+	}
+	s.stats.RawBytes.Add(uint64(len(raw)))
+	s.applyLocked(d)
+	return nil
+}
+
+// Get returns the latest version of the document.
+func (s *Store) Get(id docmodel.DocID) (*docmodel.Document, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.chains[id]
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i] != nil {
+			s.stats.Gets.Add(1)
+			return chain[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+}
+
+// GetVersion returns one specific immutable version.
+func (s *Store) GetVersion(key docmodel.VersionKey) (*docmodel.Document, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.chains[key.Doc]
+	if key.Ver == 0 || uint32(len(chain)) < key.Ver || chain[key.Ver-1] == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	s.stats.Gets.Add(1)
+	return chain[key.Ver-1], nil
+}
+
+// VersionCount returns the number of stored versions of the document
+// (0 when unknown).
+func (s *Store) VersionCount(id docmodel.DocID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.chains[id])
+}
+
+// Len returns the number of distinct documents.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.chains)
+}
+
+// Scan streams the latest version of every document in insertion order.
+// fn returning false stops the scan.
+func (s *Store) Scan(fn func(*docmodel.Document) bool) {
+	s.mu.RLock()
+	ids := make([]docmodel.DocID, len(s.order))
+	copy(ids, s.order)
+	s.mu.RUnlock()
+	for _, id := range ids {
+		d, err := s.Get(id)
+		if err != nil {
+			continue
+		}
+		s.stats.ScannedDocs.Add(1)
+		if !fn(d) {
+			return
+		}
+	}
+}
+
+// ScanSubset streams the latest version of each listed document, in list
+// order, applying the pushed-down filter. Data nodes use it to scan only
+// the documents they own, skipping replica copies without paying to
+// evaluate them.
+func (s *Store) ScanSubset(ids []docmodel.DocID, filter expr.Expr, fn func(*docmodel.Document) bool) {
+	for _, id := range ids {
+		d, err := s.Get(id)
+		if err != nil {
+			continue
+		}
+		s.stats.ScannedDocs.Add(1)
+		if filter.Eval(d) {
+			if !fn(d) {
+				return
+			}
+		}
+	}
+}
+
+// ScanFiltered streams latest versions matching the pushed-down predicate.
+// This is paper §3.1 early data reduction: the filter runs inside the
+// storage component so only qualifying documents cross the interconnect.
+func (s *Store) ScanFiltered(filter expr.Expr, fn func(*docmodel.Document) bool) {
+	s.Scan(func(d *docmodel.Document) bool {
+		if filter.Eval(d) {
+			return fn(d)
+		}
+		return true
+	})
+}
+
+// AggregateLocal evaluates a pushed-down grouped aggregation over matching
+// documents and returns the mergeable partial state (two-phase
+// aggregation: partials here, merge on a grid node).
+func (s *Store) AggregateLocal(filter expr.Expr, spec expr.GroupSpec) *expr.GroupState {
+	g := expr.NewGroupState(spec)
+	s.ScanFiltered(filter, func(d *docmodel.Document) bool {
+		g.Update(d)
+		return true
+	})
+	return g
+}
+
+// EachVersion streams every stored version (for replication and audits),
+// oldest first within each document, documents in insertion order.
+func (s *Store) EachVersion(fn func(*docmodel.Document) bool) {
+	s.mu.RLock()
+	ids := make([]docmodel.DocID, len(s.order))
+	copy(ids, s.order)
+	s.mu.RUnlock()
+	for _, id := range ids {
+		s.mu.RLock()
+		chain := append([]*docmodel.Document{}, s.chains[id]...)
+		s.mu.RUnlock()
+		for _, d := range chain {
+			if d == nil {
+				continue
+			}
+			if !fn(d) {
+				return
+			}
+		}
+	}
+}
+
+// StatsSnapshot returns a point-in-time copy of the counters.
+func (s *Store) StatsSnapshot() (puts, gets, scanned, rawBytes, storedBytes uint64) {
+	return s.stats.Puts.Load(), s.stats.Gets.Load(), s.stats.ScannedDocs.Load(),
+		s.stats.RawBytes.Load(), s.stats.StoredBytes.Load()
+}
+
+// Compact rewrites the WAL, dropping nothing (all versions are retained
+// for audit, paper §4) but re-framing with the current codec and removing
+// torn garbage. The rewrite is atomic via rename.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.wal == nil {
+		return nil
+	}
+	tmp := s.walPath() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	for _, id := range s.order {
+		for _, d := range s.chains[id] {
+			if d == nil {
+				continue
+			}
+			frame, err := compress.EncodeFrame(s.opts.Codec, docmodel.EncodeDocument(d))
+			if err != nil {
+				f.Close()
+				os.Remove(tmp)
+				return err
+			}
+			if _, err := f.Write(frame); err != nil {
+				f.Close()
+				os.Remove(tmp)
+				return fmt.Errorf("storage: compact write: %w", err)
+			}
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: compact sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: compact close: %w", err)
+	}
+	if err := s.wal.Close(); err != nil {
+		return fmt.Errorf("storage: compact swap: %w", err)
+	}
+	if err := os.Rename(tmp, s.walPath()); err != nil {
+		return fmt.Errorf("storage: compact rename: %w", err)
+	}
+	w, err := os.OpenFile(s.walPath(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: compact reopen: %w", err)
+	}
+	s.wal = w
+	return nil
+}
+
+// Close flushes and closes the WAL. The store rejects writes afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.wal != nil {
+		if err := s.wal.Sync(); err != nil {
+			s.wal.Close()
+			return fmt.Errorf("storage: close sync: %w", err)
+		}
+		return s.wal.Close()
+	}
+	return nil
+}
+
+// Origin returns the store's ID-minting prefix.
+func (s *Store) Origin() uint32 { return s.origin }

@@ -1,0 +1,289 @@
+// Package text provides the lexical analysis substrate shared by the
+// full-text index (paper §3.3: an embedded indexer in the spirit of
+// Lucene/Indri, built in-repo because the appliance is self-contained) and
+// by the annotators. It offers position-tracked tokenization, stopword
+// filtering, light suffix stemming, and n-gram similarity used by entity
+// resolution.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one term occurrence in a text field.
+type Token struct {
+	Term  string // normalized term (lower-cased, stemmed if enabled)
+	Pos   int    // token position (0-based, counting all tokens pre-filter)
+	Start int    // byte offset of the raw token in the input
+	End   int    // byte offset one past the raw token
+}
+
+// Analyzer converts raw text into index terms.
+type Analyzer struct {
+	// Stopwords, when non-nil, drops listed terms (positions still advance).
+	Stopwords map[string]struct{}
+	// Stem enables light suffix stemming.
+	Stem bool
+	// MinLen drops terms shorter than this many runes (after normalizing).
+	MinLen int
+}
+
+// DefaultAnalyzer is the appliance-wide analyzer: English stopwords, light
+// stemming, 2-rune minimum.
+var DefaultAnalyzer = &Analyzer{Stopwords: DefaultStopwords, Stem: true, MinLen: 2}
+
+// KeywordAnalyzer performs no filtering or stemming: raw lower-cased terms.
+var KeywordAnalyzer = &Analyzer{}
+
+// DefaultStopwords is a compact English stopword list.
+var DefaultStopwords = toSet([]string{
+	"a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from",
+	"has", "have", "he", "in", "is", "it", "its", "of", "on", "or", "she",
+	"that", "the", "their", "they", "this", "to", "was", "we", "were",
+	"which", "will", "with", "you", "your", "not", "no", "so", "if", "then",
+	"than", "there", "been", "being", "do", "does", "did", "can", "could",
+	"would", "should", "i", "my", "me", "our", "us", "his", "her", "him",
+})
+
+func toSet(words []string) map[string]struct{} {
+	m := make(map[string]struct{}, len(words))
+	for _, w := range words {
+		m[w] = struct{}{}
+	}
+	return m
+}
+
+// Tokenize analyzes the input and returns the surviving tokens.
+func (a *Analyzer) Tokenize(s string) []Token {
+	var out []Token
+	a.TokenizeFunc(s, func(t Token) { out = append(out, t) })
+	return out
+}
+
+// TokenizeFunc analyzes the input and streams surviving tokens to fn,
+// avoiding slice allocation on hot indexing paths.
+func (a *Analyzer) TokenizeFunc(s string, fn func(Token)) {
+	pos := 0
+	i := 0
+	n := len(s)
+	for i < n {
+		// Skip non-token runes.
+		r, size := decodeRune(s[i:])
+		if !isTokenRune(r) {
+			i += size
+			continue
+		}
+		start := i
+		for i < n {
+			r, size = decodeRune(s[i:])
+			if !isTokenRune(r) {
+				break
+			}
+			i += size
+		}
+		raw := s[start:i]
+		term := normalize(raw)
+		p := pos
+		pos++
+		if a.MinLen > 0 && runeLen(term) < a.MinLen {
+			continue
+		}
+		if a.Stopwords != nil {
+			if _, stop := a.Stopwords[term]; stop {
+				continue
+			}
+		}
+		if a.Stem {
+			term = Stem(term)
+		}
+		fn(Token{Term: term, Pos: p, Start: start, End: start + len(raw)})
+	}
+}
+
+// Terms returns just the normalized terms of the input.
+func (a *Analyzer) Terms(s string) []string {
+	var out []string
+	a.TokenizeFunc(s, func(t Token) { out = append(out, t.Term) })
+	return out
+}
+
+func isTokenRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'' || r == '_'
+}
+
+func normalize(s string) string {
+	s = strings.ToLower(s)
+	// Strip possessive apostrophes and stray quotes.
+	s = strings.Trim(s, "'")
+	s = strings.TrimSuffix(s, "'s")
+	return s
+}
+
+func decodeRune(s string) (rune, int) {
+	if len(s) == 0 {
+		return 0, 0
+	}
+	if s[0] < 0x80 {
+		return rune(s[0]), 1
+	}
+	for _, r := range s {
+		return r, runeByteLen(r)
+	}
+	return 0, 1
+}
+
+func runeByteLen(r rune) int {
+	switch {
+	case r < 0x80:
+		return 1
+	case r < 0x800:
+		return 2
+	case r < 0x10000:
+		return 3
+	default:
+		return 4
+	}
+}
+
+func runeLen(s string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}
+
+// Stem applies a light Porter-style suffix stripper: enough to conflate
+// common inflections (running→run, databases→databas) without a full
+// stemmer's tables. It is deterministic and never grows the term.
+func Stem(term string) string {
+	n := len(term)
+	if n <= 3 {
+		return term
+	}
+	switch {
+	case strings.HasSuffix(term, "ies") && n > 4:
+		return term[:n-3] + "y"
+	case strings.HasSuffix(term, "sses"):
+		return term[:n-2]
+	case strings.HasSuffix(term, "ing") && n > 5:
+		stem := term[:n-3]
+		return undouble(stem)
+	case strings.HasSuffix(term, "edly") && n > 6:
+		return term[:n-4]
+	case strings.HasSuffix(term, "ed") && n > 4:
+		return undouble(term[:n-2])
+	case strings.HasSuffix(term, "ly") && n > 4:
+		return term[:n-2]
+	case strings.HasSuffix(term, "es") && n > 4:
+		return term[:n-1]
+	case strings.HasSuffix(term, "s") && !strings.HasSuffix(term, "ss") && n > 3:
+		return term[:n-1]
+	}
+	return term
+}
+
+func undouble(s string) string {
+	n := len(s)
+	if n >= 2 && s[n-1] == s[n-2] && isConsonant(s[n-1]) && s[n-1] != 'l' && s[n-1] != 's' {
+		return s[:n-1]
+	}
+	return s
+}
+
+func isConsonant(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	}
+	return c >= 'a' && c <= 'z'
+}
+
+// Trigrams returns the set of letter trigrams of the normalized input,
+// padded with boundary markers. Used for fuzzy name matching in entity
+// resolution.
+func Trigrams(s string) map[string]struct{} {
+	s = "\x02" + strings.ToLower(s) + "\x03"
+	out := map[string]struct{}{}
+	runes := []rune(s)
+	if len(runes) < 3 {
+		out[string(runes)] = struct{}{}
+		return out
+	}
+	for i := 0; i+3 <= len(runes); i++ {
+		out[string(runes[i:i+3])] = struct{}{}
+	}
+	return out
+}
+
+// TrigramSimilarity returns the Jaccard similarity of two strings' trigram
+// sets, in [0,1].
+func TrigramSimilarity(a, b string) float64 {
+	ta, tb := Trigrams(a), Trigrams(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	inter := 0
+	for g := range ta {
+		if _, ok := tb[g]; ok {
+			inter++
+		}
+	}
+	union := len(ta) + len(tb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Levenshtein returns the edit distance between two strings, capped at max
+// (returns max+1 when exceeded) so callers can early-out on hopeless pairs.
+func Levenshtein(a, b string, max int) int {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if abs(la-lb) > max {
+		return max + 1
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(minInt(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin > max {
+			return max + 1
+		}
+		prev, cur = cur, prev
+	}
+	if prev[lb] > max {
+		return max + 1
+	}
+	return prev[lb]
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,207 @@
+package text
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizePositionsAndOffsets(t *testing.T) {
+	a := KeywordAnalyzer
+	toks := a.Tokenize("Hello, world! Go-lang rocks")
+	terms := []string{"hello", "world", "go", "lang", "rocks"}
+	if len(toks) != len(terms) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(terms), toks)
+	}
+	for i, want := range terms {
+		if toks[i].Term != want {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Term, want)
+		}
+		if toks[i].Pos != i {
+			t.Errorf("token %d pos = %d", i, toks[i].Pos)
+		}
+	}
+	if toks[0].Start != 0 || toks[0].End != 5 {
+		t.Errorf("offsets of first token: %d..%d", toks[0].Start, toks[0].End)
+	}
+	if toks[1].Start != 7 || toks[1].End != 12 {
+		t.Errorf("offsets of second token: %d..%d", toks[1].Start, toks[1].End)
+	}
+}
+
+func TestStopwordsDropButPositionsAdvance(t *testing.T) {
+	toks := DefaultAnalyzer.Tokenize("the cat and the hat")
+	// "the", "and" are stopwords; cat=1, hat=4 positions preserved.
+	if len(toks) != 2 {
+		t.Fatalf("got %v", toks)
+	}
+	if toks[0].Term != "cat" || toks[0].Pos != 1 {
+		t.Errorf("first = %+v", toks[0])
+	}
+	if toks[1].Term != "hat" || toks[1].Pos != 4 {
+		t.Errorf("second = %+v", toks[1])
+	}
+}
+
+func TestMinLenFilter(t *testing.T) {
+	a := &Analyzer{MinLen: 3}
+	terms := a.Terms("a bb ccc dddd")
+	if len(terms) != 2 || terms[0] != "ccc" || terms[1] != "dddd" {
+		t.Errorf("MinLen filter: %v", terms)
+	}
+}
+
+func TestUnicodeTokenization(t *testing.T) {
+	terms := KeywordAnalyzer.Terms("café Zürich 東京 data123")
+	want := []string{"café", "zürich", "東京", "data123"}
+	if len(terms) != len(want) {
+		t.Fatalf("got %v, want %v", terms, want)
+	}
+	for i := range want {
+		if terms[i] != want[i] {
+			t.Errorf("term %d = %q, want %q", i, terms[i], want[i])
+		}
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"running":   "run",
+		"databases": "database",
+		"cities":    "city",
+		"walked":    "walk",
+		"stopped":   "stop",
+		"quickly":   "quick",
+		"boxes":     "boxe", // light stemmer: es -> e(s) strip one char
+		"cats":      "cat",
+		"pass":      "pass",
+		"go":        "go",
+		"glasses":   "glass",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemConflatesInflections(t *testing.T) {
+	if Stem("claims") != Stem("claim") {
+		t.Error("claims/claim should conflate")
+	}
+	if Stem("annotations") != Stem("annotation") {
+		t.Error("annotations/annotation should conflate")
+	}
+}
+
+func TestStemNeverGrows(t *testing.T) {
+	f := func(s string) bool { return len(Stem(s)) <= len(s) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPossessiveNormalization(t *testing.T) {
+	terms := KeywordAnalyzer.Terms("Alice's book")
+	if terms[0] != "alice" {
+		t.Errorf("possessive: %v", terms)
+	}
+}
+
+func TestTrigramSimilarity(t *testing.T) {
+	if TrigramSimilarity("smith", "smith") != 1 {
+		t.Error("self similarity must be 1")
+	}
+	if s := TrigramSimilarity("smith", "smyth"); s <= 0.2 || s >= 1 {
+		t.Errorf("smith/smyth similarity = %f, want moderate", s)
+	}
+	if s := TrigramSimilarity("smith", "zebra"); s > 0.1 {
+		t.Errorf("smith/zebra similarity = %f, want ~0", s)
+	}
+	if TrigramSimilarity("", "") != 1 {
+		t.Error("empty strings are identical")
+	}
+	// Similarity is symmetric.
+	if TrigramSimilarity("jonathan", "johnathan") != TrigramSimilarity("johnathan", "jonathan") {
+		t.Error("similarity must be symmetric")
+	}
+}
+
+func TestTrigramSimilaritySymmetryProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		return TrigramSimilarity(a, b) == TrigramSimilarity(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		max  int
+		want int
+	}{
+		{"kitten", "sitting", 10, 3},
+		{"", "abc", 5, 3},
+		{"same", "same", 2, 0},
+		{"abcdef", "abcdef", 0, 0},
+		{"a", "z", 3, 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b, c.max); got != c.want {
+			t.Errorf("Levenshtein(%q,%q,%d) = %d, want %d", c.a, c.b, c.max, got, c.want)
+		}
+	}
+	// Cap exceeded returns max+1.
+	if got := Levenshtein("aaaaaaaa", "bbbbbbbb", 2); got != 3 {
+		t.Errorf("capped distance = %d, want 3", got)
+	}
+	if got := Levenshtein("short", "muchlongerstring", 2); got != 3 {
+		t.Errorf("length-gap early-out = %d, want 3", got)
+	}
+}
+
+func TestLevenshteinSymmetricProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		return Levenshtein(a, b, 50) == Levenshtein(b, a, 50)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeEmptyAndPunctOnly(t *testing.T) {
+	if toks := DefaultAnalyzer.Tokenize(""); len(toks) != 0 {
+		t.Error("empty input should give no tokens")
+	}
+	if toks := DefaultAnalyzer.Tokenize("!!! ... ???"); len(toks) != 0 {
+		t.Error("punctuation-only input should give no tokens")
+	}
+}
+
+func TestTokenizeFuncStreamsSameAsTokenize(t *testing.T) {
+	in := "The quick brown fox jumps over the lazy dog's 42 fences"
+	var streamed []Token
+	DefaultAnalyzer.TokenizeFunc(in, func(tok Token) { streamed = append(streamed, tok) })
+	direct := DefaultAnalyzer.Tokenize(in)
+	if len(streamed) != len(direct) {
+		t.Fatalf("stream %d vs direct %d", len(streamed), len(direct))
+	}
+	for i := range direct {
+		if streamed[i] != direct[i] {
+			t.Errorf("token %d: %+v vs %+v", i, streamed[i], direct[i])
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package virt
+
+import (
+	"fmt"
+	"sync"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/fabric"
+)
+
+// ReplicaAccess is how the storage manager reaches node-local stores to
+// repair replication. The core engine implements it over its data-node
+// stores; tests implement it over maps.
+type ReplicaAccess interface {
+	// FetchVersions returns every stored version of the document held by
+	// the node, oldest first.
+	FetchVersions(node fabric.NodeID, id docmodel.DocID) ([]*docmodel.Document, error)
+	// Install idempotently stores a replica version on the node.
+	Install(node fabric.NodeID, doc *docmodel.Document) error
+}
+
+// StorageManager tracks where every document's replicas live and repairs
+// placement after node failures — the autonomic storage management of
+// paper §3.4 ("Our goal is for Impliance to tune all these resources
+// autonomically... to utilize resources well enough to deliver
+// cost-effective performance").
+type StorageManager struct {
+	policy ReplicationPolicy
+	access ReplicaAccess
+
+	mu        sync.Mutex
+	placement map[docmodel.DocID]*docPlacement
+	rr        int
+
+	// Counters for the failure-recovery experiment (E13).
+	Repaired   int // replicas re-created after failures
+	Unrepaired int // documents left under-replicated (no source or target)
+}
+
+type docPlacement struct {
+	class DataClass
+	nodes []fabric.NodeID
+}
+
+// NewStorageManager creates a manager with the given policy and access.
+func NewStorageManager(policy ReplicationPolicy, access ReplicaAccess) *StorageManager {
+	return &StorageManager{
+		policy:    policy,
+		access:    access,
+		placement: map[docmodel.DocID]*docPlacement{},
+	}
+}
+
+// PlaceNew chooses replica targets for a new document of the class,
+// round-robin over the alive data nodes. The first target is the primary.
+func (sm *StorageManager) PlaceNew(id docmodel.DocID, class DataClass, alive []fabric.NodeID) ([]fabric.NodeID, error) {
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("virt: no data nodes for placement")
+	}
+	rf := sm.policy.FactorFor(class)
+	if rf > len(alive) {
+		rf = len(alive)
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	start := sm.rr
+	sm.rr++
+	targets := make([]fabric.NodeID, 0, rf)
+	for i := 0; i < rf; i++ {
+		targets = append(targets, alive[(start+i)%len(alive)])
+	}
+	sm.placement[id] = &docPlacement{class: class, nodes: append([]fabric.NodeID{}, targets...)}
+	return targets, nil
+}
+
+// Register records existing placement (used when ingesting directly on a
+// node or when loading state).
+func (sm *StorageManager) Register(id docmodel.DocID, class DataClass, nodes ...fabric.NodeID) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sm.placement[id] = &docPlacement{class: class, nodes: append([]fabric.NodeID{}, nodes...)}
+}
+
+// Holders returns the nodes currently holding the document.
+func (sm *StorageManager) Holders(id docmodel.DocID) []fabric.NodeID {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	p, ok := sm.placement[id]
+	if !ok {
+		return nil
+	}
+	return append([]fabric.NodeID{}, p.nodes...)
+}
+
+// DocsOn returns the documents with a replica on the node.
+func (sm *StorageManager) DocsOn(node fabric.NodeID) []docmodel.DocID {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	var out []docmodel.DocID
+	for id, p := range sm.placement {
+		for _, n := range p.nodes {
+			if n == node {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// HandleNodeFailure repairs replication after a data node dies: every
+// document that had a replica there gets a new replica copied from a
+// survivor onto an alive node not already holding it. Derived-class
+// documents whose last replica died are counted Unrepaired — by policy
+// they are re-creatable, so losing them is acceptable (paper §3.4).
+//
+// Returns the number of replicas re-created.
+func (sm *StorageManager) HandleNodeFailure(dead fabric.NodeID, alive []fabric.NodeID) (int, error) {
+	affected := sm.DocsOn(dead)
+	repaired := 0
+	for _, id := range affected {
+		sm.mu.Lock()
+		p := sm.placement[id]
+		// Drop the dead holder.
+		survivors := p.nodes[:0]
+		for _, n := range p.nodes {
+			if n != dead {
+				survivors = append(survivors, n)
+			}
+		}
+		p.nodes = survivors
+		want := sm.policy.FactorFor(p.class)
+		if want > len(alive) {
+			want = len(alive)
+		}
+		need := want - len(p.nodes)
+		sm.mu.Unlock()
+
+		if need <= 0 {
+			continue
+		}
+		if len(survivors) == 0 {
+			sm.mu.Lock()
+			sm.Unrepaired++
+			sm.mu.Unlock()
+			continue
+		}
+		src := survivors[0]
+		versions, err := sm.access.FetchVersions(src, id)
+		if err != nil {
+			sm.mu.Lock()
+			sm.Unrepaired++
+			sm.mu.Unlock()
+			continue
+		}
+		for i := 0; i < need; i++ {
+			target, ok := pickTarget(alive, survivors)
+			if !ok {
+				sm.mu.Lock()
+				sm.Unrepaired++
+				sm.mu.Unlock()
+				break
+			}
+			installed := true
+			for _, v := range versions {
+				if err := sm.access.Install(target, v); err != nil {
+					installed = false
+					break
+				}
+			}
+			if !installed {
+				sm.mu.Lock()
+				sm.Unrepaired++
+				sm.mu.Unlock()
+				continue
+			}
+			survivors = append(survivors, target)
+			sm.mu.Lock()
+			p.nodes = append(p.nodes, target)
+			sm.Repaired++
+			sm.mu.Unlock()
+			repaired++
+		}
+	}
+	return repaired, nil
+}
+
+func pickTarget(alive, holding []fabric.NodeID) (fabric.NodeID, bool) {
+	for _, a := range alive {
+		held := false
+		for _, h := range holding {
+			if h == a {
+				held = true
+				break
+			}
+		}
+		if !held {
+			return a, true
+		}
+	}
+	return fabric.NodeID{}, false
+}
+
+// UnderReplicated lists documents currently below their policy factor
+// given the alive node set (monitoring hook).
+func (sm *StorageManager) UnderReplicated(aliveCount int) []docmodel.DocID {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	var out []docmodel.DocID
+	for id, p := range sm.placement {
+		want := sm.policy.FactorFor(p.class)
+		if want > aliveCount {
+			want = aliveCount
+		}
+		if len(p.nodes) < want {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+// Package virt implements compute and storage resource virtualization
+// (paper §3.4): nodes are pooled into *resource groups* with assigned
+// roles, *brokers* transfer resources between groups on failure or load
+// ("when a group reports the failure or loss of a resource, it can
+// contact a broker to help it acquire resources from some other group
+// that is willing to relinquish them"), and *storage management* assigns
+// replication by data class ("some data, especially data users have
+// added, will require high reliability... other data can be re-created
+// with varying amounts of effort, such as data derived by analytics").
+package virt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"impliance/internal/fabric"
+)
+
+// Role is the service a resource group provides (paper §3.4: groups "act
+// together in the role of cluster service, grid service, or data storage
+// service").
+type Role uint8
+
+// Group roles.
+const (
+	RoleData Role = iota
+	RoleGrid
+	RoleCluster
+)
+
+var roleNames = [...]string{"data", "grid", "cluster"}
+
+// String names the role.
+func (r Role) String() string {
+	if int(r) < len(roleNames) {
+		return roleNames[r]
+	}
+	return "role?"
+}
+
+// Group is a resource group: a set of nodes acting in one role, managing
+// itself against a target size.
+type Group struct {
+	Name string
+	Role Role
+	// MinSize is the membership below which the group petitions the
+	// broker; it will not relinquish members at or below MinSize.
+	MinSize int
+
+	mu      sync.Mutex
+	members map[fabric.NodeID]struct{}
+}
+
+// NewGroup creates a group with initial members.
+func NewGroup(name string, role Role, minSize int, members ...fabric.NodeID) *Group {
+	g := &Group{Name: name, Role: role, MinSize: minSize, members: map[fabric.NodeID]struct{}{}}
+	for _, m := range members {
+		g.members[m] = struct{}{}
+	}
+	return g
+}
+
+// Members lists the group's nodes, sorted.
+func (g *Group) Members() []fabric.NodeID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]fabric.NodeID, 0, len(g.members))
+	for m := range g.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Num < out[j].Num
+	})
+	return out
+}
+
+// Size returns the current membership count.
+func (g *Group) Size() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.members)
+}
+
+// Add inserts a member.
+func (g *Group) Add(id fabric.NodeID) {
+	g.mu.Lock()
+	g.members[id] = struct{}{}
+	g.mu.Unlock()
+}
+
+// Remove drops a member, reporting whether it was present.
+func (g *Group) Remove(id fabric.NodeID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.members[id]; !ok {
+		return false
+	}
+	delete(g.members, id)
+	return true
+}
+
+// relinquish gives up one member if the group is willing (above MinSize).
+func (g *Group) relinquish() (fabric.NodeID, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.members) <= g.MinSize {
+		return fabric.NodeID{}, false
+	}
+	// Give up the highest-numbered member (deterministic).
+	var victim fabric.NodeID
+	found := false
+	for m := range g.members {
+		if !found || m.Num > victim.Num {
+			victim, found = m, true
+		}
+	}
+	delete(g.members, victim)
+	return victim, true
+}
+
+// Broker mediates resource transfer between groups and a spare pool.
+type Broker struct {
+	mu     sync.Mutex
+	groups map[string]*Group
+	spares []fabric.NodeID
+
+	// Transfers counts successful reassignments (experiment metric).
+	Transfers int
+}
+
+// NewBroker creates an empty broker.
+func NewBroker() *Broker { return &Broker{groups: map[string]*Group{}} }
+
+// AddGroup registers a group with the broker.
+func (b *Broker) AddGroup(g *Group) {
+	b.mu.Lock()
+	b.groups[g.Name] = g
+	b.mu.Unlock()
+}
+
+// Offer contributes a fresh node to the spare pool (paper §3.4: "when new
+// compute or storage resources are added, brokers offer these resources
+// to the groups that will make best use of them").
+func (b *Broker) Offer(id fabric.NodeID) {
+	b.mu.Lock()
+	b.spares = append(b.spares, id)
+	b.mu.Unlock()
+}
+
+// Spares returns the free-pool size.
+func (b *Broker) Spares() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.spares)
+}
+
+// ErrNoResources is returned when neither spares nor donors can help.
+var ErrNoResources = errors.New("virt: no resources available")
+
+// RequestReplacement handles a group's report of a lost node: the dead
+// member is removed and a replacement is acquired from the spare pool or,
+// failing that, from a willing donor group of the same role.
+func (b *Broker) RequestReplacement(groupName string, lost fabric.NodeID) (fabric.NodeID, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g, ok := b.groups[groupName]
+	if !ok {
+		return fabric.NodeID{}, fmt.Errorf("virt: unknown group %q", groupName)
+	}
+	g.Remove(lost)
+
+	// Prefer a spare of the matching node kind.
+	for i, s := range b.spares {
+		if matchesRole(s.Kind, g.Role) {
+			b.spares = append(b.spares[:i], b.spares[i+1:]...)
+			g.Add(s)
+			b.Transfers++
+			return s, nil
+		}
+	}
+	// Ask same-role donors, most populated first.
+	var donors []*Group
+	for _, other := range b.groups {
+		if other != g && other.Role == g.Role {
+			donors = append(donors, other)
+		}
+	}
+	sort.Slice(donors, func(i, j int) bool {
+		if donors[i].Size() != donors[j].Size() {
+			return donors[i].Size() > donors[j].Size()
+		}
+		return donors[i].Name < donors[j].Name
+	})
+	for _, d := range donors {
+		if id, ok := d.relinquish(); ok {
+			g.Add(id)
+			b.Transfers++
+			return id, nil
+		}
+	}
+	return fabric.NodeID{}, ErrNoResources
+}
+
+func matchesRole(kind fabric.NodeKind, role Role) bool {
+	switch role {
+	case RoleData:
+		return kind == fabric.Data
+	case RoleGrid:
+		return kind == fabric.Grid
+	case RoleCluster:
+		return kind == fabric.Cluster
+	}
+	return false
+}
+
+// DataClass drives the replication policy (paper §3.4's storage
+// management taxonomy).
+type DataClass uint8
+
+// Data classes.
+const (
+	// ClassUser is user-added data: high reliability.
+	ClassUser DataClass = iota
+	// ClassDerived is analytics output: re-creatable, minimal replication.
+	ClassDerived
+	// ClassRegulatory is compliance-mandated data: maximal protection.
+	ClassRegulatory
+)
+
+var classNames = [...]string{"user", "derived", "regulatory"}
+
+// String names the class.
+func (c DataClass) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "class?"
+}
+
+// ReplicationPolicy maps data classes to replica counts.
+type ReplicationPolicy struct {
+	Factor map[DataClass]int
+}
+
+// DefaultPolicy is the appliance's autonomic default: user data 2x,
+// derived data 1x (recreatable), regulatory data 3x.
+func DefaultPolicy() ReplicationPolicy {
+	return ReplicationPolicy{Factor: map[DataClass]int{
+		ClassUser:       2,
+		ClassDerived:    1,
+		ClassRegulatory: 3,
+	}}
+}
+
+// FactorFor returns the replica count for a class (minimum 1).
+func (p ReplicationPolicy) FactorFor(c DataClass) int {
+	if f, ok := p.Factor[c]; ok && f > 0 {
+		return f
+	}
+	return 1
+}

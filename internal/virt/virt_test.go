@@ -1,0 +1,290 @@
+package virt
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/fabric"
+)
+
+func dataNode(n int) fabric.NodeID { return fabric.NodeID{Kind: fabric.Data, Num: n} }
+
+func TestGroupMembership(t *testing.T) {
+	g := NewGroup("dg1", RoleData, 1, dataNode(1), dataNode(2))
+	if g.Size() != 2 {
+		t.Errorf("size = %d", g.Size())
+	}
+	g.Add(dataNode(3))
+	if !g.Remove(dataNode(1)) {
+		t.Error("remove existing failed")
+	}
+	if g.Remove(dataNode(1)) {
+		t.Error("remove missing should be false")
+	}
+	m := g.Members()
+	if len(m) != 2 || m[0] != dataNode(2) || m[1] != dataNode(3) {
+		t.Errorf("members = %v", m)
+	}
+}
+
+func TestBrokerPrefersSpares(t *testing.T) {
+	b := NewBroker()
+	g := NewGroup("dg1", RoleData, 1, dataNode(1), dataNode(2))
+	b.AddGroup(g)
+	b.Offer(dataNode(10))
+	b.Offer(fabric.NodeID{Kind: fabric.Grid, Num: 20}) // wrong kind spare
+
+	got, err := b.RequestReplacement("dg1", dataNode(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != dataNode(10) {
+		t.Errorf("replacement = %v", got)
+	}
+	if g.Size() != 2 {
+		t.Errorf("group size = %d", g.Size())
+	}
+	if b.Spares() != 1 {
+		t.Errorf("spares = %d (grid spare must remain)", b.Spares())
+	}
+	if b.Transfers != 1 {
+		t.Errorf("transfers = %d", b.Transfers)
+	}
+}
+
+func TestBrokerBorrowsFromDonor(t *testing.T) {
+	b := NewBroker()
+	needy := NewGroup("needy", RoleData, 1, dataNode(1), dataNode(2))
+	rich := NewGroup("rich", RoleData, 1, dataNode(5), dataNode(6), dataNode(7))
+	gridG := NewGroup("grid", RoleGrid, 1, fabric.NodeID{Kind: fabric.Grid, Num: 1})
+	b.AddGroup(needy)
+	b.AddGroup(rich)
+	b.AddGroup(gridG)
+
+	got, err := b.RequestReplacement("needy", dataNode(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != dataNode(7) {
+		t.Errorf("donor gave %v, want highest-numbered member", got)
+	}
+	if rich.Size() != 2 || needy.Size() != 2 {
+		t.Errorf("sizes: rich=%d needy=%d", rich.Size(), needy.Size())
+	}
+}
+
+func TestBrokerRespectsMinSize(t *testing.T) {
+	b := NewBroker()
+	needy := NewGroup("needy", RoleData, 1, dataNode(1))
+	tight := NewGroup("tight", RoleData, 2, dataNode(5), dataNode(6))
+	b.AddGroup(needy)
+	b.AddGroup(tight)
+	_, err := b.RequestReplacement("needy", dataNode(1))
+	if !errors.Is(err, ErrNoResources) {
+		t.Errorf("donor at MinSize must refuse: %v", err)
+	}
+	if tight.Size() != 2 {
+		t.Error("tight group shrank")
+	}
+}
+
+func TestBrokerUnknownGroup(t *testing.T) {
+	b := NewBroker()
+	if _, err := b.RequestReplacement("ghost", dataNode(1)); err == nil {
+		t.Error("unknown group must fail")
+	}
+}
+
+func TestReplicationPolicyFactors(t *testing.T) {
+	p := DefaultPolicy()
+	if p.FactorFor(ClassUser) != 2 || p.FactorFor(ClassDerived) != 1 || p.FactorFor(ClassRegulatory) != 3 {
+		t.Error("default factors wrong")
+	}
+	var empty ReplicationPolicy
+	if empty.FactorFor(ClassUser) != 1 {
+		t.Error("missing policy should default to 1")
+	}
+}
+
+// mapAccess is a test ReplicaAccess over in-memory maps.
+type mapAccess struct {
+	data map[fabric.NodeID]map[docmodel.DocID][]*docmodel.Document
+}
+
+func newMapAccess(nodes ...fabric.NodeID) *mapAccess {
+	ma := &mapAccess{data: map[fabric.NodeID]map[docmodel.DocID][]*docmodel.Document{}}
+	for _, n := range nodes {
+		ma.data[n] = map[docmodel.DocID][]*docmodel.Document{}
+	}
+	return ma
+}
+
+func (ma *mapAccess) FetchVersions(node fabric.NodeID, id docmodel.DocID) ([]*docmodel.Document, error) {
+	n, ok := ma.data[node]
+	if !ok {
+		return nil, fmt.Errorf("no node %v", node)
+	}
+	vs, ok := n[id]
+	if !ok {
+		return nil, fmt.Errorf("doc %v not on %v", id, node)
+	}
+	return vs, nil
+}
+
+func (ma *mapAccess) Install(node fabric.NodeID, doc *docmodel.Document) error {
+	n, ok := ma.data[node]
+	if !ok {
+		return fmt.Errorf("no node %v", node)
+	}
+	n[doc.ID] = append(n[doc.ID], doc)
+	return nil
+}
+
+func (ma *mapAccess) put(node fabric.NodeID, doc *docmodel.Document) {
+	ma.data[node][doc.ID] = append(ma.data[node][doc.ID], doc)
+}
+
+func mkDoc(seq uint64) *docmodel.Document {
+	return &docmodel.Document{
+		ID: docmodel.DocID{Origin: 1, Seq: seq}, Version: 1,
+		Root: docmodel.Object(docmodel.F("n", docmodel.Int(int64(seq)))),
+	}
+}
+
+func TestPlaceNewRoundRobinAndFactor(t *testing.T) {
+	alive := []fabric.NodeID{dataNode(1), dataNode(2), dataNode(3)}
+	sm := NewStorageManager(DefaultPolicy(), newMapAccess(alive...))
+	seen := map[fabric.NodeID]int{}
+	for i := uint64(1); i <= 6; i++ {
+		targets, err := sm.PlaceNew(docmodel.DocID{Origin: 1, Seq: i}, ClassUser, alive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(targets) != 2 {
+			t.Fatalf("user data RF = %d", len(targets))
+		}
+		if targets[0] == targets[1] {
+			t.Error("replicas on same node")
+		}
+		seen[targets[0]]++
+	}
+	for _, n := range alive {
+		if seen[n] != 2 {
+			t.Errorf("primary distribution uneven: %v", seen)
+		}
+	}
+	// Derived data gets RF=1.
+	targets, _ := sm.PlaceNew(docmodel.DocID{Origin: 1, Seq: 100}, ClassDerived, alive)
+	if len(targets) != 1 {
+		t.Errorf("derived RF = %d", len(targets))
+	}
+	// RF capped by cluster size.
+	tiny := []fabric.NodeID{dataNode(1)}
+	targets, _ = sm.PlaceNew(docmodel.DocID{Origin: 1, Seq: 101}, ClassRegulatory, tiny)
+	if len(targets) != 1 {
+		t.Errorf("capped RF = %d", len(targets))
+	}
+	if _, err := sm.PlaceNew(docmodel.DocID{Origin: 1, Seq: 102}, ClassUser, nil); err == nil {
+		t.Error("no nodes must fail")
+	}
+}
+
+func TestHandleNodeFailureRepairs(t *testing.T) {
+	nodes := []fabric.NodeID{dataNode(1), dataNode(2), dataNode(3)}
+	ma := newMapAccess(nodes...)
+	sm := NewStorageManager(DefaultPolicy(), ma)
+
+	// Place 10 user docs; write them into the map store accordingly.
+	for i := uint64(1); i <= 10; i++ {
+		d := mkDoc(i)
+		targets, err := sm.PlaceNew(d.ID, ClassUser, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range targets {
+			ma.put(n, d)
+		}
+	}
+	dead := dataNode(1)
+	affected := sm.DocsOn(dead)
+	if len(affected) == 0 {
+		t.Fatal("dead node held nothing; placement broken")
+	}
+	alive := []fabric.NodeID{dataNode(2), dataNode(3)}
+	repaired, err := sm.HandleNodeFailure(dead, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired != len(affected) {
+		t.Errorf("repaired %d, want %d", repaired, len(affected))
+	}
+	if sm.Unrepaired != 0 {
+		t.Errorf("unrepaired = %d", sm.Unrepaired)
+	}
+	// Every doc is back at RF=2 on alive nodes only.
+	for i := uint64(1); i <= 10; i++ {
+		id := docmodel.DocID{Origin: 1, Seq: i}
+		holders := sm.Holders(id)
+		if len(holders) != 2 {
+			t.Errorf("doc %v holders = %v", id, holders)
+		}
+		for _, h := range holders {
+			if h == dead {
+				t.Errorf("doc %v still placed on dead node", id)
+			}
+			if _, err := ma.FetchVersions(h, id); err != nil {
+				t.Errorf("doc %v not actually present on %v", id, h)
+			}
+		}
+	}
+	if len(sm.UnderReplicated(len(alive))) != 0 {
+		t.Error("docs remain under-replicated")
+	}
+}
+
+func TestHandleNodeFailureDerivedDataLost(t *testing.T) {
+	nodes := []fabric.NodeID{dataNode(1), dataNode(2)}
+	ma := newMapAccess(nodes...)
+	sm := NewStorageManager(DefaultPolicy(), ma)
+	d := mkDoc(1)
+	targets, _ := sm.PlaceNew(d.ID, ClassDerived, nodes) // RF=1
+	ma.put(targets[0], d)
+
+	repaired, err := sm.HandleNodeFailure(targets[0], []fabric.NodeID{dataNode(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired != 0 {
+		t.Error("derived single-replica doc cannot be repaired")
+	}
+	if sm.Unrepaired != 1 {
+		t.Errorf("unrepaired = %d, want 1 (recreatable loss)", sm.Unrepaired)
+	}
+}
+
+func TestHandleFailureCopiesAllVersions(t *testing.T) {
+	nodes := []fabric.NodeID{dataNode(1), dataNode(2), dataNode(3)}
+	ma := newMapAccess(nodes...)
+	sm := NewStorageManager(DefaultPolicy(), ma)
+	d1 := mkDoc(1)
+	d2 := mkDoc(1)
+	d2.Version = 2
+	sm.Register(d1.ID, ClassUser, dataNode(1), dataNode(2))
+	ma.put(dataNode(1), d1)
+	ma.put(dataNode(1), d2)
+	ma.put(dataNode(2), d1)
+	ma.put(dataNode(2), d2)
+
+	if _, err := sm.HandleNodeFailure(dataNode(1), []fabric.NodeID{dataNode(2), dataNode(3)}); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := ma.FetchVersions(dataNode(3), d1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Errorf("versions copied = %d, want 2 (audit history preserved)", len(vs))
+	}
+}

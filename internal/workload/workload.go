@@ -1,0 +1,305 @@
+// Package workload generates the synthetic enterprise corpora the
+// experiments run on (DESIGN.md substitution table: the paper's use cases
+// assume proprietary CRM transcripts, insurance claims, and legal e-mail
+// that we cannot have). Every generator is seeded and deterministic, and
+// entity mentions are drawn from the same dictionaries the annotators use,
+// so extraction quality is controlled by construction.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"impliance/internal/annot"
+	"impliance/internal/docmodel"
+)
+
+// Item is one ingest-ready piece of data.
+type Item struct {
+	Body      docmodel.Value
+	MediaType string
+	Source    string
+}
+
+// Gen is a seeded workload generator.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// New creates a generator with a deterministic seed.
+func New(seed int64) *Gen { return &Gen{rng: rand.New(rand.NewSource(seed))} }
+
+// LastNames complements annot.DefaultFirstNames for person generation.
+var LastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hopper", "Lovelace", "Turing",
+	"Codd", "Gray", "Stonebraker", "Park", "Chen", "Patel", "Kim",
+}
+
+// Products is the default product catalog used across scenarios.
+var Products = []string{
+	"WidgetPro", "GadgetMax", "ThingamaBox", "ServicePlus", "DataVault",
+	"CloudSync", "TurboHub", "SmartSensor",
+}
+
+var procedures = []string{
+	"MRI scan", "X-ray", "physical therapy", "blood panel", "CT scan",
+	"ultrasound", "consultation", "surgery",
+}
+
+var complaintPhrases = []string{
+	"the device is broken and useless, I want a refund",
+	"terrible experience, very disappointed with the slow response",
+	"awful product, it stopped working after a week, I am angry",
+	"this is the worst purchase I have made, cancel my subscription",
+}
+
+var praisePhrases = []string{
+	"I love the product, it works great and support was excellent",
+	"fantastic quality, very happy and satisfied with my purchase",
+	"wonderful service, thank you so much, I would recommend it",
+	"perfect device, best purchase this year, amazing battery",
+}
+
+var neutralPhrases = []string{
+	"I called to update my shipping address for the next delivery",
+	"please send me the invoice for last month",
+	"what are the store opening hours during the holidays",
+	"I would like to know the warranty period for my device",
+}
+
+var fillerWords = []string{
+	"report", "meeting", "quarter", "revenue", "pipeline", "schedule",
+	"update", "review", "deadline", "project", "budget", "proposal",
+	"inventory", "shipment", "invoice", "contract", "renewal", "audit",
+}
+
+// Person returns a deterministic random "First Last" name.
+func (g *Gen) Person() string {
+	first := annot.DefaultFirstNames[g.rng.Intn(len(annot.DefaultFirstNames))]
+	last := LastNames[g.rng.Intn(len(LastNames))]
+	return strings.ToUpper(first[:1]) + first[1:] + " " + last
+}
+
+// City returns a deterministic random location from the shared dictionary.
+func (g *Gen) City() string {
+	c := annot.DefaultLocations[g.rng.Intn(len(annot.DefaultLocations))]
+	return strings.Title(c)
+}
+
+// Zipf returns n ints in [0, max) with Zipf skew s > 1.
+func (g *Gen) Zipf(n int, max uint64, s float64) []int64 {
+	z := rand.NewZipf(g.rng, s, 1, max-1)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(z.Uint64())
+	}
+	return out
+}
+
+// Words returns n space-separated filler words.
+func (g *Gen) Words(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = fillerWords[g.rng.Intn(len(fillerWords))]
+	}
+	return strings.Join(parts, " ")
+}
+
+// CustomerProfiles generates master-data customer rows: the structured
+// side of the CRM use case (§2.1.1).
+func (g *Gen) CustomerProfiles(n int) []Item {
+	out := make([]Item, 0, n)
+	for i := 0; i < n; i++ {
+		name := g.Person()
+		out = append(out, Item{
+			MediaType: "relational/row",
+			Source:    "crm-profiles",
+			Body: docmodel.Object(
+				docmodel.F("customer_id", docmodel.String(fmt.Sprintf("CU-%05d", i+1))),
+				docmodel.F("name", docmodel.String(name)),
+				docmodel.F("city", docmodel.String(g.City())),
+				docmodel.F("segment", docmodel.String([]string{"consumer", "smb", "enterprise"}[g.rng.Intn(3)])),
+				docmodel.F("lifetime_value", docmodel.Float(float64(g.rng.Intn(100000))/10)),
+				docmodel.F("phone", docmodel.String(fmt.Sprintf("%03d-%03d-%04d",
+					200+g.rng.Intn(700), 200+g.rng.Intn(700), g.rng.Intn(10000)))),
+			),
+		})
+	}
+	return out
+}
+
+// CallTranscripts generates call-center transcripts mentioning the given
+// customers (by name) and products, with skewed sentiment: the
+// unstructured side of the CRM use case. mentionRate controls how often a
+// transcript names a known customer (vs an unknown caller).
+func (g *Gen) CallTranscripts(n int, customers []Item, mentionRate float64) []Item {
+	out := make([]Item, 0, n)
+	for i := 0; i < n; i++ {
+		var who string
+		if len(customers) > 0 && g.rng.Float64() < mentionRate {
+			c := customers[g.rng.Intn(len(customers))]
+			who = c.Body.Get("name").StringVal()
+		} else {
+			who = g.Person()
+		}
+		product := Products[g.rng.Intn(len(Products))]
+		var mood string
+		switch g.rng.Intn(3) {
+		case 0:
+			mood = complaintPhrases[g.rng.Intn(len(complaintPhrases))]
+		case 1:
+			mood = praisePhrases[g.rng.Intn(len(praisePhrases))]
+		default:
+			mood = neutralPhrases[g.rng.Intn(len(neutralPhrases))]
+		}
+		text := fmt.Sprintf("Caller %s about %s: %s. Case %s-%04d, amount due $%d.%02d, callback %03d-%03d-%04d.",
+			who, product, mood,
+			[]string{"CS", "TK", "RQ"}[g.rng.Intn(3)], g.rng.Intn(10000),
+			g.rng.Intn(2000), g.rng.Intn(100),
+			200+g.rng.Intn(700), 200+g.rng.Intn(700), g.rng.Intn(10000))
+		out = append(out, Item{
+			MediaType: "text/plain",
+			Source:    "callcenter",
+			Body:      docmodel.Object(docmodel.F("text", docmodel.String(text))),
+		})
+	}
+	return out
+}
+
+// PurchaseOrders generates orders referencing customer IDs. A fraction
+// arrive in an alternate field-naming (as if ingested from spreadsheets
+// vs e-mail), exercising schema mapping (§3.2).
+func (g *Gen) PurchaseOrders(n int, customers []Item, altShapeRate float64) []Item {
+	out := make([]Item, 0, n)
+	for i := 0; i < n; i++ {
+		custRef := fmt.Sprintf("CU-%05d", g.rng.Intn(maxInt(len(customers), 1))+1)
+		product := Products[g.rng.Intn(len(Products))]
+		amount := float64(g.rng.Intn(500000)) / 100
+		if g.rng.Float64() < altShapeRate {
+			out = append(out, Item{
+				MediaType: "application/json",
+				Source:    "po-mail",
+				Body: docmodel.Object(
+					docmodel.F("OrderNo", docmodel.Int(int64(100000+i))),
+					docmodel.F("CustomerRef", docmodel.String(custRef)),
+					docmodel.F("Product", docmodel.String(product)),
+					docmodel.F("Amount", docmodel.Float(amount)),
+				),
+			})
+		} else {
+			out = append(out, Item{
+				MediaType: "relational/row",
+				Source:    "po-feed",
+				Body: docmodel.Object(
+					docmodel.F("order_no", docmodel.Int(int64(100000+i))),
+					docmodel.F("customer_ref", docmodel.String(custRef)),
+					docmodel.F("product", docmodel.String(product)),
+					docmodel.F("amount", docmodel.Float(amount)),
+				),
+			})
+		}
+	}
+	return out
+}
+
+// InsuranceClaims generates claim documents: structured header plus free
+// text naming patients, providers and procedures (§2.1.2).
+func (g *Gen) InsuranceClaims(n int, fraudRate float64) []Item {
+	out := make([]Item, 0, n)
+	for i := 0; i < n; i++ {
+		patient := g.Person()
+		provider := g.Person()
+		proc := procedures[g.rng.Intn(len(procedures))]
+		amount := 100 + g.rng.Intn(20000)
+		fraud := g.rng.Float64() < fraudRate
+		desc := fmt.Sprintf("Patient %s was seen by Dr %s for %s in %s. Billed $%d.00.",
+			patient, provider, proc, g.City(), amount)
+		if fraud {
+			// Fraudulent claims repeat the same high-priced procedure.
+			desc += fmt.Sprintf(" Additional %s billed at $%d.00 same day.", proc, amount)
+		}
+		out = append(out, Item{
+			MediaType: "application/xml",
+			Source:    "claims",
+			Body: docmodel.Object(docmodel.F("claim", docmodel.Object(
+				docmodel.F("@id", docmodel.String(fmt.Sprintf("CL-%06d", i+1))),
+				docmodel.F("patient", docmodel.String(patient)),
+				docmodel.F("provider", docmodel.String(provider)),
+				docmodel.F("procedure", docmodel.String(proc)),
+				docmodel.F("amount", docmodel.Int(int64(amount))),
+				docmodel.F("flagged", docmodel.Bool(fraud)),
+				docmodel.F("description", docmodel.String(desc)),
+			))),
+		})
+	}
+	return out
+}
+
+// Emails generates a corporate mail corpus with reply chains and partner
+// mentions for the legal-compliance scenario (§2.1.3). Roughly chainRate
+// of messages reply to an earlier one.
+func (g *Gen) Emails(n int, chainRate float64) []Item {
+	out := make([]Item, 0, n)
+	people := make([]string, 12)
+	for i := range people {
+		first := strings.ToLower(strings.Fields(g.Person())[0])
+		people[i] = fmt.Sprintf("%s%d@example.com", first, i)
+	}
+	partners := []string{"Acme Corp", "Globex", "Initech", "Umbrella Holdings"}
+	var subjects []string
+	for i := 0; i < n; i++ {
+		from := people[g.rng.Intn(len(people))]
+		to := people[g.rng.Intn(len(people))]
+		var subject string
+		if len(subjects) > 0 && g.rng.Float64() < chainRate {
+			subject = "Re: " + strings.TrimPrefix(subjects[g.rng.Intn(len(subjects))], "Re: ")
+		} else {
+			subject = fmt.Sprintf("%s contract %s-%04d",
+				partners[g.rng.Intn(len(partners))],
+				[]string{"MSA", "SOW", "NDA"}[g.rng.Intn(3)], g.rng.Intn(10000))
+			subjects = append(subjects, subject)
+		}
+		body := fmt.Sprintf("Regarding %s. %s. Please review with %s before the renewal. %s.",
+			subject, g.Words(6), g.Person(), g.Words(5))
+		out = append(out, Item{
+			MediaType: "message/rfc822",
+			Source:    "mail-archive",
+			Body: docmodel.Object(
+				docmodel.F("from", docmodel.String(from)),
+				docmodel.F("to", docmodel.String(to)),
+				docmodel.F("subject", docmodel.String(subject)),
+				docmodel.F("body", docmodel.String(body)),
+			),
+		})
+	}
+	return out
+}
+
+// UniformRows generates flat rows with an integer key in [0, keyMax), a
+// category of given cardinality, and padding text — the parametric
+// workload for the planner and pushdown experiments.
+func (g *Gen) UniformRows(n int, keyMax int64, categories int, padWords int) []Item {
+	out := make([]Item, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Item{
+			MediaType: "relational/row",
+			Source:    "uniform",
+			Body: docmodel.Object(
+				docmodel.F("k", docmodel.Int(g.rng.Int63n(keyMax))),
+				docmodel.F("cat", docmodel.String(fmt.Sprintf("c%02d", g.rng.Intn(categories)))),
+				docmodel.F("val", docmodel.Float(g.rng.Float64()*1000)),
+				docmodel.F("pad", docmodel.String(g.Words(padWords))),
+			),
+		})
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"impliance/internal/annot"
+	"impliance/internal/docmodel"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(7).CustomerProfiles(10)
+	b := New(7).CustomerProfiles(10)
+	for i := range a {
+		if !a[i].Body.Equal(b[i].Body) {
+			t.Fatalf("profile %d differs across same-seed runs", i)
+		}
+	}
+	c := New(8).CustomerProfiles(10)
+	same := true
+	for i := range a {
+		if !a[i].Body.Equal(c[i].Body) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestCustomerProfilesShape(t *testing.T) {
+	profiles := New(1).CustomerProfiles(50)
+	if len(profiles) != 50 {
+		t.Fatal("count")
+	}
+	for _, p := range profiles {
+		d := &docmodel.Document{Root: p.Body}
+		if !strings.HasPrefix(d.First("/customer_id").StringVal(), "CU-") {
+			t.Fatal("customer_id shape")
+		}
+		if len(strings.Fields(d.First("/name").StringVal())) != 2 {
+			t.Fatal("name should be First Last")
+		}
+		if p.Source != "crm-profiles" {
+			t.Fatal("source")
+		}
+	}
+}
+
+func TestTranscriptsMentionKnownCustomersAndAreExtractable(t *testing.T) {
+	g := New(2)
+	profiles := g.CustomerProfiles(20)
+	calls := g.CallTranscripts(100, profiles, 1.0)
+	ann := annot.NewDefaultEntityAnnotator(Products)
+	known := map[string]bool{}
+	for _, p := range profiles {
+		known[strings.ToLower(p.Body.Get("name").StringVal())] = true
+	}
+	matched := 0
+	for _, c := range calls {
+		d := &docmodel.Document{Root: c.Body}
+		anns := ann.Annotate(d)
+		if len(anns) == 0 {
+			continue
+		}
+		for _, e := range annot.EntitiesFromAnnotation(&docmodel.Document{Root: anns[0]}) {
+			if e.Type == "person" && known[e.Norm] {
+				matched++
+				break
+			}
+		}
+	}
+	// With mentionRate=1 and dictionary-seeded names, extraction should
+	// recover the customer in the large majority of transcripts.
+	if matched < 80 {
+		t.Errorf("only %d/100 transcripts yielded a known customer entity", matched)
+	}
+}
+
+func TestPurchaseOrdersShapes(t *testing.T) {
+	g := New(3)
+	profiles := g.CustomerProfiles(10)
+	orders := g.PurchaseOrders(200, profiles, 0.4)
+	alt, std := 0, 0
+	for _, o := range orders {
+		if o.Body.Has("CustomerRef") {
+			alt++
+		} else if o.Body.Has("customer_ref") {
+			std++
+		} else {
+			t.Fatal("order without customer reference")
+		}
+	}
+	if alt == 0 || std == 0 {
+		t.Errorf("both shapes expected: alt=%d std=%d", alt, std)
+	}
+	if alt+std != 200 {
+		t.Error("count")
+	}
+}
+
+func TestInsuranceClaimsFraudRate(t *testing.T) {
+	claims := New(4).InsuranceClaims(500, 0.2)
+	flagged := 0
+	for _, c := range claims {
+		d := &docmodel.Document{Root: c.Body}
+		if d.First("/claim/flagged").BoolVal() {
+			flagged++
+		}
+		if d.First("/claim/@id").StringVal() == "" {
+			t.Fatal("claim id missing")
+		}
+	}
+	if flagged < 60 || flagged > 140 {
+		t.Errorf("fraud rate off: %d/500", flagged)
+	}
+}
+
+func TestEmailsChains(t *testing.T) {
+	mails := New(5).Emails(200, 0.5)
+	replies := 0
+	for _, m := range mails {
+		if strings.HasPrefix(m.Body.Get("subject").StringVal(), "Re: ") {
+			replies++
+		}
+	}
+	if replies < 50 || replies > 150 {
+		t.Errorf("reply chain rate off: %d/200", replies)
+	}
+}
+
+func TestUniformRowsAndZipf(t *testing.T) {
+	rows := New(6).UniformRows(100, 1000, 10, 3)
+	for _, r := range rows {
+		k := r.Body.Get("k").IntVal()
+		if k < 0 || k >= 1000 {
+			t.Fatal("key out of range")
+		}
+	}
+	z := New(6).Zipf(1000, 100, 1.5)
+	low, high := 0, 0
+	for _, v := range z {
+		if v < 10 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low <= high {
+		t.Errorf("zipf should skew low: low=%d high=%d", low, high)
+	}
+}
