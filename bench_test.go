@@ -441,6 +441,43 @@ func BenchmarkE16_AdaptiveReordering(b *testing.B) {
 	})
 }
 
+// BenchmarkE17_PointGetRouted: point lookups on the consistent-hash
+// partition layer. A healthy-cluster Get contacts only the document's
+// partition owners, so fabric messages and bytes per Get stay flat as
+// data nodes are added — the routed-vs-broadcast win implbench E17
+// reports in full.
+func BenchmarkE17_PointGetRouted(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			app := benchApp(b, func(c *impliance.Config) { c.DataNodes = n })
+			var ids []impliance.DocID
+			for i := 0; i < 500; i++ {
+				id, err := app.Ingest(impliance.Item{
+					Body:      impliance.Object(impliance.F("k", impliance.Int(int64(i)))),
+					MediaType: "relational/row", Source: "kv",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids = append(ids, id)
+			}
+			app.Drain()
+			eng := app.Engine()
+			eng.Fabric().ResetNetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Get(ids[i%len(ids)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			net := eng.Fabric().NetStats()
+			b.ReportMetric(float64(net.Messages)/float64(b.N), "msgs/op")
+			b.ReportMetric(float64(net.Bytes)/float64(b.N), "netB/op")
+		})
+	}
+}
+
 // newSearchOnly loads the search-appliance baseline with the items.
 func newSearchOnly(items []workload.Item) *searchonly.Engine {
 	eng := searchonly.New()

@@ -1,0 +1,3 @@
+module impliance
+
+go 1.22

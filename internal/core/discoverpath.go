@@ -194,20 +194,31 @@ func (e *Engine) SchemaFamilies() []discovery.SchemaFamily {
 }
 
 // HeartbeatTick advances the consistency group one round (experiments
-// drive time explicitly). Evicted nodes trigger broker replacement
-// requests and lock eviction.
+// drive time explicitly). Evicted cluster nodes trigger broker
+// replacement requests and lock eviction; dead data nodes still on the
+// partition ring are recovered — membership-driven partition
+// reassignment, the heartbeat half of paper §3.4's autonomic repair.
 func (e *Engine) HeartbeatTick() []fabric.NodeID {
 	evicted := e.group.Tick()
 	for range evicted {
 		e.locks.Evict("discovery")
 	}
+	for _, dn := range e.data {
+		if (!dn.node.Alive() || dn.dirty.Load()) && e.smgr.InRing(dn.node.ID) {
+			_, _ = e.RecoverDataNode(dn.node.ID)
+		}
+	}
 	return evicted
 }
 
 // RecoverDataNode handles a data-node failure end to end: the broker
-// replaces the group member, the storage manager re-replicates affected
-// documents onto surviving nodes, and the new index owners re-index those
-// documents. Returns the number of repaired replicas.
+// replaces the group member, the storage manager drops the node from the
+// partition ring — reassigning exactly its partitions to their ring
+// successors — and re-replicates the affected documents onto the owners
+// they gained; the new answering owners then re-index those documents.
+// Membership is monotonic: a revived node stays off the ring (and so
+// never answers again) until an explicit re-join, which elastic
+// membership work will add. Returns the number of repaired replicas.
 func (e *Engine) RecoverDataNode(dead fabric.NodeID) (int, error) {
 	affected := e.smgr.DocsOn(dead)
 	// Ask the broker for a replacement member; lacking spares/donors is
@@ -215,16 +226,12 @@ func (e *Engine) RecoverDataNode(dead fabric.NodeID) (int, error) {
 	if _, err := e.broker.RequestReplacement("data", dead); err != nil && !errors.Is(err, virt.ErrNoResources) {
 		return 0, err
 	}
-	repaired, err := e.smgr.HandleNodeFailure(dead, e.aliveDataIDs())
+	repaired, err := e.smgr.HandleNodeFailure(dead, e.eligibleDataIDs())
 	if err != nil {
 		return repaired, err
 	}
-	// Transfer ownership: the dead node stops answering (even if revived
-	// later) and each affected document's new first holder takes over,
-	// re-indexing it if needed.
-	if deadDN, ok := e.byNode[dead]; ok {
-		deadDN.clearOwned()
-	}
+	// Each affected document's new answering owner re-indexes it if it
+	// was indexed on the dead node.
 	for _, id := range affected {
 		dn, err := e.primaryFor(id)
 		if err != nil {
@@ -234,7 +241,6 @@ func (e *Engine) RecoverDataNode(dead fabric.NodeID) (int, error) {
 		if err != nil {
 			continue
 		}
-		dn.setOwned(id)
 		dn.mu.Lock()
 		_, already := dn.indexedVer[id]
 		dn.mu.Unlock()

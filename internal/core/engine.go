@@ -10,8 +10,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
-	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"impliance/internal/baseline/costopt"
 	"impliance/internal/discovery"
 	"impliance/internal/docmodel"
+	"impliance/internal/expr"
 	"impliance/internal/fabric"
 	"impliance/internal/index"
 	"impliance/internal/plan"
@@ -107,50 +109,24 @@ func (c *Config) Normalize() {
 	}
 }
 
-// dataNode bundles a fabric node with its store and index.
+// dataNode bundles a fabric node with its store and index. Which
+// documents the node answers for is not node state: it is derived from
+// the storage manager's partition map (hash(DocID) → partition → owners),
+// so ownership moves with ring membership instead of being tracked in
+// per-node maps.
 type dataNode struct {
 	node  *fabric.Node
 	store *storage.Store
 	ix    *index.Index
 
+	// dirty marks a node that missed replica writes while dead. A dirty
+	// node is quarantined from routing and answering (a revival without
+	// recovery must not surface its gaps); recovery removes it from the
+	// ring, after which the flag is moot.
+	dirty atomic.Bool
+
 	mu         sync.Mutex
 	indexedVer map[docmodel.DocID]*docmodel.Document // version currently indexed
-	owned      map[docmodel.DocID]struct{}           // docs this node answers for
-}
-
-// setOwned marks this node as the document's answering owner.
-func (dn *dataNode) setOwned(id docmodel.DocID) {
-	dn.mu.Lock()
-	dn.owned[id] = struct{}{}
-	dn.mu.Unlock()
-}
-
-// isOwned reports whether this node answers for the document.
-func (dn *dataNode) isOwned(id docmodel.DocID) bool {
-	dn.mu.Lock()
-	_, ok := dn.owned[id]
-	dn.mu.Unlock()
-	return ok
-}
-
-// clearOwned strips all ownership (applied to dead nodes at recovery so a
-// later revival cannot double-report).
-func (dn *dataNode) clearOwned() {
-	dn.mu.Lock()
-	dn.owned = map[docmodel.DocID]struct{}{}
-	dn.mu.Unlock()
-}
-
-// ownedIDs snapshots the node's owned documents in deterministic order.
-func (dn *dataNode) ownedIDs() []docmodel.DocID {
-	dn.mu.Lock()
-	out := make([]docmodel.DocID, 0, len(dn.owned))
-	for id := range dn.owned {
-		out = append(out, id)
-	}
-	dn.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
-	return out
 }
 
 // Engine is a running appliance instance.
@@ -181,8 +157,9 @@ type Engine struct {
 	optMu sync.Mutex
 	opt   *costopt.Optimizer
 
-	rrMu sync.Mutex
-	rr   int
+	// idSeq mints appliance-wide document IDs. Placement hashes the ID,
+	// so the ID must exist before a node is chosen (ingestpath.go).
+	idSeq atomic.Uint64
 
 	// mergesByKind counts merge operators executed per node kind (E5's
 	// placement-quality metric).
@@ -231,7 +208,6 @@ func Open(cfg Config) (*Engine, error) {
 		dn := &dataNode{
 			node: n, store: st, ix: index.New(nil),
 			indexedVer: map[docmodel.DocID]*docmodel.Document{},
-			owned:      map[docmodel.DocID]struct{}{},
 		}
 		n.SetHandler(e.dataHandler(dn))
 		e.data = append(e.data, dn)
@@ -268,11 +244,15 @@ func Open(cfg Config) (*Engine, error) {
 	e.broker.AddGroup(cg)
 
 	e.smgr = virt.NewStorageManager(cfg.Replication, replicaAccess{e})
+	e.smgr.SetDataNodes(e.DataNodeIDs())
+	e.recoverFromStores()
 
 	if cfg.RandomPlacement {
 		e.placer = sched.NewRandomPlacer(e.fab, 1)
 	} else {
-		e.placer = sched.NewAffinityPlacer(e.fab)
+		ap := sched.NewAffinityPlacer(e.fab)
+		ap.SetRouter(e.smgr) // data-affine keyed placement over the ring
+		e.placer = ap
 	}
 	e.pool = sched.NewPool(cfg.Workers, cfg.FIFOScheduling)
 
@@ -362,43 +342,235 @@ func (e *Engine) aliveData() []*dataNode {
 	return out
 }
 
-func (e *Engine) aliveDataIDs() []fabric.NodeID {
+// eligibleDataIDs lists the data nodes fit to source and receive repair
+// copies: alive and not quarantined for missed writes — a dirty node's
+// gaps must never propagate into freshly repaired replicas.
+func (e *Engine) eligibleDataIDs() []fabric.NodeID {
 	var out []fabric.NodeID
-	for _, dn := range e.aliveData() {
-		out = append(out, dn.node.ID)
+	for _, dn := range e.data {
+		if e.eligible(dn) {
+			out = append(out, dn.node.ID)
+		}
 	}
 	return out
 }
 
-// nextPrimary picks the next primary data node round-robin.
-func (e *Engine) nextPrimary() (*dataNode, error) {
-	alive := e.aliveData()
-	if len(alive) == 0 {
-		return nil, errors.New("core: no alive data nodes")
-	}
-	e.rrMu.Lock()
-	dn := alive[e.rr%len(alive)]
-	e.rr++
-	e.rrMu.Unlock()
-	return dn, nil
+// engineIDOrigin is the Origin of engine-minted document IDs. It is
+// disjoint from the per-store origins (1..DataNodes), so the central
+// allocator and any legacy store-minted IDs can never collide.
+const engineIDOrigin uint32 = 0xC1D20000
+
+// mintDocID allocates an appliance-wide document ID. IDs exist before
+// placement because placement is hash(DocID) → partition → node.
+func (e *Engine) mintDocID() docmodel.DocID {
+	return docmodel.DocID{Origin: engineIDOrigin, Seq: e.idSeq.Add(1)}
 }
 
-// pickReplicas chooses rf total holders: the primary plus its successors
-// in ring order, so replica load spreads evenly across the nodes.
-func (e *Engine) pickReplicas(primary *dataNode, rf int) []fabric.NodeID {
-	alive := e.aliveData()
-	start := 0
-	for i, dn := range alive {
-		if dn == primary {
-			start = i
-			break
+// recoverFromStores rebuilds the volatile routing state a persistent
+// appliance needs after WAL replay: the ID allocator advances past every
+// recovered engine-minted ID, each recovered document is re-registered
+// with the storage manager, documents are migrated onto their current
+// ring owners (the reopened appliance may have a different data-node
+// count, which moves the hash placement), and each node re-indexes the
+// documents of its answering partitions. Data classes are not persisted
+// in the document header, so recovered annotations register as derived
+// and everything else as user data; routing is unaffected (holders are
+// owner-prefixes), only repair width can differ for regulatory data — a
+// persistence follow-up noted in ROADMAP.md.
+func (e *Engine) recoverFromStores() {
+	sources := make([]*storage.Store, 0, len(e.data))
+	for _, dn := range e.data {
+		sources = append(sources, dn.store)
+	}
+	// A previous run may have had more data nodes: their WAL directories
+	// are still on disk but back no live node. Scan them too, or their
+	// documents would silently vanish and the ID allocator could regress
+	// below Seqs they persisted.
+	orphans := e.openOrphanStores()
+	defer func() {
+		for _, st := range orphans {
+			_ = st.Close()
+		}
+	}()
+	sources = append(sources, orphans...)
+
+	maxSeq := uint64(0)
+	seen := map[docmodel.DocID]struct{}{}
+	for _, st := range sources {
+		st.Scan(func(d *docmodel.Document) bool {
+			if d.ID.Origin == engineIDOrigin && d.ID.Seq > maxSeq {
+				maxSeq = d.ID.Seq
+			}
+			if _, dup := seen[d.ID]; !dup {
+				seen[d.ID] = struct{}{}
+				class := virt.ClassUser
+				if d.IsAnnotation() {
+					class = virt.ClassDerived
+				}
+				e.smgr.Register(d.ID, class)
+			}
+			return true
+		})
+	}
+	if maxSeq > e.idSeq.Load() {
+		e.idSeq.Store(maxSeq)
+	}
+	if len(seen) == 0 {
+		return
+	}
+	// Boot-time migration: every holder the ring names must physically
+	// have every version, or routed reads would miss data that is on disk
+	// under the old membership's placement — and a lagging replica
+	// promoted to answering owner would serve a stale latest version.
+	// Each version is sourced independently: chains can have holes (a
+	// replica that missed v1 but received v2 has the same length as a
+	// complete chain), so no single store is authoritative. Copies go
+	// store-to-store (the fabric is not serving yet).
+	for id := range seen {
+		best := 0
+		for _, st := range sources {
+			if n := st.VersionCount(id); n > best {
+				best = n
+			}
+		}
+		if best == 0 {
+			continue
+		}
+		for _, h := range e.smgr.Holders(id) {
+			dst, ok := e.byNode[h]
+			if !ok {
+				continue
+			}
+			for v := uint32(1); v <= uint32(best); v++ {
+				key := docmodel.VersionKey{Doc: id, Ver: v}
+				if _, err := dst.store.GetVersion(key); err == nil {
+					continue // already holds this version
+				}
+				for _, st := range sources {
+					if st == dst.store {
+						continue
+					}
+					if d, err := st.GetVersion(key); err == nil {
+						_ = dst.store.PutReplica(d)
+						break
+					}
+				}
+			}
 		}
 	}
-	targets := []fabric.NodeID{primary.node.ID}
-	for i := 1; i < len(alive) && len(targets) < rf; i++ {
-		targets = append(targets, alive[(start+i)%len(alive)].node.ID)
+	for _, dn := range e.data {
+		for _, id := range e.smgr.DocsInPartitions(e.answeringPartitions(dn)) {
+			d, err := dn.store.Get(id)
+			if err != nil {
+				continue
+			}
+			dn.indexDoc(d)
+			// Discovery state is in-memory only: replay reference edges
+			// (including annotation "annotates" edges) and shape
+			// observations alongside the index.
+			discovery.BuildRefEdges(e.joinIdx, d)
+			if !d.IsAnnotation() {
+				e.shapesMu.Lock()
+				e.shapes.Observe(d)
+				e.shapesMu.Unlock()
+			}
+		}
 	}
-	return targets
+}
+
+// openOrphanStores opens the persisted stores of data nodes that existed
+// in a previous, larger membership ("data-N" directories beyond the
+// configured count). They participate in recovery as read sources only
+// and are closed when recovery finishes.
+func (e *Engine) openOrphanStores() []*storage.Store {
+	if e.cfg.Dir == "" {
+		return nil
+	}
+	entries, err := os.ReadDir(e.cfg.Dir)
+	if err != nil {
+		return nil
+	}
+	live := map[string]struct{}{}
+	for _, dn := range e.data {
+		live[dn.node.ID.String()] = struct{}{}
+	}
+	var out []*storage.Store
+	for _, ent := range entries {
+		if !ent.IsDir() || !strings.HasPrefix(ent.Name(), "data-") {
+			continue
+		}
+		if _, ok := live[ent.Name()]; ok {
+			continue
+		}
+		st, err := storage.Open(^uint32(0), storage.Options{
+			Dir: filepath.Join(e.cfg.Dir, ent.Name()), Codec: e.cfg.Codec,
+		})
+		if err != nil {
+			continue
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// routeNewDoc resolves a new document's replica set into a live primary
+// plus the remaining targets. Dead targets stay in the replica set (the
+// partition map is membership truth, liveness is transient); their
+// copies are restored by recovery. The caller registers the document
+// with the storage manager once the primary write succeeds.
+func (e *Engine) routeNewDoc(id docmodel.DocID, class virt.DataClass) (primary *dataNode, others []fabric.NodeID, err error) {
+	targets, err := e.smgr.PlaceDoc(id, class)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, t := range targets {
+		if primary == nil {
+			if dn, ok := e.byNode[t]; ok && e.eligible(dn) {
+				primary = dn
+				continue
+			}
+		}
+		others = append(others, t)
+	}
+	if primary == nil {
+		return nil, nil, errors.New("core: no alive data nodes")
+	}
+	return primary, others, nil
+}
+
+// eligible reports whether a data node may serve routed reads and answer
+// for its partitions: it must be alive and must not be quarantined for
+// missed writes.
+func (e *Engine) eligible(dn *dataNode) bool {
+	return dn.node.Alive() && !dn.dirty.Load()
+}
+
+// answeringPartitions reports, per partition, whether the node is the
+// partition's current answering owner (first alive owner). Scan-side
+// handlers compute it once per request, then filter their store with an
+// O(1) per-document check — the partition map's replacement for the old
+// per-node owned maps.
+func (e *Engine) answeringPartitions(dn *dataNode) []bool {
+	alive := func(id fabric.NodeID) bool {
+		n, ok := e.byNode[id]
+		return ok && e.eligible(n)
+	}
+	out := make([]bool, e.smgr.Partitions())
+	for p := range out {
+		if owner, ok := e.smgr.AnsweringNode(p, alive); ok && owner == dn.node.ID {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// scanOwned streams the latest version of every document the node
+// currently answers for — the registered documents of its answering
+// partitions — applying the pushed-down filter. Replica copies are never
+// visited, so a node's scan work is its owned share of the corpus.
+func (e *Engine) scanOwned(dn *dataNode, filter expr.Expr, fn func(*docmodel.Document) bool) {
+	ids := e.smgr.DocsInPartitions(e.answeringPartitions(dn))
+	dn.store.ScanSubset(ids, filter, fn)
 }
 
 // Metrics is a point-in-time snapshot of appliance health counters.

@@ -94,7 +94,7 @@ func (e *Engine) dataHandler(dn *dataNode) fabric.Handler {
 				return nil, err
 			}
 			var docs []*docmodel.Document
-			dn.store.ScanSubset(dn.ownedIDs(), filter, func(d *docmodel.Document) bool {
+			e.scanOwned(dn, filter, func(d *docmodel.Document) bool {
 				docs = append(docs, d)
 				return true
 			})
@@ -102,7 +102,7 @@ func (e *Engine) dataHandler(dn *dataNode) fabric.Handler {
 
 		case msgScanAll:
 			var docs []*docmodel.Document
-			dn.store.ScanSubset(dn.ownedIDs(), expr.True(), func(d *docmodel.Document) bool {
+			e.scanOwned(dn, expr.True(), func(d *docmodel.Document) bool {
 				docs = append(docs, d)
 				return true
 			})
@@ -118,7 +118,7 @@ func (e *Engine) dataHandler(dn *dataNode) fabric.Handler {
 				return nil, err
 			}
 			g := expr.NewGroupState(req.spec())
-			dn.store.ScanSubset(dn.ownedIDs(), filter, func(d *docmodel.Document) bool {
+			e.scanOwned(dn, filter, func(d *docmodel.Document) bool {
 				g.Update(d)
 				return true
 			})
@@ -269,17 +269,6 @@ func (e *Engine) clusterHandler(n *fabric.Node) fabric.Handler {
 	}
 }
 
-// ownsDoc reports whether the node is the document's answering owner.
-// Replicated documents exist on several nodes, but exactly one owner
-// contributes each document to scans, aggregates, and index answers, so
-// distributed results count every document once. Ownership is assigned to
-// the primary at ingest and transferred during failure recovery
-// (RecoverDataNode); the check is a per-node map lookup so concurrent
-// scans on different nodes never contend on shared state.
-func (e *Engine) ownsDoc(dn *dataNode, id docmodel.DocID) bool {
-	return dn.isOwned(id)
-}
-
 // indexDoc makes the given version the node's live-indexed version,
 // removing the previously indexed one (incremental maintenance, §3.3).
 func (dn *dataNode) indexDoc(d *docmodel.Document) {
@@ -337,10 +326,18 @@ func hitLess(a, b index.Hit) bool {
 	return a.ID.Compare(b.ID) < 0
 }
 
-// fanOutData calls every alive data node concurrently and gathers raw
-// replies in node order.
+// fanOutData calls every alive ring-member data node concurrently and
+// gathers raw replies in node order. Nodes recovery removed from the
+// ring are excluded even when revived: their stores and indexes hold
+// entries whose ownership moved, and fanning them in would double-count
+// facets and surface stale index answers.
 func (e *Engine) fanOutData(kind string, payloadFor func(*dataNode) []byte) ([][]byte, error) {
-	alive := e.aliveData()
+	alive := make([]*dataNode, 0, len(e.data))
+	for _, dn := range e.data {
+		if dn.node.Alive() && e.smgr.InRing(dn.node.ID) {
+			alive = append(alive, dn)
+		}
+	}
 	results := make([][]byte, len(alive))
 	errs := make([]error, len(alive))
 	done := make(chan int, len(alive))

@@ -22,17 +22,21 @@ type Item struct {
 	Class virt.DataClass
 }
 
-// Ingest infuses a document into the stewing pot (paper §2.2): it is
-// persisted in native format on a primary data node, registered with the
-// storage manager, replicated per policy, and — asynchronously, unless
-// SyncIndexing — indexed, shape-observed, and annotated. The returned ID
-// is immediately usable for retrieval even before indexing completes.
+// Ingest infuses a document into the stewing pot (paper §2.2): the
+// engine mints its ID, the partition map routes it — hash(DocID) →
+// partition → ring owners — it is persisted in native format on the
+// partition's primary, replicated to the remaining owners per policy, and
+// — asynchronously, unless SyncIndexing — indexed, shape-observed, and
+// annotated. The returned ID is immediately usable for retrieval even
+// before indexing completes.
 func (e *Engine) Ingest(item Item) (docmodel.DocID, error) {
-	primary, err := e.nextPrimary()
+	id := e.mintDocID()
+	primary, others, err := e.routeNewDoc(id, item.Class)
 	if err != nil {
 		return docmodel.DocID{}, err
 	}
 	doc := &docmodel.Document{
+		ID:         id,
 		MediaType:  item.MediaType,
 		Source:     item.Source,
 		IngestedAt: e.now(),
@@ -42,11 +46,8 @@ func (e *Engine) Ingest(item Item) (docmodel.DocID, error) {
 	if err != nil {
 		return docmodel.DocID{}, err
 	}
-	rf := e.cfg.Replication.FactorFor(item.Class)
-	targets := e.pickReplicas(primary, rf)
-	e.smgr.Register(stored.ID, item.Class, targets...)
-	primary.setOwned(stored.ID)
-	e.replicate(stored, targets[1:])
+	e.smgr.Register(stored.ID, item.Class)
+	e.replicate(stored, others)
 	e.postIngest(primary, stored)
 	return stored.ID, nil
 }
@@ -127,14 +128,22 @@ func (e *Engine) replicateTo(stored *docmodel.Document, nodes []*dataNode) {
 		for _, dn := range nodes {
 			// Synchronous: the ingest path stalls on every replica (E12
 			// ablation of the paper's async versioned replication).
-			_, _ = e.fab.Call(dn.node.ID, msgReplica, payload)
+			if _, err := e.fab.Call(dn.node.ID, msgReplica, payload); err != nil {
+				dn.dirty.Store(true) // missed a write: quarantined until recovery
+			}
 		}
 		return
 	}
 	for _, dn := range nodes {
-		target := dn.node.ID
+		dn := dn
 		e.pool.Submit(sched.Background, func() {
-			_ = e.fab.Send(target, msgReplica, payload)
+			// A Call (not a one-way Send) so a target killed after the
+			// enqueue still surfaces the miss — fire-and-forget would let
+			// the write vanish with the mailbox and leave the node
+			// unquarantined.
+			if _, err := e.fab.Call(dn.node.ID, msgReplica, payload); err != nil {
+				dn.dirty.Store(true) // missed a write: quarantined until recovery
+			}
 		})
 	}
 }
@@ -148,8 +157,9 @@ func (e *Engine) postIngest(primary *dataNode, stored *docmodel.Document) {
 		e.shapes.Observe(stored)
 		e.shapesMu.Unlock()
 		discovery.BuildRefEdges(e.joinIdx, stored)
-		e.annotate(primary, stored)
+		e.annotate(stored)
 	}
+	e.attributeKeyedWork(sched.TaskIntraAnalysis, e.smgr.RouteKey(stored.ID))
 	if e.cfg.SyncIndexing {
 		work()
 		return
@@ -158,18 +168,24 @@ func (e *Engine) postIngest(primary *dataNode, stored *docmodel.Document) {
 }
 
 // annotate runs interested annotators and infuses their annotation
-// documents (derived data class) back through the normal ingest path on
-// the same primary — annotations are ordinary documents (§3.2).
-func (e *Engine) annotate(primary *dataNode, base *docmodel.Document) {
+// documents back through the normal ingest path — annotations are
+// ordinary documents (§3.2) of the derived class, so they hash to their
+// own partition and land on its owner, not necessarily beside their base.
+func (e *Engine) annotate(base *docmodel.Document) {
 	for _, ann := range e.registry.Run(base) {
+		ann.ID = e.mintDocID()
 		ann.IngestedAt = e.now()
-		stored, err := e.putOn(primary, ann)
+		owner, others, err := e.routeNewDoc(ann.ID, virt.ClassDerived)
 		if err != nil {
 			continue
 		}
-		e.smgr.Register(stored.ID, virt.ClassDerived, primary.node.ID)
-		primary.setOwned(stored.ID)
-		primary.indexDoc(stored)
+		stored, err := e.putOn(owner, ann)
+		if err != nil {
+			continue
+		}
+		e.smgr.Register(stored.ID, virt.ClassDerived)
+		e.replicate(stored, others)
+		owner.indexDoc(stored)
 		discovery.BuildRefEdges(e.joinIdx, stored)
 	}
 }
@@ -212,7 +228,7 @@ func (e *Engine) primaryFor(id docmodel.DocID) (*dataNode, error) {
 		return nil, fmt.Errorf("core: unknown document %s", id)
 	}
 	for _, h := range holders {
-		if dn, ok := e.byNode[h]; ok && dn.node.Alive() {
+		if dn, ok := e.byNode[h]; ok && e.eligible(dn) {
 			return dn, nil
 		}
 	}

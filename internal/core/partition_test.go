@@ -1,0 +1,507 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/fabric"
+	"impliance/internal/query"
+	"impliance/internal/virt"
+)
+
+// handledByNode snapshots each data node's handled-message counter.
+func handledByNode(e *Engine) map[fabric.NodeID]uint64 {
+	out := map[fabric.NodeID]uint64{}
+	for _, dn := range e.data {
+		_, _, handled := dn.node.Stats()
+		out[dn.node.ID] = handled
+	}
+	return out
+}
+
+// touchedSince lists the data nodes whose handled counter moved.
+func touchedSince(e *Engine, before map[fabric.NodeID]uint64) []fabric.NodeID {
+	var out []fabric.NodeID
+	for _, dn := range e.data {
+		_, _, handled := dn.node.Stats()
+		if handled > before[dn.node.ID] {
+			out = append(out, dn.node.ID)
+		}
+	}
+	return out
+}
+
+// TestPointGetRoutesToOwners is the broadcast → routed acceptance check:
+// a point Get on a healthy cluster contacts exactly one data node (≤ RF),
+// and that node is one of the document's partition owners, while keyword
+// search still fans out to every alive data node.
+func TestPointGetRoutesToOwners(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 6 })
+	var ids []docmodel.DocID
+	for i := 0; i < 40; i++ {
+		id, err := e.Ingest(textItem(fmt.Sprintf("routed document %d", i), "u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.DrainBackground()
+
+	rf := e.cfg.Replication.FactorFor(0) // ClassUser
+	for _, id := range ids {
+		holders := e.smgr.Holders(id)
+		if len(holders) != rf {
+			t.Fatalf("doc %s holders = %v, want %d", id, holders, rf)
+		}
+		before := handledByNode(e)
+		e.fab.ResetNetStats()
+		if _, err := e.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		if msgs := e.fab.NetStats().Messages; msgs > uint64(2*rf) {
+			t.Errorf("Get(%s) moved %d messages, want ≤ %d (request+reply per holder)", id, msgs, 2*rf)
+		}
+		touched := touchedSince(e, before)
+		if len(touched) > rf {
+			t.Errorf("Get(%s) touched %v, more than RF=%d nodes", id, touched, rf)
+		}
+		for _, n := range touched {
+			owner := false
+			for _, h := range holders {
+				if h == n {
+					owner = true
+				}
+			}
+			if !owner {
+				t.Errorf("Get(%s) touched non-owner %v (holders %v)", id, n, holders)
+			}
+		}
+	}
+
+	// Keyword search is semantically a fan-out: every alive data node
+	// must be probed.
+	before := handledByNode(e)
+	if _, err := e.Search("routed", 0); err != nil {
+		t.Fatal(err)
+	}
+	touched := touchedSince(e, before)
+	if len(touched) < len(e.aliveData()) {
+		t.Errorf("search touched %d/%d data nodes; index probes must fan out", len(touched), len(e.aliveData()))
+	}
+}
+
+// TestFetchByIDGroupsPerOwner checks the batch point path: fetching many
+// documents contacts each owning node once with a batch, never the whole
+// cluster per document.
+func TestFetchByIDGroupsPerOwner(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 5 })
+	var ids []docmodel.DocID
+	for i := 0; i < 30; i++ {
+		id, err := e.Ingest(textItem(fmt.Sprintf("batch doc %d", i), "u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.DrainBackground()
+	e.fab.ResetNetStats()
+	docs, err := e.fetchByID(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != len(ids) {
+		t.Fatalf("fetched %d/%d", len(docs), len(ids))
+	}
+	// At most one get-batch call (plus reply) per data node.
+	if msgs := e.fab.NetStats().Messages; msgs > uint64(2*len(e.data)) {
+		t.Errorf("fetchByID moved %d messages for %d nodes", msgs, len(e.data))
+	}
+}
+
+// TestReplicaSetsStableUnderUnrelatedFailure is the ring-successor
+// acceptance check: killing and recovering one data node must not move
+// any document whose replica set did not include it.
+func TestReplicaSetsStableUnderUnrelatedFailure(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 5 })
+	var ids []docmodel.DocID
+	for i := 0; i < 60; i++ {
+		id, err := e.Ingest(textItem(fmt.Sprintf("stable doc %d", i), "u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.DrainBackground()
+	before := map[docmodel.DocID][]fabric.NodeID{}
+	for _, id := range ids {
+		before[id] = e.smgr.Holders(id)
+	}
+	dead := e.data[2].node.ID
+	e.fab.Kill(dead)
+	if _, err := e.RecoverDataNode(dead); err != nil {
+		t.Fatal(err)
+	}
+	unrelated, moved := 0, 0
+	for _, id := range ids {
+		old := before[id]
+		now := e.smgr.Holders(id)
+		hadDead := false
+		for _, n := range old {
+			if n == dead {
+				hadDead = true
+			}
+		}
+		if hadDead {
+			moved++
+			continue
+		}
+		unrelated++
+		if len(old) != len(now) {
+			t.Fatalf("doc %s holder count changed %v -> %v", id, old, now)
+		}
+		for i := range old {
+			if old[i] != now[i] {
+				t.Errorf("doc %s moved %v -> %v though %v held no replica", id, old, now, dead)
+			}
+		}
+	}
+	if unrelated == 0 || moved == 0 {
+		t.Fatalf("degenerate distribution: %d unrelated, %d moved", unrelated, moved)
+	}
+}
+
+// TestHeartbeatTickReassignsDeadDataNode: heartbeat-driven membership —
+// a dead data node still on the ring is recovered by the next tick.
+func TestHeartbeatTickReassignsDeadDataNode(t *testing.T) {
+	e := testEngine(t)
+	var ids []docmodel.DocID
+	for i := 0; i < 20; i++ {
+		id, err := e.Ingest(textItem(fmt.Sprintf("tick doc %d", i), "u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.DrainBackground()
+	dead := e.data[0].node.ID
+	e.fab.Kill(dead)
+	if !e.smgr.InRing(dead) {
+		t.Fatal("node should be on the ring before the tick")
+	}
+	e.HeartbeatTick()
+	if e.smgr.InRing(dead) {
+		t.Error("heartbeat tick should drop the dead node from the ring")
+	}
+	for _, id := range ids {
+		if _, err := e.Get(id); err != nil {
+			t.Errorf("doc %s unreadable after heartbeat recovery: %v", id, err)
+		}
+	}
+}
+
+// TestDerivedReplicationFollowsPolicy: annotation documents honor the
+// derived-class replication factor — a policy asking for RF>1 gets real
+// copies on every holder, not just a wider holder list.
+func TestDerivedReplicationFollowsPolicy(t *testing.T) {
+	e := testEngine(t, func(c *Config) {
+		c.Replication = virt.ReplicationPolicy{Factor: map[virt.DataClass]int{
+			virt.ClassUser: 2, virt.ClassDerived: 2, virt.ClassRegulatory: 3,
+		}}
+	})
+	id, err := e.Ingest(textItem("John Smith loves the WidgetPro, it is excellent", "cc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.DrainBackground()
+	anns, err := e.AnnotationsOf(id)
+	if err != nil || len(anns) == 0 {
+		t.Fatalf("annotations = %d (%v)", len(anns), err)
+	}
+	for _, ann := range anns {
+		holders := e.smgr.Holders(ann.ID)
+		if len(holders) != 2 {
+			t.Fatalf("annotation %s holders = %v, want RF 2", ann.ID, holders)
+		}
+		for _, h := range holders {
+			if _, err := e.byNode[h].store.Get(ann.ID); err != nil {
+				t.Errorf("annotation %s replica missing on %s: %v", ann.ID, h, err)
+			}
+		}
+	}
+}
+
+// TestRestartRecoversRoutingAndIndex: placement is a pure function of
+// the ID and the ring, so a restarted appliance rebuilds routing and
+// indexes from its WALs — old documents stay retrievable and searchable
+// and the ID allocator never re-mints a live ID.
+func TestRestartRecoversRoutingAndIndex(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DataNodes: 4, GridNodes: 1, ClusterNodes: 1, Workers: 2, Dir: dir}
+	e1, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []docmodel.DocID
+	for i := 0; i < 12; i++ {
+		id, err := e1.Ingest(textItem(fmt.Sprintf("durable record %d", i), "u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	annotated, err := e1.Ingest(textItem("John Smith loves the WidgetPro, it is excellent", "cc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.DrainBackground()
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e2.Close() })
+	for _, id := range ids {
+		d, err := e2.Get(id)
+		if err != nil {
+			t.Fatalf("doc %s unreadable after restart: %v", id, err)
+		}
+		if d.Source != "u" {
+			t.Errorf("doc %s header lost: %+v", id, d)
+		}
+	}
+	rows, err := e2.Search("durable", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ids) {
+		t.Errorf("search after restart = %d/%d", len(rows), len(ids))
+	}
+	// Discovery state replays too: annotation edges survive the restart.
+	anns, err := e2.AnnotationsOf(annotated)
+	if err != nil || len(anns) == 0 {
+		t.Errorf("annotations lost across restart: %d (%v)", len(anns), err)
+	}
+	fresh, err := e2.Ingest(textItem("minted after restart", "u"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if fresh == id {
+			t.Fatalf("ID allocator re-minted live ID %s", id)
+		}
+	}
+	e2.DrainBackground()
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening with a different data-node count moves the hash
+	// placement; boot-time migration must put every document onto its
+	// new ring owners so routed reads still find it.
+	grown := cfg
+	grown.DataNodes = 7
+	e3, err := Open(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e3.Close() })
+	for _, id := range append(ids, fresh) {
+		if _, err := e3.Get(id); err != nil {
+			t.Errorf("doc %s unreadable after reopening with more nodes: %v", id, err)
+		}
+	}
+	rows, err = e3.Search("durable", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ids) {
+		t.Errorf("search after regrow = %d/%d", len(rows), len(ids))
+	}
+}
+
+// TestRevivedNodeQuarantinedUntilRecovery: a node that missed replica
+// writes while dead must not resume routing or answering after a bare
+// Revive — its gaps would surface as missing documents. The dirty
+// quarantine keeps successors serving until recovery reassigns the ring.
+func TestRevivedNodeQuarantinedUntilRecovery(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 4 })
+	var ids []docmodel.DocID
+	for i := 0; i < 20; i++ {
+		id, err := e.Ingest(textItem(fmt.Sprintf("pre kill %d", i), "u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.DrainBackground()
+
+	victim := e.data[1]
+	e.fab.Kill(victim.node.ID)
+	for i := 0; i < 20; i++ {
+		id, err := e.Ingest(textItem(fmt.Sprintf("during outage %d", i), "u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.DrainBackground()
+	if !victim.dirty.Load() {
+		t.Fatal("victim missed replica writes but was not quarantined")
+	}
+
+	e.fab.Revive(victim.node.ID)
+	// No recovery ran: the revived node must stay out of routing.
+	for _, id := range ids {
+		if _, err := e.Get(id); err != nil {
+			t.Errorf("doc %s unreadable after bare revival: %v", id, err)
+		}
+	}
+	docs, err := e.distributedScan(expr.True())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != len(ids) {
+		t.Errorf("scan after bare revival = %d/%d (revived node answering with gaps?)", len(docs), len(ids))
+	}
+	// The next heartbeat notices the quarantine and reassigns the ring.
+	e.HeartbeatTick()
+	if e.smgr.InRing(victim.node.ID) {
+		t.Error("heartbeat should remove the quarantined node from the ring")
+	}
+	for _, id := range ids {
+		if _, err := e.Get(id); err != nil {
+			t.Errorf("doc %s unreadable after quarantine recovery: %v", id, err)
+		}
+	}
+}
+
+// TestFacetsDoNotDoubleCountAfterRevival: a node recovery removed from
+// the ring must stay out of index fan-outs even when revived, or its
+// stale index entries double-count facets and re-answer searches.
+func TestFacetsDoNotDoubleCountAfterRevival(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 4 })
+	const n = 30
+	for i := 0; i < n; i++ {
+		if _, err := e.Ingest(Item{
+			Body: docmodel.Object(
+				docmodel.F("text", docmodel.String("facet corpus entry")),
+				docmodel.F("kind", docmodel.String([]string{"a", "b"}[i%2])),
+			),
+			MediaType: "text/plain", Source: "f",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.DrainBackground()
+	victim := e.data[0].node.ID
+	e.fab.Kill(victim)
+	e.HeartbeatTick() // ring removal + re-index on new owners
+	e.fab.Revive(victim)
+
+	res, err := e.Facets(query.FacetRequest{Keyword: "facet", Dimensions: []string{"/kind"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != n {
+		t.Errorf("facet total after revival = %d, want %d", res.Total, n)
+	}
+	sum := 0
+	for _, b := range res.Dimensions[0].Buckets {
+		sum += b.Count
+	}
+	if sum != n {
+		t.Errorf("facet counts sum to %d after revival, want %d (revived index double-counted)", sum, n)
+	}
+	rows, err := e.Search("facet", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != n {
+		t.Errorf("search after revival = %d/%d", len(rows), n)
+	}
+}
+
+// TestReopenWithFewerNodesKeepsDocsReachable: WAL directories beyond the
+// configured node count still feed recovery — their documents migrate to
+// the current owners and the ID allocator never regresses below their
+// persisted Seqs.
+func TestReopenWithFewerNodesKeepsDocsReachable(t *testing.T) {
+	dir := t.TempDir()
+	big := Config{DataNodes: 5, GridNodes: 1, ClusterNodes: 1, Workers: 2, Dir: dir}
+	e1, err := Open(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []docmodel.DocID
+	for i := 0; i < 25; i++ {
+		id, err := e1.Ingest(textItem(fmt.Sprintf("shrink survivor %d", i), "u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e1.DrainBackground()
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	small := big
+	small.DataNodes = 2
+	e2, err := Open(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e2.Close() })
+	for _, id := range ids {
+		if _, err := e2.Get(id); err != nil {
+			t.Errorf("doc %s unreadable after shrinking membership: %v", id, err)
+		}
+	}
+	rows, err := e2.Search("shrink", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ids) {
+		t.Errorf("search after shrink = %d/%d", len(rows), len(ids))
+	}
+	fresh, err := e2.Ingest(textItem("minted after shrink", "u"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if fresh == id {
+			t.Fatalf("ID allocator re-minted live ID %s from an orphan WAL", id)
+		}
+	}
+}
+
+// TestScanStillReachesAllNodes: distributed scans are semantically a
+// fan-out — every alive data node contributes its answering partitions.
+func TestScanStillReachesAllNodes(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 4 })
+	for i := 0; i < 40; i++ {
+		if _, err := e.Ingest(Item{
+			Body:      docmodel.Object(docmodel.F("k", docmodel.Int(int64(i)))),
+			MediaType: "relational/row", Source: "u",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.DrainBackground()
+	before := handledByNode(e)
+	docs, err := e.distributedScan(expr.True())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 40 {
+		t.Fatalf("scan docs = %d (ownership dedup broken?)", len(docs))
+	}
+	if touched := touchedSince(e, before); len(touched) != len(e.data) {
+		t.Errorf("scan touched %d/%d nodes", len(touched), len(e.data))
+	}
+}

@@ -285,46 +285,43 @@ func (e *Engine) buildJoin(p *plan.Plan, outer exec.Operator) (exec.Operator, er
 	}
 }
 
-// lookupAndFetch probes every data node's value index and fetches the
-// matching documents from the node that reported them.
+// lookupAndFetch probes every data node's value index (the index is
+// distributed, so the probe is semantically a fan-out) and then fetches
+// the matching documents from their partition owners — never from the
+// reporting node, whose copy could lag behind the owner's latest
+// version.
 func (e *Engine) lookupAndFetch(req valueLookupReq) ([]*docmodel.Document, error) {
 	payload := mustJSON(req)
-	alive := e.aliveData()
-	type nodeIDs struct {
-		dn  *dataNode
-		ids []string
-	}
-	found := make([]nodeIDs, len(alive))
 	results, err := e.fanOutData(msgValueLookup, func(*dataNode) []byte { return payload })
 	if err != nil {
 		return nil, err
 	}
-	for i, raw := range results {
+	seen := map[docmodel.DocID]struct{}{}
+	var ids []docmodel.DocID
+	for _, raw := range results {
 		var resp idListResp
 		if err := json.Unmarshal(raw, &resp); err != nil {
 			return nil, err
 		}
-		found[i] = nodeIDs{dn: alive[i], ids: resp.IDs}
-	}
-	seen := map[docmodel.DocID]struct{}{}
-	var docs []*docmodel.Document
-	for _, f := range found {
-		if len(f.ids) == 0 {
-			continue
-		}
-		raw, err := e.fab.Call(f.dn.node.ID, msgGetBatch, mustJSON(getBatchReq{IDs: f.ids}))
+		parsed, err := parseIDs(resp.IDs)
 		if err != nil {
 			return nil, err
 		}
-		batch, err := decodeDocs(raw)
-		if err != nil {
-			return nil, err
-		}
-		for _, d := range batch {
-			if _, dup := seen[d.ID]; !dup {
-				seen[d.ID] = struct{}{}
-				docs = append(docs, d)
+		for _, id := range parsed {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				ids = append(ids, id)
 			}
+		}
+	}
+	fetched, err := e.fetchByID(ids)
+	if err != nil {
+		return nil, err
+	}
+	docs := make([]*docmodel.Document, 0, len(fetched))
+	for _, id := range ids {
+		if d, ok := fetched[id]; ok {
+			docs = append(docs, d)
 		}
 	}
 	sortDocs(docs)
@@ -565,6 +562,22 @@ func (e *Engine) facetDim(path string, candidateIDs []string, limit int) ([]quer
 // the chosen node's work counter (scheduler-visible load accounting).
 func (e *Engine) attributeWork(kind sched.TaskKind) {
 	if id, err := e.placer.Place(kind); err == nil {
+		if n, ok := e.fab.Node(id); ok {
+			n.AddWork(1)
+		}
+	}
+}
+
+// attributeKeyedWork charges document-keyed work to the node the placer
+// selects for the routing key — with the affinity placer, the data node
+// owning the key's partition on the ring.
+func (e *Engine) attributeKeyedWork(kind sched.TaskKind, key uint64) {
+	kp, ok := e.placer.(sched.KeyedPlacer)
+	if !ok {
+		e.attributeWork(kind)
+		return
+	}
+	if id, err := kp.PlaceKeyed(kind, key); err == nil {
 		if n, ok := e.fab.Node(id); ok {
 			n.AddWork(1)
 		}

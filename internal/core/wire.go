@@ -33,6 +33,12 @@ func decodeDocs(b []byte) ([]*docmodel.Document, error) {
 	if off <= 0 {
 		return nil, fmt.Errorf("core: bad doc batch header")
 	}
+	// Each document costs at least one length byte, so a count beyond the
+	// remaining payload is corrupt; checking before the preallocation
+	// keeps a hostile header from sizing the slice.
+	if n > uint64(len(b)-off) {
+		return nil, fmt.Errorf("core: doc batch count %d exceeds payload", n)
+	}
 	out := make([]*docmodel.Document, 0, n)
 	for i := uint64(0); i < n; i++ {
 		l, m := binary.Uvarint(b[off:])

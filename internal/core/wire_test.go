@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/index"
+)
+
+func groupSpecFixture() expr.GroupSpec {
+	return expr.GroupSpec{
+		By:   []string{"/cat"},
+		Aggs: []expr.AggSpec{{Kind: expr.AggCount}, {Kind: expr.AggSum, Path: "/val"}},
+	}
+}
+
+func wireDoc(seq uint64, text string) *docmodel.Document {
+	return &docmodel.Document{
+		ID:        docmodel.DocID{Origin: 7, Seq: seq},
+		Version:   1,
+		MediaType: "text/plain",
+		Source:    "wire-test",
+		Root:      docmodel.Object(docmodel.F("text", docmodel.String(text))),
+	}
+}
+
+func TestEncodeDecodeDocsRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 17} {
+		docs := make([]*docmodel.Document, n)
+		for i := range docs {
+			docs[i] = wireDoc(uint64(i+1), "payload")
+		}
+		raw := encodeDocs(docs)
+		got, err := decodeDocs(raw)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d", n, len(got))
+		}
+		for i, d := range got {
+			if d.ID != docs[i].ID || d.Version != docs[i].Version {
+				t.Errorf("doc %d header mismatch: %+v", i, d)
+			}
+			if d.First("/text").StringVal() != "payload" {
+				t.Errorf("doc %d body mismatch", i)
+			}
+		}
+	}
+}
+
+func TestDecodeDocsRejectsTruncation(t *testing.T) {
+	raw := encodeDocs([]*docmodel.Document{wireDoc(1, "abc"), wireDoc(2, "def")})
+	// Every proper prefix must fail cleanly, never panic or succeed.
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := decodeDocs(raw[:cut]); err == nil {
+			t.Errorf("truncation at %d/%d decoded successfully", cut, len(raw))
+		}
+	}
+}
+
+func TestDecodeDocsRejectsTrailingGarbage(t *testing.T) {
+	raw := encodeDocs([]*docmodel.Document{wireDoc(1, "abc")})
+	if _, err := decodeDocs(append(append([]byte{}, raw...), 0xFF)); err == nil {
+		t.Error("trailing bytes must be rejected")
+	}
+}
+
+func TestDecodeDocsRejectsCorruptHeader(t *testing.T) {
+	if _, err := decodeDocs(nil); err == nil {
+		t.Error("empty input must fail")
+	}
+	// A count far beyond the payload must fail, not allocate unbounded.
+	huge := binary.AppendUvarint(nil, 1<<40)
+	if _, err := decodeDocs(huge); err == nil {
+		t.Error("absurd count with no payload must fail")
+	}
+	// Length prefix larger than the remaining bytes.
+	bad := binary.AppendUvarint(nil, 1)
+	bad = binary.AppendUvarint(bad, 1<<30)
+	bad = append(bad, 0x01)
+	if _, err := decodeDocs(bad); err == nil {
+		t.Error("oversized length prefix must fail")
+	}
+	// Valid framing around a corrupt document body.
+	body := bytes.Repeat([]byte{0xEE}, 24)
+	corrupt := binary.AppendUvarint(nil, 1)
+	corrupt = binary.AppendUvarint(corrupt, uint64(len(body)))
+	corrupt = append(corrupt, body...)
+	if _, err := decodeDocs(corrupt); err == nil {
+		t.Error("corrupt document body must fail")
+	}
+}
+
+func TestHitsWireRoundTrip(t *testing.T) {
+	hits := []index.Hit{
+		{ID: docmodel.DocID{Origin: 1, Seq: 5}, Score: 2.5},
+		{ID: docmodel.DocID{Origin: 2, Seq: 9}, Score: 0.25},
+	}
+	back, err := hitsFromWire(hitsToWire(hits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != hits[0] || back[1] != hits[1] {
+		t.Errorf("round trip = %v", back)
+	}
+	if _, err := hitsFromWire([]searchHit{{ID: "not-an-id", Score: 1}}); err == nil {
+		t.Error("malformed hit ID must fail")
+	}
+}
+
+func TestParseIDsErrors(t *testing.T) {
+	ids, err := parseIDs([]string{"1.5", "4294967295.18446744073709551615"})
+	if err != nil || len(ids) != 2 {
+		t.Fatalf("parse valid: %v %v", ids, err)
+	}
+	for _, bad := range []string{"", "x.y", "1.", ".2", "1.2.3", "-1.2"} {
+		if _, err := parseIDs([]string{bad}); err == nil {
+			t.Errorf("parseIDs(%q) must fail", bad)
+		}
+	}
+}
+
+func TestAggSpecWireRoundTrip(t *testing.T) {
+	spec := specToWire(groupSpecFixture())
+	back := spec.spec()
+	if len(back.By) != 1 || back.By[0] != "/cat" {
+		t.Errorf("group-by lost: %v", back.By)
+	}
+	if len(back.Aggs) != 2 || back.Aggs[1].Path != "/val" {
+		t.Errorf("aggs lost: %v", back.Aggs)
+	}
+}

@@ -3,6 +3,7 @@ package expr
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"impliance/internal/docmodel"
@@ -224,41 +225,7 @@ func (g *GroupState) Rows() []GroupRow {
 func (g *GroupState) Len() int { return len(g.groups) }
 
 func sortRows(rows []GroupRow) {
-	// Simple insertion-free sort via sort.Slice equivalent without
-	// importing sort here would be silly; use lexicographic key compare.
-	quickSortRows(rows, 0, len(rows)-1)
-}
-
-func quickSortRows(rows []GroupRow, lo, hi int) {
-	for lo < hi {
-		p := partitionRows(rows, lo, hi)
-		if p-lo < hi-p {
-			quickSortRows(rows, lo, p-1)
-			lo = p + 1
-		} else {
-			quickSortRows(rows, p+1, hi)
-			hi = p - 1
-		}
-	}
-}
-
-func partitionRows(rows []GroupRow, lo, hi int) int {
-	pivot := rows[(lo+hi)/2]
-	i, j := lo, hi
-	for i <= j {
-		for compareKeys(rows[i].Key, pivot.Key) < 0 {
-			i++
-		}
-		for compareKeys(rows[j].Key, pivot.Key) > 0 {
-			j--
-		}
-		if i <= j {
-			rows[i], rows[j] = rows[j], rows[i]
-			i++
-			j--
-		}
-	}
-	return j + 1
+	sort.Slice(rows, func(i, j int) bool { return compareKeys(rows[i].Key, rows[j].Key) < 0 })
 }
 
 func compareKeys(a, b []docmodel.Value) int {

@@ -77,6 +77,22 @@ type Placer interface {
 	Place(k TaskKind) (fabric.NodeID, error)
 }
 
+// DataRouter is the scheduler's view of the storage partition ring: the
+// data node that owns a routing key. The virtualization layer's partition
+// map implements it, so placers can co-locate document-keyed work
+// (storage-local scans, index probes, per-document annotators) with the
+// document's partition instead of spraying it across the kind.
+type DataRouter interface {
+	OwnerForKey(key uint64) (fabric.NodeID, bool)
+}
+
+// KeyedPlacer extends Placer with data-affine placement for work that is
+// keyed to a document or partition.
+type KeyedPlacer interface {
+	Placer
+	PlaceKeyed(k TaskKind, key uint64) (fabric.NodeID, error)
+}
+
 // AffinityPlacer places tasks on their preferred node kind, round-robin
 // over alive nodes, falling back to any alive node when the preferred
 // kind has none (paper §3.3: "for better resource utilization, each
@@ -85,6 +101,9 @@ type AffinityPlacer struct {
 	f  *fabric.Fabric
 	mu sync.Mutex
 	rr map[fabric.NodeKind]int
+	// router, when set, routes storage-local keyed tasks to the data node
+	// owning the key's partition.
+	router DataRouter
 	// Fallbacks counts placements that missed their preferred kind.
 	Fallbacks atomic.Uint64
 }
@@ -92,6 +111,32 @@ type AffinityPlacer struct {
 // NewAffinityPlacer creates the placer over a fabric.
 func NewAffinityPlacer(f *fabric.Fabric) *AffinityPlacer {
 	return &AffinityPlacer{f: f, rr: map[fabric.NodeKind]int{}}
+}
+
+// SetRouter installs the partition ring consulted by PlaceKeyed.
+func (p *AffinityPlacer) SetRouter(r DataRouter) {
+	p.mu.Lock()
+	p.router = r
+	p.mu.Unlock()
+}
+
+// PlaceKeyed implements KeyedPlacer: storage-local task kinds go to the
+// alive data node owning the key's partition; everything else (and any
+// miss) falls back to kind-affine placement.
+func (p *AffinityPlacer) PlaceKeyed(k TaskKind, key uint64) (fabric.NodeID, error) {
+	if PreferredNodeKind(k) == fabric.Data {
+		p.mu.Lock()
+		r := p.router
+		p.mu.Unlock()
+		if r != nil {
+			if id, ok := r.OwnerForKey(key); ok {
+				if n, up := p.f.Node(id); up && n.Alive() {
+					return id, nil
+				}
+			}
+		}
+	}
+	return p.Place(k)
 }
 
 // Place implements Placer.
@@ -137,6 +182,10 @@ func NewRandomPlacer(f *fabric.Fabric, seed int64) *RandomPlacer {
 	return &RandomPlacer{f: f, rng: rand.New(rand.NewSource(seed))}
 }
 
+// PlaceKeyed implements KeyedPlacer. The ablation ignores the ring the
+// same way it ignores kind affinity.
+func (p *RandomPlacer) PlaceKeyed(k TaskKind, _ uint64) (fabric.NodeID, error) { return p.Place(k) }
+
 // Place implements Placer.
 func (p *RandomPlacer) Place(TaskKind) (fabric.NodeID, error) {
 	var all []fabric.NodeID
@@ -180,7 +229,8 @@ func (qs QueueStats) MeanWait() time.Duration {
 // (the Impliance design) workers always prefer interactive tasks; in FIFO
 // mode (the E11 ablation) all tasks share one queue.
 type Pool struct {
-	fifo bool
+	fifo    bool
+	workers int
 
 	interactive chan poolTask
 	background  chan poolTask
@@ -191,6 +241,8 @@ type Pool struct {
 	mu     sync.Mutex
 	stats  map[Priority]*QueueStats
 	closed bool
+
+	drainMu sync.Mutex // serializes Drain barriers (two batches would interleave and park all workers)
 }
 
 type poolTask struct {
@@ -207,6 +259,7 @@ func NewPool(workers int, fifo bool) *Pool {
 	}
 	p := &Pool{
 		fifo:        fifo,
+		workers:     workers,
 		interactive: make(chan poolTask, 4096),
 		background:  make(chan poolTask, 65536),
 		single:      make(chan poolTask, 65536),
@@ -330,18 +383,48 @@ func (p *Pool) Backlog() int {
 }
 
 // Drain blocks until all queued tasks at the time of the call have
-// started and finished, by submitting sentinels to every worker path.
-// It is a test/experiment convenience, not a production barrier.
+// started and finished. Queued==0 does not mean running==0, so it then
+// parks one barrier sentinel on every worker: once all sentinels have
+// arrived, every previously started task has finished. The rendezvous
+// aborts on Close (quit), so a racing shutdown can neither strand parked
+// workers nor hang this call. It is a test/experiment convenience, not a
+// production barrier.
 func (p *Pool) Drain() {
+	p.drainMu.Lock()
+	defer p.drainMu.Unlock()
 	for p.Backlog() > 0 {
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return // queued tasks are abandoned at Close; nothing to fence
+		}
 		time.Sleep(time.Millisecond)
 	}
-	// Queued==0 does not mean running==0; run a sentinel at background
-	// priority (lowest) to fence prior work per worker.
-	var wg sync.WaitGroup
-	wg.Add(1)
-	p.Submit(Background, func() { wg.Done() })
-	wg.Wait()
+	arrived := make(chan struct{}, p.workers)
+	release := make(chan struct{})
+	pending := 0
+	for i := 0; i < p.workers; i++ {
+		ok := p.Submit(Background, func() {
+			arrived <- struct{}{}
+			select {
+			case <-release:
+			case <-p.quit:
+			}
+		})
+		if ok {
+			pending++
+		}
+	}
+	for got := 0; got < pending; got++ {
+		select {
+		case <-arrived:
+		case <-p.quit: // shutdown: queued sentinels may never run
+			close(release)
+			return
+		}
+	}
+	close(release)
 }
 
 // Close stops the workers after the current tasks finish. Queued tasks

@@ -221,3 +221,26 @@ func TestQueueStatsMeanWait(t *testing.T) {
 		t.Error("empty mean should be 0")
 	}
 }
+
+// TestDrainCloseRace: a Close racing a Drain barrier must not deadlock —
+// parked sentinel workers abort on quit and Drain returns.
+func TestDrainCloseRace(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		p := NewPool(4, i%2 == 1)
+		for j := 0; j < 50; j++ {
+			p.Submit(Background, func() { time.Sleep(50 * time.Microsecond) })
+		}
+		done := make(chan struct{})
+		go func() {
+			p.Drain()
+			close(done)
+		}()
+		time.Sleep(time.Duration(i%5) * 100 * time.Microsecond)
+		p.Close()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Drain deadlocked against Close")
+		}
+	}
+}

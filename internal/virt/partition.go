@@ -1,0 +1,155 @@
+package virt
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"slices"
+	"sync"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/fabric"
+)
+
+// PartitionMap divides the document-ID space into a fixed number of
+// partitions and assigns each partition an ordered replica set — the
+// partition's owners — by walking the consistent-hash ring. Placement
+// state is O(partitions), not O(documents): a document's holders are
+// hash(DocID) → partition → owners, recomputed from the map on every
+// lookup, so point operations route instead of broadcasting and a
+// membership change rewrites at most the dead node's share of partitions.
+type PartitionMap struct {
+	mu        sync.RWMutex
+	ring      *Ring
+	parts     int
+	maxOwners int
+	owners    [][]fabric.NodeID // per partition, ring-successor order
+}
+
+// DefaultPartitions balances granularity (rebalance unit ≈ corpus/parts)
+// against map size. Appliance-scale node counts stay well below it.
+const DefaultPartitions = 128
+
+// NewPartitionMap creates an empty map. parts <= 0 selects
+// DefaultPartitions; maxOwners <= 0 selects 3 (the widest default
+// replication factor); vnodes is forwarded to the ring.
+func NewPartitionMap(parts, maxOwners, vnodes int) *PartitionMap {
+	if parts <= 0 {
+		parts = DefaultPartitions
+	}
+	if maxOwners <= 0 {
+		maxOwners = 3
+	}
+	return &PartitionMap{
+		ring:      NewRing(vnodes),
+		parts:     parts,
+		maxOwners: maxOwners,
+		owners:    make([][]fabric.NodeID, parts),
+	}
+}
+
+// Partitions returns the partition count.
+func (pm *PartitionMap) Partitions() int { return pm.parts }
+
+// Ring exposes the underlying ring (schedulers consult it for
+// data-affine placement).
+func (pm *PartitionMap) Ring() *Ring { return pm.ring }
+
+// SetNodes resets membership to exactly the given nodes and recomputes
+// every partition's owners.
+func (pm *PartitionMap) SetNodes(nodes []fabric.NodeID) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	for _, n := range pm.ring.Nodes() {
+		pm.ring.Remove(n)
+	}
+	for _, n := range nodes {
+		pm.ring.Add(n)
+	}
+	pm.recomputeLocked()
+}
+
+// AddNode joins a node to the ring and returns the partitions whose owner
+// set changed.
+func (pm *PartitionMap) AddNode(n fabric.NodeID) []int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if pm.ring.Contains(n) {
+		return nil
+	}
+	pm.ring.Add(n)
+	return pm.recomputeLocked()
+}
+
+// RemoveNode drops a node from the ring and returns the partitions whose
+// owner set changed (exactly the dead node's share — everything else is
+// untouched, the consistent-hashing guarantee).
+func (pm *PartitionMap) RemoveNode(n fabric.NodeID) []int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if !pm.ring.Remove(n) {
+		return nil
+	}
+	return pm.recomputeLocked()
+}
+
+// recomputeLocked refreshes all owner lists, returning changed partitions.
+func (pm *PartitionMap) recomputeLocked() []int {
+	var changed []int
+	for p := 0; p < pm.parts; p++ {
+		next := pm.ring.Successors(partitionKey(p), pm.maxOwners)
+		if !slices.Equal(pm.owners[p], next) {
+			changed = append(changed, p)
+		}
+		pm.owners[p] = next
+	}
+	return changed
+}
+
+// Owners returns the partition's replica set in ring-successor order:
+// owners[0] is the primary, the rest are successors. The slice is a copy.
+func (pm *PartitionMap) Owners(p int) []fabric.NodeID {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	if p < 0 || p >= pm.parts {
+		return nil
+	}
+	return append([]fabric.NodeID{}, pm.owners[p]...)
+}
+
+// PartitionOf maps a document ID to its partition. Versions of one
+// document always land together (the hash covers Origin and Seq only).
+func (pm *PartitionMap) PartitionOf(id docmodel.DocID) int {
+	return int(docKey(id) % uint64(pm.parts))
+}
+
+// OwnerForKey returns the primary for an arbitrary routing key — the
+// scheduler's view of the ring for data-affine task placement.
+func (pm *PartitionMap) OwnerForKey(key uint64) (fabric.NodeID, bool) {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	own := pm.owners[key%uint64(pm.parts)]
+	if len(own) == 0 {
+		return fabric.NodeID{}, false
+	}
+	return own[0], true
+}
+
+// docKey hashes a document ID onto the routing keyspace.
+func docKey(id docmodel.DocID) uint64 {
+	h := fnv.New64a()
+	var buf [12]byte
+	binary.BigEndian.PutUint32(buf[0:4], id.Origin)
+	binary.BigEndian.PutUint64(buf[4:12], id.Seq)
+	h.Write(buf[:])
+	return mix64(h.Sum64())
+}
+
+// partitionKey positions a partition on the ring. Partitions hash like
+// documents so vnode arcs split them evenly.
+func partitionKey(p int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(p))
+	h.Write(buf[:])
+	return mix64(h.Sum64())
+}

@@ -1,0 +1,155 @@
+package virt
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"impliance/internal/fabric"
+)
+
+// Ring is a consistent-hash ring over data nodes (paper §3.4: storage
+// management decides placement inside the appliance; clients never see
+// it). Each node projects vnodes points onto a 64-bit circle, so removing
+// one node redistributes only that node's arcs to its clockwise
+// successors — the property that keeps replica sets stable when an
+// unrelated node dies, which round-robin placement cannot offer.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []ringPoint // sorted ascending by hash
+	nodes  map[fabric.NodeID]struct{}
+}
+
+type ringPoint struct {
+	hash uint64
+	node fabric.NodeID
+}
+
+// DefaultVnodes is the virtual-node count per physical node: enough to
+// even out arc lengths at appliance scale (tens of nodes) while keeping
+// membership changes cheap.
+const DefaultVnodes = 64
+
+// NewRing creates an empty ring. vnodes <= 0 selects DefaultVnodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, nodes: map[fabric.NodeID]struct{}{}}
+}
+
+// Add inserts a node's vnode points. Adding a present node is a no-op.
+func (r *Ring) Add(n fabric.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[n]; ok {
+		return
+	}
+	r.nodes[n] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: vnodeHash(n, i), node: n})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Remove drops a node and its points, reporting whether it was present.
+func (r *Ring) Remove(n fabric.NodeID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[n]; !ok {
+		return false
+	}
+	delete(r.nodes, n)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != n {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return true
+}
+
+// Contains reports ring membership.
+func (r *Ring) Contains(n fabric.NodeID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.nodes[n]
+	return ok
+}
+
+// Size returns the number of physical nodes on the ring.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Nodes lists ring members in deterministic (Kind, Num) order.
+func (r *Ring) Nodes() []fabric.NodeID {
+	r.mu.RLock()
+	out := make([]fabric.NodeID, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Num < out[j].Num
+	})
+	return out
+}
+
+// Successors walks clockwise from key and returns the first n distinct
+// nodes. n <= 0 or n beyond the membership returns every node, ordered by
+// ring position.
+func (r *Ring) Successors(key uint64, n int) []fabric.NodeID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	out := make([]fabric.NodeID, 0, n)
+	seen := map[fabric.NodeID]struct{}{}
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// vnodeHash positions one virtual node on the circle.
+func vnodeHash(n fabric.NodeID, vnode int) uint64 {
+	h := fnv.New64a()
+	var buf [17]byte
+	buf[0] = byte(n.Kind)
+	binary.BigEndian.PutUint64(buf[1:9], uint64(n.Num))
+	binary.BigEndian.PutUint64(buf[9:17], uint64(vnode))
+	h.Write(buf[:])
+	return mix64(h.Sum64())
+}
+
+// mix64 is a splitmix64-style avalanche finalizer. FNV over inputs that
+// differ only in trailing bytes yields clustered values — a node's vnodes
+// would form one contiguous arc, defeating the ring — so every routing
+// hash is passed through this mixer to scatter them.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

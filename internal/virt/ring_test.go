@@ -1,0 +1,163 @@
+package virt
+
+import (
+	"slices"
+	"testing"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/fabric"
+)
+
+func TestRingSuccessorsDistinctAndStable(t *testing.T) {
+	r := NewRing(0)
+	for i := 1; i <= 5; i++ {
+		r.Add(dataNode(i))
+	}
+	if r.Size() != 5 {
+		t.Fatalf("size = %d", r.Size())
+	}
+	for key := uint64(0); key < 1000; key += 13 {
+		succ := r.Successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("successors = %v", succ)
+		}
+		seen := map[fabric.NodeID]struct{}{}
+		for _, n := range succ {
+			if _, dup := seen[n]; dup {
+				t.Fatalf("duplicate successor in %v", succ)
+			}
+			seen[n] = struct{}{}
+		}
+	}
+	// n beyond membership returns everyone once.
+	all := r.Successors(42, 10)
+	if len(all) != 5 {
+		t.Errorf("all successors = %v", all)
+	}
+	// Removing one node never changes the order among survivors.
+	before := map[uint64][]fabric.NodeID{}
+	for key := uint64(0); key < 500; key += 7 {
+		before[key] = r.Successors(key, 5)
+	}
+	victim := dataNode(3)
+	r.Remove(victim)
+	for key, old := range before {
+		var want []fabric.NodeID
+		for _, n := range old {
+			if n != victim {
+				want = append(want, n)
+			}
+		}
+		got := r.Successors(key, 4)
+		if !slices.Equal(want, got) {
+			t.Fatalf("key %d: survivors reordered %v -> %v", key, want, got)
+		}
+	}
+}
+
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := NewRing(8)
+	r.Add(dataNode(1))
+	r.Add(dataNode(1))
+	if r.Size() != 1 {
+		t.Errorf("double add size = %d", r.Size())
+	}
+	if !r.Remove(dataNode(1)) {
+		t.Error("remove existing failed")
+	}
+	if r.Remove(dataNode(1)) {
+		t.Error("remove missing should be false")
+	}
+	if r.Successors(1, 1) != nil {
+		t.Error("empty ring must have no successors")
+	}
+}
+
+func TestPartitionMapBalanceAndIncrementalReassignment(t *testing.T) {
+	pm := NewPartitionMap(0, 3, 0)
+	nodes := []fabric.NodeID{dataNode(1), dataNode(2), dataNode(3), dataNode(4)}
+	pm.SetNodes(nodes)
+	if pm.Partitions() != DefaultPartitions {
+		t.Fatalf("partitions = %d", pm.Partitions())
+	}
+	primaries := map[fabric.NodeID]int{}
+	for p := 0; p < pm.Partitions(); p++ {
+		owners := pm.Owners(p)
+		if len(owners) != 3 {
+			t.Fatalf("partition %d owners = %v", p, owners)
+		}
+		primaries[owners[0]]++
+	}
+	for _, n := range nodes {
+		if primaries[n] == 0 {
+			t.Errorf("node %v owns no partitions: %v", n, primaries)
+		}
+	}
+	// Removing a node changes only the partitions it owned.
+	dead := dataNode(2)
+	var owned []int
+	ownersBefore := make([][]fabric.NodeID, pm.Partitions())
+	for p := 0; p < pm.Partitions(); p++ {
+		ownersBefore[p] = pm.Owners(p)
+		for _, n := range ownersBefore[p] {
+			if n == dead {
+				owned = append(owned, p)
+				break
+			}
+		}
+	}
+	changed := pm.RemoveNode(dead)
+	if len(changed) != len(owned) {
+		t.Errorf("changed %d partitions, want exactly the dead node's %d", len(changed), len(owned))
+	}
+	changedSet := map[int]struct{}{}
+	for _, p := range changed {
+		changedSet[p] = struct{}{}
+	}
+	for _, p := range owned {
+		if _, ok := changedSet[p]; !ok {
+			t.Errorf("partition %d lost its owner but was not reassigned", p)
+		}
+	}
+	// Surviving owners keep their relative order.
+	for p := 0; p < pm.Partitions(); p++ {
+		now := pm.Owners(p)
+		var want []fabric.NodeID
+		for _, n := range ownersBefore[p] {
+			if n != dead {
+				want = append(want, n)
+			}
+		}
+		for i, n := range want {
+			if now[i] != n {
+				t.Fatalf("partition %d survivors reordered %v -> %v", p, ownersBefore[p], now)
+			}
+		}
+	}
+}
+
+func TestPartitionOfIsVersionIndependentAndSpread(t *testing.T) {
+	pm := NewPartitionMap(64, 2, 16)
+	pm.SetNodes([]fabric.NodeID{dataNode(1), dataNode(2)})
+	counts := make([]int, 64)
+	for i := uint64(1); i <= 2000; i++ {
+		id := docmodel.DocID{Origin: 7, Seq: i}
+		p := pm.PartitionOf(id)
+		if p < 0 || p >= 64 {
+			t.Fatalf("partition out of range: %d", p)
+		}
+		counts[p]++
+	}
+	empty := 0
+	for _, c := range counts {
+		if c == 0 {
+			empty++
+		}
+	}
+	if empty > 0 {
+		t.Errorf("%d/64 partitions empty over 2000 docs", empty)
+	}
+	if _, ok := pm.OwnerForKey(12345); !ok {
+		t.Error("populated map must route any key")
+	}
+}

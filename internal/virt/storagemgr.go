@@ -2,6 +2,8 @@ package virt
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 	"sync"
 
 	"impliance/internal/docmodel"
@@ -19,147 +21,261 @@ type ReplicaAccess interface {
 	Install(node fabric.NodeID, doc *docmodel.Document) error
 }
 
-// StorageManager tracks where every document's replicas live and repairs
-// placement after node failures — the autonomic storage management of
-// paper §3.4 ("Our goal is for Impliance to tune all these resources
-// autonomically... to utilize resources well enough to deliver
-// cost-effective performance").
+// StorageManager is the autonomic storage management of paper §3.4 ("Our
+// goal is for Impliance to tune all these resources autonomically...").
+// Placement is a consistent-hash partition map, not per-document state: a
+// document's holders are hash(DocID) → partition → ring successors,
+// truncated to the replication factor of its data class. The manager
+// keeps only a doc → class registry; who holds what is derived from the
+// partition map, so point operations route to at most RF nodes and a node
+// failure reassigns only that node's partitions.
 type StorageManager struct {
 	policy ReplicationPolicy
 	access ReplicaAccess
+	pmap   *PartitionMap
 
-	mu        sync.Mutex
-	placement map[docmodel.DocID]*docPlacement
-	rr        int
+	mu       sync.Mutex
+	classes  map[docmodel.DocID]DataClass
+	byPart   map[int][]docmodel.DocID    // partition → registered docs, registration order
+	degraded map[docmodel.DocID]struct{} // repair could not restore full factor
 
 	// Counters for the failure-recovery experiment (E13).
 	Repaired   int // replicas re-created after failures
 	Unrepaired int // documents left under-replicated (no source or target)
 }
 
-type docPlacement struct {
-	class DataClass
-	nodes []fabric.NodeID
-}
-
 // NewStorageManager creates a manager with the given policy and access.
+// Data-node membership is installed with SetDataNodes before use.
 func NewStorageManager(policy ReplicationPolicy, access ReplicaAccess) *StorageManager {
+	maxRF := 1
+	for _, f := range policy.Factor {
+		if f > maxRF {
+			maxRF = f
+		}
+	}
 	return &StorageManager{
-		policy:    policy,
-		access:    access,
-		placement: map[docmodel.DocID]*docPlacement{},
+		policy:   policy,
+		access:   access,
+		pmap:     NewPartitionMap(DefaultPartitions, maxRF, DefaultVnodes),
+		classes:  map[docmodel.DocID]DataClass{},
+		byPart:   map[int][]docmodel.DocID{},
+		degraded: map[docmodel.DocID]struct{}{},
 	}
 }
 
-// PlaceNew chooses replica targets for a new document of the class,
-// round-robin over the alive data nodes. The first target is the primary.
-func (sm *StorageManager) PlaceNew(id docmodel.DocID, class DataClass, alive []fabric.NodeID) ([]fabric.NodeID, error) {
-	if len(alive) == 0 {
+// SetDataNodes installs the data-node membership the partition map
+// routes over.
+func (sm *StorageManager) SetDataNodes(nodes []fabric.NodeID) {
+	sm.pmap.SetNodes(nodes)
+}
+
+// Partitions returns the partition count.
+func (sm *StorageManager) Partitions() int { return sm.pmap.Partitions() }
+
+// PartitionOf maps a document to its partition.
+func (sm *StorageManager) PartitionOf(id docmodel.DocID) int { return sm.pmap.PartitionOf(id) }
+
+// OwnersOf returns a partition's replica set in ring-successor order.
+func (sm *StorageManager) OwnersOf(p int) []fabric.NodeID { return sm.pmap.Owners(p) }
+
+// InRing reports whether the node is a current ring member.
+func (sm *StorageManager) InRing(n fabric.NodeID) bool { return sm.pmap.Ring().Contains(n) }
+
+// RingNodes lists current ring members.
+func (sm *StorageManager) RingNodes() []fabric.NodeID { return sm.pmap.Ring().Nodes() }
+
+// RouteKey returns the routing key the scheduler can use to co-locate
+// document-keyed work with the document's partition.
+func (sm *StorageManager) RouteKey(id docmodel.DocID) uint64 { return docKey(id) }
+
+// OwnerForKey implements the scheduler's ring view: the primary data node
+// for an arbitrary routing key.
+func (sm *StorageManager) OwnerForKey(key uint64) (fabric.NodeID, bool) {
+	return sm.pmap.OwnerForKey(key)
+}
+
+// PlaceDoc returns a new document's replica set — the first RF(class)
+// owners of its partition, in ring-successor order, primary first. It is
+// a pure placement query: callers Register the document once it is
+// actually persisted, so a failed write never leaves a phantom
+// registration behind.
+func (sm *StorageManager) PlaceDoc(id docmodel.DocID, class DataClass) ([]fabric.NodeID, error) {
+	holders := sm.holdersFor(id, class)
+	if len(holders) == 0 {
 		return nil, fmt.Errorf("virt: no data nodes for placement")
 	}
-	rf := sm.policy.FactorFor(class)
-	if rf > len(alive) {
-		rf = len(alive)
-	}
-	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	start := sm.rr
-	sm.rr++
-	targets := make([]fabric.NodeID, 0, rf)
-	for i := 0; i < rf; i++ {
-		targets = append(targets, alive[(start+i)%len(alive)])
-	}
-	sm.placement[id] = &docPlacement{class: class, nodes: append([]fabric.NodeID{}, targets...)}
-	return targets, nil
+	return holders, nil
 }
 
-// Register records existing placement (used when ingesting directly on a
-// node or when loading state).
-func (sm *StorageManager) Register(id docmodel.DocID, class DataClass, nodes ...fabric.NodeID) {
+// Register records an existing document's class (placement itself is
+// derived from the partition map) and indexes it under its partition.
+func (sm *StorageManager) Register(id docmodel.DocID, class DataClass) {
+	p := sm.pmap.PartitionOf(id)
 	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	sm.placement[id] = &docPlacement{class: class, nodes: append([]fabric.NodeID{}, nodes...)}
+	if _, known := sm.classes[id]; !known {
+		sm.byPart[p] = append(sm.byPart[p], id)
+	}
+	sm.classes[id] = class
+	sm.mu.Unlock()
 }
 
-// Holders returns the nodes currently holding the document.
+// Holders returns the nodes holding the document — the first RF(class)
+// partition owners — or nil if the document was never registered.
 func (sm *StorageManager) Holders(id docmodel.DocID) []fabric.NodeID {
 	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	p, ok := sm.placement[id]
+	class, ok := sm.classes[id]
+	sm.mu.Unlock()
 	if !ok {
 		return nil
 	}
-	return append([]fabric.NodeID{}, p.nodes...)
+	return sm.holdersFor(id, class)
 }
 
-// DocsOn returns the documents with a replica on the node.
-func (sm *StorageManager) DocsOn(node fabric.NodeID) []docmodel.DocID {
-	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	var out []docmodel.DocID
-	for id, p := range sm.placement {
-		for _, n := range p.nodes {
-			if n == node {
-				out = append(out, id)
-				break
-			}
+func (sm *StorageManager) holdersFor(id docmodel.DocID, class DataClass) []fabric.NodeID {
+	owners := sm.pmap.Owners(sm.pmap.PartitionOf(id))
+	rf := sm.policy.FactorFor(class)
+	if rf > len(owners) {
+		rf = len(owners)
+	}
+	return owners[:rf]
+}
+
+// AnsweringNode returns the partition's answering owner — the first owner
+// the liveness probe accepts. Exactly one node answers scans, aggregates,
+// and facet counts for each partition, so distributed results count every
+// document once without per-document ownership state.
+func (sm *StorageManager) AnsweringNode(p int, alive func(fabric.NodeID) bool) (fabric.NodeID, bool) {
+	for _, n := range sm.pmap.Owners(p) {
+		if alive(n) {
+			return n, true
 		}
 	}
+	return fabric.NodeID{}, false
+}
+
+// DocsInPartitions returns the registered documents of every partition
+// the mask selects, in deterministic order. Scan-side handlers use it to
+// visit only the documents a node answers for, skipping its replica
+// copies without paying to evaluate them.
+func (sm *StorageManager) DocsInPartitions(mask []bool) []docmodel.DocID {
+	sm.mu.Lock()
+	var out []docmodel.DocID
+	for p, sel := range mask {
+		if sel {
+			out = append(out, sm.byPart[p]...)
+		}
+	}
+	sm.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }
 
-// HandleNodeFailure repairs replication after a data node dies: every
-// document that had a replica there gets a new replica copied from a
-// survivor onto an alive node not already holding it. Derived-class
-// documents whose last replica died are counted Unrepaired — by policy
+// DocsOn returns the registered documents whose replica set includes the
+// node, in deterministic order. The walk is partition-driven: only
+// partitions whose owner list contains the node are visited.
+func (sm *StorageManager) DocsOn(node fabric.NodeID) []docmodel.DocID {
+	var out []docmodel.DocID
+	for p := 0; p < sm.pmap.Partitions(); p++ {
+		pos := slices.Index(sm.pmap.Owners(p), node)
+		if pos < 0 {
+			continue
+		}
+		sm.mu.Lock()
+		for _, id := range sm.byPart[p] {
+			// The node holds the doc only if it sits inside the doc's
+			// class-truncated owner prefix.
+			if pos < sm.policy.FactorFor(sm.classes[id]) {
+				out = append(out, id)
+			}
+		}
+		sm.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// HandleNodeFailure removes a dead data node from the ring and repairs
+// replication: every partition the node owned is reassigned to its ring
+// successors (unrelated partitions keep their replica sets — the
+// consistent-hashing guarantee), and each affected document is copied
+// from a surviving holder onto the owners it gained. Derived-class
+// documents whose only replica died are counted Unrepaired — by policy
 // they are re-creatable, so losing them is acceptable (paper §3.4).
 //
 // Returns the number of replicas re-created.
 func (sm *StorageManager) HandleNodeFailure(dead fabric.NodeID, alive []fabric.NodeID) (int, error) {
-	affected := sm.DocsOn(dead)
+	aliveSet := map[fabric.NodeID]struct{}{}
+	for _, n := range alive {
+		aliveSet[n] = struct{}{}
+	}
+
+	// Snapshot the pre-failure owner sets of the partitions the dead node
+	// participates in, then drop the node; only those partitions (and the
+	// documents registered under them) need walking.
+	oldOwners := map[int][]fabric.NodeID{}
+	for p := 0; p < sm.pmap.Partitions(); p++ {
+		if owners := sm.pmap.Owners(p); slices.Contains(owners, dead) {
+			oldOwners[p] = owners
+		}
+	}
+	sm.pmap.RemoveNode(dead)
+
+	type docInfo struct {
+		id    docmodel.DocID
+		class DataClass
+	}
+	var docs []docInfo
+	sm.mu.Lock()
+	for p := range oldOwners {
+		for _, id := range sm.byPart[p] {
+			docs = append(docs, docInfo{id, sm.classes[id]})
+		}
+	}
+	sm.mu.Unlock()
+	sort.Slice(docs, func(i, j int) bool { return docs[i].id.Compare(docs[j].id) < 0 })
+
 	repaired := 0
-	for _, id := range affected {
-		sm.mu.Lock()
-		p := sm.placement[id]
-		// Drop the dead holder.
-		survivors := p.nodes[:0]
-		for _, n := range p.nodes {
+	for _, di := range docs {
+		p := sm.pmap.PartitionOf(di.id)
+		rf := sm.policy.FactorFor(di.class)
+		old := truncate(oldOwners[p], rf)
+		if !slices.Contains(old, dead) {
+			continue // unaffected: the dead node was outside the doc's owner prefix
+		}
+		// Survivors are the old holders minus the dead node; new targets
+		// are the holders the reassignment added.
+		var survivors []fabric.NodeID
+		for _, n := range old {
 			if n != dead {
 				survivors = append(survivors, n)
 			}
 		}
-		p.nodes = survivors
-		want := sm.policy.FactorFor(p.class)
-		if want > len(alive) {
-			want = len(alive)
-		}
-		need := want - len(p.nodes)
-		sm.mu.Unlock()
-
-		if need <= 0 {
-			continue
-		}
 		if len(survivors) == 0 {
-			sm.mu.Lock()
-			sm.Unrepaired++
-			sm.mu.Unlock()
+			sm.markUnrepaired(di.id)
 			continue
 		}
-		src := survivors[0]
-		versions, err := sm.access.FetchVersions(src, id)
-		if err != nil {
-			sm.mu.Lock()
-			sm.Unrepaired++
-			sm.mu.Unlock()
+		src, ok := firstIn(survivors, aliveSet)
+		if !ok {
+			sm.markUnrepaired(di.id)
 			continue
 		}
-		for i := 0; i < need; i++ {
-			target, ok := pickTarget(alive, survivors)
-			if !ok {
-				sm.mu.Lock()
-				sm.Unrepaired++
-				sm.mu.Unlock()
-				break
+		newHolders := sm.holdersFor(di.id, di.class)
+		var versions []*docmodel.Document
+		fullyRepaired := true
+		for _, target := range newHolders {
+			if slices.Contains(survivors, target) {
+				continue // already holds a copy
+			}
+			if _, live := aliveSet[target]; !live {
+				fullyRepaired = false
+				continue
+			}
+			if versions == nil {
+				var err error
+				if versions, err = sm.access.FetchVersions(src, di.id); err != nil {
+					fullyRepaired = false
+					break
+				}
 			}
 			installed := true
 			for _, v := range versions {
@@ -169,52 +285,70 @@ func (sm *StorageManager) HandleNodeFailure(dead fabric.NodeID, alive []fabric.N
 				}
 			}
 			if !installed {
-				sm.mu.Lock()
-				sm.Unrepaired++
-				sm.mu.Unlock()
+				fullyRepaired = false
 				continue
 			}
-			survivors = append(survivors, target)
 			sm.mu.Lock()
-			p.nodes = append(p.nodes, target)
 			sm.Repaired++
 			sm.mu.Unlock()
 			repaired++
+		}
+		if fullyRepaired {
+			sm.markRepaired(di.id)
+		} else {
+			sm.markUnrepaired(di.id)
 		}
 	}
 	return repaired, nil
 }
 
-func pickTarget(alive, holding []fabric.NodeID) (fabric.NodeID, bool) {
-	for _, a := range alive {
-		held := false
-		for _, h := range holding {
-			if h == a {
-				held = true
-				break
-			}
-		}
-		if !held {
-			return a, true
+func (sm *StorageManager) markUnrepaired(id docmodel.DocID) {
+	sm.mu.Lock()
+	if _, dup := sm.degraded[id]; !dup {
+		sm.degraded[id] = struct{}{}
+		sm.Unrepaired++
+	}
+	sm.mu.Unlock()
+}
+
+// markRepaired heals the degraded record: a document an earlier pass
+// could not fully repair may reach its factor on a later pass (e.g. its
+// blocked target was recovered next).
+func (sm *StorageManager) markRepaired(id docmodel.DocID) {
+	sm.mu.Lock()
+	delete(sm.degraded, id)
+	sm.mu.Unlock()
+}
+
+// UnderReplicated lists documents whose most recent repair pass could
+// not restore the full replication factor; a later pass that succeeds
+// removes them again (monitoring hook). The aliveCount parameter is kept
+// for callers that report against the current cluster size; factors are
+// already capped by membership at placement time.
+func (sm *StorageManager) UnderReplicated(aliveCount int) []docmodel.DocID {
+	_ = aliveCount
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	out := make([]docmodel.DocID, 0, len(sm.degraded))
+	for id := range sm.degraded {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+func truncate(nodes []fabric.NodeID, n int) []fabric.NodeID {
+	if n > len(nodes) {
+		n = len(nodes)
+	}
+	return nodes[:n]
+}
+
+func firstIn(nodes []fabric.NodeID, set map[fabric.NodeID]struct{}) (fabric.NodeID, bool) {
+	for _, n := range nodes {
+		if _, ok := set[n]; ok {
+			return n, true
 		}
 	}
 	return fabric.NodeID{}, false
-}
-
-// UnderReplicated lists documents currently below their policy factor
-// given the alive node set (monitoring hook).
-func (sm *StorageManager) UnderReplicated(aliveCount int) []docmodel.DocID {
-	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	var out []docmodel.DocID
-	for id, p := range sm.placement {
-		want := sm.policy.FactorFor(p.class)
-		if want > aliveCount {
-			want = aliveCount
-		}
-		if len(p.nodes) < want {
-			out = append(out, id)
-		}
-	}
-	return out
 }

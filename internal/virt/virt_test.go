@@ -3,6 +3,7 @@ package virt
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"testing"
 
 	"impliance/internal/docmodel"
@@ -153,12 +154,14 @@ func mkDoc(seq uint64) *docmodel.Document {
 	}
 }
 
-func TestPlaceNewRoundRobinAndFactor(t *testing.T) {
-	alive := []fabric.NodeID{dataNode(1), dataNode(2), dataNode(3)}
-	sm := NewStorageManager(DefaultPolicy(), newMapAccess(alive...))
-	seen := map[fabric.NodeID]int{}
-	for i := uint64(1); i <= 6; i++ {
-		targets, err := sm.PlaceNew(docmodel.DocID{Origin: 1, Seq: i}, ClassUser, alive)
+func TestPlaceDocHashRoutingAndFactor(t *testing.T) {
+	nodes := []fabric.NodeID{dataNode(1), dataNode(2), dataNode(3)}
+	sm := NewStorageManager(DefaultPolicy(), newMapAccess(nodes...))
+	sm.SetDataNodes(nodes)
+	primaries := map[fabric.NodeID]int{}
+	for i := uint64(1); i <= 300; i++ {
+		id := docmodel.DocID{Origin: 1, Seq: i}
+		targets, err := sm.PlaceDoc(id, ClassUser)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,26 +171,86 @@ func TestPlaceNewRoundRobinAndFactor(t *testing.T) {
 		if targets[0] == targets[1] {
 			t.Error("replicas on same node")
 		}
-		seen[targets[0]]++
+		// Placement is a pure function of the ID: once registered,
+		// Holders must agree with the placement query.
+		sm.Register(id, ClassUser)
+		holders := sm.Holders(id)
+		if len(holders) != 2 || holders[0] != targets[0] || holders[1] != targets[1] {
+			t.Errorf("holders %v != placement %v", holders, targets)
+		}
+		primaries[targets[0]]++
 	}
-	for _, n := range alive {
-		if seen[n] != 2 {
-			t.Errorf("primary distribution uneven: %v", seen)
+	for _, n := range nodes {
+		if primaries[n] < 50 {
+			t.Errorf("hash placement badly skewed: %v", primaries)
 		}
 	}
 	// Derived data gets RF=1.
-	targets, _ := sm.PlaceNew(docmodel.DocID{Origin: 1, Seq: 100}, ClassDerived, alive)
+	targets, _ := sm.PlaceDoc(docmodel.DocID{Origin: 1, Seq: 1000}, ClassDerived)
 	if len(targets) != 1 {
 		t.Errorf("derived RF = %d", len(targets))
 	}
+	// Regulatory data gets RF=3.
+	targets, _ = sm.PlaceDoc(docmodel.DocID{Origin: 1, Seq: 1001}, ClassRegulatory)
+	if len(targets) != 3 {
+		t.Errorf("regulatory RF = %d", len(targets))
+	}
 	// RF capped by cluster size.
-	tiny := []fabric.NodeID{dataNode(1)}
-	targets, _ = sm.PlaceNew(docmodel.DocID{Origin: 1, Seq: 101}, ClassRegulatory, tiny)
+	tiny := NewStorageManager(DefaultPolicy(), newMapAccess(dataNode(1)))
+	tiny.SetDataNodes([]fabric.NodeID{dataNode(1)})
+	targets, _ = tiny.PlaceDoc(docmodel.DocID{Origin: 1, Seq: 1}, ClassRegulatory)
 	if len(targets) != 1 {
 		t.Errorf("capped RF = %d", len(targets))
 	}
-	if _, err := sm.PlaceNew(docmodel.DocID{Origin: 1, Seq: 102}, ClassUser, nil); err == nil {
+	empty := NewStorageManager(DefaultPolicy(), newMapAccess())
+	if _, err := empty.PlaceDoc(docmodel.DocID{Origin: 1, Seq: 1}, ClassUser); err == nil {
 		t.Error("no nodes must fail")
+	}
+	// Unregistered documents have no holders.
+	if sm.Holders(docmodel.DocID{Origin: 9, Seq: 9}) != nil {
+		t.Error("unregistered doc must have nil holders")
+	}
+}
+
+func TestHolderStabilityUnderUnrelatedFailure(t *testing.T) {
+	nodes := []fabric.NodeID{dataNode(1), dataNode(2), dataNode(3), dataNode(4), dataNode(5)}
+	ma := newMapAccess(nodes...)
+	sm := NewStorageManager(DefaultPolicy(), ma)
+	sm.SetDataNodes(nodes)
+	before := map[docmodel.DocID][]fabric.NodeID{}
+	for i := uint64(1); i <= 200; i++ {
+		d := mkDoc(i)
+		targets, err := sm.PlaceDoc(d.ID, ClassUser)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm.Register(d.ID, ClassUser)
+		for _, n := range targets {
+			ma.put(n, d)
+		}
+		before[d.ID] = targets
+	}
+	dead := dataNode(3)
+	alive := []fabric.NodeID{dataNode(1), dataNode(2), dataNode(4), dataNode(5)}
+	if _, err := sm.HandleNodeFailure(dead, alive); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for id, old := range before {
+		now := sm.Holders(id)
+		if slices.Contains(old, dead) {
+			moved++
+			continue
+		}
+		if !slices.Equal(old, now) {
+			t.Errorf("doc %v holders changed %v -> %v though %v held no replica", id, old, now, dead)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("dead node held nothing; placement broken")
+	}
+	if moved == len(before) {
+		t.Error("every doc moved; ring reassignment not incremental")
 	}
 }
 
@@ -195,14 +258,16 @@ func TestHandleNodeFailureRepairs(t *testing.T) {
 	nodes := []fabric.NodeID{dataNode(1), dataNode(2), dataNode(3)}
 	ma := newMapAccess(nodes...)
 	sm := NewStorageManager(DefaultPolicy(), ma)
+	sm.SetDataNodes(nodes)
 
-	// Place 10 user docs; write them into the map store accordingly.
-	for i := uint64(1); i <= 10; i++ {
+	// Place 50 user docs; write them into the map store accordingly.
+	for i := uint64(1); i <= 50; i++ {
 		d := mkDoc(i)
-		targets, err := sm.PlaceNew(d.ID, ClassUser, nodes)
+		targets, err := sm.PlaceDoc(d.ID, ClassUser)
 		if err != nil {
 			t.Fatal(err)
 		}
+		sm.Register(d.ID, ClassUser)
 		for _, n := range targets {
 			ma.put(n, d)
 		}
@@ -224,7 +289,7 @@ func TestHandleNodeFailureRepairs(t *testing.T) {
 		t.Errorf("unrepaired = %d", sm.Unrepaired)
 	}
 	// Every doc is back at RF=2 on alive nodes only.
-	for i := uint64(1); i <= 10; i++ {
+	for i := uint64(1); i <= 50; i++ {
 		id := docmodel.DocID{Origin: 1, Seq: i}
 		holders := sm.Holders(id)
 		if len(holders) != 2 {
@@ -248,11 +313,22 @@ func TestHandleNodeFailureDerivedDataLost(t *testing.T) {
 	nodes := []fabric.NodeID{dataNode(1), dataNode(2)}
 	ma := newMapAccess(nodes...)
 	sm := NewStorageManager(DefaultPolicy(), ma)
+	sm.SetDataNodes(nodes)
 	d := mkDoc(1)
-	targets, _ := sm.PlaceNew(d.ID, ClassDerived, nodes) // RF=1
+	targets, err := sm.PlaceDoc(d.ID, ClassDerived) // RF=1
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.Register(d.ID, ClassDerived)
 	ma.put(targets[0], d)
 
-	repaired, err := sm.HandleNodeFailure(targets[0], []fabric.NodeID{dataNode(2)})
+	var survivor fabric.NodeID
+	for _, n := range nodes {
+		if n != targets[0] {
+			survivor = n
+		}
+	}
+	repaired, err := sm.HandleNodeFailure(targets[0], []fabric.NodeID{survivor})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,29 +338,49 @@ func TestHandleNodeFailureDerivedDataLost(t *testing.T) {
 	if sm.Unrepaired != 1 {
 		t.Errorf("unrepaired = %d, want 1 (recreatable loss)", sm.Unrepaired)
 	}
+	if len(sm.UnderReplicated(1)) != 1 {
+		t.Errorf("lost doc must be reported under-replicated")
+	}
 }
 
 func TestHandleFailureCopiesAllVersions(t *testing.T) {
 	nodes := []fabric.NodeID{dataNode(1), dataNode(2), dataNode(3)}
 	ma := newMapAccess(nodes...)
 	sm := NewStorageManager(DefaultPolicy(), ma)
+	sm.SetDataNodes(nodes)
 	d1 := mkDoc(1)
 	d2 := mkDoc(1)
 	d2.Version = 2
-	sm.Register(d1.ID, ClassUser, dataNode(1), dataNode(2))
-	ma.put(dataNode(1), d1)
-	ma.put(dataNode(1), d2)
-	ma.put(dataNode(2), d1)
-	ma.put(dataNode(2), d2)
-
-	if _, err := sm.HandleNodeFailure(dataNode(1), []fabric.NodeID{dataNode(2), dataNode(3)}); err != nil {
-		t.Fatal(err)
-	}
-	vs, err := ma.FetchVersions(dataNode(3), d1.ID)
+	targets, err := sm.PlaceDoc(d1.ID, ClassUser)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(vs) != 2 {
-		t.Errorf("versions copied = %d, want 2 (audit history preserved)", len(vs))
+	sm.Register(d1.ID, ClassUser)
+	for _, n := range targets {
+		ma.put(n, d1)
+		ma.put(n, d2)
+	}
+	dead := targets[0]
+	var alive []fabric.NodeID
+	for _, n := range nodes {
+		if n != dead {
+			alive = append(alive, n)
+		}
+	}
+	if _, err := sm.HandleNodeFailure(dead, alive); err != nil {
+		t.Fatal(err)
+	}
+	holders := sm.Holders(d1.ID)
+	if len(holders) != 2 {
+		t.Fatalf("holders after repair = %v", holders)
+	}
+	for _, h := range holders {
+		vs, err := ma.FetchVersions(h, d1.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vs) != 2 {
+			t.Errorf("versions on %v = %d, want 2 (audit history preserved)", h, len(vs))
+		}
 	}
 }
