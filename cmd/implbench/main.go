@@ -8,9 +8,15 @@
 //
 //	implbench            # run everything
 //	implbench E3 E7      # run selected experiments
+//	implbench -json E17  # machine-readable per-scenario results on stdout
+//
+// With -json the human narrative is suppressed and stdout carries one
+// JSON array of {id, name, seconds, metrics} records — the format the
+// BENCH_*.json trajectories and the CI smoke step consume.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 	"os"
@@ -42,42 +48,89 @@ const (
 type experiment struct {
 	id   string
 	name string
-	run  func()
+	// run executes the scenario and returns its machine-readable metrics
+	// (nil for narrative-only experiments).
+	run func() map[string]float64
+}
+
+// plain adapts a narrative-only experiment to the metrics signature.
+func plain(f func()) func() map[string]float64 {
+	return func() map[string]float64 {
+		f()
+		return nil
+	}
+}
+
+// scenarioResult is one -json output record.
+type scenarioResult struct {
+	ID      string             `json:"id"`
+	Name    string             `json:"name"`
+	Seconds float64            `json:"seconds"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
 	log.SetFlags(0)
 	experiments := []experiment{
-		{"E1", "Figure 1: end-to-end pipeline & annotation uplift", e1},
-		{"E2", "Figure 2: view round trips", e2},
-		{"E3", "Figure 3: scale-out over data nodes", e3},
-		{"E4", "independent grid-node scaling", e4},
-		{"E5", "scheduler affinity vs random placement", e5},
-		{"E6", "Figure 4: system comparison battery", e6},
-		{"E7", "simple planner predictability vs cost-based", e7},
-		{"E8", "top-k join method crossover", e8},
-		{"E9", "pushdown data reduction", e9},
-		{"E10", "async vs sync ingestion", e10},
-		{"E11", "priority interleaving vs FIFO", e11},
-		{"E12", "versioned async updates vs sync replication", e12},
-		{"E13", "data-node failure recovery", e13},
-		{"E14", "connection queries with/without join indexes", e14},
-		{"E15", "compression pushdown", e15},
-		{"E16", "adaptive filter reordering", e16},
+		{"E1", "Figure 1: end-to-end pipeline & annotation uplift", plain(e1)},
+		{"E2", "Figure 2: view round trips", plain(e2)},
+		{"E3", "Figure 3: scale-out over data nodes", plain(e3)},
+		{"E4", "independent grid-node scaling", plain(e4)},
+		{"E5", "scheduler affinity vs random placement", plain(e5)},
+		{"E6", "Figure 4: system comparison battery", plain(e6)},
+		{"E7", "simple planner predictability vs cost-based", plain(e7)},
+		{"E8", "top-k join method crossover", plain(e8)},
+		{"E9", "pushdown data reduction", plain(e9)},
+		{"E10", "async vs sync ingestion", plain(e10)},
+		{"E11", "priority interleaving vs FIFO", plain(e11)},
+		{"E12", "versioned async updates vs sync replication", plain(e12)},
+		{"E13", "data-node failure recovery", plain(e13)},
+		{"E14", "connection queries with/without join indexes", plain(e14)},
+		{"E15", "compression pushdown", plain(e15)},
+		{"E16", "adaptive filter reordering", plain(e16)},
 		{"E17", "point-lookup routing over the partition ring", e17},
+		{"E18", "elastic membership: node re-join under load", e18},
 	}
+	jsonOut := false
 	want := map[string]bool{}
 	for _, a := range os.Args[1:] {
+		if a == "-json" || a == "--json" {
+			jsonOut = true
+			continue
+		}
 		want[strings.ToUpper(a)] = true
 	}
+	realStdout := os.Stdout
+	if jsonOut {
+		// The narrative goes to the bit bucket; stdout carries only the
+		// JSON records so callers can pipe it straight into a file.
+		devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout = devnull
+		defer func() { os.Stdout = realStdout }()
+	}
+	var results []scenarioResult
 	for _, ex := range experiments {
 		if len(want) > 0 && !want[ex.id] {
 			continue
 		}
 		fmt.Printf("\n===== %s: %s =====\n", ex.id, ex.name)
 		start := time.Now()
-		ex.run()
-		fmt.Printf("----- %s done in %v\n", ex.id, time.Since(start).Round(time.Millisecond))
+		metrics := ex.run()
+		elapsed := time.Since(start)
+		fmt.Printf("----- %s done in %v\n", ex.id, elapsed.Round(time.Millisecond))
+		results = append(results, scenarioResult{
+			ID: ex.id, Name: ex.name, Seconds: elapsed.Seconds(), Metrics: metrics,
+		})
+	}
+	if jsonOut {
+		enc := json.NewEncoder(realStdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 
@@ -706,7 +759,7 @@ func e13() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	under := len(eng.StorageManager().UnderReplicated(3))
+	under := len(eng.StorageManager().UnderReplicated())
 	fmt.Printf("docs visible: before=%d during-failure=%d after-recovery=%d (want %d throughout)\n",
 		len(baseline.Rows), len(during.Rows), len(after.Rows), n)
 	fmt.Printf("replicas repaired: %d in %v; under-replicated after: %d\n",
@@ -834,8 +887,9 @@ func e16() {
 // owning node — where a broadcast design would pay one probe per data
 // node. Keyword search is shown alongside as the semantically required
 // fan-out for contrast.
-func e17() {
+func e17() map[string]float64 {
 	const docs, lookups = 1000, 500
+	metrics := map[string]float64{}
 	fmt.Printf("%-10s %16s %16s %20s\n", "dataNodes", "get msgs/op", "get bytes/op", "search msgs/op")
 	for _, n := range []int{4, 8, 16} {
 		app := mustOpen(func(c *impliance.Config) { c.DataNodes = n })
@@ -872,10 +926,99 @@ func e17() {
 			float64(getNet.Messages)/lookups,
 			float64(getNet.Bytes)/lookups,
 			float64(searchNet.Messages)/searches)
+		metrics[fmt.Sprintf("get_msgs_per_op_%dn", n)] = float64(getNet.Messages) / lookups
+		metrics[fmt.Sprintf("search_msgs_per_op_%dn", n)] = float64(searchNet.Messages) / searches
 		app.Close()
 	}
 	fmt.Println("shape: point lookups cost O(1) messages regardless of cluster size (routed, not broadcast);")
 	fmt.Println("       keyword search still probes every node's index — fan-out only where semantics demand it")
+	return metrics
+}
+
+// ---------------------------------------------------------------- E18
+
+// e18 measures elastic ring membership: a data node is killed and
+// recovered off the ring mid-workload, then revived and re-joined via
+// the heartbeat while point lookups keep running. The deliverables are
+// the data-movement bill of the join (documents copied vs corpus size —
+// consistent hashing moves only the new node's share) and point-op
+// availability through the dual-ownership window (zero Get misses: reads
+// route to old owners until each partition's catch-up watermark closes).
+func e18() map[string]float64 {
+	const docs, outageDocs = 800, 200
+	app := mustOpen(func(c *impliance.Config) { c.DataNodes = 5 })
+	defer app.Close()
+	g := workload.New(18)
+	var ids []impliance.DocID
+	for _, it := range g.UniformRows(docs, 1000, 10, 6) {
+		id, err := app.Ingest(impliance.Item{Body: it.Body, MediaType: it.MediaType, Source: it.Source})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	app.Drain()
+	eng := app.Engine()
+
+	// Outage: the node dies, the heartbeat removes it from the ring, and
+	// the workload keeps writing while it is gone.
+	dead := eng.DataNodeIDs()[1]
+	eng.Fabric().Kill(dead)
+	eng.HeartbeatTick()
+	for _, it := range g.UniformRows(outageDocs, 1000, 10, 6) {
+		id, err := app.Ingest(impliance.Item{Body: it.Body, MediaType: it.MediaType, Source: it.Source})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	app.Drain()
+
+	// Re-join: revive and let the heartbeat promote the node back onto
+	// the ring; catch-up runs in the background while Gets continue.
+	eng.Fabric().Revive(dead)
+	eng.HeartbeatTick()
+	sm := eng.StorageManager()
+	windows := sm.HandoffPending()
+	gets, misses := 0, 0
+	for round := 0; sm.HandoffPending() > 0 && round < 200; round++ {
+		for i := 0; i < 25; i++ {
+			if _, err := app.Get(ids[(gets*13)%len(ids)]); err != nil {
+				misses++
+			}
+			gets++
+		}
+	}
+	app.Drain()
+	// Post-join: every document reachable, the node primary again.
+	finalMisses := 0
+	rejoinedPrimaries := 0
+	for _, id := range ids {
+		if _, err := app.Get(id); err != nil {
+			finalMisses++
+		}
+		if h := sm.Holders(id); len(h) > 0 && h[0] == dead {
+			rejoinedPrimaries++
+		}
+	}
+	moved := sm.Repaired // replicas created by recovery + join catch-up
+	fmt.Printf("corpus %d docs over 5 nodes; node %s killed, recovered, revived, re-joined\n", len(ids), dead)
+	fmt.Printf("hand-off windows opened: %d; gets during window: %d, misses: %d\n", windows, gets, misses)
+	fmt.Printf("replicas moved (recovery+join): %d; re-joined node primary for %d/%d docs; final misses: %d\n",
+		moved, rejoinedPrimaries, len(ids), finalMisses)
+	fmt.Println("shape: membership is elastic — the ring grows back with background data movement only for")
+	fmt.Println("       the joining node's share, and the dual-ownership window keeps point ops at 100%")
+	return map[string]float64{
+		"corpus_docs":         float64(len(ids)),
+		"handoff_windows":     float64(windows),
+		"gets_during_window":  float64(gets),
+		"get_misses":          float64(misses),
+		"final_get_misses":    float64(finalMisses),
+		"replicas_moved":      float64(moved),
+		"rejoined_primaries":  float64(rejoinedPrimaries),
+		"under_replicated":    float64(len(sm.UnderReplicated())),
+		"pending_after_drain": float64(sm.HandoffPending()),
+	}
 }
 
 func max(a, b int) int {

@@ -195,19 +195,35 @@ func (e *Engine) SchemaFamilies() []discovery.SchemaFamily {
 
 // HeartbeatTick advances the consistency group one round (experiments
 // drive time explicitly). Evicted cluster nodes trigger broker
-// replacement requests and lock eviction; dead data nodes still on the
-// partition ring are recovered — membership-driven partition
-// reassignment, the heartbeat half of paper §3.4's autonomic repair.
+// replacement requests and lock eviction. Data-node membership is driven
+// both ways — the two halves of paper §3.4's autonomic repair:
+//
+//   - a dead (or write-missing, quarantined) data node still on the
+//     partition ring is recovered: ring removal + partition reassignment;
+//   - an alive data node *off* the ring — a recovered node the previous
+//     ticks quarantined and removed, or a freshly added one — is promoted
+//     back on via JoinDataNode, which opens dual-ownership hand-off
+//     windows and schedules background catch-up instead of quarantining
+//     the node forever.
+//
+// A node takes at most one step per tick (recover this tick, re-join a
+// later one), so a flapping node never joins with unfilled gaps.
 func (e *Engine) HeartbeatTick() []fabric.NodeID {
 	evicted := e.group.Tick()
 	for range evicted {
 		e.locks.Evict("discovery")
 	}
-	for _, dn := range e.data {
-		if (!dn.node.Alive() || dn.dirty.Load()) && e.smgr.InRing(dn.node.ID) {
+	for _, dn := range e.dataNodes() {
+		switch {
+		case (!dn.node.Alive() || dn.dirty.Load()) && e.smgr.InRing(dn.node.ID):
 			_, _ = e.RecoverDataNode(dn.node.ID)
+		case dn.node.Alive() && !e.smgr.InRing(dn.node.ID):
+			_, _ = e.JoinDataNode(dn.node.ID)
 		}
 	}
+	// Re-attempt under-replicated documents each round: a repair target
+	// that was down (blocked) may be serving again by now.
+	e.smgr.RepairDegraded(e.eligibleDataIDs())
 	return evicted
 }
 
@@ -215,10 +231,12 @@ func (e *Engine) HeartbeatTick() []fabric.NodeID {
 // replaces the group member, the storage manager drops the node from the
 // partition ring — reassigning exactly its partitions to their ring
 // successors — and re-replicates the affected documents onto the owners
-// they gained; the new answering owners then re-index those documents.
-// Membership is monotonic: a revived node stays off the ring (and so
-// never answers again) until an explicit re-join, which elastic
-// membership work will add. Returns the number of repaired replicas.
+// they gained. The index catch-up (each affected document re-indexed on
+// its new answering owner) is scheduled as background work on the
+// execution pool, one task per affected partition, so recovery returns as
+// soon as the data itself is safe; DrainBackground fences the index debt.
+// A recovered node re-joins the ring through a later heartbeat tick's
+// JoinDataNode. Returns the number of repaired replicas.
 func (e *Engine) RecoverDataNode(dead fabric.NodeID) (int, error) {
 	affected := e.smgr.DocsOn(dead)
 	// Ask the broker for a replacement member; lacking spares/donors is
@@ -230,22 +248,23 @@ func (e *Engine) RecoverDataNode(dead fabric.NodeID) (int, error) {
 	if err != nil {
 		return repaired, err
 	}
-	// Each affected document's new answering owner re-indexes it if it
-	// was indexed on the dead node.
+	byPart := map[int][]docmodel.DocID{}
 	for _, id := range affected {
-		dn, err := e.primaryFor(id)
-		if err != nil {
-			continue
-		}
-		d, err := dn.store.Get(id)
-		if err != nil {
-			continue
-		}
-		dn.mu.Lock()
-		_, already := dn.indexedVer[id]
-		dn.mu.Unlock()
-		if !already {
-			dn.indexDoc(d)
+		p := e.smgr.PartitionOf(id)
+		byPart[p] = append(byPart[p], id)
+	}
+	for _, ids := range byPart {
+		ids := ids
+		e.pool.Submit(sched.Background, func() { e.reindexDocs(ids) })
+	}
+	// A failure during open hand-off windows re-armed them under fresh
+	// generations (the in-flight plans may miss owners the removal
+	// promoted); re-plan and schedule catch-up so every window closes
+	// with complete copies.
+	if replan := e.smgr.ReplanHandoffs(e.eligibleDataIDs()); replan != nil {
+		for _, pt := range replan.Partitions {
+			pt := pt
+			e.pool.Submit(sched.Background, func() { e.catchUpPartition(pt) })
 		}
 	}
 	return repaired, nil

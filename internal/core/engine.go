@@ -114,6 +114,12 @@ func (c *Config) Normalize() {
 // the storage manager's partition map (hash(DocID) → partition → owners),
 // so ownership moves with ring membership instead of being tracked in
 // per-node maps.
+// dataTopology is one immutable snapshot of the data-node set.
+type dataTopology struct {
+	list []*dataNode
+	byID map[fabric.NodeID]*dataNode
+}
+
 type dataNode struct {
 	node  *fabric.Node
 	store *storage.Store
@@ -133,9 +139,11 @@ type dataNode struct {
 type Engine struct {
 	cfg Config
 
-	fab     *fabric.Fabric
-	data    []*dataNode
-	byNode  map[fabric.NodeID]*dataNode
+	fab *fabric.Fabric
+	// topo is the data-node topology, replaced copy-on-write so that
+	// AddDataNode can grow the cluster while readers (point-op routing,
+	// fan-outs, background catch-up) hold lock-free snapshots.
+	topo    atomic.Pointer[dataTopology]
 	grids   []*fabric.Node
 	cluster []*fabric.Node
 
@@ -145,6 +153,15 @@ type Engine struct {
 	locks  *fabric.LockTable
 	broker *virt.Broker
 	smgr   *virt.StorageManager
+
+	// dataGroup is the data-role resource group; re-joining nodes are
+	// handed back to it (the broker removed them on failure).
+	dataGroup *virt.Group
+	// joinMu serializes membership additions (JoinDataNode/AddDataNode):
+	// two concurrent joins of the same node must not interleave the
+	// index purge with a completed join, or a live member's index would
+	// be wiped with nothing scheduled to rebuild it.
+	joinMu sync.Mutex
 
 	joinIdx  *discovery.JoinIndex
 	registry *annot.Registry
@@ -183,7 +200,6 @@ func Open(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:      cfg,
 		fab:      fabric.New(),
-		byNode:   map[fabric.NodeID]*dataNode{},
 		locks:    fabric.NewLockTable(),
 		broker:   virt.NewBroker(),
 		joinIdx:  discovery.NewJoinIndex(),
@@ -192,26 +208,14 @@ func Open(cfg Config) (*Engine, error) {
 		planner:  plan.NewPlanner(),
 		catalog:  query.NewCatalog(),
 	}
+	e.topo.Store(&dataTopology{byID: map[fabric.NodeID]*dataNode{}})
 
 	// Boot data nodes: fabric node + store + index each.
 	for i := 0; i < cfg.DataNodes; i++ {
-		n := e.fab.AddNode(fabric.Data)
-		dir := ""
-		if cfg.Dir != "" {
-			dir = filepath.Join(cfg.Dir, n.ID.String())
-		}
-		st, err := storage.Open(uint32(i+1), storage.Options{Dir: dir, Codec: cfg.Codec})
-		if err != nil {
+		if _, err := e.bootDataNode(uint32(i + 1)); err != nil {
 			e.fab.Close()
-			return nil, fmt.Errorf("core: boot %s: %w", n.ID, err)
+			return nil, err
 		}
-		dn := &dataNode{
-			node: n, store: st, ix: index.New(nil),
-			indexedVer: map[docmodel.DocID]*docmodel.Document{},
-		}
-		n.SetHandler(e.dataHandler(dn))
-		e.data = append(e.data, dn)
-		e.byNode[n.ID] = dn
 	}
 	// Grid nodes.
 	for i := 0; i < cfg.GridNodes; i++ {
@@ -231,7 +235,7 @@ func Open(cfg Config) (*Engine, error) {
 
 	// Virtualization: one group per role, registered with the broker.
 	dg := virt.NewGroup("data", virt.RoleData, 1)
-	for _, dn := range e.data {
+	for _, dn := range e.dataNodes() {
 		dg.Add(dn.node.ID)
 	}
 	gg := virt.NewGroup("grid", virt.RoleGrid, 1)
@@ -239,6 +243,7 @@ func Open(cfg Config) (*Engine, error) {
 		gg.Add(g.ID)
 	}
 	cg := virt.NewGroup("cluster", virt.RoleCluster, 1, members...)
+	e.dataGroup = dg
 	e.broker.AddGroup(dg)
 	e.broker.AddGroup(gg)
 	e.broker.AddGroup(cg)
@@ -271,7 +276,7 @@ func (e *Engine) Close() error {
 	e.mu.Unlock()
 	e.pool.Close()
 	var firstErr error
-	for _, dn := range e.data {
+	for _, dn := range e.dataNodes() {
 		if err := dn.store.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -302,10 +307,11 @@ func (e *Engine) Catalog() *query.Catalog { return e.catalog }
 // DataStoreStats exposes the i-th data node's store counters (experiment
 // instrumentation).
 func (e *Engine) DataStoreStats(i int) (puts, gets, scanned, raw, stored uint64) {
-	if i < 0 || i >= len(e.data) {
+	data := e.dataNodes()
+	if i < 0 || i >= len(data) {
 		return 0, 0, 0, 0, 0
 	}
-	return e.data[i].store.StatsSnapshot()
+	return data[i].store.StatsSnapshot()
 }
 
 // NodeHandledCounts returns, for every node of the kind, how many
@@ -322,10 +328,21 @@ func (e *Engine) NodeHandledCounts(kind fabric.NodeKind) map[string]uint64 {
 	return out
 }
 
+// dataNodes returns the current data-node snapshot (lock-free; the slice
+// is immutable — never mutate it).
+func (e *Engine) dataNodes() []*dataNode { return e.topo.Load().list }
+
+// dataNode resolves a data node by ID from the current snapshot.
+func (e *Engine) dataNode(id fabric.NodeID) (*dataNode, bool) {
+	dn, ok := e.topo.Load().byID[id]
+	return dn, ok
+}
+
 // DataNodeIDs lists the engine's data node IDs.
 func (e *Engine) DataNodeIDs() []fabric.NodeID {
-	out := make([]fabric.NodeID, len(e.data))
-	for i, dn := range e.data {
+	data := e.dataNodes()
+	out := make([]fabric.NodeID, len(data))
+	for i, dn := range data {
 		out[i] = dn.node.ID
 	}
 	return out
@@ -334,7 +351,7 @@ func (e *Engine) DataNodeIDs() []fabric.NodeID {
 // aliveData returns the alive data nodes.
 func (e *Engine) aliveData() []*dataNode {
 	var out []*dataNode
-	for _, dn := range e.data {
+	for _, dn := range e.dataNodes() {
 		if dn.node.Alive() {
 			out = append(out, dn)
 		}
@@ -347,12 +364,55 @@ func (e *Engine) aliveData() []*dataNode {
 // gaps must never propagate into freshly repaired replicas.
 func (e *Engine) eligibleDataIDs() []fabric.NodeID {
 	var out []fabric.NodeID
-	for _, dn := range e.data {
+	for _, dn := range e.dataNodes() {
 		if e.eligible(dn) {
 			out = append(out, dn.node.ID)
 		}
 	}
 	return out
+}
+
+// bootDataNode provisions one data node — fabric node, store, index,
+// handler — and registers it with the engine. origin seeds the store's
+// legacy ID allocator (engine-minted IDs use engineIDOrigin instead).
+func (e *Engine) bootDataNode(origin uint32) (*dataNode, error) {
+	n := e.fab.AddNode(fabric.Data)
+	dir := ""
+	if e.cfg.Dir != "" {
+		dir = filepath.Join(e.cfg.Dir, n.ID.String())
+	}
+	st, err := storage.Open(origin, storage.Options{Dir: dir, Codec: e.cfg.Codec})
+	if err != nil {
+		return nil, fmt.Errorf("core: boot %s: %w", n.ID, err)
+	}
+	dn := &dataNode{
+		node: n, store: st, ix: index.New(nil),
+		indexedVer: map[docmodel.DocID]*docmodel.Document{},
+	}
+	n.SetHandler(e.dataHandler(dn))
+	// Copy-on-write registration: readers keep their snapshot, the next
+	// load sees the grown topology. e.mu serializes writers and orders
+	// the publish against Close — a topology published after Close set
+	// the flag would hold a store Close never snapshots, so refuse and
+	// release the store instead.
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		_ = st.Close()
+		return nil, fmt.Errorf("core: boot %s: engine closed", n.ID)
+	}
+	old := e.topo.Load()
+	next := &dataTopology{
+		list: append(append([]*dataNode{}, old.list...), dn),
+		byID: make(map[fabric.NodeID]*dataNode, len(old.byID)+1),
+	}
+	for id, d := range old.byID {
+		next.byID[id] = d
+	}
+	next.byID[n.ID] = dn
+	e.topo.Store(next)
+	e.mu.Unlock()
+	return dn, nil
 }
 
 // engineIDOrigin is the Origin of engine-minted document IDs. It is
@@ -369,17 +429,14 @@ func (e *Engine) mintDocID() docmodel.DocID {
 // recoverFromStores rebuilds the volatile routing state a persistent
 // appliance needs after WAL replay: the ID allocator advances past every
 // recovered engine-minted ID, each recovered document is re-registered
-// with the storage manager, documents are migrated onto their current
-// ring owners (the reopened appliance may have a different data-node
-// count, which moves the hash placement), and each node re-indexes the
-// documents of its answering partitions. Data classes are not persisted
-// in the document header, so recovered annotations register as derived
-// and everything else as user data; routing is unaffected (holders are
-// owner-prefixes), only repair width can differ for regulatory data — a
-// persistence follow-up noted in ROADMAP.md.
+// with the storage manager under the data class persisted in its header
+// (so a restarted regulatory document repairs at RF3, not RF2), documents
+// are migrated onto their current ring owners (the reopened appliance may
+// have a different data-node count, which moves the hash placement), and
+// each node re-indexes the documents of its answering partitions.
 func (e *Engine) recoverFromStores() {
-	sources := make([]*storage.Store, 0, len(e.data))
-	for _, dn := range e.data {
+	sources := make([]*storage.Store, 0, len(e.dataNodes()))
+	for _, dn := range e.dataNodes() {
 		sources = append(sources, dn.store)
 	}
 	// A previous run may have had more data nodes: their WAL directories
@@ -403,8 +460,10 @@ func (e *Engine) recoverFromStores() {
 			}
 			if _, dup := seen[d.ID]; !dup {
 				seen[d.ID] = struct{}{}
-				class := virt.ClassUser
-				if d.IsAnnotation() {
+				class := virt.DataClass(d.Class)
+				if class == virt.ClassUser && d.IsAnnotation() {
+					// Legacy header without a class byte value: annotations
+					// are derived by construction.
 					class = virt.ClassDerived
 				}
 				e.smgr.Register(d.ID, class)
@@ -437,7 +496,7 @@ func (e *Engine) recoverFromStores() {
 			continue
 		}
 		for _, h := range e.smgr.Holders(id) {
-			dst, ok := e.byNode[h]
+			dst, ok := e.dataNode(h)
 			if !ok {
 				continue
 			}
@@ -458,7 +517,7 @@ func (e *Engine) recoverFromStores() {
 			}
 		}
 	}
-	for _, dn := range e.data {
+	for _, dn := range e.dataNodes() {
 		for _, id := range e.smgr.DocsInPartitions(e.answeringPartitions(dn)) {
 			d, err := dn.store.Get(id)
 			if err != nil {
@@ -491,7 +550,7 @@ func (e *Engine) openOrphanStores() []*storage.Store {
 		return nil
 	}
 	live := map[string]struct{}{}
-	for _, dn := range e.data {
+	for _, dn := range e.dataNodes() {
 		live[dn.node.ID.String()] = struct{}{}
 	}
 	var out []*storage.Store
@@ -523,9 +582,10 @@ func (e *Engine) routeNewDoc(id docmodel.DocID, class virt.DataClass) (primary *
 	if err != nil {
 		return nil, nil, err
 	}
+	e.smgr.RecordLoad(id)
 	for _, t := range targets {
 		if primary == nil {
-			if dn, ok := e.byNode[t]; ok && e.eligible(dn) {
+			if dn, ok := e.dataNode(t); ok && e.eligible(dn) {
 				primary = dn
 				continue
 			}
@@ -552,7 +612,7 @@ func (e *Engine) eligible(dn *dataNode) bool {
 // per-node owned maps.
 func (e *Engine) answeringPartitions(dn *dataNode) []bool {
 	alive := func(id fabric.NodeID) bool {
-		n, ok := e.byNode[id]
+		n, ok := e.dataNode(id)
 		return ok && e.eligible(n)
 	}
 	out := make([]bool, e.smgr.Partitions())
@@ -597,7 +657,7 @@ func (e *Engine) MetricsSnapshot() Metrics {
 		ClusterLeader: e.group.Leader(),
 	}
 	seen := map[docmodel.DocID]struct{}{}
-	for _, dn := range e.data {
+	for _, dn := range e.dataNodes() {
 		m.IndexedDocs += dn.ix.DocCount()
 		_, _, _, raw, stored := dn.store.StatsSnapshot()
 		m.RawBytes += raw

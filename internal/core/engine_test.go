@@ -29,6 +29,16 @@ func testEngine(t *testing.T, mutate ...func(*Config)) *Engine {
 	return e
 }
 
+// mustDataNode resolves a data node by ID or fails the test.
+func mustDataNode(t *testing.T, e *Engine, id fabric.NodeID) *dataNode {
+	t.Helper()
+	dn, ok := e.dataNode(id)
+	if !ok {
+		t.Fatalf("no data node %s", id)
+	}
+	return dn
+}
+
 func textItem(s, source string) Item {
 	return Item{
 		Body:      docmodel.Object(docmodel.F("text", docmodel.String(s))),
@@ -67,7 +77,7 @@ func TestIngestDistributesAcrossDataNodes(t *testing.T) {
 	}
 	e.DrainBackground()
 	perNode := 0
-	for _, dn := range e.data {
+	for _, dn := range e.dataNodes() {
 		if dn.store.Len() > 0 {
 			perNode++
 		}
@@ -110,7 +120,7 @@ func TestAsyncReplicaConvergence(t *testing.T) {
 		t.Fatalf("holders = %v", holders)
 	}
 	for _, h := range holders {
-		dn := e.byNode[h]
+		dn, _ := e.dataNode(h)
 		if _, err := dn.store.Get(id); err != nil {
 			t.Errorf("replica missing on %s: %v", h, err)
 		}
@@ -551,7 +561,7 @@ func TestDataNodeFailureRecovery(t *testing.T) {
 		ids = append(ids, id)
 	}
 	e.DrainBackground()
-	dead := e.data[0].node.ID
+	dead := e.dataNodes()[0].node.ID
 	e.fab.Kill(dead)
 	repaired, err := e.RecoverDataNode(dead)
 	if err != nil {
@@ -560,6 +570,9 @@ func TestDataNodeFailureRecovery(t *testing.T) {
 	if repaired == 0 {
 		t.Error("nothing repaired")
 	}
+	// Recovery schedules the index catch-up as background work; fence it
+	// before asserting search results.
+	e.DrainBackground()
 	// Every document remains readable and searchable.
 	for _, id := range ids {
 		if _, err := e.Get(id); err != nil {

@@ -282,6 +282,32 @@ func (dn *dataNode) indexDoc(d *docmodel.Document) {
 	dn.ix.Add(d)
 }
 
+// unindexDoc drops the node's index entry for the document, if any. Used
+// when ownership hands off to another node mid-membership-change.
+func (dn *dataNode) unindexDoc(id docmodel.DocID) {
+	dn.mu.Lock()
+	old := dn.indexedVer[id]
+	delete(dn.indexedVer, id)
+	dn.mu.Unlock()
+	if old != nil {
+		dn.ix.Remove(old)
+	}
+}
+
+// purgeIndex drops every index entry the node holds. A node re-joining
+// the ring purges first: entries from before its absence point at
+// documents whose ownership moved, and the moment the node is a ring
+// member again fan-outs would surface them as duplicates.
+func (dn *dataNode) purgeIndex() {
+	dn.mu.Lock()
+	old := dn.indexedVer
+	dn.indexedVer = map[docmodel.DocID]*docmodel.Document{}
+	dn.mu.Unlock()
+	for _, d := range old {
+		dn.ix.Remove(d)
+	}
+}
+
 // searchAllNodes fans a keyword search out to every alive data node and
 // merges ranked hits (paper §3.3's example: "a query can be parallelized
 // by performing full-text index search on a set of data nodes").
@@ -332,8 +358,8 @@ func hitLess(a, b index.Hit) bool {
 // entries whose ownership moved, and fanning them in would double-count
 // facets and surface stale index answers.
 func (e *Engine) fanOutData(kind string, payloadFor func(*dataNode) []byte) ([][]byte, error) {
-	alive := make([]*dataNode, 0, len(e.data))
-	for _, dn := range e.data {
+	alive := make([]*dataNode, 0, len(e.dataNodes()))
+	for _, dn := range e.dataNodes() {
 		if dn.node.Alive() && e.smgr.InRing(dn.node.ID) {
 			alive = append(alive, dn)
 		}

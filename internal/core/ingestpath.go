@@ -41,6 +41,7 @@ func (e *Engine) Ingest(item Item) (docmodel.DocID, error) {
 		Source:     item.Source,
 		IngestedAt: e.now(),
 		Root:       item.Body,
+		Class:      uint8(item.Class),
 	}
 	stored, err := e.putOn(primary, doc)
 	if err != nil {
@@ -84,11 +85,13 @@ func (e *Engine) Update(id docmodel.DocID, newBody docmodel.Value) (docmodel.Ver
 	if err != nil {
 		return docmodel.VersionKey{}, err
 	}
-	// Replicate the new version to the other holders.
-	holders := e.smgr.Holders(id)
+	// Replicate the new version to the other *write* holders — both sides
+	// of a dual-ownership window, so a mid-hand-off update reaches the
+	// owners the document is moving onto as well.
+	holders := e.smgr.WriteHolders(id)
 	var otherNodes []*dataNode
 	for _, h := range holders {
-		if dn, ok := e.byNode[h]; ok && dn != primary {
+		if dn, ok := e.dataNode(h); ok && dn != primary {
 			otherNodes = append(otherNodes, dn)
 		}
 	}
@@ -112,7 +115,7 @@ func (e *Engine) putOn(dn *dataNode, doc *docmodel.Document) (*docmodel.Document
 func (e *Engine) replicate(stored *docmodel.Document, targets []fabric.NodeID) {
 	var nodes []*dataNode
 	for _, t := range targets {
-		if dn, ok := e.byNode[t]; ok {
+		if dn, ok := e.dataNode(t); ok {
 			nodes = append(nodes, dn)
 		}
 	}
@@ -152,7 +155,10 @@ func (e *Engine) replicateTo(stored *docmodel.Document, nodes []*dataNode) {
 // observation, ref edges, annotation.
 func (e *Engine) postIngest(primary *dataNode, stored *docmodel.Document) {
 	work := func() {
-		primary.indexDoc(stored)
+		// Index on the long-term owner (the post-hand-off answering node
+		// during a membership change), not necessarily the node that took
+		// the write — keeps each document indexed on exactly one node.
+		e.indexTargetFor(stored.ID, primary).indexDoc(stored)
 		e.shapesMu.Lock()
 		e.shapes.Observe(stored)
 		e.shapesMu.Unlock()
@@ -175,6 +181,7 @@ func (e *Engine) annotate(base *docmodel.Document) {
 	for _, ann := range e.registry.Run(base) {
 		ann.ID = e.mintDocID()
 		ann.IngestedAt = e.now()
+		ann.Class = uint8(virt.ClassDerived)
 		owner, others, err := e.routeNewDoc(ann.ID, virt.ClassDerived)
 		if err != nil {
 			continue
@@ -185,7 +192,7 @@ func (e *Engine) annotate(base *docmodel.Document) {
 		}
 		e.smgr.Register(stored.ID, virt.ClassDerived)
 		e.replicate(stored, others)
-		owner.indexDoc(stored)
+		e.indexTargetFor(stored.ID, owner).indexDoc(stored)
 		discovery.BuildRefEdges(e.joinIdx, stored)
 	}
 }
@@ -221,14 +228,25 @@ func (e *Engine) VersionCount(id docmodel.DocID) int {
 	return dn.store.VersionCount(id)
 }
 
-// primaryFor returns the first alive holder of the document.
+// primaryFor returns the first alive holder of the document (the
+// read-side holder set during a hand-off window), charging the point
+// operation to the document's partition load counter — the skew signal
+// RebalanceOnSkew consumes.
 func (e *Engine) primaryFor(id docmodel.DocID) (*dataNode, error) {
+	e.smgr.RecordLoad(id)
+	return e.readHolderFor(id)
+}
+
+// readHolderFor resolves the first alive read-side holder without
+// touching the load counters — internal traffic (index catch-up, repair)
+// resolves through this so repair work never skews the rebalance signal.
+func (e *Engine) readHolderFor(id docmodel.DocID) (*dataNode, error) {
 	holders := e.smgr.Holders(id)
 	if len(holders) == 0 {
 		return nil, fmt.Errorf("core: unknown document %s", id)
 	}
 	for _, h := range holders {
-		if dn, ok := e.byNode[h]; ok && e.eligible(dn) {
+		if dn, ok := e.dataNode(h); ok && e.eligible(dn) {
 			return dn, nil
 		}
 	}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"impliance/internal/discovery"
+	"impliance/internal/docmodel"
+	"impliance/internal/fabric"
+	"impliance/internal/sched"
+	"impliance/internal/virt"
+)
+
+// Elastic ring membership (paper §3.4: the appliance absorbs hardware
+// coming and going without operator-visible data movement). A node
+// addition — a revived node re-joining after recovery removed it, or a
+// freshly provisioned node — opens per-partition dual-ownership windows:
+// reads keep routing to the pre-join owners (whose data is complete)
+// while writes cover both sides, and background catch-up work copies the
+// moved documents, hands the index over, and closes each partition's
+// window as its watermark is reached. Point operations therefore see
+// zero misses while the ring grows.
+
+// JoinDataNode adds the data node (back) onto the partition ring and
+// schedules the resulting hand-off as background work on the execution
+// pool, one task per affected partition. It returns immediately with the
+// number of document copies scheduled; DrainBackground (or watching
+// StorageManager().HandoffPending()) observes completion. Joining a node
+// that is already a ring member is a no-op.
+func (e *Engine) JoinDataNode(id fabric.NodeID) (int, error) {
+	e.joinMu.Lock()
+	defer e.joinMu.Unlock()
+	return e.joinDataNodeLocked(id)
+}
+
+// joinDataNodeLocked is JoinDataNode's body; the caller holds e.joinMu.
+func (e *Engine) joinDataNodeLocked(id fabric.NodeID) (int, error) {
+	dn, ok := e.dataNode(id)
+	if !ok {
+		return 0, fmt.Errorf("core: %s is not a data node", id)
+	}
+	if !dn.node.Alive() {
+		return 0, fmt.Errorf("core: %s is down", id)
+	}
+	if e.smgr.InRing(id) {
+		return 0, nil
+	}
+	// The node may have been off the ring for a while: its index still
+	// holds entries for documents whose ownership moved elsewhere, and
+	// fan-outs will include the node again the moment it is a member.
+	// Purge before joining; catch-up re-indexes what it answers for.
+	dn.purgeIndex()
+	// The quarantine flag is moot from here on: reads only route to the
+	// node after its partition's hand-off completes, and by then catch-up
+	// has filled every gap the node accumulated while dead.
+	dn.dirty.Store(false)
+	plan, err := e.smgr.JoinNode(id, e.eligibleDataIDs())
+	if err != nil || plan == nil {
+		return 0, err
+	}
+	e.dataGroup.Add(id)
+	moved := plan.MoveCount()
+	for _, pt := range plan.Partitions {
+		pt := pt
+		e.pool.Submit(sched.Background, func() { e.catchUpPartition(pt) })
+	}
+	return moved, nil
+}
+
+// AddDataNode provisions an entirely new data node at runtime — fabric
+// node, store, index — and joins it to the ring through the same
+// dual-ownership hand-off a re-join uses. Returns the new node's ID and
+// the number of document copies scheduled. Serialized with other
+// membership additions, so concurrent calls can neither duplicate store
+// origins nor race a heartbeat-driven join of the half-published node;
+// the topology publish itself refuses after Close (bootDataNode).
+func (e *Engine) AddDataNode() (fabric.NodeID, int, error) {
+	e.joinMu.Lock()
+	defer e.joinMu.Unlock()
+	dn, err := e.bootDataNode(uint32(len(e.dataNodes()) + 1))
+	if err != nil {
+		return fabric.NodeID{}, 0, err
+	}
+	moved, err := e.joinDataNodeLocked(dn.node.ID)
+	return dn.node.ID, moved, err
+}
+
+// catchUpPartition is one partition's background hand-off: copy the
+// planned document versions onto the owners the membership change added,
+// hand the index (and join-edge state) over to the new answering owner,
+// then close the partition's dual-ownership window — the per-partition
+// catch-up watermark. Until the close, reads keep routing to the old
+// owners, so the hand-off is invisible to point operations.
+func (e *Engine) catchUpPartition(pt virt.PartitionTransfer) {
+	e.smgr.ExecuteMoves(pt)
+
+	// Index hand-over: the partition's post-hand-off answering owner
+	// indexes every registered document; other nodes drop their entries
+	// (add before remove, so searches and facets never miss mid-swap).
+	var answer *dataNode
+	for _, n := range pt.NewOwners {
+		if dn, ok := e.dataNode(n); ok && e.eligible(dn) {
+			answer = dn
+			break
+		}
+	}
+	if answer != nil {
+		for _, id := range e.smgr.DocsInPartition(pt.Partition) {
+			d, err := answer.store.Get(id)
+			if err != nil {
+				continue // not caught up (e.g. unrepairable); leave the index alone
+			}
+			answer.indexDoc(d)
+			for _, other := range e.dataNodes() {
+				if other != answer {
+					other.unindexDoc(id)
+				}
+			}
+			// Replay discovery state for the moved document: edge insertion
+			// is idempotent, so re-deriving reference edges on the new owner
+			// is safe and covers edges a dead node never contributed.
+			discovery.BuildRefEdges(e.joinIdx, d)
+		}
+	}
+	e.smgr.CompleteHandoff(pt)
+}
+
+// reindexDocs makes each document's current answering owner index it if
+// no longer indexed there — the background half of failure recovery
+// (ownership moved off the dead node; the successors' stores already
+// hold replicas, only the index lags).
+func (e *Engine) reindexDocs(ids []docmodel.DocID) {
+	for _, id := range ids {
+		dn, err := e.readHolderFor(id)
+		if err != nil {
+			continue
+		}
+		d, err := dn.store.Get(id)
+		if err != nil {
+			continue
+		}
+		dn.mu.Lock()
+		_, already := dn.indexedVer[id]
+		dn.mu.Unlock()
+		if !already {
+			dn.indexDoc(d)
+		}
+	}
+}
+
+// RebalanceSkewThreshold is the hottest-node-to-mean load ratio above
+// which RebalanceOnSkew sheds ring weight from the hottest node.
+const RebalanceSkewThreshold = 2.0
+
+// RebalanceOnSkew runs one skew-aware rebalance pass: per-partition
+// point-op load counters are folded onto their answering primaries, and
+// when the hottest node carries more than RebalanceSkewThreshold× the
+// mean, a quarter of its ring weight (vnode count) is shed. The resulting
+// partition moves execute through the same dual-ownership hand-off
+// machinery a join uses, so rebalancing is equally invisible to point
+// operations. Returns the number of document copies scheduled and whether
+// an adjustment was made.
+func (e *Engine) RebalanceOnSkew() (int, bool) {
+	plan := e.smgr.PlanRebalance(RebalanceSkewThreshold, e.eligibleDataIDs())
+	if plan == nil {
+		return 0, false
+	}
+	moved := plan.MoveCount()
+	for _, pt := range plan.Partitions {
+		pt := pt
+		e.pool.Submit(sched.Background, func() { e.catchUpPartition(pt) })
+	}
+	return moved, true
+}
+
+// indexTargetFor returns the node that should hold a new document
+// version's index entry: the first eligible holder under the current
+// (post-hand-off) partition map, or the fallback when none is eligible.
+// During a hand-off window this is the long-term owner — indexing there
+// directly saves the catch-up pass a hand-over and keeps the "each
+// document indexed on exactly one node" invariant that facet counting
+// relies on.
+func (e *Engine) indexTargetFor(id docmodel.DocID, fallback *dataNode) *dataNode {
+	for _, h := range e.smgr.TargetHolders(id) {
+		if dn, ok := e.dataNode(h); ok && e.eligible(dn) {
+			return dn
+		}
+	}
+	return fallback
+}

@@ -14,7 +14,7 @@ import (
 // handledByNode snapshots each data node's handled-message counter.
 func handledByNode(e *Engine) map[fabric.NodeID]uint64 {
 	out := map[fabric.NodeID]uint64{}
-	for _, dn := range e.data {
+	for _, dn := range e.dataNodes() {
 		_, _, handled := dn.node.Stats()
 		out[dn.node.ID] = handled
 	}
@@ -24,7 +24,7 @@ func handledByNode(e *Engine) map[fabric.NodeID]uint64 {
 // touchedSince lists the data nodes whose handled counter moved.
 func touchedSince(e *Engine, before map[fabric.NodeID]uint64) []fabric.NodeID {
 	var out []fabric.NodeID
-	for _, dn := range e.data {
+	for _, dn := range e.dataNodes() {
 		_, _, handled := dn.node.Stats()
 		if handled > before[dn.node.ID] {
 			out = append(out, dn.node.ID)
@@ -115,8 +115,8 @@ func TestFetchByIDGroupsPerOwner(t *testing.T) {
 		t.Fatalf("fetched %d/%d", len(docs), len(ids))
 	}
 	// At most one get-batch call (plus reply) per data node.
-	if msgs := e.fab.NetStats().Messages; msgs > uint64(2*len(e.data)) {
-		t.Errorf("fetchByID moved %d messages for %d nodes", msgs, len(e.data))
+	if msgs := e.fab.NetStats().Messages; msgs > uint64(2*len(e.dataNodes())) {
+		t.Errorf("fetchByID moved %d messages for %d nodes", msgs, len(e.dataNodes()))
 	}
 }
 
@@ -138,7 +138,7 @@ func TestReplicaSetsStableUnderUnrelatedFailure(t *testing.T) {
 	for _, id := range ids {
 		before[id] = e.smgr.Holders(id)
 	}
-	dead := e.data[2].node.ID
+	dead := e.dataNodes()[2].node.ID
 	e.fab.Kill(dead)
 	if _, err := e.RecoverDataNode(dead); err != nil {
 		t.Fatal(err)
@@ -185,7 +185,7 @@ func TestHeartbeatTickReassignsDeadDataNode(t *testing.T) {
 		ids = append(ids, id)
 	}
 	e.DrainBackground()
-	dead := e.data[0].node.ID
+	dead := e.dataNodes()[0].node.ID
 	e.fab.Kill(dead)
 	if !e.smgr.InRing(dead) {
 		t.Fatal("node should be on the ring before the tick")
@@ -225,7 +225,7 @@ func TestDerivedReplicationFollowsPolicy(t *testing.T) {
 			t.Fatalf("annotation %s holders = %v, want RF 2", ann.ID, holders)
 		}
 		for _, h := range holders {
-			if _, err := e.byNode[h].store.Get(ann.ID); err != nil {
+			if _, err := mustDataNode(t, e, h).store.Get(ann.ID); err != nil {
 				t.Errorf("annotation %s replica missing on %s: %v", ann.ID, h, err)
 			}
 		}
@@ -340,7 +340,7 @@ func TestRevivedNodeQuarantinedUntilRecovery(t *testing.T) {
 	}
 	e.DrainBackground()
 
-	victim := e.data[1]
+	victim := e.dataNodes()[1]
 	e.fab.Kill(victim.node.ID)
 	for i := 0; i < 20; i++ {
 		id, err := e.Ingest(textItem(fmt.Sprintf("during outage %d", i), "u"))
@@ -398,9 +398,10 @@ func TestFacetsDoNotDoubleCountAfterRevival(t *testing.T) {
 		}
 	}
 	e.DrainBackground()
-	victim := e.data[0].node.ID
+	victim := e.dataNodes()[0].node.ID
 	e.fab.Kill(victim)
-	e.HeartbeatTick() // ring removal + re-index on new owners
+	e.HeartbeatTick()   // ring removal + background re-index on new owners
+	e.DrainBackground() // fence the index catch-up
 	e.fab.Revive(victim)
 
 	res, err := e.Facets(query.FacetRequest{Keyword: "facet", Dimensions: []string{"/kind"}})
@@ -423,6 +424,376 @@ func TestFacetsDoNotDoubleCountAfterRevival(t *testing.T) {
 	}
 	if len(rows) != n {
 		t.Errorf("search after revival = %d/%d", len(rows), n)
+	}
+}
+
+// TestRejoinServesPointOpsWithZeroMisses is the elastic-membership
+// acceptance check: a node removed by HandleNodeFailure and then revived
+// re-joins the ring on the next heartbeat tick, point operations see zero
+// Get misses during the dual-ownership window (reads route to old owners
+// until each partition's catch-up watermark closes), and afterwards the
+// node serves point ops again with no double-counted search or facets.
+func TestRejoinServesPointOpsWithZeroMisses(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 4 })
+	var ids []docmodel.DocID
+	for i := 0; i < 50; i++ {
+		id, err := e.Ingest(textItem(fmt.Sprintf("elastic doc %d", i), "u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.DrainBackground()
+
+	victim := e.dataNodes()[1]
+	e.fab.Kill(victim.node.ID)
+	// The workload continues through the outage; the victim misses
+	// replica writes and is quarantined.
+	for i := 0; i < 30; i++ {
+		id, err := e.Ingest(textItem(fmt.Sprintf("outage doc %d", i), "u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.DrainBackground()
+	e.HeartbeatTick() // dead node: ring removal + repair
+	e.DrainBackground()
+	if e.smgr.InRing(victim.node.ID) {
+		t.Fatal("dead node still on the ring")
+	}
+
+	e.fab.Revive(victim.node.ID)
+	e.HeartbeatTick() // revived node: re-join with background catch-up
+	if !e.smgr.InRing(victim.node.ID) {
+		t.Fatal("revived node did not re-join the ring on the heartbeat tick")
+	}
+	// Zero Get misses during the dual-ownership window: catch-up tasks
+	// are racing these reads on the background pool.
+	for _, id := range ids {
+		if _, err := e.Get(id); err != nil {
+			t.Errorf("Get(%s) missed during the hand-off window: %v", id, err)
+		}
+	}
+	e.DrainBackground()
+	if pending := e.smgr.HandoffPending(); pending != 0 {
+		t.Fatalf("%d hand-off windows still open after drain", pending)
+	}
+
+	// The re-joined node serves point ops again: it is the read primary
+	// for a share of the corpus, and routed Gets reach it.
+	_, _, handledBefore := victim.node.Stats()
+	primaries := 0
+	for _, id := range ids {
+		holders := e.smgr.Holders(id)
+		if len(holders) > 0 && holders[0] == victim.node.ID {
+			primaries++
+			if _, err := e.Get(id); err != nil {
+				t.Errorf("Get(%s) via re-joined primary failed: %v", id, err)
+			}
+		}
+	}
+	if primaries == 0 {
+		t.Fatal("re-joined node is primary for nothing")
+	}
+	if _, _, handled := victim.node.Stats(); handled == handledBefore {
+		t.Error("re-joined node handled no routed point ops")
+	}
+	// No ghosts, no double counts: search and scans see each doc once.
+	rows, err := e.Search("doc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ids) {
+		t.Errorf("search after re-join = %d/%d", len(rows), len(ids))
+	}
+	docs, err := e.distributedScan(expr.True())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != len(ids) {
+		t.Errorf("scan after re-join = %d/%d", len(docs), len(ids))
+	}
+	if under := len(e.smgr.UnderReplicated()); under != 0 {
+		t.Errorf("%d documents under-replicated after re-join", under)
+	}
+}
+
+// TestHeartbeatHealsDegradedWhenBlockedTargetRevives: a document left
+// Unrepaired because its repair target was down must leave
+// UnderReplicated via the heartbeat's repair pass once the target serves
+// again.
+func TestHeartbeatHealsDegradedWhenBlockedTargetRevives(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 4 })
+	for i := 0; i < 60; i++ {
+		if _, err := e.Ingest(textItem(fmt.Sprintf("degraded doc %d", i), "u")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.DrainBackground()
+	// Two nodes go down; recovering the first blocks on the second.
+	blocked := e.dataNodes()[3]
+	e.fab.Kill(blocked.node.ID)
+	dead := e.dataNodes()[0].node.ID
+	e.fab.Kill(dead)
+	if _, err := e.RecoverDataNode(dead); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.smgr.UnderReplicated()) == 0 {
+		t.Skip("no repairs blocked on the down target (unlucky hash layout)")
+	}
+	// The blocked target revives; heartbeat recovery + repair passes heal
+	// the degraded set (the revived node is first recovered off the ring,
+	// then re-joined, then the repair pass fills remaining gaps).
+	e.fab.Revive(blocked.node.ID)
+	for i := 0; i < 3; i++ {
+		e.HeartbeatTick()
+		e.DrainBackground()
+	}
+	if under := e.smgr.UnderReplicated(); len(under) != 0 {
+		t.Errorf("%d documents still under-replicated after the blocked target revived", len(under))
+	}
+}
+
+// TestRegulatoryClassSurvivesRestart: the data class is persisted in the
+// document header, so a restarted appliance re-registers a regulatory
+// document at RF3 — not the RF2 a shape-based guess would give it.
+func TestRegulatoryClassSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DataNodes: 4, GridNodes: 1, ClusterNodes: 1, Workers: 2, Dir: dir}
+	e1, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []docmodel.DocID
+	for i := 0; i < 8; i++ {
+		item := textItem(fmt.Sprintf("retention record %d", i), "ledger")
+		item.Class = virt.ClassRegulatory
+		id, err := e1.Ingest(item)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e1.DrainBackground()
+	for _, id := range ids {
+		if got := len(e1.smgr.Holders(id)); got != 3 {
+			t.Fatalf("regulatory doc %s placed at RF%d before restart", id, got)
+		}
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e2.Close() })
+	for _, id := range ids {
+		holders := e2.smgr.Holders(id)
+		if len(holders) != 3 {
+			t.Errorf("regulatory doc %s recovered at RF%d, want 3 (class lost in header?)", id, len(holders))
+		}
+		// Boot-time migration must have put real copies on every holder.
+		for _, h := range holders {
+			if _, err := mustDataNode(t, e2, h).store.Get(id); err != nil {
+				t.Errorf("regulatory doc %s missing on holder %s after restart: %v", id, h, err)
+			}
+		}
+	}
+}
+
+// TestRebalanceOnSkewMovesLoadOffHotNode: skewed point reads trigger a
+// ring-weight cut executed through the hand-off machinery, with every
+// document still reachable afterwards.
+func TestRebalanceOnSkewMovesLoadOffHotNode(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 3 })
+	var ids []docmodel.DocID
+	for i := 0; i < 150; i++ {
+		id, err := e.Ingest(textItem(fmt.Sprintf("hot doc %d", i), "u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.DrainBackground()
+	// Hammer the docs whose primary is data-1 to skew the load signal.
+	hot := e.dataNodes()[0].node.ID
+	for _, id := range ids {
+		if e.smgr.Holders(id)[0] == hot {
+			for r := 0; r < 12; r++ {
+				if _, err := e.Get(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	moved, adjusted := e.RebalanceOnSkew()
+	if !adjusted {
+		t.Fatal("skewed load did not trigger a rebalance")
+	}
+	if moved == 0 {
+		t.Fatal("rebalance moved no documents")
+	}
+	// Reads stay clean while the rebalance hand-off runs in background.
+	for _, id := range ids {
+		if _, err := e.Get(id); err != nil {
+			t.Errorf("Get(%s) missed during rebalance: %v", id, err)
+		}
+	}
+	e.DrainBackground()
+	if pending := e.smgr.HandoffPending(); pending != 0 {
+		t.Fatalf("%d rebalance windows still open after drain", pending)
+	}
+	for _, id := range ids {
+		if _, err := e.Get(id); err != nil {
+			t.Errorf("Get(%s) failed after rebalance: %v", id, err)
+		}
+	}
+	rows, err := e.Search("hot", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ids) {
+		t.Errorf("search after rebalance = %d/%d", len(rows), len(ids))
+	}
+}
+
+// TestAddDataNodeGrowsCluster: a brand-new data node provisioned at
+// runtime joins through the same hand-off machinery and ends up serving
+// a share of the corpus.
+func TestAddDataNodeGrowsCluster(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 3 })
+	var ids []docmodel.DocID
+	for i := 0; i < 80; i++ {
+		id, err := e.Ingest(textItem(fmt.Sprintf("growth doc %d", i), "u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.DrainBackground()
+	fresh, moved, err := e.AddDataNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("new node attracted no documents")
+	}
+	for _, id := range ids {
+		if _, err := e.Get(id); err != nil {
+			t.Errorf("Get(%s) missed while the new node joins: %v", id, err)
+		}
+	}
+	e.DrainBackground()
+	primaries := 0
+	for _, id := range ids {
+		holders := e.smgr.Holders(id)
+		if holders[0] == fresh {
+			primaries++
+		}
+		if _, err := e.Get(id); err != nil {
+			t.Errorf("Get(%s) failed after growth: %v", id, err)
+		}
+	}
+	if primaries == 0 {
+		t.Error("new node is primary for nothing after joining")
+	}
+	docs, err := e.distributedScan(expr.True())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != len(ids) {
+		t.Errorf("scan after growth = %d/%d", len(docs), len(ids))
+	}
+}
+
+// TestFailureDuringHandoffWindowStillCloses: a node failure while
+// hand-off windows are open fences the in-flight catch-up plans
+// (generation re-arm) and re-plans them, so every window still closes
+// with complete copies and no document is stranded on a promoted
+// successor that never received it.
+func TestFailureDuringHandoffWindowStillCloses(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 5; c.Workers = 1 })
+	var ids []docmodel.DocID
+	for i := 0; i < 60; i++ {
+		id, err := e.Ingest(textItem(fmt.Sprintf("window doc %d", i), "u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.DrainBackground()
+
+	rejoiner := e.dataNodes()[1].node.ID
+	e.fab.Kill(rejoiner)
+	e.HeartbeatTick()
+	e.DrainBackground()
+	e.fab.Revive(rejoiner)
+	e.HeartbeatTick() // windows open, catch-up queued on the single worker
+	if e.smgr.HandoffPending() == 0 {
+		t.Fatal("no windows open; scenario degenerate")
+	}
+	// A different node dies while the windows are still open.
+	casualty := e.dataNodes()[3].node.ID
+	e.fab.Kill(casualty)
+	if _, err := e.RecoverDataNode(casualty); err != nil {
+		t.Fatal(err)
+	}
+	e.DrainBackground()
+	if pending := e.smgr.HandoffPending(); pending != 0 {
+		t.Fatalf("%d windows never closed after mid-window failure", pending)
+	}
+	for _, id := range ids {
+		if _, err := e.Get(id); err != nil {
+			t.Errorf("Get(%s) failed after mid-window failure: %v", id, err)
+			continue
+		}
+		// Every named holder physically has the document.
+		for _, h := range e.smgr.Holders(id) {
+			if _, err := mustDataNode(t, e, h).store.Get(id); err != nil {
+				t.Errorf("doc %s missing on holder %s: %v", id, h, err)
+			}
+		}
+	}
+}
+
+// TestAddDataNodeConcurrentWithReads: growing the cluster races point
+// reads and background work — the copy-on-write topology must keep every
+// concurrent Get safe (this test is load-bearing under -race).
+func TestAddDataNodeConcurrentWithReads(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 3 })
+	var ids []docmodel.DocID
+	for i := 0; i < 60; i++ {
+		id, err := e.Ingest(textItem(fmt.Sprintf("race doc %d", i), "u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.DrainBackground()
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 400; i++ {
+			if _, err := e.Get(ids[i%len(ids)]); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	if _, _, err := e.AddDataNode(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Errorf("concurrent Get failed while the cluster grew: %v", err)
+	}
+	e.DrainBackground()
+	for _, id := range ids {
+		if _, err := e.Get(id); err != nil {
+			t.Errorf("Get(%s) failed after growth: %v", id, err)
+		}
 	}
 }
 
@@ -501,7 +872,7 @@ func TestScanStillReachesAllNodes(t *testing.T) {
 	if len(docs) != 40 {
 		t.Fatalf("scan docs = %d (ownership dedup broken?)", len(docs))
 	}
-	if touched := touchedSince(e, before); len(touched) != len(e.data) {
-		t.Errorf("scan touched %d/%d nodes", len(touched), len(e.data))
+	if touched := touchedSince(e, before); len(touched) != len(e.dataNodes()) {
+		t.Errorf("scan touched %d/%d nodes", len(touched), len(e.dataNodes()))
 	}
 }

@@ -18,7 +18,7 @@ type replicaAccess struct {
 
 // FetchVersions implements virt.ReplicaAccess.
 func (ra replicaAccess) FetchVersions(node fabric.NodeID, id docmodel.DocID) ([]*docmodel.Document, error) {
-	dn, ok := ra.e.byNode[node]
+	dn, ok := ra.e.dataNode(node)
 	if !ok {
 		return nil, fmt.Errorf("core: %s is not a data node", node)
 	}

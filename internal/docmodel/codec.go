@@ -19,7 +19,8 @@ var (
 	ErrCorrupt = errors.New("docmodel: corrupt encoding")
 )
 
-const codecVersion = 1
+// codecVersion 2 added the data-class byte to the header.
+const codecVersion = 2
 
 // EncodeDocument serializes a document version into a fresh buffer.
 func EncodeDocument(d *Document) []byte {
@@ -34,15 +35,20 @@ func EncodeDocument(d *Document) []byte {
 	buf = appendUvarint(buf, uint64(d.Annotates.Origin))
 	buf = appendUvarint(buf, d.Annotates.Seq)
 	buf = appendString(buf, d.Annotator)
+	buf = append(buf, d.Class)
 	buf = appendValue(buf, d.Root)
 	return buf
 }
 
-// DecodeDocument parses a buffer produced by EncodeDocument.
+// DecodeDocument parses a buffer produced by EncodeDocument. Version-1
+// buffers (no class byte) remain decodable so WAL stores persisted by
+// earlier builds replay: their documents default to Class 0 (user), and
+// restart recovery's annotation heuristic re-derives the rest.
 func DecodeDocument(b []byte) (*Document, error) {
-	if len(b) == 0 || b[0] != codecVersion {
+	if len(b) == 0 || (b[0] != 1 && b[0] != codecVersion) {
 		return nil, fmt.Errorf("%w: bad codec version", ErrCorrupt)
 	}
+	ver := b[0]
 	r := reader{b: b, off: 1}
 	var d Document
 	d.ID.Origin = uint32(r.uvarint())
@@ -54,6 +60,9 @@ func DecodeDocument(b []byte) (*Document, error) {
 	d.Annotates.Origin = uint32(r.uvarint())
 	d.Annotates.Seq = r.uvarint()
 	d.Annotator = r.str()
+	if ver >= 2 {
+		d.Class = r.byte()
+	}
 	d.Root = r.value(0)
 	if r.err != nil {
 		return nil, r.err

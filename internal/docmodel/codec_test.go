@@ -13,6 +13,7 @@ func TestEncodeDecodeDocumentRoundTrip(t *testing.T) {
 	d := sampleDoc()
 	d.Annotates = DocID{Origin: 8, Seq: 15}
 	d.Annotator = "entity"
+	d.Class = 2 // regulatory: the class must survive persistence
 	b := EncodeDocument(d)
 	got, err := DecodeDocument(b)
 	if err != nil {
@@ -20,11 +21,41 @@ func TestEncodeDecodeDocumentRoundTrip(t *testing.T) {
 	}
 	if got.ID != d.ID || got.Version != d.Version || got.MediaType != d.MediaType ||
 		got.Source != d.Source || !got.IngestedAt.Equal(d.IngestedAt) ||
-		got.Annotates != d.Annotates || got.Annotator != d.Annotator {
+		got.Annotates != d.Annotates || got.Annotator != d.Annotator || got.Class != d.Class {
 		t.Errorf("header mismatch: %+v vs %+v", got, d)
 	}
 	if !got.Root.Equal(d.Root) {
 		t.Errorf("body mismatch:\n got %s\nwant %s", got.Root, d.Root)
+	}
+}
+
+// TestDecodeDocumentAcceptsLegacyV1: WAL stores persisted before the
+// class byte was added (codec version 1) must stay replayable; their
+// documents decode with Class 0.
+func TestDecodeDocumentAcceptsLegacyV1(t *testing.T) {
+	d := sampleDoc()
+	d.Annotates = DocID{Origin: 8, Seq: 15}
+	d.Annotator = "entity"
+	legacy := []byte{1}
+	legacy = appendUvarint(legacy, uint64(d.ID.Origin))
+	legacy = appendUvarint(legacy, d.ID.Seq)
+	legacy = appendUvarint(legacy, uint64(d.Version))
+	legacy = appendString(legacy, d.MediaType)
+	legacy = appendString(legacy, d.Source)
+	legacy = appendUvarint(legacy, uint64(d.IngestedAt.UTC().UnixNano()))
+	legacy = appendUvarint(legacy, uint64(d.Annotates.Origin))
+	legacy = appendUvarint(legacy, d.Annotates.Seq)
+	legacy = appendString(legacy, d.Annotator)
+	legacy = appendValue(legacy, d.Root)
+	got, err := DecodeDocument(legacy)
+	if err != nil {
+		t.Fatalf("legacy v1 buffer rejected: %v", err)
+	}
+	if got.ID != d.ID || got.Annotator != d.Annotator || !got.Root.Equal(d.Root) {
+		t.Errorf("legacy decode mismatch: %+v vs %+v", got, d)
+	}
+	if got.Class != 0 {
+		t.Errorf("legacy decode Class = %d, want 0", got.Class)
 	}
 }
 

@@ -102,6 +102,13 @@ type Document struct {
 
 	// Annotator names the annotator that produced an annotation document.
 	Annotator string
+
+	// Class records the document's storage-management data class (the
+	// numeric value of virt.DataClass: 0 user, 1 derived, 2 regulatory).
+	// It is persisted in the header so restart recovery re-registers the
+	// document at its original replication factor instead of inferring
+	// the class from the document shape.
+	Class uint8
 }
 
 // Key returns the version key for this document version.

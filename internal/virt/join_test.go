@@ -1,0 +1,306 @@
+package virt
+
+import (
+	"slices"
+	"testing"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/fabric"
+)
+
+// seedDocs places and registers n user-class docs, writing their copies
+// into the map store, and returns the IDs.
+func seedDocs(t *testing.T, sm *StorageManager, ma *mapAccess, n int) []docmodel.DocID {
+	t.Helper()
+	var ids []docmodel.DocID
+	for i := uint64(1); i <= uint64(n); i++ {
+		d := mkDoc(i)
+		targets, err := sm.PlaceDoc(d.ID, ClassUser)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm.Register(d.ID, ClassUser)
+		for _, tgt := range targets {
+			ma.put(tgt, d)
+		}
+		ids = append(ids, d.ID)
+	}
+	return ids
+}
+
+// executePlan runs every partition transfer: copies plus window close.
+func executePlan(sm *StorageManager, plan *TransferPlan) int {
+	moved := 0
+	for _, pt := range plan.Partitions {
+		moved += sm.ExecuteMoves(pt)
+		sm.CompleteHandoff(pt)
+	}
+	return moved
+}
+
+// TestJoinNodeDualOwnershipWindow is the elastic-membership acceptance
+// check at the virt level: a node removed by HandleNodeFailure re-joins
+// via JoinNode; while the hand-off windows are open, reads route only to
+// pre-join owners (whose copies are complete), writes cover both sides;
+// after execution every holder physically has its documents and the
+// windows are closed.
+func TestJoinNodeDualOwnershipWindow(t *testing.T) {
+	nodes := []fabric.NodeID{dataNode(1), dataNode(2), dataNode(3), dataNode(4)}
+	ma := newMapAccess(nodes...)
+	sm := NewStorageManager(DefaultPolicy(), ma)
+	sm.SetDataNodes(nodes)
+	ids := seedDocs(t, sm, ma, 200)
+
+	dead := dataNode(2)
+	alive := []fabric.NodeID{dataNode(1), dataNode(3), dataNode(4)}
+	if _, err := sm.HandleNodeFailure(dead, alive); err != nil {
+		t.Fatal(err)
+	}
+	if sm.InRing(dead) {
+		t.Fatal("failed node still on the ring")
+	}
+
+	// Re-join: the revived node comes back with whatever it had, and the
+	// plan names every copy it is missing.
+	all := append(alive, dead)
+	plan, err := sm.JoinNode(dead, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil || len(plan.Partitions) == 0 {
+		t.Fatal("join produced no hand-off plan")
+	}
+	if sm.HandoffPending() == 0 {
+		t.Fatal("join opened no dual-ownership windows")
+	}
+	if !sm.InRing(dead) {
+		t.Fatal("joined node not a ring member")
+	}
+
+	// During the window: reads never route to the joining node (its data
+	// is still catching up), while the write set covers it wherever it is
+	// a target owner.
+	joinTargeted := 0
+	for _, id := range ids {
+		readH := sm.Holders(id)
+		if slices.Contains(readH, dead) {
+			t.Fatalf("doc %v read-routes to mid-join node %v", id, readH)
+		}
+		writeH := sm.WriteHolders(id)
+		for _, h := range readH {
+			if !slices.Contains(writeH, h) {
+				t.Fatalf("doc %v write set %v misses read holder %v", id, writeH, h)
+			}
+		}
+		if slices.Contains(writeH, dead) {
+			joinTargeted++
+		}
+	}
+	if joinTargeted == 0 {
+		t.Fatal("no document targets the joining node; join moved nothing")
+	}
+
+	// Execute the plan; windows close partition-by-partition.
+	before := sm.HandoffPending()
+	first := plan.Partitions[0]
+	sm.ExecuteMoves(first)
+	sm.CompleteHandoff(first)
+	if sm.HandoffPending() != before-1 {
+		t.Fatalf("completing one partition closed %d windows", before-sm.HandoffPending())
+	}
+	for _, pt := range plan.Partitions[1:] {
+		sm.ExecuteMoves(pt)
+		sm.CompleteHandoff(pt)
+	}
+	if sm.HandoffPending() != 0 {
+		t.Fatalf("%d windows left open after full execution", sm.HandoffPending())
+	}
+
+	// Post-join: the node serves reads again, and every holder physically
+	// has every document it is named for.
+	servedByJoined := 0
+	for _, id := range ids {
+		holders := sm.Holders(id)
+		if len(holders) != 2 {
+			t.Fatalf("doc %v holders = %v, want RF2", id, holders)
+		}
+		if holders[0] == dead {
+			servedByJoined++
+		}
+		for _, h := range holders {
+			if _, err := ma.FetchVersions(h, id); err != nil {
+				t.Errorf("doc %v missing on holder %v after hand-off: %v", id, h, err)
+			}
+		}
+	}
+	if servedByJoined == 0 {
+		t.Error("re-joined node is primary for nothing; ring weight lost")
+	}
+	if sm.Unrepaired != 0 {
+		t.Errorf("unrepaired after clean join = %d", sm.Unrepaired)
+	}
+}
+
+// TestJoinNodeAlreadyMemberIsNoop: joining a current member opens no
+// windows and returns no plan.
+func TestJoinNodeAlreadyMemberIsNoop(t *testing.T) {
+	nodes := []fabric.NodeID{dataNode(1), dataNode(2)}
+	sm := NewStorageManager(DefaultPolicy(), newMapAccess(nodes...))
+	sm.SetDataNodes(nodes)
+	plan, err := sm.JoinNode(dataNode(1), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != nil || sm.HandoffPending() != 0 {
+		t.Errorf("member re-join must be a no-op (plan=%v pending=%d)", plan, sm.HandoffPending())
+	}
+}
+
+// TestHandoffCompletionIsGenerationFenced: when a second membership
+// change re-arms a partition's window, the first change's completion must
+// not close it — only the latest change's catch-up owns the close.
+func TestHandoffCompletionIsGenerationFenced(t *testing.T) {
+	nodes := []fabric.NodeID{dataNode(1), dataNode(2), dataNode(3)}
+	ma := newMapAccess(nodes...)
+	sm := NewStorageManager(DefaultPolicy(), ma)
+	sm.SetDataNodes(nodes)
+	seedDocs(t, sm, ma, 50)
+
+	alive := []fabric.NodeID{dataNode(1), dataNode(2), dataNode(3)}
+	if _, err := sm.HandleNodeFailure(dataNode(2), []fabric.NodeID{dataNode(1), dataNode(3)}); err != nil {
+		t.Fatal(err)
+	}
+	plan1, err := sm.JoinNode(dataNode(2), alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma.data[dataNode(4)] = map[docmodel.DocID][]*docmodel.Document{}
+	plan2, err := sm.JoinNode(dataNode(4), append(alive, dataNode(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a partition re-armed by the second join.
+	rearmed := map[int]PartitionTransfer{}
+	for _, pt := range plan2.Partitions {
+		rearmed[pt.Partition] = pt
+	}
+	var stale *PartitionTransfer
+	for i := range plan1.Partitions {
+		if _, ok := rearmed[plan1.Partitions[i].Partition]; ok {
+			stale = &plan1.Partitions[i]
+			break
+		}
+	}
+	if stale == nil {
+		t.Skip("no partition shared between the two joins (unlucky hash layout)")
+	}
+	before := sm.HandoffPending()
+	sm.CompleteHandoff(*stale) // stale generation: must not close
+	if sm.HandoffPending() != before {
+		t.Fatal("stale-generation completion closed a re-armed window")
+	}
+	fresh := rearmed[stale.Partition]
+	sm.ExecuteMoves(fresh)
+	sm.CompleteHandoff(fresh)
+	if sm.HandoffPending() != before-1 {
+		t.Fatal("fresh-generation completion did not close the window")
+	}
+}
+
+// TestRepairDegradedHealsWhenBlockedTargetServesAgain is the degraded-set
+// healing check: a document left Unrepaired because its repair target was
+// down must leave UnderReplicated once the target serves again and the
+// next repair pass runs — with real copies installed, not just the record
+// dropped.
+func TestRepairDegradedHealsWhenBlockedTargetServesAgain(t *testing.T) {
+	nodes := []fabric.NodeID{dataNode(1), dataNode(2), dataNode(3), dataNode(4)}
+	ma := newMapAccess(nodes...)
+	sm := NewStorageManager(DefaultPolicy(), ma)
+	sm.SetDataNodes(nodes)
+	ids := seedDocs(t, sm, ma, 120)
+
+	// Node 1 dies while node 2 is also down (but still a ring member):
+	// repairs targeting node 2 are blocked.
+	dead := dataNode(1)
+	if _, err := sm.HandleNodeFailure(dead, []fabric.NodeID{dataNode(3), dataNode(4)}); err != nil {
+		t.Fatal(err)
+	}
+	degraded := sm.UnderReplicated()
+	if len(degraded) == 0 {
+		t.Fatal("no documents blocked on the down target; scenario degenerate")
+	}
+
+	// Node 2 comes back. The next repair pass copies the missing replicas
+	// onto it and clears the degraded set.
+	created := sm.RepairDegraded([]fabric.NodeID{dataNode(2), dataNode(3), dataNode(4)})
+	if created == 0 {
+		t.Fatal("repair pass created no replicas")
+	}
+	if left := sm.UnderReplicated(); len(left) != 0 {
+		t.Fatalf("%d documents still under-replicated after the target served again", len(left))
+	}
+	for _, id := range ids {
+		for _, h := range sm.Holders(id) {
+			if _, err := ma.FetchVersions(h, id); err != nil {
+				t.Errorf("doc %v missing on holder %v after healing: %v", id, h, err)
+			}
+		}
+	}
+}
+
+// TestPlanRebalanceShedsHotNodeWeight: skewed point-op load on one node
+// triggers a ring-weight cut for exactly that node, and the resulting
+// hand-off keeps every document fully replicated.
+func TestPlanRebalanceShedsHotNodeWeight(t *testing.T) {
+	nodes := []fabric.NodeID{dataNode(1), dataNode(2), dataNode(3)}
+	ma := newMapAccess(nodes...)
+	sm := NewStorageManager(DefaultPolicy(), ma)
+	sm.SetDataNodes(nodes)
+	ids := seedDocs(t, sm, ma, 300)
+
+	hot := dataNode(1)
+	for _, id := range ids {
+		if sm.Holders(id)[0] == hot {
+			for i := 0; i < 10; i++ {
+				sm.RecordLoad(id)
+			}
+		} else {
+			sm.RecordLoad(id)
+		}
+	}
+	w := sm.pmap.Ring().Weight(hot)
+	plan := sm.PlanRebalance(2.0, nodes)
+	if plan == nil {
+		t.Fatal("skewed load produced no rebalance plan")
+	}
+	if plan.Node != hot {
+		t.Fatalf("rebalance adjusted %v, want hot node %v", plan.Node, hot)
+	}
+	if nw := sm.pmap.Ring().Weight(hot); nw >= w {
+		t.Fatalf("hot node weight %d -> %d; expected a cut", w, nw)
+	}
+	for _, l := range sm.PartitionLoads() {
+		if l != 0 {
+			t.Fatal("load counters must reset after a rebalance plan")
+		}
+	}
+	executePlan(sm, plan)
+	if sm.HandoffPending() != 0 {
+		t.Fatal("rebalance windows left open")
+	}
+	for _, id := range ids {
+		holders := sm.Holders(id)
+		if len(holders) != 2 {
+			t.Fatalf("doc %v holders = %v after rebalance", id, holders)
+		}
+		for _, h := range holders {
+			if _, err := ma.FetchVersions(h, id); err != nil {
+				t.Errorf("doc %v missing on holder %v after rebalance: %v", id, h, err)
+			}
+		}
+	}
+	// Balanced load (after reset) must not trigger another adjustment.
+	if again := sm.PlanRebalance(2.0, nodes); again != nil {
+		t.Error("balanced load produced a rebalance plan")
+	}
+}

@@ -23,6 +23,30 @@ type PartitionMap struct {
 	parts     int
 	maxOwners int
 	owners    [][]fabric.NodeID // per partition, ring-successor order
+
+	// pending tracks partitions inside a dual-ownership hand-off window:
+	// a membership addition (or weight change) has rewritten owners, but
+	// the data has not caught up yet. Until CompleteHandoff closes the
+	// window, reads keep routing to the pre-change owners (whose copies
+	// are complete) while writes cover both sets. gen fences stale
+	// completions when windows stack on the same partition.
+	pending map[int]*handoffState
+	gen     uint64
+}
+
+// handoffState is one partition's open hand-off window.
+type handoffState struct {
+	owners []fabric.NodeID // pre-change owner set; reads route here
+	gen    uint64          // generation of the latest membership change
+}
+
+// HandoffWindow describes one partition's freshly opened (or re-armed)
+// dual-ownership window, returned by membership additions so callers can
+// plan and execute the catch-up work.
+type HandoffWindow struct {
+	Partition int
+	Gen       uint64
+	OldOwners []fabric.NodeID
 }
 
 // DefaultPartitions balances granularity (rebalance unit ≈ corpus/parts)
@@ -44,6 +68,7 @@ func NewPartitionMap(parts, maxOwners, vnodes int) *PartitionMap {
 		parts:     parts,
 		maxOwners: maxOwners,
 		owners:    make([][]fabric.NodeID, parts),
+		pending:   map[int]*handoffState{},
 	}
 }
 
@@ -55,7 +80,8 @@ func (pm *PartitionMap) Partitions() int { return pm.parts }
 func (pm *PartitionMap) Ring() *Ring { return pm.ring }
 
 // SetNodes resets membership to exactly the given nodes and recomputes
-// every partition's owners.
+// every partition's owners. Any open hand-off windows are discarded: this
+// is the boot-time installer, not an incremental change.
 func (pm *PartitionMap) SetNodes(nodes []fabric.NodeID) {
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
@@ -65,6 +91,7 @@ func (pm *PartitionMap) SetNodes(nodes []fabric.NodeID) {
 	for _, n := range nodes {
 		pm.ring.Add(n)
 	}
+	pm.pending = map[int]*handoffState{}
 	pm.recomputeLocked()
 }
 
@@ -80,16 +107,147 @@ func (pm *PartitionMap) AddNode(n fabric.NodeID) []int {
 	return pm.recomputeLocked()
 }
 
+// BeginJoin adds a node to the ring and opens a dual-ownership window on
+// every partition whose owner set changed: reads keep routing to the
+// pre-join owners until the partition's catch-up completes, writes cover
+// both sets. Returns the opened windows and whether the node was actually
+// added (false = already a member, no windows opened). A changed
+// partition that previously had no owners gets no window — there is
+// nothing to hand off from.
+func (pm *PartitionMap) BeginJoin(n fabric.NodeID) ([]HandoffWindow, bool) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if pm.ring.Contains(n) {
+		return nil, false
+	}
+	before := make([][]fabric.NodeID, pm.parts)
+	copy(before, pm.owners)
+	pm.ring.Add(n)
+	return pm.openWindowsLocked(before, pm.recomputeLocked()), true
+}
+
+// SetNodeWeight changes a member's ring weight (vnode count) and opens
+// dual-ownership windows on the partitions whose owner set changed,
+// exactly like BeginJoin. Returns nil if the node is absent or the weight
+// is unchanged.
+func (pm *PartitionMap) SetNodeWeight(n fabric.NodeID, vnodes int) []HandoffWindow {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if pm.ring.Weight(n) == vnodes {
+		return nil
+	}
+	before := make([][]fabric.NodeID, pm.parts)
+	copy(before, pm.owners)
+	if !pm.ring.SetWeight(n, vnodes) {
+		return nil
+	}
+	return pm.openWindowsLocked(before, pm.recomputeLocked())
+}
+
+// openWindowsLocked arms a hand-off window for each changed partition.
+// A partition already mid-hand-off keeps its original (most complete)
+// read owners and is re-armed under the new generation, so only the
+// latest change's catch-up can close it.
+func (pm *PartitionMap) openWindowsLocked(before [][]fabric.NodeID, changed []int) []HandoffWindow {
+	pm.gen++
+	var windows []HandoffWindow
+	for _, p := range changed {
+		old := before[p]
+		if st, ok := pm.pending[p]; ok {
+			st.gen = pm.gen
+			old = st.owners
+		} else {
+			if len(old) == 0 {
+				continue // first owners ever: nothing to hand off
+			}
+			pm.pending[p] = &handoffState{owners: old, gen: pm.gen}
+		}
+		windows = append(windows, HandoffWindow{Partition: p, Gen: pm.gen, OldOwners: append([]fabric.NodeID{}, old...)})
+	}
+	return windows
+}
+
+// CompleteHandoff closes a partition's dual-ownership window, reporting
+// whether it actually closed. A stale generation (a newer membership
+// change re-armed the window) is ignored: the newer change's catch-up
+// owns the close.
+func (pm *PartitionMap) CompleteHandoff(p int, gen uint64) bool {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	st, ok := pm.pending[p]
+	if !ok || st.gen != gen {
+		return false
+	}
+	delete(pm.pending, p)
+	return true
+}
+
+// PendingHandoffs reports how many partitions are mid-hand-off.
+func (pm *PartitionMap) PendingHandoffs() int {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	return len(pm.pending)
+}
+
+// InHandoff reports whether the partition's window is open.
+func (pm *PartitionMap) InHandoff(p int) bool {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	_, ok := pm.pending[p]
+	return ok
+}
+
 // RemoveNode drops a node from the ring and returns the partitions whose
 // owner set changed (exactly the dead node's share — everything else is
-// untouched, the consistent-hashing guarantee).
+// untouched, the consistent-hashing guarantee). The node is also purged
+// from any open hand-off window's read-owner set — a dead node cannot
+// serve the reads the window routes to it; a window left with no read
+// owners closes immediately (reads fall through to the new owners).
+// Surviving windows are re-armed under a fresh generation: the removal
+// recomputed owner sets, so any in-flight catch-up's plan may now be
+// incomplete (a promoted successor it never copies to) and must not be
+// allowed to close the window — callers re-plan via PendingWindows.
 func (pm *PartitionMap) RemoveNode(n fabric.NodeID) []int {
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
 	if !pm.ring.Remove(n) {
 		return nil
 	}
+	if len(pm.pending) > 0 {
+		pm.gen++
+		for p, st := range pm.pending {
+			kept := st.owners[:0]
+			for _, o := range st.owners {
+				if o != n {
+					kept = append(kept, o)
+				}
+			}
+			st.owners = kept
+			if len(kept) == 0 {
+				delete(pm.pending, p)
+				continue
+			}
+			st.gen = pm.gen
+		}
+	}
 	return pm.recomputeLocked()
+}
+
+// PendingWindows snapshots every open hand-off window (partition,
+// current generation, read-side owners) so callers can re-plan catch-up
+// after a membership event invalidated in-flight plans.
+func (pm *PartitionMap) PendingWindows() []HandoffWindow {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	out := make([]HandoffWindow, 0, len(pm.pending))
+	for p, st := range pm.pending {
+		out = append(out, HandoffWindow{
+			Partition: p,
+			Gen:       st.gen,
+			OldOwners: append([]fabric.NodeID{}, st.owners...),
+		})
+	}
+	return out
 }
 
 // recomputeLocked refreshes all owner lists, returning changed partitions.
@@ -105,8 +263,11 @@ func (pm *PartitionMap) recomputeLocked() []int {
 	return changed
 }
 
-// Owners returns the partition's replica set in ring-successor order:
-// owners[0] is the primary, the rest are successors. The slice is a copy.
+// Owners returns the partition's replica set in ring-successor order
+// under the *current* ring: owners[0] is the primary, the rest are
+// successors. Mid-hand-off this is the target set the data is moving
+// onto, not necessarily where reads should go — see ReadOwners. The
+// slice is a copy.
 func (pm *PartitionMap) Owners(p int) []fabric.NodeID {
 	pm.mu.RLock()
 	defer pm.mu.RUnlock()
@@ -116,6 +277,37 @@ func (pm *PartitionMap) Owners(p int) []fabric.NodeID {
 	return append([]fabric.NodeID{}, pm.owners[p]...)
 }
 
+// ReadOwners returns the owner set reads should route to: the pre-change
+// owners while the partition's hand-off window is open (their copies are
+// complete), the current owners otherwise. The slice is a copy.
+func (pm *PartitionMap) ReadOwners(p int) []fabric.NodeID {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	if p < 0 || p >= pm.parts {
+		return nil
+	}
+	if st, ok := pm.pending[p]; ok {
+		return append([]fabric.NodeID{}, st.owners...)
+	}
+	return append([]fabric.NodeID{}, pm.owners[p]...)
+}
+
+// OwnersPair returns the read-side and target owner sets plus whether a
+// hand-off window is open. When no window is open the two sets are equal.
+// Both slices are copies.
+func (pm *PartitionMap) OwnersPair(p int) (read, target []fabric.NodeID, pending bool) {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	if p < 0 || p >= pm.parts {
+		return nil, nil, false
+	}
+	target = append([]fabric.NodeID{}, pm.owners[p]...)
+	if st, ok := pm.pending[p]; ok {
+		return append([]fabric.NodeID{}, st.owners...), target, true
+	}
+	return target, target, false
+}
+
 // PartitionOf maps a document ID to its partition. Versions of one
 // document always land together (the hash covers Origin and Seq only).
 func (pm *PartitionMap) PartitionOf(id docmodel.DocID) int {
@@ -123,11 +315,16 @@ func (pm *PartitionMap) PartitionOf(id docmodel.DocID) int {
 }
 
 // OwnerForKey returns the primary for an arbitrary routing key — the
-// scheduler's view of the ring for data-affine task placement.
+// scheduler's view of the ring for data-affine task placement. Mid-
+// hand-off the pre-change primary is reported (its data is complete).
 func (pm *PartitionMap) OwnerForKey(key uint64) (fabric.NodeID, bool) {
 	pm.mu.RLock()
 	defer pm.mu.RUnlock()
-	own := pm.owners[key%uint64(pm.parts)]
+	p := int(key % uint64(pm.parts))
+	own := pm.owners[p]
+	if st, ok := pm.pending[p]; ok {
+		own = st.owners
+	}
 	if len(own) == 0 {
 		return fabric.NodeID{}, false
 	}

@@ -16,10 +16,10 @@ import (
 // successors — the property that keeps replica sets stable when an
 // unrelated node dies, which round-robin placement cannot offer.
 type Ring struct {
-	mu     sync.RWMutex
-	vnodes int
-	points []ringPoint // sorted ascending by hash
-	nodes  map[fabric.NodeID]struct{}
+	mu      sync.RWMutex
+	vnodes  int
+	points  []ringPoint // sorted ascending by hash
+	weights map[fabric.NodeID]int
 }
 
 type ringPoint struct {
@@ -37,31 +37,80 @@ func NewRing(vnodes int) *Ring {
 	if vnodes <= 0 {
 		vnodes = DefaultVnodes
 	}
-	return &Ring{vnodes: vnodes, nodes: map[fabric.NodeID]struct{}{}}
+	return &Ring{vnodes: vnodes, weights: map[fabric.NodeID]int{}}
 }
 
-// Add inserts a node's vnode points. Adding a present node is a no-op.
-func (r *Ring) Add(n fabric.NodeID) {
+// Add inserts a node's vnode points at the default weight. Adding a
+// present node is a no-op.
+func (r *Ring) Add(n fabric.NodeID) { r.AddWeighted(n, 0) }
+
+// AddWeighted inserts a node with an explicit vnode count — its ring
+// weight, proportional to the share of the keyspace it attracts. vnodes
+// <= 0 selects the ring default. Adding a present node is a no-op (use
+// SetWeight to change an existing node's weight).
+func (r *Ring) AddWeighted(n fabric.NodeID, vnodes int) {
+	if vnodes <= 0 {
+		vnodes = r.vnodes
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.nodes[n]; ok {
+	if _, ok := r.weights[n]; ok {
 		return
 	}
-	r.nodes[n] = struct{}{}
-	for i := 0; i < r.vnodes; i++ {
+	r.setWeightLocked(n, vnodes)
+}
+
+// SetWeight changes a member's vnode count, reporting whether the node
+// was present. Vnode points are derived from (node, index), so shrinking
+// a weight removes a stable suffix of the node's points and growing it
+// adds new ones — movement is proportional to the weight delta only.
+func (r *Ring) SetWeight(n fabric.NodeID, vnodes int) bool {
+	if vnodes <= 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.weights[n]; !ok {
+		return false
+	}
+	r.setWeightLocked(n, vnodes)
+	return true
+}
+
+// setWeightLocked rebuilds the node's points at the given weight.
+func (r *Ring) setWeightLocked(n fabric.NodeID, vnodes int) {
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != n {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	r.weights[n] = vnodes
+	for i := 0; i < vnodes; i++ {
 		r.points = append(r.points, ringPoint{hash: vnodeHash(n, i), node: n})
 	}
 	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
 }
 
+// Weight returns a member's vnode count (0 if absent).
+func (r *Ring) Weight(n fabric.NodeID) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.weights[n]
+}
+
+// DefaultWeight returns the ring's default vnode count per node.
+func (r *Ring) DefaultWeight() int { return r.vnodes }
+
 // Remove drops a node and its points, reporting whether it was present.
 func (r *Ring) Remove(n fabric.NodeID) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.nodes[n]; !ok {
+	if _, ok := r.weights[n]; !ok {
 		return false
 	}
-	delete(r.nodes, n)
+	delete(r.weights, n)
 	kept := r.points[:0]
 	for _, p := range r.points {
 		if p.node != n {
@@ -76,7 +125,7 @@ func (r *Ring) Remove(n fabric.NodeID) bool {
 func (r *Ring) Contains(n fabric.NodeID) bool {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	_, ok := r.nodes[n]
+	_, ok := r.weights[n]
 	return ok
 }
 
@@ -84,14 +133,14 @@ func (r *Ring) Contains(n fabric.NodeID) bool {
 func (r *Ring) Size() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.nodes)
+	return len(r.weights)
 }
 
 // Nodes lists ring members in deterministic (Kind, Num) order.
 func (r *Ring) Nodes() []fabric.NodeID {
 	r.mu.RLock()
-	out := make([]fabric.NodeID, 0, len(r.nodes))
-	for n := range r.nodes {
+	out := make([]fabric.NodeID, 0, len(r.weights))
+	for n := range r.weights {
 		out = append(out, n)
 	}
 	r.mu.RUnlock()
@@ -113,8 +162,8 @@ func (r *Ring) Successors(key uint64, n int) []fabric.NodeID {
 	if len(r.points) == 0 {
 		return nil
 	}
-	if n <= 0 || n > len(r.nodes) {
-		n = len(r.nodes)
+	if n <= 0 || n > len(r.weights) {
+		n = len(r.weights)
 	}
 	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
 	out := make([]fabric.NodeID, 0, n)

@@ -5,6 +5,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"impliance/internal/docmodel"
 	"impliance/internal/fabric"
@@ -29,6 +30,14 @@ type ReplicaAccess interface {
 // keeps only a doc → class registry; who holds what is derived from the
 // partition map, so point operations route to at most RF nodes and a node
 // failure reassigns only that node's partitions.
+//
+// Membership is bidirectional: HandleNodeFailure shrinks the ring and
+// JoinNode grows it again. A join opens per-partition dual-ownership
+// windows — reads route to the pre-join owners until a partition's
+// hand-off completes, writes cover both sets — and produces a
+// TransferPlan naming every document copy the catch-up must perform. The
+// window closes partition-by-partition as catch-up work completes
+// (CompleteHandoff), never cluster-wide.
 type StorageManager struct {
 	policy ReplicationPolicy
 	access ReplicaAccess
@@ -39,9 +48,52 @@ type StorageManager struct {
 	byPart   map[int][]docmodel.DocID    // partition → registered docs, registration order
 	degraded map[docmodel.DocID]struct{} // repair could not restore full factor
 
+	// loads counts point operations routed per partition since the last
+	// rebalance pass — the skew signal PlanRebalance consumes.
+	loads []atomic.Uint64
+
 	// Counters for the failure-recovery experiment (E13).
 	Repaired   int // replicas re-created after failures
 	Unrepaired int // documents left under-replicated (no source or target)
+}
+
+// DocMove is one document copy a hand-off must perform: every version of
+// the document flows Source → Target.
+type DocMove struct {
+	ID     docmodel.DocID
+	Source fabric.NodeID
+	Target fabric.NodeID
+}
+
+// PartitionTransfer is one partition's share of a membership change: the
+// ownership delta plus the document copies that close its dual-ownership
+// window. Partitions with no moves still carry a window that must be
+// completed.
+type PartitionTransfer struct {
+	Partition int
+	Gen       uint64
+	OldOwners []fabric.NodeID
+	NewOwners []fabric.NodeID
+	Moves     []DocMove
+}
+
+// TransferPlan is the full hand-off plan of one membership addition or
+// weight change.
+type TransferPlan struct {
+	Node       fabric.NodeID
+	Partitions []PartitionTransfer
+}
+
+// MoveCount returns the total number of document copies in the plan.
+func (tp *TransferPlan) MoveCount() int {
+	if tp == nil {
+		return 0
+	}
+	n := 0
+	for _, pt := range tp.Partitions {
+		n += len(pt.Moves)
+	}
+	return n
 }
 
 // NewStorageManager creates a manager with the given policy and access.
@@ -60,6 +112,7 @@ func NewStorageManager(policy ReplicationPolicy, access ReplicaAccess) *StorageM
 		classes:  map[docmodel.DocID]DataClass{},
 		byPart:   map[int][]docmodel.DocID{},
 		degraded: map[docmodel.DocID]struct{}{},
+		loads:    make([]atomic.Uint64, DefaultPartitions),
 	}
 }
 
@@ -75,7 +128,8 @@ func (sm *StorageManager) Partitions() int { return sm.pmap.Partitions() }
 // PartitionOf maps a document to its partition.
 func (sm *StorageManager) PartitionOf(id docmodel.DocID) int { return sm.pmap.PartitionOf(id) }
 
-// OwnersOf returns a partition's replica set in ring-successor order.
+// OwnersOf returns a partition's replica set under the current ring, in
+// ring-successor order (the hand-off *target* set while a window is open).
 func (sm *StorageManager) OwnersOf(p int) []fabric.NodeID { return sm.pmap.Owners(p) }
 
 // InRing reports whether the node is a current ring member.
@@ -83,6 +137,10 @@ func (sm *StorageManager) InRing(n fabric.NodeID) bool { return sm.pmap.Ring().C
 
 // RingNodes lists current ring members.
 func (sm *StorageManager) RingNodes() []fabric.NodeID { return sm.pmap.Ring().Nodes() }
+
+// HandoffPending reports how many partitions are mid-hand-off (their
+// dual-ownership window is still open).
+func (sm *StorageManager) HandoffPending() int { return sm.pmap.PendingHandoffs() }
 
 // RouteKey returns the routing key the scheduler can use to co-locate
 // document-keyed work with the document's partition.
@@ -94,13 +152,39 @@ func (sm *StorageManager) OwnerForKey(key uint64) (fabric.NodeID, bool) {
 	return sm.pmap.OwnerForKey(key)
 }
 
-// PlaceDoc returns a new document's replica set — the first RF(class)
-// owners of its partition, in ring-successor order, primary first. It is
-// a pure placement query: callers Register the document once it is
-// actually persisted, so a failed write never leaves a phantom
-// registration behind.
+// RecordLoad charges one point operation to the document's partition —
+// the load signal skew-aware rebalancing consumes.
+func (sm *StorageManager) RecordLoad(id docmodel.DocID) {
+	sm.loads[sm.pmap.PartitionOf(id)].Add(1)
+}
+
+// PartitionLoads snapshots the per-partition point-op counters.
+func (sm *StorageManager) PartitionLoads() []uint64 {
+	out := make([]uint64, len(sm.loads))
+	for i := range sm.loads {
+		out[i] = sm.loads[i].Load()
+	}
+	return out
+}
+
+// ResetLoads zeroes the load counters (after a rebalance pass consumed
+// them, so the next pass measures the post-adjustment distribution).
+func (sm *StorageManager) ResetLoads() {
+	for i := range sm.loads {
+		sm.loads[i].Store(0)
+	}
+}
+
+// PlaceDoc returns a new document's *write* replica set, primary first.
+// Outside a hand-off window this is the first RF(class) owners of its
+// partition in ring-successor order. While the partition is mid-hand-off
+// the set is the union of the pre-change and target holder sets (old
+// first): writes must land on both sides of the window or the new owners
+// would miss them. It is a pure placement query: callers Register the
+// document once it is actually persisted, so a failed write never leaves
+// a phantom registration behind.
 func (sm *StorageManager) PlaceDoc(id docmodel.DocID, class DataClass) ([]fabric.NodeID, error) {
-	holders := sm.holdersFor(id, class)
+	holders := sm.writeHoldersFor(id, class)
 	if len(holders) == 0 {
 		return nil, fmt.Errorf("virt: no data nodes for placement")
 	}
@@ -119,33 +203,93 @@ func (sm *StorageManager) Register(id docmodel.DocID, class DataClass) {
 	sm.mu.Unlock()
 }
 
-// Holders returns the nodes holding the document — the first RF(class)
-// partition owners — or nil if the document was never registered.
+// Holders returns the nodes a *read* of the document routes to — the
+// class-truncated pre-change owners while its partition is mid-hand-off
+// (their copies are complete), the current owners otherwise — or nil if
+// the document was never registered.
 func (sm *StorageManager) Holders(id docmodel.DocID) []fabric.NodeID {
-	sm.mu.Lock()
-	class, ok := sm.classes[id]
-	sm.mu.Unlock()
+	class, ok := sm.classOf(id)
 	if !ok {
 		return nil
 	}
-	return sm.holdersFor(id, class)
+	return sm.readHoldersFor(id, class)
 }
 
-func (sm *StorageManager) holdersFor(id docmodel.DocID, class DataClass) []fabric.NodeID {
-	owners := sm.pmap.Owners(sm.pmap.PartitionOf(id))
-	rf := sm.policy.FactorFor(class)
-	if rf > len(owners) {
-		rf = len(owners)
+// WriteHolders returns the nodes a write (new version) of the document
+// must reach: both sides of an open hand-off window, old first.
+func (sm *StorageManager) WriteHolders(id docmodel.DocID) []fabric.NodeID {
+	class, ok := sm.classOf(id)
+	if !ok {
+		return nil
 	}
-	return owners[:rf]
+	return sm.writeHoldersFor(id, class)
+}
+
+// TargetHolders returns the document's holder set under the current ring,
+// ignoring any open hand-off window — where the document is headed, used
+// e.g. to pick the long-term index owner.
+func (sm *StorageManager) TargetHolders(id docmodel.DocID) []fabric.NodeID {
+	class, ok := sm.classOf(id)
+	if !ok {
+		return nil
+	}
+	return truncate(sm.pmap.Owners(sm.pmap.PartitionOf(id)), sm.policy.FactorFor(class))
+}
+
+func (sm *StorageManager) classOf(id docmodel.DocID) (DataClass, bool) {
+	sm.mu.Lock()
+	class, ok := sm.classes[id]
+	sm.mu.Unlock()
+	return class, ok
+}
+
+func (sm *StorageManager) readHoldersFor(id docmodel.DocID, class DataClass) []fabric.NodeID {
+	owners := sm.pmap.ReadOwners(sm.pmap.PartitionOf(id))
+	return truncate(owners, sm.policy.FactorFor(class))
+}
+
+func (sm *StorageManager) writeHoldersFor(id docmodel.DocID, class DataClass) []fabric.NodeID {
+	read, target, pending := sm.pmap.OwnersPair(sm.pmap.PartitionOf(id))
+	rf := sm.policy.FactorFor(class)
+	out := truncate(read, rf)
+	if pending {
+		out = out[:len(out):len(out)]
+		for _, n := range truncate(target, rf) {
+			if !slices.Contains(out, n) {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// writeMaskByRF reports, for each replication factor 1..maxOwners,
+// whether the node is in the partition's write-holder set truncated to
+// that factor — the per-partition precomputation DocsOn uses to avoid
+// per-document owner walks.
+func (sm *StorageManager) writeMaskByRF(p int, node fabric.NodeID) []bool {
+	read, target, pending := sm.pmap.OwnersPair(p)
+	mask := make([]bool, sm.pmap.maxOwners+1)
+	for rf := 1; rf <= sm.pmap.maxOwners; rf++ {
+		if slices.Contains(truncate(read, rf), node) {
+			mask[rf] = true
+			continue
+		}
+		if pending && slices.Contains(truncate(target, rf), node) {
+			mask[rf] = true
+		}
+	}
+	return mask
 }
 
 // AnsweringNode returns the partition's answering owner — the first owner
-// the liveness probe accepts. Exactly one node answers scans, aggregates,
-// and facet counts for each partition, so distributed results count every
-// document once without per-document ownership state.
+// the liveness probe accepts, drawn from the read-side owner set so that
+// a mid-hand-off partition keeps answering from the owners whose data is
+// complete. Exactly one node answers scans, aggregates, and facet counts
+// for each partition, so distributed results count every document once
+// without per-document ownership state.
 func (sm *StorageManager) AnsweringNode(p int, alive func(fabric.NodeID) bool) (fabric.NodeID, bool) {
-	for _, n := range sm.pmap.Owners(p) {
+	for _, n := range sm.pmap.ReadOwners(p) {
 		if alive(n) {
 			return n, true
 		}
@@ -170,27 +314,216 @@ func (sm *StorageManager) DocsInPartitions(mask []bool) []docmodel.DocID {
 	return out
 }
 
+// DocsInPartition returns one partition's registered documents, in
+// deterministic order.
+func (sm *StorageManager) DocsInPartition(p int) []docmodel.DocID {
+	sm.mu.Lock()
+	out := append([]docmodel.DocID{}, sm.byPart[p]...)
+	sm.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
 // DocsOn returns the registered documents whose replica set includes the
-// node, in deterministic order. The walk is partition-driven: only
-// partitions whose owner list contains the node are visited.
+// node (either side of an open hand-off window), in deterministic order.
+// The walk is partition-driven — only partitions whose owner list
+// contains the node contribute — and the registry lock is taken once for
+// the whole snapshot, not once per partition.
 func (sm *StorageManager) DocsOn(node fabric.NodeID) []docmodel.DocID {
+	parts := sm.pmap.Partitions()
+	masks := make([][]bool, parts)
+	for p := 0; p < parts; p++ {
+		mask := sm.writeMaskByRF(p, node)
+		if slices.Contains(mask, true) {
+			masks[p] = mask
+		}
+	}
 	var out []docmodel.DocID
-	for p := 0; p < sm.pmap.Partitions(); p++ {
-		pos := slices.Index(sm.pmap.Owners(p), node)
-		if pos < 0 {
+	sm.mu.Lock()
+	for p, mask := range masks {
+		if mask == nil {
 			continue
 		}
-		sm.mu.Lock()
 		for _, id := range sm.byPart[p] {
-			// The node holds the doc only if it sits inside the doc's
-			// class-truncated owner prefix.
-			if pos < sm.policy.FactorFor(sm.classes[id]) {
+			rf := sm.policy.FactorFor(sm.classes[id])
+			if rf < len(mask) && mask[rf] {
 				out = append(out, id)
 			}
 		}
-		sm.mu.Unlock()
 	}
+	sm.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// JoinNode adds a node (back) to the ring — the membership *addition*
+// elastic scale-out needs. Every partition whose owner set changes gets a
+// dual-ownership window and a PartitionTransfer naming the document
+// copies that close it. Returns (nil, nil) when the node is already a
+// member. The caller executes the plan (ExecuteMoves + CompleteHandoff),
+// typically as background work, one partition at a time.
+func (sm *StorageManager) JoinNode(n fabric.NodeID, alive []fabric.NodeID) (*TransferPlan, error) {
+	windows, joined := sm.pmap.BeginJoin(n)
+	if !joined {
+		return nil, nil
+	}
+	return sm.planHandoff(n, windows, alive), nil
+}
+
+// AdjustNodeWeight changes a member's ring weight (vnode count), opening
+// hand-off windows on the partitions whose ownership moved and returning
+// the plan that closes them. Returns nil when the node is absent or the
+// weight is unchanged.
+func (sm *StorageManager) AdjustNodeWeight(n fabric.NodeID, vnodes int, alive []fabric.NodeID) *TransferPlan {
+	windows := sm.pmap.SetNodeWeight(n, vnodes)
+	if windows == nil {
+		return nil
+	}
+	return sm.planHandoff(n, windows, alive)
+}
+
+// planHandoff turns freshly opened hand-off windows into a TransferPlan:
+// for each affected document, the versions missing from the owners the
+// change added are sourced from the first alive pre-change holder.
+func (sm *StorageManager) planHandoff(n fabric.NodeID, windows []HandoffWindow, alive []fabric.NodeID) *TransferPlan {
+	aliveSet := map[fabric.NodeID]struct{}{}
+	for _, a := range alive {
+		aliveSet[a] = struct{}{}
+	}
+	plan := &TransferPlan{Node: n}
+	for _, w := range windows {
+		newOwners := sm.pmap.Owners(w.Partition)
+		pt := PartitionTransfer{
+			Partition: w.Partition,
+			Gen:       w.Gen,
+			OldOwners: w.OldOwners,
+			NewOwners: newOwners,
+		}
+		sm.mu.Lock()
+		ids := append([]docmodel.DocID{}, sm.byPart[w.Partition]...)
+		classes := make([]DataClass, len(ids))
+		for i, id := range ids {
+			classes[i] = sm.classes[id]
+		}
+		sm.mu.Unlock()
+		for i, id := range ids {
+			rf := sm.policy.FactorFor(classes[i])
+			oldH := truncate(w.OldOwners, rf)
+			newH := truncate(newOwners, rf)
+			src, hasSrc := firstIn(oldH, aliveSet)
+			for _, tgt := range newH {
+				if slices.Contains(oldH, tgt) {
+					continue // already holds a copy
+				}
+				if !hasSrc {
+					sm.markUnrepaired(id)
+					break
+				}
+				pt.Moves = append(pt.Moves, DocMove{ID: id, Source: src, Target: tgt})
+			}
+		}
+		plan.Partitions = append(plan.Partitions, pt)
+	}
+	return plan
+}
+
+// ExecuteMoves performs one partition's document copies through the
+// replica access: every stored version flows source → target. A move
+// whose planned source fails falls back to the other pre-change owners.
+// Returns the number of replicas created. The caller still owns closing
+// the window with CompleteHandoff (after any indexing catch-up).
+func (sm *StorageManager) ExecuteMoves(pt PartitionTransfer) int {
+	created := 0
+	var lastID docmodel.DocID
+	var versions []*docmodel.Document
+	for _, mv := range pt.Moves {
+		if mv.ID != lastID {
+			lastID = mv.ID
+			versions = nil
+			for _, src := range sourceOrder(mv.Source, pt.OldOwners) {
+				if vs, err := sm.access.FetchVersions(src, mv.ID); err == nil {
+					versions = vs
+					break
+				}
+			}
+		}
+		if len(versions) == 0 {
+			sm.markUnrepaired(mv.ID)
+			continue
+		}
+		installed := true
+		for _, v := range versions {
+			if err := sm.access.Install(mv.Target, v); err != nil {
+				installed = false
+				break
+			}
+		}
+		if !installed {
+			sm.markUnrepaired(mv.ID)
+			continue
+		}
+		sm.mu.Lock()
+		sm.Repaired++
+		sm.mu.Unlock()
+		created++
+	}
+	return created
+}
+
+// CompleteHandoff closes the partition's dual-ownership window — the
+// catch-up watermark for this partition has been reached, reads may now
+// route to the new owners — and re-checks the degraded set: a document an
+// earlier repair pass left under-replicated may have reached its factor
+// through this hand-off (its blocked target re-joined).
+func (sm *StorageManager) CompleteHandoff(pt PartitionTransfer) {
+	if !sm.pmap.CompleteHandoff(pt.Partition, pt.Gen) {
+		return
+	}
+	sm.healPartition(pt.Partition)
+}
+
+// healPartition removes partition members of the degraded set whose full
+// holder set verifiably holds a copy again.
+func (sm *StorageManager) healPartition(p int) {
+	type cand struct {
+		id    docmodel.DocID
+		class DataClass
+	}
+	var cands []cand
+	sm.mu.Lock()
+	for _, id := range sm.byPart[p] {
+		if _, bad := sm.degraded[id]; bad {
+			cands = append(cands, cand{id, sm.classes[id]})
+		}
+	}
+	sm.mu.Unlock()
+	for _, c := range cands {
+		holders := sm.readHoldersFor(c.id, c.class)
+		if len(holders) == 0 {
+			continue
+		}
+		healed := true
+		for _, h := range holders {
+			if _, err := sm.access.FetchVersions(h, c.id); err != nil {
+				healed = false
+				break
+			}
+		}
+		if healed {
+			sm.markRepaired(c.id)
+		}
+	}
+}
+
+// sourceOrder yields the planned source first, then the remaining
+// candidates, without duplicates.
+func sourceOrder(planned fabric.NodeID, rest []fabric.NodeID) []fabric.NodeID {
+	out := []fabric.NodeID{planned}
+	for _, n := range rest {
+		if n != planned {
+			out = append(out, n)
+		}
+	}
 	return out
 }
 
@@ -210,12 +543,14 @@ func (sm *StorageManager) HandleNodeFailure(dead fabric.NodeID, alive []fabric.N
 	}
 
 	// Snapshot the pre-failure owner sets of the partitions the dead node
-	// participates in, then drop the node; only those partitions (and the
-	// documents registered under them) need walking.
+	// participates in (either side of an open hand-off window), then drop
+	// the node; only those partitions (and the documents registered under
+	// them) need walking.
 	oldOwners := map[int][]fabric.NodeID{}
 	for p := 0; p < sm.pmap.Partitions(); p++ {
-		if owners := sm.pmap.Owners(p); slices.Contains(owners, dead) {
-			oldOwners[p] = owners
+		read, target, _ := sm.pmap.OwnersPair(p)
+		if slices.Contains(read, dead) || slices.Contains(target, dead) {
+			oldOwners[p] = read
 		}
 	}
 	sm.pmap.RemoveNode(dead)
@@ -259,7 +594,7 @@ func (sm *StorageManager) HandleNodeFailure(dead fabric.NodeID, alive []fabric.N
 			sm.markUnrepaired(di.id)
 			continue
 		}
-		newHolders := sm.holdersFor(di.id, di.class)
+		newHolders := sm.readHoldersFor(di.id, di.class)
 		var versions []*docmodel.Document
 		fullyRepaired := true
 		for _, target := range newHolders {
@@ -302,6 +637,156 @@ func (sm *StorageManager) HandleNodeFailure(dead fabric.NodeID, alive []fabric.N
 	return repaired, nil
 }
 
+// ReplanHandoffs re-plans catch-up for every open hand-off window under
+// the current ring. A node failure mid-window re-arms the surviving
+// windows' generations (RemoveNode), fencing in-flight catch-up plans
+// that may miss a promoted successor; the plan returned here carries the
+// fresh generations and the complete move set, and must be executed or
+// the windows never close. Returns nil when no windows are open.
+func (sm *StorageManager) ReplanHandoffs(alive []fabric.NodeID) *TransferPlan {
+	windows := sm.pmap.PendingWindows()
+	if len(windows) == 0 {
+		return nil
+	}
+	return sm.planHandoff(fabric.NodeID{}, windows, alive)
+}
+
+// RepairDegraded re-attempts replication repair for the degraded set: for
+// each under-replicated document, versions are copied from the first
+// alive holder onto the alive holders missing them. A document whose full
+// holder set verifiably holds a copy leaves the degraded set — the
+// "blocked target later came back" healing path. Returns the number of
+// replicas created.
+func (sm *StorageManager) RepairDegraded(alive []fabric.NodeID) int {
+	aliveSet := map[fabric.NodeID]struct{}{}
+	for _, n := range alive {
+		aliveSet[n] = struct{}{}
+	}
+	created := 0
+	for _, id := range sm.UnderReplicated() {
+		class, ok := sm.classOf(id)
+		if !ok {
+			continue
+		}
+		holders := sm.readHoldersFor(id, class)
+		if len(holders) == 0 {
+			continue
+		}
+		var versions []*docmodel.Document
+		var src fabric.NodeID
+		for _, h := range holders {
+			if _, live := aliveSet[h]; !live {
+				continue
+			}
+			if vs, err := sm.access.FetchVersions(h, id); err == nil {
+				src, versions = h, vs
+				break
+			}
+		}
+		if len(versions) == 0 {
+			continue // still no alive source; data may be lost
+		}
+		healed := true
+		for _, h := range holders {
+			if h == src {
+				continue
+			}
+			if _, err := sm.access.FetchVersions(h, id); err == nil {
+				continue // already holds a copy
+			}
+			if _, live := aliveSet[h]; !live {
+				healed = false
+				continue
+			}
+			installed := true
+			for _, v := range versions {
+				if err := sm.access.Install(h, v); err != nil {
+					installed = false
+					break
+				}
+			}
+			if !installed {
+				healed = false
+				continue
+			}
+			sm.mu.Lock()
+			sm.Repaired++
+			sm.mu.Unlock()
+			created++
+		}
+		if healed {
+			sm.markRepaired(id)
+		}
+	}
+	return created
+}
+
+// NodeLoads aggregates the per-partition point-op counters onto the
+// partition's answering (read-side) primary — the node that actually
+// served the operations.
+func (sm *StorageManager) NodeLoads() map[fabric.NodeID]uint64 {
+	out := map[fabric.NodeID]uint64{}
+	for p := 0; p < sm.pmap.Partitions(); p++ {
+		owners := sm.pmap.ReadOwners(p)
+		if len(owners) == 0 {
+			continue
+		}
+		out[owners[0]] += sm.loads[p].Load()
+	}
+	return out
+}
+
+// minRebalanceVnodes is the floor a rebalance pass may shed a node's
+// weight to: below this the node's arcs get too coarse to spread evenly.
+const minRebalanceVnodes = 8
+
+// PlanRebalance is the skew-aware rebalance pass: when the hottest node's
+// point-op load exceeds skew× the mean, its ring weight is cut by a
+// quarter — shrinking the keyspace share it attracts — and the resulting
+// ownership moves come back as a TransferPlan for the same hand-off
+// machinery a join uses. Returns nil while the load is balanced, the
+// signal is empty, or the hot node is already at the weight floor. Load
+// counters reset after a plan is produced so the next pass measures the
+// post-adjustment distribution.
+func (sm *StorageManager) PlanRebalance(skew float64, alive []fabric.NodeID) *TransferPlan {
+	if skew <= 1 {
+		skew = 2
+	}
+	loads := sm.NodeLoads()
+	if len(loads) < 2 {
+		return nil
+	}
+	var total, max uint64
+	var hot fabric.NodeID
+	for n, l := range loads {
+		total += l
+		if l > max || (l == max && !hot.IsZero() && lessNodeID(n, hot)) {
+			max, hot = l, n
+		}
+	}
+	mean := float64(total) / float64(len(loads))
+	if mean == 0 || float64(max) < skew*mean {
+		return nil
+	}
+	w := sm.pmap.Ring().Weight(hot)
+	nw := w * 3 / 4
+	if nw < minRebalanceVnodes {
+		return nil
+	}
+	plan := sm.AdjustNodeWeight(hot, nw, alive)
+	if plan != nil {
+		sm.ResetLoads()
+	}
+	return plan
+}
+
+func lessNodeID(a, b fabric.NodeID) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Num < b.Num
+}
+
 func (sm *StorageManager) markUnrepaired(id docmodel.DocID) {
 	sm.mu.Lock()
 	if _, dup := sm.degraded[id]; !dup {
@@ -313,7 +798,7 @@ func (sm *StorageManager) markUnrepaired(id docmodel.DocID) {
 
 // markRepaired heals the degraded record: a document an earlier pass
 // could not fully repair may reach its factor on a later pass (e.g. its
-// blocked target was recovered next).
+// blocked target was recovered next, or re-joined the ring).
 func (sm *StorageManager) markRepaired(id docmodel.DocID) {
 	sm.mu.Lock()
 	delete(sm.degraded, id)
@@ -321,12 +806,9 @@ func (sm *StorageManager) markRepaired(id docmodel.DocID) {
 }
 
 // UnderReplicated lists documents whose most recent repair pass could
-// not restore the full replication factor; a later pass that succeeds
-// removes them again (monitoring hook). The aliveCount parameter is kept
-// for callers that report against the current cluster size; factors are
-// already capped by membership at placement time.
-func (sm *StorageManager) UnderReplicated(aliveCount int) []docmodel.DocID {
-	_ = aliveCount
+// not restore the full replication factor; a later pass (or a completed
+// hand-off) that succeeds removes them again (monitoring hook).
+func (sm *StorageManager) UnderReplicated() []docmodel.DocID {
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
 	out := make([]docmodel.DocID, 0, len(sm.degraded))

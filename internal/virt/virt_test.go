@@ -304,7 +304,7 @@ func TestHandleNodeFailureRepairs(t *testing.T) {
 			}
 		}
 	}
-	if len(sm.UnderReplicated(len(alive))) != 0 {
+	if len(sm.UnderReplicated()) != 0 {
 		t.Error("docs remain under-replicated")
 	}
 }
@@ -338,7 +338,7 @@ func TestHandleNodeFailureDerivedDataLost(t *testing.T) {
 	if sm.Unrepaired != 1 {
 		t.Errorf("unrepaired = %d, want 1 (recreatable loss)", sm.Unrepaired)
 	}
-	if len(sm.UnderReplicated(1)) != 1 {
+	if len(sm.UnderReplicated()) != 1 {
 		t.Errorf("lost doc must be reported under-replicated")
 	}
 }
