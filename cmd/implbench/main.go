@@ -1,7 +1,8 @@
-// Command implbench runs the Impliance experiment suite (E1–E16 in
-// DESIGN.md §5) and prints the series that EXPERIMENTS.md records. Every
+// Command implbench runs the Impliance experiment suite (E1–E19; see
+// docs/BENCH.md) and prints the series that EXPERIMENTS.md records. Every
 // experiment is keyed to a figure or falsifiable claim of the CIDR 2007
-// paper; the paper reports no absolute numbers, so the deliverable is the
+// paper, or to a scaling property of this reproduction's partition layer;
+// the paper reports no absolute numbers, so the deliverable is the
 // *shape* of each result.
 //
 // Usage:
@@ -90,6 +91,7 @@ func main() {
 		{"E16", "adaptive filter reordering", plain(e16)},
 		{"E17", "point-lookup routing over the partition ring", e17},
 		{"E18", "elastic membership: node re-join under load", e18},
+		{"E19", "partition-routed value-index probes", e19},
 	}
 	jsonOut := false
 	want := map[string]bool{}
@@ -1019,6 +1021,80 @@ func e18() map[string]float64 {
 		"under_replicated":    float64(len(sm.UnderReplicated())),
 		"pending_after_drain": float64(sm.HandoffPending()),
 	}
+}
+
+// ---------------------------------------------------------------- E19
+
+// e19 measures partition-routed value-index probes: fabric messages per
+// value-equality lookup as the cluster grows, routed (the design) vs
+// broadcast (the pre-router behavior, the BroadcastValueProbes
+// ablation). The corpus is deliberately heterogeneous — many sources,
+// each with its own field — so a predicate's path has postings in only
+// the handful of partitions holding that source's documents. The router
+// prunes by per-partition path statistics, so probe fan-out follows the
+// data (≈ docs-per-source partitions), not the cluster size, while the
+// broadcast pays one value-index probe per data node.
+func e19() map[string]float64 {
+	const sources, docsPerSource, lookups = 200, 5, 120
+	metrics := map[string]float64{}
+	mismatches := 0.0
+	fmt.Printf("%-10s %22s %24s %18s\n", "dataNodes", "routed msgs/lookup", "broadcast msgs/lookup", "pruned parts/op")
+	for _, n := range []int{4, 8, 16} {
+		var msgsPer [2]float64 // routed, broadcast
+		var prunedPer float64
+		for mode := 0; mode < 2; mode++ {
+			broadcast := mode == 1
+			app := mustOpen(func(c *impliance.Config) {
+				c.DataNodes = n
+				c.BroadcastValueProbes = broadcast
+			})
+			for s := 0; s < sources; s++ {
+				for i := 0; i < docsPerSource; i++ {
+					if _, err := app.Ingest(impliance.Item{
+						Body: impliance.Object(
+							impliance.F(fmt.Sprintf("f%03d", s), impliance.Int(int64(i))),
+							impliance.F("note", impliance.String(fmt.Sprintf("source %03d record %d", s, i))),
+						),
+						MediaType: "relational/row",
+						Source:    fmt.Sprintf("feed-%03d", s),
+					}); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+			app.Drain()
+			eng := app.Engine()
+			eng.Fabric().ResetNetStats()
+			_, _, prunedBefore, _ := eng.ValueProbeStats()
+			for i := 0; i < lookups; i++ {
+				path := fmt.Sprintf("/f%03d", (i*37)%sources)
+				res, err := app.Run(impliance.Query{
+					Filter: impliance.Cmp(path, impliance.OpEq, impliance.Int(int64(i%docsPerSource))),
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				// Every (source, record) pair is unique: a correct lookup
+				// returns exactly one document in either mode.
+				if len(res.Rows) != 1 {
+					mismatches++
+				}
+			}
+			msgsPer[mode] = float64(eng.Fabric().NetStats().Messages) / lookups
+			if !broadcast {
+				_, _, pruned, _ := eng.ValueProbeStats()
+				prunedPer = float64(pruned-prunedBefore) / lookups
+			}
+			app.Close()
+		}
+		fmt.Printf("%-10d %22.1f %24.1f %18.1f\n", n, msgsPer[0], msgsPer[1], prunedPer)
+		metrics[fmt.Sprintf("routed_msgs_per_lookup_%dn", n)] = msgsPer[0]
+		metrics[fmt.Sprintf("broadcast_msgs_per_lookup_%dn", n)] = msgsPer[1]
+	}
+	metrics["result_mismatches"] = mismatches
+	fmt.Println("shape: routed probes follow the predicate's partitions (~flat in cluster size);")
+	fmt.Println("       the broadcast pays one value-index probe per node and grows linearly")
+	return metrics
 }
 
 func max(a, b int) int {

@@ -1,1 +1,30 @@
+// Package core assembles the Impliance appliance: it boots the simulated
+// fabric (data/grid/cluster nodes), wires per-data-node stores and
+// indexes, runs the asynchronous indexing/annotation pipeline, executes
+// planned queries across the nodes, and hosts the discovery and
+// virtualization machinery. This is the "single system image" of paper
+// §3.3 — clients see one engine; placement, replication, and parallelism
+// are internal.
+//
+// Ownership boundary: core owns *orchestration*, not placement or search
+// state. The engine's own state is the node topology (which fabric
+// nodes, stores, and indexes exist — engine.go), the central document-ID
+// allocator, and instrumentation counters. Every routing decision is
+// *derived* at the point of use from internal/virt's partition map
+// (hash(DocID) → partition → owners, dual-ownership windows included)
+// and, for value predicates, from internal/index's per-partition path
+// statistics (valueroute.go). The split keeps each path honest:
+//
+//   - ingestpath.go routes writes to the partition's owners (both sides
+//     of an open hand-off window) and schedules derived work;
+//   - querypath.go routes point fetches to ≤ RF owners, value probes to
+//     the partitions that can match, and keeps scans/aggregates at one
+//     answering node per partition;
+//   - membership.go and discoverpath.go drive joins, failures, and
+//     rebalances through virt's transfer plans, moving data and handing
+//     indexes (with their statistics) to the new owners;
+//   - handlers.go serves the node-local messages against store and
+//     index, which hold the only per-node state.
+//
+// See docs/ARCHITECTURE.md for the full layer map.
 package core

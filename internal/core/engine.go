@@ -1,10 +1,3 @@
-// Package core assembles the Impliance appliance: it boots the simulated
-// fabric (data/grid/cluster nodes), wires per-data-node stores and
-// indexes, runs the asynchronous indexing/annotation pipeline, executes
-// planned queries across the nodes, and hosts the discovery and
-// virtualization machinery. This is the "single system image" of paper
-// §3.3 — clients see one engine; placement, replication, and parallelism
-// are internal.
 package core
 
 import (
@@ -79,6 +72,10 @@ type Config struct {
 	// of the simple planner (E7 comparator). Statistics must be collected
 	// with CollectStatistics; they go stale on purpose.
 	UseCostOptimizer bool
+	// BroadcastValueProbes disables the partition-routed value-index
+	// probe router and fans every value lookup out to all data nodes
+	// (E19 ablation; the design routes by partition path statistics).
+	BroadcastValueProbes bool
 }
 
 // Normalize fills defaults in place.
@@ -181,6 +178,11 @@ type Engine struct {
 	// mergesByKind counts merge operators executed per node kind (E5's
 	// placement-quality metric).
 	mergesByKind [3]atomic.Uint64
+
+	// valueProbes accounts the routed value-lookup path (E19's metric):
+	// how many lookups ran, how many index-probe messages they cost, and
+	// how much the partition router pruned.
+	valueProbes valueProbeCounters
 
 	closed bool
 	mu     sync.Mutex
@@ -386,7 +388,13 @@ func (e *Engine) bootDataNode(origin uint32) (*dataNode, error) {
 		return nil, fmt.Errorf("core: boot %s: %w", n.ID, err)
 	}
 	dn := &dataNode{
-		node: n, store: st, ix: index.New(nil),
+		node: n, store: st,
+		// The value index is keyed by the same hash(DocID) → partition
+		// function the storage manager routes by, so the engine's probe
+		// router can name the partitions a probe should consult.
+		ix: index.NewPartitioned(nil, virt.DefaultPartitions, func(id docmodel.DocID) int {
+			return virt.DocPartition(id, virt.DefaultPartitions)
+		}),
 		indexedVer: map[docmodel.DocID]*docmodel.Document{},
 	}
 	n.SetHandler(e.dataHandler(dn))
@@ -645,6 +653,12 @@ type Metrics struct {
 	BacklogTasks  int
 	GroupEpoch    uint64
 	ClusterLeader fabric.NodeID
+
+	// Routed value-lookup accounting (see Engine.ValueProbeStats).
+	ValueLookups        uint64
+	ValueProbes         uint64
+	ValueProbePruned    uint64
+	ValueProbeFallbacks uint64
 }
 
 // MetricsSnapshot gathers current counters.
@@ -656,6 +670,7 @@ func (e *Engine) MetricsSnapshot() Metrics {
 		GroupEpoch:    e.group.Epoch(),
 		ClusterLeader: e.group.Leader(),
 	}
+	m.ValueLookups, m.ValueProbes, m.ValueProbePruned, m.ValueProbeFallbacks = e.ValueProbeStats()
 	seen := map[docmodel.DocID]struct{}{}
 	for _, dn := range e.dataNodes() {
 		m.IndexedDocs += dn.ix.DocCount()

@@ -154,13 +154,13 @@ func (e *Engine) dataHandler(dn *dataNode) fabric.Handler {
 					}
 					hi = &v
 				}
-				ids = dn.ix.ValueRange(req.Path, lo, hi, req.LoInc, req.HiInc)
+				ids = dn.ix.ValueRangeIn(req.Parts, req.Path, lo, hi, req.LoInc, req.HiInc)
 			} else {
 				v, err := docmodel.DecodeValue(req.Value)
 				if err != nil {
 					return nil, err
 				}
-				ids = dn.ix.ValueLookup(req.Path, v)
+				ids = dn.ix.ValueLookupIn(req.Parts, req.Path, v)
 			}
 			return mustJSON(idListResp{IDs: idStrings(ids)}), nil
 
@@ -364,16 +364,23 @@ func (e *Engine) fanOutData(kind string, payloadFor func(*dataNode) []byte) ([][
 			alive = append(alive, dn)
 		}
 	}
-	results := make([][]byte, len(alive))
-	errs := make([]error, len(alive))
-	done := make(chan int, len(alive))
-	for i, dn := range alive {
+	return e.callEach(alive, kind, payloadFor)
+}
+
+// callEach calls each node concurrently with its payload and gathers
+// raw replies in node order, failing on the first error — the shared
+// scatter-gather under fanOutData and the routed value probe.
+func (e *Engine) callEach(nodes []*dataNode, kind string, payloadFor func(*dataNode) []byte) ([][]byte, error) {
+	results := make([][]byte, len(nodes))
+	errs := make([]error, len(nodes))
+	done := make(chan int, len(nodes))
+	for i, dn := range nodes {
 		go func(i int, dn *dataNode) {
 			results[i], errs[i] = e.fab.Call(dn.node.ID, kind, payloadFor(dn))
 			done <- i
 		}(i, dn)
 	}
-	for range alive {
+	for range nodes {
 		<-done
 	}
 	for _, err := range errs {

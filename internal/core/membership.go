@@ -96,6 +96,10 @@ func (e *Engine) catchUpPartition(pt virt.PartitionTransfer) {
 	// Index hand-over: the partition's post-hand-off answering owner
 	// indexes every registered document; other nodes drop their entries
 	// (add before remove, so searches and facets never miss mid-swap).
+	// The partition's path statistics move with the postings — Add/Remove
+	// maintain them in lockstep — so once the window closes the value-
+	// probe router finds the partition admitted on the new owner and
+	// drained on the old ones, with no separate statistics transfer.
 	var answer *dataNode
 	for _, n := range pt.NewOwners {
 		if dn, ok := e.dataNode(n); ok && e.eligible(dn) {

@@ -285,17 +285,55 @@ func (e *Engine) buildJoin(p *plan.Plan, outer exec.Operator) (exec.Operator, er
 	}
 }
 
-// lookupAndFetch probes every data node's value index (the index is
-// distributed, so the probe is semantically a fan-out) and then fetches
-// the matching documents from their partition owners — never from the
-// reporting node, whose copy could lag behind the owner's latest
-// version.
+// lookupAndFetch resolves a value predicate through the partition-routed
+// probe plan (valueroute.go): the partition map plus per-partition path
+// statistics name the minimal node set whose partitions can contain the
+// (path, value), each selected node is probed with its partition filter,
+// and partitions inside an open dual-ownership window fall back to an
+// all-ring probe. Matching documents are then fetched from their
+// partition owners — never from the reporting node, whose copy could lag
+// behind the owner's latest version. The BroadcastValueProbes ablation
+// restores the pre-router behavior: every ring member probes its whole
+// value index.
 func (e *Engine) lookupAndFetch(req valueLookupReq) ([]*docmodel.Document, error) {
-	payload := mustJSON(req)
-	results, err := e.fanOutData(msgValueLookup, func(*dataNode) []byte { return payload })
+	e.valueProbes.lookups.Add(1)
+	var results [][]byte
+	var err error
+	if e.cfg.BroadcastValueProbes {
+		payload := mustJSON(req)
+		results, err = e.fanOutData(msgValueLookup, func(*dataNode) []byte { return payload })
+	} else {
+		// Plan → probe is not atomic against membership changes: a window
+		// opening mid-flight can move a partition's postings off the node
+		// the plan selected before the probe arrives. Bracket the probe
+		// with the membership generation and re-plan when it moved; churn
+		// is rare, so the retry is almost never taken, and persistent
+		// churn degrades to the always-correct broadcast.
+		for attempt := 0; ; attempt++ {
+			gen := e.smgr.MembershipGeneration()
+			targets, pruned, windowed := e.valueProbePlan(req)
+			results, err = e.probeValueTargets(req, targets)
+			if err != nil {
+				return nil, err
+			}
+			if e.smgr.MembershipGeneration() == gen {
+				e.valueProbes.partitionsPruned.Add(uint64(pruned))
+				if windowed > 0 {
+					e.valueProbes.windowFallbacks.Add(1)
+				}
+				break
+			}
+			if attempt == 2 {
+				payload := mustJSON(req)
+				results, err = e.fanOutData(msgValueLookup, func(*dataNode) []byte { return payload })
+				break
+			}
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
+	e.valueProbes.probes.Add(uint64(len(results)))
 	seen := map[docmodel.DocID]struct{}{}
 	var ids []docmodel.DocID
 	for _, raw := range results {

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"impliance/internal/docmodel"
+)
+
+// Partition-routed value-index probes. A value predicate used to be a
+// broadcast: every data node probed its whole value index, so
+// value-predicate queries cost O(nodes) messages while routed point Gets
+// cost O(RF). The router below closes that asymmetry. Postings are keyed
+// by (partition, path, value) on each node (internal/index), and every
+// partition carries path statistics — distinct paths with live postings
+// and their value-kind histograms. The router walks the partition map:
+// for each partition it asks the read-side owners' local statistics
+// whether the (path, value) can match there, and fans the probe out only
+// to the nodes that admit it, each probe carrying the partitions that
+// node was selected for. Partitions inside an open dual-ownership window
+// are probed on every ring member instead — their index is mid-hand-over
+// (the same generation-fenced window rule reads already respect), so the
+// broadcast fallback is the only set guaranteed to cover both sides.
+
+// valueProbeCounters accounts the routed value-lookup path.
+type valueProbeCounters struct {
+	lookups          atomic.Uint64 // value lookups executed
+	probes           atomic.Uint64 // index-probe calls sent
+	partitionsPruned atomic.Uint64 // partitions skipped by path statistics
+	windowFallbacks  atomic.Uint64 // lookups that crossed an open hand-off window
+}
+
+// ValueProbeStats reports the routed value-lookup accounting: lookups
+// executed, index-probe messages sent, partitions pruned by path
+// statistics, and lookups that fell back to a per-partition broadcast
+// because a dual-ownership window was open.
+func (e *Engine) ValueProbeStats() (lookups, probes, pruned, windowFallbacks uint64) {
+	return e.valueProbes.lookups.Load(),
+		e.valueProbes.probes.Load(),
+		e.valueProbes.partitionsPruned.Load(),
+		e.valueProbes.windowFallbacks.Load()
+}
+
+// valueProbeKind extracts the kind-pruning hint from a lookup request:
+// the queried value's kind for an equality probe; for a range, the kind
+// shared by both bounds when they agree (the total value order groups
+// non-numeric kinds, and Int/Float are matched as one numeric class), or
+// no hint for open or kind-crossing ranges.
+func valueProbeKind(req valueLookupReq) (docmodel.Kind, bool) {
+	if !req.Range {
+		v, err := docmodel.DecodeValue(req.Value)
+		if err != nil {
+			return 0, false
+		}
+		return v.Kind(), true
+	}
+	if req.Lo == nil || req.Hi == nil {
+		return 0, false
+	}
+	lo, err := docmodel.DecodeValue(req.Lo)
+	if err != nil {
+		return 0, false
+	}
+	hi, err := docmodel.DecodeValue(req.Hi)
+	if err != nil {
+		return 0, false
+	}
+	if lo.Kind() == hi.Kind() || (numericKind(lo.Kind()) && numericKind(hi.Kind())) {
+		return lo.Kind(), true
+	}
+	return 0, false
+}
+
+func numericKind(k docmodel.Kind) bool {
+	return k == docmodel.KindInt || k == docmodel.KindFloat
+}
+
+// valueProbePlan computes the minimal probe set for a value predicate:
+// which nodes to call and, per node, which of its partitions to consult.
+// For each settled partition the candidates are its read-side owners
+// that are alive ring members (the postings live on exactly one of them
+// — the answering owner at index time — and each candidate's own
+// statistics decide whether it is probed, so a quarantined owner still
+// holding the partition's postings keeps answering). Returns the plan
+// plus the number of partitions pruned by statistics and the number
+// routed through the open-window broadcast fallback.
+func (e *Engine) valueProbePlan(req valueLookupReq) (targets map[*dataNode][]int, pruned, windowed int) {
+	targets = map[*dataNode][]int{}
+	kind, haveKind := valueProbeKind(req)
+	var ring []*dataNode // built lazily: only open windows need it
+	for p := 0; p < e.smgr.Partitions(); p++ {
+		if e.smgr.InHandoff(p) {
+			windowed++
+			if ring == nil {
+				for _, dn := range e.dataNodes() {
+					if dn.node.Alive() && e.smgr.InRing(dn.node.ID) {
+						ring = append(ring, dn)
+					}
+				}
+			}
+			for _, dn := range ring {
+				targets[dn] = append(targets[dn], p)
+			}
+			continue
+		}
+		matched := false
+		consulted := false
+		for _, owner := range e.smgr.ReadOwnersOf(p) {
+			dn, ok := e.dataNode(owner)
+			if !ok || !dn.node.Alive() || !e.smgr.InRing(owner) {
+				continue
+			}
+			consulted = true
+			if dn.ix.Admits(p, req.Path, kind, haveKind) {
+				targets[dn] = append(targets[dn], p)
+				matched = true
+			}
+		}
+		// Only statistics rejections count as pruning; a partition with no
+		// reachable candidate at all (every read owner dead or off-ring) is
+		// a coverage gap, not a prune — the broadcast could not have
+		// reached it either, but the counter must not claim credit for it.
+		if consulted && !matched {
+			pruned++
+		}
+	}
+	return targets, pruned, windowed
+}
+
+// probeValueTargets calls each planned node concurrently with its
+// partition filter and gathers raw replies in node order.
+func (e *Engine) probeValueTargets(req valueLookupReq, targets map[*dataNode][]int) ([][]byte, error) {
+	nodes := make([]*dataNode, 0, len(targets))
+	for dn := range targets {
+		nodes = append(nodes, dn)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].node.ID.Num < nodes[j].node.ID.Num })
+	payloads := make(map[*dataNode][]byte, len(nodes))
+	for _, dn := range nodes {
+		r := req
+		r.Parts = targets[dn]
+		sort.Ints(r.Parts)
+		payloads[dn] = mustJSON(r)
+	}
+	return e.callEach(nodes, msgValueLookup, func(dn *dataNode) []byte { return payloads[dn] })
+}

@@ -79,6 +79,10 @@ type valueLookupReq struct {
 	LoInc bool   `json:"lo_inc,omitempty"`
 	HiInc bool   `json:"hi_inc,omitempty"`
 	Range bool   `json:"range,omitempty"`
+	// Parts restricts the probe to these partitions of the node's value
+	// index (nil = all). The engine's router fills it with the partitions
+	// it selected this node for.
+	Parts []int `json:"parts,omitempty"`
 }
 
 type idListResp struct {

@@ -9,8 +9,21 @@
 //     string leaf;
 //   - a structural path index mapping each distinct path to the documents
 //     containing it;
-//   - a typed value index per path supporting equality and range lookups
-//     with the document model's total value order.
+//   - a typed value index supporting equality and range lookups with the
+//     document model's total value order, keyed by (partition, path,
+//     value) so probes can be restricted to the partitions a router
+//     selects.
+//
+// Ownership boundary: an Index owns only *derived*, node-local state —
+// postings, path sets, and the per-partition path statistics
+// (PartitionStats) the engine's value-probe router consults. It owns no
+// placement truth: which documents a node indexes is decided by the
+// engine against internal/virt's partition map, and the partition of a
+// posting is a pure function of the document ID supplied at construction
+// (virt.DocPartition). Because statistics are part of the index, the
+// membership hand-off machinery that re-indexes a partition on its new
+// owner (core.Engine.catchUpPartition) moves the statistics with it;
+// nothing here needs separate transfer.
 //
 // Indexing is incremental (paper §3.3: "it is important to be able to
 // incrementally maintain the index") and decoupled from ingestion: the
@@ -44,11 +57,14 @@ type Hit struct {
 // Index is a thread-safe per-node index over the latest document versions.
 type Index struct {
 	analyzer *text.Analyzer
+	parts    int
+	partOf   func(docmodel.DocID) int
 
 	mu       sync.RWMutex
 	terms    map[string]*postingList
 	paths    map[string]map[docmodel.DocID]struct{}
-	values   map[string]*valueIndex
+	values   map[string]map[int]*valueIndex // path → partition → postings run
+	stats    map[int]*partitionStats        // partition → path statistics
 	docLen   map[docmodel.DocID]int
 	totalLen int64
 }
@@ -62,20 +78,43 @@ type posting struct {
 	positions []int32
 }
 
-// New creates an empty index using the given analyzer (nil for the
-// appliance default).
+// New creates an empty single-partition index using the given analyzer
+// (nil for the appliance default). Every value posting lands in partition
+// 0 — the right shape for baseline engines and anything that does not run
+// over the virt partition layer.
 func New(analyzer *text.Analyzer) *Index {
+	return NewPartitioned(analyzer, 1, nil)
+}
+
+// NewPartitioned creates an empty index whose value postings and path
+// statistics are keyed by the partition of the owning document: partOf
+// maps a document ID into [0, parts). The engine passes the same hash the
+// partition map routes by, so "which of this node's partitions could
+// match (path, value)" is answerable locally and probe requests can carry
+// a partition filter. A nil partOf (or parts <= 1) degenerates to a
+// single partition.
+func NewPartitioned(analyzer *text.Analyzer, parts int, partOf func(docmodel.DocID) int) *Index {
 	if analyzer == nil {
 		analyzer = text.DefaultAnalyzer
 	}
+	if parts <= 1 || partOf == nil {
+		parts = 1
+		partOf = func(docmodel.DocID) int { return 0 }
+	}
 	return &Index{
 		analyzer: analyzer,
+		parts:    parts,
+		partOf:   partOf,
 		terms:    map[string]*postingList{},
 		paths:    map[string]map[docmodel.DocID]struct{}{},
-		values:   map[string]*valueIndex{},
+		values:   map[string]map[int]*valueIndex{},
+		stats:    map[int]*partitionStats{},
 		docLen:   map[docmodel.DocID]int{},
 	}
 }
+
+// Partitions returns the partition count the value index is keyed by.
+func (ix *Index) Partitions() int { return ix.parts }
 
 // Add indexes a document version. If an older version of the same document
 // is currently indexed, the caller must Remove it first (the core engine
@@ -83,6 +122,8 @@ func New(analyzer *text.Analyzer) *Index {
 func (ix *Index) Add(d *docmodel.Document) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	part := ix.partOf(d.ID)
+	stats := ix.statsFor(part)
 	pos := int32(0)
 	length := 0
 	d.WalkLeaves(func(pv docmodel.PathVisit) bool {
@@ -94,11 +135,14 @@ func (ix *Index) Add(d *docmodel.Document) {
 		}
 		set[d.ID] = struct{}{}
 
-		// Typed value index (scalars only; arrays fan out in the walk).
+		// Typed value index (scalars only; arrays fan out in the walk),
+		// keyed by the document's partition; the partition's path
+		// statistics move in lockstep with the postings.
 		switch pv.Value.Kind() {
 		case docmodel.KindObject, docmodel.KindArray:
 		default:
-			ix.valueIndexFor(pv.Path).add(pv.Value, d.ID)
+			ix.valueIndexFor(pv.Path, part).add(pv.Value, d.ID)
+			stats.bump(pv.Path, pv.Value.Kind(), +1)
 		}
 
 		// Full-text postings over string leaves. Positions run across the
@@ -140,6 +184,8 @@ func (ix *Index) Remove(d *docmodel.Document) {
 	if _, ok := ix.docLen[d.ID]; !ok {
 		return
 	}
+	part := ix.partOf(d.ID)
+	stats := ix.statsFor(part)
 	d.WalkLeaves(func(pv docmodel.PathVisit) bool {
 		if set, ok := ix.paths[pv.Path]; ok {
 			delete(set, d.ID)
@@ -150,8 +196,9 @@ func (ix *Index) Remove(d *docmodel.Document) {
 		switch pv.Value.Kind() {
 		case docmodel.KindObject, docmodel.KindArray:
 		default:
-			if vi, ok := ix.values[pv.Path]; ok {
+			if vi := ix.values[pv.Path][part]; vi != nil {
 				vi.remove(d.ID)
+				stats.bump(pv.Path, pv.Value.Kind(), -1)
 			}
 		}
 		if pv.Value.Kind() == docmodel.KindString {
@@ -363,29 +410,75 @@ func (ix *Index) PathList() []string {
 	return out
 }
 
-// ValueLookup returns documents having exactly v at path, sorted.
+// ValueLookup returns documents having exactly v at path, sorted, across
+// every partition.
 func (ix *Index) ValueLookup(path string, v docmodel.Value) []docmodel.DocID {
+	return ix.ValueLookupIn(nil, path, v)
+}
+
+// ValueLookupIn is ValueLookup restricted to the given partitions (nil =
+// all). A routed probe carries the partitions the engine's router
+// selected for this node, so the node consults only those postings runs.
+func (ix *Index) ValueLookupIn(parts []int, path string, v docmodel.Value) []docmodel.DocID {
 	// Write lock: value-index reads may lazily sort/compact.
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	vi, ok := ix.values[path]
-	if !ok {
-		return nil
+	var out []docmodel.DocID
+	for _, vi := range ix.runsFor(path, parts) {
+		out = append(out, vi.lookup(v)...)
 	}
-	return vi.lookup(v)
+	sortIDs(out)
+	return out
 }
 
 // ValueRange returns documents with a value at path in [lo, hi] (nil
-// bounds are open), sorted by document ID.
+// bounds are open), sorted by document ID, across every partition.
 func (ix *Index) ValueRange(path string, lo, hi *docmodel.Value, loInc, hiInc bool) []docmodel.DocID {
+	return ix.ValueRangeIn(nil, path, lo, hi, loInc, hiInc)
+}
+
+// ValueRangeIn is ValueRange restricted to the given partitions (nil =
+// all).
+func (ix *Index) ValueRangeIn(parts []int, path string, lo, hi *docmodel.Value, loInc, hiInc bool) []docmodel.DocID {
 	// Write lock: value-index reads may lazily sort/compact.
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	vi, ok := ix.values[path]
-	if !ok {
+	var out []docmodel.DocID
+	for _, vi := range ix.runsFor(path, parts) {
+		out = append(out, vi.rangeLookup(lo, hi, loInc, hiInc)...)
+	}
+	sortIDs(out)
+	return out
+}
+
+// runsFor selects the postings runs of a path for the requested
+// partitions (nil = all, ascending partition order). Caller holds the
+// write lock. Each document hashes to exactly one partition, so runs are
+// disjoint and concatenating their sorted results needs only a re-sort,
+// never a dedup.
+func (ix *Index) runsFor(path string, parts []int) []*valueIndex {
+	byPart := ix.values[path]
+	if len(byPart) == 0 {
 		return nil
 	}
-	return vi.rangeLookup(lo, hi, loInc, hiInc)
+	var out []*valueIndex
+	if parts == nil {
+		keys := make([]int, 0, len(byPart))
+		for p := range byPart {
+			keys = append(keys, p)
+		}
+		sort.Ints(keys)
+		for _, p := range keys {
+			out = append(out, byPart[p])
+		}
+		return out
+	}
+	for _, p := range parts {
+		if vi, ok := byPart[p]; ok {
+			out = append(out, vi)
+		}
+	}
+	return out
 }
 
 // FacetCount is one facet bucket: a distinct value and its document count.
@@ -397,22 +490,56 @@ type FacetCount struct {
 // Facets computes the distinct values at path over an optional candidate
 // set (nil = all docs), sorted by descending count then value — the
 // building block of the multi-faceted search interface (paper §3.2.1).
+// Buckets are merged across the path's partitions; a document contributes
+// to exactly one partition, so counts never double.
 func (ix *Index) Facets(path string, candidates map[docmodel.DocID]struct{}, limit int) []FacetCount {
 	// Write lock: value-index reads may lazily sort/compact.
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	vi, ok := ix.values[path]
-	if !ok {
+	runs := ix.runsFor(path, nil)
+	if len(runs) == 0 {
 		return nil
 	}
-	return vi.facets(candidates, limit)
+	if len(runs) == 1 {
+		return runs[0].facets(candidates, limit)
+	}
+	var all []FacetCount
+	for _, vi := range runs {
+		all = append(all, vi.facets(candidates, 0)...)
+	}
+	// Combine buckets with equal values across partitions, then restore
+	// the count-descending order.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Value.Compare(all[j].Value) < 0 })
+	merged := all[:0]
+	for _, fc := range all {
+		if n := len(merged); n > 0 && merged[n-1].Value.Compare(fc.Value) == 0 {
+			merged[n-1].Count += fc.Count
+			continue
+		}
+		merged = append(merged, fc)
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].Count != merged[j].Count {
+			return merged[i].Count > merged[j].Count
+		}
+		return merged[i].Value.Compare(merged[j].Value) < 0
+	})
+	if limit > 0 && len(merged) > limit {
+		merged = merged[:limit]
+	}
+	return merged
 }
 
-func (ix *Index) valueIndexFor(path string) *valueIndex {
-	vi, ok := ix.values[path]
+func (ix *Index) valueIndexFor(path string, part int) *valueIndex {
+	byPart, ok := ix.values[path]
+	if !ok {
+		byPart = map[int]*valueIndex{}
+		ix.values[path] = byPart
+	}
+	vi, ok := byPart[part]
 	if !ok {
 		vi = newValueIndex()
-		ix.values[path] = vi
+		byPart[part] = vi
 	}
 	return vi
 }

@@ -209,6 +209,25 @@ func TestIncrementalRemoveThenAddNewVersion(t *testing.T) {
 	}
 }
 
+// TestValueLookupAfterUpdateDropsOldValue: replacing a document version
+// must not leave the old version's values matchable — re-adding a
+// tombstoned doc purges its stale entries instead of resurrecting them.
+func TestValueLookupAfterUpdateDropsOldValue(t *testing.T) {
+	ix := New(nil)
+	v1 := doc(1, docmodel.F("a", docmodel.Int(1)))
+	ix.Add(v1)
+	v2 := doc(1, docmodel.F("a", docmodel.Int(2)))
+	v2.Version = 2
+	ix.Remove(v1)
+	ix.Add(v2)
+	if got := ix.ValueLookup("/a", docmodel.Int(1)); len(got) != 0 {
+		t.Errorf("stale value still matches after update: %v", got)
+	}
+	if got := ix.ValueLookup("/a", docmodel.Int(2)); len(got) != 1 {
+		t.Errorf("new value not matchable: %v", got)
+	}
+}
+
 func TestRemoveUnknownIsNoop(t *testing.T) {
 	ix := New(nil)
 	ix.Add(textDoc(1, "keep me"))

@@ -1,0 +1,113 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"impliance/internal/docmodel"
+)
+
+// seqMod4 partitions test docs by Seq so each doc's partition is known.
+func seqMod4(id docmodel.DocID) int { return int(id.Seq % 4) }
+
+func TestValueLookupInFiltersByPartition(t *testing.T) {
+	ix := NewPartitioned(nil, 4, seqMod4)
+	for seq := uint64(1); seq <= 8; seq++ {
+		ix.Add(doc(seq, docmodel.F("k", docmodel.Int(7))))
+	}
+	all := ix.ValueLookupIn(nil, "/k", docmodel.Int(7))
+	if len(all) != 8 {
+		t.Fatalf("all-partition lookup = %d docs, want 8", len(all))
+	}
+	// Partition 1 holds Seq 1 and 5 only.
+	got := ix.ValueLookupIn([]int{1}, "/k", docmodel.Int(7))
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 5 {
+		t.Fatalf("partition-1 lookup = %v, want Seq 1 and 5", got)
+	}
+	// A partition filter spanning two partitions unions their runs.
+	got = ix.ValueLookupIn([]int{2, 3}, "/k", docmodel.Int(7))
+	if len(got) != 4 {
+		t.Fatalf("partition-{2,3} lookup = %v, want 4 docs", got)
+	}
+	// Ranges honor the same filter.
+	lo, hi := docmodel.Int(0), docmodel.Int(100)
+	got = ix.ValueRangeIn([]int{0}, "/k", &lo, &hi, true, true)
+	if len(got) != 2 || got[0].Seq != 4 || got[1].Seq != 8 {
+		t.Fatalf("partition-0 range = %v, want Seq 4 and 8", got)
+	}
+}
+
+func TestPartitionStatsTrackPathsAndKinds(t *testing.T) {
+	ix := NewPartitioned(nil, 4, seqMod4)
+	d := doc(5, // partition 1
+		docmodel.F("name", docmodel.String("ada")),
+		docmodel.F("score", docmodel.Float(9.5)),
+	)
+	ix.Add(d)
+
+	if !ix.MayContainPath(1, "/name") {
+		t.Error("partition 1 should admit /name")
+	}
+	if ix.MayContainPath(2, "/name") {
+		t.Error("partition 2 never observed /name")
+	}
+	if !ix.MayContainKind(1, "/name", docmodel.KindString) {
+		t.Error("partition 1 should admit string at /name")
+	}
+	if ix.MayContainKind(1, "/name", docmodel.KindInt) {
+		t.Error("no numeric posting at /name")
+	}
+	// Int and Float are one numeric class: an Int probe can match the
+	// Float posting at /score (the value order compares them cross-kind).
+	if !ix.MayContainKind(1, "/score", docmodel.KindInt) {
+		t.Error("Int probe must admit the Float posting at /score")
+	}
+	if got := ix.PartitionsWithPath("/name"); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("PartitionsWithPath(/name) = %v, want [1]", got)
+	}
+	if got := ix.PathCountIn(1); got != 2 {
+		t.Errorf("PathCountIn(1) = %d, want 2", got)
+	}
+
+	// Removal drains the statistics with the postings: "observed" means
+	// live postings, not history.
+	ix.Remove(d)
+	if ix.MayContainPath(1, "/name") || ix.PathCountIn(1) != 0 {
+		t.Error("statistics must drain to zero after removal")
+	}
+	if got := ix.ValueLookupIn(nil, "/name", docmodel.String("ada")); len(got) != 0 {
+		t.Errorf("lookup after removal = %v", got)
+	}
+}
+
+func TestPartitionedFacetsMergeAcrossPartitions(t *testing.T) {
+	part := NewPartitioned(nil, 4, seqMod4)
+	single := New(nil)
+	for seq := uint64(1); seq <= 12; seq++ {
+		d := doc(seq, docmodel.F("cat", docmodel.String([]string{"a", "b", "c"}[seq%3])))
+		part.Add(d)
+		single.Add(d)
+	}
+	got := part.Facets("/cat", nil, 0)
+	want := single.Facets("/cat", nil, 0)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("partitioned facets = %v, want %v", got, want)
+	}
+	if limited := part.Facets("/cat", nil, 2); len(limited) != 2 {
+		t.Errorf("facet limit ignored: %v", limited)
+	}
+}
+
+func TestSinglePartitionDegenerate(t *testing.T) {
+	ix := New(nil)
+	ix.Add(doc(9, docmodel.F("k", docmodel.Int(1))))
+	if ix.Partitions() != 1 {
+		t.Fatalf("New must be single-partition, got %d", ix.Partitions())
+	}
+	if !ix.MayContainPath(0, "/k") {
+		t.Error("single-partition stats should land in partition 0")
+	}
+	if got := ix.ValueLookupIn([]int{0}, "/k", docmodel.Int(1)); len(got) != 1 {
+		t.Errorf("partition-0 lookup = %v", got)
+	}
+}

@@ -1,0 +1,153 @@
+package index
+
+import (
+	"sort"
+
+	"impliance/internal/docmodel"
+)
+
+// Per-partition path statistics: for each partition a node holds value
+// postings for, which structural paths have live postings and the
+// histogram of their value kinds. The engine's value-probe router reads
+// these to compute the minimal node set that can answer a (path, value)
+// predicate — a partition that has never observed the path (or never the
+// queried kind) cannot match and is pruned from the fan-out.
+//
+// The statistics are maintained inside Add/Remove, in lockstep with the
+// postings themselves, so the membership hand-off machinery that
+// re-indexes a partition on its new owner moves them implicitly: after a
+// hand-off the old owner's counters for the partition drain to zero and
+// the new owner's grow, with no separate transfer protocol.
+
+// partitionStats is one partition's path statistics. Guarded by the
+// index mutex.
+type partitionStats struct {
+	paths map[string]*pathStats
+}
+
+// pathStats counts one (partition, path)'s live value postings by kind.
+type pathStats struct {
+	postings int // live scalar leaf postings under the path
+	kinds    [maxKinds]int
+}
+
+// maxKinds bounds the docmodel.Kind histogram (kinds are a small enum;
+// Object/Array never reach the value index).
+const maxKinds = 16
+
+func (ix *Index) statsFor(part int) *partitionStats {
+	ps, ok := ix.stats[part]
+	if !ok {
+		ps = &partitionStats{paths: map[string]*pathStats{}}
+		ix.stats[part] = ps
+	}
+	return ps
+}
+
+// bump adjusts the (path, kind) counters by delta. Caller holds the
+// index write lock. A path whose postings drain to zero is forgotten, so
+// "has the partition observed this path" means live postings, not
+// history.
+func (ps *partitionStats) bump(path string, k docmodel.Kind, delta int) {
+	st, ok := ps.paths[path]
+	if !ok {
+		if delta <= 0 {
+			return
+		}
+		st = &pathStats{}
+		ps.paths[path] = st
+	}
+	st.postings += delta
+	if int(k) < maxKinds {
+		st.kinds[k] += delta
+	}
+	if st.postings <= 0 {
+		delete(ps.paths, path)
+	}
+}
+
+// Admits is the router's single-lock admission check: whether the
+// partition has a live value posting under the path — and, when a kind
+// hint is supplied, of a kind the probe could match (Int/Float as one
+// numeric class). False means probing this node for the partition
+// cannot return results.
+func (ix *Index) Admits(part int, path string, k docmodel.Kind, kindKnown bool) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ps, ok := ix.stats[part]
+	if !ok {
+		return false
+	}
+	st, ok := ps.paths[path]
+	if !ok {
+		return false
+	}
+	if !kindKnown {
+		return true
+	}
+	return st.admitsKind(k)
+}
+
+func (st *pathStats) admitsKind(k docmodel.Kind) bool {
+	if numericKind(k) {
+		return st.kinds[docmodel.KindInt] > 0 || st.kinds[docmodel.KindFloat] > 0
+	}
+	if int(k) >= maxKinds {
+		return st.postings > 0
+	}
+	return st.kinds[k] > 0
+}
+
+func numericKind(k docmodel.Kind) bool {
+	return k == docmodel.KindInt || k == docmodel.KindFloat
+}
+
+// MayContainPath reports whether the partition has any live value
+// posting under the path on this node. False means a probe of this
+// node's partition cannot return results for any predicate on the path.
+func (ix *Index) MayContainPath(part int, path string) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ps, ok := ix.stats[part]
+	if !ok {
+		return false
+	}
+	_, ok = ps.paths[path]
+	return ok
+}
+
+// MayContainKind reports whether the partition has a live value posting
+// of the kind (or, for numeric kinds, of either numeric kind — the value
+// order compares Int and Float cross-kind, so an Int probe can match a
+// Float posting) under the path on this node.
+func (ix *Index) MayContainKind(part int, path string, k docmodel.Kind) bool {
+	return ix.Admits(part, path, k, true)
+}
+
+// PartitionsWithPath lists the partitions that have live value postings
+// under the path on this node, ascending (diagnostics and tests).
+func (ix *Index) PartitionsWithPath(path string) []int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var out []int
+	for p, ps := range ix.stats {
+		if _, ok := ps.paths[path]; ok {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PathCountIn reports how many distinct paths the partition has live
+// value postings for on this node (monitoring hook: the "distinct paths
+// seen" statistic).
+func (ix *Index) PathCountIn(part int) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ps, ok := ix.stats[part]
+	if !ok {
+		return 0
+	}
+	return len(ps.paths)
+}

@@ -28,8 +28,20 @@ func newValueIndex() *valueIndex {
 
 // add records a value occurrence. Caller holds the index write lock.
 func (vi *valueIndex) add(v docmodel.Value, id docmodel.DocID) {
-	// Re-adding a doc that was tombstoned resurrects it (new version).
-	delete(vi.removed, id)
+	// Re-adding a doc that was tombstoned is a new version arriving:
+	// purge the old version's entries before clearing the tombstone, or
+	// clearing it would resurrect them and lookups on the *old* values
+	// would keep matching the document.
+	if _, dead := vi.removed[id]; dead {
+		kept := vi.entries[:0]
+		for _, e := range vi.entries {
+			if e.id != id {
+				kept = append(kept, e)
+			}
+		}
+		vi.entries = kept
+		delete(vi.removed, id)
+	}
 	vi.entries = append(vi.entries, valueEntry{val: v, id: id})
 	vi.dirty = true
 }

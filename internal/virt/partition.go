@@ -104,7 +104,19 @@ func (pm *PartitionMap) AddNode(n fabric.NodeID) []int {
 		return nil
 	}
 	pm.ring.Add(n)
+	pm.gen++
 	return pm.recomputeLocked()
+}
+
+// Generation returns the membership-change generation: a counter that
+// advances whenever owner sets may have changed (node addition or
+// removal, window opening or re-arming). Readers that plan work against
+// a snapshot of the map re-read it after acting to detect a concurrent
+// change and re-plan.
+func (pm *PartitionMap) Generation() uint64 {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	return pm.gen
 }
 
 // BeginJoin adds a node to the ring and opens a dual-ownership window on
@@ -213,8 +225,8 @@ func (pm *PartitionMap) RemoveNode(n fabric.NodeID) []int {
 	if !pm.ring.Remove(n) {
 		return nil
 	}
+	pm.gen++
 	if len(pm.pending) > 0 {
-		pm.gen++
 		for p, st := range pm.pending {
 			kept := st.owners[:0]
 			for _, o := range st.owners {
@@ -311,7 +323,15 @@ func (pm *PartitionMap) OwnersPair(p int) (read, target []fabric.NodeID, pending
 // PartitionOf maps a document ID to its partition. Versions of one
 // document always land together (the hash covers Origin and Seq only).
 func (pm *PartitionMap) PartitionOf(id docmodel.DocID) int {
-	return int(docKey(id) % uint64(pm.parts))
+	return DocPartition(id, pm.parts)
+}
+
+// DocPartition maps a document ID into a partition space of the given
+// size — the pure function PartitionOf routes by, exported so per-node
+// value indexes can key their postings identically without holding a
+// partition map.
+func DocPartition(id docmodel.DocID, parts int) int {
+	return int(docKey(id) % uint64(parts))
 }
 
 // OwnerForKey returns the primary for an arbitrary routing key — the

@@ -135,6 +135,21 @@ func (sm *StorageManager) OwnersOf(p int) []fabric.NodeID { return sm.pmap.Owner
 // InRing reports whether the node is a current ring member.
 func (sm *StorageManager) InRing(n fabric.NodeID) bool { return sm.pmap.Ring().Contains(n) }
 
+// InHandoff reports whether the partition's dual-ownership window is
+// open (readers that consult per-node partition state must widen to a
+// broadcast for such partitions — the state is mid-hand-over).
+func (sm *StorageManager) InHandoff(p int) bool { return sm.pmap.InHandoff(p) }
+
+// ReadOwnersOf returns the owner set reads of the partition route to:
+// the pre-change owners while its hand-off window is open, the current
+// owners otherwise.
+func (sm *StorageManager) ReadOwnersOf(p int) []fabric.NodeID { return sm.pmap.ReadOwners(p) }
+
+// MembershipGeneration exposes the partition map's membership-change
+// counter; routers bracket plan → act with it to detect concurrent
+// membership changes.
+func (sm *StorageManager) MembershipGeneration() uint64 { return sm.pmap.Generation() }
+
 // RingNodes lists current ring members.
 func (sm *StorageManager) RingNodes() []fabric.NodeID { return sm.pmap.Ring().Nodes() }
 

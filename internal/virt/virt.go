@@ -7,6 +7,21 @@
 // replication by data class ("some data, especially data users have
 // added, will require high reliability... other data can be re-created
 // with varying amounts of effort, such as data derived by analytics").
+//
+// Ownership boundary: virt owns *placement truth* for the whole
+// appliance. The consistent-hash ring (ring.go), the partition map with
+// its open dual-ownership windows and generations (partition.go), the
+// doc → data-class registry, the partition → docs index, and the
+// per-partition load counters (storagemgr.go) live here and nowhere
+// else. Everything a reader needs to answer "who holds this document",
+// "who answers for this partition", or "is this partition mid-hand-off"
+// is derived from this package's state: hash(DocID) → partition → ring
+// owners, truncated to the class's replication factor, with reads
+// routed to the pre-change owners while a partition's window is open
+// and writes covering both sides. The core engine orchestrates data
+// movement and indexing *against* these answers but records no
+// placement of its own; per-node indexes key their postings by the same
+// DocPartition function but hold only derived state.
 package virt
 
 import (
