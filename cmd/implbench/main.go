@@ -36,6 +36,7 @@ import (
 	"impliance/internal/fabric"
 	"impliance/internal/ingest"
 	"impliance/internal/sched"
+	"impliance/internal/storage"
 	"impliance/internal/storage/compress"
 	"impliance/internal/workload"
 )
@@ -92,6 +93,7 @@ func main() {
 		{"E17", "point-lookup routing over the partition ring", e17},
 		{"E18", "elastic membership: node re-join under load", e18},
 		{"E19", "partition-routed value-index probes", e19},
+		{"E20", "storage backends: heapwal vs segment store", e20},
 	}
 	jsonOut := false
 	want := map[string]bool{}
@@ -1094,6 +1096,121 @@ func e19() map[string]float64 {
 	metrics["result_mismatches"] = mismatches
 	fmt.Println("shape: routed probes follow the predicate's partitions (~flat in cluster size);")
 	fmt.Println("       the broadcast pays one value-index probe per node and grows linearly")
+	return metrics
+}
+
+// ---------------------------------------------------------------- E20
+
+// e20 compares the two storage backends at the store layer on a 10k-doc
+// corpus: ingest throughput, restart/replay wall time, and — the
+// scalability claim — how many decoded documents a re-opened store keeps
+// resident. The heapwal backend replays by decoding and pinning every
+// version; the segment backend replays sealed-segment frame indexes and
+// decodes lazily, so a fresh re-open holds zero decoded documents and
+// the hot cache bounds residency under reads. Point-Get results are
+// cross-checked between backends (zero mismatches required), and one
+// compaction pass per backend reports total wall time vs writer stall
+// (snapshot-then-swap for heapwal, per-segment commits for segment).
+func e20() map[string]float64 {
+	const corpus = 10000
+	const samples = 1000
+	metrics := map[string]float64{"corpus_docs": corpus}
+	mismatches := 0.0
+	values := map[string][]int64{}
+	backends := []struct{ key, backend string }{
+		{"heap", ""},
+		{"segment", storage.BackendSegment},
+	}
+	fmt.Printf("%-10s %14s %14s %18s %18s %14s %12s\n",
+		"backend", "ingest docs/s", "replay ms", "resident@reopen", "resident@reads", "compact ms", "stall ms")
+	for _, b := range backends {
+		dir, err := os.MkdirTemp("", "implbench-e20-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		opts := storage.Options{Dir: dir, Backend: b.backend, Codec: compress.FlateFast}
+		st, err := storage.Open(1, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var keys []docmodel.VersionKey
+		start := time.Now()
+		for i := 0; i < corpus; i++ {
+			k, err := st.Put(&docmodel.Document{
+				MediaType: "relational/row", Source: "bench",
+				Root: docmodel.Object(
+					docmodel.F("i", docmodel.Int(int64(i))),
+					docmodel.F("pad", docmodel.String(strings.Repeat("segment backend corpus ", 6))),
+				),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			keys = append(keys, k)
+		}
+		ingest := time.Since(start)
+		if err := st.Close(); err != nil {
+			log.Fatal(err)
+		}
+
+		start = time.Now()
+		st2, err := storage.Open(1, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		replay := time.Since(start)
+		residentReopen := st2.ResidentDecoded()
+
+		vals := make([]int64, 0, samples)
+		for i := 0; i < samples; i++ {
+			idx := (i * 9973) % corpus
+			d, err := st2.Get(keys[idx].Doc)
+			if err != nil {
+				mismatches++
+				vals = append(vals, -1)
+				continue
+			}
+			v := d.First("/i").IntVal()
+			if v != int64(idx) {
+				mismatches++
+			}
+			vals = append(vals, v)
+		}
+		values[b.key] = vals
+		residentReads := st2.ResidentDecoded()
+
+		if err := st2.Compact(); err != nil {
+			log.Fatal(err)
+		}
+		compactTotal, compactStall := st2.CompactStats()
+		if err := st2.Close(); err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-10s %14.0f %14.1f %18d %18d %14.1f %12.2f\n",
+			b.key, corpus/ingest.Seconds(), float64(replay.Microseconds())/1000,
+			residentReopen, residentReads,
+			float64(compactTotal.Microseconds())/1000, float64(compactStall.Microseconds())/1000)
+		metrics["ingest_docs_per_sec_"+b.key] = corpus / ingest.Seconds()
+		metrics["replay_ms_"+b.key] = float64(replay.Microseconds()) / 1000
+		metrics["resident_after_reopen_"+b.key] = float64(residentReopen)
+		metrics["resident_after_reads_"+b.key] = float64(residentReads)
+		metrics["compact_ms_"+b.key] = float64(compactTotal.Microseconds()) / 1000
+		metrics["compact_stall_ms_"+b.key] = float64(compactStall.Microseconds()) / 1000
+	}
+	for i := range values["heap"] {
+		// Failed reads (-1) were already counted in the per-backend loop;
+		// the cross-check only counts divergence between successful reads.
+		if h, s := values["heap"][i], values["segment"][i]; h != -1 && s != -1 && h != s {
+			mismatches++
+		}
+	}
+	metrics["get_mismatches"] = mismatches
+	fmt.Printf("point-Get cross-check: %d samples per backend, %.0f mismatches\n", samples, mismatches)
+	fmt.Println("shape: the segment store re-opens by reading frame indexes — resident decoded docs start at 0")
+	fmt.Println("       and stay bounded by the hot cache, while heapwal re-pins the entire corpus; compaction")
+	fmt.Println("       stalls writers only for the commit window, not the rewrite")
 	return metrics
 }
 

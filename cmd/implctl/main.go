@@ -5,13 +5,19 @@
 //
 // Usage:
 //
-//	implctl demo                          # load demo corpus, print stats
-//	implctl search  <keyword...>          # demo corpus + ranked search
-//	implctl sql     <statement>           # demo corpus + SQL
-//	implctl ingest  <file> [query...]     # ingest a file, optionally search it
+//	implctl [flags] demo                  # load demo corpus, print stats
+//	implctl [flags] search  <keyword...>  # demo corpus + ranked search
+//	implctl [flags] sql     <statement>   # demo corpus + SQL
+//	implctl [flags] ingest  <file> [query...]  # ingest a file, optionally search it
+//
+// Flags:
+//
+//	-dir PATH          persist data-node stores under PATH (default: in-memory)
+//	-backend NAME      store layout when -dir is set: heapwal (default) or segment
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -19,21 +25,27 @@ import (
 
 	"impliance"
 	"impliance/internal/expr"
+	"impliance/internal/storage"
 	"impliance/internal/workload"
 )
 
 func main() {
 	log.SetFlags(0)
-	if len(os.Args) < 2 {
-		log.Fatal("usage: implctl demo | search <kw...> | sql <stmt> | ingest <file> [query...]")
+	dir := flag.String("dir", "", "persistence directory (empty = in-memory)")
+	backend := flag.String("backend", storage.BackendHeapWAL,
+		"storage backend when -dir is set: heapwal or segment")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		log.Fatal("usage: implctl [-dir PATH] [-backend heapwal|segment] demo | search <kw...> | sql <stmt> | ingest <file> [query...]")
 	}
-	app, err := impliance.Open(impliance.Config{})
+	app, err := impliance.Open(impliance.Config{Dir: *dir, StorageBackend: *backend})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer app.Close()
 
-	switch os.Args[1] {
+	switch args[0] {
 	case "demo":
 		loadDemo(app)
 		m := app.MetricsSnapshot()
@@ -43,11 +55,11 @@ func main() {
 			m.IndexedDocs, m.Net.Messages, m.Net.Bytes/1024)
 
 	case "search":
-		if len(os.Args) < 3 {
+		if len(args) < 2 {
 			log.Fatal("usage: implctl search <keyword...>")
 		}
 		loadDemo(app)
-		rows, err := app.Search(strings.Join(os.Args[2:], " "), 10)
+		rows, err := app.Search(strings.Join(args[1:], " "), 10)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,11 +71,11 @@ func main() {
 		}
 
 	case "sql":
-		if len(os.Args) < 3 {
+		if len(args) < 2 {
 			log.Fatal("usage: implctl sql <statement>")
 		}
 		loadDemo(app)
-		res, err := app.ExecSQL(strings.Join(os.Args[2:], " "))
+		res, err := app.ExecSQL(strings.Join(args[1:], " "))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -77,22 +89,22 @@ func main() {
 		}
 
 	case "ingest":
-		if len(os.Args) < 3 {
+		if len(args) < 2 {
 			log.Fatal("usage: implctl ingest <file> [query...]")
 		}
-		data, err := os.ReadFile(os.Args[2])
+		data, err := os.ReadFile(args[1])
 		if err != nil {
 			log.Fatal(err)
 		}
-		id, err := app.IngestBytes(os.Args[2], data)
+		id, err := app.IngestBytes(args[1], data)
 		if err != nil {
 			log.Fatal(err)
 		}
 		app.Drain()
 		d, _ := app.Get(id)
-		fmt.Printf("ingested %s as %s (%s)\n", os.Args[2], id, d.MediaType)
-		if len(os.Args) > 3 {
-			rows, err := app.Search(strings.Join(os.Args[3:], " "), 5)
+		fmt.Printf("ingested %s as %s (%s)\n", args[1], id, d.MediaType)
+		if len(args) > 2 {
+			rows, err := app.Search(strings.Join(args[2:], " "), 5)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -100,7 +112,7 @@ func main() {
 		}
 
 	default:
-		log.Fatalf("unknown subcommand %q", os.Args[1])
+		log.Fatalf("unknown subcommand %q", args[0])
 	}
 }
 

@@ -19,6 +19,7 @@
 //	-data N        data nodes
 //	-grid N        grid nodes
 //	-dir PATH      persist WALs under PATH (default: in-memory)
+//	-backend NAME  store layout when -dir is set: heapwal (default) or segment
 package main
 
 import (
@@ -40,10 +41,11 @@ func main() {
 	dataNodes := flag.Int("data", 4, "data nodes")
 	gridNodes := flag.Int("grid", 2, "grid nodes")
 	dir := flag.String("dir", "", "persistence directory (empty = in-memory)")
+	backend := flag.String("backend", "", "storage backend when -dir is set: heapwal (default) or segment")
 	flag.Parse()
 
 	app, err := impliance.Open(impliance.Config{
-		DataNodes: *dataNodes, GridNodes: *gridNodes, Dir: *dir,
+		DataNodes: *dataNodes, GridNodes: *gridNodes, Dir: *dir, StorageBackend: *backend,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -61,8 +63,8 @@ func main() {
 	mux.HandleFunc("POST /discover", s.discover)
 	mux.HandleFunc("GET /metrics", s.metrics)
 
-	log.Printf("impliance appliance listening on %s (data=%d grid=%d dir=%q)",
-		*addr, *dataNodes, *gridNodes, *dir)
+	log.Printf("impliance appliance listening on %s (data=%d grid=%d dir=%q backend=%q)",
+		*addr, *dataNodes, *gridNodes, *dir, *backend)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 

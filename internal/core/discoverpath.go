@@ -207,7 +207,9 @@ func (e *Engine) SchemaFamilies() []discovery.SchemaFamily {
 //     the node forever.
 //
 // A node takes at most one step per tick (recover this tick, re-join a
-// later one), so a flapping node never joins with unfilled gaps.
+// later one), so a flapping node never joins with unfilled gaps. Every
+// AutoRebalanceEvery-th tick also runs a skew-aware rebalance pass when
+// enough load signal has accumulated (membership.go).
 func (e *Engine) HeartbeatTick() []fabric.NodeID {
 	evicted := e.group.Tick()
 	for range evicted {
@@ -224,6 +226,9 @@ func (e *Engine) HeartbeatTick() []fabric.NodeID {
 	// Re-attempt under-replicated documents each round: a repair target
 	// that was down (blocked) may be serving again by now.
 	e.smgr.RepairDegraded(e.eligibleDataIDs())
+	// Periodic skew check: a sustained hot node sheds ring weight with no
+	// operator action (cadence + load threshold in membership.go).
+	e.maybeAutoRebalance()
 	return evicted
 }
 

@@ -42,6 +42,17 @@ type Config struct {
 	// Dir persists data-node WALs under this directory ("" = in-memory).
 	Dir string
 
+	// StorageBackend selects each data node's physical store layout:
+	// storage.BackendHeapWAL (default; single log, all versions decoded
+	// on the heap) or storage.BackendSegment (sealed segment files with
+	// frame indexes and lazy decode — memory tracks the hot set, not
+	// total history). Ignored when Dir is empty (in-memory stores).
+	StorageBackend string
+
+	// SegmentBytes overrides the segment backend's roll-over threshold
+	// (0 = the storage default).
+	SegmentBytes int64
+
 	// Codec compresses stored frames (default compress.Flate; E15 ablation
 	// sets compress.None).
 	Codec compress.Codec
@@ -174,6 +185,10 @@ type Engine struct {
 	// idSeq mints appliance-wide document IDs. Placement hashes the ID,
 	// so the ID must exist before a node is chosen (ingestpath.go).
 	idSeq atomic.Uint64
+
+	// heartbeats counts HeartbeatTick rounds; every AutoRebalanceEvery-th
+	// tick runs a skew-aware rebalance pass (membership.go).
+	heartbeats atomic.Uint64
 
 	// mergesByKind counts merge operators executed per node kind (E5's
 	// placement-quality metric).
@@ -383,7 +398,7 @@ func (e *Engine) bootDataNode(origin uint32) (*dataNode, error) {
 	if e.cfg.Dir != "" {
 		dir = filepath.Join(e.cfg.Dir, n.ID.String())
 	}
-	st, err := storage.Open(origin, storage.Options{Dir: dir, Codec: e.cfg.Codec})
+	st, err := storage.Open(origin, e.storeOptions(dir))
 	if err != nil {
 		return nil, fmt.Errorf("core: boot %s: %w", n.ID, err)
 	}
@@ -423,6 +438,17 @@ func (e *Engine) bootDataNode(origin uint32) (*dataNode, error) {
 	return dn, nil
 }
 
+// storeOptions builds a data-node store configuration: the engine-wide
+// backend selection and codec, rooted at the node's directory.
+func (e *Engine) storeOptions(dir string) storage.Options {
+	return storage.Options{
+		Dir:          dir,
+		Backend:      e.cfg.StorageBackend,
+		SegmentBytes: e.cfg.SegmentBytes,
+		Codec:        e.cfg.Codec,
+	}
+}
+
 // engineIDOrigin is the Origin of engine-minted document IDs. It is
 // disjoint from the per-store origins (1..DataNodes), so the central
 // allocator and any legacy store-minted IDs can never collide.
@@ -442,6 +468,10 @@ func (e *Engine) mintDocID() docmodel.DocID {
 // are migrated onto their current ring owners (the reopened appliance may
 // have a different data-node count, which moves the hash placement), and
 // each node re-indexes the documents of its answering partitions.
+//
+// Registration runs on the stores' metadata stream (EachMeta), not a
+// document scan: a segment-backed store registers its whole corpus from
+// replayed headers without materializing a single body.
 func (e *Engine) recoverFromStores() {
 	sources := make([]*storage.Store, 0, len(e.dataNodes()))
 	for _, dn := range e.dataNodes() {
@@ -462,19 +492,19 @@ func (e *Engine) recoverFromStores() {
 	maxSeq := uint64(0)
 	seen := map[docmodel.DocID]struct{}{}
 	for _, st := range sources {
-		st.Scan(func(d *docmodel.Document) bool {
-			if d.ID.Origin == engineIDOrigin && d.ID.Seq > maxSeq {
-				maxSeq = d.ID.Seq
+		st.EachMeta(func(m storage.DocMeta) bool {
+			if m.ID.Origin == engineIDOrigin && m.ID.Seq > maxSeq {
+				maxSeq = m.ID.Seq
 			}
-			if _, dup := seen[d.ID]; !dup {
-				seen[d.ID] = struct{}{}
-				class := virt.DataClass(d.Class)
-				if class == virt.ClassUser && d.IsAnnotation() {
+			if _, dup := seen[m.ID]; !dup {
+				seen[m.ID] = struct{}{}
+				class := virt.DataClass(m.Class)
+				if class == virt.ClassUser && m.Annotation {
 					// Legacy header without a class byte value: annotations
 					// are derived by construction.
 					class = virt.ClassDerived
 				}
-				e.smgr.Register(d.ID, class)
+				e.smgr.Register(m.ID, class)
 			}
 			return true
 		})
@@ -569,9 +599,7 @@ func (e *Engine) openOrphanStores() []*storage.Store {
 		if _, ok := live[ent.Name()]; ok {
 			continue
 		}
-		st, err := storage.Open(^uint32(0), storage.Options{
-			Dir: filepath.Join(e.cfg.Dir, ent.Name()), Codec: e.cfg.Codec,
-		})
+		st, err := storage.Open(^uint32(0), e.storeOptions(filepath.Join(e.cfg.Dir, ent.Name())))
 		if err != nil {
 			continue
 		}

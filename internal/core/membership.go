@@ -155,6 +155,39 @@ func (e *Engine) reindexDocs(ids []docmodel.DocID) {
 // which RebalanceOnSkew sheds ring weight from the hottest node.
 const RebalanceSkewThreshold = 2.0
 
+// Auto-rebalance pacing: HeartbeatTick runs a rebalance pass every
+// AutoRebalanceEvery ticks, and only once at least AutoRebalanceMinOps
+// point operations have been recorded since the last pass — a sustained
+// hot node sheds weight without any operator invocation (paper §3.4:
+// tuning is autonomic), while an idle or barely-loaded cluster never
+// churns its ring on noise.
+const (
+	AutoRebalanceEvery  = 4
+	AutoRebalanceMinOps = 256
+)
+
+// maybeAutoRebalance is the heartbeat-driven trigger around
+// RebalanceOnSkew. PlanRebalance itself enforces the skew threshold and
+// the weight floor; this only gates cadence and minimum signal.
+func (e *Engine) maybeAutoRebalance() {
+	if e.heartbeats.Add(1)%AutoRebalanceEvery != 0 {
+		return
+	}
+	var total uint64
+	for _, l := range e.smgr.PartitionLoads() {
+		total += l
+	}
+	if total < AutoRebalanceMinOps {
+		return
+	}
+	e.RebalanceOnSkew()
+	// The gate consumed this window's signal whether or not a plan came
+	// out (PlanRebalance only resets on a produced plan): reset so a
+	// stale burst can trigger at most one pass, and the next window
+	// measures fresh load.
+	e.smgr.ResetLoads()
+}
+
 // RebalanceOnSkew runs one skew-aware rebalance pass: per-partition
 // point-op load counters are folded onto their answering primaries, and
 // when the hottest node carries more than RebalanceSkewThreshold× the

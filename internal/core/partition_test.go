@@ -8,6 +8,7 @@ import (
 	"impliance/internal/expr"
 	"impliance/internal/fabric"
 	"impliance/internal/query"
+	"impliance/internal/storage"
 	"impliance/internal/virt"
 )
 
@@ -237,8 +238,20 @@ func TestDerivedReplicationFollowsPolicy(t *testing.T) {
 // indexes from its WALs — old documents stay retrievable and searchable
 // and the ID allocator never re-mints a live ID.
 func TestRestartRecoversRoutingAndIndex(t *testing.T) {
+	testRestartRecoversRoutingAndIndex(t, "")
+}
+
+// TestRestartRecoversRoutingAndIndexSegmentBackend: the same restart
+// contract holds when the data nodes persist through the segment
+// backend — recovery registration runs on replayed headers and reads
+// materialize lazily, but nothing observable changes.
+func TestRestartRecoversRoutingAndIndexSegmentBackend(t *testing.T) {
+	testRestartRecoversRoutingAndIndex(t, storage.BackendSegment)
+}
+
+func testRestartRecoversRoutingAndIndex(t *testing.T, backend string) {
 	dir := t.TempDir()
-	cfg := Config{DataNodes: 4, GridNodes: 1, ClusterNodes: 1, Workers: 2, Dir: dir}
+	cfg := Config{DataNodes: 4, GridNodes: 1, ClusterNodes: 1, Workers: 2, Dir: dir, StorageBackend: backend}
 	e1, err := Open(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -657,6 +670,74 @@ func TestRebalanceOnSkewMovesLoadOffHotNode(t *testing.T) {
 	}
 	if len(rows) != len(ids) {
 		t.Errorf("search after rebalance = %d/%d", len(rows), len(ids))
+	}
+}
+
+// TestHeartbeatAutoRebalancesSustainedHotNode: a sustained hot node
+// sheds ring weight purely through heartbeat ticks — no explicit
+// RebalanceOnSkew call — once the cadence and load threshold are met,
+// and every document stays reachable through the hand-off.
+func TestHeartbeatAutoRebalancesSustainedHotNode(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 3 })
+	var ids []docmodel.DocID
+	for i := 0; i < 150; i++ {
+		id, err := e.Ingest(textItem(fmt.Sprintf("sustained doc %d", i), "u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.DrainBackground()
+
+	hot := e.dataNodes()[0].node.ID
+	weightBefore := e.smgr.NodeWeight(hot)
+	if weightBefore == 0 {
+		t.Fatal("hot node has no ring weight")
+	}
+	// Sustained skew: hammer the docs whose primary is the hot node,
+	// ticking the heartbeat as time passes. No rebalance call anywhere.
+	for round := 0; round < AutoRebalanceEvery+1; round++ {
+		for _, id := range ids {
+			if e.smgr.Holders(id)[0] == hot {
+				for r := 0; r < 8; r++ {
+					if _, err := e.Get(id); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		e.HeartbeatTick()
+	}
+	if after := e.smgr.NodeWeight(hot); after >= weightBefore {
+		t.Fatalf("heartbeat never shed hot node weight: %d -> %d", weightBefore, after)
+	}
+	e.DrainBackground()
+	if pending := e.smgr.HandoffPending(); pending != 0 {
+		t.Fatalf("%d auto-rebalance windows still open after drain", pending)
+	}
+	for _, id := range ids {
+		if _, err := e.Get(id); err != nil {
+			t.Errorf("Get(%s) failed after auto-rebalance: %v", id, err)
+		}
+	}
+}
+
+// TestHeartbeatSkipsRebalanceWithoutLoad: an idle cluster's heartbeat
+// must not churn ring weights on noise — the load threshold gates the
+// pass.
+func TestHeartbeatSkipsRebalanceWithoutLoad(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 3 })
+	var weights []int
+	for _, id := range e.DataNodeIDs() {
+		weights = append(weights, e.smgr.NodeWeight(id))
+	}
+	for round := 0; round < 3*AutoRebalanceEvery; round++ {
+		e.HeartbeatTick()
+	}
+	for i, id := range e.DataNodeIDs() {
+		if w := e.smgr.NodeWeight(id); w != weights[i] {
+			t.Errorf("idle heartbeat changed %s weight %d -> %d", id, weights[i], w)
+		}
 	}
 }
 

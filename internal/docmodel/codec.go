@@ -45,23 +45,16 @@ func EncodeDocument(d *Document) []byte {
 // earlier builds replay: their documents default to Class 0 (user), and
 // restart recovery's annotation heuristic re-derives the rest.
 func DecodeDocument(b []byte) (*Document, error) {
-	if len(b) == 0 || (b[0] != 1 && b[0] != codecVersion) {
-		return nil, fmt.Errorf("%w: bad codec version", ErrCorrupt)
+	h, r, err := decodeHeaderPrefix(b)
+	if err != nil {
+		return nil, err
 	}
-	ver := b[0]
-	r := reader{b: b, off: 1}
-	var d Document
-	d.ID.Origin = uint32(r.uvarint())
-	d.ID.Seq = r.uvarint()
-	d.Version = uint32(r.uvarint())
-	d.MediaType = r.str()
-	d.Source = r.str()
-	d.IngestedAt = time.Unix(0, int64(r.uvarint())).UTC()
-	d.Annotates.Origin = uint32(r.uvarint())
-	d.Annotates.Seq = r.uvarint()
-	d.Annotator = r.str()
-	if ver >= 2 {
-		d.Class = r.byte()
+	d := Document{
+		ID: h.ID, Version: h.Version,
+		MediaType: h.MediaType, Source: h.Source,
+		IngestedAt: h.IngestedAt,
+		Annotates:  h.Annotates, Annotator: h.Annotator,
+		Class: h.Class,
 	}
 	d.Root = r.value(0)
 	if r.err != nil {
@@ -71,6 +64,61 @@ func DecodeDocument(b []byte) (*Document, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-r.off)
 	}
 	return &d, nil
+}
+
+// decodeHeaderPrefix is the one parser of the document header layout,
+// returning the reader positioned at the body. DecodeDocument and
+// DecodeDocumentHeader both build on it so the two can never drift.
+func decodeHeaderPrefix(b []byte) (DocHeader, *reader, error) {
+	if len(b) == 0 || (b[0] != 1 && b[0] != codecVersion) {
+		return DocHeader{}, nil, fmt.Errorf("%w: bad codec version", ErrCorrupt)
+	}
+	ver := b[0]
+	r := &reader{b: b, off: 1}
+	var h DocHeader
+	h.ID.Origin = uint32(r.uvarint())
+	h.ID.Seq = r.uvarint()
+	h.Version = uint32(r.uvarint())
+	h.MediaType = r.str()
+	h.Source = r.str()
+	h.IngestedAt = time.Unix(0, int64(r.uvarint())).UTC()
+	h.Annotates.Origin = uint32(r.uvarint())
+	h.Annotates.Seq = r.uvarint()
+	h.Annotator = r.str()
+	if ver >= 2 {
+		h.Class = r.byte()
+	}
+	if r.err != nil {
+		return DocHeader{}, nil, r.err
+	}
+	return h, r, nil
+}
+
+// DocHeader is the fixed prefix of an encoded document: identity,
+// provenance, and storage-management metadata — everything a store needs
+// to place a version in its chains without materializing the body.
+// Storage backends decode headers during replay so recovery cost is
+// bounded by header size, not document size.
+type DocHeader struct {
+	ID         DocID
+	Version    uint32
+	MediaType  string
+	Source     string
+	IngestedAt time.Time
+	Annotates  DocID
+	Annotator  string
+	Class      uint8
+}
+
+// IsAnnotation mirrors Document.IsAnnotation for header-only decodes.
+func (h DocHeader) IsAnnotation() bool { return !h.Annotates.IsZero() }
+
+// DecodeDocumentHeader parses just the header prefix of a buffer produced
+// by EncodeDocument, skipping the body. Unlike DecodeDocument it does not
+// verify trailing bytes — the body is deliberately left unparsed.
+func DecodeDocumentHeader(b []byte) (DocHeader, error) {
+	h, _, err := decodeHeaderPrefix(b)
+	return h, err
 }
 
 // EncodeValue serializes a single value (used by index payloads).

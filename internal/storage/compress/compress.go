@@ -7,6 +7,7 @@
 package compress
 
 import (
+	"bufio"
 	"bytes"
 	"compress/flate"
 	"encoding/binary"
@@ -118,36 +119,81 @@ func EncodeFrame(c Codec, raw []byte) ([]byte, error) {
 	return buf, nil
 }
 
-// DecodeFrame parses and verifies a frame, returning the raw bytes and the
-// total number of frame bytes consumed (frames may be concatenated).
-func DecodeFrame(b []byte) (raw []byte, consumed int, err error) {
-	if len(b) < 3 || b[0] != magic0 || b[1] != magic1 {
+// maxFrameLen bounds a single frame's raw and compressed payload so a
+// corrupt length prefix cannot drive an unbounded allocation.
+const maxFrameLen = 1 << 30
+
+// FrameReader streams concatenated frames from an io.Reader with bounded
+// memory: only one frame's payload is resident at a time. It is the
+// shared replay path of every storage backend — recovery cost no longer
+// scales the heap with total log size.
+type FrameReader struct {
+	br *bufio.Reader
+}
+
+// NewFrameReader wraps r (buffered internally) for frame iteration,
+// sized for sequential replay.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// NewFrameReaderSize is NewFrameReader with an explicit buffer size —
+// single-frame random reads want a small buffer, not replay's 64 KiB.
+func NewFrameReaderSize(r io.Reader, size int) *FrameReader {
+	return &FrameReader{br: bufio.NewReaderSize(r, size)}
+}
+
+// Next returns the next frame's verified raw bytes and the number of
+// encoded bytes the frame occupied. It returns io.EOF at a clean frame
+// boundary; any other error (including an EOF inside a frame) marks a
+// torn or corrupt tail at the current position.
+func (fr *FrameReader) Next() (raw []byte, consumed int, err error) {
+	head, err := fr.br.ReadByte()
+	if err == io.EOF {
+		return nil, 0, io.EOF
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	head2, err := fr.br.ReadByte()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: torn magic", ErrFrame)
+	}
+	if head != magic0 || head2 != magic1 {
 		return nil, 0, fmt.Errorf("%w: bad magic", ErrFrame)
 	}
-	codec, ok := codecByID[b[2]]
-	if !ok {
-		return nil, 0, fmt.Errorf("%w: unknown codec id %d", ErrFrame, b[2])
+	codecID, err := fr.br.ReadByte()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: torn header", ErrFrame)
 	}
-	off := 3
-	rawLen, n := binary.Uvarint(b[off:])
-	if n <= 0 {
+	codec, ok := codecByID[codecID]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: unknown codec id %d", ErrFrame, codecID)
+	}
+	n := 3
+	rawLen, rn, err := readUvarint(fr.br)
+	if err != nil {
 		return nil, 0, fmt.Errorf("%w: bad rawLen", ErrFrame)
 	}
-	off += n
-	compLen, n := binary.Uvarint(b[off:])
-	if n <= 0 {
+	n += rn
+	compLen, cn, err := readUvarint(fr.br)
+	if err != nil {
 		return nil, 0, fmt.Errorf("%w: bad compLen", ErrFrame)
 	}
-	off += n
-	if len(b) < off+4 {
+	n += cn
+	if rawLen > maxFrameLen || compLen > maxFrameLen {
+		return nil, 0, fmt.Errorf("%w: oversized frame", ErrFrame)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(fr.br, crc[:]); err != nil {
 		return nil, 0, fmt.Errorf("%w: truncated crc", ErrFrame)
 	}
-	wantCRC := binary.LittleEndian.Uint32(b[off:])
-	off += 4
-	if uint64(len(b)-off) < compLen {
+	n += 4
+	payload := make([]byte, compLen)
+	if _, err := io.ReadFull(fr.br, payload); err != nil {
 		return nil, 0, fmt.Errorf("%w: truncated payload", ErrFrame)
 	}
-	payload := b[off : off+int(compLen)]
+	n += int(compLen)
 	raw, err = codec.Decompress(payload)
 	if err != nil {
 		return nil, 0, err
@@ -155,8 +201,41 @@ func DecodeFrame(b []byte) (raw []byte, consumed int, err error) {
 	if uint64(len(raw)) != rawLen {
 		return nil, 0, fmt.Errorf("%w: raw length mismatch", ErrFrame)
 	}
-	if crc32.ChecksumIEEE(raw) != wantCRC {
+	if crc32.ChecksumIEEE(raw) != binary.LittleEndian.Uint32(crc[:]) {
 		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrFrame)
 	}
-	return raw, off + int(compLen), nil
+	return raw, n, nil
+}
+
+// readUvarint reads a uvarint reporting how many bytes it consumed.
+func readUvarint(br io.ByteReader) (uint64, int, error) {
+	var u uint64
+	var shift, n int
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, n, err
+		}
+		n++
+		if shift >= 64 {
+			return 0, n, ErrFrame
+		}
+		u |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return u, n, nil
+		}
+		shift += 7
+	}
+}
+
+// DecodeFrame parses and verifies a frame held in memory, returning the
+// raw bytes and the total number of frame bytes consumed (frames may be
+// concatenated). It is the slice-shaped convenience over the one frame
+// parser, FrameReader — there is deliberately no second implementation
+// of the wire format.
+func DecodeFrame(b []byte) (raw []byte, consumed int, err error) {
+	if len(b) == 0 {
+		return nil, 0, fmt.Errorf("%w: empty frame", ErrFrame)
+	}
+	return NewFrameReader(bytes.NewReader(b)).Next()
 }

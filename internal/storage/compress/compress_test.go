@@ -147,3 +147,74 @@ func randomBytes(n int, seed int64) []byte {
 	rng.Read(b)
 	return b
 }
+
+func TestFrameReaderStreamsConcatenatedFrames(t *testing.T) {
+	var log bytes.Buffer
+	var want [][]byte
+	var sizes []int
+	for i := 0; i < 50; i++ {
+		raw := append([]byte(strings.Repeat("frame payload ", i%7+1)), byte(i))
+		codec := []Codec{None, Flate, FlateFast}[i%3]
+		frame, err := EncodeFrame(codec, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log.Write(frame)
+		want = append(want, raw)
+		sizes = append(sizes, len(frame))
+	}
+	fr := NewFrameReader(bytes.NewReader(log.Bytes()))
+	for i := range want {
+		raw, n, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(raw, want[i]) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+		if n != sizes[i] {
+			t.Fatalf("frame %d: consumed %d, want %d", i, n, sizes[i])
+		}
+	}
+	if _, _, err := fr.Next(); err == nil {
+		t.Fatal("expected EOF at clean boundary")
+	} else if err.Error() != "EOF" {
+		t.Fatalf("want io.EOF at clean boundary, got %v", err)
+	}
+}
+
+func TestFrameReaderReportsTornTail(t *testing.T) {
+	frame, err := EncodeFrame(None, []byte("complete frame body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(frame); cut++ {
+		log := append(append([]byte{}, frame...), frame[:cut]...)
+		fr := NewFrameReader(bytes.NewReader(log))
+		if _, _, err := fr.Next(); err != nil {
+			t.Fatalf("cut %d: first frame should decode: %v", cut, err)
+		}
+		if _, _, err := fr.Next(); err == nil || err.Error() == "EOF" {
+			t.Fatalf("cut %d: torn tail must error distinctly from EOF, got %v", cut, err)
+		}
+	}
+}
+
+func TestFrameReaderMatchesDecodeFrame(t *testing.T) {
+	raw := []byte(strings.Repeat("parity between stream and slice decode ", 20))
+	frame, err := EncodeFrame(Flate, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliceRaw, sliceN, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamRaw, streamN, err := NewFrameReader(bytes.NewReader(frame)).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sliceRaw, streamRaw) || sliceN != streamN {
+		t.Fatalf("stream/slice divergence: n=%d/%d", streamN, sliceN)
+	}
+}

@@ -1,0 +1,222 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"impliance/internal/storage/compress"
+)
+
+// heapWAL is the extracted original layout: one append-only log
+// ("store.wal") of checksummed frames. It is non-lazy — the Store pins
+// every decoded version on the heap — so its locators exist for
+// compaction bookkeeping, never for re-reads.
+type heapWAL struct {
+	mu        sync.Mutex
+	dir       string
+	codec     compress.Codec
+	syncEvery bool
+
+	f    *os.File // O_APPEND write handle
+	size int64    // current append offset
+}
+
+func newHeapWAL(dir string, codec compress.Codec, syncEvery bool) *heapWAL {
+	return &heapWAL{dir: dir, codec: codec, syncEvery: syncEvery}
+}
+
+func (w *heapWAL) Name() string { return "heapwal" }
+func (w *heapWAL) Lazy() bool   { return false }
+
+func (w *heapWAL) path() string { return filepath.Join(w.dir, "store.wal") }
+
+// open replays existing frames, trims a torn tail, and readies the log
+// for appends. Called once by the Store before any other method.
+func (w *heapWAL) open(fn func(FrameMeta) error) error {
+	// A crash mid-compact may leave the rewrite temp behind; it was never
+	// renamed, so it holds nothing the log doesn't.
+	_ = os.Remove(w.path() + ".tmp")
+	if err := w.replay(fn); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(w.path(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: open wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("storage: stat wal: %w", err)
+	}
+	w.f, w.size = f, st.Size()
+	return nil
+}
+
+func (w *heapWAL) replay(fn func(FrameMeta) error) error {
+	f, err := os.Open(w.path())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: read wal: %w", err)
+	}
+	defer f.Close()
+	fr := compress.NewFrameReader(f)
+	var off int64
+	for {
+		raw, n, err := fr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			// Torn tail: keep everything before it, truncate the rest.
+			if terr := os.Truncate(w.path(), off); terr != nil {
+				return fmt.Errorf("storage: truncate torn wal: %w", terr)
+			}
+			return nil
+		}
+		if err := fn(FrameMeta{Loc: Locator{Off: off}, Raw: raw}); err != nil {
+			return err
+		}
+		off += int64(n)
+	}
+}
+
+func (w *heapWAL) Append(raw []byte, _ FrameInfo) (Locator, int, error) {
+	frame, err := compress.EncodeFrame(w.codec, raw)
+	if err != nil {
+		return Locator{}, 0, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	loc := Locator{Off: w.size}
+	if _, err := w.f.Write(frame); err != nil {
+		return Locator{}, 0, fmt.Errorf("storage: append wal: %w", err)
+	}
+	w.size += int64(len(frame))
+	if w.syncEvery {
+		if err := w.f.Sync(); err != nil {
+			return Locator{}, 0, fmt.Errorf("storage: sync wal: %w", err)
+		}
+	}
+	return loc, len(frame), nil
+}
+
+// ReadAt is unsupported: the Store pins every decoded version of a
+// non-lazy backend and never re-reads, and Compact leaves post-snapshot
+// tail locators un-remapped — an offset read here could return the wrong
+// frame, so refuse rather than trap a future caller.
+func (w *heapWAL) ReadAt(Locator) ([]byte, error) {
+	return nil, errNoRandomAccess
+}
+
+// Compact rewrites the log with the current codec using
+// snapshot-then-swap: the prefix up to the size observed at entry is
+// streamed and re-framed with no lock held (appends keep landing beyond
+// the boundary), then a single commit copies the short tail, fsyncs, and
+// renames — the only window writers stall for.
+func (w *heapWAL) Compact(commit func(remap map[Locator]Locator, swap func() error) error) error {
+	w.mu.Lock()
+	boundary := w.size
+	w.mu.Unlock()
+
+	src, err := os.Open(w.path())
+	if err != nil {
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	defer src.Close()
+	tmpPath := w.path() + ".tmp"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	remap := map[Locator]Locator{}
+	fr := compress.NewFrameReader(io.NewSectionReader(src, 0, boundary))
+	var off, newOff int64
+	for {
+		raw, n, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Every snapshot-prefix frame must be readable: replay trimmed
+			// any torn tail at open and appends are whole frames, so an
+			// unreadable frame here is real corruption. Abort — rewriting
+			// would silently drop every durable frame after it.
+			return fail(fmt.Errorf("storage: compact: log corrupt at %d: %w", off, err))
+		}
+		frame, err := compress.EncodeFrame(w.codec, raw)
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := tmp.Write(frame); err != nil {
+			return fail(fmt.Errorf("storage: compact write: %w", err))
+		}
+		remap[Locator{Off: off}] = Locator{Off: newOff}
+		off += int64(n)
+		newOff += int64(len(frame))
+	}
+	return commit(remap, func() error {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		// Copy frames appended since the snapshot, verbatim.
+		tail := w.size - boundary
+		if tail > 0 {
+			if _, err := io.Copy(tmp, io.NewSectionReader(src, boundary, tail)); err != nil {
+				return fail(fmt.Errorf("storage: compact tail: %w", err))
+			}
+		}
+		if err := tmp.Sync(); err != nil {
+			return fail(fmt.Errorf("storage: compact sync: %w", err))
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmpPath)
+			return fmt.Errorf("storage: compact close: %w", err)
+		}
+		// Acquire the replacement append handle before touching the live
+		// one: any failure from here aborts the compaction with the old
+		// handle (and the old file, pre-rename) intact, so the store
+		// stays writable instead of wedging on a closed w.f.
+		nf, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			os.Remove(tmpPath)
+			return fmt.Errorf("storage: compact reopen: %w", err)
+		}
+		if err := os.Rename(tmpPath, w.path()); err != nil {
+			nf.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("storage: compact rename: %w", err)
+		}
+		// The old inode is no longer reachable at the path; its handle's
+		// close result is irrelevant.
+		_ = w.f.Close()
+		w.f = nf
+		w.size = newOff + tail
+		return nil
+	})
+}
+
+func (w *heapWAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		w.f = nil
+		return fmt.Errorf("storage: close sync: %w", err)
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

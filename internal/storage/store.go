@@ -9,6 +9,13 @@
 // predicates and partial aggregates locally (paper §3.1), and compresses
 // blocks inside the storage software (ditto). Durability comes from a
 // write-ahead log of checksummed frames; recovery tolerates a torn tail.
+//
+// The Store itself is a façade: version-chain semantics, ID minting, and
+// scan order live here, while the physical frame layout is a pluggable
+// Backend (backend.go). The "heapwal" backend is the original single-log
+// layout with every decoded version pinned on the heap; the "segment"
+// backend stores frames in sealed segment files with sidecar indexes and
+// decodes lazily, so memory tracks the hot set instead of total history.
 package storage
 
 import (
@@ -18,6 +25,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"impliance/internal/docmodel"
 	"impliance/internal/expr"
@@ -31,13 +39,33 @@ var (
 	ErrVersionGap    = errors.New("storage: version gap")
 	ErrClosed        = errors.New("storage: store closed")
 	ErrWrongOrigin   = errors.New("storage: document id minted by another store")
+
+	errNoRandomAccess = errors.New("storage: backend does not support random reads")
+)
+
+// Backend names accepted by Options.Backend.
+const (
+	BackendHeapWAL = "heapwal"
+	BackendSegment = "segment"
 )
 
 // Options configures a store.
 type Options struct {
-	// Dir is the directory for the write-ahead log; empty means the store
-	// is memory-only (used heavily by simulations and tests).
+	// Dir is the directory for the persistent log; empty means the store
+	// is memory-only (used heavily by simulations and tests) regardless
+	// of the configured Backend.
 	Dir string
+	// Backend selects the physical layout: BackendHeapWAL (default, the
+	// original single-log layout with all versions decoded on the heap)
+	// or BackendSegment (sealed segment files, lazy decode).
+	Backend string
+	// SegmentBytes is the segment backend's roll-over threshold (default
+	// 1 MiB). Ignored by other backends.
+	SegmentBytes int64
+	// HotCacheDocs bounds the segment backend's cache of decoded
+	// document versions (default 1024). Ignored by non-lazy backends,
+	// which pin everything.
+	HotCacheDocs int
 	// Codec compresses log frames; nil means compress.None.
 	Codec compress.Codec
 	// SyncEveryWrite fsyncs after each append. Off by default: the
@@ -53,19 +81,49 @@ type Stats struct {
 	ScannedDocs atomic.Uint64
 	RawBytes    atomic.Uint64 // pre-compression document bytes
 	StoredBytes atomic.Uint64 // post-compression frame bytes
+
+	// CompactNanos and CompactStallNanos account compaction: total wall
+	// time vs time spent holding the store's write lock (the writer
+	// stall). Snapshot-then-swap keeps the stall a small fraction of the
+	// total.
+	CompactNanos      atomic.Uint64
+	CompactStallNanos atomic.Uint64
+
+	// ReadErrors counts present documents whose frame could not be
+	// re-read or decoded (lazy-backend I/O failure or on-disk
+	// corruption). Point reads surface these as errors; scans skip the
+	// document and rely on this counter to make the loss observable.
+	ReadErrors atomic.Uint64
+}
+
+// centry is one version slot in a chain: where the frame lives, plus the
+// decoded document when the backend is non-lazy (pinned forever) — lazy
+// backends leave doc nil and decoded copies live in the hot cache.
+type centry struct {
+	doc   *docmodel.Document
+	loc   Locator
+	class uint8
+	ann   bool
 }
 
 // Store is a single data node's document repository.
 type Store struct {
 	origin uint32
 	opts   Options
+	be     Backend
+	lazy   bool
+	hot    *hotCache // nil unless lazy
 
 	mu     sync.RWMutex
-	chains map[docmodel.DocID][]*docmodel.Document // version chains, index = ver-1
-	order  []docmodel.DocID                        // insertion order for scans
+	chains map[docmodel.DocID][]*centry // version chains, index = ver-1
+	order  []docmodel.DocID             // insertion order for scans
 	seq    uint64
-	wal    *os.File
 	closed bool
+
+	// compactMu serializes Compact against itself: the rewrite streams
+	// outside s.mu by design, so two concurrent compactions would race
+	// on the backends' shared temp files.
+	compactMu sync.Mutex
 
 	stats Stats
 }
@@ -79,80 +137,115 @@ func Open(origin uint32, opts Options) (*Store, error) {
 	if opts.Codec == nil {
 		opts.Codec = compress.None
 	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 1 << 20
+	}
+	if opts.HotCacheDocs <= 0 {
+		opts.HotCacheDocs = 1024
+	}
+	switch opts.Backend {
+	case "", BackendHeapWAL, BackendSegment:
+	default:
+		// Validate the name even for memory-only stores, so a typo fails
+		// in the simulation that wrote it, not at first deployment.
+		return nil, fmt.Errorf("storage: unknown backend %q", opts.Backend)
+	}
 	s := &Store{
 		origin: origin,
 		opts:   opts,
-		chains: map[docmodel.DocID][]*docmodel.Document{},
+		chains: map[docmodel.DocID][]*centry{},
 	}
 	if opts.Dir == "" {
+		s.be = &memBackend{codec: opts.Codec}
 		return s, nil
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
-	path := s.walPath()
-	if err := s.replay(path); err != nil {
+	// openableBackend is a Backend with the one-shot recovery entry point
+	// the Store drives before taking ownership.
+	type openableBackend interface {
+		Backend
+		open(fn func(FrameMeta) error) error
+	}
+	var be openableBackend
+	switch opts.Backend {
+	case "", BackendHeapWAL:
+		if err := rejectForeignLayout(opts.Dir, "seg-*.log", BackendHeapWAL, BackendSegment); err != nil {
+			return nil, err
+		}
+		be = newHeapWAL(opts.Dir, opts.Codec, opts.SyncEveryWrite)
+	case BackendSegment:
+		if err := rejectForeignLayout(opts.Dir, "store.wal", BackendSegment, BackendHeapWAL); err != nil {
+			return nil, err
+		}
+		be = newSegmentBackend(opts.Dir, opts.Codec, opts.SyncEveryWrite, opts.SegmentBytes)
+	default:
+		return nil, fmt.Errorf("storage: unknown backend %q", opts.Backend)
+	}
+	if s.lazy = be.Lazy(); s.lazy {
+		s.hot = newHotCache(opts.HotCacheDocs)
+	}
+	if err := be.open(s.replayFrame); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("storage: open wal: %w", err)
-	}
-	s.wal = f
+	s.be = be
 	return s, nil
 }
 
-func (s *Store) walPath() string { return filepath.Join(s.opts.Dir, "store.wal") }
-
-// replay loads every recoverable frame; a torn tail (truncated last frame)
-// is tolerated and trimmed.
-func (s *Store) replay(path string) error {
-	data, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("storage: read wal: %w", err)
-	}
-	off := 0
-	for off < len(data) {
-		raw, n, err := compress.DecodeFrame(data[off:])
-		if err != nil {
-			// Torn tail: keep everything before it, truncate the rest.
-			if terr := os.Truncate(path, int64(off)); terr != nil {
-				return fmt.Errorf("storage: truncate torn wal: %w", terr)
-			}
-			break
-		}
-		doc, err := docmodel.DecodeDocument(raw)
-		if err != nil {
-			if terr := os.Truncate(path, int64(off)); terr != nil {
-				return fmt.Errorf("storage: truncate bad wal record: %w", terr)
-			}
-			break
-		}
-		s.applyLocked(doc)
-		off += n
+// rejectForeignLayout fails fast when the directory holds the other
+// backend's files: silently opening an empty store over an invisible
+// corpus would orphan the data and re-mint colliding DocIDs. Switching
+// backends requires a fresh directory (or an explicit migration).
+func rejectForeignLayout(dir, foreignGlob, want, holds string) error {
+	matches, err := filepath.Glob(filepath.Join(dir, foreignGlob))
+	if err == nil && len(matches) > 0 {
+		return fmt.Errorf("storage: %s holds %s-backend data; open it with Backend=%q or point %q at a fresh directory",
+			dir, holds, holds, want)
 	}
 	return nil
 }
 
-// applyLocked inserts a replayed/replicated document version; caller holds
-// no lock during replay (single-threaded) — name kept for the Put path.
-func (s *Store) applyLocked(doc *docmodel.Document) {
-	chain := s.chains[doc.ID]
-	for uint32(len(chain)) < doc.Version {
+// replayFrame installs one recovered frame. During replay the store is
+// single-threaded, so no lock is taken. Lazy backends supply header
+// identity (and, for scanned frames, raw bytes we deliberately do not
+// decode); non-lazy backends supply raw bytes the store decodes and
+// pins — the original recovery behavior.
+func (s *Store) replayFrame(m FrameMeta) error {
+	if s.lazy {
+		s.installEntry(m.ID, m.Ver, &centry{loc: m.Loc, class: m.Class, ann: m.Ann})
+		return nil
+	}
+	doc, err := docmodel.DecodeDocument(m.Raw)
+	if err != nil {
+		// A checksummed frame that is not a document: skip it rather than
+		// dropping everything after it.
+		return nil
+	}
+	s.installEntry(doc.ID, doc.Version, &centry{doc: doc, loc: m.Loc, class: doc.Class, ann: doc.IsAnnotation()})
+	return nil
+}
+
+// installEntry places a version entry in its chain, growing the chain
+// with nil gap slots as needed; first write wins. Caller holds s.mu
+// (or is single-threaded replay).
+func (s *Store) installEntry(id docmodel.DocID, ver uint32, ce *centry) {
+	if ver == 0 {
+		return
+	}
+	chain := s.chains[id]
+	for uint32(len(chain)) < ver {
 		chain = append(chain, nil)
 	}
-	if chain[doc.Version-1] == nil {
-		chain[doc.Version-1] = doc
+	if chain[ver-1] == nil {
+		chain[ver-1] = ce
 	}
-	if _, existed := s.chains[doc.ID]; !existed {
-		s.order = append(s.order, doc.ID)
+	if _, existed := s.chains[id]; !existed {
+		s.order = append(s.order, id)
 	}
-	s.chains[doc.ID] = chain
-	if doc.ID.Origin == s.origin && doc.ID.Seq > s.seq {
-		s.seq = doc.ID.Seq
+	s.chains[id] = chain
+	if id.Origin == s.origin && id.Seq > s.seq {
+		s.seq = id.Seq
 	}
 }
 
@@ -229,48 +322,87 @@ func (s *Store) PutReplica(doc *docmodel.Document) error {
 	return s.append(doc.Clone())
 }
 
-// append writes the version to the WAL and installs it in memory.
-// Caller holds s.mu.
+// append writes the version through the backend and installs it in the
+// chains. Caller holds s.mu.
 func (s *Store) append(d *docmodel.Document) error {
 	raw := docmodel.EncodeDocument(d)
-	if s.wal != nil {
-		frame, err := compress.EncodeFrame(s.opts.Codec, raw)
-		if err != nil {
-			return err
-		}
-		if _, err := s.wal.Write(frame); err != nil {
-			return fmt.Errorf("storage: append wal: %w", err)
-		}
-		if s.opts.SyncEveryWrite {
-			if err := s.wal.Sync(); err != nil {
-				return fmt.Errorf("storage: sync wal: %w", err)
-			}
-		}
-		s.stats.StoredBytes.Add(uint64(len(frame)))
-	} else {
-		// Memory-only stores still account frame size so experiments can
-		// compare codecs without touching disk.
-		frame, err := compress.EncodeFrame(s.opts.Codec, raw)
-		if err != nil {
-			return err
-		}
-		s.stats.StoredBytes.Add(uint64(len(frame)))
+	loc, stored, err := s.be.Append(raw, frameInfoOf(d))
+	if err != nil {
+		return err
 	}
+	s.stats.StoredBytes.Add(uint64(stored))
 	s.stats.RawBytes.Add(uint64(len(raw)))
-	s.applyLocked(d)
+	ce := &centry{loc: loc, class: d.Class, ann: d.IsAnnotation()}
+	if s.lazy {
+		// Fresh writes are the hottest reads (the indexer fetches them
+		// right back); cache the decoded form instead of pinning it.
+		s.hot.add(d.Key(), d)
+	} else {
+		ce.doc = d
+	}
+	s.installEntry(d.ID, d.Version, ce)
 	return nil
+}
+
+// materializeLocked turns a chain entry into a decoded document: pinned
+// (non-lazy), hot-cached, or re-read from its frame. Caller holds s.mu
+// in at least read mode — that is what keeps the locator valid against a
+// concurrent compaction swap. cache controls hot-cache admission (only
+// chain heads are cached; cold history reads stay cold).
+func (s *Store) materializeLocked(key docmodel.VersionKey, ce *centry, cache bool) (*docmodel.Document, error) {
+	if ce.doc != nil {
+		return ce.doc, nil
+	}
+	if s.hot != nil {
+		if d := s.hot.get(key); d != nil {
+			return d, nil
+		}
+	}
+	raw, err := s.be.ReadAt(ce.loc)
+	if err != nil {
+		s.stats.ReadErrors.Add(1)
+		return nil, fmt.Errorf("storage: %s: %w", key, err)
+	}
+	d, err := docmodel.DecodeDocument(raw)
+	if err != nil {
+		s.stats.ReadErrors.Add(1)
+		return nil, fmt.Errorf("storage: %s: %w", key, err)
+	}
+	if cache && s.hot != nil {
+		s.hot.add(key, d)
+	}
+	return d, nil
+}
+
+// headOf returns the highest present version in the chain (0 if none).
+func headOf(chain []*centry) uint32 {
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i] != nil {
+			return uint32(i + 1)
+		}
+	}
+	return 0
 }
 
 // Get returns the latest version of the document.
 func (s *Store) Get(id docmodel.DocID) (*docmodel.Document, error) {
+	d, err := s.getDoc(id, true)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Gets.Add(1)
+	return d, nil
+}
+
+// getDoc materializes the latest version; cache controls hot-cache
+// admission (point reads admit, scans read through without evicting the
+// genuine hot set).
+func (s *Store) getDoc(id docmodel.DocID, cache bool) (*docmodel.Document, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	chain := s.chains[id]
-	for i := len(chain) - 1; i >= 0; i-- {
-		if chain[i] != nil {
-			s.stats.Gets.Add(1)
-			return chain[i], nil
-		}
+	if head := headOf(chain); head > 0 {
+		return s.materializeLocked(docmodel.VersionKey{Doc: id, Ver: head}, chain[head-1], cache)
 	}
 	return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 }
@@ -283,8 +415,12 @@ func (s *Store) GetVersion(key docmodel.VersionKey) (*docmodel.Document, error) 
 	if key.Ver == 0 || uint32(len(chain)) < key.Ver || chain[key.Ver-1] == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
+	d, err := s.materializeLocked(key, chain[key.Ver-1], key.Ver == headOf(chain))
+	if err != nil {
+		return nil, err
+	}
 	s.stats.Gets.Add(1)
-	return chain[key.Ver-1], nil
+	return d, nil
 }
 
 // VersionCount returns the number of stored versions of the document
@@ -302,15 +438,74 @@ func (s *Store) Len() int {
 	return len(s.chains)
 }
 
+// ResidentDecoded reports how many decoded document versions are
+// resident on the heap: everything ever stored for a non-lazy backend,
+// the hot cache's population for a lazy one. It is the E20 scalability
+// metric — a freshly re-opened segment store reports 0.
+func (s *Store) ResidentDecoded() int {
+	if s.hot != nil {
+		return s.hot.size()
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, chain := range s.chains {
+		for _, ce := range chain {
+			if ce != nil && ce.doc != nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// BackendName reports which physical layout backs the store.
+func (s *Store) BackendName() string { return s.be.Name() }
+
+// DocMeta summarizes one stored document without decoding bodies.
+type DocMeta struct {
+	ID         docmodel.DocID
+	Versions   int
+	Class      uint8
+	Annotation bool
+}
+
+// EachMeta streams per-document metadata — identity, version count, data
+// class, annotation flag — in insertion order, without materializing any
+// document. Recovery registration runs on this instead of Scan, so
+// re-registering a segment store's corpus costs header reads, not
+// decodes. fn returning false stops the stream.
+func (s *Store) EachMeta(fn func(DocMeta) bool) {
+	s.mu.RLock()
+	ids := make([]docmodel.DocID, len(s.order))
+	copy(ids, s.order)
+	s.mu.RUnlock()
+	for _, id := range ids {
+		s.mu.RLock()
+		chain := s.chains[id]
+		m := DocMeta{ID: id, Versions: len(chain)}
+		if head := headOf(chain); head > 0 {
+			m.Class = chain[head-1].class
+			m.Annotation = chain[head-1].ann
+		}
+		s.mu.RUnlock()
+		if !fn(m) {
+			return
+		}
+	}
+}
+
 // Scan streams the latest version of every document in insertion order.
-// fn returning false stops the scan.
+// fn returning false stops the scan. A document whose frame cannot be
+// re-read (lazy backend, corrupt or unreadable segment) is skipped; the
+// failure is counted in ReadErrorCount rather than aborting the scan.
 func (s *Store) Scan(fn func(*docmodel.Document) bool) {
 	s.mu.RLock()
 	ids := make([]docmodel.DocID, len(s.order))
 	copy(ids, s.order)
 	s.mu.RUnlock()
 	for _, id := range ids {
-		d, err := s.Get(id)
+		d, err := s.getDoc(id, false)
 		if err != nil {
 			continue
 		}
@@ -327,7 +522,7 @@ func (s *Store) Scan(fn func(*docmodel.Document) bool) {
 // evaluate them.
 func (s *Store) ScanSubset(ids []docmodel.DocID, filter expr.Expr, fn func(*docmodel.Document) bool) {
 	for _, id := range ids {
-		d, err := s.Get(id)
+		d, err := s.getDoc(id, false)
 		if err != nil {
 			continue
 		}
@@ -365,7 +560,9 @@ func (s *Store) AggregateLocal(filter expr.Expr, spec expr.GroupSpec) *expr.Grou
 }
 
 // EachVersion streams every stored version (for replication and audits),
-// oldest first within each document, documents in insertion order.
+// oldest first within each document, documents in insertion order. Cold
+// versions are materialized one chain at a time, so memory tracks the
+// longest chain, not total history.
 func (s *Store) EachVersion(fn func(*docmodel.Document) bool) {
 	s.mu.RLock()
 	ids := make([]docmodel.DocID, len(s.order))
@@ -373,12 +570,21 @@ func (s *Store) EachVersion(fn func(*docmodel.Document) bool) {
 	s.mu.RUnlock()
 	for _, id := range ids {
 		s.mu.RLock()
-		chain := append([]*docmodel.Document{}, s.chains[id]...)
-		s.mu.RUnlock()
-		for _, d := range chain {
-			if d == nil {
+		chain := s.chains[id]
+		head := headOf(chain)
+		docs := make([]*docmodel.Document, 0, len(chain))
+		for i, ce := range chain {
+			if ce == nil {
 				continue
 			}
+			d, err := s.materializeLocked(docmodel.VersionKey{Doc: id, Ver: uint32(i + 1)}, ce, uint32(i+1) == head)
+			if err != nil {
+				continue
+			}
+			docs = append(docs, d)
+		}
+		s.mu.RUnlock()
+		for _, d := range docs {
 			if !fn(d) {
 				return
 			}
@@ -392,64 +598,75 @@ func (s *Store) StatsSnapshot() (puts, gets, scanned, rawBytes, storedBytes uint
 		s.stats.RawBytes.Load(), s.stats.StoredBytes.Load()
 }
 
-// Compact rewrites the WAL, dropping nothing (all versions are retained
-// for audit, paper §4) but re-framing with the current codec and removing
-// torn garbage. The rewrite is atomic via rename.
-func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	if s.wal == nil {
-		return nil
-	}
-	tmp := s.walPath() + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("storage: compact: %w", err)
-	}
-	for _, id := range s.order {
-		for _, d := range s.chains[id] {
-			if d == nil {
-				continue
-			}
-			frame, err := compress.EncodeFrame(s.opts.Codec, docmodel.EncodeDocument(d))
-			if err != nil {
-				f.Close()
-				os.Remove(tmp)
-				return err
-			}
-			if _, err := f.Write(frame); err != nil {
-				f.Close()
-				os.Remove(tmp)
-				return fmt.Errorf("storage: compact write: %w", err)
-			}
-		}
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("storage: compact sync: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("storage: compact close: %w", err)
-	}
-	if err := s.wal.Close(); err != nil {
-		return fmt.Errorf("storage: compact swap: %w", err)
-	}
-	if err := os.Rename(tmp, s.walPath()); err != nil {
-		return fmt.Errorf("storage: compact rename: %w", err)
-	}
-	w, err := os.OpenFile(s.walPath(), os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("storage: compact reopen: %w", err)
-	}
-	s.wal = w
-	return nil
+// ReadErrorCount reports how many materializations of present documents
+// have failed (I/O error or corruption on a lazy backend's cold-read
+// path) — non-zero means scans may have silently skipped documents.
+func (s *Store) ReadErrorCount() uint64 { return s.stats.ReadErrors.Load() }
+
+// CompactStats reports cumulative compaction wall time and the portion
+// spent stalling writers (holding the store's write lock).
+func (s *Store) CompactStats() (total, stall time.Duration) {
+	return time.Duration(s.stats.CompactNanos.Load()), time.Duration(s.stats.CompactStallNanos.Load())
 }
 
-// Close flushes and closes the WAL. The store rejects writes afterwards.
+// Compact rewrites persistent storage, dropping nothing (all versions
+// are retained for audit, paper §4) but re-framing with the current
+// codec and removing torn garbage. The heavy rewrite streams outside the
+// store's write lock; only the backend's commit points — tail copy and
+// rename for heapwal, per-segment rename for the segment backend — stall
+// writers, and the stall is accounted in CompactStats.
+func (s *Store) Compact() error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.mu.Unlock()
+	start := time.Now()
+	err := s.be.Compact(func(remap map[Locator]Locator, swap func() error) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return ErrClosed
+		}
+		t0 := time.Now()
+		if err := swap(); err != nil {
+			return err
+		}
+		if len(remap) > 0 {
+			// One commit's remap covers exactly one segment (heapwal: the
+			// single log); pre-filtering on the ordinal keeps the locked
+			// walk to an integer compare per entry instead of a map probe.
+			seg := -1
+			for old := range remap {
+				if seg >= 0 && old.Seg != seg {
+					seg = -1
+					break
+				}
+				seg = old.Seg
+			}
+			for _, chain := range s.chains {
+				for _, ce := range chain {
+					if ce == nil || (seg >= 0 && ce.loc.Seg != seg) {
+						continue
+					}
+					if nl, ok := remap[ce.loc]; ok {
+						ce.loc = nl
+					}
+				}
+			}
+		}
+		s.stats.CompactStallNanos.Add(uint64(time.Since(t0)))
+		return nil
+	})
+	s.stats.CompactNanos.Add(uint64(time.Since(start)))
+	return err
+}
+
+// Close flushes and closes the backend. The store rejects writes
+// afterwards.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -457,14 +674,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
-	if s.wal != nil {
-		if err := s.wal.Sync(); err != nil {
-			s.wal.Close()
-			return fmt.Errorf("storage: close sync: %w", err)
-		}
-		return s.wal.Close()
-	}
-	return nil
+	return s.be.Close()
 }
 
 // Origin returns the store's ID-minting prefix.

@@ -153,6 +153,10 @@ func (sm *StorageManager) MembershipGeneration() uint64 { return sm.pmap.Generat
 // RingNodes lists current ring members.
 func (sm *StorageManager) RingNodes() []fabric.NodeID { return sm.pmap.Ring().Nodes() }
 
+// NodeWeight reports a ring member's current vnode weight (0 when off
+// the ring) — the observable a rebalance pass adjusts.
+func (sm *StorageManager) NodeWeight(n fabric.NodeID) int { return sm.pmap.Ring().Weight(n) }
+
 // HandoffPending reports how many partitions are mid-hand-off (their
 // dual-ownership window is still open).
 func (sm *StorageManager) HandoffPending() int { return sm.pmap.PendingHandoffs() }
