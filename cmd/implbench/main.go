@@ -1,4 +1,4 @@
-// Command implbench runs the Impliance experiment suite (E1–E19; see
+// Command implbench runs the Impliance experiment suite (E1–E21; see
 // docs/BENCH.md) and prints the series that EXPERIMENTS.md records. Every
 // experiment is keyed to a figure or falsifiable claim of the CIDR 2007
 // paper, or to a scaling property of this reproduction's partition layer;
@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -94,6 +95,7 @@ func main() {
 		{"E18", "elastic membership: node re-join under load", e18},
 		{"E19", "partition-routed value-index probes", e19},
 		{"E20", "storage backends: heapwal vs segment store", e20},
+		{"E21", "request lifecycle: streaming cursors, cancellation, batched ingest", e21},
 	}
 	jsonOut := false
 	want := map[string]bool{}
@@ -1211,6 +1213,128 @@ func e20() map[string]float64 {
 	fmt.Println("shape: the segment store re-opens by reading frame indexes — resident decoded docs start at 0")
 	fmt.Println("       and stay bounded by the hot cache, while heapwal re-pins the entire corpus; compaction")
 	fmt.Println("       stalls writers only for the commit window, not the rewrite")
+	return metrics
+}
+
+// ---------------------------------------------------------------- E21
+
+// e21 measures the context-first request lifecycle on a 10k-doc corpus
+// over 8 data nodes:
+//
+//   - time-to-first-row: RunStream delivers row one after the first
+//     node's partial arrives; Run waits for the full gather. The ratio
+//     is the latency a streaming consumer stops paying.
+//   - cancelled-query cost: a cursor closed after one row stops
+//     scheduling the remaining ring scans (bounded in-flight window),
+//     so a cancelled query's fabric messages undercut a full one's.
+//   - ingest replica batching: IngestBatch coalesces each target
+//     node's replicas into one wire call; the per-document loop pays
+//     one replica message per (doc, target).
+func e21() map[string]float64 {
+	const corpus, unbatched = 10000, 2000
+	app := mustOpen(func(c *impliance.Config) {
+		c.DataNodes = 8
+		c.Annotators = []annot.Annotator{} // measure the raw request path
+	})
+	defer app.Close()
+	ctx := context.Background()
+	eng := app.Engine()
+	metrics := map[string]float64{"corpus_docs": corpus + unbatched}
+	g := workload.New(21)
+
+	// (a) Batched ingest: replicas grouped per target node.
+	items := make([]impliance.Item, 0, corpus)
+	for _, it := range g.UniformRows(corpus, 1000, 20, 8) {
+		items = append(items, impliance.Item{Body: it.Body, MediaType: it.MediaType, Source: it.Source})
+	}
+	eng.Fabric().ResetNetStats()
+	if _, err := app.IngestBatchContext(ctx, items); err != nil {
+		log.Fatal(err)
+	}
+	app.Drain()
+	batchedPerDoc := float64(eng.Fabric().NetStats().Messages) / corpus
+
+	// (b) Unbatched comparator: the per-document path on the same box.
+	eng.Fabric().ResetNetStats()
+	for _, it := range g.UniformRows(unbatched, 1000, 20, 8) {
+		if _, err := app.IngestContext(ctx, impliance.Item{Body: it.Body, MediaType: it.MediaType, Source: it.Source}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	app.Drain()
+	unbatchedPerDoc := float64(eng.Fabric().NetStats().Messages) / unbatched
+
+	// (c) Time-to-first-row: full materialization vs streaming cursor.
+	q := impliance.Query{Filter: impliance.True()}
+	start := time.Now()
+	res, err := app.RunContext(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullMs := float64(time.Since(start).Microseconds()) / 1000
+	rowsFull := len(res.Rows)
+
+	start = time.Now()
+	cur, err := app.RunStream(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !cur.Next() {
+		log.Fatalf("stream yielded no rows: %v", cur.Err())
+	}
+	ttfrMs := float64(time.Since(start).Microseconds()) / 1000
+	rowsStream := 1
+	for cur.Next() {
+		rowsStream++
+	}
+	if err := cur.Close(); err != nil {
+		log.Fatal(err)
+	}
+	streamTotalMs := float64(time.Since(start).Microseconds()) / 1000
+
+	// (d) Cancelled-query cost: one row, then Close.
+	eng.Fabric().ResetNetStats()
+	if _, err := app.RunContext(ctx, q); err != nil {
+		log.Fatal(err)
+	}
+	fullMsgs := float64(eng.Fabric().NetStats().Messages)
+	eng.Fabric().ResetNetStats()
+	cur, err = app.RunStream(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !cur.Next() {
+		log.Fatalf("stream yielded no rows: %v", cur.Err())
+	}
+	if err := cur.Close(); err != nil {
+		log.Fatal(err)
+	}
+	cancelledNet := eng.Fabric().NetStats()
+
+	fmt.Printf("%-34s %14s %14s\n", "ingest path (8 nodes)", "msgs/doc", "")
+	fmt.Printf("%-34s %14.1f\n", "batched replicas (IngestBatch)", batchedPerDoc)
+	fmt.Printf("%-34s %14.1f\n", "per-doc replicas (Ingest loop)", unbatchedPerDoc)
+	fmt.Printf("%-34s %14s %14s\n", "scan of full corpus", "ms", "rows")
+	fmt.Printf("%-34s %14.1f %14d\n", "materialized (Run)", fullMs, rowsFull)
+	fmt.Printf("%-34s %14.1f %14d\n", "stream: first row", ttfrMs, 1)
+	fmt.Printf("%-34s %14.1f %14d\n", "stream: all rows", streamTotalMs, rowsStream)
+	fmt.Printf("cancelled after first row: %.0f msgs (full query %.0f), %d calls abandoned\n",
+		float64(cancelledNet.Messages), fullMsgs, cancelledNet.Abandons)
+	fmt.Println("shape: the cursor's first row arrives with the first partition partial — far ahead of the")
+	fmt.Println("       full gather — and closing it stops the remaining fan-out; batching collapses the")
+	fmt.Println("       ingest path's replica traffic from one message per (doc, target) to one per target")
+
+	metrics["ingest_msgs_per_doc_batched"] = batchedPerDoc
+	metrics["ingest_msgs_per_doc_unbatched"] = unbatchedPerDoc
+	metrics["full_materialize_ms"] = fullMs
+	metrics["ttfr_stream_ms"] = ttfrMs
+	metrics["stream_total_ms"] = streamTotalMs
+	metrics["rows_full"] = float64(rowsFull)
+	metrics["rows_stream"] = float64(rowsStream)
+	metrics["stream_row_mismatch"] = float64(rowsFull - rowsStream)
+	metrics["msgs_full_query"] = fullMsgs
+	metrics["msgs_cancelled_query"] = float64(cancelledNet.Messages)
+	metrics["cancelled_abandons"] = float64(cancelledNet.Abandons)
 	return metrics
 }
 

@@ -14,14 +14,18 @@
 //
 //	-dir PATH          persist data-node stores under PATH (default: in-memory)
 //	-backend NAME      store layout when -dir is set: heapwal (default) or segment
+//	-timeout DUR       per-query deadline (default 30s; queries past it are
+//	                   cancelled and their node fan-out abandoned)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"impliance"
 	"impliance/internal/expr"
@@ -34,6 +38,7 @@ func main() {
 	dir := flag.String("dir", "", "persistence directory (empty = in-memory)")
 	backend := flag.String("backend", storage.BackendHeapWAL,
 		"storage backend when -dir is set: heapwal or segment")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-query deadline")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
@@ -44,11 +49,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer app.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 
 	switch args[0] {
 	case "demo":
 		loadDemo(app)
-		m := app.MetricsSnapshot()
+		m := app.MetricsSnapshotContext(ctx)
 		fmt.Printf("demo corpus loaded: %d documents, %d annotations, %d join edges\n",
 			m.Documents, m.Annotations, m.JoinEdges)
 		fmt.Printf("indexed docs: %d; interconnect: %d msgs / %d KB\n",
@@ -59,7 +66,7 @@ func main() {
 			log.Fatal("usage: implctl search <keyword...>")
 		}
 		loadDemo(app)
-		rows, err := app.Search(strings.Join(args[1:], " "), 10)
+		rows, err := app.SearchContext(ctx, strings.Join(args[1:], " "), 10)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,7 +82,7 @@ func main() {
 			log.Fatal("usage: implctl sql <statement>")
 		}
 		loadDemo(app)
-		res, err := app.ExecSQL(strings.Join(args[1:], " "))
+		res, err := app.ExecSQLContext(ctx, strings.Join(args[1:], " "))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -96,15 +103,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		id, err := app.IngestBytes(args[1], data)
+		id, err := app.IngestBytesContext(ctx, args[1], data)
 		if err != nil {
 			log.Fatal(err)
 		}
 		app.Drain()
-		d, _ := app.Get(id)
+		d, _ := app.GetContext(ctx, id)
 		fmt.Printf("ingested %s as %s (%s)\n", args[1], id, d.MediaType)
 		if len(args) > 2 {
-			rows, err := app.Search(strings.Join(args[2:], " "), 5)
+			rows, err := app.SearchContext(ctx, strings.Join(args[2:], " "), 5)
 			if err != nil {
 				log.Fatal(err)
 			}

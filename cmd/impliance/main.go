@@ -1,6 +1,9 @@
 // Command impliance runs an appliance instance behind an HTTP API — the
 // turn-key deployment of paper §3.1: start the binary and the system is
-// operational, no schema or configuration required.
+// operational, no schema or configuration required. Every handler
+// threads its request's context into the appliance, so a client that
+// disconnects mid-query abandons the node fan-out instead of riding it
+// to completion.
 //
 // Endpoints:
 //
@@ -82,7 +85,7 @@ func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
-	id, err := s.app.IngestBytes(source, body)
+	id, err := s.app.IngestBytesContext(r.Context(), source, body)
 	if err != nil {
 		httpErr(w, http.StatusBadRequest, err)
 		return
@@ -97,7 +100,7 @@ func (s *server) doc(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
-	d, err := s.app.Get(id)
+	d, err := s.app.GetContext(r.Context(), id)
 	if err != nil {
 		httpErr(w, http.StatusNotFound, err)
 		return
@@ -113,7 +116,7 @@ func (s *server) search(w http.ResponseWriter, r *http.Request) {
 	if k <= 0 {
 		k = 10
 	}
-	rows, err := s.app.Search(q, k)
+	rows, err := s.app.SearchContext(r.Context(), q, k)
 	if err != nil {
 		httpErr(w, http.StatusBadRequest, err)
 		return
@@ -140,7 +143,7 @@ func (s *server) facets(w http.ResponseWriter, r *http.Request) {
 		Dimensions: r.URL.Query()["dim"],
 		Refine:     impliance.True(),
 	}
-	res, err := s.app.Facets(req)
+	res, err := s.app.FacetsContext(r.Context(), req)
 	if err != nil {
 		httpErr(w, http.StatusBadRequest, err)
 		return
@@ -173,7 +176,7 @@ func (s *server) sql(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.app.ExecSQL(string(body))
+	res, err := s.app.ExecSQLContext(r.Context(), string(body))
 	if err != nil {
 		httpErr(w, http.StatusBadRequest, err)
 		return
@@ -203,7 +206,7 @@ func (s *server) connect(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
-	path := s.app.Connect(a, b, 6)
+	path := s.app.ConnectContext(r.Context(), a, b, 6)
 	type edge struct{ From, To, Label string }
 	out := struct {
 		Connected bool   `json:"connected"`
@@ -216,7 +219,7 @@ func (s *server) connect(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) discover(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.app.RunDiscovery()
+	rep, err := s.app.RunDiscoveryContext(r.Context())
 	if err != nil {
 		httpErr(w, http.StatusInternalServerError, err)
 		return
@@ -225,7 +228,7 @@ func (s *server) discover(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.app.MetricsSnapshot())
+	writeJSON(w, s.app.MetricsSnapshotContext(r.Context()))
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -12,8 +12,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"impliance"
 	"impliance/internal/workload"
@@ -25,19 +27,20 @@ func main() {
 		log.Fatal(err)
 	}
 	defer app.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 
 	gen := workload.New(99)
 	mails := gen.Emails(500, 0.6)
-	var ids []impliance.DocID
+	items := make([]impliance.Item, 0, len(mails))
 	for _, m := range mails {
-		id, err := app.Ingest(impliance.Item{Body: m.Body, MediaType: m.MediaType, Source: m.Source})
-		if err != nil {
-			log.Fatal(err)
-		}
-		ids = append(ids, id)
+		items = append(items, impliance.Item{Body: m.Body, MediaType: m.MediaType, Source: m.Source})
+	}
+	if _, err := app.IngestBatchContext(ctx, items); err != nil {
+		log.Fatal(err)
 	}
 	app.Drain()
-	rep, err := app.RunDiscovery()
+	rep, err := app.RunDiscoveryContext(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +48,7 @@ func main() {
 		len(mails), rep.EntityClusters, rep.JoinEdgesTotal)
 
 	// Find messages about a partner's contracts.
-	hits, err := app.Search("acme corp contract", 20)
+	hits, err := app.SearchContext(ctx, "acme corp contract", 20)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +60,7 @@ func main() {
 	// Litigation hold: transitive closure around the top hit — reply
 	// chains and shared people pull in indirectly related mail.
 	seed := hits[0].Docs[0]
-	closure := app.RelatedTo(seed.ID, 3)
+	closure := app.RelatedToContext(ctx, seed.ID, 3)
 	fmt.Printf("transitive closure around %s (3 hops): %d documents\n", seed.ID, len(closure))
 
 	// Preserve: stamp every related document with a hold marker as a NEW
@@ -65,11 +68,11 @@ func main() {
 	// auditable).
 	held := 0
 	for _, id := range closure {
-		d, err := app.Get(id)
+		d, err := app.GetContext(ctx, id)
 		if err != nil {
 			continue
 		}
-		if _, err := app.Update(id, d.Root.Set("legal_hold", impliance.String("matter-2026-117"))); err != nil {
+		if _, err := app.UpdateContext(ctx, id, d.Root.Set("legal_hold", impliance.String("matter-2026-117"))); err != nil {
 			continue
 		}
 		held++
@@ -78,13 +81,13 @@ func main() {
 	fmt.Printf("litigation hold applied to %d documents (as new versions)\n", held)
 
 	// Audit: the pre-hold version of the seed is still readable.
-	v1, err := app.GetVersion(impliance.VersionKey{Doc: seed.ID, Ver: 1})
+	v1, err := app.GetVersionContext(ctx, impliance.VersionKey{Doc: seed.ID, Ver: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("original (v1) of %s still readable: legal_hold present = %v\n",
 		seed.ID, v1.Root.Has("legal_hold"))
-	latest, _ := app.Get(seed.ID)
+	latest, _ := app.GetContext(ctx, seed.ID)
 	fmt.Printf("latest (v%d) carries hold: %s\n",
 		latest.Version, latest.First("/legal_hold").StringVal())
 
@@ -94,7 +97,7 @@ func main() {
 		if other == seed.ID && len(closure) > 1 {
 			other = closure[0]
 		}
-		path := app.Connect(seed.ID, other, 4)
+		path := app.ConnectContext(ctx, seed.ID, other, 4)
 		fmt.Printf("connection %s -> %s:\n", seed.ID, other)
 		for _, e := range path {
 			fmt.Printf("  %s -[%s]-> %s\n", e.From, e.Label, e.To)

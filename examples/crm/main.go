@@ -8,8 +8,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"impliance"
 	"impliance/internal/workload"
@@ -21,21 +23,25 @@ func main() {
 		log.Fatal(err)
 	}
 	defer app.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 
 	gen := workload.New(42)
 	profiles := gen.CustomerProfiles(50)
 	transcripts := gen.CallTranscripts(300, profiles, 0.9)
 
-	for _, p := range profiles {
-		mustIngest(app, p)
+	// One batch: replica traffic is grouped per target node.
+	items := make([]impliance.Item, 0, len(profiles)+len(transcripts))
+	for _, it := range append(profiles, transcripts...) {
+		items = append(items, impliance.Item{Body: it.Body, MediaType: it.MediaType, Source: it.Source})
 	}
-	for _, tr := range transcripts {
-		mustIngest(app, tr)
+	if _, err := app.IngestBatchContext(ctx, items); err != nil {
+		log.Fatal(err)
 	}
 	app.Drain()
 
 	// Inter-document discovery: resolve entities, build join edges.
-	rep, err := app.RunDiscovery()
+	rep, err := app.RunDiscoveryContext(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +50,7 @@ func main() {
 
 	// Faceted search: negative calls, faceted by sentiment label via the
 	// sentiment annotations exposed as a SQL view.
-	res, err := app.ExecSQL(
+	res, err := app.ExecSQLContext(ctx,
 		"SELECT label, count(*) FROM sentiments GROUP BY label ORDER BY label")
 	if err != nil {
 		log.Fatal(err)
@@ -56,7 +62,7 @@ func main() {
 
 	// Keyword search enriched by annotations: "angry refund" surfaces the
 	// unhappy transcripts.
-	hits, err := app.Search("angry refund", 5)
+	hits, err := app.SearchContext(ctx, "angry refund", 5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,23 +79,16 @@ func main() {
 	// profile? (Entity edges discovered above answer it.)
 	if len(hits) > 0 {
 		call := hits[0].Docs[0]
-		related := app.RelatedTo(call.ID, 2)
+		related := app.RelatedToContext(ctx, call.ID, 2)
 		for _, id := range related {
-			d, err := app.Get(id)
+			d, err := app.GetContext(ctx, id)
 			if err != nil || !d.Root.Has("customer_id") {
 				continue
 			}
-			path := app.Connect(call.ID, id, 3)
+			path := app.ConnectContext(ctx, call.ID, id, 3)
 			fmt.Printf("call %s connects to customer %s (%s) via %d hop(s)\n",
 				call.ID, d.First("/customer_id").StringVal(), d.First("/name").StringVal(), len(path))
 			break
 		}
-	}
-}
-
-func mustIngest(app *impliance.Appliance, it workload.Item) {
-	_, err := app.Ingest(impliance.Item{Body: it.Body, MediaType: it.MediaType, Source: it.Source})
-	if err != nil {
-		log.Fatal(err)
 	}
 }

@@ -11,8 +11,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"impliance"
 	"impliance/internal/workload"
@@ -24,12 +26,17 @@ func main() {
 		log.Fatal(err)
 	}
 	defer app.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 
 	gen := workload.New(7)
-	for _, c := range gen.InsuranceClaims(400, 0.15) {
-		if _, err := app.Ingest(impliance.Item{Body: c.Body, MediaType: c.MediaType, Source: c.Source}); err != nil {
-			log.Fatal(err)
-		}
+	claims := gen.InsuranceClaims(400, 0.15)
+	items := make([]impliance.Item, 0, len(claims))
+	for _, c := range claims {
+		items = append(items, impliance.Item{Body: c.Body, MediaType: c.MediaType, Source: c.Source})
+	}
+	if _, err := app.IngestBatchContext(ctx, items); err != nil {
+		log.Fatal(err)
 	}
 	app.Drain()
 
@@ -45,9 +52,9 @@ func main() {
 
 	// Structured + content in one query: expensive MRI claims whose
 	// narrative mentions a same-day repeat (the synthetic fraud marker).
-	res, err := app.ExecSQL(
-		"SELECT id, patient, amount FROM claims " +
-			"WHERE procedure = 'MRI scan' AND amount > 5000 AND narrative CONTAINS 'same day' " +
+	res, err := app.ExecSQLContext(ctx,
+		"SELECT id, patient, amount FROM claims "+
+			"WHERE procedure = 'MRI scan' AND amount > 5000 AND narrative CONTAINS 'same day' "+
 			"ORDER BY amount DESC LIMIT 10")
 	if err != nil {
 		log.Fatal(err)
@@ -58,7 +65,7 @@ func main() {
 	}
 
 	// Aggregate view: cost per procedure, fraud-flag rate.
-	agg, err := app.ExecSQL(
+	agg, err := app.ExecSQLContext(ctx,
 		"SELECT procedure, count(*), avg(amount), max(amount) FROM claims GROUP BY procedure ORDER BY procedure")
 	if err != nil {
 		log.Fatal(err)
@@ -71,7 +78,7 @@ func main() {
 
 	// Faceted exploration with per-bucket aggregates (paper §3.2.1's
 	// "more sophisticated analytical capabilities than just counting").
-	fr, err := app.Facets(impliance.FacetRequest{
+	fr, err := app.FacetsContext(ctx, impliance.FacetRequest{
 		Refine:     impliance.Cmp("/claim/flagged", impliance.OpEq, impliance.Bool(true)),
 		Dimensions: []string{"/claim/procedure"},
 		Aggregates: []impliance.AggSpec{{Kind: impliance.AggAvg, Path: "/claim/amount"}},

@@ -1,11 +1,15 @@
 // Quickstart: boot an appliance, throw heterogeneous data in with no
 // schema or preparation (the paper's "stewing pot", §2.2), and retrieve
-// it through keyword search, structured query, and SQL.
+// it through keyword search, a streaming structured query, and SQL.
+// Every call is bounded by a context — cancel it and the appliance
+// abandons the node fan-out mid-flight.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"impliance"
 )
@@ -17,23 +21,27 @@ func main() {
 	}
 	defer app.Close()
 
+	// One context bounds the whole session; per-call options refine it.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	// Ingest three formats with zero preparation.
-	if _, err := app.IngestBytes("note.txt",
+	if _, err := app.IngestBytesContext(ctx, "note.txt",
 		[]byte("Grace Hopper reported the WidgetPro in Boston works great, excellent build")); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := app.IngestBytes("order.json",
+	if _, err := app.IngestBytesContext(ctx, "order.json",
 		[]byte(`{"customer": "CU-00001", "product": "WidgetPro", "total": 199.99}`)); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := app.IngestBytes("claim.xml",
+	if _, err := app.IngestBytesContext(ctx, "claim.xml",
 		[]byte(`<claim id="CL-7"><patient>Mary Codd</patient><amount>1200</amount></claim>`)); err != nil {
 		log.Fatal(err)
 	}
 	app.Drain() // let background indexing and annotation finish
 
 	// 1. Keyword search spans every format.
-	hits, err := app.Search("widgetpro", 10)
+	hits, err := app.SearchContext(ctx, "widgetpro", 10)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,22 +50,33 @@ func main() {
 		fmt.Printf("  %-8s score=%.2f  %s\n", h.Docs[0].ID, h.Score, h.Docs[0].MediaType)
 	}
 
-	// 2. Structured query with a pushed-down predicate.
-	res, err := app.Run(impliance.Query{
+	// 2. Structured query as a stream: rows arrive as partition partials
+	// do, and closing the cursor cancels any remaining fan-out.
+	cur, err := app.RunStream(ctx, impliance.Query{
 		Filter: impliance.Cmp("/claim/amount", impliance.OpGt, impliance.Int(1000)),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("claims over $1000: %d (plan: %s)\n", len(res.Rows), res.Plan)
+	n := 0
+	for cur.Next() {
+		n++
+		fmt.Printf("claim over $1000: %s\n", cur.Row().Docs[0].ID)
+	}
+	if err := cur.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d claims (plan: %s)\n", n, cur.Plan())
 
-	// 3. SQL over a view (paper Figure 2).
+	// 3. SQL over a view (paper Figure 2), with a per-call deadline.
 	app.RegisterView("orders", impliance.Exists("/customer"), map[string]string{
 		"customer": "/customer",
 		"product":  "/product",
 		"total":    "/total",
 	})
-	sqlRes, err := app.ExecSQL("SELECT customer, total FROM orders WHERE total > 100")
+	sqlRes, err := app.ExecSQLContext(ctx,
+		"SELECT customer, total FROM orders WHERE total > 100",
+		impliance.WithDeadline(5*time.Second))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,6 +85,6 @@ func main() {
 	}
 
 	// 4. Annotations were derived automatically in the background.
-	m := app.MetricsSnapshot()
+	m := app.MetricsSnapshotContext(ctx)
 	fmt.Printf("documents=%d annotations=%d joinEdges=%d\n", m.Documents, m.Annotations, m.JoinEdges)
 }

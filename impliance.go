@@ -10,15 +10,26 @@
 //
 //	app, err := impliance.Open(impliance.Config{})
 //	defer app.Close()
-//	id, _ := app.IngestBytes("note.txt", []byte("Grace Hopper visited Boston"))
+//	ctx := context.Background()
+//	id, _ := app.IngestBytesContext(ctx, "note.txt", []byte("Grace Hopper visited Boston"))
 //	app.Drain() // wait for background indexing/annotation
-//	hits, _ := app.Search("hopper", 10)
+//	hits, _ := app.SearchContext(ctx, "hopper", 10)
+//
+// Every operation has a context-first form (the ...Context methods plus
+// the streaming RunStream); the bare forms are context.Background()
+// shims kept for compatibility. Contexts propagate into the node
+// fan-out: cancelling one abandons outstanding node calls and stops
+// scheduling new partition work. Per-call options (WithLimit,
+// WithDeadline, WithStaleReads, WithConsistency) tune one request
+// without touching appliance Config.
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // experiment suite.
 package impliance
 
 import (
+	"context"
+
 	"impliance/internal/annot"
 	"impliance/internal/core"
 	"impliance/internal/discovery"
@@ -139,6 +150,14 @@ type (
 	Row = exec.Row
 	// Result is a completed query with its plan.
 	Result = core.Result
+	// Cursor streams a structured query's rows incrementally
+	// (Next/Row/Err/Close); see RunStream.
+	Cursor = core.Cursor
+	// CallOption tunes one request (limit, deadline, staleness,
+	// consistency) without touching appliance Config.
+	CallOption = core.CallOption
+	// Consistency selects which replica may answer a routed point read.
+	Consistency = core.Consistency
 	// SQLResult is a completed SQL query.
 	SQLResult = core.SQLResult
 	// FacetRequest is one faceted-search interaction step.
@@ -162,6 +181,32 @@ const (
 	ClassUser       = virt.ClassUser
 	ClassDerived    = virt.ClassDerived
 	ClassRegulatory = virt.ClassRegulatory
+)
+
+// Read-consistency levels for WithConsistency.
+const (
+	// ReadOwner (default) routes to the partition's answering owner and
+	// always observes the latest acknowledged write.
+	ReadOwner = core.ReadOwner
+	// ReadOne accepts any alive holder — cheapest availability under
+	// failures, may serve a lagging replica.
+	ReadOne = core.ReadOne
+)
+
+// Per-call options (see internal/core documentation for the partition-
+// layer semantics of each).
+var (
+	// WithLimit caps returned/streamed rows; a satisfied streaming scan
+	// stops scheduling the remaining partition fan-out.
+	WithLimit = core.WithLimit
+	// WithDeadline bounds the call's wall time; past it the request is
+	// abandoned as if the caller's context were cancelled.
+	WithDeadline = core.WithDeadline
+	// WithStaleReads skips dual-ownership window fallbacks on value
+	// probes (cheaper under membership churn, may miss mid-hand-off rows).
+	WithStaleReads = core.WithStaleReads
+	// WithConsistency selects the replica rule for routed point reads.
+	WithConsistency = core.WithConsistency
 )
 
 // Drill refines a faceted-search state by clicking a bucket.
@@ -198,22 +243,47 @@ func (a *Appliance) Engine() *core.Engine { return a.eng }
 // Ingest infuses a pre-mapped document body.
 func (a *Appliance) Ingest(item Item) (DocID, error) { return a.eng.Ingest(item) }
 
-// IngestBatch infuses many items.
+// IngestContext is Ingest bounded by a context: a cancelled caller
+// abandons the primary write; replication and derived work run under
+// the engine's own lifetime.
+func (a *Appliance) IngestContext(ctx context.Context, item Item) (DocID, error) {
+	return a.eng.IngestContext(ctx, item)
+}
+
+// IngestBatch infuses many items. Replica traffic is batched: each
+// target node receives its whole share of the batch in one wire call.
 func (a *Appliance) IngestBatch(items []Item) ([]DocID, error) { return a.eng.IngestBatch(items) }
+
+// IngestBatchContext is IngestBatch bounded by a context; on
+// cancellation the IDs ingested so far are returned with the error.
+func (a *Appliance) IngestBatchContext(ctx context.Context, items []Item) ([]DocID, error) {
+	return a.eng.IngestBatchContext(ctx, items)
+}
 
 // IngestBytes sniffs and maps raw bytes (JSON, XML, e-mail, text, or
 // binary) and infuses the result — no schema, no preparation.
 func (a *Appliance) IngestBytes(filename string, data []byte) (DocID, error) {
+	return a.IngestBytesContext(context.Background(), filename, data)
+}
+
+// IngestBytesContext is IngestBytes bounded by a context.
+func (a *Appliance) IngestBytesContext(ctx context.Context, filename string, data []byte) (DocID, error) {
 	body, mediaType, err := ingest.Auto(filename, data)
 	if err != nil {
 		return DocID{}, err
 	}
-	return a.eng.Ingest(Item{Body: body, MediaType: mediaType, Source: filename})
+	return a.eng.IngestContext(ctx, Item{Body: body, MediaType: mediaType, Source: filename})
 }
 
 // IngestCSV maps a CSV file (header row + data rows) to one document per
 // row under the given source name.
 func (a *Appliance) IngestCSV(source string, data []byte) ([]DocID, error) {
+	return a.IngestCSVContext(context.Background(), source, data)
+}
+
+// IngestCSVContext is IngestCSV bounded by a context (rows ship through
+// the replica-batched IngestBatch path).
+func (a *Appliance) IngestCSVContext(ctx context.Context, source string, data []byte) ([]DocID, error) {
 	rows, err := ingest.CSV(data)
 	if err != nil {
 		return nil, err
@@ -222,7 +292,7 @@ func (a *Appliance) IngestCSV(source string, data []byte) ([]DocID, error) {
 	for _, r := range rows {
 		items = append(items, Item{Body: r, MediaType: ingest.MediaRow, Source: source})
 	}
-	return a.eng.IngestBatch(items)
+	return a.eng.IngestBatchContext(ctx, items)
 }
 
 // Update appends a new immutable version of a document (paper §4: no
@@ -231,14 +301,35 @@ func (a *Appliance) Update(id DocID, newBody Value) (VersionKey, error) {
 	return a.eng.Update(id, newBody)
 }
 
+// UpdateContext is Update bounded by a context.
+func (a *Appliance) UpdateContext(ctx context.Context, id DocID, newBody Value) (VersionKey, error) {
+	return a.eng.UpdateContext(ctx, id, newBody)
+}
+
 // Get fetches the latest version of a document.
 func (a *Appliance) Get(id DocID) (*Document, error) { return a.eng.Get(id) }
+
+// GetContext is Get bounded by a context; WithConsistency selects which
+// replica may answer.
+func (a *Appliance) GetContext(ctx context.Context, id DocID, opts ...CallOption) (*Document, error) {
+	return a.eng.GetContext(ctx, id, opts...)
+}
 
 // GetVersion fetches a specific immutable version.
 func (a *Appliance) GetVersion(key VersionKey) (*Document, error) { return a.eng.GetVersion(key) }
 
+// GetVersionContext is GetVersion bounded by a context.
+func (a *Appliance) GetVersionContext(ctx context.Context, key VersionKey, opts ...CallOption) (*Document, error) {
+	return a.eng.GetVersionContext(ctx, key, opts...)
+}
+
 // VersionCount reports how many versions of a document exist.
 func (a *Appliance) VersionCount(id DocID) int { return a.eng.VersionCount(id) }
+
+// VersionCountContext is VersionCount bounded by a context.
+func (a *Appliance) VersionCountContext(ctx context.Context, id DocID, opts ...CallOption) int {
+	return a.eng.VersionCountContext(ctx, id, opts...)
+}
 
 // Drain blocks until queued background work (indexing, annotation,
 // replication) has completed.
@@ -249,15 +340,47 @@ func (a *Appliance) Drain() { a.eng.DrainBackground() }
 // Search is ranked keyword retrieval: the out-of-the-box interface.
 func (a *Appliance) Search(keyword string, k int) ([]*Row, error) { return a.eng.Search(keyword, k) }
 
-// Run executes a structured logical query.
+// SearchContext is Search bounded by a context: cancellation abandons
+// the index fan-out mid-flight.
+func (a *Appliance) SearchContext(ctx context.Context, keyword string, k int, opts ...CallOption) ([]*Row, error) {
+	return a.eng.SearchContext(ctx, keyword, k, opts...)
+}
+
+// Run executes a structured logical query, materializing the full
+// result set. For incremental delivery use RunStream.
 func (a *Appliance) Run(q Query) (*Result, error) { return a.eng.Run(q) }
+
+// RunContext is Run bounded by a context with per-call options:
+// cancellation abandons outstanding node calls and stops scheduling new
+// partition fan-out.
+func (a *Appliance) RunContext(ctx context.Context, q Query, opts ...CallOption) (*Result, error) {
+	return a.eng.RunContext(ctx, q, opts...)
+}
+
+// RunStream executes a structured query as a stream: the returned
+// Cursor (Next/Row/Err/Close) delivers rows as per-partition partial
+// results arrive, bounded memory regardless of result size. The cursor
+// must be closed; closing early cancels the remaining fan-out.
+func (a *Appliance) RunStream(ctx context.Context, q Query, opts ...CallOption) (*Cursor, error) {
+	return a.eng.RunStream(ctx, q, opts...)
+}
 
 // Facets executes one faceted-search interaction step with drill-down and
 // optional per-bucket aggregates.
 func (a *Appliance) Facets(req FacetRequest) (*FacetResult, error) { return a.eng.Facets(req) }
 
+// FacetsContext is Facets bounded by a context.
+func (a *Appliance) FacetsContext(ctx context.Context, req FacetRequest, opts ...CallOption) (*FacetResult, error) {
+	return a.eng.FacetsContext(ctx, req, opts...)
+}
+
 // ExecSQL runs a SQL statement against the view catalog (paper Figure 2).
 func (a *Appliance) ExecSQL(sql string) (*SQLResult, error) { return a.eng.ExecSQL(sql) }
+
+// ExecSQLContext is ExecSQL bounded by a context with per-call options.
+func (a *Appliance) ExecSQLContext(ctx context.Context, sql string, opts ...CallOption) (*SQLResult, error) {
+	return a.eng.ExecSQLContext(ctx, sql, opts...)
+}
 
 // RegisterView exposes documents matching base as a relational view.
 func (a *Appliance) RegisterView(name string, base Expr, attrs map[string]string) {
@@ -268,13 +391,28 @@ func (a *Appliance) RegisterView(name string, base Expr, attrs map[string]string
 // discovered relationship graph (paper §3.2.1).
 func (a *Appliance) Connect(x, y DocID, maxHops int) []Edge { return a.eng.Connect(x, y, maxHops) }
 
+// ConnectContext is Connect with the uniform ctx-first signature.
+func (a *Appliance) ConnectContext(ctx context.Context, x, y DocID, maxHops int) []Edge {
+	return a.eng.ConnectContext(ctx, x, y, maxHops)
+}
+
 // RelatedTo returns the transitive closure of relationships around a
 // document (paper §2.1.3's legal-discovery need).
 func (a *Appliance) RelatedTo(id DocID, maxHops int) []DocID { return a.eng.RelatedTo(id, maxHops) }
 
+// RelatedToContext is RelatedTo with the uniform ctx-first signature.
+func (a *Appliance) RelatedToContext(ctx context.Context, id DocID, maxHops int) []DocID {
+	return a.eng.RelatedToContext(ctx, id, maxHops)
+}
+
 // AnnotationsOf lists the annotation documents derived from a base
 // document.
 func (a *Appliance) AnnotationsOf(id DocID) ([]*Document, error) { return a.eng.AnnotationsOf(id) }
+
+// AnnotationsOfContext is AnnotationsOf bounded by a context.
+func (a *Appliance) AnnotationsOfContext(ctx context.Context, id DocID, opts ...CallOption) ([]*Document, error) {
+	return a.eng.AnnotationsOfContext(ctx, id, opts...)
+}
 
 // --- Discovery (paper §3.2) ---
 
@@ -283,8 +421,21 @@ func (a *Appliance) AnnotationsOf(id DocID) ([]*Document, error) { return a.eng.
 // relationships land in the join index.
 func (a *Appliance) RunDiscovery() (*DiscoveryReport, error) { return a.eng.RunDiscovery() }
 
+// RunDiscoveryContext is RunDiscovery bounded by a context: a cancelled
+// pass stops between phases and abandons in-flight node calls.
+func (a *Appliance) RunDiscoveryContext(ctx context.Context) (*DiscoveryReport, error) {
+	return a.eng.RunDiscoveryContext(ctx)
+}
+
 // MetricsSnapshot reports appliance health counters.
 func (a *Appliance) MetricsSnapshot() Metrics { return a.eng.MetricsSnapshot() }
+
+// MetricsSnapshotContext is MetricsSnapshot bounded by a context;
+// corpus statistics stream over store header metadata, never document
+// bodies.
+func (a *Appliance) MetricsSnapshotContext(ctx context.Context) Metrics {
+	return a.eng.MetricsSnapshotContext(ctx)
+}
 
 // AnnotationMediaType is the media type of annotation documents.
 const AnnotationMediaType = annot.MediaAnnotation

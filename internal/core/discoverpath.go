@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -42,6 +43,14 @@ type DiscoveryReport struct {
 // time, not just at data loading time", §3.2); typically the appliance
 // runs it as background work via ScheduleDiscovery.
 func (e *Engine) RunDiscovery() (*DiscoveryReport, error) {
+	return e.RunDiscoveryContext(context.Background())
+}
+
+// RunDiscoveryContext is RunDiscovery under a request lifecycle: the
+// context bounds the mention gather, the cross-cluster scan, and the
+// lock round-trips — a cancelled pass stops between phases and abandons
+// its in-flight node calls.
+func (e *Engine) RunDiscoveryContext(ctx context.Context) (*DiscoveryReport, error) {
 	report := &DiscoveryReport{}
 
 	// Phase 1 (data-node output): gather entity mentions from existing
@@ -51,13 +60,16 @@ func (e *Engine) RunDiscovery() (*DiscoveryReport, error) {
 		return nil, err
 	}
 	report.Mentions = len(mentions)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 2 (grid-node analysis): resolve entities, propose value joins.
 	e.attributeWork(sched.TaskInterAnalysis)
 	clusters := discovery.NewResolver().Resolve(mentions)
 	report.EntityClusters = len(clusters)
 
-	latest, err := e.latestBaseDocs()
+	latest, err := e.latestBaseDocs(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +80,7 @@ func (e *Engine) RunDiscovery() (*DiscoveryReport, error) {
 
 	// Phase 3 (cluster-node persistence): take the join-index lock, then
 	// materialize edges.
-	token, release, err := e.acquireClusterLock("joinindex", "discovery")
+	token, release, err := e.acquireClusterLock(ctx, "joinindex", "discovery")
 	if err != nil {
 		return nil, err
 	}
@@ -126,18 +138,20 @@ func (e *Engine) collectMentions() ([]discovery.Mention, error) {
 
 // latestBaseDocs returns the deduplicated latest versions of all
 // non-annotation documents.
-func (e *Engine) latestBaseDocs() ([]*docmodel.Document, error) {
-	return e.distributedScan(expr.Not(expr.MediaTypeIs(annot.MediaAnnotation)))
+func (e *Engine) latestBaseDocs(ctx context.Context) ([]*docmodel.Document, error) {
+	return e.distributedScan(ctx, expr.Not(expr.MediaTypeIs(annot.MediaAnnotation)))
 }
 
 // acquireClusterLock takes a named lock through the cluster leader's lock
-// service and returns the fencing token plus a release func.
-func (e *Engine) acquireClusterLock(name, owner string) (uint64, func(), error) {
+// service and returns the fencing token plus a release func. The release
+// deliberately ignores the request context: a cancelled caller must
+// still return the lock, or cancellation would leak lock ownership.
+func (e *Engine) acquireClusterLock(ctx context.Context, name, owner string) (uint64, func(), error) {
 	leader := e.group.Leader()
 	if leader.IsZero() {
 		return 0, nil, fmt.Errorf("core: no cluster leader")
 	}
-	raw, err := e.fab.Call(leader, msgLock, mustJSON(lockReq{Name: name, Owner: owner}))
+	raw, err := e.fab.CallCtx(ctx, leader, msgLock, mustJSON(lockReq{Name: name, Owner: owner}))
 	if err != nil {
 		return 0, nil, err
 	}
@@ -161,21 +175,49 @@ func (e *Engine) Connect(a, b docmodel.DocID, maxHops int) []discovery.Edge {
 	return e.joinIdx.Connect(a, b, maxHops)
 }
 
+// ConnectContext is Connect with the uniform ctx-first signature. The
+// walk is engine-local (no node calls); the context gates entry only.
+func (e *Engine) ConnectContext(ctx context.Context, a, b docmodel.DocID, maxHops int) []discovery.Edge {
+	if ctx.Err() != nil {
+		return nil
+	}
+	return e.Connect(a, b, maxHops)
+}
+
 // RelatedTo returns the transitive closure of relationships around a
 // document (legal-compliance discovery, §2.1.3).
 func (e *Engine) RelatedTo(id docmodel.DocID, maxHops int) []docmodel.DocID {
 	return e.joinIdx.ConnectedComponent(id, maxHops)
 }
 
+// RelatedToContext is RelatedTo with the uniform ctx-first signature
+// (engine-local walk; the context gates entry only).
+func (e *Engine) RelatedToContext(ctx context.Context, id docmodel.DocID, maxHops int) []docmodel.DocID {
+	if ctx.Err() != nil {
+		return nil
+	}
+	return e.RelatedTo(id, maxHops)
+}
+
 // AnnotationsOf returns the annotation documents attached to a base
 // document (any annotator), via the join index "annotates" edges.
 func (e *Engine) AnnotationsOf(id docmodel.DocID) ([]*docmodel.Document, error) {
+	return e.AnnotationsOfContext(context.Background(), id)
+}
+
+// AnnotationsOfContext is AnnotationsOf under a request lifecycle: each
+// annotation fetch is a routed point read bounded by the context and
+// the per-call options.
+func (e *Engine) AnnotationsOfContext(ctx context.Context, id docmodel.DocID, opts ...CallOption) ([]*docmodel.Document, error) {
 	var out []*docmodel.Document
 	for _, edge := range e.joinIdx.Neighbors(id) {
 		if edge.Label != "annotates" && edge.Label != "ref" {
 			continue
 		}
-		d, err := e.Get(edge.To)
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		d, err := e.GetContext(ctx, edge.To, opts...)
 		if err != nil {
 			continue
 		}

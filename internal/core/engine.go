@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -691,6 +692,16 @@ type Metrics struct {
 
 // MetricsSnapshot gathers current counters.
 func (e *Engine) MetricsSnapshot() Metrics {
+	return e.MetricsSnapshotContext(context.Background())
+}
+
+// MetricsSnapshotContext gathers current counters under a request
+// lifecycle. Corpus statistics stream over each store's header metadata
+// (EachMeta) instead of scanning document bodies, so a snapshot of a
+// lazily-decoded segment store counts a 10k-document corpus without
+// materializing a single body; a cancelled context stops the walk early
+// and returns the partial snapshot.
+func (e *Engine) MetricsSnapshotContext(ctx context.Context) Metrics {
 	m := Metrics{
 		Net:           e.fab.NetStats(),
 		BacklogTasks:  e.pool.Backlog(),
@@ -701,21 +712,24 @@ func (e *Engine) MetricsSnapshot() Metrics {
 	m.ValueLookups, m.ValueProbes, m.ValueProbePruned, m.ValueProbeFallbacks = e.ValueProbeStats()
 	seen := map[docmodel.DocID]struct{}{}
 	for _, dn := range e.dataNodes() {
+		if ctx.Err() != nil {
+			break
+		}
 		m.IndexedDocs += dn.ix.DocCount()
 		_, _, _, raw, stored := dn.store.StatsSnapshot()
 		m.RawBytes += raw
 		m.StoredBytes += stored
-		dn.store.Scan(func(d *docmodel.Document) bool {
-			if _, dup := seen[d.ID]; dup {
+		dn.store.EachMeta(func(meta storage.DocMeta) bool {
+			if _, dup := seen[meta.ID]; dup {
 				return true // replica: count each document once
 			}
-			seen[d.ID] = struct{}{}
-			if d.IsAnnotation() {
+			seen[meta.ID] = struct{}{}
+			if meta.Annotation {
 				m.Annotations++
 			} else {
 				m.Documents++
 			}
-			return true
+			return ctx.Err() == nil
 		})
 	}
 	return m

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -19,6 +20,7 @@ import (
 const (
 	msgPut          = "put"            // data: store a new document/version
 	msgReplica      = "replica"        // data: install a replicated version
+	msgReplicaBatch = "replica-batch"  // data: install many replicated versions in one call
 	msgGet          = "get"            // data: fetch latest version by id
 	msgGetBatch     = "get-batch"      // data: fetch many latest versions
 	msgScanFiltered = "scan-filtered"  // data: pushed-down filtered scan
@@ -59,6 +61,22 @@ func (e *Engine) dataHandler(dn *dataNode) fabric.Handler {
 				return nil, err
 			}
 			return nil, dn.store.PutReplica(doc)
+
+		case msgReplicaBatch:
+			// The ingest path groups replica traffic per target: every
+			// version this node owes from a batch arrives in one call
+			// instead of one message per document (PutReplica is
+			// idempotent, so a retried batch is safe).
+			docs, err := decodeDocs(payload)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range docs {
+				if err := dn.store.PutReplica(d); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
 
 		case msgGet:
 			id, err := docmodel.ParseDocID(string(payload))
@@ -311,13 +329,13 @@ func (dn *dataNode) purgeIndex() {
 // searchAllNodes fans a keyword search out to every alive data node and
 // merges ranked hits (paper §3.3's example: "a query can be parallelized
 // by performing full-text index search on a set of data nodes").
-func (e *Engine) searchAllNodes(keyword string, k int) ([]index.Hit, error) {
+func (e *Engine) searchAllNodes(ctx context.Context, keyword string, k int) ([]index.Hit, error) {
 	terms := text.DefaultAnalyzer.Terms(keyword)
 	if len(terms) == 0 {
 		return nil, nil
 	}
 	payload := mustJSON(searchReq{Terms: terms, K: k})
-	results, err := e.fanOutData(msgSearch, func(*dataNode) []byte { return payload })
+	results, err := e.fanOutData(ctx, msgSearch, func(*dataNode) []byte { return payload })
 	if err != nil {
 		return nil, err
 	}
@@ -357,30 +375,44 @@ func hitLess(a, b index.Hit) bool {
 // ring are excluded even when revived: their stores and indexes hold
 // entries whose ownership moved, and fanning them in would double-count
 // facets and surface stale index answers.
-func (e *Engine) fanOutData(kind string, payloadFor func(*dataNode) []byte) ([][]byte, error) {
+func (e *Engine) fanOutData(ctx context.Context, kind string, payloadFor func(*dataNode) []byte) ([][]byte, error) {
+	return e.callEach(ctx, e.ringNodes(), kind, payloadFor)
+}
+
+// ringNodes lists the alive ring-member data nodes — the fan-out set.
+func (e *Engine) ringNodes() []*dataNode {
 	alive := make([]*dataNode, 0, len(e.dataNodes()))
 	for _, dn := range e.dataNodes() {
 		if dn.node.Alive() && e.smgr.InRing(dn.node.ID) {
 			alive = append(alive, dn)
 		}
 	}
-	return e.callEach(alive, kind, payloadFor)
+	return alive
 }
 
 // callEach calls each node concurrently with its payload and gathers
 // raw replies in node order, failing on the first error — the shared
-// scatter-gather under fanOutData and the routed value probe.
-func (e *Engine) callEach(nodes []*dataNode, kind string, payloadFor func(*dataNode) []byte) ([][]byte, error) {
+// scatter-gather under fanOutData and the routed value probe. A
+// cancelled context stops the scatter before un-dispatched calls are
+// sent and abandons the in-flight ones (fabric.CallCtx), so a dead
+// caller stops consuming the interconnect.
+func (e *Engine) callEach(ctx context.Context, nodes []*dataNode, kind string, payloadFor func(*dataNode) []byte) ([][]byte, error) {
 	results := make([][]byte, len(nodes))
 	errs := make([]error, len(nodes))
 	done := make(chan int, len(nodes))
+	launched := 0
 	for i, dn := range nodes {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		launched++
 		go func(i int, dn *dataNode) {
-			results[i], errs[i] = e.fab.Call(dn.node.ID, kind, payloadFor(dn))
+			results[i], errs[i] = e.fab.CallCtx(ctx, dn.node.ID, kind, payloadFor(dn))
 			done <- i
 		}(i, dn)
 	}
-	for range nodes {
+	for n := 0; n < launched; n++ {
 		<-done
 	}
 	for _, err := range errs {

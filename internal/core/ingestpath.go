@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -30,10 +31,31 @@ type Item struct {
 // annotated. The returned ID is immediately usable for retrieval even
 // before indexing completes.
 func (e *Engine) Ingest(item Item) (docmodel.DocID, error) {
+	return e.IngestContext(context.Background(), item)
+}
+
+// IngestContext is Ingest under a request lifecycle: the context bounds
+// the primary write (a cancelled caller abandons the put). Replication
+// and derived work are durability traffic, not caller state — they run
+// under the engine's own lifetime, never the caller's, so a departed
+// client cannot strand a partition under-replicated.
+func (e *Engine) IngestContext(ctx context.Context, item Item) (docmodel.DocID, error) {
+	stored, others, err := e.ingestOne(ctx, item)
+	if err != nil {
+		return docmodel.DocID{}, err
+	}
+	e.replicate(stored, others)
+	return stored.ID, nil
+}
+
+// ingestOne runs the shared front half of every ingest: mint, route,
+// persist on the primary, register, and schedule derived work. The
+// caller ships the replicas (singly or batched).
+func (e *Engine) ingestOne(ctx context.Context, item Item) (*docmodel.Document, []fabric.NodeID, error) {
 	id := e.mintDocID()
 	primary, others, err := e.routeNewDoc(id, item.Class)
 	if err != nil {
-		return docmodel.DocID{}, err
+		return nil, nil, err
 	}
 	doc := &docmodel.Document{
 		ID:         id,
@@ -43,32 +65,98 @@ func (e *Engine) Ingest(item Item) (docmodel.DocID, error) {
 		Root:       item.Body,
 		Class:      uint8(item.Class),
 	}
-	stored, err := e.putOn(primary, doc)
+	stored, err := e.putOn(ctx, primary, doc)
 	if err != nil {
-		return docmodel.DocID{}, err
+		return nil, nil, err
 	}
 	e.smgr.Register(stored.ID, item.Class)
-	e.replicate(stored, others)
 	e.postIngest(primary, stored)
-	return stored.ID, nil
+	return stored, others, nil
 }
 
 // IngestBatch infuses many items, returning their IDs.
 func (e *Engine) IngestBatch(items []Item) ([]docmodel.DocID, error) {
+	return e.IngestBatchContext(context.Background(), items)
+}
+
+// IngestBatchContext infuses many items with replica batching: instead
+// of one replica message per (document, target) pair, every target node
+// receives its whole share of the batch in a single replica-batch call
+// — the ingest path's interconnect cost drops from O(docs × RF) to
+// O(docs + targets) messages. Primary writes still happen per document
+// (each put assigns a version and keeps the ID usable immediately);
+// only the fan-out to the non-primary owners is coalesced. On error or
+// cancellation the already-persisted documents' replicas are still
+// flushed — an acked document is never left waiting on a batch that
+// will no longer happen — and the IDs acked so far are returned with
+// the error.
+func (e *Engine) IngestBatchContext(ctx context.Context, items []Item) ([]docmodel.DocID, error) {
 	ids := make([]docmodel.DocID, 0, len(items))
+	batches := map[*dataNode][]*docmodel.Document{}
+	var order []*dataNode // deterministic flush order
+	flush := func() {
+		e.flushReplicaBatches(batches, order)
+	}
 	for _, it := range items {
-		id, err := e.Ingest(it)
-		if err != nil {
+		if err := ctx.Err(); err != nil {
+			flush()
 			return ids, err
 		}
-		ids = append(ids, id)
+		stored, others, err := e.ingestOne(ctx, it)
+		if err != nil {
+			flush()
+			return ids, err
+		}
+		ids = append(ids, stored.ID)
+		for _, t := range others {
+			if dn, ok := e.dataNode(t); ok {
+				if _, seen := batches[dn]; !seen {
+					order = append(order, dn)
+				}
+				batches[dn] = append(batches[dn], stored)
+			}
+		}
 	}
+	flush()
 	return ids, nil
+}
+
+// flushReplicaBatches ships each target node its accumulated replica
+// versions as one wire call, honoring the SyncReplication ablation and
+// the same missed-write quarantine rule as single-document replication.
+func (e *Engine) flushReplicaBatches(batches map[*dataNode][]*docmodel.Document, order []*dataNode) {
+	for _, dn := range order {
+		docs := batches[dn]
+		if len(docs) == 0 {
+			continue
+		}
+		dn := dn
+		payload := encodeDocs(docs)
+		ship := func() {
+			// A Call, not a Send: a target killed after the enqueue must
+			// still surface the miss (see replicateTo).
+			if _, err := e.fab.Call(dn.node.ID, msgReplicaBatch, payload); err != nil {
+				dn.dirty.Store(true) // missed writes: quarantined until recovery
+			}
+		}
+		if e.cfg.SyncReplication {
+			ship()
+		} else {
+			e.pool.Submit(sched.Background, ship)
+		}
+	}
 }
 
 // Update appends a new immutable version of an existing document (paper
 // §4: "changes are implemented as the addition of a new version").
 func (e *Engine) Update(id docmodel.DocID, newBody docmodel.Value) (docmodel.VersionKey, error) {
+	return e.UpdateContext(context.Background(), id, newBody)
+}
+
+// UpdateContext is Update under a request lifecycle (the context bounds
+// the read-back and the primary write; replication of the new version
+// runs under the engine's lifetime — see IngestContext).
+func (e *Engine) UpdateContext(ctx context.Context, id docmodel.DocID, newBody docmodel.Value) (docmodel.VersionKey, error) {
 	primary, err := e.primaryFor(id)
 	if err != nil {
 		return docmodel.VersionKey{}, err
@@ -81,7 +169,7 @@ func (e *Engine) Update(id docmodel.DocID, newBody docmodel.Value) (docmodel.Ver
 	doc.Version = 0 // store assigns next
 	doc.Root = newBody
 	doc.IngestedAt = e.now()
-	stored, err := e.putOn(primary, doc)
+	stored, err := e.putOn(ctx, primary, doc)
 	if err != nil {
 		return docmodel.VersionKey{}, err
 	}
@@ -102,8 +190,8 @@ func (e *Engine) Update(id docmodel.DocID, newBody docmodel.Value) (docmodel.Ver
 
 // putOn persists the document on the node via the fabric and returns the
 // stored version (with assigned ID/version).
-func (e *Engine) putOn(dn *dataNode, doc *docmodel.Document) (*docmodel.Document, error) {
-	reply, err := e.fab.Call(dn.node.ID, msgPut, docmodel.EncodeDocument(doc))
+func (e *Engine) putOn(ctx context.Context, dn *dataNode, doc *docmodel.Document) (*docmodel.Document, error) {
+	reply, err := e.fab.CallCtx(ctx, dn.node.ID, msgPut, docmodel.EncodeDocument(doc))
 	if err != nil {
 		return nil, err
 	}
@@ -177,6 +265,8 @@ func (e *Engine) postIngest(primary *dataNode, stored *docmodel.Document) {
 // documents back through the normal ingest path — annotations are
 // ordinary documents (§3.2) of the derived class, so they hash to their
 // own partition and land on its owner, not necessarily beside their base.
+// Annotation is background work owned by the engine, so it runs under
+// the engine's context, not any caller's.
 func (e *Engine) annotate(base *docmodel.Document) {
 	for _, ann := range e.registry.Run(base) {
 		ann.ID = e.mintDocID()
@@ -186,7 +276,7 @@ func (e *Engine) annotate(base *docmodel.Document) {
 		if err != nil {
 			continue
 		}
-		stored, err := e.putOn(owner, ann)
+		stored, err := e.putOn(context.Background(), owner, ann)
 		if err != nil {
 			continue
 		}
@@ -199,11 +289,22 @@ func (e *Engine) annotate(base *docmodel.Document) {
 
 // Get fetches the latest version of a document from any alive holder.
 func (e *Engine) Get(id docmodel.DocID) (*docmodel.Document, error) {
-	dn, err := e.primaryFor(id)
+	return e.GetContext(context.Background(), id)
+}
+
+// GetContext is Get under a request lifecycle: the context bounds the
+// fetch, and WithConsistency selects which replica may answer.
+func (e *Engine) GetContext(ctx context.Context, id docmodel.DocID, opts ...CallOption) (*docmodel.Document, error) {
+	ctx, cancel, o := resolveOpts(ctx, opts)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	dn, err := e.holderFor(id, o.consistency)
 	if err != nil {
 		return nil, err
 	}
-	reply, err := e.fab.Call(dn.node.ID, msgGet, []byte(id.String()))
+	reply, err := e.fab.CallCtx(ctx, dn.node.ID, msgGet, []byte(id.String()))
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +313,17 @@ func (e *Engine) Get(id docmodel.DocID) (*docmodel.Document, error) {
 
 // GetVersion fetches one specific immutable version.
 func (e *Engine) GetVersion(key docmodel.VersionKey) (*docmodel.Document, error) {
-	dn, err := e.primaryFor(key.Doc)
+	return e.GetVersionContext(context.Background(), key)
+}
+
+// GetVersionContext is GetVersion under a request lifecycle.
+func (e *Engine) GetVersionContext(ctx context.Context, key docmodel.VersionKey, opts ...CallOption) (*docmodel.Document, error) {
+	ctx, cancel, o := resolveOpts(ctx, opts)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	dn, err := e.holderFor(key.Doc, o.consistency)
 	if err != nil {
 		return nil, err
 	}
@@ -228,6 +339,20 @@ func (e *Engine) VersionCount(id docmodel.DocID) int {
 	return dn.store.VersionCount(id)
 }
 
+// VersionCountContext is VersionCount under a request lifecycle.
+func (e *Engine) VersionCountContext(ctx context.Context, id docmodel.DocID, opts ...CallOption) int {
+	_, cancel, o := resolveOpts(ctx, opts)
+	defer cancel()
+	if ctx.Err() != nil {
+		return 0
+	}
+	dn, err := e.holderFor(id, o.consistency)
+	if err != nil {
+		return 0
+	}
+	return dn.store.VersionCount(id)
+}
+
 // primaryFor returns the first alive holder of the document (the
 // read-side holder set during a hand-off window), charging the point
 // operation to the document's partition load counter — the skew signal
@@ -235,6 +360,29 @@ func (e *Engine) VersionCount(id docmodel.DocID) int {
 func (e *Engine) primaryFor(id docmodel.DocID) (*dataNode, error) {
 	e.smgr.RecordLoad(id)
 	return e.readHolderFor(id)
+}
+
+// holderFor resolves the node to serve a routed point read under the
+// requested consistency, charging the partition load counter either
+// way. ReadOwner is the answering-owner rule primaryFor implements;
+// ReadOne accepts any alive write-side holder — both sides of an open
+// hand-off window, and even a node quarantined for missed writes — the
+// Dynamo-style availability-over-freshness trade.
+func (e *Engine) holderFor(id docmodel.DocID, c Consistency) (*dataNode, error) {
+	if c == ReadOwner {
+		return e.primaryFor(id)
+	}
+	e.smgr.RecordLoad(id)
+	holders := e.smgr.WriteHolders(id)
+	if len(holders) == 0 {
+		return nil, fmt.Errorf("core: unknown document %s", id)
+	}
+	for _, h := range holders {
+		if dn, ok := e.dataNode(h); ok && dn.node.Alive() {
+			return dn, nil
+		}
+	}
+	return nil, errors.New("core: no alive holder for " + id.String())
 }
 
 // readHolderFor resolves the first alive read-side holder without

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// Per-call request options. The engine's Config holds appliance-wide
+// policy; a CallOption tunes one request — the Dynamo-style per-call
+// knobs (consistency, staleness) and the request-lifecycle ones (row
+// limit, deadline) that a multi-tenant appliance needs so one caller's
+// preferences never become another caller's configuration.
+
+// Consistency selects which replica may answer a routed point read.
+type Consistency uint8
+
+const (
+	// ReadOwner is the default: the partition's answering owner — the
+	// first eligible (alive, not write-quarantined) holder on the
+	// read side of any open dual-ownership window. It always observes
+	// the latest acknowledged write.
+	ReadOwner Consistency = iota
+	// ReadOne accepts any alive write-side holder, including a node
+	// quarantined for missed writes and the catching-up side of an open
+	// hand-off window. It is the cheapest read that can still be served
+	// under failures — and it may return a lagging version.
+	ReadOne
+)
+
+// CallOption tunes one request.
+type CallOption func(*callOpts)
+
+// callOpts is the resolved option set a request carries down the stack.
+type callOpts struct {
+	limit       int
+	deadline    time.Duration
+	staleReads  bool
+	consistency Consistency
+}
+
+// resolveOpts folds the options and applies the deadline to the context.
+// The returned cancel must always be called (it releases the deadline
+// timer); it does not cancel the caller's own context.
+func resolveOpts(ctx context.Context, opts []CallOption) (context.Context, context.CancelFunc, callOpts) {
+	var o callOpts
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	if o.deadline > 0 {
+		cctx, cancel := context.WithTimeout(ctx, o.deadline)
+		return cctx, cancel, o
+	}
+	return ctx, func() {}, o
+}
+
+// WithLimit caps how many rows the call returns (Run) or streams
+// (RunStream). A streaming scan stops scheduling partition fan-out the
+// moment the cap is reached, so the limit bounds interconnect traffic,
+// not just the result slice.
+func WithLimit(n int) CallOption {
+	return func(o *callOpts) { o.limit = n }
+}
+
+// WithDeadline bounds the call's wall time. Past the deadline the
+// request behaves exactly as if the caller's context were cancelled:
+// outstanding node calls are abandoned and no new partition work is
+// scheduled.
+func WithDeadline(d time.Duration) CallOption {
+	return func(o *callOpts) { o.deadline = d }
+}
+
+// WithStaleReads lets a value-predicate read skip the dual-ownership
+// window fallback: partitions mid-hand-off are probed on their current
+// read-side owners only, instead of broadcasting to every ring member.
+// Cheaper under membership churn; rows whose index entry already moved
+// to the joining side may be missed until the window closes.
+func WithStaleReads() CallOption {
+	return func(o *callOpts) { o.staleReads = true }
+}
+
+// WithConsistency selects the replica rule for the call's routed point
+// reads (Get, GetVersion, and the fetch half of index lookups).
+func WithConsistency(c Consistency) CallOption {
+	return func(o *callOpts) { o.consistency = c }
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -108,7 +109,7 @@ func TestFetchByIDGroupsPerOwner(t *testing.T) {
 	}
 	e.DrainBackground()
 	e.fab.ResetNetStats()
-	docs, err := e.fetchByID(ids)
+	docs, err := e.fetchByID(context.Background(), ids, callOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +375,7 @@ func TestRevivedNodeQuarantinedUntilRecovery(t *testing.T) {
 			t.Errorf("doc %s unreadable after bare revival: %v", id, err)
 		}
 	}
-	docs, err := e.distributedScan(expr.True())
+	docs, err := e.distributedScan(context.Background(), expr.True())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -520,7 +521,7 @@ func TestRejoinServesPointOpsWithZeroMisses(t *testing.T) {
 	if len(rows) != len(ids) {
 		t.Errorf("search after re-join = %d/%d", len(rows), len(ids))
 	}
-	docs, err := e.distributedScan(expr.True())
+	docs, err := e.distributedScan(context.Background(), expr.True())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -781,7 +782,7 @@ func TestAddDataNodeGrowsCluster(t *testing.T) {
 	if primaries == 0 {
 		t.Error("new node is primary for nothing after joining")
 	}
-	docs, err := e.distributedScan(expr.True())
+	docs, err := e.distributedScan(context.Background(), expr.True())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -946,7 +947,7 @@ func TestScanStillReachesAllNodes(t *testing.T) {
 	}
 	e.DrainBackground()
 	before := handledByNode(e)
-	docs, err := e.distributedScan(expr.True())
+	docs, err := e.distributedScan(context.Background(), expr.True())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -24,11 +25,27 @@ type Result struct {
 
 // Run plans and executes a logical query across the appliance.
 func (e *Engine) Run(q plan.Query) (*Result, error) {
+	return e.RunContext(context.Background(), q)
+}
+
+// RunContext plans and executes a logical query under a request
+// lifecycle: the context (and any WithDeadline option) bounds the
+// call, cancellation abandons outstanding node calls and stops
+// scheduling new partition fan-out, and the remaining options thread
+// per-call read knobs down to the partition layer. For incremental
+// delivery use RunStream instead — RunContext materializes the full
+// result set.
+func (e *Engine) RunContext(ctx context.Context, q plan.Query, opts ...CallOption) (*Result, error) {
+	ctx, cancel, o := resolveOpts(ctx, opts)
+	defer cancel()
+	if o.limit > 0 && (q.K == 0 || o.limit < q.K) {
+		q.K = o.limit
+	}
 	if q.Filter.IsTrue() {
 		q.Filter = expr.True()
 	}
 	p := e.planFor(q)
-	rows, err := e.execute(p, q)
+	rows, err := e.execute(ctx, p, q, o)
 	if err != nil {
 		return nil, err
 	}
@@ -66,21 +83,21 @@ func (e *Engine) CollectStatistics() {
 }
 
 // execute interprets a plan against the cluster.
-func (e *Engine) execute(p *plan.Plan, q plan.Query) ([]*exec.Row, error) {
+func (e *Engine) execute(ctx context.Context, p *plan.Plan, q plan.Query, o callOpts) ([]*exec.Row, error) {
 	// Fast path first: pushed-down distributed aggregation (scan access,
 	// no join) never materializes the matching documents at all — data
 	// nodes compute partials, a grid node merges (§3.1, §3.3).
 	if p.GroupBy != nil && p.Join == plan.JoinNone && p.Access.Kind == plan.AccessScan && !e.cfg.DisablePushdown {
-		return e.distributedAggregate(p.Residual, *p.GroupBy)
+		return e.distributedAggregate(ctx, p.Residual, *p.GroupBy)
 	}
 
-	outer, err := e.gather(p)
+	outer, err := e.gather(ctx, p, o)
 	if err != nil {
 		return nil, err
 	}
 	var op exec.Operator = outer
 	if p.Join != plan.JoinNone && p.JoinSpec != nil {
-		op, err = e.buildJoin(p, op)
+		op, err = e.buildJoin(ctx, p, op, o)
 		if err != nil {
 			return nil, err
 		}
@@ -104,22 +121,22 @@ func (e *Engine) execute(p *plan.Plan, q plan.Query) ([]*exec.Row, error) {
 	} else if p.K > 0 {
 		op = exec.NewLimit(op, p.K)
 	}
-	return exec.Collect(op)
+	return exec.CollectContext(ctx, op)
 }
 
 // gather materializes the access path into an operator over outer rows.
-func (e *Engine) gather(p *plan.Plan) (exec.Operator, error) {
+func (e *Engine) gather(ctx context.Context, p *plan.Plan, o callOpts) (exec.Operator, error) {
 	switch p.Access.Kind {
 	case plan.AccessKeyword:
 		k := p.K
 		if p.Join != plan.JoinNone || p.GroupBy != nil {
 			k = 0 // downstream operators need the full candidate set
 		}
-		hits, err := e.searchAllNodes(p.Access.Keyword, k)
+		hits, err := e.searchAllNodes(ctx, p.Access.Keyword, k)
 		if err != nil {
 			return nil, err
 		}
-		docs, scores, err := e.fetchHits(hits)
+		docs, scores, err := e.fetchHits(ctx, hits, o)
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +163,7 @@ func (e *Engine) gather(p *plan.Plan) (exec.Operator, error) {
 				req.Hi = docmodel.EncodeValue(*p.Access.Hi)
 			}
 		}
-		docs, err := e.lookupAndFetch(req)
+		docs, err := e.lookupAndFetch(ctx, req, o)
 		if err != nil {
 			return nil, err
 		}
@@ -159,7 +176,7 @@ func (e *Engine) gather(p *plan.Plan) (exec.Operator, error) {
 		return &rowSource{rows: rows}, nil
 
 	case plan.AccessScan:
-		docs, err := e.distributedScan(p.Residual)
+		docs, err := e.distributedScan(ctx, p.Residual)
 		if err != nil {
 			return nil, err
 		}
@@ -178,14 +195,14 @@ func (e *Engine) gather(p *plan.Plan) (exec.Operator, error) {
 // and returns deduplicated latest versions. With pushdown the filter runs
 // inside the storage nodes and only matches cross the interconnect; the
 // ablation ships everything and filters engine-side (adaptively).
-func (e *Engine) distributedScan(filter expr.Expr) ([]*docmodel.Document, error) {
+func (e *Engine) distributedScan(ctx context.Context, filter expr.Expr) ([]*docmodel.Document, error) {
 	var results [][]byte
 	var err error
 	if e.cfg.DisablePushdown {
-		results, err = e.fanOutData(msgScanAll, func(*dataNode) []byte { return nil })
+		results, err = e.fanOutData(ctx, msgScanAll, func(*dataNode) []byte { return nil })
 	} else {
 		payload := filter.Encode()
-		results, err = e.fanOutData(msgScanFiltered, func(*dataNode) []byte { return payload })
+		results, err = e.fanOutData(ctx, msgScanFiltered, func(*dataNode) []byte { return payload })
 	}
 	if err != nil {
 		return nil, err
@@ -214,11 +231,11 @@ func (e *Engine) distributedScan(filter expr.Expr) ([]*docmodel.Document, error)
 
 // distributedAggregate runs two-phase aggregation: partials on data
 // nodes, merge on a grid node, finalize here.
-func (e *Engine) distributedAggregate(filter expr.Expr, spec expr.GroupSpec) ([]*exec.Row, error) {
+func (e *Engine) distributedAggregate(ctx context.Context, filter expr.Expr, spec expr.GroupSpec) ([]*exec.Row, error) {
 	req := specToWire(spec)
 	req.Filter = filter.Encode()
 	payload := mustJSON(req)
-	partials, err := e.fanOutData(msgAggPartial, func(*dataNode) []byte { return payload })
+	partials, err := e.fanOutData(ctx, msgAggPartial, func(*dataNode) []byte { return payload })
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +243,7 @@ func (e *Engine) distributedAggregate(filter expr.Expr, spec expr.GroupSpec) ([]
 	if err != nil {
 		return nil, err
 	}
-	merged, err := e.fab.Call(gridID, msgMerge, mustJSON(mergeReq{
+	merged, err := e.fab.CallCtx(ctx, gridID, msgMerge, mustJSON(mergeReq{
 		By: spec.By, Aggs: req.Aggs, Partials: partials,
 	}))
 	if err != nil {
@@ -247,7 +264,7 @@ func (e *Engine) distributedAggregate(filter expr.Expr, spec expr.GroupSpec) ([]
 }
 
 // buildJoin attaches the planned join operator.
-func (e *Engine) buildJoin(p *plan.Plan, outer exec.Operator) (exec.Operator, error) {
+func (e *Engine) buildJoin(ctx context.Context, p *plan.Plan, outer exec.Operator, o callOpts) (exec.Operator, error) {
 	spec := p.JoinSpec
 	rf := spec.RightFilter
 	if rf.IsTrue() {
@@ -257,10 +274,10 @@ func (e *Engine) buildJoin(p *plan.Plan, outer exec.Operator) (exec.Operator, er
 	switch p.Join {
 	case plan.JoinINL:
 		probe := func(v docmodel.Value) []*docmodel.Document {
-			docs, err := e.lookupAndFetch(valueLookupReq{
+			docs, err := e.lookupAndFetch(ctx, valueLookupReq{
 				Path:  spec.RightPath,
 				Value: docmodel.EncodeValue(v),
-			})
+			}, o)
 			if err != nil {
 				return nil
 			}
@@ -274,7 +291,7 @@ func (e *Engine) buildJoin(p *plan.Plan, outer exec.Operator) (exec.Operator, er
 		}
 		return exec.NewIndexedNLJoin(outer, 0, spec.LeftPath, probe), nil
 	case plan.JoinHash:
-		inner, err := e.distributedScan(rf)
+		inner, err := e.distributedScan(ctx, rf)
 		if err != nil {
 			return nil, err
 		}
@@ -292,16 +309,17 @@ func (e *Engine) buildJoin(p *plan.Plan, outer exec.Operator) (exec.Operator, er
 // and partitions inside an open dual-ownership window fall back to an
 // all-ring probe. Matching documents are then fetched from their
 // partition owners — never from the reporting node, whose copy could lag
-// behind the owner's latest version. The BroadcastValueProbes ablation
-// restores the pre-router behavior: every ring member probes its whole
-// value index.
-func (e *Engine) lookupAndFetch(req valueLookupReq) ([]*docmodel.Document, error) {
+// behind the owner's latest version. A call carrying WithStaleReads
+// skips the open-window fallback and probes read-side owners only. The
+// BroadcastValueProbes ablation restores the pre-router behavior: every
+// ring member probes its whole value index.
+func (e *Engine) lookupAndFetch(ctx context.Context, req valueLookupReq, o callOpts) ([]*docmodel.Document, error) {
 	e.valueProbes.lookups.Add(1)
 	var results [][]byte
 	var err error
 	if e.cfg.BroadcastValueProbes {
 		payload := mustJSON(req)
-		results, err = e.fanOutData(msgValueLookup, func(*dataNode) []byte { return payload })
+		results, err = e.fanOutData(ctx, msgValueLookup, func(*dataNode) []byte { return payload })
 	} else {
 		// Plan → probe is not atomic against membership changes: a window
 		// opening mid-flight can move a partition's postings off the node
@@ -311,8 +329,8 @@ func (e *Engine) lookupAndFetch(req valueLookupReq) ([]*docmodel.Document, error
 		// churn degrades to the always-correct broadcast.
 		for attempt := 0; ; attempt++ {
 			gen := e.smgr.MembershipGeneration()
-			targets, pruned, windowed := e.valueProbePlan(req)
-			results, err = e.probeValueTargets(req, targets)
+			targets, pruned, windowed := e.valueProbePlan(req, o.staleReads)
+			results, err = e.probeValueTargets(ctx, req, targets)
 			if err != nil {
 				return nil, err
 			}
@@ -325,7 +343,7 @@ func (e *Engine) lookupAndFetch(req valueLookupReq) ([]*docmodel.Document, error
 			}
 			if attempt == 2 {
 				payload := mustJSON(req)
-				results, err = e.fanOutData(msgValueLookup, func(*dataNode) []byte { return payload })
+				results, err = e.fanOutData(ctx, msgValueLookup, func(*dataNode) []byte { return payload })
 				break
 			}
 		}
@@ -352,7 +370,7 @@ func (e *Engine) lookupAndFetch(req valueLookupReq) ([]*docmodel.Document, error
 			}
 		}
 	}
-	fetched, err := e.fetchByID(ids)
+	fetched, err := e.fetchByID(ctx, ids, o)
 	if err != nil {
 		return nil, err
 	}
@@ -373,8 +391,8 @@ func (e *Engine) lookupAndFetch(req valueLookupReq) ([]*docmodel.Document, error
 // use of the annotations added by the discovery process", §2.2). A base
 // document hit both directly and via its annotations keeps its best
 // score; results come back score-descending, deduplicated.
-func (e *Engine) fetchHits(hits []index.Hit) ([]*docmodel.Document, []float64, error) {
-	fetched, err := e.fetchByID(hitIDs(hits))
+func (e *Engine) fetchHits(ctx context.Context, hits []index.Hit, o callOpts) ([]*docmodel.Document, []float64, error) {
+	fetched, err := e.fetchByID(ctx, hitIDs(hits), o)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -402,7 +420,7 @@ func (e *Engine) fetchHits(hits []index.Hit) ([]*docmodel.Document, []float64, e
 		}
 	}
 	if len(baseNeeded) > 0 {
-		bases, err := e.fetchByID(baseNeeded)
+		bases, err := e.fetchByID(ctx, baseNeeded, o)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -431,11 +449,14 @@ func hitIDs(hits []index.Hit) []docmodel.DocID {
 	return out
 }
 
-// fetchByID batch-fetches documents from their owning nodes.
-func (e *Engine) fetchByID(ids []docmodel.DocID) (map[docmodel.DocID]*docmodel.Document, error) {
+// fetchByID batch-fetches documents from their owning nodes under the
+// call's consistency rule. The per-node loop checks the context between
+// batches, so a cancelled caller stops scheduling the remaining nodes'
+// fetches instead of finishing the gather it no longer wants.
+func (e *Engine) fetchByID(ctx context.Context, ids []docmodel.DocID, o callOpts) (map[docmodel.DocID]*docmodel.Document, error) {
 	perNode := map[*dataNode][]string{}
 	for _, id := range ids {
-		dn, err := e.primaryFor(id)
+		dn, err := e.holderFor(id, o.consistency)
 		if err != nil {
 			continue
 		}
@@ -443,7 +464,10 @@ func (e *Engine) fetchByID(ids []docmodel.DocID) (map[docmodel.DocID]*docmodel.D
 	}
 	out := map[docmodel.DocID]*docmodel.Document{}
 	for dn, strs := range perNode {
-		raw, err := e.fab.Call(dn.node.ID, msgGetBatch, mustJSON(getBatchReq{IDs: strs}))
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		raw, err := e.fab.CallCtx(ctx, dn.node.ID, msgGetBatch, mustJSON(getBatchReq{IDs: strs}))
 		if err != nil {
 			return nil, err
 		}
@@ -481,8 +505,13 @@ func sortDocsByScore(docs []*docmodel.Document, scores []float64) {
 // Search is the out-of-the-box ranked keyword interface (paper §3.2.1),
 // returning hydrated documents with scores.
 func (e *Engine) Search(keyword string, k int) ([]*exec.Row, error) {
-	res, err := e.Run(plan.Query{Keyword: keyword, Filter: expr.True(), K: k,
-		OrderBy: &plan.SortSpec{ByScore: true, Desc: true}})
+	return e.SearchContext(context.Background(), keyword, k)
+}
+
+// SearchContext is Search under a request lifecycle (see RunContext).
+func (e *Engine) SearchContext(ctx context.Context, keyword string, k int, opts ...CallOption) ([]*exec.Row, error) {
+	res, err := e.RunContext(ctx, plan.Query{Keyword: keyword, Filter: expr.True(), K: k,
+		OrderBy: &plan.SortSpec{ByScore: true, Desc: true}}, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -491,17 +520,26 @@ func (e *Engine) Search(keyword string, k int) ([]*exec.Row, error) {
 
 // Facets executes one faceted-search interaction step (paper §3.2.1).
 func (e *Engine) Facets(req query.FacetRequest) (*query.FacetResult, error) {
+	return e.FacetsContext(context.Background(), req)
+}
+
+// FacetsContext is Facets under a request lifecycle: cancellation stops
+// the per-dimension and per-bucket fan-outs between steps as well as
+// abandoning the in-flight ones.
+func (e *Engine) FacetsContext(ctx context.Context, req query.FacetRequest, opts ...CallOption) (*query.FacetResult, error) {
+	ctx, cancel, o := resolveOpts(ctx, opts)
+	defer cancel()
 	req.Normalize()
 	// Candidate set: keyword hits refined by the drill-down predicate, or
 	// a pushed-down scan when there is no keyword.
 	var hits []index.Hit
 	var candidates []docmodel.DocID
 	if req.Keyword != "" {
-		all, err := e.searchAllNodes(req.Keyword, 0)
+		all, err := e.searchAllNodes(ctx, req.Keyword, 0)
 		if err != nil {
 			return nil, err
 		}
-		docs, scores, err := e.fetchHits(all)
+		docs, scores, err := e.fetchHits(ctx, all, o)
 		if err != nil {
 			return nil, err
 		}
@@ -512,7 +550,7 @@ func (e *Engine) Facets(req query.FacetRequest) (*query.FacetResult, error) {
 			}
 		}
 	} else {
-		docs, err := e.distributedScan(req.Refine)
+		docs, err := e.distributedScan(ctx, req.Refine)
 		if err != nil {
 			return nil, err
 		}
@@ -530,14 +568,20 @@ func (e *Engine) Facets(req query.FacetRequest) (*query.FacetResult, error) {
 
 	idStrs := idStrings(candidates)
 	for dimIdx, dim := range req.Dimensions {
-		buckets, err := e.facetDim(dim, idStrs, req.FacetLimit)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		buckets, err := e.facetDim(ctx, dim, idStrs, req.FacetLimit)
 		if err != nil {
 			return nil, err
 		}
 		// OLAP flavor: per-bucket aggregates for the first dimension.
 		if dimIdx == 0 && len(req.Aggregates) > 0 {
 			for bi := range buckets {
-				rows, err := e.distributedAggregate(
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				rows, err := e.distributedAggregate(ctx,
 					query.Drill(req.Refine, dim, buckets[bi].Value),
 					expr.GroupSpec{Aggs: req.Aggregates},
 				)
@@ -555,9 +599,9 @@ func (e *Engine) Facets(req query.FacetRequest) (*query.FacetResult, error) {
 }
 
 // facetDim merges facet counts for one dimension across data nodes.
-func (e *Engine) facetDim(path string, candidateIDs []string, limit int) ([]query.FacetBucket, error) {
+func (e *Engine) facetDim(ctx context.Context, path string, candidateIDs []string, limit int) ([]query.FacetBucket, error) {
 	payload := mustJSON(facetsReq{Path: path, IDs: candidateIDs, Limit: 0})
-	results, err := e.fanOutData(msgFacets, func(*dataNode) []byte { return payload })
+	results, err := e.fanOutData(ctx, msgFacets, func(*dataNode) []byte { return payload })
 	if err != nil {
 		return nil, err
 	}

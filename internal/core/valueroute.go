@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
 
@@ -84,12 +85,18 @@ func numericKind(k docmodel.Kind) bool {
 // holding the partition's postings keeps answering). Returns the plan
 // plus the number of partitions pruned by statistics and the number
 // routed through the open-window broadcast fallback.
-func (e *Engine) valueProbePlan(req valueLookupReq) (targets map[*dataNode][]int, pruned, windowed int) {
+//
+// staleReads (the WithStaleReads call option) turns the open-window
+// fallback off: a partition mid-hand-off is treated like a settled one
+// and probed on its read-side owners only. The probe may then miss rows
+// whose index entry already moved to the joining side — the caller
+// traded that staleness for not broadcasting under churn.
+func (e *Engine) valueProbePlan(req valueLookupReq, staleReads bool) (targets map[*dataNode][]int, pruned, windowed int) {
 	targets = map[*dataNode][]int{}
 	kind, haveKind := valueProbeKind(req)
 	var ring []*dataNode // built lazily: only open windows need it
 	for p := 0; p < e.smgr.Partitions(); p++ {
-		if e.smgr.InHandoff(p) {
+		if !staleReads && e.smgr.InHandoff(p) {
 			windowed++
 			if ring == nil {
 				for _, dn := range e.dataNodes() {
@@ -129,7 +136,7 @@ func (e *Engine) valueProbePlan(req valueLookupReq) (targets map[*dataNode][]int
 
 // probeValueTargets calls each planned node concurrently with its
 // partition filter and gathers raw replies in node order.
-func (e *Engine) probeValueTargets(req valueLookupReq, targets map[*dataNode][]int) ([][]byte, error) {
+func (e *Engine) probeValueTargets(ctx context.Context, req valueLookupReq, targets map[*dataNode][]int) ([][]byte, error) {
 	nodes := make([]*dataNode, 0, len(targets))
 	for dn := range targets {
 		nodes = append(nodes, dn)
@@ -142,5 +149,5 @@ func (e *Engine) probeValueTargets(req valueLookupReq, targets map[*dataNode][]i
 		sort.Ints(r.Parts)
 		payloads[dn] = mustJSON(r)
 	}
-	return e.callEach(nodes, msgValueLookup, func(dn *dataNode) []byte { return payloads[dn] })
+	return e.callEach(ctx, nodes, msgValueLookup, func(dn *dataNode) []byte { return payloads[dn] })
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"impliance/internal/annot"
@@ -58,6 +59,12 @@ type SQLResult struct {
 // ExecSQL parses, compiles, and executes a SQL statement against the view
 // catalog — the Figure 2 path from SQL applications to native documents.
 func (e *Engine) ExecSQL(sql string) (*SQLResult, error) {
+	return e.ExecSQLContext(context.Background(), sql)
+}
+
+// ExecSQLContext is ExecSQL under a request lifecycle; the options
+// thread through to the compiled query's execution (see RunContext).
+func (e *Engine) ExecSQLContext(ctx context.Context, sql string, opts ...CallOption) (*SQLResult, error) {
 	st, err := query.ParseSQL(sql)
 	if err != nil {
 		return nil, err
@@ -66,7 +73,7 @@ func (e *Engine) ExecSQL(sql string) (*SQLResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.Run(compiled.Query)
+	res, err := e.RunContext(ctx, compiled.Query, opts...)
 	if err != nil {
 		return nil, err
 	}

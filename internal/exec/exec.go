@@ -14,6 +14,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -278,12 +279,23 @@ func (l *Limit) Close() error { return l.child.Close() }
 // Collect drains an operator into a slice (convenience for callers and
 // tests). The operator is opened and closed.
 func Collect(op Operator) ([]*Row, error) {
+	return CollectContext(context.Background(), op)
+}
+
+// CollectContext drains an operator, checking the context between rows
+// so a cancelled query stops pulling mid-pipeline — operators whose
+// Next fans work out (index probes, joins) never start another unit for
+// a caller that has gone away. The operator is opened and closed.
+func CollectContext(ctx context.Context, op Operator) ([]*Row, error) {
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
 	defer op.Close()
 	var out []*Row
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		row, err := op.Next()
 		if err != nil {
 			return nil, err

@@ -14,6 +14,7 @@
 package fabric
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -64,11 +65,15 @@ var (
 )
 
 // NetStats is a snapshot of interconnect counters. The pushdown and
-// scale-out experiments read these to measure data movement.
+// scale-out experiments read these to measure data movement. Abandons
+// counts calls whose caller gave up (context cancelled or deadline
+// passed) before the reply arrived — the request-lifecycle experiments
+// read it to verify cancellation actually releases waiters.
 type NetStats struct {
 	Messages uint64
 	Bytes    uint64
 	Drops    uint64
+	Abandons uint64
 }
 
 // Node is one simulated machine.
@@ -166,9 +171,10 @@ type Fabric struct {
 	nextNo map[NodeKind]int
 	closed bool
 
-	msgs  atomic.Uint64
-	bytes atomic.Uint64
-	drops atomic.Uint64
+	msgs     atomic.Uint64
+	bytes    atomic.Uint64
+	drops    atomic.Uint64
+	abandons atomic.Uint64
 }
 
 // New creates an empty fabric.
@@ -232,16 +238,35 @@ func (f *Fabric) AliveOf(kind NodeKind) []NodeID {
 // Call sends a request to the target node and waits for its reply. Both
 // request and reply bytes are accounted against the interconnect.
 func (f *Fabric) Call(to NodeID, msgKind string, payload []byte) ([]byte, error) {
+	return f.CallCtx(context.Background(), to, msgKind, payload)
+}
+
+// CallCtx is Call with a request lifecycle: a context cancelled before
+// the send costs no interconnect traffic at all, and one cancelled
+// mid-flight abandons the call — the reply channel is buffered, so the
+// target's serial loop never blocks on a departed caller; the reply is
+// dropped on the floor and the abandonment counted in NetStats. The
+// target still executes the request (there is no remote cancel on a
+// commodity interconnect); what the caller reclaims is its own wait.
+func (f *Fabric) CallCtx(ctx context.Context, to NodeID, msgKind string, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	reply := make(chan result, 1)
 	if err := f.enqueue(to, envelope{kind: msgKind, payload: payload, reply: reply}); err != nil {
 		return nil, err
 	}
-	res := <-reply
-	if res.err == nil {
-		f.msgs.Add(1)
-		f.bytes.Add(uint64(len(res.payload) + 16))
+	select {
+	case res := <-reply:
+		if res.err == nil {
+			f.msgs.Add(1)
+			f.bytes.Add(uint64(len(res.payload) + 16))
+		}
+		return res.payload, res.err
+	case <-ctx.Done():
+		f.abandons.Add(1)
+		return nil, ctx.Err()
 	}
-	return res.payload, res.err
 }
 
 // Send delivers a one-way message (no reply awaited). Delivery order to a
@@ -305,7 +330,12 @@ func (f *Fabric) Revive(id NodeID) bool {
 
 // NetStats snapshots the interconnect counters.
 func (f *Fabric) NetStats() NetStats {
-	return NetStats{Messages: f.msgs.Load(), Bytes: f.bytes.Load(), Drops: f.drops.Load()}
+	return NetStats{
+		Messages: f.msgs.Load(),
+		Bytes:    f.bytes.Load(),
+		Drops:    f.drops.Load(),
+		Abandons: f.abandons.Load(),
+	}
 }
 
 // ResetNetStats zeroes the interconnect counters (between experiment runs).
@@ -313,6 +343,7 @@ func (f *Fabric) ResetNetStats() {
 	f.msgs.Store(0)
 	f.bytes.Store(0)
 	f.drops.Store(0)
+	f.abandons.Store(0)
 }
 
 // Close stops all node loops. The fabric is unusable afterwards.

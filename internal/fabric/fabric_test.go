@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -291,5 +292,59 @@ func TestWorkAccounting(t *testing.T) {
 	n.AddWork(50)
 	if n.Work() != 150 {
 		t.Errorf("work = %d", n.Work())
+	}
+}
+
+// TestCallCtxCancelledBeforeSend: a context dead before the send costs
+// no interconnect traffic at all — the message is never enqueued.
+func TestCallCtxCancelledBeforeSend(t *testing.T) {
+	f, nodes := echoFabric(t, Data)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.CallCtx(ctx, nodes[0].ID, "echo", []byte("x")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := f.NetStats(); st.Messages != 0 {
+		t.Errorf("pre-cancelled call sent %d messages, want 0", st.Messages)
+	}
+}
+
+// TestCallCtxAbandonsMidFlight: a caller cancelled while the target is
+// busy abandons the call — the caller returns immediately with the
+// context error, the abandonment is counted, and the target's serial
+// loop finishes the request without blocking on the departed caller.
+func TestCallCtxAbandonsMidFlight(t *testing.T) {
+	f := New()
+	t.Cleanup(f.Close)
+	n := f.AddNode(Data)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	n.SetHandler(func(kind string, payload []byte) ([]byte, error) {
+		close(entered)
+		<-release
+		return []byte("late"), nil
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := f.CallCtx(ctx, n.ID, "slow", nil)
+		errc <- err
+	}()
+	<-entered
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := f.NetStats(); st.Abandons != 1 {
+		t.Errorf("abandons = %d, want 1", st.Abandons)
+	}
+	// The handler must be able to finish and the loop stay healthy: a
+	// follow-up call still round-trips.
+	close(release)
+	n.SetHandler(func(kind string, payload []byte) ([]byte, error) { return payload, nil })
+	out, err := f.Call(n.ID, "echo", []byte("after"))
+	if err != nil || string(out) != "after" {
+		t.Fatalf("post-abandon call = %q, %v", out, err)
 	}
 }
