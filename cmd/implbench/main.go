@@ -1,4 +1,4 @@
-// Command implbench runs the Impliance experiment suite (E1–E21; see
+// Command implbench runs the Impliance experiment suite (E1–E22; see
 // docs/BENCH.md) and prints the series that EXPERIMENTS.md records. Every
 // experiment is keyed to a figure or falsifiable claim of the CIDR 2007
 // paper, or to a scaling property of this reproduction's partition layer;
@@ -96,6 +96,7 @@ func main() {
 		{"E19", "partition-routed value-index probes", e19},
 		{"E20", "storage backends: heapwal vs segment store", e20},
 		{"E21", "request lifecycle: streaming cursors, cancellation, batched ingest", e21},
+		{"E22", "generation-fenced hot-path caches: Zipf point reads, facet partials, re-join", e22},
 	}
 	jsonOut := false
 	want := map[string]bool{}
@@ -1336,6 +1337,180 @@ func e21() map[string]float64 {
 	metrics["msgs_cancelled_query"] = float64(cancelledNet.Messages)
 	metrics["cancelled_abandons"] = float64(cancelledNet.Abandons)
 	return metrics
+}
+
+// ---------------------------------------------------------------- E22
+
+// e22 measures the generation-fenced hot-path caches at 8 data nodes.
+// A Zipfian (s=1.5) point-read stream runs once cold to warm the hot
+// set, then again measured — first with the caches on, then with the
+// all-caches-disabled ablation under the identical protocol — reporting
+// messages per Get, p99 latency, and point-cache hit rate. A repeated
+// facet interaction measures the per-partition partial cache the same
+// way. Finally a node is killed, recovered, revived, and re-joined
+// mid-workload while reads of just-updated documents continue: the
+// partition-generation fence must yield zero stale reads across the
+// dual-ownership windows.
+func e22() map[string]float64 {
+	const corpus, reads, facetReps = 4000, 6000, 25
+	type modeRes struct {
+		getMsgs, p99, hitRate, facetMsgs float64
+	}
+	var res [2]modeRes
+	var cachedApp *impliance.Appliance
+	var cachedIDs []impliance.DocID
+	fmt.Printf("%-10s %13s %12s %10s %15s\n",
+		"mode", "get msgs/op", "get p99 ms", "hit rate", "facet msgs/op")
+	for mode := 0; mode < 2; mode++ {
+		disabled := mode == 1
+		app := mustOpen(func(c *impliance.Config) {
+			c.DataNodes = 8
+			// Size the point cache above the distinct-key count so the
+			// measured pass exercises steady state, not shard evictions.
+			c.PointCacheEntries = 16384
+			c.DisablePointCache = disabled
+			c.DisableNegativeCache = disabled
+			c.DisablePartialCache = disabled
+		})
+		g := workload.New(22)
+		var ids []impliance.DocID
+		for _, it := range g.UniformRows(corpus, 1000, 10, 6) {
+			id, err := app.Ingest(impliance.Item{Body: it.Body, MediaType: it.MediaType, Source: it.Source})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		app.Drain()
+		eng := app.Engine()
+
+		keys := g.Zipf(reads, corpus, 1.5)
+		// Warm pass (identical in both modes): first touches fill the
+		// cache, or — in the ablation — just repeat the round trips.
+		for _, k := range keys {
+			if _, err := app.Get(ids[k]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		before := eng.CacheStats()
+		eng.Fabric().ResetNetStats()
+		lat := make([]float64, 0, reads)
+		for _, k := range keys {
+			start := time.Now()
+			if _, err := app.Get(ids[k]); err != nil {
+				log.Fatal(err)
+			}
+			lat = append(lat, float64(time.Since(start).Microseconds())/1000)
+		}
+		getMsgs := float64(eng.Fabric().NetStats().Messages) / reads
+		sort.Float64s(lat)
+		after := eng.CacheStats()
+		hits := after.PointHits - before.PointHits
+		misses := after.PointMisses - before.PointMisses
+		hitRate := 0.0
+		if hits+misses > 0 {
+			hitRate = float64(hits) / float64(hits+misses)
+		}
+
+		// Facet interaction: one cold pass fills the per-partition
+		// partials, then the repeats measure the steady state.
+		freq := impliance.FacetRequest{Keyword: "c03", Dimensions: []string{"/cat"}}
+		if _, err := app.Facets(freq); err != nil {
+			log.Fatal(err)
+		}
+		eng.Fabric().ResetNetStats()
+		for i := 0; i < facetReps; i++ {
+			if _, err := app.Facets(freq); err != nil {
+				log.Fatal(err)
+			}
+		}
+		facetMsgs := float64(eng.Fabric().NetStats().Messages) / facetReps
+
+		res[mode] = modeRes{getMsgs: getMsgs, p99: lat[len(lat)*99/100], hitRate: hitRate, facetMsgs: facetMsgs}
+		name := "cached"
+		if disabled {
+			name = "uncached"
+		}
+		fmt.Printf("%-10s %13.2f %12.3f %10.2f %15.1f\n",
+			name, getMsgs, res[mode].p99, hitRate, facetMsgs)
+		if disabled {
+			app.Close()
+		} else {
+			cachedApp, cachedIDs = app, ids
+		}
+	}
+
+	// Re-join leg (cached appliance): update every 5th document, cache
+	// the new versions, then kill / recover / revive / re-join a node
+	// while reads of the updated set continue. The generation fence must
+	// keep every Get at version 2 — a cache may go cold across a moved
+	// partition, never stale.
+	app, ids := cachedApp, cachedIDs
+	defer app.Close()
+	eng := app.Engine()
+	var hot []impliance.DocID
+	for i := 0; i < len(ids); i += 5 {
+		hot = append(hot, ids[i])
+	}
+	for _, id := range hot {
+		if _, err := app.Update(id, impliance.Object(impliance.F("rev", impliance.Int(2)))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	app.Drain()
+	for _, id := range hot {
+		if _, err := app.Get(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	dead := eng.DataNodeIDs()[1]
+	eng.Fabric().Kill(dead)
+	eng.HeartbeatTick()
+	app.Drain()
+	eng.Fabric().Revive(dead)
+	eng.HeartbeatTick()
+	sm := eng.StorageManager()
+	windows := sm.HandoffPending()
+	staleReads, windowGets := 0, 0
+	for round := 0; round == 0 || (sm.HandoffPending() > 0 && round < 200); round++ {
+		for _, id := range hot {
+			d, err := app.Get(id)
+			if err != nil {
+				staleReads++ // a miss during the window is as bad as stale
+				continue
+			}
+			windowGets++
+			if d.Version != 2 {
+				staleReads++
+			}
+		}
+	}
+	app.Drain()
+	for _, id := range hot {
+		d, err := app.Get(id)
+		if err != nil || d.Version != 2 {
+			staleReads++
+		}
+	}
+	fmt.Printf("re-join leg: %d hand-off windows, %d gets during windows, %d stale reads\n",
+		windows, windowGets, staleReads)
+	fmt.Println("shape: the Zipf head is served owner-locally — point p99 and msgs/op drop with the cache on,")
+	fmt.Println("       facet repeats become owner-local partial merges, and generation fencing keeps every")
+	fmt.Println("       read fresh across kill/re-join hand-off windows")
+	return map[string]float64{
+		"corpus_docs":                float64(corpus),
+		"p99_get_ms_cached":          res[0].p99,
+		"p99_get_ms_uncached":        res[1].p99,
+		"get_msgs_per_op_cached":     res[0].getMsgs,
+		"get_msgs_per_op_uncached":   res[1].getMsgs,
+		"point_hit_rate":             res[0].hitRate,
+		"facet_msgs_per_op_cached":   res[0].facetMsgs,
+		"facet_msgs_per_op_uncached": res[1].facetMsgs,
+		"rejoin_windows":             float64(windows),
+		"gets_during_window":         float64(windowGets),
+		"stale_reads":                float64(staleReads),
+		"pending_after_drain":        float64(sm.HandoffPending()),
+	}
 }
 
 func max(a, b int) int {

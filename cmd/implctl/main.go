@@ -60,6 +60,11 @@ func main() {
 			m.Documents, m.Annotations, m.JoinEdges)
 		fmt.Printf("indexed docs: %d; interconnect: %d msgs / %d KB\n",
 			m.IndexedDocs, m.Net.Messages, m.Net.Bytes/1024)
+		c := m.Caches
+		fmt.Printf("hot-path caches: point %d hit / %d miss, negative %d/%d, partial %d/%d; %d invalidations\n",
+			c.PointHits, c.PointMisses, c.NegativeHits, c.NegativeMisses,
+			c.PartialHits, c.PartialMisses,
+			c.PointInvalidations+c.NegativeInvalidations+c.PartialInvalidations)
 
 	case "search":
 		if len(args) < 2 {

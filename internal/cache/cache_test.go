@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"impliance/internal/docmodel"
+)
+
+func testID(seq uint64) docmodel.DocID { return docmodel.DocID{Origin: 1, Seq: seq} }
+
+func testDoc(seq uint64) *docmodel.Document {
+	return &docmodel.Document{ID: testID(seq)}
+}
+
+func fullConfig() Config {
+	return Config{Partitions: 8, PointEntries: 64, NegativeEntries: 64, PartialEntries: 64}
+}
+
+func TestPointHitMissAndFence(t *testing.T) {
+	c := New(fullConfig())
+	id := testID(1)
+	if _, _, ok := c.GetDoc(id, 0, false); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.PutDoc(id, 0, testDoc(1), 0, c.Epoch(0))
+	d, neg, ok := c.GetDoc(id, 0, false)
+	if !ok || neg || d == nil {
+		t.Fatalf("expected point hit, got ok=%v neg=%v", ok, neg)
+	}
+	// A moved partition (pgen advanced) fences the entry for owner reads…
+	if _, _, ok := c.GetDoc(id, 1, false); ok {
+		t.Fatal("fenced entry served to an owner-consistency read")
+	}
+	// …but a stale read may still serve it.
+	if _, _, ok := c.GetDoc(id, 1, true); !ok {
+		t.Fatal("stale read refused a fenced-but-unexpired entry")
+	}
+	st := c.PointStats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 hits 2 misses", st)
+	}
+}
+
+func TestNegativeEntryAndInvalidation(t *testing.T) {
+	c := New(fullConfig())
+	id := testID(7)
+	c.PutNegative(id, 2, 0, c.Epoch(2))
+	if _, neg, ok := c.GetDoc(id, 0, false); !ok || !neg {
+		t.Fatalf("expected negative hit, got ok=%v neg=%v", ok, neg)
+	}
+	c.InvalidateDoc(id, 2)
+	if _, _, ok := c.GetDoc(id, 0, false); ok {
+		t.Fatal("negative entry survived invalidation")
+	}
+	if inv := c.NegativeStats().Invalidations; inv != 1 {
+		t.Fatalf("negative invalidations = %d, want 1", inv)
+	}
+}
+
+func TestFillRaceGuard(t *testing.T) {
+	c := New(fullConfig())
+	id := testID(3)
+	epoch := c.Epoch(0)
+	c.BumpEpoch(0) // a write lands while the fetch is in flight
+	c.PutDoc(id, 0, testDoc(3), 0, epoch)
+	if _, _, ok := c.GetDoc(id, 0, false); ok {
+		t.Fatal("fill with a stale epoch must be dropped")
+	}
+	c.PutNegative(id, 0, 0, epoch)
+	if _, _, ok := c.GetDoc(id, 0, false); ok {
+		t.Fatal("negative fill with a stale epoch must be dropped")
+	}
+}
+
+func TestPartialGenAndEpochFencing(t *testing.T) {
+	c := New(fullConfig())
+	c.PutPartial(4, 99, 0, c.Epoch(4), []byte("blob"))
+	if d, ok := c.GetPartial(4, 99, 0); !ok || string(d) != "blob" {
+		t.Fatalf("expected partial hit, got ok=%v data=%q", ok, d)
+	}
+	// A write to the partition voids the partial lazily.
+	c.BumpEpoch(4)
+	if _, ok := c.GetPartial(4, 99, 0); ok {
+		t.Fatal("partial served across an epoch bump")
+	}
+	if inv := c.PartialStats().Invalidations; inv != 1 {
+		t.Fatalf("partial invalidations = %d, want 1", inv)
+	}
+	// Refill, then move the partition: the generation fence voids it too.
+	c.PutPartial(4, 99, 0, c.Epoch(4), []byte("blob2"))
+	if _, ok := c.GetPartial(4, 99, 1); ok {
+		t.Fatal("partial served across a partition-generation change")
+	}
+}
+
+func TestLRUBound(t *testing.T) {
+	c := New(Config{Partitions: 1, PointEntries: 32, NegativeEntries: 32, PartialEntries: 32})
+	for i := 0; i < 1000; i++ {
+		c.PutDoc(testID(uint64(i)), 0, testDoc(uint64(i)), 0, 0)
+	}
+	if n := c.PointLen(); n > 32 {
+		t.Fatalf("point cache grew to %d entries, cap 32", n)
+	}
+	for i := 0; i < 1000; i++ {
+		c.PutPartial(0, uint64(i), 0, 0, []byte("x"))
+	}
+	if n := c.PartialLen(); n > 32 {
+		t.Fatalf("partial cache grew to %d entries, cap 32", n)
+	}
+}
+
+func TestDisabledCachesAreInert(t *testing.T) {
+	c := New(Config{Partitions: 4, DisablePoint: true, DisableNegative: true, DisablePartial: true,
+		PointEntries: 16, NegativeEntries: 16, PartialEntries: 16})
+	c.PutDoc(testID(1), 0, testDoc(1), 0, 0)
+	c.PutNegative(testID(2), 0, 0, 0)
+	c.PutPartial(0, 1, 0, 0, []byte("x"))
+	if _, _, ok := c.GetDoc(testID(1), 0, false); ok {
+		t.Fatal("disabled point cache served an entry")
+	}
+	if _, ok := c.GetPartial(0, 1, 0); ok {
+		t.Fatal("disabled partial cache served an entry")
+	}
+	st := c.PointStats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("disabled cache counted traffic: %+v", st)
+	}
+	var nilCaches *Caches
+	nilCaches.InvalidateDoc(testID(1), 0) // nil receiver must be safe
+	if _, _, ok := nilCaches.GetDoc(testID(1), 0, false); ok {
+		t.Fatal("nil caches served an entry")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(fullConfig())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				id := testID(uint64(i % 100))
+				part := i % 8
+				switch (i + w) % 4 {
+				case 0:
+					c.PutDoc(id, part, testDoc(id.Seq), 0, c.Epoch(part))
+				case 1:
+					c.GetDoc(id, 0, false)
+				case 2:
+					c.InvalidateDoc(id, part)
+				default:
+					c.PutPartial(part, uint64(i%16), 0, c.Epoch(part), []byte("p"))
+					c.GetPartial(part, uint64(i%16), 0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

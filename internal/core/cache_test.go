@@ -1,0 +1,403 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/query"
+	"impliance/internal/storage"
+	"impliance/internal/virt"
+)
+
+// catItem is a document with a facetable category field.
+func catItem(text, cat string) Item {
+	return Item{
+		Body: docmodel.Object(
+			docmodel.F("text", docmodel.String(text)),
+			docmodel.F("cat", docmodel.String(cat)),
+		),
+		MediaType: "text/plain",
+		Source:    "cache-test",
+	}
+}
+
+// TestRepeatedGetServesFromCache: the second owner-consistency Get of an
+// unchanged document moves zero fabric messages and is counted as a point
+// hit — the tentpole's steady-state claim.
+func TestRepeatedGetServesFromCache(t *testing.T) {
+	e := testEngine(t)
+	id, err := e.Ingest(textItem("cached read", "u"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.DrainBackground()
+
+	if _, err := e.Get(id); err != nil {
+		t.Fatal(err) // fill
+	}
+	e.fab.ResetNetStats()
+	d, err := e.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version != 1 {
+		t.Errorf("cached version = %d, want 1", d.Version)
+	}
+	if msgs := e.fab.NetStats().Messages; msgs != 0 {
+		t.Errorf("cached Get moved %d messages, want 0", msgs)
+	}
+	if st := e.caches.PointStats(); st.Hits == 0 {
+		t.Errorf("point stats = %+v, want a hit", st)
+	}
+
+	// WithStaleReads is served from cache too (fresher than required).
+	e.fab.ResetNetStats()
+	if _, err := e.GetContext(context.Background(), id, WithStaleReads()); err != nil {
+		t.Fatal(err)
+	}
+	if msgs := e.fab.NetStats().Messages; msgs != 0 {
+		t.Errorf("stale-reads Get moved %d messages, want 0", msgs)
+	}
+}
+
+// TestUpdateInvalidatesCachedRead: a version write drops the document's
+// cached entry before the ack, so the next read observes the new version
+// (never the cached old one).
+func TestUpdateInvalidatesCachedRead(t *testing.T) {
+	e := testEngine(t)
+	id, err := e.Ingest(textItem("version one", "u"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.DrainBackground()
+	if _, err := e.Get(id); err != nil {
+		t.Fatal(err) // fill v1
+	}
+	if _, err := e.Update(id, docmodel.Object(docmodel.F("text", docmodel.String("version two")))); err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version != 2 {
+		t.Fatalf("post-update read = version %d, want 2 (stale cache served)", d.Version)
+	}
+	if d.First("/text").StringVal() != "version two" {
+		t.Errorf("post-update body = %s", d.Root)
+	}
+	if st := e.caches.PointStats(); st.Invalidations == 0 {
+		t.Errorf("point stats = %+v, want an invalidation", st)
+	}
+}
+
+// TestNegativeCacheClearedByLaterIngest: a registered-but-missing ID is
+// negative-cached (repeat probes stop touching the fabric), and a later
+// write of that ID clears the entry so the document becomes readable.
+func TestNegativeCacheClearedByLaterIngest(t *testing.T) {
+	e := testEngine(t)
+	id := e.mintDocID()
+	e.smgr.Register(id, virt.ClassUser)
+
+	if _, err := e.Get(id); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("first Get = %v, want ErrNotFound", err)
+	}
+	e.fab.ResetNetStats()
+	if _, err := e.Get(id); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("second Get = %v, want ErrNotFound", err)
+	}
+	if msgs := e.fab.NetStats().Messages; msgs != 0 {
+		t.Errorf("negative-cached Get moved %d messages, want 0", msgs)
+	}
+	if st := e.caches.NegativeStats(); st.Hits == 0 {
+		t.Errorf("negative stats = %+v, want a hit", st)
+	}
+
+	// The ID is ingested after the miss was cached: the write must clear
+	// the negative entry.
+	primary, err := e.readHolderFor(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := &docmodel.Document{
+		ID:        id,
+		MediaType: "text/plain",
+		Source:    "late",
+		Root:      docmodel.Object(docmodel.F("text", docmodel.String("arrived late"))),
+	}
+	if _, err := e.putOn(context.Background(), primary, doc); err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.Get(id)
+	if err != nil {
+		t.Fatalf("Get after late ingest = %v (negative entry not cleared)", err)
+	}
+	if d.First("/text").StringVal() != "arrived late" {
+		t.Errorf("late body = %s", d.Root)
+	}
+}
+
+// TestRejoinWindowServesNoStaleReads is the churn acceptance check: fill
+// the point cache, update part of the corpus, then run a kill → removal →
+// re-join cycle and read continuously while the dual-ownership windows
+// are open (catch-up tasks race the reads on the background pool). Every
+// read must return the latest version — a partition generation fence
+// failure would surface as a pre-update version here.
+func TestRejoinWindowServesNoStaleReads(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 4 })
+	var ids []docmodel.DocID
+	for i := 0; i < 40; i++ {
+		id, err := e.Ingest(textItem(fmt.Sprintf("churn doc %d", i), "u"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.DrainBackground()
+	for _, id := range ids {
+		if _, err := e.Get(id); err != nil {
+			t.Fatal(err) // fill the point cache with version 1
+		}
+	}
+
+	// Every document moves to version 2; the invalidation must beat any
+	// cached v1.
+	for _, id := range ids {
+		if _, err := e.Update(id, docmodel.Object(docmodel.F("text", docmodel.String("v2 "+id.String())))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.DrainBackground()
+
+	victim := e.dataNodes()[1]
+	e.fab.Kill(victim.node.ID)
+	e.HeartbeatTick() // ring removal bumps the moved partitions' generations
+	for _, id := range ids {
+		d, err := e.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s) during outage: %v", id, err)
+		}
+		if d.Version != 2 {
+			t.Fatalf("Get(%s) during outage = version %d, want 2 (stale read)", id, d.Version)
+		}
+	}
+	e.DrainBackground()
+
+	e.fab.Revive(victim.node.ID)
+	e.HeartbeatTick() // re-join opens dual-ownership windows
+	// Read while the windows are open and catch-up races on the pool.
+	stale := 0
+	for round := 0; ; round++ {
+		for _, id := range ids {
+			d, err := e.Get(id)
+			if err != nil {
+				t.Fatalf("Get(%s) during hand-off window: %v", id, err)
+			}
+			if d.Version != 2 {
+				stale++
+			}
+		}
+		if e.smgr.HandoffPending() == 0 || round > 200 {
+			break
+		}
+	}
+	e.DrainBackground()
+	if stale != 0 {
+		t.Fatalf("%d stale reads across the re-join windows", stale)
+	}
+	if pending := e.smgr.HandoffPending(); pending != 0 {
+		t.Fatalf("%d hand-off windows still open after drain", pending)
+	}
+	// Post-close reads route correctly (fenced entries must not short-
+	// circuit the moved partitions) and still see version 2.
+	for _, id := range ids {
+		d, err := e.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s) after window close: %v", id, err)
+		}
+		if d.Version != 2 {
+			t.Fatalf("Get(%s) after window close = version %d, want 2", id, d.Version)
+		}
+	}
+}
+
+// TestFacetPartialCacheReuseAndInvalidation: a repeated facet interaction
+// reuses cached per-partition partials (fewer messages, identical
+// buckets), and a later ingest is reflected — the write epoch voids the
+// affected partition's partial.
+func TestFacetPartialCacheReuseAndInvalidation(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 4 })
+	for i := 0; i < 30; i++ {
+		if _, err := e.Ingest(catItem(fmt.Sprintf("facet doc %d", i), fmt.Sprintf("c%d", i%3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.DrainBackground()
+	req := query.FacetRequest{Keyword: "facet", Dimensions: []string{"/cat"}}
+
+	first, err := e.Facets(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.fab.ResetNetStats()
+	second, err := e.Facets(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldMsgs := e.fab.NetStats().Messages
+	if st := e.caches.PartialStats(); st.Hits == 0 {
+		t.Errorf("partial stats = %+v, want hits on the repeat", st)
+	}
+	if len(first.Dimensions[0].Buckets) != len(second.Dimensions[0].Buckets) {
+		t.Fatalf("bucket count changed across repeat: %d vs %d",
+			len(first.Dimensions[0].Buckets), len(second.Dimensions[0].Buckets))
+	}
+	for i, b := range first.Dimensions[0].Buckets {
+		if second.Dimensions[0].Buckets[i].Count != b.Count {
+			t.Errorf("bucket %s count %d vs %d across repeat",
+				b.Value, b.Count, second.Dimensions[0].Buckets[i].Count)
+		}
+	}
+	_ = coldMsgs
+
+	// New document in c0: its partition's partial is voided, the next
+	// interaction counts it.
+	if _, err := e.Ingest(catItem("facet doc late", "c0")); err != nil {
+		t.Fatal(err)
+	}
+	e.DrainBackground()
+	third, err := e.Facets(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(r *query.FacetResult, cat string) int {
+		for _, b := range r.Dimensions[0].Buckets {
+			if b.Value.StringVal() == cat {
+				return b.Count
+			}
+		}
+		return 0
+	}
+	if got, want := count(third, "c0"), count(first, "c0")+1; got != want {
+		t.Errorf("c0 count after late ingest = %d, want %d (stale partial served)", got, want)
+	}
+}
+
+// TestAggregatePartialCacheTracksWrites: repeated distributed aggregates
+// reuse per-partition partials yet always reflect the latest corpus.
+func TestAggregatePartialCacheTracksWrites(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 4 })
+	for i := 0; i < 24; i++ {
+		if _, err := e.Ingest(catItem(fmt.Sprintf("agg doc %d", i), fmt.Sprintf("c%d", i%2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.DrainBackground()
+	spec := expr.GroupSpec{Aggs: []expr.AggSpec{{Kind: expr.AggCount}}}
+
+	countRows := func() int64 {
+		rows, err := e.distributedAggregate(context.Background(), expr.True(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 1 || len(rows[0].Cols) != 1 {
+			t.Fatalf("aggregate shape = %v", rows)
+		}
+		return rows[0].Cols[0].IntVal()
+	}
+	if n := countRows(); n != 24 {
+		t.Fatalf("initial count = %d, want 24", n)
+	}
+	e.fab.ResetNetStats()
+	if n := countRows(); n != 24 {
+		t.Fatalf("repeat count = %d, want 24", n)
+	}
+	if st := e.caches.PartialStats(); st.Hits == 0 {
+		t.Errorf("partial stats = %+v, want hits on the repeat", st)
+	}
+	if _, err := e.Ingest(catItem("agg doc late", "c0")); err != nil {
+		t.Fatal(err)
+	}
+	e.DrainBackground()
+	if n := countRows(); n != 25 {
+		t.Fatalf("count after late ingest = %d, want 25 (stale partial served)", n)
+	}
+}
+
+// TestConcurrentReadWriteInvalidate hammers the cached read path with
+// concurrent Gets, version writes, and fan-out queries (run under -race
+// in CI). Each reader asserts per-document version monotonicity: a cached
+// read may lag a concurrent write it did not synchronize with, but once a
+// reader has observed version v it must never observe an older one.
+func TestConcurrentReadWriteInvalidate(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.DataNodes = 4 })
+	var ids []docmodel.DocID
+	for i := 0; i < 8; i++ {
+		id, err := e.Ingest(catItem(fmt.Sprintf("hot doc %d", i), "c0"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.DrainBackground()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seen := map[docmodel.DocID]uint32{}
+			for i := 0; i < 300; i++ {
+				id := ids[i%len(ids)]
+				d, err := e.Get(id)
+				if err != nil {
+					errCh <- fmt.Errorf("Get(%s): %w", id, err)
+					return
+				}
+				if d.Version < seen[id] {
+					errCh <- fmt.Errorf("Get(%s) went backwards: %d after %d", id, d.Version, seen[id])
+					return
+				}
+				seen[id] = d.Version
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := ids[(2*i+w)%len(ids)]
+				body := docmodel.Object(docmodel.F("text", docmodel.String(fmt.Sprintf("rev %d.%d", w, i))))
+				if _, err := e.Update(id, body); err != nil {
+					errCh <- fmt.Errorf("Update(%s): %w", id, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		spec := expr.GroupSpec{Aggs: []expr.AggSpec{{Kind: expr.AggCount}}}
+		for i := 0; i < 20; i++ {
+			if _, err := e.distributedAggregate(context.Background(), expr.True(), spec); err != nil {
+				errCh <- fmt.Errorf("aggregate: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	e.DrainBackground()
+}

@@ -13,6 +13,7 @@ import (
 
 	"impliance/internal/annot"
 	"impliance/internal/baseline/costopt"
+	"impliance/internal/cache"
 	"impliance/internal/discovery"
 	"impliance/internal/docmodel"
 	"impliance/internal/expr"
@@ -88,6 +89,24 @@ type Config struct {
 	// probe router and fans every value lookup out to all data nodes
 	// (E19 ablation; the design routes by partition path statistics).
 	BroadcastValueProbes bool
+
+	// --- Hot-path caches (docs/ARCHITECTURE.md "Hot-path caches") ---
+
+	// PointCacheEntries bounds the generation-fenced point-read cache
+	// (default 4096).
+	PointCacheEntries int
+	// NegativeCacheEntries bounds the negative (known-missing DocID)
+	// cache (default 1024).
+	NegativeCacheEntries int
+	// PartialCacheEntries bounds the per-partition facet/aggregate
+	// partial cache (default 4096).
+	PartialCacheEntries int
+	// DisablePointCache, DisableNegativeCache and DisablePartialCache
+	// turn individual caches off (E22 ablations; the design has all
+	// three on).
+	DisablePointCache    bool
+	DisableNegativeCache bool
+	DisablePartialCache  bool
 }
 
 // Normalize fills defaults in place.
@@ -115,6 +134,15 @@ func (c *Config) Normalize() {
 			annot.NewDefaultEntityAnnotator(workload.Products),
 			annot.NewSentimentAnnotator(),
 		}
+	}
+	if c.PointCacheEntries <= 0 {
+		c.PointCacheEntries = 4096
+	}
+	if c.NegativeCacheEntries <= 0 {
+		c.NegativeCacheEntries = 1024
+	}
+	if c.PartialCacheEntries <= 0 {
+		c.PartialCacheEntries = 4096
 	}
 }
 
@@ -162,6 +190,13 @@ type Engine struct {
 	locks  *fabric.LockTable
 	broker *virt.Broker
 	smgr   *virt.StorageManager
+
+	// caches holds the generation-fenced hot-path caches (point reads,
+	// negative lookups, facet/aggregate partials). Entries are stamped
+	// with the owning partition's routing generation, so membership
+	// movement expires them without a scan; version writes invalidate
+	// through cacheInvalidateDoc at the putOn choke point.
+	caches *cache.Caches
 
 	// dataGroup is the data-role resource group; re-joining nodes are
 	// handed back to it (the broker removed them on failure).
@@ -268,6 +303,15 @@ func Open(cfg Config) (*Engine, error) {
 
 	e.smgr = virt.NewStorageManager(cfg.Replication, replicaAccess{e})
 	e.smgr.SetDataNodes(e.DataNodeIDs())
+	e.caches = cache.New(cache.Config{
+		Partitions:      e.smgr.Partitions(),
+		PointEntries:    cfg.PointCacheEntries,
+		NegativeEntries: cfg.NegativeCacheEntries,
+		PartialEntries:  cfg.PartialCacheEntries,
+		DisablePoint:    cfg.DisablePointCache,
+		DisableNegative: cfg.DisableNegativeCache,
+		DisablePartial:  cfg.DisablePartialCache,
+	})
 	e.recoverFromStores()
 
 	if cfg.RandomPlacement {
@@ -688,6 +732,24 @@ type Metrics struct {
 	ValueProbes         uint64
 	ValueProbePruned    uint64
 	ValueProbeFallbacks uint64
+
+	// Hot-path cache accounting (see Engine.CacheStats).
+	Caches CacheMetrics
+}
+
+// CacheMetrics reports the hot-path caches' counters: hits, misses and
+// invalidations per cache. The negative cache's hits are the negative
+// hits — a repeated miss answered without a ring round-trip.
+type CacheMetrics struct {
+	PointHits             uint64
+	PointMisses           uint64
+	PointInvalidations    uint64
+	NegativeHits          uint64
+	NegativeMisses        uint64
+	NegativeInvalidations uint64
+	PartialHits           uint64
+	PartialMisses         uint64
+	PartialInvalidations  uint64
 }
 
 // MetricsSnapshot gathers current counters.
@@ -710,6 +772,7 @@ func (e *Engine) MetricsSnapshotContext(ctx context.Context) Metrics {
 		ClusterLeader: e.group.Leader(),
 	}
 	m.ValueLookups, m.ValueProbes, m.ValueProbePruned, m.ValueProbeFallbacks = e.ValueProbeStats()
+	m.Caches = e.CacheStats()
 	seen := map[docmodel.DocID]struct{}{}
 	for _, dn := range e.dataNodes() {
 		if ctx.Err() != nil {
@@ -733,6 +796,30 @@ func (e *Engine) MetricsSnapshotContext(ctx context.Context) Metrics {
 		})
 	}
 	return m
+}
+
+// CacheStats snapshots the hot-path cache counters.
+func (e *Engine) CacheStats() CacheMetrics {
+	p, n, f := e.caches.PointStats(), e.caches.NegativeStats(), e.caches.PartialStats()
+	return CacheMetrics{
+		PointHits:             p.Hits,
+		PointMisses:           p.Misses,
+		PointInvalidations:    p.Invalidations,
+		NegativeHits:          n.Hits,
+		NegativeMisses:        n.Misses,
+		NegativeInvalidations: n.Invalidations,
+		PartialHits:           f.Hits,
+		PartialMisses:         f.Misses,
+		PartialInvalidations:  f.Invalidations,
+	}
+}
+
+// cacheInvalidateDoc drops the document's point and negative entries and
+// voids its partition's cached partials (via the write epoch) — called
+// after every committed primary write and after index mutations that
+// change what the partition's facet/aggregate partials derive from.
+func (e *Engine) cacheInvalidateDoc(id docmodel.DocID) {
+	e.caches.InvalidateDoc(id, e.smgr.PartitionOf(id))
 }
 
 // now is the engine clock (overridable would be for tests; wall time is

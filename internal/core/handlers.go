@@ -60,7 +60,14 @@ func (e *Engine) dataHandler(dn *dataNode) fabric.Handler {
 			if err != nil {
 				return nil, err
 			}
-			return nil, dn.store.PutReplica(doc)
+			if err := dn.store.PutReplica(doc); err != nil {
+				return nil, err
+			}
+			// A replica install can change what the partition's answering
+			// owner scans (repair, hand-off copies, a lagging replica that
+			// became the answerer): void the partition's cached partials.
+			e.caches.BumpEpoch(e.smgr.PartitionOf(doc.ID))
+			return nil, nil
 
 		case msgReplicaBatch:
 			// The ingest path groups replica traffic per target: every
@@ -75,6 +82,7 @@ func (e *Engine) dataHandler(dn *dataNode) fabric.Handler {
 				if err := dn.store.PutReplica(d); err != nil {
 					return nil, err
 				}
+				e.caches.BumpEpoch(e.smgr.PartitionOf(d.ID))
 			}
 			return nil, nil
 
@@ -134,6 +142,21 @@ func (e *Engine) dataHandler(dn *dataNode) fabric.Handler {
 			filter, err := expr.Decode(req.Filter)
 			if err != nil {
 				return nil, err
+			}
+			if req.Parts != nil {
+				// Routed form: one partial per requested partition, so the
+				// engine can cache each partition's contribution under its
+				// own routing generation.
+				out := make([]aggPartialWire, 0, len(req.Parts))
+				for _, p := range req.Parts {
+					g := expr.NewGroupState(req.spec())
+					dn.store.ScanSubset(e.smgr.DocsInPartition(p), filter, func(d *docmodel.Document) bool {
+						g.Update(d)
+						return true
+					})
+					out = append(out, aggPartialWire{Part: p, Partial: g.EncodePartials()})
+				}
+				return mustJSON(out), nil
 			}
 			g := expr.NewGroupState(req.spec())
 			e.scanOwned(dn, filter, func(d *docmodel.Document) bool {
@@ -207,6 +230,20 @@ func (e *Engine) dataHandler(dn *dataNode) fabric.Handler {
 				for _, id := range ids {
 					candidates[id] = struct{}{}
 				}
+			}
+			if req.Parts != nil {
+				// Routed form: count each requested partition separately so
+				// the engine can cache per-partition partials.
+				out := make([]facetPartialWire, 0, len(req.Parts))
+				for _, p := range req.Parts {
+					fc := dn.ix.FacetsIn([]int{p}, req.Path, candidates, 0)
+					ws := make([]facetBucketWire, len(fc))
+					for i, b := range fc {
+						ws[i] = facetBucketWire{Value: docmodel.EncodeValue(b.Value), Count: b.Count}
+					}
+					out = append(out, facetPartialWire{Part: p, Buckets: ws})
+				}
+				return mustJSON(out), nil
 			}
 			fc := dn.ix.Facets(req.Path, candidates, req.Limit)
 			out := make([]facetBucketWire, len(fc))

@@ -9,6 +9,7 @@ import (
 	"impliance/internal/docmodel"
 	"impliance/internal/fabric"
 	"impliance/internal/sched"
+	"impliance/internal/storage"
 	"impliance/internal/virt"
 )
 
@@ -195,7 +196,15 @@ func (e *Engine) putOn(ctx context.Context, dn *dataNode, doc *docmodel.Document
 	if err != nil {
 		return nil, err
 	}
-	return docmodel.DecodeDocument(reply)
+	stored, err := docmodel.DecodeDocument(reply)
+	if err != nil {
+		return nil, err
+	}
+	// Version committed: drop the document's cached point/negative entries
+	// and void its partition's partials before acking, so no later read
+	// can serve the pre-write state.
+	e.cacheInvalidateDoc(stored.ID)
+	return stored, nil
 }
 
 // replicate ships the stored version to the target node IDs, honoring the
@@ -247,6 +256,9 @@ func (e *Engine) postIngest(primary *dataNode, stored *docmodel.Document) {
 		// during a membership change), not necessarily the node that took
 		// the write — keeps each document indexed on exactly one node.
 		e.indexTargetFor(stored.ID, primary).indexDoc(stored)
+		// Indexing completes after the write ack: void any facet partial
+		// filled from the pre-index view in the meantime.
+		e.caches.BumpEpoch(e.smgr.PartitionOf(stored.ID))
 		e.shapesMu.Lock()
 		e.shapes.Observe(stored)
 		e.shapesMu.Unlock()
@@ -283,6 +295,7 @@ func (e *Engine) annotate(base *docmodel.Document) {
 		e.smgr.Register(stored.ID, virt.ClassDerived)
 		e.replicate(stored, others)
 		e.indexTargetFor(stored.ID, owner).indexDoc(stored)
+		e.caches.BumpEpoch(e.smgr.PartitionOf(stored.ID))
 		discovery.BuildRefEdges(e.joinIdx, stored)
 	}
 }
@@ -294,21 +307,54 @@ func (e *Engine) Get(id docmodel.DocID) (*docmodel.Document, error) {
 
 // GetContext is Get under a request lifecycle: the context bounds the
 // fetch, and WithConsistency selects which replica may answer.
+//
+// The read is cached: a point (or negative) entry stamped with the
+// partition's current routing generation answers without touching the
+// fabric. ReadOwner consistency refuses fenced entries (the partition
+// moved since the fill); WithStaleReads may serve them. Fills only come
+// from owner-consistency fetches — a ReadOne answer may be a lagging
+// replica and must not poison the cache — and are dropped if a write
+// raced the fetch (the partition's write epoch moved).
 func (e *Engine) GetContext(ctx context.Context, id docmodel.DocID, opts ...CallOption) (*docmodel.Document, error) {
 	ctx, cancel, o := resolveOpts(ctx, opts)
 	defer cancel()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	part := e.smgr.PartitionOf(id)
+	pgen := e.smgr.PartitionGen(part)
+	if d, neg, ok := e.caches.GetDoc(id, pgen, o.staleReads); ok {
+		// A cached read is still logical demand on the partition: charge
+		// the load counter so the rebalance skew signal sees hot keys even
+		// when the cache absorbs their fabric cost.
+		e.smgr.RecordLoad(id)
+		if neg {
+			return nil, fmt.Errorf("%w: %s", storage.ErrNotFound, id)
+		}
+		return d, nil
+	}
+	epoch := e.caches.Epoch(part)
 	dn, err := e.holderFor(id, o.consistency)
 	if err != nil {
 		return nil, err
 	}
 	reply, err := e.fab.CallCtx(ctx, dn.node.ID, msgGet, []byte(id.String()))
 	if err != nil {
+		if o.consistency == ReadOwner && errors.Is(err, storage.ErrNotFound) {
+			// The owner definitively does not hold the document: remember
+			// the miss so repeated probes stop costing round-trips.
+			e.caches.PutNegative(id, part, pgen, epoch)
+		}
 		return nil, err
 	}
-	return docmodel.DecodeDocument(reply)
+	d, err := docmodel.DecodeDocument(reply)
+	if err != nil {
+		return nil, err
+	}
+	if o.consistency == ReadOwner {
+		e.caches.PutDoc(id, part, d, pgen, epoch)
+	}
+	return d, nil
 }
 
 // GetVersion fetches one specific immutable version.

@@ -125,6 +125,9 @@ func (e *Engine) catchUpPartition(pt virt.PartitionTransfer) {
 			discovery.BuildRefEdges(e.joinIdx, d)
 		}
 	}
+	// The partition's index just changed hands: void cached partials before
+	// the window closes and reads flip to the new owner.
+	e.caches.BumpEpoch(pt.Partition)
 	e.smgr.CompleteHandoff(pt)
 }
 
@@ -147,6 +150,10 @@ func (e *Engine) reindexDocs(ids []docmodel.DocID) {
 		dn.mu.Unlock()
 		if !already {
 			dn.indexDoc(d)
+			// Recovery re-indexing runs after the failure already bumped the
+			// partition's routing generation, so a partial cached from the
+			// successor's still-lagging index would otherwise look current.
+			e.caches.BumpEpoch(e.smgr.PartitionOf(id))
 		}
 	}
 }

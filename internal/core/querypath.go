@@ -4,12 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"impliance/internal/baseline/costopt"
 	"impliance/internal/docmodel"
 	"impliance/internal/exec"
 	"impliance/internal/expr"
+	"impliance/internal/fabric"
 	"impliance/internal/index"
 	"impliance/internal/plan"
 	"impliance/internal/query"
@@ -231,11 +233,25 @@ func (e *Engine) distributedScan(ctx context.Context, filter expr.Expr) ([]*docm
 
 // distributedAggregate runs two-phase aggregation: partials on data
 // nodes, merge on a grid node, finalize here.
+//
+// With the partial cache enabled the data-node phase is partition-routed:
+// each partition's partial is computed by its answering owner and cached
+// under the partition's routing generation and write epoch, so a repeated
+// aggregate recomputes only the partitions that changed (wrote or moved)
+// since the last run — the rest merge from cache without touching the
+// fabric. With the cache disabled, or under persistent churn, the legacy
+// node-level fan-out runs unchanged.
 func (e *Engine) distributedAggregate(ctx context.Context, filter expr.Expr, spec expr.GroupSpec) ([]*exec.Row, error) {
 	req := specToWire(spec)
 	req.Filter = filter.Encode()
-	payload := mustJSON(req)
-	partials, err := e.fanOutData(ctx, msgAggPartial, func(*dataNode) []byte { return payload })
+	var partials [][]byte
+	var err error
+	if e.caches.PartialEnabled() {
+		partials, err = e.aggPartials(ctx, req)
+	} else {
+		payload := mustJSON(req)
+		partials, err = e.fanOutData(ctx, msgAggPartial, func(*dataNode) []byte { return payload })
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -261,6 +277,113 @@ func (e *Engine) distributedAggregate(ctx context.Context, filter expr.Expr, spe
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// aggPartials gathers one aggregate partial per non-empty partition,
+// serving cached ones and fanning out to the answering owners only for
+// the rest. Partitions inside an open hand-off window are computed (by
+// their pre-change answering owner, whose data is complete) but not
+// cached. The plan → probe window is bracketed by the membership
+// generation like the value-probe router; persistent churn degrades to
+// the legacy node-level broadcast.
+func (e *Engine) aggPartials(ctx context.Context, req aggReq) ([][]byte, error) {
+	digest := aggDigest(req)
+	for attempt := 0; ; attempt++ {
+		gen := e.smgr.MembershipGeneration()
+		type fill struct{ pgen, epoch uint64 }
+		var (
+			out     [][]byte
+			targets = map[*dataNode][]int{}
+			fills   = map[int]fill{}
+		)
+		for p := 0; p < e.smgr.Partitions(); p++ {
+			pgen := e.smgr.PartitionGen(p)
+			if data, ok := e.caches.GetPartial(p, digest, pgen); ok {
+				out = append(out, data)
+				continue
+			}
+			if e.smgr.PartitionDocCount(p) == 0 {
+				continue // nothing registered there: no partial to compute
+			}
+			epoch := e.caches.Epoch(p)
+			dn, ok := e.answeringDataNode(p)
+			if !ok {
+				continue // no reachable owner: the node fan-out could not cover it either
+			}
+			targets[dn] = append(targets[dn], p)
+			if !e.smgr.InHandoff(p) {
+				fills[p] = fill{pgen: pgen, epoch: epoch}
+			}
+		}
+		if len(targets) == 0 {
+			return out, nil
+		}
+		nodes := make([]*dataNode, 0, len(targets))
+		for dn := range targets {
+			nodes = append(nodes, dn)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].node.ID.Num < nodes[j].node.ID.Num })
+		payloads := make(map[*dataNode][]byte, len(nodes))
+		for _, dn := range nodes {
+			r := req
+			r.Parts = targets[dn]
+			sort.Ints(r.Parts)
+			payloads[dn] = mustJSON(r)
+		}
+		results, err := e.callEach(ctx, nodes, msgAggPartial, func(dn *dataNode) []byte { return payloads[dn] })
+		if err != nil {
+			return nil, err
+		}
+		if e.smgr.MembershipGeneration() != gen {
+			if attempt < 2 {
+				continue // membership moved mid-probe: re-plan, nothing cached
+			}
+			payload := mustJSON(aggReq{Filter: req.Filter, By: req.By, Aggs: req.Aggs})
+			return e.fanOutData(ctx, msgAggPartial, func(*dataNode) []byte { return payload })
+		}
+		for _, raw := range results {
+			var pws []aggPartialWire
+			if err := json.Unmarshal(raw, &pws); err != nil {
+				return nil, err
+			}
+			for _, pw := range pws {
+				out = append(out, pw.Partial)
+				if f, ok := fills[pw.Part]; ok {
+					e.caches.PutPartial(pw.Part, digest, f.pgen, f.epoch, pw.Partial)
+				}
+			}
+		}
+		return out, nil
+	}
+}
+
+// aggDigest keys a partition's aggregate partial by the full query shape:
+// filter bytes, group-by paths, and aggregate specs.
+func aggDigest(req aggReq) uint64 {
+	h := fnv.New64a()
+	h.Write(req.Filter)
+	for _, by := range req.By {
+		h.Write([]byte{0})
+		h.Write([]byte(by))
+	}
+	for _, a := range req.Aggs {
+		h.Write([]byte{1, a.Kind})
+		h.Write([]byte(a.Path))
+	}
+	return h.Sum64()
+}
+
+// answeringDataNode resolves the partition's answering owner — the first
+// eligible read-side owner — to a local data node.
+func (e *Engine) answeringDataNode(p int) (*dataNode, bool) {
+	owner, ok := e.smgr.AnsweringNode(p, func(id fabric.NodeID) bool {
+		n, ok := e.dataNode(id)
+		return ok && e.eligible(n)
+	})
+	if !ok {
+		return nil, false
+	}
+	return e.dataNode(owner)
 }
 
 // buildJoin attaches the planned join operator.
@@ -453,21 +576,46 @@ func hitIDs(hits []index.Hit) []docmodel.DocID {
 // call's consistency rule. The per-node loop checks the context between
 // batches, so a cancelled caller stops scheduling the remaining nodes'
 // fetches instead of finishing the gather it no longer wants.
+//
+// The fetch reads through the point cache: generation-current entries
+// (point and negative) are served locally — a negative hit skips the ID
+// entirely, matching the batch handler's silent skip of missing documents
+// — and only the misses go over the fabric. Like GetContext, fills happen
+// only under ReadOwner consistency, and an ID a successful owner batch
+// did not return is negative-filled.
 func (e *Engine) fetchByID(ctx context.Context, ids []docmodel.DocID, o callOpts) (map[docmodel.DocID]*docmodel.Document, error) {
-	perNode := map[*dataNode][]string{}
+	out := map[docmodel.DocID]*docmodel.Document{}
+	type fill struct {
+		part        int
+		pgen, epoch uint64
+	}
+	fills := map[docmodel.DocID]fill{}
+	perNode := map[*dataNode][]docmodel.DocID{}
 	for _, id := range ids {
+		part := e.smgr.PartitionOf(id)
+		pgen := e.smgr.PartitionGen(part)
+		if d, neg, ok := e.caches.GetDoc(id, pgen, o.staleReads); ok {
+			e.smgr.RecordLoad(id) // cached fetch is still demand on the partition
+			if !neg {
+				out[id] = d
+			}
+			continue
+		}
+		epoch := e.caches.Epoch(part)
 		dn, err := e.holderFor(id, o.consistency)
 		if err != nil {
 			continue
 		}
-		perNode[dn] = append(perNode[dn], id.String())
+		perNode[dn] = append(perNode[dn], id)
+		if o.consistency == ReadOwner {
+			fills[id] = fill{part: part, pgen: pgen, epoch: epoch}
+		}
 	}
-	out := map[docmodel.DocID]*docmodel.Document{}
-	for dn, strs := range perNode {
+	for dn, nodeIDs := range perNode {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		raw, err := e.fab.CallCtx(ctx, dn.node.ID, msgGetBatch, mustJSON(getBatchReq{IDs: strs}))
+		raw, err := e.fab.CallCtx(ctx, dn.node.ID, msgGetBatch, mustJSON(getBatchReq{IDs: idStrings(nodeIDs)}))
 		if err != nil {
 			return nil, err
 		}
@@ -475,8 +623,23 @@ func (e *Engine) fetchByID(ctx context.Context, ids []docmodel.DocID, o callOpts
 		if err != nil {
 			return nil, err
 		}
+		got := make(map[docmodel.DocID]struct{}, len(batch))
 		for _, d := range batch {
 			out[d.ID] = d
+			got[d.ID] = struct{}{}
+			if f, ok := fills[d.ID]; ok {
+				e.caches.PutDoc(d.ID, f.part, d, f.pgen, f.epoch)
+			}
+		}
+		for _, id := range nodeIDs {
+			if _, ok := got[id]; ok {
+				continue
+			}
+			if f, ok := fills[id]; ok {
+				// The owner answered and did not return the ID: remember the
+				// miss so repeated ghost hits stop costing round-trips.
+				e.caches.PutNegative(id, f.part, f.pgen, f.epoch)
+			}
 		}
 	}
 	return out, nil
@@ -598,19 +761,213 @@ func (e *Engine) FacetsContext(ctx context.Context, req query.FacetRequest, opts
 	return result, nil
 }
 
-// facetDim merges facet counts for one dimension across data nodes.
+// facetDim merges facet counts for one dimension across the cluster.
+//
+// The fan-out is partition-routed: candidates are grouped by partition,
+// each partition's count is requested from its read-side owners only —
+// pruned entirely when no owner's path statistics admit the dimension
+// there — and the per-partition result is cached under the partition's
+// routing generation and write epoch. A steady-state repeat of the same
+// facet interaction is then a local merge of cached partials, and a
+// membership change recomputes only the moved partitions (their
+// generation bump fences exactly their entries). Partitions inside an
+// open hand-off window are counted by every ring member (the same rule
+// value probes use — their postings are mid-hand-over) and not cached.
+// Persistent churn, or a disabled partial cache, degrades to the legacy
+// whole-index broadcast.
 func (e *Engine) facetDim(ctx context.Context, path string, candidateIDs []string, limit int) ([]query.FacetBucket, error) {
+	if !e.caches.PartialEnabled() {
+		return e.facetDimBroadcast(ctx, path, candidateIDs, limit)
+	}
+	parsed, err := parseIDs(candidateIDs)
+	if err != nil {
+		return nil, err
+	}
+	byPart := map[int][]string{}
+	for i, id := range parsed {
+		p := e.smgr.PartitionOf(id)
+		byPart[p] = append(byPart[p], candidateIDs[i])
+	}
+	parts := make([]int, 0, len(byPart))
+	for p := range byPart {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+
+	for attempt := 0; ; attempt++ {
+		gen := e.smgr.MembershipGeneration()
+		type fill struct{ digest, pgen, epoch uint64 }
+		var (
+			cached  [][]facetBucketWire
+			targets = map[*dataNode][]int{}
+			fills   = map[int]fill{}
+			ring    []*dataNode
+		)
+		for _, p := range parts {
+			digest := facetDigest(path, byPart[p])
+			pgen := e.smgr.PartitionGen(p)
+			if data, ok := e.caches.GetPartial(p, digest, pgen); ok {
+				var ws []facetBucketWire
+				if err := json.Unmarshal(data, &ws); err != nil {
+					return nil, err
+				}
+				cached = append(cached, ws)
+				continue
+			}
+			epoch := e.caches.Epoch(p)
+			if e.smgr.InHandoff(p) {
+				// Mid-hand-off the postings can sit on either side: count on
+				// every ring member and do not cache the answer.
+				if ring == nil {
+					ring = e.ringNodes()
+				}
+				for _, dn := range ring {
+					targets[dn] = append(targets[dn], p)
+				}
+				continue
+			}
+			admitted := false
+			for _, owner := range e.smgr.ReadOwnersOf(p) {
+				dn, ok := e.dataNode(owner)
+				if !ok || !e.eligible(dn) || !e.smgr.InRing(owner) {
+					continue
+				}
+				if dn.ix.MayContainPath(p, path) {
+					targets[dn] = append(targets[dn], p)
+					admitted = true
+				}
+			}
+			if admitted {
+				fills[p] = fill{digest: digest, pgen: pgen, epoch: epoch}
+			} else {
+				// No owner has postings for the path in this partition:
+				// remember the empty partial so the repeat skips the
+				// statistics walk too.
+				e.caches.PutPartial(p, digest, pgen, epoch, mustJSON([]facetBucketWire{}))
+			}
+		}
+
+		fresh := map[int][]facetBucketWire{}
+		if len(targets) > 0 {
+			results, err := e.probeFacetTargets(ctx, path, byPart, targets)
+			if err != nil {
+				return nil, err
+			}
+			if e.smgr.MembershipGeneration() != gen {
+				if attempt < 2 {
+					continue // membership moved mid-probe: re-plan, nothing cached
+				}
+				return e.facetDimBroadcast(ctx, path, candidateIDs, limit)
+			}
+			for _, raw := range results {
+				var pws []facetPartialWire
+				if err := json.Unmarshal(raw, &pws); err != nil {
+					return nil, err
+				}
+				for _, pw := range pws {
+					fresh[pw.Part] = mergeBucketWires(fresh[pw.Part], pw.Buckets)
+				}
+			}
+			for p, ws := range fresh {
+				if f, ok := fills[p]; ok {
+					e.caches.PutPartial(p, f.digest, f.pgen, f.epoch, mustJSON(ws))
+				}
+			}
+		}
+		all := cached
+		for _, p := range parts {
+			if ws, ok := fresh[p]; ok {
+				all = append(all, ws)
+			}
+		}
+		return mergeFacetWires(all, limit)
+	}
+}
+
+// facetDimBroadcast is the legacy facet fan-out: every ring member counts
+// the candidates over its whole index, uncached. The ablation path, and
+// the fallback under persistent membership churn.
+func (e *Engine) facetDimBroadcast(ctx context.Context, path string, candidateIDs []string, limit int) ([]query.FacetBucket, error) {
 	payload := mustJSON(facetsReq{Path: path, IDs: candidateIDs, Limit: 0})
 	results, err := e.fanOutData(ctx, msgFacets, func(*dataNode) []byte { return payload })
 	if err != nil {
 		return nil, err
 	}
-	merged := map[string]*query.FacetBucket{}
+	wires := make([][]facetBucketWire, 0, len(results))
 	for _, raw := range results {
 		var ws []facetBucketWire
 		if err := json.Unmarshal(raw, &ws); err != nil {
 			return nil, err
 		}
+		wires = append(wires, ws)
+	}
+	return mergeFacetWires(wires, limit)
+}
+
+// probeFacetTargets calls each planned node with its partition filter and
+// the candidates of those partitions, gathering raw replies in node
+// order.
+func (e *Engine) probeFacetTargets(ctx context.Context, path string, byPart map[int][]string, targets map[*dataNode][]int) ([][]byte, error) {
+	nodes := make([]*dataNode, 0, len(targets))
+	for dn := range targets {
+		nodes = append(nodes, dn)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].node.ID.Num < nodes[j].node.ID.Num })
+	payloads := make(map[*dataNode][]byte, len(nodes))
+	for _, dn := range nodes {
+		parts := targets[dn]
+		sort.Ints(parts)
+		var ids []string
+		for _, p := range parts {
+			ids = append(ids, byPart[p]...)
+		}
+		payloads[dn] = mustJSON(facetsReq{Path: path, IDs: ids, Parts: parts})
+	}
+	return e.callEach(ctx, nodes, msgFacets, func(dn *dataNode) []byte { return payloads[dn] })
+}
+
+// facetDigest keys a partition's facet partial by dimension path and its
+// (sorted) candidate IDs.
+func facetDigest(path string, ids []string) uint64 {
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	for _, s := range sorted {
+		h.Write([]byte{0})
+		h.Write([]byte(s))
+	}
+	return h.Sum64()
+}
+
+// mergeBucketWires merges two wire-level bucket lists, summing counts of
+// equal values (a windowed partition's counts arrive from several nodes).
+func mergeBucketWires(a, b []facetBucketWire) []facetBucketWire {
+	if len(a) == 0 {
+		return b
+	}
+	idx := make(map[string]int, len(a))
+	out := append([]facetBucketWire{}, a...)
+	for i, w := range out {
+		idx[string(w.Value)] = i
+	}
+	for _, w := range b {
+		if i, ok := idx[string(w.Value)]; ok {
+			out[i].Count += w.Count
+		} else {
+			idx[string(w.Value)] = len(out)
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// mergeFacetWires merges per-source bucket lists into the final facet
+// result: counts summed by value, sorted count-descending with ascending
+// value tie-break, truncated to limit.
+func mergeFacetWires(wires [][]facetBucketWire, limit int) ([]query.FacetBucket, error) {
+	merged := map[string]*query.FacetBucket{}
+	for _, ws := range wires {
 		for _, w := range ws {
 			v, err := docmodel.DecodeValue(w.Value)
 			if err != nil {

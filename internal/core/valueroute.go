@@ -76,6 +76,40 @@ func numericKind(k docmodel.Kind) bool {
 	return k == docmodel.KindInt || k == docmodel.KindFloat
 }
 
+// valueProbeBounds extracts the value interval a lookup constrains — the
+// probed value itself for an equality probe ([v, v], both inclusive),
+// the request's bounds for a range — so the planner can consult the
+// partitions' observed min/max statistics. A decode failure or a fully
+// open range drops the hint (no bounds pruning) rather than failing the
+// plan.
+func valueProbeBounds(req valueLookupReq) (lo, hi *docmodel.Value, loInc, hiInc, ok bool) {
+	if !req.Range {
+		v, err := docmodel.DecodeValue(req.Value)
+		if err != nil {
+			return nil, nil, false, false, false
+		}
+		return &v, &v, true, true, true
+	}
+	if req.Lo != nil {
+		v, err := docmodel.DecodeValue(req.Lo)
+		if err != nil {
+			return nil, nil, false, false, false
+		}
+		lo = &v
+	}
+	if req.Hi != nil {
+		v, err := docmodel.DecodeValue(req.Hi)
+		if err != nil {
+			return nil, nil, false, false, false
+		}
+		hi = &v
+	}
+	if lo == nil && hi == nil {
+		return nil, nil, false, false, false
+	}
+	return lo, hi, req.LoInc, req.HiInc, true
+}
+
 // valueProbePlan computes the minimal probe set for a value predicate:
 // which nodes to call and, per node, which of its partitions to consult.
 // For each settled partition the candidates are its read-side owners
@@ -94,6 +128,7 @@ func numericKind(k docmodel.Kind) bool {
 func (e *Engine) valueProbePlan(req valueLookupReq, staleReads bool) (targets map[*dataNode][]int, pruned, windowed int) {
 	targets = map[*dataNode][]int{}
 	kind, haveKind := valueProbeKind(req)
+	lo, hi, loInc, hiInc, haveBounds := valueProbeBounds(req)
 	var ring []*dataNode // built lazily: only open windows need it
 	for p := 0; p < e.smgr.Partitions(); p++ {
 		if !staleReads && e.smgr.InHandoff(p) {
@@ -118,7 +153,11 @@ func (e *Engine) valueProbePlan(req valueLookupReq, staleReads bool) (targets ma
 				continue
 			}
 			consulted = true
-			if dn.ix.Admits(p, req.Path, kind, haveKind) {
+			// Path/kind admission first, then the observed value bounds:
+			// a partition whose min/max provably excludes the probed
+			// interval cannot match and is pruned from the fan-out.
+			if dn.ix.Admits(p, req.Path, kind, haveKind) &&
+				(!haveBounds || dn.ix.AdmitsValueRange(p, req.Path, lo, hi, loInc, hiInc)) {
 				targets[dn] = append(targets[dn], p)
 				matched = true
 			}

@@ -97,6 +97,18 @@ type aggReq struct {
 	Filter []byte        `json:"filter"` // expr.Encode
 	By     []string      `json:"by"`
 	Aggs   []aggSpecWire `json:"aggs"`
+	// Parts requests per-partition partials for exactly these partitions
+	// instead of one node-level partial over the node's whole answering
+	// set. With Parts set the reply is JSON []aggPartialWire; without it
+	// the reply is a single raw partials blob (the broadcast fallback).
+	Parts []int `json:"parts,omitempty"`
+}
+
+// aggPartialWire is one partition's aggregate partial in a routed
+// (Parts-carrying) aggregation reply.
+type aggPartialWire struct {
+	Part    int    `json:"part"`
+	Partial []byte `json:"partial"` // expr EncodePartials blob
 }
 
 type aggSpecWire struct {
@@ -131,6 +143,19 @@ type facetsReq struct {
 	IDs   []string `json:"ids,omitempty"` // nil = all docs on the node
 	All   bool     `json:"all,omitempty"`
 	Limit int      `json:"limit"`
+	// Parts restricts the count to these partitions of the node's index.
+	// With Parts set the reply is []facetPartialWire (per partition, so
+	// the engine can cache each partition's partial separately); without
+	// it the reply is flat []facetBucketWire over the node's whole index
+	// (the broadcast fallback).
+	Parts []int `json:"parts,omitempty"`
+}
+
+// facetPartialWire is one partition's facet buckets in a routed
+// (Parts-carrying) facet reply.
+type facetPartialWire struct {
+	Part    int               `json:"part"`
+	Buckets []facetBucketWire `json:"buckets"`
 }
 
 type facetBucketWire struct {

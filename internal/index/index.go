@@ -143,6 +143,7 @@ func (ix *Index) Add(d *docmodel.Document) {
 		default:
 			ix.valueIndexFor(pv.Path, part).add(pv.Value, d.ID)
 			stats.bump(pv.Path, pv.Value.Kind(), +1)
+			stats.widen(pv.Path, pv.Value)
 		}
 
 		// Full-text postings over string leaves. Positions run across the
@@ -493,10 +494,18 @@ type FacetCount struct {
 // Buckets are merged across the path's partitions; a document contributes
 // to exactly one partition, so counts never double.
 func (ix *Index) Facets(path string, candidates map[docmodel.DocID]struct{}, limit int) []FacetCount {
+	return ix.FacetsIn(nil, path, candidates, limit)
+}
+
+// FacetsIn is Facets restricted to the given partitions (nil = all). A
+// routed facet fan-out carries the partitions the engine selected this
+// node for, so the node counts only those postings runs instead of its
+// whole value index.
+func (ix *Index) FacetsIn(parts []int, path string, candidates map[docmodel.DocID]struct{}, limit int) []FacetCount {
 	// Write lock: value-index reads may lazily sort/compact.
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	runs := ix.runsFor(path, nil)
+	runs := ix.runsFor(path, parts)
 	if len(runs) == 0 {
 		return nil
 	}

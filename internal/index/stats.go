@@ -25,10 +25,18 @@ type partitionStats struct {
 	paths map[string]*pathStats
 }
 
-// pathStats counts one (partition, path)'s live value postings by kind.
+// pathStats counts one (partition, path)'s live value postings by kind
+// and tracks the observed value bounds.
 type pathStats struct {
 	postings int // live scalar leaf postings under the path
 	kinds    [maxKinds]int
+
+	// Observed value range, widen-only: Remove never narrows the bounds
+	// (the true extremum may have left), so they are conservative — safe
+	// for pruning, never for answering. They reset naturally when the
+	// path's postings drain to zero and the entry is deleted.
+	bounded  bool
+	min, max docmodel.Value
 }
 
 // maxKinds bounds the docmodel.Kind histogram (kinds are a small enum;
@@ -66,6 +74,26 @@ func (ps *partitionStats) bump(path string, k docmodel.Kind, delta int) {
 	}
 }
 
+// widen grows the (path)'s observed value bounds to cover v. Caller
+// holds the index write lock; the path entry must exist (bump with a
+// positive delta precedes every widen).
+func (ps *partitionStats) widen(path string, v docmodel.Value) {
+	st, ok := ps.paths[path]
+	if !ok {
+		return
+	}
+	if !st.bounded {
+		st.min, st.max, st.bounded = v, v, true
+		return
+	}
+	if v.Compare(st.min) < 0 {
+		st.min = v
+	}
+	if v.Compare(st.max) > 0 {
+		st.max = v
+	}
+}
+
 // Admits is the router's single-lock admission check: whether the
 // partition has a live value posting under the path — and, when a kind
 // hint is supplied, of a kind the probe could match (Int/Float as one
@@ -100,6 +128,39 @@ func (st *pathStats) admitsKind(k docmodel.Kind) bool {
 
 func numericKind(k docmodel.Kind) bool {
 	return k == docmodel.KindInt || k == docmodel.KindFloat
+}
+
+// AdmitsValueRange reports whether the interval [lo, hi] (nil bounds
+// open, inclusivity as given) can overlap the partition's observed value
+// bounds for the path — the router consults it so a range probe skips
+// partitions whose values provably lie outside the interval, and an
+// equality probe (lo = hi = v, both inclusive) skips partitions whose
+// bounds exclude v. The bounds are widen-only, so false is definitive
+// while true merely means "cannot rule out". Comparison uses the same
+// cross-kind total order the range lookup scans by, so pruning is
+// consistent with what the probe would return.
+func (ix *Index) AdmitsValueRange(part int, path string, lo, hi *docmodel.Value, loInc, hiInc bool) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ps, ok := ix.stats[part]
+	if !ok {
+		return false
+	}
+	st, ok := ps.paths[path]
+	if !ok || !st.bounded {
+		return ok // no bounds observed yet: nothing to prune by
+	}
+	if lo != nil {
+		if c := st.max.Compare(*lo); c < 0 || (c == 0 && !loInc) {
+			return false
+		}
+	}
+	if hi != nil {
+		if c := st.min.Compare(*hi); c > 0 || (c == 0 && !hiInc) {
+			return false
+		}
+	}
+	return true
 }
 
 // MayContainPath reports whether the partition has any live value

@@ -32,6 +32,15 @@ type PartitionMap struct {
 	// completions when windows stack on the same partition.
 	pending map[int]*handoffState
 	gen     uint64
+
+	// pgens holds one generation counter per partition, advanced whenever
+	// that partition's read routing may have changed: its owner set was
+	// rewritten, a hand-off window opened, re-armed, or closed, or a dead
+	// node was purged from its window. The global gen fences whole-map
+	// plans; pgens fence per-partition state such as cached reads — an
+	// entry stamped with a partition's generation is provably from the
+	// current routing epoch of that partition only.
+	pgens []uint64
 }
 
 // handoffState is one partition's open hand-off window.
@@ -69,6 +78,7 @@ func NewPartitionMap(parts, maxOwners, vnodes int) *PartitionMap {
 		maxOwners: maxOwners,
 		owners:    make([][]fabric.NodeID, parts),
 		pending:   map[int]*handoffState{},
+		pgens:     make([]uint64, parts),
 	}
 }
 
@@ -90,6 +100,9 @@ func (pm *PartitionMap) SetNodes(nodes []fabric.NodeID) {
 	}
 	for _, n := range nodes {
 		pm.ring.Add(n)
+	}
+	for p := range pm.pending {
+		pm.pgens[p]++ // discarded window: read routing flips to current owners
 	}
 	pm.pending = map[int]*handoffState{}
 	pm.recomputeLocked()
@@ -191,7 +204,21 @@ func (pm *PartitionMap) CompleteHandoff(p int, gen uint64) bool {
 		return false
 	}
 	delete(pm.pending, p)
+	pm.pgens[p]++ // reads flip from the pre-change owners to the new set
 	return true
+}
+
+// PartitionGen returns the partition's routing generation (see pgens).
+// Cached per-partition state stamped with this value is invalid the
+// moment the counter moves on: version writes are invalidated explicitly,
+// membership movement implicitly through this fence.
+func (pm *PartitionMap) PartitionGen(p int) uint64 {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	if p < 0 || p >= pm.parts {
+		return 0
+	}
+	return pm.pgens[p]
 }
 
 // PendingHandoffs reports how many partitions are mid-hand-off.
@@ -235,6 +262,7 @@ func (pm *PartitionMap) RemoveNode(n fabric.NodeID) []int {
 				}
 			}
 			st.owners = kept
+			pm.pgens[p]++ // window closed or its read-owner set shrank
 			if len(kept) == 0 {
 				delete(pm.pending, p)
 				continue
@@ -269,6 +297,7 @@ func (pm *PartitionMap) recomputeLocked() []int {
 		next := pm.ring.Successors(partitionKey(p), pm.maxOwners)
 		if !slices.Equal(pm.owners[p], next) {
 			changed = append(changed, p)
+			pm.pgens[p]++
 		}
 		pm.owners[p] = next
 	}

@@ -150,6 +150,11 @@ func (sm *StorageManager) ReadOwnersOf(p int) []fabric.NodeID { return sm.pmap.R
 // membership changes.
 func (sm *StorageManager) MembershipGeneration() uint64 { return sm.pmap.Generation() }
 
+// PartitionGen exposes the partition's routing generation — the fence
+// cached per-partition read state is stamped with (see
+// PartitionMap.PartitionGen).
+func (sm *StorageManager) PartitionGen(p int) uint64 { return sm.pmap.PartitionGen(p) }
+
 // RingNodes lists current ring members.
 func (sm *StorageManager) RingNodes() []fabric.NodeID { return sm.pmap.Ring().Nodes() }
 
@@ -335,6 +340,14 @@ func (sm *StorageManager) DocsInPartitions(mask []bool) []docmodel.DocID {
 
 // DocsInPartition returns one partition's registered documents, in
 // deterministic order.
+// PartitionDocCount reports how many registered documents the partition
+// holds — the partition-routed aggregate planner's cheap emptiness check.
+func (sm *StorageManager) PartitionDocCount(p int) int {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return len(sm.byPart[p])
+}
+
 func (sm *StorageManager) DocsInPartition(p int) []docmodel.DocID {
 	sm.mu.Lock()
 	out := append([]docmodel.DocID{}, sm.byPart[p]...)
