@@ -9,11 +9,14 @@
 //	implctl [flags] search  <keyword...>  # demo corpus + ranked search
 //	implctl [flags] sql     <statement>   # demo corpus + SQL
 //	implctl [flags] ingest  <file> [query...]  # ingest a file, optionally search it
+//	implctl [flags] compact               # demo corpus + compaction pass, storage stats
+//	implctl [flags] merge                 # demo corpus + segment merge/GC, storage stats
 //
 // Flags:
 //
 //	-dir PATH          persist data-node stores under PATH (default: in-memory)
-//	-backend NAME      store layout when -dir is set: heapwal (default) or segment
+//	-backend NAME      store layout when -dir is set: heapwal (default), segment,
+//	                   or mmap (segment layout read through memory maps)
 //	-timeout DUR       per-query deadline (default 30s; queries past it are
 //	                   cancelled and their node fan-out abandoned)
 package main
@@ -37,14 +40,17 @@ func main() {
 	log.SetFlags(0)
 	dir := flag.String("dir", "", "persistence directory (empty = in-memory)")
 	backend := flag.String("backend", storage.BackendHeapWAL,
-		"storage backend when -dir is set: heapwal or segment")
+		"storage backend when -dir is set: heapwal, segment, or mmap")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-query deadline")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		log.Fatal("usage: implctl [-dir PATH] [-backend heapwal|segment] demo | search <kw...> | sql <stmt> | ingest <file> [query...]")
+		log.Fatal("usage: implctl [-dir PATH] [-backend heapwal|segment|mmap] demo | search <kw...> | sql <stmt> | ingest <file> [query...] | compact | merge")
 	}
-	app, err := impliance.Open(impliance.Config{Dir: *dir, StorageBackend: *backend})
+	// Workbench-sized segments: the demo corpus is a few hundred KB, so
+	// the production roll-over threshold would never seal a segment and
+	// the compact/merge verbs would have nothing to show.
+	app, err := impliance.Open(impliance.Config{Dir: *dir, StorageBackend: *backend, SegmentBytes: 16 << 10})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,9 +129,39 @@ func main() {
 			fmt.Printf("query matches it: %v\n", len(rows) > 0 && rows[0].Docs[0].ID == id)
 		}
 
+	case "compact":
+		loadDemo(app)
+		printFootprint(app, "before compact")
+		if err := app.Engine().CompactStores(); err != nil {
+			log.Fatal(err)
+		}
+		printFootprint(app, "after compact")
+
+	case "merge":
+		loadDemo(app)
+		printFootprint(app, "before merge")
+		folds, err := app.Engine().MergeStores()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("merge folded sealed segments on %d data nodes\n", folds)
+		printFootprint(app, "after merge")
+
 	default:
 		log.Fatalf("unknown subcommand %q", args[0])
 	}
+}
+
+// printFootprint reports the appliance-wide storage footprint: bytes the
+// chains still reference (live) vs bytes sitting in backend files (disk).
+// In-memory stores report zero disk.
+func printFootprint(app *impliance.Appliance, when string) {
+	live, disk := app.Engine().StorageFootprint()
+	amp := "n/a"
+	if live > 0 && disk > 0 {
+		amp = fmt.Sprintf("%.2f", float64(disk)/float64(live))
+	}
+	fmt.Printf("storage %-14s: live %d KB, disk %d KB, amplification %s\n", when, live/1024, disk/1024, amp)
 }
 
 // loadDemo fills the appliance with the CRM demo corpus and registers the

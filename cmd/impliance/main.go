@@ -22,7 +22,7 @@
 //	-data N        data nodes
 //	-grid N        grid nodes
 //	-dir PATH      persist WALs under PATH (default: in-memory)
-//	-backend NAME  store layout when -dir is set: heapwal (default) or segment
+//	-backend NAME  store layout when -dir is set: heapwal (default), segment, or mmap
 package main
 
 import (
@@ -44,7 +44,7 @@ func main() {
 	dataNodes := flag.Int("data", 4, "data nodes")
 	gridNodes := flag.Int("grid", 2, "grid nodes")
 	dir := flag.String("dir", "", "persistence directory (empty = in-memory)")
-	backend := flag.String("backend", "", "storage backend when -dir is set: heapwal (default) or segment")
+	backend := flag.String("backend", "", "storage backend when -dir is set: heapwal (default), segment, or mmap")
 	flag.Parse()
 
 	app, err := impliance.Open(impliance.Config{

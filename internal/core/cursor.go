@@ -226,17 +226,30 @@ func (e *Engine) RunStream(ctx context.Context, q plan.Query, opts ...CallOption
 // streamScan is the incremental scan behind streaming cursors: the
 // pushed-down filter is dispatched to the ring a bounded window
 // (streamInFlight) at a time, and each node's matching rows are
-// delivered as its partial arrives. Cancellation (or a satisfied
-// limit) stops scheduling the remaining nodes' partitions; in-flight
-// calls are abandoned by the context.
+// delivered page by page as they arrive — time-to-first-row no longer
+// waits on any node's full partial, and no reply ever exceeds a page.
+// Cancellation (or a satisfied limit) stops scheduling the remaining
+// nodes; in-flight calls are abandoned by the context.
 func (e *Engine) streamScan(ctx context.Context, filter expr.Expr, limit int, c *Cursor) error {
 	payload := filter.Encode()
 	nodes := e.ringNodes()
 	type partial struct {
-		raw []byte
-		err error
+		docs []*docmodel.Document
+		err  error
+		done bool // node finished (err says how)
 	}
-	replies := make(chan partial, len(nodes)) // buffered: stragglers never block
+	// Buffered so a node goroutine racing cancellation can always post
+	// its final done marker without blocking; page sends still apply
+	// backpressure through the ctx.Done select below.
+	replies := make(chan partial, len(nodes)+streamInFlight)
+	send := func(pr partial) bool {
+		select {
+		case replies <- pr:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
 	next, inFlight := 0, 0
 	dispatch := func() {
 		for inFlight < streamInFlight && next < len(nodes) && ctx.Err() == nil {
@@ -244,8 +257,14 @@ func (e *Engine) streamScan(ctx context.Context, filter expr.Expr, limit int, c 
 			next++
 			inFlight++
 			go func() {
-				raw, err := e.fab.CallCtx(ctx, dn.node.ID, msgScanFiltered, payload)
-				replies <- partial{raw: raw, err: err}
+				_, err := e.scanNodePaged(ctx, dn, msgScanFiltered, payload,
+					func(docs []*docmodel.Document) error {
+						if !send(partial{docs: docs}) {
+							return ctx.Err()
+						}
+						return nil
+					})
+				replies <- partial{err: err, done: true} // buffered: never blocks
 			}()
 		}
 	}
@@ -254,19 +273,18 @@ func (e *Engine) streamScan(ctx context.Context, filter expr.Expr, limit int, c 
 	emitted := 0
 	for inFlight > 0 {
 		pr := <-replies
-		inFlight--
-		if pr.err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
+		if pr.done {
+			inFlight--
+			if pr.err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return pr.err
 			}
-			return pr.err
+			dispatch()
+			continue
 		}
-		dispatch()
-		batch, err := decodeDocs(pr.raw)
-		if err != nil {
-			return err
-		}
-		for _, d := range batch {
+		for _, d := range pr.docs {
 			if _, dup := seen[d.ID]; dup {
 				continue // replicas: deliver each document once
 			}

@@ -46,14 +46,31 @@ type Config struct {
 
 	// StorageBackend selects each data node's physical store layout:
 	// storage.BackendHeapWAL (default; single log, all versions decoded
-	// on the heap) or storage.BackendSegment (sealed segment files with
+	// on the heap), storage.BackendSegment (sealed segment files with
 	// frame indexes and lazy decode — memory tracks the hot set, not
-	// total history). Ignored when Dir is empty (in-memory stores).
+	// total history), or storage.BackendMmap (the segment layout read
+	// through read-only memory maps; cold reads decode straight from the
+	// page cache). Ignored when Dir is empty (in-memory stores).
 	StorageBackend string
 
 	// SegmentBytes overrides the segment backend's roll-over threshold
 	// (0 = the storage default).
 	SegmentBytes int64
+
+	// RetainVersions bounds how many trailing versions of each document
+	// segment merge keeps on disk (see storage.Options.RetainVersions;
+	// 0 keeps every version).
+	RetainVersions int
+
+	// ScanPageDocs bounds how many documents a data node returns per
+	// scan reply: distributed scans page through each node's corpus, so
+	// peak reply size is O(page), not O(corpus). 0 = default (256);
+	// negative = unpaged single replies (ablation).
+	ScanPageDocs int
+
+	// HotCacheDocs bounds each lazy store's cache of decoded documents
+	// (0 = the storage default; see storage.Options.HotCacheDocs).
+	HotCacheDocs int
 
 	// Codec compresses stored frames (default compress.Flate; E15 ablation
 	// sets compress.None).
@@ -487,11 +504,28 @@ func (e *Engine) bootDataNode(origin uint32) (*dataNode, error) {
 // backend selection and codec, rooted at the node's directory.
 func (e *Engine) storeOptions(dir string) storage.Options {
 	return storage.Options{
-		Dir:          dir,
-		Backend:      e.cfg.StorageBackend,
-		SegmentBytes: e.cfg.SegmentBytes,
-		Codec:        e.cfg.Codec,
+		Dir:            dir,
+		Backend:        e.cfg.StorageBackend,
+		SegmentBytes:   e.cfg.SegmentBytes,
+		HotCacheDocs:   e.cfg.HotCacheDocs,
+		Codec:          e.cfg.Codec,
+		RetainVersions: e.cfg.RetainVersions,
 	}
+}
+
+// defaultScanPageDocs is the per-reply document bound for paged
+// distributed scans when Config.ScanPageDocs is unset.
+const defaultScanPageDocs = 256
+
+// scanPageSize resolves the configured page bound (0 = unpaged).
+func (e *Engine) scanPageSize() int {
+	switch {
+	case e.cfg.ScanPageDocs < 0:
+		return 0
+	case e.cfg.ScanPageDocs == 0:
+		return defaultScanPageDocs
+	}
+	return e.cfg.ScanPageDocs
 }
 
 // engineIDOrigin is the Origin of engine-minted document IDs. It is
@@ -540,6 +574,13 @@ func (e *Engine) recoverFromStores() {
 		st.EachMeta(func(m storage.DocMeta) bool {
 			if m.ID.Origin == engineIDOrigin && m.ID.Seq > maxSeq {
 				maxSeq = m.ID.Seq
+			}
+			if m.Deleted {
+				// Tombstoned documents are not routing state: they stay on
+				// their stores (for audit, until merge reclaims them) but
+				// are neither registered nor migrated — recovery must not
+				// resurrect a deleted document into the ring.
+				return true
 			}
 			if _, dup := seen[m.ID]; !dup {
 				seen[m.ID] = struct{}{}
@@ -712,6 +753,45 @@ func (e *Engine) answeringPartitions(dn *dataNode) []bool {
 func (e *Engine) scanOwned(dn *dataNode, filter expr.Expr, fn func(*docmodel.Document) bool) {
 	ids := e.smgr.DocsInPartitions(e.answeringPartitions(dn))
 	dn.store.ScanSubset(ids, filter, fn)
+}
+
+// CompactStores re-frames every data node's persistent store with the
+// current codec (storage.Store.Compact), one store at a time.
+func (e *Engine) CompactStores() error {
+	for _, dn := range e.dataNodes() {
+		if err := dn.store.Compact(); err != nil {
+			return fmt.Errorf("%s: %w", dn.node.ID, err)
+		}
+	}
+	return nil
+}
+
+// MergeStores runs segment merge/GC on every data node's store and
+// reports how many stores actually folded. Backends without physical
+// segments surface storage.ErrMergeUnsupported.
+func (e *Engine) MergeStores() (folds int, err error) {
+	for _, dn := range e.dataNodes() {
+		merged, err := dn.store.Merge()
+		if err != nil {
+			return folds, fmt.Errorf("%s: %w", dn.node.ID, err)
+		}
+		if merged {
+			folds++
+		}
+	}
+	return folds, nil
+}
+
+// StorageFootprint sums every data node's live vs on-disk byte counts
+// (storage.Store.StorageFootprint): disk−live is the garbage a merge
+// would reclaim.
+func (e *Engine) StorageFootprint() (live, disk uint64) {
+	for _, dn := range e.dataNodes() {
+		l, d := dn.store.StorageFootprint()
+		live += l
+		disk += d
+	}
+	return live, disk
 }
 
 // Metrics is a point-in-time snapshot of appliance health counters.

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -10,6 +11,7 @@ import (
 	"impliance/internal/expr"
 	"impliance/internal/fabric"
 	"impliance/internal/index"
+	"impliance/internal/storage"
 	"impliance/internal/text"
 )
 
@@ -108,31 +110,37 @@ func (e *Engine) dataHandler(dn *dataNode) fabric.Handler {
 			}
 			var docs []*docmodel.Document
 			for _, id := range ids {
-				if d, err := dn.store.Get(id); err == nil {
-					docs = append(docs, d)
+				d, err := dn.store.Get(id)
+				if err != nil {
+					// A miss is an answer (the caller's negative cache relies
+					// on "owner answered but did not return the ID"); a read
+					// or corruption failure is not — surfacing it keeps the
+					// caller from caching a phantom miss.
+					if errors.Is(err, storage.ErrNotFound) {
+						continue
+					}
+					return nil, err
+				}
+				docs = append(docs, d)
+			}
+			return encodeDocs(docs), nil
+
+		case msgScanFiltered, msgScanAll:
+			var req scanReq
+			if len(payload) > 0 {
+				if err := json.Unmarshal(payload, &req); err != nil {
+					return nil, err
 				}
 			}
-			return encodeDocs(docs), nil
-
-		case msgScanFiltered:
-			filter, err := expr.Decode(payload)
-			if err != nil {
-				return nil, err
+			filter := expr.True()
+			if kind == msgScanFiltered {
+				f, err := expr.Decode(req.Filter)
+				if err != nil {
+					return nil, err
+				}
+				filter = f
 			}
-			var docs []*docmodel.Document
-			e.scanOwned(dn, filter, func(d *docmodel.Document) bool {
-				docs = append(docs, d)
-				return true
-			})
-			return encodeDocs(docs), nil
-
-		case msgScanAll:
-			var docs []*docmodel.Document
-			e.scanOwned(dn, expr.True(), func(d *docmodel.Document) bool {
-				docs = append(docs, d)
-				return true
-			})
-			return encodeDocs(docs), nil
+			return e.scanPageReply(dn, filter, req)
 
 		case msgAggPartial:
 			var req aggReq
@@ -255,6 +263,84 @@ func (e *Engine) dataHandler(dn *dataNode) fabric.Handler {
 		default:
 			return nil, fmt.Errorf("core: data node %s: unknown message %q", dn.node.ID, kind)
 		}
+	}
+}
+
+// scanPageReply serves one page of a data node's owned scan: resolve the
+// resume token against the node's current owned-ID list, scan forward
+// collecting at most req.Page matches, and frame the page with the next
+// token. The token names the last *examined* position, not the last
+// match, so a page of non-matching documents still advances the cursor.
+func (e *Engine) scanPageReply(dn *dataNode, filter expr.Expr, req scanReq) ([]byte, error) {
+	ids := e.smgr.DocsInPartitions(e.answeringPartitions(dn))
+	start := 0
+	if req.AfterID != "" {
+		after, err := docmodel.ParseDocID(req.AfterID)
+		if err != nil {
+			return nil, err
+		}
+		if req.AfterPos >= 0 && req.AfterPos < len(ids) && ids[req.AfterPos] == after {
+			start = req.AfterPos + 1
+		} else {
+			// The owned set shifted under the cursor (membership change,
+			// new registrations ahead of the position): find the ID; if it
+			// vanished, restart from the top — the caller dedups.
+			for i, id := range ids {
+				if id == after {
+					start = i + 1
+					break
+				}
+			}
+		}
+	}
+	var docs []*docmodel.Document
+	more := false
+	lastPos := start - 1
+	for i := start; i < len(ids); i++ {
+		if req.Page > 0 && len(docs) >= req.Page {
+			more = true
+			break
+		}
+		dn.store.ScanSubset(ids[i:i+1], filter, func(d *docmodel.Document) bool {
+			docs = append(docs, d)
+			return true
+		})
+		lastPos = i
+	}
+	var lastID docmodel.DocID
+	if lastPos >= 0 && lastPos < len(ids) {
+		lastID = ids[lastPos]
+	}
+	return encodeScanPage(docs, more, lastPos, lastID), nil
+}
+
+// scanNodePaged drives one node's paged scan to completion. With onPage
+// set, each page is handed over as it arrives (streaming) and the
+// returned slice is nil; otherwise pages are collected and returned.
+func (e *Engine) scanNodePaged(ctx context.Context, dn *dataNode, kind string, filter []byte,
+	onPage func([]*docmodel.Document) error) ([]*docmodel.Document, error) {
+	req := scanReq{Filter: filter, Page: e.scanPageSize()}
+	var out []*docmodel.Document
+	for {
+		raw, err := e.fab.CallCtx(ctx, dn.node.ID, kind, mustJSON(req))
+		if err != nil {
+			return nil, err
+		}
+		docs, more, pos, lastID, err := decodeScanPage(raw)
+		if err != nil {
+			return nil, err
+		}
+		if onPage != nil {
+			if err := onPage(docs); err != nil {
+				return nil, err
+			}
+		} else {
+			out = append(out, docs...)
+		}
+		if !more {
+			return out, nil
+		}
+		req.AfterPos, req.AfterID = pos, lastID.String()
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 
 	"impliance/internal/baseline/costopt"
 	"impliance/internal/docmodel"
@@ -196,26 +197,37 @@ func (e *Engine) gather(ctx context.Context, p *plan.Plan, o callOpts) (exec.Ope
 // distributedScan runs the (possibly pushed-down) scan on every data node
 // and returns deduplicated latest versions. With pushdown the filter runs
 // inside the storage nodes and only matches cross the interconnect; the
-// ablation ships everything and filters engine-side (adaptively).
+// ablation ships everything and filters engine-side (adaptively). Each
+// node is paged through independently (scanNodePaged), so no single
+// reply — and no node-side buffer — ever holds more than a page.
 func (e *Engine) distributedScan(ctx context.Context, filter expr.Expr) ([]*docmodel.Document, error) {
-	var results [][]byte
-	var err error
+	kind := msgScanFiltered
+	var payload []byte
 	if e.cfg.DisablePushdown {
-		results, err = e.fanOutData(ctx, msgScanAll, func(*dataNode) []byte { return nil })
+		kind = msgScanAll
 	} else {
-		payload := filter.Encode()
-		results, err = e.fanOutData(ctx, msgScanFiltered, func(*dataNode) []byte { return payload })
+		payload = filter.Encode()
 	}
-	if err != nil {
-		return nil, err
+	nodes := e.ringNodes()
+	perNode := make([][]*docmodel.Document, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, dn := range nodes {
+		wg.Add(1)
+		go func(i int, dn *dataNode) {
+			defer wg.Done()
+			perNode[i], errs[i] = e.scanNodePaged(ctx, dn, kind, payload, nil)
+		}(i, dn)
 	}
-	seen := map[docmodel.DocID]struct{}{}
-	var docs []*docmodel.Document
-	for _, raw := range results {
-		batch, err := decodeDocs(raw)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	seen := map[docmodel.DocID]struct{}{}
+	var docs []*docmodel.Document
+	for _, batch := range perNode {
 		for _, d := range batch {
 			if _, dup := seen[d.ID]; dup {
 				continue // replicas: count each document once

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/plan"
+	"impliance/internal/storage"
+)
+
+// scanReplyHighWater runs one scan query on a fresh engine configured
+// with the given page bound and reports the row count plus the largest
+// single reply the fabric saw during the query.
+func scanReplyHighWater(t *testing.T, pageDocs int) (rows int, maxReply uint64) {
+	t.Helper()
+	e := testEngine(t, func(c *Config) { c.ScanPageDocs = pageDocs })
+	for i := 0; i < 90; i++ {
+		item := Item{Body: docmodel.Object(docmodel.F("k", docmodel.Int(int64(i)))), MediaType: "relational/row", Source: "u"}
+		if _, err := e.Ingest(item); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.DrainBackground()
+	e.fab.ResetNetStats()
+	res, err := e.Run(plan.Query{Filter: expr.Cmp("/k", expr.OpLt, docmodel.Int(80))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Access.Kind != plan.AccessScan {
+		t.Fatalf("query did not take the scan path: %s", res.Plan)
+	}
+	return len(res.Rows), e.fab.NetStats().MaxReplyBytes
+}
+
+// TestScanPagingBoundsReplySize: paging changes peak per-reply size, not
+// results — a tiny page returns the same rows as the unpaged ablation
+// while keeping every reply O(page).
+func TestScanPagingBoundsReplySize(t *testing.T) {
+	pagedRows, pagedMax := scanReplyHighWater(t, 3)
+	unpagedRows, unpagedMax := scanReplyHighWater(t, -1)
+	if pagedRows != 80 || unpagedRows != 80 {
+		t.Fatalf("rows: paged %d, unpaged %d, want 80 each", pagedRows, unpagedRows)
+	}
+	if pagedMax == 0 || unpagedMax == 0 {
+		t.Fatalf("reply high-water marks not recorded: paged %d, unpaged %d", pagedMax, unpagedMax)
+	}
+	if pagedMax >= unpagedMax {
+		t.Errorf("paged max reply %dB not below unpaged %dB", pagedMax, unpagedMax)
+	}
+}
+
+// TestScanResumeTokenRestart: a resume token whose ID vanished from the
+// node's owned set restarts that node's scan from the top (the caller's
+// dedup absorbs the re-delivery), and a paged drive delivers exactly the
+// single-reply document set.
+func TestScanResumeTokenRestart(t *testing.T) {
+	e := testEngine(t, func(c *Config) { c.ScanPageDocs = 2 })
+	for i := 0; i < 30; i++ {
+		item := Item{Body: docmodel.Object(docmodel.F("k", docmodel.Int(int64(i)))), MediaType: "relational/row", Source: "u"}
+		if _, err := e.Ingest(item); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.DrainBackground()
+	dn := e.ringNodes()[0]
+	filter := expr.True().Encode()
+
+	// Baseline: one unpaged reply names the node's full answering set.
+	raw, err := e.fab.Call(dn.node.ID, msgScanFiltered, mustJSON(scanReq{Filter: filter}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, more, _, _, err := decodeScanPage(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more || len(all) == 0 {
+		t.Fatalf("unpaged baseline: %d docs, more=%v", len(all), more)
+	}
+
+	// Paged drive with a 2-doc page returns the same set in order.
+	paged, err := e.scanNodePaged(context.Background(), dn, msgScanFiltered, filter, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paged) != len(all) {
+		t.Fatalf("paged drive returned %d docs, baseline %d", len(paged), len(all))
+	}
+	for i := range all {
+		if paged[i].ID != all[i].ID {
+			t.Fatalf("paged doc %d = %s, baseline %s", i, paged[i].ID, all[i].ID)
+		}
+	}
+
+	// A token whose ID no longer exists restarts from position 0.
+	ghost := docmodel.DocID{Origin: 99, Seq: 9999}
+	raw, err = e.fab.Call(dn.node.ID, msgScanFiltered,
+		mustJSON(scanReq{Filter: filter, AfterPos: 3, AfterID: ghost.String()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted, _, _, _, err := decodeScanPage(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restarted) != len(all) {
+		t.Fatalf("vanished token returned %d docs, want full restart (%d)", len(restarted), len(all))
+	}
+}
+
+// TestGetBatchDistinguishesMissFromReadError: a genuinely absent ID is
+// silently skipped (the caller's negative cache depends on it), while a
+// frame read failure surfaces as an error instead of masquerading as a
+// miss.
+func TestGetBatchDistinguishesMissFromReadError(t *testing.T) {
+	dir := t.TempDir()
+	e := testEngine(t, func(c *Config) {
+		c.Dir = dir
+		c.StorageBackend = storage.BackendSegment
+		c.HotCacheDocs = 1 // keep reads hitting disk, not the decoded cache
+	})
+	for i := 0; i < 30; i++ {
+		if _, err := e.Ingest(textItem(fmt.Sprintf("doc %d", i), "unit")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.DrainBackground()
+	var dn *dataNode
+	var ids []docmodel.DocID
+	for _, cand := range e.dataNodes() {
+		ids = ids[:0]
+		cand.store.EachMeta(func(m storage.DocMeta) bool {
+			ids = append(ids, m.ID)
+			return true
+		})
+		if len(ids) >= 2 {
+			dn = cand
+			break
+		}
+	}
+	if dn == nil {
+		t.Fatal("no data node holds two documents; scenario degenerate")
+	}
+
+	missing := docmodel.DocID{Origin: 99, Seq: 9999}
+	raw, err := e.fab.Call(dn.node.ID, msgGetBatch,
+		mustJSON(getBatchReq{IDs: []string{ids[0].String(), missing.String()}}))
+	if err != nil {
+		t.Fatalf("batch with a missing ID must answer, not error: %v", err)
+	}
+	docs, err := decodeDocs(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 || docs[0].ID != ids[0] {
+		t.Fatalf("batch returned %d docs, want just %s", len(docs), ids[0])
+	}
+
+	// Corrupt every frame on disk (same length, so in-flight offsets stay
+	// valid) and re-fetch the node's full set: at most one document can
+	// still be served from the single-slot decoded cache, so the batch
+	// must hit a corrupt frame and surface the failure.
+	logs, err := filepath.Glob(filepath.Join(dir, dn.node.ID.String(), "seg-*.log"))
+	if err != nil || len(logs) == 0 {
+		t.Fatalf("segment logs: %v (%d)", err, len(logs))
+	}
+	for _, lf := range logs {
+		st, err := os.Stat(lf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(lf, bytes.Repeat([]byte{0xFF}, int(st.Size())), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.fab.Call(dn.node.ID, msgGetBatch, mustJSON(getBatchReq{IDs: idStrings(ids)})); err == nil {
+		t.Fatal("corrupt frames answered as if healthy; read errors must not look like misses")
+	}
+}

@@ -59,6 +59,59 @@ func decodeDocs(b []byte) ([]*docmodel.Document, error) {
 	return out, nil
 }
 
+// Paged scan protocol. A scan request names the pushed-down filter and a
+// page bound; the node replies with up to Page matching documents plus a
+// resume token (the position and ID of the last document it *examined*,
+// matching or not). The caller re-calls with the token until more=false,
+// so peak reply size — and the caller's peak undecoded buffer — is
+// O(page), not O(corpus). The token is position-hinted but ID-verified:
+// if membership or registration changed under the cursor the node falls
+// back to searching for the ID, and a vanished ID restarts the node's
+// scan from the top (the caller's cross-node dedup absorbs re-delivery).
+
+type scanReq struct {
+	Filter   []byte `json:"filter,omitempty"` // expr.Encode; absent for scan-all
+	Page     int    `json:"page,omitempty"`   // max docs per reply; <= 0 = everything
+	AfterPos int    `json:"after_pos,omitempty"`
+	AfterID  string `json:"after_id,omitempty"`
+}
+
+// encodeScanPage frames one scan reply:
+// flags byte (bit0 = more) | pos+1 uvarint | origin uvarint | seq uvarint | doc batch.
+func encodeScanPage(docs []*docmodel.Document, more bool, pos int, lastID docmodel.DocID) []byte {
+	var flags byte
+	if more {
+		flags = 1
+	}
+	buf := make([]byte, 0, 32)
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(pos+1)) // -1 (nothing examined) → 0
+	buf = binary.AppendUvarint(buf, uint64(lastID.Origin))
+	buf = binary.AppendUvarint(buf, lastID.Seq)
+	return append(buf, encodeDocs(docs)...)
+}
+
+// decodeScanPage parses encodeScanPage output.
+func decodeScanPage(b []byte) (docs []*docmodel.Document, more bool, pos int, lastID docmodel.DocID, err error) {
+	if len(b) < 1 {
+		return nil, false, 0, docmodel.DocID{}, fmt.Errorf("core: empty scan page")
+	}
+	more = b[0]&1 != 0
+	off := 1
+	vals := [3]uint64{}
+	for i := range vals {
+		v, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return nil, false, 0, docmodel.DocID{}, fmt.Errorf("core: truncated scan page header")
+		}
+		vals[i], off = v, off+n
+	}
+	pos = int(vals[0]) - 1
+	lastID = docmodel.DocID{Origin: uint32(vals[1]), Seq: vals[2]}
+	docs, err = decodeDocs(b[off:])
+	return docs, more, pos, lastID, err
+}
+
 // wire control structs (JSON).
 
 type searchReq struct {

@@ -19,8 +19,12 @@ var (
 	ErrCorrupt = errors.New("docmodel: corrupt encoding")
 )
 
-// codecVersion 2 added the data-class byte to the header.
-const codecVersion = 2
+// codecVersion 2 added the data-class byte to the header; version 3
+// added the flags byte (bit0 = tombstone) behind it.
+const codecVersion = 3
+
+// Header flag bits (codec version 3+).
+const hdrFlagDeleted = 1
 
 // EncodeDocument serializes a document version into a fresh buffer.
 func EncodeDocument(d *Document) []byte {
@@ -36,6 +40,11 @@ func EncodeDocument(d *Document) []byte {
 	buf = appendUvarint(buf, d.Annotates.Seq)
 	buf = appendString(buf, d.Annotator)
 	buf = append(buf, d.Class)
+	var flags byte
+	if d.Deleted {
+		flags |= hdrFlagDeleted
+	}
+	buf = append(buf, flags)
 	buf = appendValue(buf, d.Root)
 	return buf
 }
@@ -54,7 +63,7 @@ func DecodeDocument(b []byte) (*Document, error) {
 		MediaType: h.MediaType, Source: h.Source,
 		IngestedAt: h.IngestedAt,
 		Annotates:  h.Annotates, Annotator: h.Annotator,
-		Class: h.Class,
+		Class: h.Class, Deleted: h.Deleted,
 	}
 	d.Root = r.value(0)
 	if r.err != nil {
@@ -70,7 +79,7 @@ func DecodeDocument(b []byte) (*Document, error) {
 // returning the reader positioned at the body. DecodeDocument and
 // DecodeDocumentHeader both build on it so the two can never drift.
 func decodeHeaderPrefix(b []byte) (DocHeader, *reader, error) {
-	if len(b) == 0 || (b[0] != 1 && b[0] != codecVersion) {
+	if len(b) == 0 || b[0] < 1 || b[0] > codecVersion {
 		return DocHeader{}, nil, fmt.Errorf("%w: bad codec version", ErrCorrupt)
 	}
 	ver := b[0]
@@ -87,6 +96,10 @@ func decodeHeaderPrefix(b []byte) (DocHeader, *reader, error) {
 	h.Annotator = r.str()
 	if ver >= 2 {
 		h.Class = r.byte()
+	}
+	if ver >= 3 {
+		flags := r.byte()
+		h.Deleted = flags&hdrFlagDeleted != 0
 	}
 	if r.err != nil {
 		return DocHeader{}, nil, r.err
@@ -108,6 +121,7 @@ type DocHeader struct {
 	Annotates  DocID
 	Annotator  string
 	Class      uint8
+	Deleted    bool
 }
 
 // IsAnnotation mirrors Document.IsAnnotation for header-only decodes.

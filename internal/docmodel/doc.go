@@ -109,6 +109,13 @@ type Document struct {
 	// document at its original replication factor instead of inferring
 	// the class from the document shape.
 	Class uint8
+
+	// Deleted marks this version as a tombstone: the document is gone as
+	// of this version. Deletion is itself an append (the store never
+	// updates in place), so tombstones replicate and replay like any
+	// other version; segment merge is what eventually reclaims fully
+	// tombstoned chains from disk.
+	Deleted bool
 }
 
 // Key returns the version key for this document version.

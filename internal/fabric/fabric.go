@@ -74,6 +74,10 @@ type NetStats struct {
 	Bytes    uint64
 	Drops    uint64
 	Abandons uint64
+	// MaxReplyBytes is the largest single reply payload observed since
+	// the last reset — the paged-scan experiments read it to verify that
+	// paging bounds peak per-reply size at O(page), not O(corpus).
+	MaxReplyBytes uint64
 }
 
 // Node is one simulated machine.
@@ -175,6 +179,7 @@ type Fabric struct {
 	bytes    atomic.Uint64
 	drops    atomic.Uint64
 	abandons atomic.Uint64
+	maxReply atomic.Uint64
 }
 
 // New creates an empty fabric.
@@ -261,11 +266,23 @@ func (f *Fabric) CallCtx(ctx context.Context, to NodeID, msgKind string, payload
 		if res.err == nil {
 			f.msgs.Add(1)
 			f.bytes.Add(uint64(len(res.payload) + 16))
+			f.noteReply(uint64(len(res.payload)))
 		}
 		return res.payload, res.err
 	case <-ctx.Done():
 		f.abandons.Add(1)
 		return nil, ctx.Err()
+	}
+}
+
+// noteReply records a reply payload size into the MaxReplyBytes
+// high-water mark.
+func (f *Fabric) noteReply(n uint64) {
+	for {
+		cur := f.maxReply.Load()
+		if n <= cur || f.maxReply.CompareAndSwap(cur, n) {
+			return
+		}
 	}
 }
 
@@ -331,10 +348,11 @@ func (f *Fabric) Revive(id NodeID) bool {
 // NetStats snapshots the interconnect counters.
 func (f *Fabric) NetStats() NetStats {
 	return NetStats{
-		Messages: f.msgs.Load(),
-		Bytes:    f.bytes.Load(),
-		Drops:    f.drops.Load(),
-		Abandons: f.abandons.Load(),
+		Messages:      f.msgs.Load(),
+		Bytes:         f.bytes.Load(),
+		Drops:         f.drops.Load(),
+		Abandons:      f.abandons.Load(),
+		MaxReplyBytes: f.maxReply.Load(),
 	}
 }
 
@@ -344,6 +362,7 @@ func (f *Fabric) ResetNetStats() {
 	f.bytes.Store(0)
 	f.drops.Store(0)
 	f.abandons.Store(0)
+	f.maxReply.Store(0)
 }
 
 // Close stops all node loops. The fabric is unusable afterwards.

@@ -32,11 +32,12 @@ type FrameInfo struct {
 	Ver   uint32
 	Class uint8
 	Ann   bool
+	Del   bool // tombstone version
 }
 
 // frameInfoOf extracts a document's frame identity.
 func frameInfoOf(d *docmodel.Document) FrameInfo {
-	return FrameInfo{ID: d.ID, Ver: d.Version, Class: d.Class, Ann: d.IsAnnotation()}
+	return FrameInfo{ID: d.ID, Ver: d.Version, Class: d.Class, Ann: d.IsAnnotation(), Del: d.Deleted}
 }
 
 // FrameMeta describes one frame surfaced during Replay.
@@ -51,6 +52,11 @@ func frameInfoOf(d *docmodel.Document) FrameInfo {
 type FrameMeta struct {
 	Loc Locator
 	Raw []byte
+	// Size is the frame's on-disk (framed, compressed) byte count — the
+	// replay-side twin of Append's stored return, so the Store's live-byte
+	// accounting survives restarts without re-reading data files (index
+	// replay derives it from offset deltas).
+	Size int
 	FrameInfo
 }
 

@@ -230,12 +230,68 @@ func readUvarint(br io.ByteReader) (uint64, int, error) {
 
 // DecodeFrame parses and verifies a frame held in memory, returning the
 // raw bytes and the total number of frame bytes consumed (frames may be
-// concatenated). It is the slice-shaped convenience over the one frame
-// parser, FrameReader — there is deliberately no second implementation
-// of the wire format.
+// concatenated). The returned raw bytes are always an owned copy; use
+// DecodeFrameAt when the input slice outlives the call and a view is
+// enough.
 func DecodeFrame(b []byte) (raw []byte, consumed int, err error) {
 	if len(b) == 0 {
 		return nil, 0, fmt.Errorf("%w: empty frame", ErrFrame)
 	}
 	return NewFrameReader(bytes.NewReader(b)).Next()
+}
+
+// DecodeFrameAt parses and verifies the frame at the start of b without
+// copying the payload when the codec allows it: for uncompressed frames
+// the returned raw bytes are a sub-slice of b (the zero-copy path the
+// mmap backend reads sealed segments through — the page cache is the
+// buffer), for compressed frames the decompression output is the only
+// copy. Callers must not retain raw past b's lifetime; the storage layer
+// decodes into owned document values before releasing its read lock.
+func DecodeFrameAt(b []byte) (raw []byte, consumed int, err error) {
+	if len(b) < 3 {
+		return nil, 0, fmt.Errorf("%w: torn magic", ErrFrame)
+	}
+	if b[0] != magic0 || b[1] != magic1 {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrFrame)
+	}
+	codec, ok := codecByID[b[2]]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: unknown codec id %d", ErrFrame, b[2])
+	}
+	n := 3
+	rawLen, rn := binary.Uvarint(b[n:])
+	if rn <= 0 {
+		return nil, 0, fmt.Errorf("%w: bad rawLen", ErrFrame)
+	}
+	n += rn
+	compLen, cn := binary.Uvarint(b[n:])
+	if cn <= 0 {
+		return nil, 0, fmt.Errorf("%w: bad compLen", ErrFrame)
+	}
+	n += cn
+	if rawLen > maxFrameLen || compLen > maxFrameLen {
+		return nil, 0, fmt.Errorf("%w: oversized frame", ErrFrame)
+	}
+	if len(b)-n < 4 {
+		return nil, 0, fmt.Errorf("%w: truncated crc", ErrFrame)
+	}
+	crc := binary.LittleEndian.Uint32(b[n:])
+	n += 4
+	if uint64(len(b)-n) < compLen {
+		return nil, 0, fmt.Errorf("%w: truncated payload", ErrFrame)
+	}
+	payload := b[n : n+int(compLen)]
+	n += int(compLen)
+	if codec == None {
+		raw = payload // zero-copy view into b
+	} else if raw, err = codec.Decompress(payload); err != nil {
+		return nil, 0, err
+	}
+	if uint64(len(raw)) != rawLen {
+		return nil, 0, fmt.Errorf("%w: raw length mismatch", ErrFrame)
+	}
+	if crc32.ChecksumIEEE(raw) != crc {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrFrame)
+	}
+	return raw, n, nil
 }

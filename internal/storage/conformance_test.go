@@ -39,6 +39,12 @@ func conformanceBackends() []backendConfig {
 		{"segment-flate", func(dir string) Options {
 			return Options{Dir: dir, Backend: BackendSegment, SegmentBytes: 2048, Codec: compress.Flate}
 		}},
+		{"mmap", func(dir string) Options {
+			return Options{Dir: dir, Backend: BackendMmap, SegmentBytes: 2048}
+		}},
+		{"mmap-flate", func(dir string) Options {
+			return Options{Dir: dir, Backend: BackendMmap, SegmentBytes: 2048, Codec: compress.Flate}
+		}},
 	}
 }
 
@@ -714,7 +720,7 @@ func TestOpenRejectsForeignLayout(t *testing.T) {
 }
 
 func TestOpenRejectsUnknownBackend(t *testing.T) {
-	if _, err := Open(1, Options{Dir: t.TempDir(), Backend: "mmap"}); err == nil {
+	if _, err := Open(1, Options{Dir: t.TempDir(), Backend: "bogus"}); err == nil {
 		t.Error("unknown backend must fail")
 	}
 	// Even memory-only stores validate the name, so a typo fails in the

@@ -79,7 +79,7 @@ func (w *heapWAL) replay(fn func(FrameMeta) error) error {
 			}
 			return nil
 		}
-		if err := fn(FrameMeta{Loc: Locator{Off: off}, Raw: raw}); err != nil {
+		if err := fn(FrameMeta{Loc: Locator{Off: off}, Raw: raw, Size: n}); err != nil {
 			return err
 		}
 		off += int64(n)
@@ -203,6 +203,18 @@ func (w *heapWAL) Compact(commit func(remap map[Locator]Locator, swap func() err
 		w.size = newOff + tail
 		return nil
 	})
+}
+
+// DiskBytes reports the log's on-disk size for StorageFootprint.
+func (w *heapWAL) DiskBytes() (uint64, error) {
+	st, err := os.Stat(w.path())
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return uint64(st.Size()), nil
 }
 
 func (w *heapWAL) Close() error {

@@ -1,0 +1,110 @@
+// The mmap backend: the segment layout read through read-only memory
+// maps. Sealed segments are immutable, so mapping them MAP_SHARED turns
+// every cold read into a page-cache access with no read(2) round trip
+// and no heap buffer for the compressed frame — with the "none" codec
+// the frame payload is returned as a zero-copy view of the mapping.
+//
+// Safety of the views rests on the Store's locking contract (backend.go):
+// ReadAt runs under the Store's read lock and its result is fully copied
+// by DecodeDocument before the lock is released, while munmap only
+// happens inside compaction/merge swaps (under the write lock) or Close.
+// A view therefore never outlives its mapping.
+//
+// The on-disk format is byte-identical to the segment backend — the two
+// open each other's directories — so everything but the read path is
+// inherited: append/seal/replay, compaction, merge, crash recovery.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"impliance/internal/storage/compress"
+)
+
+type mmapBackend struct {
+	*segmentBackend
+
+	// maps caches one read-only mapping per sealed segment, built lazily
+	// on first cold read. A nil value is a negative entry: the segment
+	// could not be mapped (platform without mmap, empty or oversized
+	// file) and reads fall back to pread permanently, not per call.
+	mapsMu sync.Mutex
+	maps   map[int][]byte
+}
+
+func newMmapBackend(dir string, codec compress.Codec, syncEvery bool, segBytes int64) *mmapBackend {
+	m := &mmapBackend{
+		segmentBackend: newSegmentBackend(dir, codec, syncEvery, segBytes),
+		maps:           map[int][]byte{},
+	}
+	// Compaction and merge rename new data over a sealed segment inside
+	// their commit swaps; the hook drops our mapping of the old inode
+	// along with the pread handle.
+	m.segmentBackend.onInvalidate = m.unmapSeg
+	return m
+}
+
+func (m *mmapBackend) Name() string { return "mmap" }
+
+func (m *mmapBackend) ReadAt(loc Locator) ([]byte, error) {
+	b, ok := m.mapping(loc.Seg)
+	if !ok {
+		// Active segment (still growing, never mapped) or unmappable.
+		return m.segmentBackend.ReadAt(loc)
+	}
+	if loc.Off < 0 || loc.Off >= int64(len(b)) {
+		return nil, fmt.Errorf("storage: segment %d read at %d: offset beyond mapping (%d bytes)", loc.Seg, loc.Off, len(b))
+	}
+	raw, _, err := compress.DecodeFrameAt(b[loc.Off:])
+	if err != nil {
+		return nil, fmt.Errorf("storage: segment %d read at %d: %w", loc.Seg, loc.Off, err)
+	}
+	return raw, nil
+}
+
+// mapping returns the cached mapping for a sealed segment, building it
+// on first use. ok=false routes the read to the pread path.
+func (m *mmapBackend) mapping(seg int) ([]byte, bool) {
+	m.mapsMu.Lock()
+	defer m.mapsMu.Unlock()
+	if b, cached := m.maps[seg]; cached {
+		return b, b != nil
+	}
+	if !m.segmentBackend.isSealed(seg) {
+		// Not negatively cached: the segment may seal later.
+		return nil, false
+	}
+	b, err := mmapFile(m.segPath(seg))
+	if err != nil || len(b) == 0 {
+		b = nil
+	}
+	m.maps[seg] = b
+	return b, b != nil
+}
+
+// unmapSeg drops a segment's mapping. Called under readersMu from
+// dropReader, which itself runs inside a commit swap holding the Store's
+// write lock — no reader can hold a view of the old mapping.
+func (m *mmapBackend) unmapSeg(seg int) {
+	m.mapsMu.Lock()
+	defer m.mapsMu.Unlock()
+	if b, ok := m.maps[seg]; ok {
+		if b != nil {
+			munmapBytes(b)
+		}
+		delete(m.maps, seg)
+	}
+}
+
+func (m *mmapBackend) Close() error {
+	m.mapsMu.Lock()
+	for seg, b := range m.maps {
+		if b != nil {
+			munmapBytes(b)
+		}
+		delete(m.maps, seg)
+	}
+	m.mapsMu.Unlock()
+	return m.segmentBackend.Close()
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package storage
+
+import "errors"
+
+// Non-unix platforms get the mmap backend's interface with the segment
+// backend's pread reads: mmapFile always fails, the mmap layer caches
+// the failure, and every ReadAt falls back.
+func mmapFile(string) ([]byte, error) {
+	return nil, errors.New("storage: mmap unsupported on this platform")
+}
+
+func munmapBytes([]byte) {}

@@ -1,0 +1,34 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps a whole file read-only and shared (page cache, no
+// private copy). Returns a nil slice for an empty file — mapping zero
+// bytes is an error on most kernels and there is nothing to read anyway.
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil
+	}
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("storage: segment too large to map: %d bytes", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapBytes(b []byte) { _ = syscall.Munmap(b) }

@@ -58,6 +58,11 @@ type segmentBackend struct {
 	// never serialize on be.mu.
 	readersMu sync.Mutex
 	readers   map[int]*os.File
+
+	// onInvalidate, when set, is called (under readersMu) whenever a
+	// segment's cached state must be dropped because its file was renamed
+	// over (compaction/merge swap). The mmap backend hooks it to unmap.
+	onInvalidate func(seg int)
 }
 
 // segIdxEntry is one frame's record in a segment index.
@@ -87,6 +92,12 @@ func (s *segmentBackend) idxPath(n int) string {
 // open discovers segments, replays them (indexes where possible, frame
 // scans otherwise), and readies the active segment for appends.
 func (s *segmentBackend) open(fn func(FrameMeta) error) error {
+	// A committed-but-interrupted merge is finished (and uncommitted
+	// staging swept) before discovery, so replay only ever sees the
+	// pre-merge or post-merge file set, never a mix.
+	if err := s.recoverMerge(); err != nil {
+		return err
+	}
 	segs, err := s.discover()
 	if err != nil {
 		return err
@@ -177,8 +188,19 @@ func (s *segmentBackend) discover() ([]int, error) {
 func (s *segmentBackend) loadSegment(seg int, isActive bool, fn func(FrameMeta) error) (entries []segIdxEntry, fromIndex bool, err error) {
 	if !isActive {
 		if entries, err := s.readIndex(seg); err == nil {
-			for _, e := range entries {
-				if err := fn(FrameMeta{Loc: Locator{Seg: seg, Off: e.off}, FrameInfo: e.info}); err != nil {
+			// Frame sizes fall out of the offset deltas (frames are laid
+			// out back to back); the last entry runs to end of file.
+			st, err := os.Stat(s.segPath(seg))
+			if err != nil {
+				return nil, false, fmt.Errorf("storage: %w", err)
+			}
+			for i, e := range entries {
+				end := st.Size()
+				if i+1 < len(entries) {
+					end = entries[i+1].off
+				}
+				m := FrameMeta{Loc: Locator{Seg: seg, Off: e.off}, Size: int(end - e.off), FrameInfo: e.info}
+				if err := fn(m); err != nil {
 					return nil, false, err
 				}
 			}
@@ -220,10 +242,10 @@ func (s *segmentBackend) loadSegment(seg int, isActive bool, fn func(FrameMeta) 
 			return nil, false, fmt.Errorf("storage: sealed segment %d undecodable at %d: %w", seg, off, err)
 		}
 		e := segIdxEntry{off: off, info: FrameInfo{
-			ID: hdr.ID, Ver: hdr.Version, Class: hdr.Class, Ann: hdr.IsAnnotation(),
+			ID: hdr.ID, Ver: hdr.Version, Class: hdr.Class, Ann: hdr.IsAnnotation(), Del: hdr.Deleted,
 		}}
 		entries = append(entries, e)
-		if err := fn(FrameMeta{Loc: Locator{Seg: seg, Off: off}, Raw: raw, FrameInfo: e.info}); err != nil {
+		if err := fn(FrameMeta{Loc: Locator{Seg: seg, Off: off}, Raw: raw, Size: n, FrameInfo: e.info}); err != nil {
 			return nil, false, err
 		}
 		off += int64(n)
@@ -322,14 +344,29 @@ func (s *segmentBackend) reader(seg int) (*os.File, error) {
 	return f, nil
 }
 
+// isSealed reports whether the ordinal names a sealed segment.
+func (s *segmentBackend) isSealed(seg int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range s.sealed {
+		if n == seg {
+			return true
+		}
+	}
+	return false
+}
+
 // dropReader invalidates a segment's cached handle (its file was just
-// renamed over by compaction; the old inode's offsets no longer match
-// the remapped locators).
+// renamed over by compaction or merge; the old inode's offsets no longer
+// match the remapped locators).
 func (s *segmentBackend) dropReader(seg int) {
 	s.readersMu.Lock()
 	if f, ok := s.readers[seg]; ok {
 		f.Close()
 		delete(s.readers, seg)
+	}
+	if s.onInvalidate != nil {
+		s.onInvalidate(seg)
 	}
 	s.readersMu.Unlock()
 }
@@ -392,7 +429,7 @@ func (s *segmentBackend) compactSegment(seg int, commit func(remap map[Locator]L
 		}
 		remap[Locator{Seg: seg, Off: off}] = Locator{Seg: seg, Off: newOff}
 		entries = append(entries, segIdxEntry{off: newOff, info: FrameInfo{
-			ID: hdr.ID, Ver: hdr.Version, Class: hdr.Class, Ann: hdr.IsAnnotation(),
+			ID: hdr.ID, Ver: hdr.Version, Class: hdr.Class, Ann: hdr.IsAnnotation(), Del: hdr.Deleted,
 		}})
 		off += int64(n)
 		newOff += int64(len(frame))
@@ -460,7 +497,7 @@ func (s *segmentBackend) Close() error {
 //
 //	magic "ISGX" | version 1 | count uvarint | entries... | crc32(le)
 //	entry: off uvarint | origin uvarint | seq uvarint | ver uvarint |
-//	       class byte | flags byte (bit0 = annotation)
+//	       class byte | flags byte (bit0 = annotation, bit1 = tombstone)
 //
 // The crc covers everything before it; a short or mismatching file is
 // treated as missing and rebuilt from the segment's frames.
@@ -498,6 +535,9 @@ func (s *segmentBackend) writeIndexTo(path string, entries []segIdxEntry) error 
 		var flags byte
 		if e.info.Ann {
 			flags |= 1
+		}
+		if e.info.Del {
+			flags |= 2
 		}
 		buf.WriteByte(flags)
 	}
@@ -550,6 +590,7 @@ func (s *segmentBackend) readIndex(seg int) ([]segIdxEntry, error) {
 			Ver:   uint32(vals[3]),
 			Class: class,
 			Ann:   flags&1 != 0,
+			Del:   flags&2 != 0,
 		}
 		entries = append(entries, e)
 	}

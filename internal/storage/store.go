@@ -39,6 +39,9 @@ var (
 	ErrVersionGap    = errors.New("storage: version gap")
 	ErrClosed        = errors.New("storage: store closed")
 	ErrWrongOrigin   = errors.New("storage: document id minted by another store")
+	// ErrMergeUnsupported is returned by Merge on backends without
+	// physical segment GC (heapwal, memory).
+	ErrMergeUnsupported = errors.New("storage: backend does not support merge")
 
 	errNoRandomAccess = errors.New("storage: backend does not support random reads")
 )
@@ -47,6 +50,11 @@ var (
 const (
 	BackendHeapWAL = "heapwal"
 	BackendSegment = "segment"
+	// BackendMmap is the segment layout read through read-only memory
+	// maps: sealed segments live in the page cache and cold reads decode
+	// zero-copy views instead of pread+buffer copies. On-disk format is
+	// identical to BackendSegment — the two open each other's directories.
+	BackendMmap = "mmap"
 )
 
 // Options configures a store.
@@ -72,6 +80,14 @@ type Options struct {
 	// appliance model batches syncs, and the simulator measures relative
 	// costs, not disk latencies.
 	SyncEveryWrite bool
+	// MergeMinSegments is the fewest sealed segments Merge will fold
+	// (default 2; a single sealed segment has nothing to fold with).
+	MergeMinSegments int
+	// RetainVersions bounds how many trailing versions of each chain a
+	// Merge keeps on disk: versions at or below head−RetainVersions are
+	// dropped. 0 (the default) keeps every version — Merge then only
+	// reclaims fully tombstoned chains and re-frames, never GCs history.
+	RetainVersions int
 }
 
 // Stats are cumulative operation and byte counters, readable concurrently.
@@ -94,6 +110,15 @@ type Stats struct {
 	// corruption). Point reads surface these as errors; scans skip the
 	// document and rely on this counter to make the loss observable.
 	ReadErrors atomic.Uint64
+
+	// LiveBytes is the stored (framed, compressed) size of every version
+	// still referenced by a chain, as of when each frame was written.
+	// Disk bytes ÷ LiveBytes is the store's current space amplification;
+	// Merge closes the gap by dropping frames no chain references.
+	LiveBytes atomic.Uint64
+
+	// Merges counts completed segment merges (no-op calls excluded).
+	Merges atomic.Uint64
 }
 
 // centry is one version slot in a chain: where the frame lives, plus the
@@ -102,8 +127,10 @@ type Stats struct {
 type centry struct {
 	doc   *docmodel.Document
 	loc   Locator
+	size  int // stored frame bytes, for live-byte accounting
 	class uint8
 	ann   bool
+	del   bool // tombstone version
 }
 
 // Store is a single data node's document repository.
@@ -143,8 +170,11 @@ func Open(origin uint32, opts Options) (*Store, error) {
 	if opts.HotCacheDocs <= 0 {
 		opts.HotCacheDocs = 1024
 	}
+	if opts.MergeMinSegments <= 0 {
+		opts.MergeMinSegments = 2
+	}
 	switch opts.Backend {
-	case "", BackendHeapWAL, BackendSegment:
+	case "", BackendHeapWAL, BackendSegment, BackendMmap:
 	default:
 		// Validate the name even for memory-only stores, so a typo fails
 		// in the simulation that wrote it, not at first deployment.
@@ -180,6 +210,13 @@ func Open(origin uint32, opts Options) (*Store, error) {
 			return nil, err
 		}
 		be = newSegmentBackend(opts.Dir, opts.Codec, opts.SyncEveryWrite, opts.SegmentBytes)
+	case BackendMmap:
+		// Same on-disk layout as the segment backend, so only heapwal
+		// directories are foreign.
+		if err := rejectForeignLayout(opts.Dir, "store.wal", BackendMmap, BackendHeapWAL); err != nil {
+			return nil, err
+		}
+		be = newMmapBackend(opts.Dir, opts.Codec, opts.SyncEveryWrite, opts.SegmentBytes)
 	default:
 		return nil, fmt.Errorf("storage: unknown backend %q", opts.Backend)
 	}
@@ -213,7 +250,7 @@ func rejectForeignLayout(dir, foreignGlob, want, holds string) error {
 // pins — the original recovery behavior.
 func (s *Store) replayFrame(m FrameMeta) error {
 	if s.lazy {
-		s.installEntry(m.ID, m.Ver, &centry{loc: m.Loc, class: m.Class, ann: m.Ann})
+		s.installEntry(m.ID, m.Ver, &centry{loc: m.Loc, size: m.Size, class: m.Class, ann: m.Ann, del: m.Del})
 		return nil
 	}
 	doc, err := docmodel.DecodeDocument(m.Raw)
@@ -222,7 +259,10 @@ func (s *Store) replayFrame(m FrameMeta) error {
 		// dropping everything after it.
 		return nil
 	}
-	s.installEntry(doc.ID, doc.Version, &centry{doc: doc, loc: m.Loc, class: doc.Class, ann: doc.IsAnnotation()})
+	s.installEntry(doc.ID, doc.Version, &centry{
+		doc: doc, loc: m.Loc, size: m.Size,
+		class: doc.Class, ann: doc.IsAnnotation(), del: doc.Deleted,
+	})
 	return nil
 }
 
@@ -239,6 +279,7 @@ func (s *Store) installEntry(id docmodel.DocID, ver uint32, ce *centry) {
 	}
 	if chain[ver-1] == nil {
 		chain[ver-1] = ce
+		s.stats.LiveBytes.Add(uint64(ce.size))
 	}
 	if _, existed := s.chains[id]; !existed {
 		s.order = append(s.order, id)
@@ -332,7 +373,7 @@ func (s *Store) append(d *docmodel.Document) error {
 	}
 	s.stats.StoredBytes.Add(uint64(stored))
 	s.stats.RawBytes.Add(uint64(len(raw)))
-	ce := &centry{loc: loc, class: d.Class, ann: d.IsAnnotation()}
+	ce := &centry{loc: loc, size: stored, class: d.Class, ann: d.IsAnnotation(), del: d.Deleted}
 	if s.lazy {
 		// Fresh writes are the hottest reads (the indexer fetches them
 		// right back); cache the decoded form instead of pinning it.
@@ -401,10 +442,55 @@ func (s *Store) getDoc(id docmodel.DocID, cache bool) (*docmodel.Document, error
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	chain := s.chains[id]
-	if head := headOf(chain); head > 0 {
+	// A tombstoned head means the document is deleted: point reads and
+	// scans treat it as absent, while GetVersion/EachVersion still serve
+	// the tombstone itself (replication and audit see every version).
+	if head := headOf(chain); head > 0 && !chain[head-1].del {
 		return s.materializeLocked(docmodel.VersionKey{Doc: id, Ver: head}, chain[head-1], cache)
 	}
 	return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+}
+
+// Delete appends a tombstone version for the document: deletion is an
+// append like any other change (paper §4 — no in-place updates), so it
+// replicates, replays, and is audit-visible via GetVersion/EachVersion.
+// After Delete, Get and scans report the document as absent; segment
+// merge eventually reclaims fully tombstoned chains from disk. Deleting
+// an already deleted document is a no-op returning the tombstone's key.
+func (s *Store) Delete(id docmodel.DocID) (docmodel.VersionKey, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return docmodel.VersionKey{}, ErrClosed
+	}
+	chain := s.chains[id]
+	head := headOf(chain)
+	if head == 0 {
+		return docmodel.VersionKey{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if chain[head-1].del {
+		return docmodel.VersionKey{Doc: id, Ver: head}, nil
+	}
+	d := &docmodel.Document{
+		ID:         id,
+		Version:    uint32(len(chain)) + 1,
+		IngestedAt: time.Now().UTC(),
+		Root:       docmodel.Null,
+		Class:      chain[head-1].class,
+		Deleted:    true,
+	}
+	// Carry the head's identity metadata onto the tombstone when the head
+	// is readable, so annotation linkage and provenance survive in the
+	// version history; a read failure still lets the delete proceed.
+	if hd, err := s.materializeLocked(docmodel.VersionKey{Doc: id, Ver: head}, chain[head-1], false); err == nil {
+		d.MediaType, d.Source = hd.MediaType, hd.Source
+		d.Annotates, d.Annotator = hd.Annotates, hd.Annotator
+	}
+	if err := s.append(d); err != nil {
+		return docmodel.VersionKey{}, err
+	}
+	s.stats.Puts.Add(1)
+	return d.Key(), nil
 }
 
 // GetVersion returns one specific immutable version.
@@ -468,6 +554,7 @@ type DocMeta struct {
 	Versions   int
 	Class      uint8
 	Annotation bool
+	Deleted    bool // head version is a tombstone
 }
 
 // EachMeta streams per-document metadata — identity, version count, data
@@ -487,6 +574,7 @@ func (s *Store) EachMeta(fn func(DocMeta) bool) {
 		if head := headOf(chain); head > 0 {
 			m.Class = chain[head-1].class
 			m.Annotation = chain[head-1].ann
+			m.Deleted = chain[head-1].del
 		}
 		s.mu.RUnlock()
 		if !fn(m) {
@@ -663,6 +751,175 @@ func (s *Store) Compact() error {
 	})
 	s.stats.CompactNanos.Add(uint64(time.Since(start)))
 	return err
+}
+
+// mergeable is implemented by backends with physical segment merge:
+// fold the sealed segments into one, keeping only the frames the
+// caller's plan retains. planKeep runs once with the merged ordinals and
+// returns the per-frame keep decision; commit mirrors Compact's
+// contract, with the merged ordinals added so the caller can drop chain
+// entries whose frames were not carried forward.
+type mergeable interface {
+	Merge(minSegments int, planKeep func(segs []int) func(Locator) bool,
+		commit func(merged []int, remap map[Locator]Locator, swap func() error) error) (bool, error)
+}
+
+// diskSizer is implemented by backends whose frames live in real files.
+type diskSizer interface {
+	DiskBytes() (uint64, error)
+}
+
+// StorageFootprint reports the store's live bytes (stored frame size of
+// every chain-referenced version) against its on-disk data bytes.
+// disk−live is reclaimable garbage: superseded duplicate frames,
+// retention-expired history, and tombstoned chains; Merge reclaims it.
+// disk is 0 for the memory backend.
+func (s *Store) StorageFootprint() (live, disk uint64) {
+	live = s.stats.LiveBytes.Load()
+	if ds, ok := s.be.(diskSizer); ok {
+		if d, err := ds.DiskBytes(); err == nil {
+			disk = d
+		}
+	}
+	return live, disk
+}
+
+// Merge folds the backend's sealed segments into one, dropping frames no
+// chain references, versions beyond the RetainVersions horizon, and
+// fully tombstoned chains. Like Compact, the heavy rewrite streams
+// outside the store's write lock; only the backend's single commit swap
+// stalls writers. Returns whether a fold happened (false when there are
+// fewer than MergeMinSegments sealed segments). Backends without
+// physical segments return ErrMergeUnsupported.
+func (s *Store) Merge() (bool, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	mb, ok := s.be.(mergeable)
+	if !ok {
+		return false, ErrMergeUnsupported
+	}
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return false, ErrClosed
+	}
+	start := time.Now()
+	merged, err := mb.Merge(s.opts.MergeMinSegments, s.mergeKeep,
+		func(mergedSegs []int, remap map[Locator]Locator, swap func() error) error {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.closed {
+				return ErrClosed
+			}
+			t0 := time.Now()
+			if err := swap(); err != nil {
+				return err
+			}
+			in := map[int]bool{}
+			for _, g := range mergedSegs {
+				in[g] = true
+			}
+			var removed map[docmodel.DocID]bool
+			for id, chain := range s.chains {
+				empty := true
+				for i, ce := range chain {
+					if ce == nil {
+						continue
+					}
+					if in[ce.loc.Seg] {
+						nl, kept := remap[ce.loc]
+						if !kept {
+							// The frame was not carried into the merged
+							// segment: this version is gone from disk, so
+							// drop it from the chain too.
+							s.stats.LiveBytes.Add(^uint64(ce.size) + 1)
+							chain[i] = nil
+							continue
+						}
+						ce.loc = nl
+					}
+					empty = false
+				}
+				if empty {
+					if removed == nil {
+						removed = map[docmodel.DocID]bool{}
+					}
+					removed[id] = true
+					delete(s.chains, id)
+				}
+			}
+			if len(removed) > 0 {
+				kept := s.order[:0]
+				for _, id := range s.order {
+					if !removed[id] {
+						kept = append(kept, id)
+					}
+				}
+				s.order = kept
+			}
+			s.stats.CompactStallNanos.Add(uint64(time.Since(t0)))
+			return nil
+		})
+	s.stats.CompactNanos.Add(uint64(time.Since(start)))
+	if merged && err == nil {
+		s.stats.Merges.Add(1)
+	}
+	return merged, err
+}
+
+// mergeKeep snapshots, under the read lock, which frames of the merged
+// segments survive the fold:
+//
+//   - frames no chain references (superseded duplicates from replica
+//     races) are dropped;
+//   - with RetainVersions = R > 0, versions at or below head−R are
+//     dropped;
+//   - a fully tombstoned chain whose every frame sits inside the merged
+//     set is dropped whole — disk reclamation for deletes. If any of its
+//     frames live elsewhere (active segment, later seal), the chain is
+//     kept; a later merge gets it.
+//
+// Concurrent appends only land in the active segment and only raise
+// heads, so a stale snapshot errs toward keeping more, never dropping a
+// frame a reader could still want.
+func (s *Store) mergeKeep(segs []int) func(Locator) bool {
+	in := map[int]bool{}
+	for _, g := range segs {
+		in[g] = true
+	}
+	keep := map[Locator]bool{}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, chain := range s.chains {
+		head := headOf(chain)
+		if head == 0 {
+			continue
+		}
+		if chain[head-1].del {
+			allInside := true
+			for _, ce := range chain {
+				if ce != nil && !in[ce.loc.Seg] {
+					allInside = false
+					break
+				}
+			}
+			if allInside {
+				continue // keep nothing: the whole chain is reclaimed
+			}
+		}
+		var floor uint32
+		if r := uint32(s.opts.RetainVersions); r > 0 && head > r {
+			floor = head - r // drop versions ≤ floor
+		}
+		for i, ce := range chain {
+			if ce == nil || !in[ce.loc.Seg] || uint32(i+1) <= floor {
+				continue
+			}
+			keep[ce.loc] = true
+		}
+	}
+	return func(loc Locator) bool { return keep[loc] }
 }
 
 // Close flushes and closes the backend. The store rejects writes

@@ -304,3 +304,63 @@ func TestPlanRebalanceShedsHotNodeWeight(t *testing.T) {
 		t.Error("balanced load produced a rebalance plan")
 	}
 }
+
+// TestPlanRebalanceGrowsColdNodeWeight: when no node is hot but one node
+// sits persistently below mean/skew, the pass grows that node's ring
+// weight so it attracts a larger keyspace share, and the hand-off keeps
+// every document fully replicated.
+func TestPlanRebalanceGrowsColdNodeWeight(t *testing.T) {
+	nodes := []fabric.NodeID{dataNode(1), dataNode(2), dataNode(3)}
+	ma := newMapAccess(nodes...)
+	sm := NewStorageManager(DefaultPolicy(), ma)
+	sm.SetDataNodes(nodes)
+	ids := seedDocs(t, sm, ma, 300)
+
+	// Even-ish load on two nodes, a trickle on the third: nobody crosses
+	// the skew*mean hot threshold, but the cold node sits below mean/skew.
+	cold := dataNode(2)
+	for _, id := range ids {
+		n := 4
+		if sm.Holders(id)[0] == cold {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			sm.RecordLoad(id)
+		}
+	}
+	w := sm.pmap.Ring().Weight(cold)
+	plan := sm.PlanRebalance(2.0, nodes)
+	if plan == nil {
+		t.Fatal("underloaded node produced no rebalance plan")
+	}
+	if plan.Node != cold {
+		t.Fatalf("rebalance adjusted %v, want cold node %v", plan.Node, cold)
+	}
+	if nw := sm.pmap.Ring().Weight(cold); nw <= w {
+		t.Fatalf("cold node weight %d -> %d; expected growth", w, nw)
+	}
+	for _, l := range sm.PartitionLoads() {
+		if l != 0 {
+			t.Fatal("load counters must reset after a rebalance plan")
+		}
+	}
+	executePlan(sm, plan)
+	if sm.HandoffPending() != 0 {
+		t.Fatal("rebalance windows left open")
+	}
+	for _, id := range ids {
+		holders := sm.Holders(id)
+		if len(holders) != 2 {
+			t.Fatalf("doc %v holders = %v after rebalance", id, holders)
+		}
+		for _, h := range holders {
+			if _, err := ma.FetchVersions(h, id); err != nil {
+				t.Errorf("doc %v missing on holder %v after rebalance: %v", id, h, err)
+			}
+		}
+	}
+	// Balanced load (after reset) must not trigger another adjustment.
+	if again := sm.PlanRebalance(2.0, nodes); again != nil {
+		t.Error("balanced load produced a rebalance plan")
+	}
+}

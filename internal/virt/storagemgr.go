@@ -776,10 +776,14 @@ const minRebalanceVnodes = 8
 // point-op load exceeds skew× the mean, its ring weight is cut by a
 // quarter — shrinking the keyspace share it attracts — and the resulting
 // ownership moves come back as a TransferPlan for the same hand-off
-// machinery a join uses. Returns nil while the load is balanced, the
-// signal is empty, or the hot node is already at the weight floor. Load
-// counters reset after a plan is produced so the next pass measures the
-// post-adjustment distribution.
+// machinery a join uses. Symmetrically, when the load is not top-heavy
+// but the coldest node sits below mean/skew, that node's weight grows by
+// a quarter so it attracts a larger keyspace share (shedding the hottest
+// node takes priority — it addresses the same skew with less churn).
+// Returns nil while the load is balanced, the signal is empty, or the
+// adjustment would cross the weight floor. Load counters reset after a
+// plan is produced so the next pass measures the post-adjustment
+// distribution.
 func (sm *StorageManager) PlanRebalance(skew float64, alive []fabric.NodeID) *TransferPlan {
 	if skew <= 1 {
 		skew = 2
@@ -789,23 +793,43 @@ func (sm *StorageManager) PlanRebalance(skew float64, alive []fabric.NodeID) *Tr
 		return nil
 	}
 	var total, max uint64
-	var hot fabric.NodeID
+	min := uint64(0)
+	first := true
+	var hot, cold fabric.NodeID
 	for n, l := range loads {
 		total += l
 		if l > max || (l == max && !hot.IsZero() && lessNodeID(n, hot)) {
 			max, hot = l, n
 		}
+		if first || l < min || (l == min && lessNodeID(n, cold)) {
+			min, cold = l, n
+			first = false
+		}
 	}
 	mean := float64(total) / float64(len(loads))
-	if mean == 0 || float64(max) < skew*mean {
+	if mean == 0 {
 		return nil
 	}
-	w := sm.pmap.Ring().Weight(hot)
-	nw := w * 3 / 4
-	if nw < minRebalanceVnodes {
+	var target fabric.NodeID
+	var nw int
+	switch {
+	case float64(max) >= skew*mean:
+		target = hot
+		nw = sm.pmap.Ring().Weight(hot) * 3 / 4
+		if nw < minRebalanceVnodes {
+			return nil
+		}
+	case float64(min)*skew < mean:
+		target = cold
+		w := sm.pmap.Ring().Weight(cold)
+		if w < minRebalanceVnodes {
+			return nil
+		}
+		nw = w * 5 / 4
+	default:
 		return nil
 	}
-	plan := sm.AdjustNodeWeight(hot, nw, alive)
+	plan := sm.AdjustNodeWeight(target, nw, alive)
 	if plan != nil {
 		sm.ResetLoads()
 	}
