@@ -1,0 +1,358 @@
+package clustertest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"impliance/internal/core"
+	"impliance/internal/docmodel"
+	"impliance/internal/fabric"
+	"impliance/internal/fabric/sim"
+	"impliance/internal/storage/compress"
+)
+
+// ChurnConfig parameterizes one scripted-churn run on the simulator.
+// Everything the script does — which nodes crash and revive when, which
+// links blackhole, how the ring grows, what gets ingested — derives
+// from Seed alone, so the run's decision-trace hash is a pure function
+// of this struct.
+type ChurnConfig struct {
+	Nodes       int   // data nodes at boot (default 8)
+	Steps       int   // script steps (default 16)
+	DocsPerStep int   // documents ingested per step (default 4)
+	MaxDead     int   // max concurrently crashed data nodes (default 1)
+	MaxGrow     int   // max fresh data nodes the script storms in (default Nodes/8)
+	Seed        int64 // drives both the fault script and the transport
+
+	// HealRounds bounds the end-of-script convergence loop: heartbeat +
+	// drain rounds after every fault heals, until all hand-off windows
+	// close (default 64).
+	HealRounds int
+}
+
+func (c *ChurnConfig) withDefaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 8
+	}
+	if c.Steps == 0 {
+		c.Steps = 16
+	}
+	if c.DocsPerStep == 0 {
+		c.DocsPerStep = 4
+	}
+	if c.MaxDead == 0 {
+		c.MaxDead = 1
+	}
+	if c.MaxGrow == 0 {
+		c.MaxGrow = c.Nodes / 8
+	}
+	if c.HealRounds == 0 {
+		c.HealRounds = 64
+	}
+}
+
+// ChurnReport is one run's outcome. Two runs with the same ChurnConfig
+// must agree on every field — TraceHash equality is the byte-identical
+// determinism check, the rest are the scenario's correctness claims.
+type ChurnReport struct {
+	Seed  int64
+	Nodes int
+	Steps int
+
+	Acked   int      // ingests that returned success
+	Lost    int      // acked documents unreadable after final heal
+	LostIDs []string // first few lost IDs, for the failure message
+
+	Crashes    int
+	Revives    int
+	Isolations int
+	Grown      int // fresh nodes stormed into the ring mid-run
+
+	// MidReadMisses counts scripted mid-churn ReadCheck probes that
+	// failed to return an acked document — reads during hand-off
+	// windows route to the old owners, so this must stay 0.
+	MidReadMisses int
+
+	// RingViolations counts (step, partition) pairs where no alive node
+	// was left among a partition's read owners outside a re-armed
+	// hand-off window — the ring invariant the property test asserts.
+	RingViolations int
+
+	// WindowsOpen is the hand-off backlog after the convergence loop;
+	// the scenario claims every window eventually closes, so 0.
+	WindowsOpen int
+	Converged   bool
+
+	TraceHash      uint64
+	TraceEvents    uint64
+	VirtualSeconds float64
+}
+
+// buildChurnScript derives the whole churn story from the seed as a
+// sim.FaultScript: ingest slices, crashes and revives (bounded by
+// MaxDead), transient blackholes, latency pulses, join storms (Grow),
+// read-back probes, and the heartbeat rounds that drive recovery and
+// re-join. Scripts are data — replaying a seed regenerates the
+// identical script — and the generator tracks liveness itself so the
+// plan never crashes more nodes than the invariant tolerates.
+//
+// The returned script only ever targets node IDs that exist when the
+// op executes: boot nodes are data-1..Nodes, and Grow ops mint
+// data-(Nodes+1)... in engine numbering order.
+func buildChurnScript(cfg ChurnConfig) sim.FaultScript {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ids := make([]fabric.NodeID, 0, cfg.Nodes+cfg.MaxGrow)
+	for i := 1; i <= cfg.Nodes; i++ {
+		ids = append(ids, fabric.NodeID{Kind: fabric.Data, Num: i})
+	}
+	dead := map[fabric.NodeID]bool{}
+	var isolated fabric.NodeID
+	grown := 0
+
+	pick := func(want func(fabric.NodeID) bool) (fabric.NodeID, bool) {
+		var cands []fabric.NodeID
+		for _, n := range ids {
+			if want(n) {
+				cands = append(cands, n)
+			}
+		}
+		if len(cands) == 0 {
+			return fabric.NodeID{}, false
+		}
+		return cands[rng.Intn(len(cands))], true
+	}
+
+	var ops []sim.FaultOp
+	for step := 0; step < cfg.Steps; step++ {
+		ops = append(ops, sim.FaultOp{Kind: sim.Ingest, N: cfg.DocsPerStep})
+
+		switch roll := rng.Intn(12); {
+		case roll < 3: // crash
+			if len(dead) < cfg.MaxDead {
+				if n, ok := pick(func(n fabric.NodeID) bool { return !dead[n] && n != isolated }); ok {
+					ops = append(ops, sim.FaultOp{Kind: sim.Crash, Node: n})
+					dead[n] = true
+				}
+			}
+		case roll < 5: // revive — the node re-joins via a later heartbeat
+			if n, ok := pick(func(n fabric.NodeID) bool { return dead[n] }); ok {
+				ops = append(ops, sim.FaultOp{Kind: sim.Revive, Node: n})
+				delete(dead, n)
+			}
+		case roll < 7: // transient blackhole
+			if isolated.IsZero() && len(dead) < cfg.MaxDead {
+				if n, ok := pick(func(n fabric.NodeID) bool { return !dead[n] }); ok {
+					ops = append(ops, sim.FaultOp{Kind: sim.Isolate, Node: n})
+					isolated = n
+				}
+			}
+		case roll < 8: // link-latency pulse
+			if n, ok := pick(func(n fabric.NodeID) bool { return !dead[n] }); ok {
+				ops = append(ops, sim.FaultOp{Kind: sim.Delay, Node: n, Dur: 2 * sim.DefaultBaseLatency})
+			}
+		case roll < 9: // join storm: provision a fresh data node
+			if grown < cfg.MaxGrow {
+				grown++
+				ops = append(ops, sim.FaultOp{Kind: sim.Grow, N: 1})
+				ids = append(ids, fabric.NodeID{Kind: fabric.Data, Num: cfg.Nodes + grown})
+			}
+		default: // quiet step
+		}
+		if !isolated.IsZero() && rng.Intn(2) == 0 {
+			ops = append(ops, sim.FaultOp{Kind: sim.Heal, Node: isolated})
+			isolated = fabric.NodeID{}
+		}
+
+		// Failure detection, recovery, re-join, then a read-back probe
+		// of a few acked documents while windows may still be open.
+		ops = append(ops, sim.FaultOp{Kind: sim.Heartbeat})
+		ops = append(ops, sim.FaultOp{Kind: sim.ReadCheck, N: 3})
+	}
+
+	// Final heal: lift every standing fault, in ID order.
+	if !isolated.IsZero() {
+		ops = append(ops, sim.FaultOp{Kind: sim.Heal, Node: isolated})
+	}
+	for _, n := range ids {
+		ops = append(ops, sim.FaultOp{Kind: sim.Delay, Node: n, Dur: 0})
+		if dead[n] {
+			ops = append(ops, sim.FaultOp{Kind: sim.Revive, Node: n})
+		}
+	}
+	return sim.FaultScript{Ops: ops}
+}
+
+// RunChurn executes one scripted churn run: the seed-derived fault plan
+// plays out — ingest under way while data nodes crash, revive, drop off
+// the network, and fresh nodes storm in — then every fault heals and
+// the run converges until all hand-off windows close. The report
+// carries the loss/invariant counters and the decision-trace hash.
+//
+// Determinism contract: the engine runs one pool worker with
+// synchronous indexing and replication, and the driver fences
+// background work between script ops, so exactly one goroutine
+// schedules transport events at a time — same config, same trace, byte
+// for byte.
+func RunChurn(cfg ChurnConfig) (ChurnReport, error) {
+	rep, _, err := runChurn(cfg, 0)
+	return rep, err
+}
+
+// runChurn is RunChurn's body; it also returns the simulator's trace so
+// in-package tests can inspect or diff the raw decision log.
+func runChurn(cfg ChurnConfig, traceCap int) (ChurnReport, *sim.Trace, error) {
+	cfg.withDefaults()
+	rep := ChurnReport{Seed: cfg.Seed, Nodes: cfg.Nodes, Steps: cfg.Steps}
+
+	sc := sim.New(sim.Options{Seed: cfg.Seed, TraceCap: traceCap})
+	e, err := core.Open(core.Config{
+		DataNodes:       cfg.Nodes,
+		GridNodes:       2,
+		ClusterNodes:    1,
+		Workers:         1,
+		Codec:           compress.None,
+		SyncIndexing:    true,
+		SyncReplication: true,
+		Transport:       sc,
+		Clock:           sc,
+	})
+	if err != nil {
+		return rep, sc.Trace(), err
+	}
+	defer e.Close()
+
+	// The read-check sampler draws from its own rng stream so adding a
+	// probe never perturbs which nodes the fault plan targets.
+	script := buildChurnScript(cfg)
+	probe := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	var acked []docmodel.DocID
+	seq := 0
+	for _, op := range script.Ops {
+		if sc.Apply(op) { // transport-level fault
+			switch op.Kind {
+			case sim.Crash:
+				rep.Crashes++
+			case sim.Revive:
+				rep.Revives++
+			case sim.Isolate:
+				rep.Isolations++
+			}
+			continue
+		}
+		// Every driver action runs under Exclusive: an action like a
+		// heartbeat both makes transport calls itself and queues
+		// catch-up tasks, and a worker picking those up mid-action
+		// would race the driver on the event loop. The drain after the
+		// action then runs what it queued, alone.
+		var opErr error
+		switch op.Kind {
+		case sim.Ingest:
+			// A write that lands while its partition's owners are down
+			// or blackholed may fail; only successful returns are
+			// acked, and only acked writes are held to the zero-loss
+			// claim.
+			e.Exclusive(func() {
+				for i := 0; i < op.N; i++ {
+					seq++
+					id, err := e.Ingest(core.Item{
+						Body: docmodel.Object(
+							docmodel.F("churn", docmodel.String(fmt.Sprintf("doc-%04d", seq))),
+						),
+						MediaType: "application/json",
+						Source:    "churn",
+					})
+					if err == nil {
+						acked = append(acked, id)
+					}
+				}
+			})
+			e.DrainBackground()
+		case sim.Grow:
+			e.Exclusive(func() {
+				for i := 0; i < op.N; i++ {
+					if _, _, err := e.AddDataNode(); err != nil {
+						opErr = fmt.Errorf("grow: %w", err)
+						return
+					}
+					rep.Grown++
+				}
+			})
+			e.DrainBackground()
+		case sim.Heartbeat:
+			// Recovery, re-join, and repair all ride the heartbeat;
+			// drain fences the catch-up work it schedules.
+			e.Exclusive(func() { e.HeartbeatTick() })
+			e.DrainBackground()
+			sc.Settle()
+			rep.RingViolations += ringViolations(e, sc)
+		case sim.ReadCheck:
+			e.Exclusive(func() {
+				for i := 0; i < op.N && len(acked) > 0; i++ {
+					if _, err := e.Get(acked[probe.Intn(len(acked))]); err != nil {
+						rep.MidReadMisses++
+					}
+				}
+			})
+		default:
+			opErr = fmt.Errorf("unhandled script op %s", op.Kind)
+		}
+		if opErr != nil {
+			return rep, sc.Trace(), opErr
+		}
+	}
+
+	// Convergence: heartbeats re-join the revived nodes and close every
+	// hand-off window the churn left open.
+	for round := 0; round < cfg.HealRounds; round++ {
+		e.Exclusive(func() { e.HeartbeatTick() })
+		e.DrainBackground()
+		sc.Settle()
+		if e.StorageManager().HandoffPending() == 0 {
+			rep.Converged = true
+			break
+		}
+	}
+	rep.WindowsOpen = e.StorageManager().HandoffPending()
+
+	// Zero-loss audit: every acked write must read back.
+	rep.Acked = len(acked)
+	for _, id := range acked {
+		if _, err := e.Get(id); err != nil {
+			rep.Lost++
+			if len(rep.LostIDs) < 8 {
+				rep.LostIDs = append(rep.LostIDs, id.String())
+			}
+		}
+	}
+
+	rep.TraceHash = sc.Trace().Hash()
+	rep.TraceEvents = sc.Trace().Len()
+	rep.VirtualSeconds = sc.Elapsed().Seconds()
+	return rep, sc.Trace(), nil
+}
+
+// ringViolations counts partitions with no alive read owner. Partitions
+// inside a re-armed hand-off window are exempt: their read set is the
+// pre-change owners by design, and the freshly re-planned window is what
+// repairs them.
+func ringViolations(e *core.Engine, sc *sim.Cluster) int {
+	sm := e.StorageManager()
+	bad := 0
+	for p := 0; p < sm.Partitions(); p++ {
+		if sm.InHandoff(p) {
+			continue
+		}
+		ok := false
+		for _, n := range sm.ReadOwnersOf(p) {
+			if node, found := sc.Node(n); found && node.Alive() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			bad++
+		}
+	}
+	return bad
+}

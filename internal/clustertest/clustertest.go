@@ -1,0 +1,100 @@
+// Package clustertest consolidates the cluster bootstrap that the
+// engine's cluster-level tests share: boot an appliance on either
+// transport — the real goroutine fabric or the deterministic simulator
+// (fabric/sim) — and, when a simulated test fails, dump the tail of the
+// decision trace together with the seed so the failure replays exactly.
+//
+// The package also hosts the scripted-churn runner (churn.go) whose
+// report feeds three consumers: the seed-replay regression corpus
+// (testdata/seeds), the ring-invariant property test, and implbench's
+// E24 churn scenario.
+package clustertest
+
+import (
+	"testing"
+
+	"impliance/internal/core"
+	"impliance/internal/fabric/sim"
+	"impliance/internal/storage/compress"
+)
+
+// Options configures Boot. The zero value boots the same topology the
+// core package's own tests use (3 data / 2 grid / 2 cluster nodes, 4
+// workers) on the real fabric.
+type Options struct {
+	DataNodes    int // default 3
+	GridNodes    int // default 2
+	ClusterNodes int // default 2
+	Workers      int // default 4
+
+	// Sim boots on the deterministic simulator instead of the real
+	// fabric; Seed selects the run. On failure the trace tail is logged
+	// with the seed.
+	Sim  bool
+	Seed int64
+
+	// TraceTail bounds how many trace events a failure dump logs
+	// (default 80).
+	TraceTail int
+
+	// Mutate edits the assembled config before Open — ablation switches,
+	// replication policy, or a caller-owned Transport.
+	Mutate []func(*core.Config)
+}
+
+// Cluster is a booted appliance plus its transport handle.
+type Cluster struct {
+	Engine *core.Engine
+	Sim    *sim.Cluster // nil when booted on the real fabric
+	Seed   int64
+}
+
+// Boot opens an appliance for a test and registers cleanup: the engine
+// closes when the test ends, and a failed simulated test logs the
+// decision-trace tail with the seed that replays it.
+func Boot(t testing.TB, opt Options) *Cluster {
+	t.Helper()
+	if opt.DataNodes == 0 {
+		opt.DataNodes = 3
+	}
+	if opt.GridNodes == 0 {
+		opt.GridNodes = 2
+	}
+	if opt.ClusterNodes == 0 {
+		opt.ClusterNodes = 2
+	}
+	if opt.Workers == 0 {
+		opt.Workers = 4
+	}
+	if opt.TraceTail == 0 {
+		opt.TraceTail = 80
+	}
+	cfg := core.Config{
+		DataNodes:    opt.DataNodes,
+		GridNodes:    opt.GridNodes,
+		ClusterNodes: opt.ClusterNodes,
+		Workers:      opt.Workers,
+		Codec:        compress.None,
+	}
+	var sc *sim.Cluster
+	if opt.Sim {
+		sc = sim.New(sim.Options{Seed: opt.Seed})
+		cfg.Transport = sc
+		cfg.Clock = sc
+	}
+	for _, m := range opt.Mutate {
+		m(&cfg)
+	}
+	e, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		e.Close()
+		if sc != nil && t.Failed() {
+			t.Logf("replay: go test -run '%s' with seed=%d\n%s",
+				t.Name(), opt.Seed, sc.Trace().Dump(opt.TraceTail))
+		}
+	})
+	return &Cluster{Engine: e, Sim: sc, Seed: opt.Seed}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"impliance/internal/annot"
 	"impliance/internal/discovery"
@@ -254,6 +255,7 @@ func (e *Engine) SchemaFamilies() []discovery.SchemaFamily {
 // enough load signal has accumulated (membership.go).
 func (e *Engine) HeartbeatTick() []fabric.NodeID {
 	evicted := e.group.Tick()
+	e.trace("heartbeat: round complete, evicted=%d", len(evicted))
 	for range evicted {
 		e.locks.Evict("discovery")
 	}
@@ -295,13 +297,21 @@ func (e *Engine) RecoverDataNode(dead fabric.NodeID) (int, error) {
 	if err != nil {
 		return repaired, err
 	}
+	e.trace("recover %s: %d docs affected, %d replicas repaired", dead, len(affected), repaired)
 	byPart := map[int][]docmodel.DocID{}
 	for _, id := range affected {
 		p := e.smgr.PartitionOf(id)
 		byPart[p] = append(byPart[p], id)
 	}
-	for _, ids := range byPart {
-		ids := ids
+	// Submit in partition order: recovery driven from a simulated run
+	// must schedule identical task sequences, not map-iteration ones.
+	parts := make([]int, 0, len(byPart))
+	for p := range byPart {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	for _, p := range parts {
+		ids := byPart[p]
 		e.pool.Submit(sched.Background, func() { e.reindexDocs(ids) })
 	}
 	// A failure during open hand-off windows re-armed them under fresh

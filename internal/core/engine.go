@@ -41,6 +41,20 @@ type Config struct {
 	// Workers sizes the background execution pool (default 4).
 	Workers int
 
+	// Transport supplies the interconnect implementation. Nil means the
+	// real in-process goroutine fabric (fabric.New). The deterministic
+	// simulator (fabric/sim) is injected here so cluster scenarios —
+	// membership churn, hand-off, rebalance — replay exactly from a
+	// seed. The engine owns the transport either way and closes it with
+	// Close.
+	Transport fabric.Transport
+
+	// Clock supplies the engine's time source (heartbeat bookkeeping,
+	// pool wait accounting, minted timestamps). Nil means the wall
+	// clock; simulated runs install the simulator's virtual clock so
+	// time-derived state reproduces across runs.
+	Clock sched.Clock
+
 	// Dir persists data-node WALs under this directory ("" = in-memory).
 	Dir string
 
@@ -193,7 +207,12 @@ type dataNode struct {
 type Engine struct {
 	cfg Config
 
-	fab *fabric.Fabric
+	fab   fabric.Transport
+	clock sched.Clock
+	// tr is the transport's decision-trace sink (nil on the real
+	// fabric). Membership and recovery decisions report through
+	// e.trace so simulated failures dump the cluster's reasoning.
+	tr fabric.Tracer
 	// topo is the data-node topology, replaced copy-on-write so that
 	// AddDataNode can grow the cluster while readers (point-op routing,
 	// fan-outs, background catch-up) hold lock-free snapshots.
@@ -267,9 +286,19 @@ func (e *Engine) MergeCountByKind() (data, grid, cluster uint64) {
 // Open boots an appliance.
 func Open(cfg Config) (*Engine, error) {
 	cfg.Normalize()
+	fab := cfg.Transport
+	if fab == nil {
+		fab = fabric.New()
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = sched.RealClock()
+	}
 	e := &Engine{
 		cfg:      cfg,
-		fab:      fabric.New(),
+		fab:      fab,
+		clock:    clock,
+		tr:       fab.Tracer(),
 		locks:    fabric.NewLockTable(),
 		broker:   virt.NewBroker(),
 		joinIdx:  discovery.NewJoinIndex(),
@@ -319,6 +348,7 @@ func Open(cfg Config) (*Engine, error) {
 	e.broker.AddGroup(cg)
 
 	e.smgr = virt.NewStorageManager(cfg.Replication, replicaAccess{e})
+	e.smgr.SetTracer(e.tr)
 	e.smgr.SetDataNodes(e.DataNodeIDs())
 	e.caches = cache.New(cache.Config{
 		Partitions:      e.smgr.Partitions(),
@@ -339,9 +369,19 @@ func Open(cfg Config) (*Engine, error) {
 		e.placer = ap
 	}
 	e.pool = sched.NewPool(cfg.Workers, cfg.FIFOScheduling)
+	e.pool.SetClock(e.clock)
 
 	e.registerSystemViews()
 	return e, nil
+}
+
+// trace reports one membership/routing decision to the transport's
+// tracer, when there is one (the simulator); on the real fabric it is
+// free.
+func (e *Engine) trace(format string, args ...any) {
+	if e.tr != nil {
+		e.tr.Event(format, args...)
+	}
 }
 
 // Close shuts the appliance down.
@@ -364,9 +404,9 @@ func (e *Engine) Close() error {
 	return firstErr
 }
 
-// Fabric exposes the underlying fabric (experiments kill nodes, read
+// Fabric exposes the underlying transport (experiments kill nodes, read
 // interconnect counters).
-func (e *Engine) Fabric() *fabric.Fabric { return e.fab }
+func (e *Engine) Fabric() fabric.Transport { return e.fab }
 
 // Pool exposes the execution pool (experiments read queue stats).
 func (e *Engine) Pool() *sched.Pool { return e.pool }
@@ -902,6 +942,7 @@ func (e *Engine) cacheInvalidateDoc(id docmodel.DocID) {
 	e.caches.InvalidateDoc(id, e.smgr.PartitionOf(id))
 }
 
-// now is the engine clock (overridable would be for tests; wall time is
-// fine since experiments measure relative durations).
-func (e *Engine) now() time.Time { return time.Now() }
+// now is the engine clock: the wall clock normally, the simulator's
+// virtual clock on a simulated transport — so minted timestamps
+// (IngestedAt and friends) reproduce across seeded runs.
+func (e *Engine) now() time.Time { return e.clock.Now() }

@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 
 	"impliance/internal/docmodel"
 	"impliance/internal/expr"
 	"impliance/internal/fabric"
+	"impliance/internal/fabric/sim"
 	"impliance/internal/plan"
 	"impliance/internal/query"
 	"impliance/internal/storage/compress"
@@ -15,9 +17,19 @@ import (
 	"impliance/internal/workload"
 )
 
+// testEngine boots the standard test topology. With IMPL_SIM=1 in the
+// environment the whole suite runs on the deterministic simulator
+// instead of the real goroutine fabric — same tests, both transports —
+// and a failed test logs the decision-trace tail with the seed.
 func testEngine(t *testing.T, mutate ...func(*Config)) *Engine {
 	t.Helper()
 	cfg := Config{DataNodes: 3, GridNodes: 2, ClusterNodes: 2, Workers: 4, Codec: compress.None}
+	var sc *sim.Cluster
+	if os.Getenv("IMPL_SIM") == "1" {
+		sc = sim.New(sim.Options{Seed: 1})
+		cfg.Transport = sc
+		cfg.Clock = sc
+	}
 	for _, m := range mutate {
 		m(&cfg)
 	}
@@ -25,7 +37,12 @@ func testEngine(t *testing.T, mutate ...func(*Config)) *Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { e.Close() })
+	t.Cleanup(func() {
+		e.Close()
+		if sc != nil && t.Failed() {
+			t.Logf("sim transport (IMPL_SIM=1, seed %d):\n%s", sc.Seed(), sc.Trace().Dump(80))
+		}
+	})
 	return e
 }
 

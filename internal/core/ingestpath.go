@@ -447,6 +447,20 @@ func (e *Engine) readHolderFor(id docmodel.DocID) (*dataNode, error) {
 	return nil, errors.New("core: no alive holder for " + id.String())
 }
 
+// Exclusive runs fn with the execution pool's workers held between
+// tasks: anything already running finishes, nothing new starts until fn
+// returns. Deterministic simulation drivers wrap each scripted action in
+// it so driver-issued transport calls never interleave with background
+// catch-up work — on the simulator, two goroutines pumping the event
+// loop concurrently would make the virtual-time schedule depend on OS
+// scheduling instead of the seed. Follow with DrainBackground to run
+// whatever the action queued.
+func (e *Engine) Exclusive(fn func()) {
+	e.pool.Pause()
+	defer e.pool.Resume()
+	fn()
+}
+
 // DrainBackground blocks until queued background work (indexing,
 // annotation, replication) has completed — used by tests and experiments
 // that need a quiesced appliance.

@@ -59,6 +59,7 @@ func (e *Engine) joinDataNodeLocked(id fabric.NodeID) (int, error) {
 	}
 	e.dataGroup.Add(id)
 	moved := plan.MoveCount()
+	e.trace("join %s: %d partitions moving, %d copies scheduled", id, len(plan.Partitions), moved)
 	for _, pt := range plan.Partitions {
 		pt := pt
 		e.pool.Submit(sched.Background, func() { e.catchUpPartition(pt) })
@@ -209,6 +210,7 @@ func (e *Engine) RebalanceOnSkew() (int, bool) {
 		return 0, false
 	}
 	moved := plan.MoveCount()
+	e.trace("rebalance: %d partitions moving, %d copies scheduled", len(plan.Partitions), moved)
 	for _, pt := range plan.Partitions {
 		pt := pt
 		e.pool.Submit(sched.Background, func() { e.catchUpPartition(pt) })

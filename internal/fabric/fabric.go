@@ -124,6 +124,15 @@ func (n *Node) Alive() bool {
 	return n.alive
 }
 
+// SetAlive flips the node's liveness directly. Kill/Revive go through
+// this; transports that don't run mailbox loops (the simulator) use it
+// to model crashes and replaced blades.
+func (n *Node) SetAlive(v bool) {
+	n.mu.Lock()
+	n.alive = v
+	n.mu.Unlock()
+}
+
 // Stats returns the node's delivery counters.
 func (n *Node) Stats() (msgs, bytes, handled uint64) {
 	return n.msgsIn.Load(), n.bytesIn.Load(), n.handled.Load()
@@ -157,6 +166,35 @@ func (n *Node) loop() {
 		}
 	}
 	close(n.done)
+}
+
+// NewPassiveNode creates a node with no mailbox loop: messages reach it
+// only through Deliver, invoked by the owning transport. The simulator
+// uses passive nodes so every handler runs on its single-threaded event
+// loop instead of a per-node goroutine.
+func NewPassiveNode(id NodeID) *Node {
+	return &Node{ID: id, alive: true}
+}
+
+// Deliver executes one message inline on a passive node, mirroring the
+// mailbox loop's accounting and panic isolation. The calling transport
+// provides the serial-execution guarantee the loop normally does.
+func (n *Node) Deliver(kind string, payload []byte) ([]byte, error) {
+	n.msgsIn.Add(1)
+	n.bytesIn.Add(uint64(len(payload)))
+	n.mu.Lock()
+	h := n.handler
+	alive := n.alive
+	n.mu.Unlock()
+	switch {
+	case !alive:
+		return nil, fmt.Errorf("%w: %s", ErrNodeDown, n.ID)
+	case h == nil:
+		return nil, fmt.Errorf("fabric: %s has no handler", n.ID)
+	}
+	out, err := safeHandle(h, kind, payload)
+	n.handled.Add(1)
+	return out, err
 }
 
 func safeHandle(h Handler, kind string, payload []byte) (out []byte, err error) {
@@ -327,9 +365,7 @@ func (f *Fabric) Kill(id NodeID) bool {
 	if !ok {
 		return false
 	}
-	n.mu.Lock()
-	n.alive = false
-	n.mu.Unlock()
+	n.SetAlive(false)
 	return true
 }
 
@@ -339,9 +375,7 @@ func (f *Fabric) Revive(id NodeID) bool {
 	if !ok {
 		return false
 	}
-	n.mu.Lock()
-	n.alive = true
-	n.mu.Unlock()
+	n.SetAlive(true)
 	return true
 }
 

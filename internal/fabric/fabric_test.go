@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func echoFabric(t *testing.T, kinds ...NodeKind) (*Fabric, []*Node) {
@@ -346,5 +347,74 @@ func TestCallCtxAbandonsMidFlight(t *testing.T) {
 	out, err := f.Call(n.ID, "echo", []byte("after"))
 	if err != nil || string(out) != "after" {
 		t.Fatalf("post-abandon call = %q, %v", out, err)
+	}
+}
+
+// TestCallCtxKillReviveRace hammers CallCtx from several goroutines
+// while another flips the target dead and alive — the schedule the
+// simulator's fault scripts produce in virtual time, here under the
+// real fabric and the race detector. Every call must resolve (reply or
+// ErrNodeDown), nothing may wedge, and the node must work after the
+// storm.
+func TestCallCtxKillReviveRace(t *testing.T) {
+	f, nodes := echoFabric(t, Data, Data)
+	target := nodes[0].ID
+
+	stop := make(chan struct{})
+	flipperDone := make(chan struct{})
+	go func() {
+		defer close(flipperDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				f.Kill(target)
+			} else {
+				f.Revive(target)
+			}
+		}
+	}()
+
+	const callers, callsEach = 4, 300
+	var callersWG sync.WaitGroup
+	var replies, downs atomic.Uint64
+	for c := 0; c < callers; c++ {
+		callersWG.Add(1)
+		go func() {
+			defer callersWG.Done()
+			for i := 0; i < callsEach; i++ {
+				_, err := f.CallCtx(context.Background(), target, "echo", []byte("x"))
+				switch {
+				case err == nil:
+					replies.Add(1)
+				case errors.Is(err, ErrNodeDown):
+					downs.Add(1)
+				default:
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { callersWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("callers wedged racing Kill/Revive")
+	}
+	close(stop)
+	<-flipperDone
+
+	if replies.Load()+downs.Load() != callers*callsEach {
+		t.Fatalf("resolved %d+%d calls, want %d", replies.Load(), downs.Load(), callers*callsEach)
+	}
+	f.Revive(target)
+	if out, err := f.Call(target, "echo", []byte("after")); err != nil || string(out) != "echo:after" {
+		t.Fatalf("post-storm call = %q, %v", out, err)
 	}
 }

@@ -17,7 +17,7 @@ import (
 // is evicted and the group epoch advances. The lowest-numbered live member
 // is the leader.
 type ConsistencyGroup struct {
-	f         *Fabric
+	f         Transport
 	threshold int
 
 	mu      sync.Mutex
@@ -27,7 +27,7 @@ type ConsistencyGroup struct {
 
 // NewConsistencyGroup forms a group over the given members. threshold is
 // the number of consecutive missed heartbeats that evicts a member.
-func NewConsistencyGroup(f *Fabric, members []NodeID, threshold int) *ConsistencyGroup {
+func NewConsistencyGroup(f Transport, members []NodeID, threshold int) *ConsistencyGroup {
 	if threshold <= 0 {
 		threshold = 3
 	}
@@ -39,13 +39,10 @@ func NewConsistencyGroup(f *Fabric, members []NodeID, threshold int) *Consistenc
 }
 
 // Tick runs one heartbeat round. Returns the IDs evicted this round.
+// Members are probed in sorted ID order so a simulated run's message
+// sequence is a pure function of the membership, not of map iteration.
 func (g *ConsistencyGroup) Tick() []NodeID {
-	g.mu.Lock()
-	ids := make([]NodeID, 0, len(g.members))
-	for id := range g.members {
-		ids = append(ids, id)
-	}
-	g.mu.Unlock()
+	ids := g.Members()
 
 	var evicted []NodeID
 	for _, id := range ids {

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"impliance/internal/fabric"
+)
+
+// FaultKind enumerates what a scripted fault plan can express. The
+// first group are transport-level faults the simulator applies itself
+// (Cluster.Apply); the second are cluster-level actions — membership
+// and workload — that the scenario driver (internal/clustertest)
+// interprets against the engine, so one script can describe a full
+// churn story: crash two blades, isolate a third, re-join them under
+// load, storm four fresh nodes in.
+type FaultKind uint8
+
+const (
+	// Transport-level.
+	Crash   FaultKind = iota // node dies; messages error
+	Revive                   // node returns with its storage intact
+	Isolate                  // network partition: alive but unreachable
+	Heal                     // partition heals
+	Delay                    // fixed extra per-hop latency toward the node
+	Drop                     // probabilistic message loss toward the node
+
+	// Cluster-level (driver-interpreted).
+	Join      // re-admit the node into the partition ring
+	Grow      // provision a brand-new data node (join storm member)
+	Heartbeat // run one heartbeat/recovery round
+	Rebalance // run one skew-rebalance round
+	Ingest    // ingest N documents and record their acks
+	ReadCheck // read back a sample of acked documents
+)
+
+var faultNames = [...]string{
+	"crash", "revive", "isolate", "heal", "delay", "drop",
+	"join", "grow", "heartbeat", "rebalance", "ingest", "readcheck",
+}
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	if int(k) < len(faultNames) {
+		return faultNames[k]
+	}
+	return fmt.Sprintf("fault(%d)", k)
+}
+
+// FaultOp is one scripted action.
+type FaultOp struct {
+	At   time.Duration // virtual time offset from script start
+	Kind FaultKind
+	Node fabric.NodeID // target, for node-scoped kinds
+	Dur  time.Duration // Delay amount
+	Prob float64       // Drop probability
+	N    int           // batch width for Ingest / Grow
+}
+
+// FaultScript is an ordered fault plan. Scripts are data: the churn
+// harness generates them from a seed, the seed corpus stores the seeds,
+// and replaying a seed regenerates the identical script.
+type FaultScript struct {
+	Ops []FaultOp
+}
+
+// Apply executes a transport-level op against the cluster and reports
+// whether the op was transport-level at all (cluster-level kinds return
+// false and are the driver's job).
+func (c *Cluster) Apply(op FaultOp) bool {
+	switch op.Kind {
+	case Crash:
+		c.Kill(op.Node)
+	case Revive:
+		c.Revive(op.Node)
+	case Isolate:
+		c.Isolate(op.Node)
+	case Heal:
+		c.Heal(op.Node)
+	case Delay:
+		c.SetDelay(op.Node, op.Dur)
+	case Drop:
+		c.SetDrop(op.Node, op.Prob)
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,560 @@
+// Package sim is the deterministic implementation of the fabric.Transport
+// seam: a discrete-event cluster simulator with a virtual clock, a
+// single event loop with seeded tie-breaking, and scripted faults
+// (crash/revive, isolation, delay, probabilistic drop). The same seed
+// and the same call sequence produce the same event order, the same
+// virtual timestamps, and the same decision trace — so a 128-node churn
+// scenario that fails in CI replays exactly from its printed seed.
+//
+// Execution model. Nodes are passive (fabric.NewPassiveNode): no mailbox
+// goroutines. Every message becomes an event on a min-heap ordered by
+// (virtual time, seeded tie-break, sequence), and events run inline on
+// whichever goroutine is currently *pumping* the loop. A call pumps the
+// heap until its own reply resolves; one-way sends settle on later
+// pumps or an explicit Settle. One mutex is the loop: concurrent
+// callers serialize on it, and a handler or pool task that calls back
+// into the transport from inside an event re-enters the loop on the
+// same goroutine (detected by goroutine id) instead of deadlocking.
+//
+// Determinism contract. A run is reproducible when transport traffic is
+// driven from one goroutine at a time — the churn harness's discipline
+// of a single script driver plus DrainBackground barriers around pool
+// work. Concurrent drivers (streaming cursors, scatter-gather from
+// multiple goroutines) are safe but serialize in arrival order, which
+// the OS scheduler decides; use them for correctness tests, not for
+// byte-identical traces.
+package sim
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"impliance/internal/fabric"
+)
+
+// DefaultBaseLatency is the one-way per-hop latency floor when Options
+// leaves BaseLatency zero.
+const DefaultBaseLatency = 50 * time.Microsecond
+
+// Options configure a simulated cluster.
+type Options struct {
+	// Seed drives every random draw the simulator makes: latency
+	// jitter, event tie-breaking, drop decisions.
+	Seed int64
+	// BaseLatency is the one-way per-hop latency floor. Default
+	// DefaultBaseLatency (50µs).
+	BaseLatency time.Duration
+	// Jitter is the uniform random latency added per hop — this is what
+	// reorders messages in flight. Zero (the default) disables
+	// reordering.
+	Jitter time.Duration
+	// CallTimeout bounds (in virtual time) how long a call waits for a
+	// reply before failing with an unreachable error; blackholed
+	// requests — isolated targets, dropped messages — resolve this way.
+	// Default 250ms.
+	CallTimeout time.Duration
+	// TraceCap bounds the retained decision-trace ring. Default 4096.
+	TraceCap int
+	// Epoch is the virtual time origin; the virtual clock reads
+	// Epoch+elapsed. Defaults to a fixed date so timestamps minted
+	// under the virtual clock reproduce across runs and machines.
+	Epoch time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.BaseLatency <= 0 {
+		o.BaseLatency = DefaultBaseLatency
+	}
+	if o.Jitter < 0 {
+		o.Jitter = 0
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 250 * time.Millisecond
+	}
+	if o.TraceCap <= 0 {
+		o.TraceCap = 4096
+	}
+	if o.Epoch.IsZero() {
+		o.Epoch = time.Date(2007, time.January, 7, 0, 0, 0, 0, time.UTC)
+	}
+	return o
+}
+
+type event struct {
+	at  time.Duration
+	tie uint64
+	seq uint64
+	run func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].tie != h[j].tie {
+		return h[i].tie < h[j].tie
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event { return h[0] }
+
+// Cluster is a simulated fabric. It implements fabric.Transport.
+type Cluster struct {
+	opt Options
+
+	// mu is the event loop; owner holds the goroutine id currently
+	// pumping so reentrant transport calls from inside an event (pool
+	// tasks installing replicas, for example) don't self-deadlock.
+	mu    sync.Mutex
+	owner atomic.Int64
+
+	// Loop state, guarded by mu.
+	queue    eventHeap
+	seq      uint64
+	rng      *rand.Rand
+	isolated map[fabric.NodeID]bool
+	delay    map[fabric.NodeID]time.Duration
+	drop     map[fabric.NodeID]float64
+
+	// nowNS mirrors the virtual clock for lock-free reads (trace
+	// timestamps, sched.Clock).
+	nowNS atomic.Int64
+
+	// Node registry, guarded by regMu (separate from the loop so
+	// liveness queries never contend with a pump in progress).
+	regMu  sync.RWMutex
+	nodes  map[fabric.NodeID]*fabric.Node
+	nextNo map[fabric.NodeKind]int
+	closed bool
+
+	trace *Trace
+
+	msgs     atomic.Uint64
+	bytes    atomic.Uint64
+	drops    atomic.Uint64
+	abandons atomic.Uint64
+	maxReply atomic.Uint64
+}
+
+var _ fabric.Transport = (*Cluster)(nil)
+
+// New creates an empty simulated cluster.
+func New(opt Options) *Cluster {
+	opt = opt.withDefaults()
+	c := &Cluster{
+		opt:      opt,
+		rng:      rand.New(rand.NewSource(opt.Seed)),
+		isolated: map[fabric.NodeID]bool{},
+		delay:    map[fabric.NodeID]time.Duration{},
+		drop:     map[fabric.NodeID]float64{},
+		nodes:    map[fabric.NodeID]*fabric.Node{},
+		nextNo:   map[fabric.NodeKind]int{},
+	}
+	c.trace = newTrace(opt.TraceCap, opt.Seed, c.Elapsed)
+	return c
+}
+
+// Seed returns the seed the cluster was built with.
+func (c *Cluster) Seed() int64 { return c.opt.Seed }
+
+// Trace returns the decision trace.
+func (c *Cluster) Trace() *Trace { return c.trace }
+
+// Tracer implements fabric.Transport.
+func (c *Cluster) Tracer() fabric.Tracer { return c.trace }
+
+// Elapsed returns virtual time since the epoch.
+func (c *Cluster) Elapsed() time.Duration { return time.Duration(c.nowNS.Load()) }
+
+// Now returns the virtual wall-clock time (Epoch + Elapsed). It
+// implements sched.Clock, so engines on a simulated transport mint
+// reproducible timestamps.
+func (c *Cluster) Now() time.Time { return c.opt.Epoch.Add(c.Elapsed()) }
+
+// goid returns the current goroutine's id, parsed from the stack
+// header ("goroutine N [...]"). It is the standard trick for reentrancy
+// detection where the runtime offers no identity API.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[len("goroutine "):n]
+	for i, b := range s {
+		if b == ' ' {
+			id, _ := strconv.ParseInt(string(s[:i]), 10, 64)
+			return id
+		}
+	}
+	return -1
+}
+
+// enter acquires the event loop unless this goroutine already holds it
+// (an event's code calling back into the transport). It reports whether
+// exit must release.
+func (c *Cluster) enter() bool {
+	g := goid()
+	if c.owner.Load() == g {
+		return false
+	}
+	c.mu.Lock()
+	c.owner.Store(g)
+	return true
+}
+
+func (c *Cluster) exit(acquired bool) {
+	if acquired {
+		c.owner.Store(0)
+		c.mu.Unlock()
+	}
+}
+
+// schedule queues an event d from now. Ties at equal virtual times are
+// broken by a seeded draw, then by sequence — so "simultaneous" events
+// run in a seed-determined (but reproducible) order. Caller holds mu.
+func (c *Cluster) schedule(d time.Duration, run func()) {
+	if d < 0 {
+		d = 0
+	}
+	c.seq++
+	heap.Push(&c.queue, &event{at: c.Elapsed() + d, tie: c.rng.Uint64(), seq: c.seq, run: run})
+}
+
+// hopLatency draws one message hop's latency. Caller holds mu.
+func (c *Cluster) hopLatency(to fabric.NodeID) time.Duration {
+	l := c.opt.BaseLatency + c.delay[to]
+	if c.opt.Jitter > 0 {
+		l += time.Duration(c.rng.Int63n(int64(c.opt.Jitter)))
+	}
+	return l
+}
+
+// step pops and runs the next event, advancing the virtual clock to it.
+// Caller holds mu.
+func (c *Cluster) step() bool {
+	if len(c.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&c.queue).(*event)
+	if int64(ev.at) > c.nowNS.Load() {
+		c.nowNS.Store(int64(ev.at))
+	}
+	ev.run()
+	return true
+}
+
+// Settle pumps the loop until no events remain — all in-flight
+// deliveries, pool work scheduled through calls, and their cascades have
+// run. Script drivers call it at step boundaries.
+func (c *Cluster) Settle() {
+	acq := c.enter()
+	defer c.exit(acq)
+	for c.step() {
+	}
+}
+
+// Advance moves the virtual clock forward by d, running every event due
+// in the window.
+func (c *Cluster) Advance(d time.Duration) {
+	acq := c.enter()
+	defer c.exit(acq)
+	target := c.Elapsed() + d
+	for len(c.queue) > 0 && c.queue.peek().at <= target {
+		c.step()
+	}
+	if int64(target) > c.nowNS.Load() {
+		c.nowNS.Store(int64(target))
+	}
+}
+
+// AddNode provisions a passive node of the given kind.
+func (c *Cluster) AddNode(kind fabric.NodeKind) *fabric.Node {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	c.nextNo[kind]++
+	n := fabric.NewPassiveNode(fabric.NodeID{Kind: kind, Num: c.nextNo[kind]})
+	c.nodes[n.ID] = n
+	return n
+}
+
+// Node returns the node with the given ID.
+func (c *Cluster) Node(id fabric.NodeID) (*fabric.Node, bool) {
+	c.regMu.RLock()
+	defer c.regMu.RUnlock()
+	n, ok := c.nodes[id]
+	return n, ok
+}
+
+// NodesOf lists the IDs of all nodes of a kind, in creation order.
+func (c *Cluster) NodesOf(kind fabric.NodeKind) []fabric.NodeID {
+	c.regMu.RLock()
+	defer c.regMu.RUnlock()
+	var out []fabric.NodeID
+	for i := 1; i <= c.nextNo[kind]; i++ {
+		id := fabric.NodeID{Kind: kind, Num: i}
+		if _, ok := c.nodes[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// AliveOf lists alive nodes of a kind, in creation order.
+func (c *Cluster) AliveOf(kind fabric.NodeKind) []fabric.NodeID {
+	var out []fabric.NodeID
+	for _, id := range c.NodesOf(kind) {
+		if n, ok := c.Node(id); ok && n.Alive() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// target validates a destination for traffic. Mirrors the real fabric:
+// unknown and dead nodes fail at enqueue time.
+func (c *Cluster) target(to fabric.NodeID) (*fabric.Node, error) {
+	c.regMu.RLock()
+	defer c.regMu.RUnlock()
+	if c.closed {
+		return nil, fabric.ErrFabricClosed
+	}
+	n, ok := c.nodes[to]
+	if !ok {
+		c.drops.Add(1)
+		return nil, fmt.Errorf("%w: %s", fabric.ErrNoSuchNode, to)
+	}
+	if !n.Alive() {
+		c.drops.Add(1)
+		return nil, fmt.Errorf("%w: %s", fabric.ErrNodeDown, to)
+	}
+	return n, nil
+}
+
+type call struct {
+	done bool
+	out  []byte
+	err  error
+}
+
+// Call sends a request and pumps the loop until its reply resolves.
+func (c *Cluster) Call(to fabric.NodeID, msgKind string, payload []byte) ([]byte, error) {
+	return c.CallCtx(context.Background(), to, msgKind, payload)
+}
+
+// CallCtx implements fabric.Transport. Cancellation is checked between
+// events; an abandoned call's in-flight work still executes (no remote
+// cancel), matching the real fabric.
+func (c *Cluster) CallCtx(ctx context.Context, to fabric.NodeID, msgKind string, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	acq := c.enter()
+	defer c.exit(acq)
+	return c.callLocked(ctx, to, msgKind, payload)
+}
+
+func (c *Cluster) callLocked(ctx context.Context, to fabric.NodeID, msgKind string, payload []byte) ([]byte, error) {
+	n, err := c.target(to)
+	if err != nil {
+		return nil, err
+	}
+	c.msgs.Add(1)
+	c.bytes.Add(uint64(len(payload) + len(msgKind) + 16))
+	pc := &call{}
+	deadline := c.Elapsed() + c.opt.CallTimeout
+	c.scheduleDelivery(n, msgKind, payload, pc)
+	for !pc.done {
+		if err := ctx.Err(); err != nil {
+			c.abandons.Add(1)
+			return nil, err
+		}
+		// No event can resolve this call before the timeout: the reply
+		// was blackholed (isolation or drop). Resolve as unreachable.
+		if len(c.queue) == 0 || c.queue.peek().at > deadline {
+			if int64(deadline) > c.nowNS.Load() {
+				c.nowNS.Store(int64(deadline))
+			}
+			c.drops.Add(1)
+			c.trace.Event("net: call %s %s timed out (unreachable)", to, msgKind)
+			return nil, fmt.Errorf("%w: %s (%s unreachable)", fabric.ErrNodeDown, to, msgKind)
+		}
+		c.step()
+	}
+	if pc.err == nil {
+		c.msgs.Add(1)
+		c.bytes.Add(uint64(len(pc.out) + 16))
+		c.noteReply(uint64(len(pc.out)))
+	}
+	return pc.out, pc.err
+}
+
+// scheduleDelivery queues the request hop, whose execution queues the
+// reply hop. A nil pc means a one-way send. Drop decisions are drawn at
+// schedule time so the rng sequence is a function of traffic order, not
+// of event interleaving. Caller holds mu.
+func (c *Cluster) scheduleDelivery(n *fabric.Node, msgKind string, payload []byte, pc *call) {
+	to := n.ID
+	lost := c.drop[to] > 0 && c.rng.Float64() < c.drop[to]
+	c.schedule(c.hopLatency(to), func() {
+		if pc != nil && pc.done {
+			return
+		}
+		if lost || c.isolated[to] {
+			c.drops.Add(1)
+			c.trace.Event("net: %s to %s lost", msgKind, to)
+			return
+		}
+		out, err := n.Deliver(msgKind, payload)
+		if pc == nil {
+			return
+		}
+		c.schedule(c.hopLatency(to), func() {
+			if pc.done {
+				return
+			}
+			if c.isolated[to] {
+				c.drops.Add(1)
+				c.trace.Event("net: reply %s from %s lost", msgKind, to)
+				return
+			}
+			pc.done, pc.out, pc.err = true, out, err
+		})
+	})
+}
+
+// Send delivers a one-way message; it executes on a later pump or
+// Settle.
+func (c *Cluster) Send(to fabric.NodeID, msgKind string, payload []byte) error {
+	acq := c.enter()
+	defer c.exit(acq)
+	n, err := c.target(to)
+	if err != nil {
+		return err
+	}
+	c.msgs.Add(1)
+	c.bytes.Add(uint64(len(payload) + len(msgKind) + 16))
+	c.scheduleDelivery(n, msgKind, payload, nil)
+	return nil
+}
+
+func (c *Cluster) noteReply(n uint64) {
+	for {
+		cur := c.maxReply.Load()
+		if n <= cur || c.maxReply.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Kill marks a node dead: a crashed blade. Queued messages to it error
+// at delivery, future sends error at enqueue — same as the real fabric.
+func (c *Cluster) Kill(id fabric.NodeID) bool {
+	n, ok := c.Node(id)
+	if !ok {
+		return false
+	}
+	n.SetAlive(false)
+	c.trace.Event("fault: crash %s", id)
+	return true
+}
+
+// Revive brings a killed node back.
+func (c *Cluster) Revive(id fabric.NodeID) bool {
+	n, ok := c.Node(id)
+	if !ok {
+		return false
+	}
+	n.SetAlive(true)
+	c.trace.Event("fault: revive %s", id)
+	return true
+}
+
+// Isolate partitions a node away from the interconnect: it stays alive
+// (its state survives) but messages to it blackhole, so callers see
+// unreachable timeouts instead of fast node-down errors.
+func (c *Cluster) Isolate(id fabric.NodeID) {
+	acq := c.enter()
+	defer c.exit(acq)
+	c.isolated[id] = true
+	c.trace.Event("fault: isolate %s", id)
+}
+
+// Heal reconnects an isolated node.
+func (c *Cluster) Heal(id fabric.NodeID) {
+	acq := c.enter()
+	defer c.exit(acq)
+	delete(c.isolated, id)
+	c.trace.Event("fault: heal %s", id)
+}
+
+// SetDelay adds a fixed extra per-hop latency toward a node (a slow or
+// congested link). Zero removes it.
+func (c *Cluster) SetDelay(id fabric.NodeID, d time.Duration) {
+	acq := c.enter()
+	defer c.exit(acq)
+	if d <= 0 {
+		delete(c.delay, id)
+	} else {
+		c.delay[id] = d
+	}
+	c.trace.Event("fault: delay %s = %s", id, d)
+}
+
+// SetDrop sets the probability that a message toward a node is lost in
+// flight. Zero removes it.
+func (c *Cluster) SetDrop(id fabric.NodeID, p float64) {
+	acq := c.enter()
+	defer c.exit(acq)
+	if p <= 0 {
+		delete(c.drop, id)
+	} else {
+		c.drop[id] = p
+	}
+	c.trace.Event("fault: drop %s = %.2f", id, p)
+}
+
+// NetStats snapshots the interconnect counters.
+func (c *Cluster) NetStats() fabric.NetStats {
+	return fabric.NetStats{
+		Messages:      c.msgs.Load(),
+		Bytes:         c.bytes.Load(),
+		Drops:         c.drops.Load(),
+		Abandons:      c.abandons.Load(),
+		MaxReplyBytes: c.maxReply.Load(),
+	}
+}
+
+// ResetNetStats zeroes the interconnect counters.
+func (c *Cluster) ResetNetStats() {
+	c.msgs.Store(0)
+	c.bytes.Store(0)
+	c.drops.Store(0)
+	c.abandons.Store(0)
+	c.maxReply.Store(0)
+}
+
+// Close marks the cluster closed; subsequent traffic fails. There are
+// no goroutines to stop — nodes are passive.
+func (c *Cluster) Close() {
+	c.regMu.Lock()
+	c.closed = true
+	c.regMu.Unlock()
+}

@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"impliance/internal/fabric"
+)
+
+func echoHandler(prefix string) fabric.Handler {
+	return func(kind string, payload []byte) ([]byte, error) {
+		return []byte(prefix + kind + ":" + string(payload)), nil
+	}
+}
+
+func TestCallBasics(t *testing.T) {
+	c := New(Options{Seed: 1})
+	n := c.AddNode(fabric.Data)
+	n.SetHandler(echoHandler("n1/"))
+
+	out, err := c.Call(n.ID, "ping", []byte("x"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(out) != "n1/ping:x" {
+		t.Fatalf("reply = %q", out)
+	}
+	st := c.NetStats()
+	if st.Messages != 2 { // request + reply
+		t.Fatalf("messages = %d, want 2", st.Messages)
+	}
+	if st.MaxReplyBytes != uint64(len(out)) {
+		t.Fatalf("maxReply = %d, want %d", st.MaxReplyBytes, len(out))
+	}
+
+	if _, err := c.Call(fabric.NodeID{Kind: fabric.Data, Num: 99}, "ping", nil); !errors.Is(err, fabric.ErrNoSuchNode) {
+		t.Fatalf("unknown node: %v", err)
+	}
+	c.Kill(n.ID)
+	if _, err := c.Call(n.ID, "ping", nil); !errors.Is(err, fabric.ErrNodeDown) {
+		t.Fatalf("dead node: %v", err)
+	}
+	c.Revive(n.ID)
+	if _, err := c.Call(n.ID, "ping", nil); err != nil {
+		t.Fatalf("revived node: %v", err)
+	}
+}
+
+func TestVirtualClockAdvances(t *testing.T) {
+	c := New(Options{Seed: 7})
+	n := c.AddNode(fabric.Data)
+	n.SetHandler(echoHandler(""))
+
+	before := c.Elapsed()
+	if _, err := c.Call(n.ID, "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Elapsed() < before+2*c.opt.BaseLatency {
+		t.Fatalf("clock did not advance two hops: %s", c.Elapsed())
+	}
+	epochPlus := c.Now()
+	if !epochPlus.After(c.opt.Epoch) {
+		t.Fatalf("Now() = %s not after epoch", epochPlus)
+	}
+	mark := c.Elapsed()
+	c.Advance(time.Second)
+	if got := c.Elapsed() - mark; got != time.Second {
+		t.Fatalf("Advance moved clock by %s, want 1s", got)
+	}
+}
+
+func TestSendDeliversOnSettle(t *testing.T) {
+	c := New(Options{Seed: 3})
+	var mu sync.Mutex
+	var got []string
+	n := c.AddNode(fabric.Data)
+	n.SetHandler(func(kind string, payload []byte) ([]byte, error) {
+		mu.Lock()
+		got = append(got, kind)
+		mu.Unlock()
+		return nil, nil
+	})
+	if err := c.Send(n.ID, "oneway", nil); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	before := len(got)
+	mu.Unlock()
+	if before != 0 {
+		t.Fatalf("send delivered before settle")
+	}
+	c.Settle()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0] != "oneway" {
+		t.Fatalf("after settle got %v", got)
+	}
+}
+
+func TestIsolationBlackholesAndHeals(t *testing.T) {
+	c := New(Options{Seed: 11})
+	n := c.AddNode(fabric.Data)
+	n.SetHandler(echoHandler(""))
+
+	c.Isolate(n.ID)
+	start := c.Elapsed()
+	_, err := c.Call(n.ID, "k", nil)
+	if !errors.Is(err, fabric.ErrNodeDown) {
+		t.Fatalf("isolated call: %v", err)
+	}
+	if c.Elapsed()-start < c.opt.CallTimeout {
+		t.Fatalf("timeout resolved before CallTimeout: %s", c.Elapsed()-start)
+	}
+	if n.Alive() != true {
+		t.Fatalf("isolation must not kill the node")
+	}
+	c.Heal(n.ID)
+	if _, err := c.Call(n.ID, "k", nil); err != nil {
+		t.Fatalf("healed call: %v", err)
+	}
+}
+
+func TestDropFault(t *testing.T) {
+	c := New(Options{Seed: 13})
+	n := c.AddNode(fabric.Data)
+	n.SetHandler(echoHandler(""))
+
+	c.SetDrop(n.ID, 1.0)
+	if _, err := c.Call(n.ID, "k", nil); err == nil {
+		t.Fatalf("full drop should fail calls")
+	}
+	c.SetDrop(n.ID, 0)
+	if _, err := c.Call(n.ID, "k", nil); err != nil {
+		t.Fatalf("after clearing drop: %v", err)
+	}
+}
+
+// TestReentrantCall exercises the loop-reentry path: an event's code
+// (here a handler) calling back into the transport must pump nested on
+// the same goroutine rather than deadlock.
+func TestReentrantCall(t *testing.T) {
+	c := New(Options{Seed: 17})
+	a := c.AddNode(fabric.Data)
+	b := c.AddNode(fabric.Data)
+	b.SetHandler(echoHandler("b/"))
+	a.SetHandler(func(kind string, payload []byte) ([]byte, error) {
+		return c.Call(b.ID, "inner", payload)
+	})
+
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		defer close(done)
+		out, err = c.Call(a.ID, "outer", []byte("p"))
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("reentrant call deadlocked")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "b/inner:p" {
+		t.Fatalf("nested reply = %q", out)
+	}
+}
+
+// runScriptedTraffic drives a fixed traffic + fault sequence and
+// returns the trace hash — the determinism probe.
+func runScriptedTraffic(seed int64) (uint64, uint64) {
+	c := New(Options{Seed: seed})
+	var nodes []*fabric.Node
+	for i := 0; i < 8; i++ {
+		n := c.AddNode(fabric.Data)
+		n.SetHandler(echoHandler(fmt.Sprintf("n%d/", i)))
+		nodes = append(nodes, n)
+	}
+	tr := c.Tracer()
+	for round := 0; round < 20; round++ {
+		for i, n := range nodes {
+			if n.Alive() && !c.isolatedNow(n.ID) {
+				out, err := c.Call(n.ID, "work", []byte{byte(round), byte(i)})
+				tr.Event("reply %d/%d: %q err=%v", round, i, out, err)
+			}
+		}
+		switch round {
+		case 3:
+			c.Kill(nodes[2].ID)
+		case 6:
+			c.Isolate(nodes[5].ID)
+		case 9:
+			c.Revive(nodes[2].ID)
+		case 12:
+			c.Heal(nodes[5].ID)
+		case 15:
+			c.SetDrop(nodes[1].ID, 0.5)
+		case 18:
+			c.SetDrop(nodes[1].ID, 0)
+		}
+	}
+	c.Settle()
+	return c.Trace().Hash(), c.Trace().Len()
+}
+
+func (c *Cluster) isolatedNow(id fabric.NodeID) bool {
+	acq := c.enter()
+	defer c.exit(acq)
+	return c.isolated[id]
+}
+
+func TestDeterministicTraceSameSeed(t *testing.T) {
+	h1, n1 := runScriptedTraffic(42)
+	h2, n2 := runScriptedTraffic(42)
+	if h1 != h2 || n1 != n2 {
+		t.Fatalf("same seed diverged: %016x/%d vs %016x/%d", h1, n1, h2, n2)
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	h1, _ := runScriptedTraffic(42)
+	h2, _ := runScriptedTraffic(43)
+	if h1 == h2 {
+		t.Fatalf("different seeds produced identical traces (%016x) — jitter not applied?", h1)
+	}
+}
+
+func TestTraceRingWrapsButHashCovers(t *testing.T) {
+	c := New(Options{Seed: 1, TraceCap: 8})
+	tr := c.Trace()
+	for i := 0; i < 100; i++ {
+		tr.Event("e%d", i)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	tail := tr.Tail(0)
+	if len(tail) != 8 {
+		t.Fatalf("ring kept %d, want 8", len(tail))
+	}
+	h := tr.Hash()
+	tr.Event("one more")
+	if tr.Hash() == h {
+		t.Fatalf("hash did not advance past ring capacity")
+	}
+}
+
+// TestKillReviveCallCtxRace is the race-detector coverage for liveness
+// flips racing in-flight calls (run under -race in CI). Assertions are
+// minimal on purpose: the test's job is interleaving coverage.
+func TestCallCtxKillReviveRace(t *testing.T) {
+	c := New(Options{Seed: 23})
+	n := c.AddNode(fabric.Data)
+	n.SetHandler(echoHandler(""))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	stop := make(chan struct{})
+	flipperDone := make(chan struct{})
+	go func() {
+		defer close(flipperDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				c.Kill(n.ID)
+			} else {
+				c.Revive(n.ID)
+			}
+		}
+	}()
+	var callers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		callers.Add(1)
+		go func() {
+			defer callers.Done()
+			for i := 0; i < 300; i++ {
+				_, _ = c.CallCtx(ctx, n.ID, "k", []byte("x"))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { callers.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("race test wedged")
+	}
+	close(stop)
+	<-flipperDone
+}

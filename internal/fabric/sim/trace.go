@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is the simulator's decision log: a bounded ring of formatted
+// events (for dumping on failure) plus a rolling FNV-1a hash over every
+// event ever recorded (for byte-identical determinism checks — two runs
+// of the same seed must produce the same hash even after the ring has
+// wrapped). Each line is stamped with the virtual time and an event
+// ordinal, so a dumped tail reads as a causal story: who routed what,
+// which hand-off windows opened and closed, why rebalance moved weight.
+type Trace struct {
+	seed int64
+	now  func() time.Duration
+
+	mu    sync.Mutex
+	cap   int
+	buf   []string
+	next  int // ring write position once len(buf) == cap
+	total uint64
+	hash  uint64
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func newTrace(cap int, seed int64, now func() time.Duration) *Trace {
+	if cap <= 0 {
+		cap = 4096
+	}
+	return &Trace{seed: seed, now: now, cap: cap, hash: fnvOffset}
+}
+
+// Event records one decision. It implements fabric.Tracer.
+func (t *Trace) Event(format string, args ...any) {
+	body := fmt.Sprintf(format, args...)
+	t.mu.Lock()
+	line := fmt.Sprintf("#%06d %12.6fs %s", t.total, t.now().Seconds(), body)
+	t.total++
+	h := t.hash
+	for i := 0; i < len(line); i++ {
+		h = (h ^ uint64(line[i])) * fnvPrime
+	}
+	t.hash = (h ^ '\n') * fnvPrime
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, line)
+	} else {
+		t.buf[t.next] = line
+		t.next = (t.next + 1) % t.cap
+	}
+	t.mu.Unlock()
+}
+
+// Hash returns the rolling hash over all events recorded so far. Equal
+// hashes across two runs mean the full event streams were identical
+// byte for byte.
+func (t *Trace) Hash() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hash
+}
+
+// Len returns the total number of events recorded (including ones the
+// ring has since evicted).
+func (t *Trace) Len() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Tail returns the most recent n retained events, oldest first.
+func (t *Trace) Tail(n int) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ordered := make([]string, 0, len(t.buf))
+	if len(t.buf) < t.cap {
+		ordered = append(ordered, t.buf...)
+	} else {
+		ordered = append(ordered, t.buf[t.next:]...)
+		ordered = append(ordered, t.buf[:t.next]...)
+	}
+	if n > 0 && n < len(ordered) {
+		ordered = ordered[len(ordered)-n:]
+	}
+	return ordered
+}
+
+// Dump renders the trace tail with a replay header. The header carries
+// the seed: pasting it into the harness reproduces the run exactly.
+func (t *Trace) Dump(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim trace: seed=%d events=%d hash=%016x\n", t.seed, t.Len(), t.Hash())
+	for _, line := range t.Tail(n) {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package fabric
+
+import "context"
+
+// Transport is the seam between the appliance and its interconnect: the
+// full surface `core.Engine`, the scheduler's placers, and the
+// consistency group need from a cluster substrate. Two implementations
+// exist:
+//
+//   - *Fabric (this package): real goroutines, one mailbox loop per
+//     node — concurrency and timing come from the Go runtime.
+//   - sim.Cluster (fabric/sim): a deterministic discrete-event
+//     simulator — virtual clock, seeded event ordering, scripted
+//     faults — so churn scenarios at 100+ nodes replay exactly from a
+//     seed.
+//
+// Node handles stay concrete (*Node) across both: a node is a mailbox,
+// a handler, and counters regardless of what delivers its messages.
+type Transport interface {
+	// AddNode provisions a node of the given kind and returns its
+	// handle; the caller installs a handler before sending to it.
+	AddNode(kind NodeKind) *Node
+	// Node returns the node with the given ID.
+	Node(id NodeID) (*Node, bool)
+	// NodesOf lists the IDs of all nodes of a kind, in creation order.
+	NodesOf(kind NodeKind) []NodeID
+	// AliveOf lists alive nodes of a kind, in creation order.
+	AliveOf(kind NodeKind) []NodeID
+
+	// Call sends a request and waits for the reply.
+	Call(to NodeID, msgKind string, payload []byte) ([]byte, error)
+	// CallCtx is Call with a request lifecycle: cancellation before the
+	// send costs nothing, cancellation mid-flight abandons the call.
+	CallCtx(ctx context.Context, to NodeID, msgKind string, payload []byte) ([]byte, error)
+	// Send delivers a one-way message (no reply awaited).
+	Send(to NodeID, msgKind string, payload []byte) error
+
+	// Kill marks a node dead (a crashed blade); Revive brings it back.
+	Kill(id NodeID) bool
+	Revive(id NodeID) bool
+
+	// NetStats snapshots interconnect counters; ResetNetStats zeroes
+	// them between experiment runs.
+	NetStats() NetStats
+	ResetNetStats()
+
+	// Tracer returns the transport's decision-trace sink, or nil when
+	// the transport does not record one (the real fabric). Layers above
+	// the transport (engine membership, partition-map windows,
+	// rebalance) emit routing and ownership decisions into it so a
+	// failing simulated scenario can dump exactly what the cluster
+	// decided and why.
+	Tracer() Tracer
+
+	// Close shuts the transport down; it is unusable afterwards.
+	Close()
+}
+
+// Tracer receives one formatted decision event at a time. Implementations
+// must be safe for concurrent use; events are expected to be cheap to
+// record (the simulator keeps a bounded ring plus a rolling hash).
+type Tracer interface {
+	Event(format string, args ...any)
+}
+
+var _ Transport = (*Fabric)(nil)
+
+// Tracer returns nil: the real fabric records no decision trace (tracing
+// every hot-path routing decision would cost more than it tells — the
+// simulator exists for post-mortems).
+func (f *Fabric) Tracer() Tracer { return nil }

@@ -72,6 +72,21 @@ func PreferredNodeKind(k TaskKind) fabric.NodeKind {
 // ErrNoNodes is returned when no alive node can host a task.
 var ErrNoNodes = errors.New("sched: no alive nodes")
 
+// Clock abstracts the scheduler's time source. The wall clock is the
+// default; the deterministic simulator (fabric/sim) provides a virtual
+// clock so simulated runs mint reproducible timestamps and measure
+// queue waits in virtual time.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// RealClock returns the wall-clock time source.
+func RealClock() Clock { return realClock{} }
+
 // Placer chooses a node for a task.
 type Placer interface {
 	Place(k TaskKind) (fabric.NodeID, error)
@@ -98,7 +113,7 @@ type KeyedPlacer interface {
 // kind has none (paper §3.3: "for better resource utilization, each
 // operation could be executed on any of the node types").
 type AffinityPlacer struct {
-	f  *fabric.Fabric
+	f  fabric.Transport
 	mu sync.Mutex
 	rr map[fabric.NodeKind]int
 	// router, when set, routes storage-local keyed tasks to the data node
@@ -108,8 +123,8 @@ type AffinityPlacer struct {
 	Fallbacks atomic.Uint64
 }
 
-// NewAffinityPlacer creates the placer over a fabric.
-func NewAffinityPlacer(f *fabric.Fabric) *AffinityPlacer {
+// NewAffinityPlacer creates the placer over a transport.
+func NewAffinityPlacer(f fabric.Transport) *AffinityPlacer {
 	return &AffinityPlacer{f: f, rr: map[fabric.NodeKind]int{}}
 }
 
@@ -172,13 +187,13 @@ func (p *AffinityPlacer) pick(kind fabric.NodeKind) (fabric.NodeID, bool) {
 // RandomPlacer ignores affinity entirely — the E5 ablation: operators land
 // on uniformly random alive nodes.
 type RandomPlacer struct {
-	f   *fabric.Fabric
+	f   fabric.Transport
 	mu  sync.Mutex
 	rng *rand.Rand
 }
 
 // NewRandomPlacer creates the ablation placer with a deterministic seed.
-func NewRandomPlacer(f *fabric.Fabric, seed int64) *RandomPlacer {
+func NewRandomPlacer(f fabric.Transport, seed int64) *RandomPlacer {
 	return &RandomPlacer{f: f, rng: rand.New(rand.NewSource(seed))}
 }
 
@@ -231,6 +246,7 @@ func (qs QueueStats) MeanWait() time.Duration {
 type Pool struct {
 	fifo    bool
 	workers int
+	clock   Clock
 
 	interactive chan poolTask
 	background  chan poolTask
@@ -243,6 +259,12 @@ type Pool struct {
 	closed bool
 
 	drainMu sync.Mutex // serializes Drain barriers (two batches would interleave and park all workers)
+
+	// Pause gate (see Pause): workers hold here between tasks while a
+	// deterministic driver acts alone.
+	pauseMu   sync.Mutex
+	paused    bool
+	pauseCond *sync.Cond
 }
 
 type poolTask struct {
@@ -260,6 +282,7 @@ func NewPool(workers int, fifo bool) *Pool {
 	p := &Pool{
 		fifo:        fifo,
 		workers:     workers,
+		clock:       realClock{},
 		interactive: make(chan poolTask, 4096),
 		background:  make(chan poolTask, 65536),
 		single:      make(chan poolTask, 65536),
@@ -269,6 +292,7 @@ func NewPool(workers int, fifo bool) *Pool {
 			Background:  {},
 		},
 	}
+	p.pauseCond = sync.NewCond(&p.pauseMu)
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
@@ -276,9 +300,40 @@ func NewPool(workers int, fifo bool) *Pool {
 	return p
 }
 
+// Pause holds workers between tasks: any task already running finishes,
+// but nothing new starts until Resume. Deterministic simulation drivers
+// use the gate to act alone — membership ticks and scripted faults must
+// not interleave with background catch-up work, or the virtual-time
+// schedule stops being a pure function of the seed. Pair every Pause
+// with a Resume before any Drain or Close.
+func (p *Pool) Pause() {
+	p.pauseMu.Lock()
+	p.paused = true
+	p.pauseMu.Unlock()
+}
+
+// Resume releases workers held by Pause.
+func (p *Pool) Resume() {
+	p.pauseMu.Lock()
+	p.paused = false
+	p.pauseMu.Unlock()
+	p.pauseCond.Broadcast()
+}
+
+// gateWait blocks while the pool is paused; Close lifts the gate so a
+// racing shutdown cannot strand workers.
+func (p *Pool) gateWait() {
+	p.pauseMu.Lock()
+	for p.paused {
+		p.pauseCond.Wait()
+	}
+	p.pauseMu.Unlock()
+}
+
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for {
+		p.gateWait()
 		if p.fifo {
 			select {
 			case t := <-p.single:
@@ -306,8 +361,28 @@ func (p *Pool) worker() {
 	}
 }
 
+// SetClock replaces the pool's time source for queue-wait accounting.
+// Call it before submitting work (the simulator installs its virtual
+// clock right after constructing the pool).
+func (p *Pool) SetClock(c Clock) {
+	p.mu.Lock()
+	if c != nil {
+		p.clock = c
+	}
+	p.mu.Unlock()
+}
+
+func (p *Pool) now() time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.clock.Now()
+}
+
 func (p *Pool) run(t poolTask) {
-	wait := time.Since(t.enqueued)
+	wait := p.now().Sub(t.enqueued)
+	if wait < 0 {
+		wait = 0
+	}
 	p.mu.Lock()
 	st := p.stats[t.pr]
 	st.Tasks++
@@ -325,14 +400,14 @@ func (p *Pool) run(t poolTask) {
 
 // Submit enqueues a task; it returns false if the pool is closed.
 func (p *Pool) Submit(pr Priority, fn func()) bool {
-	return p.submit(poolTask{fn: fn, pr: pr, enqueued: time.Now()})
+	return p.submit(poolTask{fn: fn, pr: pr, enqueued: p.now()})
 }
 
 // SubmitWait enqueues a task, blocks until it has run, and returns the
 // time it spent queued (the latency experiments' measurement).
 func (p *Pool) SubmitWait(pr Priority, fn func()) (time.Duration, error) {
 	done := make(chan time.Duration, 1)
-	if !p.submit(poolTask{fn: fn, pr: pr, enqueued: time.Now(), done: done}) {
+	if !p.submit(poolTask{fn: fn, pr: pr, enqueued: p.now(), done: done}) {
 		return 0, fmt.Errorf("sched: pool closed")
 	}
 	return <-done, nil
@@ -438,5 +513,6 @@ func (p *Pool) Close() {
 	p.closed = true
 	p.mu.Unlock()
 	close(p.quit)
+	p.Resume() // lift a standing pause so workers can observe quit
 	p.wg.Wait()
 }

@@ -287,6 +287,9 @@ func (pm *PartitionMap) PendingWindows() []HandoffWindow {
 			OldOwners: append([]fabric.NodeID{}, st.owners...),
 		})
 	}
+	// Partition order, not map order: re-planned hand-offs must schedule
+	// the same task sequence on every seeded replay.
+	slices.SortFunc(out, func(a, b HandoffWindow) int { return a.Partition - b.Partition })
 	return out
 }
 

@@ -55,6 +55,20 @@ type StorageManager struct {
 	// Counters for the failure-recovery experiment (E13).
 	Repaired   int // replicas re-created after failures
 	Unrepaired int // documents left under-replicated (no source or target)
+
+	// tr receives ownership decisions — window open/close, failure
+	// reassignment, rebalance weight moves — when a tracing transport
+	// (the simulator) is attached. Nil otherwise; emissions are free.
+	tr fabric.Tracer
+}
+
+// SetTracer attaches a decision-trace sink; nil detaches it.
+func (sm *StorageManager) SetTracer(t fabric.Tracer) { sm.tr = t }
+
+func (sm *StorageManager) trace(format string, args ...any) {
+	if sm.tr != nil {
+		sm.tr.Event(format, args...)
+	}
 }
 
 // DocMove is one document copy a hand-off must perform: every version of
@@ -454,6 +468,8 @@ func (sm *StorageManager) planHandoff(n fabric.NodeID, windows []HandoffWindow, 
 				pt.Moves = append(pt.Moves, DocMove{ID: id, Source: src, Target: tgt})
 			}
 		}
+		sm.trace("window open p=%d gen=%d moves=%d old=%v new=%v",
+			pt.Partition, pt.Gen, len(pt.Moves), pt.OldOwners, pt.NewOwners)
 		plan.Partitions = append(plan.Partitions, pt)
 	}
 	return plan
@@ -509,8 +525,10 @@ func (sm *StorageManager) ExecuteMoves(pt PartitionTransfer) int {
 // through this hand-off (its blocked target re-joined).
 func (sm *StorageManager) CompleteHandoff(pt PartitionTransfer) {
 	if !sm.pmap.CompleteHandoff(pt.Partition, pt.Gen) {
+		sm.trace("window close p=%d gen=%d refused (re-armed)", pt.Partition, pt.Gen)
 		return
 	}
+	sm.trace("window close p=%d gen=%d", pt.Partition, pt.Gen)
 	sm.healPartition(pt.Partition)
 }
 
@@ -666,6 +684,7 @@ func (sm *StorageManager) HandleNodeFailure(dead fabric.NodeID, alive []fabric.N
 			sm.markUnrepaired(di.id)
 		}
 	}
+	sm.trace("failure %s: %d partitions reassigned, %d replicas repaired", dead, len(oldOwners), repaired)
 	return repaired, nil
 }
 
@@ -819,6 +838,7 @@ func (sm *StorageManager) PlanRebalance(skew float64, alive []fabric.NodeID) *Tr
 		if nw < minRebalanceVnodes {
 			return nil
 		}
+		sm.trace("rebalance: shed %s weight→%d (load=%d mean=%.1f)", hot, nw, max, mean)
 	case float64(min)*skew < mean:
 		target = cold
 		w := sm.pmap.Ring().Weight(cold)
@@ -826,6 +846,7 @@ func (sm *StorageManager) PlanRebalance(skew float64, alive []fabric.NodeID) *Tr
 			return nil
 		}
 		nw = w * 5 / 4
+		sm.trace("rebalance: grow %s weight→%d (load=%d mean=%.1f)", cold, nw, min, mean)
 	default:
 		return nil
 	}
