@@ -11,6 +11,8 @@
 //	implctl [flags] ingest  <file> [query...]  # ingest a file, optionally search it
 //	implctl [flags] compact               # demo corpus + compaction pass, storage stats
 //	implctl [flags] merge                 # demo corpus + segment merge/GC, storage stats
+//	implctl [flags] overload              # demo corpus + two-tenant burst against the
+//	                                      # admission gate, scheduler/admission counters
 //
 // Flags:
 //
@@ -19,10 +21,13 @@
 //	                   or mmap (segment layout read through memory maps)
 //	-timeout DUR       per-query deadline (default 30s; queries past it are
 //	                   cancelled and their node fan-out abandoned)
+//	-admit-rate R      interactive admission tokens/sec per tenant
+//	                   (0 = gate off; the overload verb defaults it to 50)
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -42,15 +47,24 @@ func main() {
 	backend := flag.String("backend", storage.BackendHeapWAL,
 		"storage backend when -dir is set: heapwal, segment, or mmap")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-query deadline")
+	admitRate := flag.Float64("admit-rate", 0, "interactive admission tokens/sec per tenant (0 = gate off)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		log.Fatal("usage: implctl [-dir PATH] [-backend heapwal|segment|mmap] demo | search <kw...> | sql <stmt> | ingest <file> [query...] | compact | merge")
+		log.Fatal("usage: implctl [-dir PATH] [-backend heapwal|segment|mmap] demo | search <kw...> | sql <stmt> | ingest <file> [query...] | compact | merge | overload")
+	}
+	if args[0] == "overload" && *admitRate == 0 {
+		// The verb exists to show the gate working; a tight default rate
+		// guarantees visible rejections from a short burst.
+		*admitRate = 50
 	}
 	// Workbench-sized segments: the demo corpus is a few hundred KB, so
 	// the production roll-over threshold would never seal a segment and
 	// the compact/merge verbs would have nothing to show.
-	app, err := impliance.Open(impliance.Config{Dir: *dir, StorageBackend: *backend, SegmentBytes: 16 << 10})
+	app, err := impliance.Open(impliance.Config{
+		Dir: *dir, StorageBackend: *backend, SegmentBytes: 16 << 10,
+		AdmissionInteractiveRate: *admitRate,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,6 +85,7 @@ func main() {
 			c.PointHits, c.PointMisses, c.NegativeHits, c.NegativeMisses,
 			c.PartialHits, c.PartialMisses,
 			c.PointInvalidations+c.NegativeInvalidations+c.PartialInvalidations)
+		printOverload(m)
 
 	case "search":
 		if len(args) < 2 {
@@ -147,8 +162,56 @@ func main() {
 		fmt.Printf("merge folded sealed segments on %d data nodes\n", folds)
 		printFootprint(app, "after merge")
 
+	case "overload":
+		loadDemo(app)
+		// Two tenants fire a burst far above the per-tenant refill rate:
+		// the bucket admits its burst capacity, then fast-rejects the
+		// rest without touching the pool.
+		admitted, rejected := 0, 0
+		for i := 0; i < 200; i++ {
+			tenant := "alice"
+			if i%2 == 1 {
+				tenant = "bob"
+			}
+			_, err := app.SearchContext(ctx, "insurance claim", 5, impliance.WithTenant(tenant))
+			switch {
+			case err == nil:
+				admitted++
+			case errors.Is(err, impliance.ErrOverloaded):
+				rejected++
+			default:
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("burst of 200 searches from 2 tenants at %g tokens/s each: %d admitted, %d rejected\n",
+			*admitRate, admitted, rejected)
+		printOverload(app.MetricsSnapshotContext(ctx))
+
 	default:
 		log.Fatalf("unknown subcommand %q", args[0])
+	}
+}
+
+// printOverload pretty-prints the overload-control counters: per-class
+// pool accounting (executed, queued, shed, queue-full) with wait-time
+// percentiles, per-class admission decisions, and stream fan-out sheds.
+func printOverload(m impliance.Metrics) {
+	fmt.Printf("%-14s %8s %6s %12s %13s %11s %9s %9s\n",
+		"sched class", "tasks", "depth", "shed@submit", "shed@dequeue", "queue-full", "wait p50", "wait p99")
+	for _, class := range []string{"interactive", "background", "durability"} {
+		s := m.Sched[class]
+		fmt.Printf("%-14s %8d %6d %12d %13d %11d %8dµs %8dµs\n",
+			class, s.Tasks, s.QueueDepth, s.ShedAtSubmit, s.ShedAtDequeue, s.RejectedFull,
+			s.WaitP50Us, s.WaitP99Us)
+	}
+	for _, class := range []string{"interactive", "background", "durability"} {
+		a := m.Admission[class]
+		if a.Admitted+a.Rejected > 0 {
+			fmt.Printf("admission %-12s: %d admitted, %d rejected\n", class, a.Admitted, a.Rejected)
+		}
+	}
+	if m.StreamShedCalls > 0 {
+		fmt.Printf("stream fan-out: %d node calls shed before dispatch\n", m.StreamShedCalls)
 	}
 }
 

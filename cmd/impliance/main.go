@@ -23,10 +23,19 @@
 //	-grid N        grid nodes
 //	-dir PATH      persist WALs under PATH (default: in-memory)
 //	-backend NAME  store layout when -dir is set: heapwal (default), segment, or mmap
+//	-admit-rate R  interactive admission tokens/sec per tenant (0 = gate off)
+//	-admit-burst B interactive admission burst (0 = one second of refill)
+//	-ingest-admit-rate R   ingest admission tokens/sec per source (0 = gate off)
+//	-ingest-admit-burst B  ingest admission burst (0 = one second of refill)
+//
+// Requests may carry an X-Tenant header (or ?tenant=): each tenant
+// draws from its own admission bucket, and a rejected request comes
+// back as 429 with a Retry-After hint instead of queueing.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -45,10 +54,18 @@ func main() {
 	gridNodes := flag.Int("grid", 2, "grid nodes")
 	dir := flag.String("dir", "", "persistence directory (empty = in-memory)")
 	backend := flag.String("backend", "", "storage backend when -dir is set: heapwal (default), segment, or mmap")
+	admitRate := flag.Float64("admit-rate", 0, "interactive admission tokens/sec per tenant (0 = gate off)")
+	admitBurst := flag.Float64("admit-burst", 0, "interactive admission burst (0 = one second of refill)")
+	ingestAdmitRate := flag.Float64("ingest-admit-rate", 0, "ingest admission tokens/sec per source (0 = gate off)")
+	ingestAdmitBurst := flag.Float64("ingest-admit-burst", 0, "ingest admission burst (0 = one second of refill)")
 	flag.Parse()
 
 	app, err := impliance.Open(impliance.Config{
 		DataNodes: *dataNodes, GridNodes: *gridNodes, Dir: *dir, StorageBackend: *backend,
+		AdmissionInteractiveRate:  *admitRate,
+		AdmissionInteractiveBurst: *admitBurst,
+		AdmissionIngestRate:       *ingestAdmitRate,
+		AdmissionIngestBurst:      *ingestAdmitBurst,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -87,6 +104,9 @@ func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.app.IngestBytesContext(r.Context(), source, body)
 	if err != nil {
+		if overloaded(w, err) {
+			return
+		}
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -100,8 +120,11 @@ func (s *server) doc(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
-	d, err := s.app.GetContext(r.Context(), id)
+	d, err := s.app.GetContext(r.Context(), id, tenantOpt(r)...)
 	if err != nil {
+		if overloaded(w, err) {
+			return
+		}
 		httpErr(w, http.StatusNotFound, err)
 		return
 	}
@@ -116,8 +139,11 @@ func (s *server) search(w http.ResponseWriter, r *http.Request) {
 	if k <= 0 {
 		k = 10
 	}
-	rows, err := s.app.SearchContext(r.Context(), q, k)
+	rows, err := s.app.SearchContext(r.Context(), q, k, tenantOpt(r)...)
 	if err != nil {
+		if overloaded(w, err) {
+			return
+		}
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -143,8 +169,11 @@ func (s *server) facets(w http.ResponseWriter, r *http.Request) {
 		Dimensions: r.URL.Query()["dim"],
 		Refine:     impliance.True(),
 	}
-	res, err := s.app.FacetsContext(r.Context(), req)
+	res, err := s.app.FacetsContext(r.Context(), req, tenantOpt(r)...)
 	if err != nil {
+		if overloaded(w, err) {
+			return
+		}
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -176,8 +205,11 @@ func (s *server) sql(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.app.ExecSQLContext(r.Context(), string(body))
+	res, err := s.app.ExecSQLContext(r.Context(), string(body), tenantOpt(r)...)
 	if err != nil {
+		if overloaded(w, err) {
+			return
+		}
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -229,6 +261,37 @@ func (s *server) discover(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.app.MetricsSnapshotContext(r.Context()))
+}
+
+// tenantOpt names the caller's admission bucket from the X-Tenant
+// header (or ?tenant=); absent, requests share the default bucket.
+func tenantOpt(r *http.Request) []impliance.CallOption {
+	t := r.Header.Get("X-Tenant")
+	if t == "" {
+		t = r.URL.Query().Get("tenant")
+	}
+	if t == "" {
+		return nil
+	}
+	return []impliance.CallOption{impliance.WithTenant(t)}
+}
+
+// overloaded turns an admission rejection into 429 + Retry-After; the
+// request never reached the pool, so retrying after the hint is safe.
+func overloaded(w http.ResponseWriter, err error) bool {
+	if !errors.Is(err, impliance.ErrOverloaded) {
+		return false
+	}
+	var oe *impliance.OverloadError
+	if errors.As(err, &oe) && oe.RetryAfter > 0 {
+		secs := int(oe.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	httpErr(w, http.StatusTooManyRequests, err)
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

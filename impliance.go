@@ -39,6 +39,7 @@ import (
 	"impliance/internal/ingest"
 	"impliance/internal/plan"
 	"impliance/internal/query"
+	"impliance/internal/sched"
 	"impliance/internal/virt"
 )
 
@@ -174,6 +175,26 @@ type (
 	Item = core.Item
 	// DataClass drives replication policy.
 	DataClass = virt.DataClass
+	// OverloadError is an admission rejection, carrying the class,
+	// tenant, and a retry-after hint; match with
+	// errors.Is(err, ErrOverloaded).
+	OverloadError = sched.OverloadError
+	// SchedClass is a pool SLO class (admission and scheduling).
+	SchedClass = sched.Class
+)
+
+// Overload-control errors (docs/ARCHITECTURE.md "Overload control").
+var (
+	// ErrOverloaded: the facade admission gate rejected the request
+	// before any pool dispatch or fabric traffic; back off per the
+	// OverloadError's RetryAfter hint.
+	ErrOverloaded = sched.ErrOverloaded
+	// ErrQueueFull: a pool class queue was saturated — distinct from
+	// policy rejection so callers can tell the two overload modes apart.
+	ErrQueueFull = sched.ErrQueueFull
+	// ErrShed: queued work was dropped because the caller's
+	// deadline/cancellation arrived first.
+	ErrShed = sched.ErrShed
 )
 
 // Data classes (paper §3.4 storage management).
@@ -207,6 +228,10 @@ var (
 	WithStaleReads = core.WithStaleReads
 	// WithConsistency selects the replica rule for routed point reads.
 	WithConsistency = core.WithConsistency
+	// WithTenant names the calling tenant for per-tenant admission
+	// buckets; one tenant hammering the appliance exhausts its own
+	// tokens, not its neighbours'.
+	WithTenant = core.WithTenant
 )
 
 // Drill refines a faceted-search state by clicking a bucket.

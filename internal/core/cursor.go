@@ -170,6 +170,11 @@ func (c *Cursor) finish(err error) {
 // frees the pool worker along with the fan-out.
 func (e *Engine) RunStream(ctx context.Context, q plan.Query, opts ...CallOption) (*Cursor, error) {
 	ctx, optCancel, o := resolveOpts(ctx, opts)
+	// Fast-reject before planning or pool dispatch.
+	if err := e.admitOp(sched.Interactive, o.tenant); err != nil {
+		optCancel()
+		return nil, err
+	}
 	sctx, cancel := context.WithCancel(ctx)
 	cancelAll := func() { cancel(); optCancel() }
 
@@ -216,9 +221,20 @@ func (e *Engine) RunStream(ctx context.Context, q plan.Query, opts ...CallOption
 		}
 		c.finish(streamErr)
 	}
-	if !e.pool.Submit(sched.Interactive, work) {
-		c.finish(errors.New("core: engine closed"))
-		return nil, errors.New("core: engine closed")
+	// The producer carries the stream's ctx: if the caller's deadline
+	// dies while the task is still queued, the pool sheds it (counted,
+	// never executed) and OnShed settles the cursor so Next/Close
+	// unwind. A saturated interactive queue surfaces as typed
+	// ErrQueueFull rather than silently blocking the submitter.
+	err := e.pool.Enqueue(sched.Task{
+		Class:  sched.Interactive,
+		Ctx:    sctx,
+		Run:    work,
+		OnShed: func(shedErr error) { c.finish(shedErr) },
+	})
+	if err != nil {
+		c.finish(err)
+		return nil, err
 	}
 	return c, nil
 }
@@ -233,6 +249,16 @@ func (e *Engine) RunStream(ctx context.Context, q plan.Query, opts ...CallOption
 func (e *Engine) streamScan(ctx context.Context, filter expr.Expr, limit int, c *Cursor) error {
 	payload := filter.Encode()
 	nodes := e.ringNodes()
+	next, inFlight := 0, 0
+	// Fan-out shedding: node calls never dispatched because the
+	// caller's deadline/cancellation arrived first are counted, not
+	// issued. (A satisfied limit also leaves nodes undispatched, but
+	// the ctx is alive then — that's completion, not shedding.)
+	defer func() {
+		if ctx.Err() != nil && next < len(nodes) {
+			e.streamShed.Add(uint64(len(nodes) - next))
+		}
+	}()
 	type partial struct {
 		docs []*docmodel.Document
 		err  error
@@ -250,7 +276,6 @@ func (e *Engine) streamScan(ctx context.Context, filter expr.Expr, limit int, c 
 			return false
 		}
 	}
-	next, inFlight := 0, 0
 	dispatch := func() {
 		for inFlight < streamInFlight && next < len(nodes) && ctx.Err() == nil {
 			dn := nodes[next]

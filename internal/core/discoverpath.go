@@ -312,7 +312,8 @@ func (e *Engine) RecoverDataNode(dead fabric.NodeID) (int, error) {
 	sort.Ints(parts)
 	for _, p := range parts {
 		ids := byPart[p]
-		e.pool.Submit(sched.Background, func() { e.reindexDocs(ids) })
+		// Durability class: repair work restores promised replica counts.
+		e.pool.Submit(sched.Durability, func() { e.reindexDocs(ids) })
 	}
 	// A failure during open hand-off windows re-armed them under fresh
 	// generations (the in-flight plans may miss owners the removal
@@ -321,7 +322,7 @@ func (e *Engine) RecoverDataNode(dead fabric.NodeID) (int, error) {
 	if replan := e.smgr.ReplanHandoffs(e.eligibleDataIDs()); replan != nil {
 		for _, pt := range replan.Partitions {
 			pt := pt
-			e.pool.Submit(sched.Background, func() { e.catchUpPartition(pt) })
+			e.pool.Submit(sched.Durability, func() { e.catchUpPartition(pt) })
 		}
 	}
 	return repaired, nil

@@ -138,6 +138,29 @@ type Config struct {
 	DisablePointCache    bool
 	DisableNegativeCache bool
 	DisablePartialCache  bool
+
+	// --- Overload control (docs/ARCHITECTURE.md "Overload control") ---
+
+	// AdmissionInteractiveRate caps admitted interactive operations
+	// (point reads, queries, streams, facets) per tenant per second at
+	// the facade; rejected calls fail fast with ErrOverloaded before
+	// any pool dispatch or fabric traffic. 0 leaves interactive
+	// traffic ungated.
+	AdmissionInteractiveRate float64
+	// AdmissionInteractiveBurst caps a tenant bucket's accumulated
+	// tokens (0 = one second of refill).
+	AdmissionInteractiveBurst float64
+	// AdmissionIngestRate / AdmissionIngestBurst gate ingestion the
+	// same way, keyed by each item's Source. 0 leaves ingest ungated.
+	AdmissionIngestRate  float64
+	AdmissionIngestBurst float64
+	// DisableAdmission turns the gate off regardless of rates (E25
+	// ablation).
+	DisableAdmission bool
+
+	// SchedWeights overrides the pool's per-class deficit-round-robin
+	// quanta (zero entries take the sched defaults 16/1/4).
+	SchedWeights sched.Weights
 }
 
 // Normalize fills defaults in place.
@@ -271,6 +294,15 @@ type Engine struct {
 	// how much the partition router pruned.
 	valueProbes valueProbeCounters
 
+	// admission is the facade overload gate (nil when unconfigured or
+	// disabled: everything admitted).
+	admission *sched.Admission
+
+	// streamShed counts node calls a streaming scan never dispatched
+	// because the caller's deadline/cancellation arrived first — the
+	// fan-out half of deadline shedding.
+	streamShed atomic.Uint64
+
 	closed bool
 	mu     sync.Mutex
 }
@@ -368,8 +400,20 @@ func Open(cfg Config) (*Engine, error) {
 		ap.SetRouter(e.smgr) // data-affine keyed placement over the ring
 		e.placer = ap
 	}
-	e.pool = sched.NewPool(cfg.Workers, cfg.FIFOScheduling)
+	e.pool = sched.NewPoolConfig(sched.PoolConfig{
+		Workers: cfg.Workers,
+		FIFO:    cfg.FIFOScheduling,
+		Weights: cfg.SchedWeights,
+	})
 	e.pool.SetClock(e.clock)
+	if !cfg.DisableAdmission && (cfg.AdmissionInteractiveRate > 0 || cfg.AdmissionIngestRate > 0) {
+		var rates, bursts [sched.NumClasses]float64
+		rates[sched.Interactive] = cfg.AdmissionInteractiveRate
+		bursts[sched.Interactive] = cfg.AdmissionInteractiveBurst
+		rates[sched.Background] = cfg.AdmissionIngestRate
+		bursts[sched.Background] = cfg.AdmissionIngestBurst
+		e.admission = sched.NewAdmission(sched.AdmissionConfig{Clock: e.clock, Rates: rates, Bursts: bursts})
+	}
 
 	e.registerSystemViews()
 	return e, nil
@@ -410,6 +454,20 @@ func (e *Engine) Fabric() fabric.Transport { return e.fab }
 
 // Pool exposes the execution pool (experiments read queue stats).
 func (e *Engine) Pool() *sched.Pool { return e.pool }
+
+// admitOp consults the facade admission gate for one operation of the
+// given SLO class on the tenant's bucket. It is the fast-reject path:
+// a rejection costs one bucket lookup — no pool dispatch, no fabric
+// traffic — and returns *sched.OverloadError with a retry-after hint.
+func (e *Engine) admitOp(c sched.Class, tenant string) error {
+	return e.admission.Admit(c, tenant)
+}
+
+// admitIngest gates a batch of n documents from one source through the
+// ingest bucket.
+func (e *Engine) admitIngest(source string, n int) error {
+	return e.admission.AdmitN(sched.Background, source, n)
+}
 
 // Broker exposes the resource broker.
 func (e *Engine) Broker() *virt.Broker { return e.broker }
@@ -855,6 +913,36 @@ type Metrics struct {
 
 	// Hot-path cache accounting (see Engine.CacheStats).
 	Caches CacheMetrics
+
+	// Overload-control accounting (see Engine.OverloadStats): per-class
+	// pool scheduling/shedding counters, facade admission decisions,
+	// and streaming fan-out sheds.
+	Sched           map[string]SchedClassMetrics
+	Admission       map[string]AdmissionClassMetrics
+	StreamShedCalls uint64
+}
+
+// SchedClassMetrics reports one SLO class's pool accounting: executed
+// tasks, instantaneous queue depth, queue-wait distribution, and the
+// three overload outcomes (shed at submit, shed at dequeue, rejected on
+// a full queue).
+type SchedClassMetrics struct {
+	Tasks         uint64
+	QueueDepth    int
+	ShedAtSubmit  uint64
+	ShedAtDequeue uint64
+	RejectedFull  uint64
+	MeanWaitUs    int64
+	WaitP50Us     int64
+	WaitP99Us     int64
+	MaxWaitUs     int64
+}
+
+// AdmissionClassMetrics reports facade admission decisions for one
+// class's buckets (summed over tenants).
+type AdmissionClassMetrics struct {
+	Admitted uint64
+	Rejected uint64
 }
 
 // CacheMetrics reports the hot-path caches' counters: hits, misses and
@@ -893,6 +981,7 @@ func (e *Engine) MetricsSnapshotContext(ctx context.Context) Metrics {
 	}
 	m.ValueLookups, m.ValueProbes, m.ValueProbePruned, m.ValueProbeFallbacks = e.ValueProbeStats()
 	m.Caches = e.CacheStats()
+	m.Sched, m.Admission, m.StreamShedCalls = e.OverloadStats()
 	seen := map[docmodel.DocID]struct{}{}
 	for _, dn := range e.dataNodes() {
 		if ctx.Err() != nil {
@@ -916,6 +1005,35 @@ func (e *Engine) MetricsSnapshotContext(ctx context.Context) Metrics {
 		})
 	}
 	return m
+}
+
+// OverloadStats snapshots the overload-control counters: per-class
+// pool scheduling stats, per-class admission decisions, and how many
+// streaming fan-out node calls were shed un-dispatched.
+func (e *Engine) OverloadStats() (map[string]SchedClassMetrics, map[string]AdmissionClassMetrics, uint64) {
+	scheds := map[string]SchedClassMetrics{}
+	pool := e.pool.StatsAll()
+	adm := e.admission.Stats()
+	admits := map[string]AdmissionClassMetrics{}
+	for _, c := range sched.Classes() {
+		qs := pool[c]
+		scheds[c.String()] = SchedClassMetrics{
+			Tasks:         qs.Tasks,
+			QueueDepth:    qs.Depth,
+			ShedAtSubmit:  qs.ShedAtSubmit,
+			ShedAtDequeue: qs.ShedAtDequeue,
+			RejectedFull:  qs.RejectedFull,
+			MeanWaitUs:    qs.MeanWait().Microseconds(),
+			WaitP50Us:     qs.WaitP50.Microseconds(),
+			WaitP99Us:     qs.WaitP99.Microseconds(),
+			MaxWaitUs:     qs.MaxWait.Microseconds(),
+		}
+		admits[c.String()] = AdmissionClassMetrics{
+			Admitted: adm.Admitted[c],
+			Rejected: adm.Rejected[c],
+		}
+	}
+	return scheds, admits, e.streamShed.Load()
 }
 
 // CacheStats snapshots the hot-path cache counters.

@@ -41,6 +41,9 @@ func (e *Engine) Ingest(item Item) (docmodel.DocID, error) {
 // under the engine's own lifetime, never the caller's, so a departed
 // client cannot strand a partition under-replicated.
 func (e *Engine) IngestContext(ctx context.Context, item Item) (docmodel.DocID, error) {
+	if err := e.admitIngest(item.Source, 1); err != nil {
+		return docmodel.DocID{}, err
+	}
 	stored, others, err := e.ingestOne(ctx, item)
 	if err != nil {
 		return docmodel.DocID{}, err
@@ -92,6 +95,28 @@ func (e *Engine) IngestBatch(items []Item) ([]docmodel.DocID, error) {
 // will no longer happen — and the IDs acked so far are returned with
 // the error.
 func (e *Engine) IngestBatchContext(ctx context.Context, items []Item) ([]docmodel.DocID, error) {
+	// Admit the whole batch up front, one bucket take per source: a
+	// rejected batch costs no primary writes. A mixed-source batch that
+	// clears some sources and trips on a later one refunds the admitted
+	// heads, so rejection never burns another source's tokens.
+	if e.admission != nil {
+		counts := map[string]int{}
+		var sources []string // first-appearance order: deterministic decisions
+		for _, it := range items {
+			if counts[it.Source] == 0 {
+				sources = append(sources, it.Source)
+			}
+			counts[it.Source]++
+		}
+		for i, src := range sources {
+			if err := e.admitIngest(src, counts[src]); err != nil {
+				for _, prev := range sources[:i] {
+					e.admission.Refund(sched.Background, prev, counts[prev])
+				}
+				return nil, err
+			}
+		}
+	}
 	ids := make([]docmodel.DocID, 0, len(items))
 	batches := map[*dataNode][]*docmodel.Document{}
 	var order []*dataNode // deterministic flush order
@@ -143,7 +168,10 @@ func (e *Engine) flushReplicaBatches(batches map[*dataNode][]*docmodel.Document,
 		if e.cfg.SyncReplication {
 			ship()
 		} else {
-			e.pool.Submit(sched.Background, ship)
+			// Durability class: replica shipment must survive any
+			// caller's departure and outranks background analysis in the
+			// pool's weighted rotation.
+			e.pool.Submit(sched.Durability, ship)
 		}
 	}
 }
@@ -164,6 +192,12 @@ func (e *Engine) UpdateContext(ctx context.Context, id docmodel.DocID, newBody d
 	}
 	latest, err := primary.store.Get(id)
 	if err != nil {
+		return docmodel.VersionKey{}, err
+	}
+	// Updates are write traffic: they draw on the document's source
+	// bucket (known only after the local read-back — which costs no
+	// fabric traffic).
+	if err := e.admitIngest(latest.Source, 1); err != nil {
 		return docmodel.VersionKey{}, err
 	}
 	doc := latest.Clone()
@@ -236,7 +270,8 @@ func (e *Engine) replicateTo(stored *docmodel.Document, nodes []*dataNode) {
 	}
 	for _, dn := range nodes {
 		dn := dn
-		e.pool.Submit(sched.Background, func() {
+		// Durability class (see flushReplicaBatches).
+		e.pool.Submit(sched.Durability, func() {
 			// A Call (not a one-way Send) so a target killed after the
 			// enqueue still surfaces the miss — fire-and-forget would let
 			// the write vanish with the mailbox and leave the node
@@ -321,6 +356,11 @@ func (e *Engine) GetContext(ctx context.Context, id docmodel.DocID, opts ...Call
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Admission before any work — a rejected read must not even probe
+	// the cache, or overload-priced tenants would still heat the LRU.
+	if err := e.admitOp(sched.Interactive, o.tenant); err != nil {
+		return nil, err
+	}
 	part := e.smgr.PartitionOf(id)
 	pgen := e.smgr.PartitionGen(part)
 	if d, neg, ok := e.caches.GetDoc(id, pgen, o.staleReads); ok {
@@ -367,6 +407,9 @@ func (e *Engine) GetVersionContext(ctx context.Context, key docmodel.VersionKey,
 	ctx, cancel, o := resolveOpts(ctx, opts)
 	defer cancel()
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := e.admitOp(sched.Interactive, o.tenant); err != nil {
 		return nil, err
 	}
 	dn, err := e.holderFor(key.Doc, o.consistency)

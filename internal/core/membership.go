@@ -62,7 +62,9 @@ func (e *Engine) joinDataNodeLocked(id fabric.NodeID) (int, error) {
 	e.trace("join %s: %d partitions moving, %d copies scheduled", id, len(plan.Partitions), moved)
 	for _, pt := range plan.Partitions {
 		pt := pt
-		e.pool.Submit(sched.Background, func() { e.catchUpPartition(pt) })
+		// Durability class: catch-up closes hand-off windows — it must
+		// not queue behind background analysis or any caller's deadline.
+		e.pool.Submit(sched.Durability, func() { e.catchUpPartition(pt) })
 	}
 	return moved, nil
 }
@@ -213,7 +215,9 @@ func (e *Engine) RebalanceOnSkew() (int, bool) {
 	e.trace("rebalance: %d partitions moving, %d copies scheduled", len(plan.Partitions), moved)
 	for _, pt := range plan.Partitions {
 		pt := pt
-		e.pool.Submit(sched.Background, func() { e.catchUpPartition(pt) })
+		// Durability class: catch-up closes hand-off windows — it must
+		// not queue behind background analysis or any caller's deadline.
+		e.pool.Submit(sched.Durability, func() { e.catchUpPartition(pt) })
 	}
 	return moved, true
 }

@@ -36,6 +36,7 @@ type callOpts struct {
 	deadline    time.Duration
 	staleReads  bool
 	consistency Consistency
+	tenant      string
 }
 
 // resolveOpts folds the options and applies the deadline to the context.
@@ -84,4 +85,12 @@ func WithStaleReads() CallOption {
 // reads (Get, GetVersion, and the fetch half of index lookups).
 func WithConsistency(c Consistency) CallOption {
 	return func(o *callOpts) { o.consistency = c }
+}
+
+// WithTenant names the caller for admission control: each tenant gets
+// its own token bucket at the facade, so one tenant saturating its rate
+// is rejected with ErrOverloaded while others keep flowing. The empty
+// string (the default) is the shared anonymous bucket.
+func WithTenant(tenant string) CallOption {
+	return func(o *callOpts) { o.tenant = tenant }
 }

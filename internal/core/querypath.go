@@ -41,6 +41,11 @@ func (e *Engine) Run(q plan.Query) (*Result, error) {
 func (e *Engine) RunContext(ctx context.Context, q plan.Query, opts ...CallOption) (*Result, error) {
 	ctx, cancel, o := resolveOpts(ctx, opts)
 	defer cancel()
+	// Fast-reject before planning: an overloaded tenant costs one
+	// bucket lookup, no plan, no fan-out.
+	if err := e.admitOp(sched.Interactive, o.tenant); err != nil {
+		return nil, err
+	}
 	if o.limit > 0 && (q.K == 0 || o.limit < q.K) {
 		q.K = o.limit
 	}
@@ -704,6 +709,9 @@ func (e *Engine) Facets(req query.FacetRequest) (*query.FacetResult, error) {
 func (e *Engine) FacetsContext(ctx context.Context, req query.FacetRequest, opts ...CallOption) (*query.FacetResult, error) {
 	ctx, cancel, o := resolveOpts(ctx, opts)
 	defer cancel()
+	if err := e.admitOp(sched.Interactive, o.tenant); err != nil {
+		return nil, err
+	}
 	req.Normalize()
 	// Candidate set: keyword hits refined by the drill-down predicate, or
 	// a pushed-down scan when there is no keyword.

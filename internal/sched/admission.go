@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Admission is the facade's overload gate: a token bucket per
+// (class, tenant) key, consulted before any pool dispatch or fabric
+// traffic. A rejected request costs one map lookup and returns an
+// *OverloadError carrying a retry-after hint, so clients back off with
+// information instead of queueing work the appliance cannot finish in
+// time.
+//
+// Time comes from the scheduler Clock, so under the deterministic
+// simulator's virtual clock admission decisions are a pure function of
+// the call sequence — the property test in admission_test.go pins that
+// down.
+
+// ErrOverloaded is the sentinel for admission rejection; match with
+// errors.Is. The concrete error is *OverloadError.
+var ErrOverloaded = errors.New("sched: overloaded")
+
+// OverloadError reports an admission rejection.
+type OverloadError struct {
+	Class  Class
+	Tenant string
+	// RetryAfter estimates when the bucket will hold a token again at
+	// the configured refill rate — the backoff hint for clients.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("sched: overloaded (class=%s tenant=%q retry after %v)",
+		e.Class, e.Tenant, e.RetryAfter)
+}
+
+// Unwrap lets errors.Is(err, ErrOverloaded) match.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// AdmissionConfig sets per-class token rates. A class with Rate 0 is
+// not gated.
+type AdmissionConfig struct {
+	// Clock is the time source (nil = wall clock).
+	Clock Clock
+	// Rates is tokens/second granted to each (class, tenant) bucket.
+	Rates [NumClasses]float64
+	// Bursts caps each bucket's accumulated tokens (0 = one second of
+	// refill, minimum 1).
+	Bursts [NumClasses]float64
+}
+
+// AdmissionStats counts decisions per class.
+type AdmissionStats struct {
+	Admitted [NumClasses]uint64
+	Rejected [NumClasses]uint64
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+type bucketKey struct {
+	class  Class
+	tenant string
+}
+
+// maxBuckets bounds tenant-key cardinality; at the cap, stale full
+// buckets are discarded (they carry no debt — rebuilding one is free).
+const maxBuckets = 8192
+
+// Admission is safe for concurrent use. A nil *Admission admits
+// everything (the gate disabled).
+type Admission struct {
+	cfg AdmissionConfig
+
+	mu      sync.Mutex
+	buckets map[bucketKey]*bucket
+	stats   AdmissionStats
+}
+
+// NewAdmission builds the gate.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock()
+	}
+	for c := range cfg.Bursts {
+		if cfg.Bursts[c] <= 0 {
+			cfg.Bursts[c] = cfg.Rates[c]
+		}
+		if cfg.Bursts[c] < 1 {
+			cfg.Bursts[c] = 1
+		}
+	}
+	return &Admission{cfg: cfg, buckets: map[bucketKey]*bucket{}}
+}
+
+// Admit takes one token for (c, tenant), or rejects with *OverloadError.
+func (a *Admission) Admit(c Class, tenant string) error {
+	return a.AdmitN(c, tenant, 1)
+}
+
+// AdmitN takes n tokens atomically — a batch admits or rejects whole.
+func (a *Admission) AdmitN(c Class, tenant string, n int) error {
+	if a == nil || n <= 0 {
+		return nil
+	}
+	rate := a.cfg.Rates[c]
+	if rate <= 0 {
+		return nil
+	}
+	burst := a.cfg.Bursts[c]
+	now := a.cfg.Clock.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	key := bucketKey{class: c, tenant: tenant}
+	b := a.buckets[key]
+	if b == nil {
+		if len(a.buckets) >= maxBuckets {
+			a.evictFullLocked()
+		}
+		b = &bucket{tokens: burst, last: now}
+		a.buckets[key] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * rate
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+	}
+	b.last = now
+	need := float64(n)
+	if b.tokens >= need {
+		b.tokens -= need
+		a.stats.Admitted[c]++
+		return nil
+	}
+	a.stats.Rejected[c]++
+	retry := time.Duration((need - b.tokens) / rate * float64(time.Second))
+	return &OverloadError{Class: c, Tenant: tenant, RetryAfter: retry}
+}
+
+// Refund returns n tokens to a bucket (a multi-source batch that
+// admitted some sources and then failed another puts the heads back).
+func (a *Admission) Refund(c Class, tenant string, n int) {
+	if a == nil || n <= 0 || a.cfg.Rates[c] <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if b := a.buckets[bucketKey{class: c, tenant: tenant}]; b != nil {
+		b.tokens += float64(n)
+		if b.tokens > a.cfg.Bursts[c] {
+			b.tokens = a.cfg.Bursts[c]
+		}
+	}
+}
+
+// evictFullLocked drops buckets whose tokens are at burst — tenants not
+// seen for at least a full refill period.
+func (a *Admission) evictFullLocked() {
+	for k, b := range a.buckets {
+		if dt := a.cfg.Clock.Now().Sub(b.last).Seconds(); b.tokens+dt*a.cfg.Rates[k.class] >= a.cfg.Bursts[k.class] {
+			delete(a.buckets, k)
+		}
+	}
+}
+
+// Stats snapshots admission decisions.
+func (a *Admission) Stats() AdmissionStats {
+	if a == nil {
+		return AdmissionStats{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}

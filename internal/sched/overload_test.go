@@ -1,0 +1,368 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// logPool builds a paused single-worker pool whose executed tasks append
+// their class to a shared log — scheduling order becomes inspectable.
+func logPool(t *testing.T, cfg PoolConfig) (*Pool, func() []Class, func(Class)) {
+	t.Helper()
+	cfg.Workers = 1
+	p := NewPoolConfig(cfg)
+	t.Cleanup(p.Close)
+	var mu sync.Mutex
+	var log []Class
+	submit := func(c Class) {
+		if !p.Submit(c, func() {
+			mu.Lock()
+			log = append(log, c)
+			mu.Unlock()
+		}) {
+			t.Fatalf("submit %v failed", c)
+		}
+	}
+	snapshot := func() []Class {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]Class(nil), log...)
+	}
+	return p, snapshot, submit
+}
+
+// A background flood must not starve interactive past its weight share:
+// with quanta 16:1:4, every rotation serves 16 interactive tasks while
+// interactive backlog lasts — and background still makes progress.
+func TestWeightedShareUnderBackgroundFlood(t *testing.T) {
+	p, snapshot, submit := logPool(t, PoolConfig{})
+	p.Pause()
+	for i := 0; i < 500; i++ {
+		submit(Background)
+	}
+	for i := 0; i < 200; i++ {
+		submit(Interactive)
+	}
+	p.Resume()
+	p.Drain()
+
+	log := snapshot()
+	if len(log) != 700 {
+		t.Fatalf("executed %d tasks, want 700", len(log))
+	}
+	lastInteractive := 0
+	for i, c := range log {
+		if c == Interactive {
+			lastInteractive = i
+		}
+	}
+	// 200 interactive at quantum 16 need ceil(200/16)=13 rotations, each
+	// costing at most 1 background slot (durability queue is empty) —
+	// so the last interactive task lands by position ~215. Anything
+	// near the tail would mean the flood starved the class.
+	if lastInteractive > 260 {
+		t.Fatalf("interactive starved: last interactive task at position %d of %d", lastInteractive, len(log))
+	}
+	// Weighted, not strict: background must appear inside the
+	// interactive backlog window, at roughly 1 per 17 slots.
+	bg := 0
+	for _, c := range log[:200] {
+		if c == Background {
+			bg++
+		}
+	}
+	if bg < 5 {
+		t.Fatalf("background fully starved during interactive backlog: %d of first 200", bg)
+	}
+	if bg > 60 {
+		t.Fatalf("interactive did not get its weight share: %d background in first 200", bg)
+	}
+}
+
+// Durability work outranks background analysis but cannot shut it out.
+func TestDurabilityOutranksBackground(t *testing.T) {
+	p, snapshot, submit := logPool(t, PoolConfig{})
+	p.Pause()
+	for i := 0; i < 300; i++ {
+		submit(Background)
+	}
+	for i := 0; i < 100; i++ {
+		submit(Durability)
+	}
+	p.Resume()
+	p.Drain()
+	log := snapshot()
+	last := 0
+	for i, c := range log {
+		if c == Durability {
+			last = i
+		}
+	}
+	// 100 durability at quantum 4 need 25 rotations × ≤1 background slot
+	// (interactive empty) — done by ~position 130.
+	if last > 200 {
+		t.Fatalf("durability starved: last at position %d of %d", last, len(log))
+	}
+}
+
+// Durability tasks are never shed by caller deadlines — not at submit,
+// not at dequeue — because the write path promised the work.
+func TestDurabilityNeverShed(t *testing.T) {
+	p := NewPoolConfig(PoolConfig{Workers: 1})
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // caller is already gone
+
+	p.Pause()
+	var ran int
+	var mu sync.Mutex
+	for i := 0; i < 10; i++ {
+		if err := p.Enqueue(Task{Class: Durability, Ctx: ctx, Run: func() {
+			mu.Lock()
+			ran++
+			mu.Unlock()
+		}}); err != nil {
+			t.Fatalf("durability submit with dead ctx rejected: %v", err)
+		}
+	}
+	p.Resume()
+	p.Drain()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if ran != 10 {
+		t.Fatalf("durability tasks ran %d of 10", ran)
+	}
+	st := p.Stats(Durability)
+	if st.ShedAtSubmit != 0 || st.ShedAtDequeue != 0 {
+		t.Fatalf("durability shed: submit=%d dequeue=%d", st.ShedAtSubmit, st.ShedAtDequeue)
+	}
+}
+
+// Tasks with an already-dead ctx are rejected at submit time (cheap
+// check, no queue slot); tasks whose ctx dies while queued are shed at
+// dequeue — counted, not executed, with the OnShed notification fired.
+func TestShedAtBothPoints(t *testing.T) {
+	p := NewPoolConfig(PoolConfig{Workers: 1})
+	defer p.Close()
+
+	dead, cancelDead := context.WithCancel(context.Background())
+	cancelDead()
+	err := p.SubmitCtx(dead, Interactive, func() { t.Error("shed task ran") })
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("submit with dead ctx: got %v, want ErrShed", err)
+	}
+	if st := p.Stats(Interactive); st.ShedAtSubmit != 1 {
+		t.Fatalf("ShedAtSubmit=%d, want 1", st.ShedAtSubmit)
+	}
+
+	// Queue tasks while paused, then kill their ctx before any dequeue.
+	ctx, cancel := context.WithCancel(context.Background())
+	p.Pause()
+	var shedErrs []error
+	var mu sync.Mutex
+	for i := 0; i < 5; i++ {
+		if err := p.Enqueue(Task{Class: Interactive, Ctx: ctx,
+			Run:    func() { t.Error("dead-ctx task executed") },
+			OnShed: func(e error) { mu.Lock(); shedErrs = append(shedErrs, e); mu.Unlock() },
+		}); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	cancel()
+	p.Resume()
+	p.Drain()
+
+	st := p.Stats(Interactive)
+	if st.ShedAtDequeue != 5 {
+		t.Fatalf("ShedAtDequeue=%d, want 5", st.ShedAtDequeue)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(shedErrs) != 5 {
+		t.Fatalf("OnShed fired %d times, want 5", len(shedErrs))
+	}
+	for _, e := range shedErrs {
+		if !errors.Is(e, ErrShed) {
+			t.Fatalf("OnShed error %v does not wrap ErrShed", e)
+		}
+	}
+}
+
+// A full interactive queue rejects with typed ErrQueueFull instead of
+// silently blocking the submitter; durability applies backpressure.
+func TestQueueFullTyped(t *testing.T) {
+	p := NewPoolConfig(PoolConfig{Workers: 1, QueueCap: [NumClasses]int{Interactive: 2, Background: 2, Durability: 2}})
+	defer p.Close()
+	p.Pause()
+
+	for i := 0; i < 2; i++ {
+		if err := p.SubmitCtx(context.Background(), Interactive, func() {}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	err := p.SubmitCtx(context.Background(), Interactive, func() {})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full queue: got %v, want ErrQueueFull", err)
+	}
+	if st := p.Stats(Interactive); st.RejectedFull != 1 {
+		t.Fatalf("RejectedFull=%d, want 1", st.RejectedFull)
+	}
+
+	// Durability never fast-fails: a full queue blocks until a worker
+	// frees a slot.
+	for i := 0; i < 2; i++ {
+		if err := p.Enqueue(Task{Class: Durability, Run: func() {}}); err != nil {
+			t.Fatalf("durability fill %d: %v", i, err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Enqueue(Task{Class: Durability, Run: func() {}}) }()
+	select {
+	case err := <-done:
+		t.Fatalf("durability enqueue returned %v while queue full; want backpressure", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.Resume()
+	if err := <-done; err != nil {
+		t.Fatalf("durability enqueue after resume: %v", err)
+	}
+	p.Drain()
+}
+
+// Depth and wait percentiles surface through Stats.
+func TestStatsDepthAndPercentiles(t *testing.T) {
+	p := NewPoolConfig(PoolConfig{Workers: 1})
+	defer p.Close()
+	p.Pause()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		p.Submit(Background, func() { wg.Done() })
+	}
+	if d := p.Stats(Background).Depth; d != 8 {
+		t.Fatalf("Depth=%d, want 8", d)
+	}
+	p.Resume()
+	wg.Wait()
+	st := p.Stats(Background)
+	if st.Depth != 0 {
+		t.Fatalf("Depth after drain=%d, want 0", st.Depth)
+	}
+	if st.Tasks != 8 {
+		t.Fatalf("Tasks=%d, want 8", st.Tasks)
+	}
+	if st.WaitP99 < st.WaitP50 {
+		t.Fatalf("WaitP99 %v < WaitP50 %v", st.WaitP99, st.WaitP50)
+	}
+	if st.WaitP50 <= 0 {
+		t.Fatalf("WaitP50=%v, want > 0", st.WaitP50)
+	}
+}
+
+// manualClock is a hand-stepped Clock for deterministic admission tests.
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestAdmissionBucketBasics(t *testing.T) {
+	clk := newManualClock()
+	a := NewAdmission(AdmissionConfig{
+		Clock:  clk,
+		Rates:  [NumClasses]float64{Interactive: 10}, // 10 tokens/s
+		Bursts: [NumClasses]float64{Interactive: 2},  // burst of 2
+	})
+	if err := a.Admit(Interactive, "t1"); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if err := a.Admit(Interactive, "t1"); err != nil {
+		t.Fatalf("second admit (burst): %v", err)
+	}
+	err := a.Admit(Interactive, "t1")
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("empty bucket: got %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.RetryAfter <= 0 || oe.RetryAfter > 150*time.Millisecond {
+		t.Fatalf("retry-after hint out of range: %+v", oe)
+	}
+	// Tenants are isolated, ungated classes are free.
+	if err := a.Admit(Interactive, "t2"); err != nil {
+		t.Fatalf("other tenant: %v", err)
+	}
+	if err := a.Admit(Background, "t1"); err != nil {
+		t.Fatalf("ungated class: %v", err)
+	}
+	// Refill at 10/s: one token back after 100ms.
+	clk.advance(100 * time.Millisecond)
+	if err := a.Admit(Interactive, "t1"); err != nil {
+		t.Fatalf("post-refill admit: %v", err)
+	}
+	st := a.Stats()
+	if st.Rejected[Interactive] != 1 {
+		t.Fatalf("Rejected=%d, want 1", st.Rejected[Interactive])
+	}
+}
+
+// Seeded property test: under a virtual clock, admission decisions are
+// a pure function of the call sequence — two gates fed the identical
+// seeded op stream decide identically, call for call.
+func TestAdmissionDeterministicUnderSimClock(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		run := func() []string {
+			rng := rand.New(rand.NewSource(seed))
+			clk := newManualClock()
+			a := NewAdmission(AdmissionConfig{
+				Clock:  clk,
+				Rates:  [NumClasses]float64{Interactive: 50, Background: 20},
+				Bursts: [NumClasses]float64{Interactive: 5, Background: 3},
+			})
+			tenants := []string{"", "alpha", "beta", "gamma"}
+			var decisions []string
+			for i := 0; i < 400; i++ {
+				clk.advance(time.Duration(rng.Intn(40)) * time.Millisecond)
+				c := Class(rng.Intn(2))
+				tn := tenants[rng.Intn(len(tenants))]
+				n := 1 + rng.Intn(3)
+				err := a.AdmitN(c, tn, n)
+				if err == nil {
+					decisions = append(decisions, "ok")
+				} else {
+					var oe *OverloadError
+					if !errors.As(err, &oe) {
+						t.Fatalf("seed %d op %d: non-overload error %v", seed, i, err)
+					}
+					decisions = append(decisions, oe.Error())
+				}
+			}
+			return decisions
+		}
+		first, second := run(), run()
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("seed %d: decision %d diverged: %q vs %q", seed, i, first[i], second[i])
+			}
+		}
+	}
+}

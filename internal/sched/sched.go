@@ -13,8 +13,10 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -216,20 +218,95 @@ func (p *RandomPlacer) Place(TaskKind) (fabric.NodeID, error) {
 	return id, nil
 }
 
-// Priority separates latency-sensitive from background work.
-type Priority uint8
+// Class is the SLO class of submitted pool work. It separates
+// latency-sensitive query work (Interactive) from deferrable analysis
+// (Background) and from work whose loss would violate the appliance's
+// write guarantees (Durability: replication, catch-up, repair).
+type Class uint8
 
-// Priorities.
+// SLO classes.
 const (
-	Interactive Priority = iota
+	Interactive Class = iota
 	Background
+	Durability
+
+	// NumClasses sizes per-class arrays.
+	NumClasses = 3
 )
 
-// QueueStats reports wait-time accounting for one priority class.
+// Priority is the pre-class name for Class, kept for older call sites.
+type Priority = Class
+
+var classNames = [NumClasses]string{"interactive", "background", "durability"}
+
+// String names the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "class?"
+}
+
+// Classes lists every class in scheduling order (metrics iteration).
+func Classes() [NumClasses]Class { return [NumClasses]Class{Interactive, Background, Durability} }
+
+// Weights are the deficit-round-robin quanta, in tasks per rotation,
+// indexed by Class. A class with backlog is guaranteed its quantum out
+// of every rotation's total, so no class can be starved and no class
+// can claim more than its share while others have work waiting.
+type Weights [NumClasses]int
+
+// DefaultWeights is the appliance policy: interactive work dominates a
+// contended pool without monopolizing it, durability work (replication,
+// catch-up) outranks deferrable analysis, and background analysis is
+// guaranteed forward progress.
+func DefaultWeights() Weights {
+	return Weights{Interactive: 16, Background: 1, Durability: 4}
+}
+
+func (w Weights) normalized() Weights {
+	d := DefaultWeights()
+	for c := range w {
+		if w[c] <= 0 {
+			w[c] = d[c]
+		}
+	}
+	return w
+}
+
+// Pool errors.
+var (
+	// ErrPoolClosed is returned for submissions after Close.
+	ErrPoolClosed = errors.New("sched: pool closed")
+	// ErrQueueFull is returned when a class queue is saturated — the
+	// caller (or the admission layer above it) distinguishes "shed by
+	// policy" (ErrShed, ErrOverloaded) from "queue saturated".
+	ErrQueueFull = errors.New("sched: queue full")
+	// ErrShed is returned/reported when a task is dropped because its
+	// caller's ctx was already dead — at submit time or at dequeue.
+	ErrShed = errors.New("sched: task shed")
+)
+
+// QueueStats reports accounting for one SLO class.
 type QueueStats struct {
-	Tasks     uint64
+	Tasks     uint64 // tasks executed
 	TotalWait time.Duration
 	MaxWait   time.Duration
+
+	// Shed accounting: tasks dropped because the caller's ctx was dead
+	// at submit time / at dequeue, and tasks rejected because the class
+	// queue was full.
+	ShedAtSubmit  uint64
+	ShedAtDequeue uint64
+	RejectedFull  uint64
+
+	// Depth is the instantaneous queued-but-unstarted count.
+	Depth int
+
+	// Wait-time distribution of executed tasks (log-bucketed histogram
+	// upper bounds, resolution 2×).
+	WaitP50 time.Duration
+	WaitP99 time.Duration
 }
 
 // MeanWait returns the average queue wait.
@@ -240,22 +317,117 @@ func (qs QueueStats) MeanWait() time.Duration {
 	return qs.TotalWait / time.Duration(qs.Tasks)
 }
 
-// Pool executes submitted tasks on a fixed worker set. In priority mode
-// (the Impliance design) workers always prefer interactive tasks; in FIFO
-// mode (the E11 ablation) all tasks share one queue.
+// waitHist is a log-bucketed wait-time histogram: bucket i counts waits
+// in [2^(i-1), 2^i) microseconds (bucket 0 is <1µs).
+type waitHist struct {
+	buckets [40]uint64
+	count   uint64
+}
+
+func (h *waitHist) observe(d time.Duration) {
+	us := uint64(d / time.Microsecond)
+	i := bits.Len64(us) // 0 for 0µs
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.count++
+}
+
+// quantile returns the upper bound of the bucket holding the q-th
+// sample (2^i µs), 0 when empty.
+func (h *waitHist) quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen > rank {
+			if i == 0 {
+				return time.Microsecond
+			}
+			return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return 0
+}
+
+// Task is one unit of pool work.
+type Task struct {
+	// Class is the task's SLO class (default Interactive — the zero
+	// value fails safe toward latency, not loss).
+	Class Class
+	// Run executes the work.
+	Run func()
+	// Ctx, when set, is the caller's request lifecycle: a task whose
+	// ctx is already dead is rejected at submit time and shed (counted,
+	// not executed) at dequeue. Durability tasks ignore it — work the
+	// write path promised must run even after the caller gave up.
+	Ctx context.Context
+	// OnShed, when set, is invoked instead of Run if the task is shed
+	// at dequeue, so producers (streaming cursors) can settle their
+	// consumers. It is not called for submit-time rejections — the
+	// submitter already has the error in hand.
+	OnShed func(error)
+}
+
+type poolTask struct {
+	fn       func()
+	class    Class
+	ctx      context.Context
+	onShed   func(error)
+	enqueued time.Time
+	done     chan time.Duration // closed after run; receives queue wait
+}
+
+// PoolConfig sizes a pool beyond the NewPool defaults.
+type PoolConfig struct {
+	Workers int
+	// FIFO disables class scheduling: one shared queue (E11/E25
+	// ablation).
+	FIFO bool
+	// Weights overrides the per-class DRR quanta (zero entries take
+	// defaults).
+	Weights Weights
+	// QueueCap overrides per-class queue capacities (zero entries take
+	// defaults: 4096 interactive, 65536 background/durability).
+	QueueCap [NumClasses]int
+}
+
+// Pool executes submitted tasks on a fixed worker set. In class mode
+// (the Impliance design) workers pick the next task by weighted deficit
+// round-robin across SLO classes — preemption happens at task
+// boundaries, so a background flood cannot hold workers once its
+// quantum is spent. In FIFO mode (the ablation) all tasks share one
+// queue.
 type Pool struct {
 	fifo    bool
 	workers int
 	clock   Clock
 
-	interactive chan poolTask
-	background  chan poolTask
-	single      chan poolTask
-	quit        chan struct{}
-	wg          sync.WaitGroup
+	queues [NumClasses]chan poolTask
+	single chan poolTask
+	quit   chan struct{}
+	wg     sync.WaitGroup
+
+	// DRR state: cur is the class currently spending its quantum;
+	// credits[cur] is what remains of it. Rotating to a class refills
+	// its quantum.
+	schedMu sync.Mutex
+	weights Weights
+	credits [NumClasses]int
+	cur     Class
+
+	depth [NumClasses]atomic.Int64
 
 	mu     sync.Mutex
-	stats  map[Priority]*QueueStats
+	stats  [NumClasses]*QueueStats
+	hists  [NumClasses]*waitHist
 	closed bool
 
 	drainMu sync.Mutex // serializes Drain barriers (two batches would interleave and park all workers)
@@ -267,33 +439,41 @@ type Pool struct {
 	pauseCond *sync.Cond
 }
 
-type poolTask struct {
-	fn       func()
-	pr       Priority
-	enqueued time.Time
-	done     chan time.Duration // closed after run; receives queue wait
+// NewPool starts workers with default queue sizing and weights.
+// fifo=true disables class scheduling.
+func NewPool(workers int, fifo bool) *Pool {
+	return NewPoolConfig(PoolConfig{Workers: workers, FIFO: fifo})
 }
 
-// NewPool starts workers. fifo=true disables priority interleaving.
-func NewPool(workers int, fifo bool) *Pool {
-	if workers <= 0 {
-		workers = 1
+// NewPoolConfig starts workers with explicit sizing.
+func NewPoolConfig(cfg PoolConfig) *Pool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	caps := cfg.QueueCap
+	defCaps := [NumClasses]int{Interactive: 4096, Background: 65536, Durability: 65536}
+	for c := range caps {
+		if caps[c] <= 0 {
+			caps[c] = defCaps[c]
+		}
 	}
 	p := &Pool{
-		fifo:        fifo,
-		workers:     workers,
-		clock:       realClock{},
-		interactive: make(chan poolTask, 4096),
-		background:  make(chan poolTask, 65536),
-		single:      make(chan poolTask, 65536),
-		quit:        make(chan struct{}),
-		stats: map[Priority]*QueueStats{
-			Interactive: {},
-			Background:  {},
-		},
+		fifo:    cfg.FIFO,
+		workers: cfg.Workers,
+		clock:   realClock{},
+		single:  make(chan poolTask, 65536),
+		quit:    make(chan struct{}),
+		weights: cfg.Weights.normalized(),
 	}
+	for c := range p.queues {
+		p.queues[c] = make(chan poolTask, caps[c])
+		p.stats[c] = &QueueStats{}
+		p.hists[c] = &waitHist{}
+	}
+	p.cur = Interactive
+	p.credits[Interactive] = p.weights[Interactive]
 	p.pauseCond = sync.NewCond(&p.pauseMu)
-	for i := 0; i < workers; i++ {
+	for i := 0; i < cfg.Workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
 	}
@@ -334,31 +514,79 @@ func (p *Pool) worker() {
 	defer p.wg.Done()
 	for {
 		p.gateWait()
-		if p.fifo {
-			select {
-			case t := <-p.single:
-				p.run(t)
-			case <-p.quit:
-				return
-			}
-			continue
-		}
-		// Priority mode: drain interactive first.
-		select {
-		case t := <-p.interactive:
-			p.run(t)
-			continue
-		default:
-		}
-		select {
-		case t := <-p.interactive:
-			p.run(t)
-		case t := <-p.background:
-			p.run(t)
-		case <-p.quit:
+		t, ok := p.take()
+		if !ok {
 			return
 		}
+		p.run(t)
 	}
+}
+
+// take returns the next task under the scheduling policy, blocking
+// until one arrives or the pool quits.
+func (p *Pool) take() (poolTask, bool) {
+	if p.fifo {
+		select {
+		case t := <-p.single:
+			return t, true
+		case <-p.quit:
+			return poolTask{}, false
+		}
+	}
+	for {
+		if t, ok := p.pickWeighted(); ok {
+			return t, true
+		}
+		// Every queue was empty at scan time: block until anything
+		// arrives, charging whichever class it belongs to.
+		select {
+		case t := <-p.queues[Interactive]:
+			p.charge(Interactive)
+			return t, true
+		case t := <-p.queues[Background]:
+			p.charge(Background)
+			return t, true
+		case t := <-p.queues[Durability]:
+			p.charge(Durability)
+			return t, true
+		case <-p.quit:
+			return poolTask{}, false
+		}
+	}
+}
+
+// pickWeighted is one deficit-round-robin scheduling decision: serve
+// the current class while its quantum lasts and its queue has work;
+// rotating to the next class refills that class's quantum. At most one
+// full rotation — if every queue is empty the caller blocks instead of
+// spinning.
+func (p *Pool) pickWeighted() (poolTask, bool) {
+	p.schedMu.Lock()
+	defer p.schedMu.Unlock()
+	for i := 0; i < NumClasses; i++ {
+		c := p.cur
+		if p.credits[c] > 0 {
+			select {
+			case t := <-p.queues[c]:
+				p.credits[c]--
+				return t, true
+			default:
+			}
+		}
+		p.cur = (p.cur + 1) % NumClasses
+		p.credits[p.cur] = p.weights[p.cur]
+	}
+	return poolTask{}, false
+}
+
+// charge decrements a class's quantum for a task taken on the blocking
+// path (queues were empty; the select picked the arrival directly).
+func (p *Pool) charge(c Class) {
+	p.schedMu.Lock()
+	if p.cur == c && p.credits[c] > 0 {
+		p.credits[c]--
+	}
+	p.schedMu.Unlock()
 }
 
 // SetClock replaces the pool's time source for queue-wait accounting.
@@ -383,13 +611,31 @@ func (p *Pool) run(t poolTask) {
 	if wait < 0 {
 		wait = 0
 	}
+	p.depth[t.class].Add(-1)
+	// Deadline shedding: a queued task whose caller already gave up is
+	// dropped, not executed — except durability work, which the write
+	// path promised regardless of any caller's lifetime.
+	if t.ctx != nil && t.class != Durability && t.ctx.Err() != nil {
+		p.mu.Lock()
+		p.stats[t.class].ShedAtDequeue++
+		p.mu.Unlock()
+		if t.onShed != nil {
+			t.onShed(fmt.Errorf("%w at dequeue: %w", ErrShed, t.ctx.Err()))
+		}
+		if t.done != nil {
+			t.done <- wait
+			close(t.done)
+		}
+		return
+	}
 	p.mu.Lock()
-	st := p.stats[t.pr]
+	st := p.stats[t.class]
 	st.Tasks++
 	st.TotalWait += wait
 	if wait > st.MaxWait {
 		st.MaxWait = wait
 	}
+	p.hists[t.class].observe(wait)
 	p.mu.Unlock()
 	t.fn()
 	if t.done != nil {
@@ -398,55 +644,114 @@ func (p *Pool) run(t poolTask) {
 	}
 }
 
-// Submit enqueues a task; it returns false if the pool is closed.
-func (p *Pool) Submit(pr Priority, fn func()) bool {
-	return p.submit(poolTask{fn: fn, pr: pr, enqueued: p.now()})
+// Submit enqueues a task with the legacy blocking semantics: a full
+// class queue applies backpressure to the submitter instead of
+// rejecting. It returns false if the pool is closed. New overload-aware
+// callers use Enqueue, which rejects with typed errors instead.
+func (p *Pool) Submit(c Class, fn func()) bool {
+	return p.submit(poolTask{fn: fn, class: c, enqueued: p.now()}, true) == nil
 }
 
 // SubmitWait enqueues a task, blocks until it has run, and returns the
 // time it spent queued (the latency experiments' measurement).
-func (p *Pool) SubmitWait(pr Priority, fn func()) (time.Duration, error) {
+func (p *Pool) SubmitWait(c Class, fn func()) (time.Duration, error) {
 	done := make(chan time.Duration, 1)
-	if !p.submit(poolTask{fn: fn, pr: pr, enqueued: p.now(), done: done}) {
-		return 0, fmt.Errorf("sched: pool closed")
+	if err := p.submit(poolTask{fn: fn, class: c, enqueued: p.now(), done: done}, true); err != nil {
+		return 0, err
 	}
 	return <-done, nil
 }
 
-func (p *Pool) submit(t poolTask) bool {
+// Enqueue submits a Task under the overload policy:
+//
+//   - A dead Ctx rejects at submit time with ErrShed (cheap check — no
+//     queue slot, no worker) unless the class is Durability.
+//   - A full Interactive or Background queue rejects with ErrQueueFull
+//     so callers can tell saturation from policy shedding. Durability
+//     submissions block instead: backpressure, never loss.
+//   - After Close every submission returns ErrPoolClosed.
+func (p *Pool) Enqueue(t Task) error {
+	if t.Ctx != nil && t.Class != Durability {
+		if err := t.Ctx.Err(); err != nil {
+			p.mu.Lock()
+			p.stats[t.Class].ShedAtSubmit++
+			p.mu.Unlock()
+			return fmt.Errorf("%w at submit: %w", ErrShed, err)
+		}
+	}
+	return p.submit(poolTask{
+		fn:       t.Run,
+		class:    t.Class,
+		ctx:      t.Ctx,
+		onShed:   t.OnShed,
+		enqueued: p.now(),
+	}, t.Class == Durability)
+}
+
+// SubmitCtx enqueues fn under class c bound to the caller's ctx — the
+// Enqueue policy without shed notification.
+func (p *Pool) SubmitCtx(ctx context.Context, c Class, fn func()) error {
+	return p.Enqueue(Task{Class: c, Ctx: ctx, Run: fn})
+}
+
+func (p *Pool) submit(t poolTask, block bool) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return false
+		return ErrPoolClosed
 	}
 	p.mu.Unlock()
+	q := p.queues[t.class]
 	if p.fifo {
-		select {
-		case p.single <- t:
-			return true
-		case <-p.quit:
-			return false
-		}
+		q = p.single
 	}
-	var q chan poolTask
-	if t.pr == Interactive {
-		q = p.interactive
-	} else {
-		q = p.background
+	if block {
+		select {
+		case q <- t:
+			p.depth[t.class].Add(1)
+			return nil
+		case <-p.quit:
+			return ErrPoolClosed
+		}
 	}
 	select {
 	case q <- t:
-		return true
+		p.depth[t.class].Add(1)
+		return nil
 	case <-p.quit:
-		return false
+		return ErrPoolClosed
+	default:
+		p.mu.Lock()
+		p.stats[t.class].RejectedFull++
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrQueueFull, t.class)
 	}
 }
 
-// Stats snapshots the per-priority queue accounting.
-func (p *Pool) Stats(pr Priority) QueueStats {
+// Stats snapshots one class's queue accounting.
+func (p *Pool) Stats(c Class) QueueStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return *p.stats[pr]
+	return p.statsLocked(c)
+}
+
+func (p *Pool) statsLocked(c Class) QueueStats {
+	st := *p.stats[c]
+	st.Depth = int(p.depth[c].Load())
+	st.WaitP50 = p.hists[c].quantile(0.50)
+	st.WaitP99 = p.hists[c].quantile(0.99)
+	return st
+}
+
+// StatsAll snapshots every class at once, indexed by Class.
+func (p *Pool) StatsAll() [NumClasses]QueueStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out [NumClasses]QueueStats
+	for c := range out {
+		out[c] = p.statsLocked(Class(c))
+	}
+	return out
 }
 
 // Backlog returns the number of queued-but-unstarted tasks.
@@ -454,7 +759,11 @@ func (p *Pool) Backlog() int {
 	if p.fifo {
 		return len(p.single)
 	}
-	return len(p.interactive) + len(p.background)
+	n := 0
+	for _, q := range p.queues {
+		n += len(q)
+	}
+	return n
 }
 
 // Drain blocks until all queued tasks at the time of the call have

@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Open-loop load generation (implbench E25). A closed-loop driver —
+// N workers, each waiting for its previous call — measures a system
+// that can never be offered more than it absorbs: back-pressure slows
+// the clients, so overload never happens and p99 looks flat by
+// construction. Real traffic is open-loop: arrivals come from the
+// outside world on their own schedule, whether or not the appliance is
+// keeping up. The generator here produces seeded, deterministic arrival
+// schedules (Poisson or Gamma inter-arrivals, Zipfian key skew) and the
+// runner fires each operation at its scheduled instant regardless of
+// completions, which is exactly what makes goodput-vs-offered-load a
+// measurable curve with a knee.
+
+// Arrivals is a seeded arrival-time process: Next returns successive
+// inter-arrival gaps whose mean is 1/rate seconds.
+type Arrivals struct {
+	rng   *rand.Rand
+	rate  float64
+	shape float64 // 1 = Poisson; <1 burstier, >1 smoother (Gamma)
+}
+
+// PoissonArrivals builds the memoryless process: exponential gaps —
+// the classic open-system model of many independent clients.
+func PoissonArrivals(seed int64, ratePerSec float64) *Arrivals {
+	return GammaArrivals(seed, ratePerSec, 1)
+}
+
+// GammaArrivals builds a Gamma-renewal process with the given shape:
+// the squared coefficient of variation of the gaps is 1/shape, so
+// shape < 1 models bursty traffic (batch-y clients), shape > 1 smooth
+// paced traffic, shape 1 is Poisson.
+func GammaArrivals(seed int64, ratePerSec, shape float64) *Arrivals {
+	if ratePerSec <= 0 {
+		ratePerSec = 1
+	}
+	if shape <= 0 {
+		shape = 1
+	}
+	return &Arrivals{rng: rand.New(rand.NewSource(seed)), rate: ratePerSec, shape: shape}
+}
+
+// Next draws the next inter-arrival gap.
+func (a *Arrivals) Next() time.Duration {
+	// Gamma(shape, scale) with scale chosen so the mean gap is 1/rate.
+	g := gammaSample(a.rng, a.shape) / (a.shape * a.rate)
+	return time.Duration(g * float64(time.Second))
+}
+
+// gammaSample draws Gamma(shape, 1) via Marsaglia–Tsang, with the
+// boost transform for shape < 1.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// LatencyHist is a concurrent log-bucketed latency histogram: bucket i
+// counts samples in [2^(i-1), 2^i) microseconds.
+type LatencyHist struct {
+	buckets [40]atomic.Uint64
+	count   atomic.Uint64
+	sumUs   atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *LatencyHist) Observe(d time.Duration) {
+	us := uint64(d / time.Microsecond)
+	i := bits.Len64(us)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUs.Add(us)
+}
+
+// Count returns how many samples were observed.
+func (h *LatencyHist) Count() uint64 { return h.count.Load() }
+
+// Mean returns the average sample.
+func (h *LatencyHist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumUs.Load()/n) * time.Microsecond
+}
+
+// Quantile estimates the q-th sample by locating its bucket and
+// interpolating linearly by rank within the bucket's [2^(i-1), 2^i)
+// range, 0 when empty.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		seen += n
+		if seen > rank {
+			if i == 0 {
+				return time.Microsecond
+			}
+			lo := uint64(1) << uint(i-1)
+			frac := float64(rank-(seen-n)+1) / float64(n)
+			return time.Duration(float64(lo)*(1+frac)) * time.Microsecond
+		}
+	}
+	return 0
+}
+
+// OpenLoopClass is one SLO class's traffic in an open-loop run.
+type OpenLoopClass struct {
+	// Name labels the class in the report.
+	Name string
+	// Arrivals schedules the class's operations.
+	Arrivals *Arrivals
+	// SLO is the latency bound that defines goodput for this class: an
+	// operation that completes without error within SLO is good.
+	SLO time.Duration
+	// Op executes the i-th operation. The implementation carries its
+	// own key/tenant choice (pre-draw Zipf keys for determinism).
+	Op func(i int) error
+	// IsReject classifies errors that are admission fast-rejects
+	// (counted separately from failures; optional).
+	IsReject func(error) bool
+}
+
+// OpenLoopReport is one class's outcome.
+type OpenLoopReport struct {
+	Name     string
+	Offered  int // operations fired
+	Good     int // completed without error within SLO
+	Late     int // completed without error past SLO
+	Rejected int // admission fast-rejects
+	Failed   int // errors (deadline exceeded, queue full, ...)
+	// Goodput is good operations per second of driven wall time.
+	Goodput float64
+	// Hist holds completed-operation latencies (including late ones);
+	// rejects and failures are not latency samples.
+	Hist *LatencyHist
+}
+
+// RunOpenLoop drives every class's schedule concurrently for the given
+// duration and reports per-class outcomes. Operations are fired at
+// their scheduled instants regardless of earlier completions (the
+// driver never waits on the system under test between arrivals); the
+// call returns once every fired operation has come back.
+func RunOpenLoop(duration time.Duration, classes ...*OpenLoopClass) []OpenLoopReport {
+	reports := make([]OpenLoopReport, len(classes))
+	var wg sync.WaitGroup
+	for ci, cl := range classes {
+		ci, cl := ci, cl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ops sync.WaitGroup
+			var good, late, rejected, failed atomic.Int64
+			hist := &LatencyHist{}
+			start := time.Now()
+			offered := 0
+			for offset := cl.Arrivals.Next(); offset <= duration; offset += cl.Arrivals.Next() {
+				if d := time.Until(start.Add(offset)); d > 0 {
+					time.Sleep(d)
+				}
+				i := offered
+				offered++
+				ops.Add(1)
+				go func() {
+					defer ops.Done()
+					t0 := time.Now()
+					err := cl.Op(i)
+					lat := time.Since(t0)
+					switch {
+					case err == nil && lat <= cl.SLO:
+						good.Add(1)
+						hist.Observe(lat)
+					case err == nil:
+						late.Add(1)
+						hist.Observe(lat)
+					case cl.IsReject != nil && cl.IsReject(err):
+						rejected.Add(1)
+					default:
+						failed.Add(1)
+					}
+				}()
+			}
+			ops.Wait()
+			elapsed := time.Since(start).Seconds()
+			if elapsed <= 0 {
+				elapsed = duration.Seconds()
+			}
+			reports[ci] = OpenLoopReport{
+				Name:     cl.Name,
+				Offered:  offered,
+				Good:     int(good.Load()),
+				Late:     int(late.Load()),
+				Rejected: int(rejected.Load()),
+				Failed:   int(failed.Load()),
+				Goodput:  float64(good.Load()) / elapsed,
+				Hist:     hist,
+			}
+		}()
+	}
+	wg.Wait()
+	return reports
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// Same seed, same schedule: the arrival process is deterministic.
+func TestArrivalsDeterministic(t *testing.T) {
+	for _, shape := range []float64{0.5, 1, 4} {
+		a := GammaArrivals(7, 200, shape)
+		b := GammaArrivals(7, 200, shape)
+		for i := 0; i < 1000; i++ {
+			if ga, gb := a.Next(), b.Next(); ga != gb {
+				t.Fatalf("shape %v: gap %d diverged: %v vs %v", shape, i, ga, gb)
+			}
+		}
+	}
+}
+
+// Mean inter-arrival gap must track 1/rate for every shape.
+func TestArrivalsMeanRate(t *testing.T) {
+	for _, shape := range []float64{0.5, 1, 4} {
+		a := GammaArrivals(42, 1000, shape) // mean gap 1ms
+		var sum time.Duration
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += a.Next()
+		}
+		mean := float64(sum) / n / float64(time.Millisecond)
+		if math.Abs(mean-1) > 0.08 {
+			t.Fatalf("shape %v: mean gap %.3fms, want ~1ms", shape, mean)
+		}
+	}
+}
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	h := &LatencyHist{}
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	if p50 := h.Quantile(0.5); p50 > time.Millisecond {
+		t.Fatalf("p50=%v, want ~128µs", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 10*time.Millisecond {
+		t.Fatalf("p99=%v, want ≥ 32ms bucket", p99)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count=%d", h.Count())
+	}
+}
+
+// The runner fires on schedule, classifies outcomes, and waits for
+// every fired op before reporting.
+func TestRunOpenLoopClassifies(t *testing.T) {
+	rejectErr := errors.New("overloaded")
+	failErr := errors.New("deadline")
+	reports := RunOpenLoop(300*time.Millisecond,
+		&OpenLoopClass{
+			Name:     "mixed",
+			Arrivals: PoissonArrivals(1, 400),
+			SLO:      time.Second,
+			Op: func(i int) error {
+				switch i % 4 {
+				case 0:
+					return rejectErr
+				case 1:
+					return failErr
+				default:
+					return nil
+				}
+			},
+			IsReject: func(err error) bool { return errors.Is(err, rejectErr) },
+		})
+	r := reports[0]
+	if r.Offered < 50 || r.Offered > 250 {
+		t.Fatalf("offered=%d, want ~120 at 400/s over 300ms", r.Offered)
+	}
+	if r.Good+r.Late+r.Rejected+r.Failed != r.Offered {
+		t.Fatalf("outcomes %d+%d+%d+%d don't sum to offered %d", r.Good, r.Late, r.Rejected, r.Failed, r.Offered)
+	}
+	if r.Rejected == 0 || r.Failed == 0 || r.Good == 0 {
+		t.Fatalf("classification missing a bucket: %+v", r)
+	}
+	if r.Goodput <= 0 {
+		t.Fatalf("goodput=%v", r.Goodput)
+	}
+	if int(r.Hist.Count()) != r.Good+r.Late {
+		t.Fatalf("hist samples %d, want %d", r.Hist.Count(), r.Good+r.Late)
+	}
+}
