@@ -13,6 +13,9 @@
 //	implctl [flags] merge                 # demo corpus + segment merge/GC, storage stats
 //	implctl [flags] overload              # demo corpus + two-tenant burst against the
 //	                                      # admission gate, scheduler/admission counters
+//	implctl [flags] tail [source]         # live-tail the demo load: stream committed
+//	                                      # writes from one source (default "claims")
+//	                                      # as JSON frames, then print the resume token
 //
 // Flags:
 //
@@ -27,6 +30,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -51,7 +55,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		log.Fatal("usage: implctl [-dir PATH] [-backend heapwal|segment|mmap] demo | search <kw...> | sql <stmt> | ingest <file> [query...] | compact | merge | overload")
+		log.Fatal("usage: implctl [-dir PATH] [-backend heapwal|segment|mmap] demo | search <kw...> | sql <stmt> | ingest <file> [query...] | compact | merge | overload | tail [source]")
 	}
 	if args[0] == "overload" && *admitRate == 0 {
 		// The verb exists to show the gate working; a tight default rate
@@ -161,6 +165,47 @@ func main() {
 		}
 		fmt.Printf("merge folded sealed segments on %d data nodes\n", folds)
 		printFootprint(app, "after merge")
+
+	case "tail":
+		// Live tail over the demo load: subscribe first, then ingest the
+		// corpus concurrently so the frames stream out as writes commit.
+		source := "claims"
+		if len(args) > 1 {
+			source = args[1]
+		}
+		cur, err := app.Tail(impliance.SourceIs(source), impliance.WithTailPolicy(impliance.TailPolicyBlock))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cur.Close()
+		done := make(chan struct{})
+		go func() { defer close(done); loadDemo(app) }()
+		frames := 0
+		for {
+			// After the load finishes, a short deadline drains the queued
+			// remainder and ends the watch; a real deployment would sit on
+			// this loop forever (see the HTTP server's GET /tail).
+			next, cancelNext := context.WithTimeout(ctx, time.Second)
+			ev, err := cur.Next(next)
+			cancelNext()
+			if err != nil {
+				select {
+				case <-done:
+				default:
+					continue // load still running, keep waiting
+				}
+				break
+			}
+			frames++
+			out, err := json.Marshal(impliance.TailFrameOf(ev, cur.Watermarks()))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(string(out))
+		}
+		<-done
+		fmt.Printf("tailed %d %q writes; resume token to continue exactly here: %q\n",
+			frames, source, impliance.EncodeTailResume(cur.Watermarks()))
 
 	case "overload":
 		loadDemo(app)

@@ -15,6 +15,8 @@
 //	GET  /connect?a=ID&b=ID      connection path between two documents
 //	POST /discover               run an inter-document discovery pass
 //	GET  /metrics                appliance health counters
+//	GET  /tail?source=NAME       live tail of committed writes (SSE; &q=, &path=,
+//	                             &policy=block|shed|cancel, &resume=TOKEN)
 //
 // Flags:
 //
@@ -82,6 +84,7 @@ func main() {
 	mux.HandleFunc("GET /connect", s.connect)
 	mux.HandleFunc("POST /discover", s.discover)
 	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /tail", s.tail)
 
 	log.Printf("impliance appliance listening on %s (data=%d grid=%d dir=%q backend=%q)",
 		*addr, *dataNodes, *gridNodes, *dir, *backend)
@@ -261,6 +264,87 @@ func (s *server) discover(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.app.MetricsSnapshotContext(r.Context()))
+}
+
+// tail streams committed writes as server-sent events: one
+// `data:` line per delivery carrying the TailFrame JSON, whose
+// `resume` field is the opaque watermark token a reconnecting client
+// passes back as ?resume= to continue exactly after its last received
+// event — the crash-safe continuous-query loop. Filters compose from
+// ?source= and ?q= (optionally scoped by ?path=); ?policy= picks the
+// lag policy (default: the SLO-class default, shed-oldest for
+// background subscriptions).
+func (s *server) tail(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	filter := impliance.True()
+	if src := q.Get("source"); src != "" {
+		filter = impliance.And(filter, impliance.SourceIs(src))
+	}
+	if text := q.Get("q"); text != "" {
+		filter = impliance.And(filter, impliance.Contains(q.Get("path"), text))
+	}
+	opts := []impliance.TailOption{}
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		opts = append(opts, impliance.WithTailTenant(t))
+	} else if t := q.Get("tenant"); t != "" {
+		opts = append(opts, impliance.WithTailTenant(t))
+	}
+	switch q.Get("policy") {
+	case "":
+	case "block":
+		opts = append(opts, impliance.WithTailPolicy(impliance.TailPolicyBlock))
+	case "shed":
+		opts = append(opts, impliance.WithTailPolicy(impliance.TailPolicyShedOld))
+	case "cancel":
+		opts = append(opts, impliance.WithTailPolicy(impliance.TailPolicyCancel))
+	default:
+		httpErr(w, http.StatusBadRequest, fmt.Errorf("unknown policy %q", q.Get("policy")))
+		return
+	}
+	if tok := q.Get("resume"); tok != "" {
+		marks, err := impliance.DecodeTailResume(tok)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		opts = append(opts, impliance.WithTailResume(marks))
+	}
+	cur, err := s.app.TailContext(r.Context(), filter, opts...)
+	if err != nil {
+		if overloaded(w, err) {
+			return
+		}
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cur.Close()
+
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpErr(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		ev, err := cur.Next(r.Context())
+		if err != nil {
+			// Client gone, appliance closing, or the cancel policy fired:
+			// a final comment line names the reason, then the stream ends.
+			fmt.Fprintf(w, ": end %v\n\n", err)
+			flusher.Flush()
+			return
+		}
+		frame, err := json.Marshal(impliance.TailFrameOf(ev, cur.Watermarks()))
+		if err != nil {
+			log.Printf("encode tail frame: %v", err)
+			return
+		}
+		fmt.Fprintf(w, "data: %s\n\n", frame)
+		flusher.Flush()
+	}
 }
 
 // tenantOpt names the caller's admission bucket from the X-Tenant

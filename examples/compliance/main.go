@@ -91,6 +91,40 @@ func main() {
 	fmt.Printf("latest (v%d) carries hold: %s\n",
 		latest.Version, latest.First("/legal_hold").StringVal())
 
+	// Continuous compliance: the hold is not a one-shot query. A live
+	// tail (continuous query) watches the archive for NEW mail naming
+	// the partner, so matter staff are alerted the moment responsive
+	// material arrives — no re-running discovery, no polling.
+	alerts, err := app.Tail(
+		impliance.And(impliance.SourceIs("mail-archive"), impliance.Contains("", "acme")),
+		impliance.WithTailPolicy(impliance.TailPolicyBlock))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alerts.Close()
+	late := gen.Emails(40, 0.6)
+	for _, m := range late {
+		if _, err := app.Ingest(impliance.Item{Body: m.Body, MediaType: m.MediaType, Source: m.Source}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	alerted := 0
+	for {
+		evCtx, evCancel := context.WithTimeout(ctx, 2*time.Second)
+		ev, err := alerts.Next(evCtx)
+		evCancel()
+		if err != nil {
+			break // queue drained: the late batch is fully classified
+		}
+		alerted++
+		if alerted <= 3 {
+			fmt.Printf("live alert: new responsive mail %s (%s) subject %q\n",
+				ev.Doc.ID, ev.Kind, ev.Doc.First("/subject").StringVal())
+		}
+	}
+	fmt.Printf("continuous query flagged %d of %d late-arriving mails for the matter\n",
+		alerted, len(late))
+
 	// How is the seed connected to the last closure member? Show the path.
 	if len(closure) > 1 {
 		other := closure[len(closure)-1]

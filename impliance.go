@@ -40,6 +40,7 @@ import (
 	"impliance/internal/plan"
 	"impliance/internal/query"
 	"impliance/internal/sched"
+	"impliance/internal/tail"
 	"impliance/internal/virt"
 )
 
@@ -181,6 +182,76 @@ type (
 	OverloadError = sched.OverloadError
 	// SchedClass is a pool SLO class (admission and scheduling).
 	SchedClass = sched.Class
+	// TailCursor is a long-lived cursor over committed writes: a
+	// continuous query that never finishes (see Tail).
+	TailCursor = core.TailCursor
+	// TailEvent is one delivered tail event: the document plus its
+	// partition, watermark sequence, and routing generation.
+	TailEvent = tail.Event
+	// TailKind distinguishes ingests, updates, and deletes in a tail.
+	TailKind = tail.Kind
+	// TailDropPolicy is a subscription's behavior when its bounded
+	// queue fills: block the publisher, shed the oldest queued event,
+	// or cancel the subscription.
+	TailDropPolicy = tail.DropPolicy
+	// TailOption configures one subscription (policy, class, buffer,
+	// resume watermarks, partition subset, tenant).
+	TailOption = core.TailOption
+	// TailFrame is one tail delivery in wire form (the SSE endpoint's
+	// and implctl tail's frame), carrying a resume token.
+	TailFrame = core.TailFrame
+)
+
+// Tail event kinds.
+const (
+	TailIngest = tail.KindIngest
+	TailUpdate = tail.KindUpdate
+	TailDelete = tail.KindDelete
+)
+
+// Tail drop policies.
+const (
+	TailPolicyBlock   = tail.PolicyBlock
+	TailPolicyShedOld = tail.PolicyShedOldest
+	TailPolicyCancel  = tail.PolicyCancel
+)
+
+// Tail subscription options and wire helpers.
+var (
+	// WithTailPolicy overrides the subscription's lag policy.
+	WithTailPolicy = core.WithTailPolicy
+	// WithTailClass sets the subscription's SLO class (default
+	// Background), which picks the default lag policy.
+	WithTailClass = core.WithTailClass
+	// WithTailBuffer overrides the per-subscriber queue capacity.
+	WithTailBuffer = core.WithTailBuffer
+	// WithTailResume resumes exactly after previously acknowledged
+	// watermarks (a TailCursor.Watermarks snapshot).
+	WithTailResume = core.WithTailResume
+	// WithTailPartitions restricts the subscription to a partition
+	// subset.
+	WithTailPartitions = core.WithTailPartitions
+	// WithTailTenant names the admission bucket the subscribe draws on.
+	WithTailTenant = core.WithTailTenant
+	// TailFrameOf renders a delivered event as its wire frame.
+	TailFrameOf = core.TailFrameOf
+	// EncodeTailResume / DecodeTailResume convert per-partition
+	// watermarks to and from the wire resume token.
+	EncodeTailResume = core.EncodeTailResume
+	DecodeTailResume = core.DecodeTailResume
+)
+
+// Tail subscription errors.
+var (
+	// ErrTailSlowConsumer: the subscription's queue overflowed under
+	// the cancel policy.
+	ErrTailSlowConsumer = tail.ErrSlowConsumer
+	// ErrTailLagBehind: a resume watermark fell behind the partition
+	// log's retention, or a blocked queue forced a gap the log could
+	// no longer fill.
+	ErrTailLagBehind = tail.ErrLagBehind
+	// ErrTailClosed: the subscription or the appliance closed.
+	ErrTailClosed = tail.ErrClosed
 )
 
 // Overload-control errors (docs/ARCHITECTURE.md "Overload control").
@@ -329,6 +400,30 @@ func (a *Appliance) Update(id DocID, newBody Value) (VersionKey, error) {
 // UpdateContext is Update bounded by a context.
 func (a *Appliance) UpdateContext(ctx context.Context, id DocID, newBody Value) (VersionKey, error) {
 	return a.eng.UpdateContext(ctx, id, newBody)
+}
+
+// Delete appends a tombstone version of a document — deletion is a
+// change, and changes are new versions; history stays reachable by
+// version key.
+func (a *Appliance) Delete(id DocID) (VersionKey, error) { return a.eng.Delete(id) }
+
+// DeleteContext is Delete bounded by a context.
+func (a *Appliance) DeleteContext(ctx context.Context, id DocID) (VersionKey, error) {
+	return a.eng.DeleteContext(ctx, id)
+}
+
+// Tail opens a continuous query: a long-lived cursor delivering every
+// committed write matching the filter, in per-partition watermark
+// order, surviving membership changes by watermark-resumed migration.
+func (a *Appliance) Tail(filter Expr, opts ...TailOption) (*TailCursor, error) {
+	return a.eng.Subscribe(filter, opts...)
+}
+
+// TailContext is Tail bounded by a context (the context bounds the
+// registration; each delivery is bounded by the context passed to
+// TailCursor.Next).
+func (a *Appliance) TailContext(ctx context.Context, filter Expr, opts ...TailOption) (*TailCursor, error) {
+	return a.eng.SubscribeContext(ctx, filter, opts...)
 }
 
 // Get fetches the latest version of a document.

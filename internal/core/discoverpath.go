@@ -297,6 +297,11 @@ func (e *Engine) RecoverDataNode(dead fabric.NodeID) (int, error) {
 	if err != nil {
 		return repaired, err
 	}
+	// The ring lost a member and every partition the dead node owned
+	// re-routed under a fresh generation: fence the tail broker so
+	// subscriptions void pre-failure queued deliveries and resume from
+	// their acknowledged watermarks against the surviving owners.
+	e.tails.FenceAll()
 	e.trace("recover %s: %d docs affected, %d replicas repaired", dead, len(affected), repaired)
 	byPart := map[int][]docmodel.DocID{}
 	for _, id := range affected {

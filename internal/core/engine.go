@@ -24,6 +24,7 @@ import (
 	"impliance/internal/sched"
 	"impliance/internal/storage"
 	"impliance/internal/storage/compress"
+	"impliance/internal/tail"
 	"impliance/internal/virt"
 	"impliance/internal/workload"
 )
@@ -161,6 +162,12 @@ type Config struct {
 	// SchedWeights overrides the pool's per-class deficit-round-robin
 	// quanta (zero entries take the sched defaults 16/1/4).
 	SchedWeights sched.Weights
+
+	// TailRetain bounds each partition's tail event ring — how far back
+	// a subscription may resume before ErrLagBehind (0 = 4096 events).
+	TailRetain int
+	// TailBuffer is the default per-subscriber queue capacity (0 = 256).
+	TailBuffer int
 }
 
 // Normalize fills defaults in place.
@@ -197,6 +204,12 @@ func (c *Config) Normalize() {
 	}
 	if c.PartialCacheEntries <= 0 {
 		c.PartialCacheEntries = 4096
+	}
+	if c.TailRetain <= 0 {
+		c.TailRetain = 4096
+	}
+	if c.TailBuffer <= 0 {
+		c.TailBuffer = 256
 	}
 }
 
@@ -302,6 +315,12 @@ type Engine struct {
 	// because the caller's deadline/cancellation arrived first — the
 	// fan-out half of deadline shedding.
 	streamShed atomic.Uint64
+
+	// tails is the live-tailing broker (tailpath.go): per-partition CDC
+	// event logs written at the write-commit points, fanned out to
+	// bounded subscriber queues. Membership hooks fence it so
+	// subscriptions migrate with their partitions.
+	tails *tail.Broker
 
 	closed bool
 	mu     sync.Mutex
@@ -414,6 +433,22 @@ func Open(cfg Config) (*Engine, error) {
 		bursts[sched.Background] = cfg.AdmissionIngestBurst
 		e.admission = sched.NewAdmission(sched.AdmissionConfig{Clock: e.clock, Rates: rates, Bursts: bursts})
 	}
+	e.tails = tail.NewBroker(tail.Options{
+		Partitions: e.smgr.Partitions(),
+		Retain:     cfg.TailRetain,
+		Buffer:     cfg.TailBuffer,
+		Clock:      e.clock,
+		// Replay and catch-up after a fence run as Background pool work —
+		// tail delivery must never compete with durability traffic. If the
+		// pool is closing, fall back to a goroutine so a terminating fence
+		// still drains.
+		Run: func(fn func()) {
+			if !e.pool.Submit(sched.Background, fn) {
+				go fn()
+			}
+		},
+		PartitionGen: e.smgr.PartitionGen,
+	})
 
 	e.registerSystemViews()
 	return e, nil
@@ -437,6 +472,7 @@ func (e *Engine) Close() error {
 	}
 	e.closed = true
 	e.mu.Unlock()
+	e.tails.Shutdown()
 	e.pool.Close()
 	var firstErr error
 	for _, dn := range e.dataNodes() {
@@ -920,6 +956,14 @@ type Metrics struct {
 	Sched           map[string]SchedClassMetrics
 	Admission       map[string]AdmissionClassMetrics
 	StreamShedCalls uint64
+
+	// AdmissionFairness is Jain's fairness index over the per-tenant
+	// interactive admission buckets (1.0 = perfectly even, 1/n = one
+	// tenant takes everything; 1.0 when ungated or single-tenant).
+	AdmissionFairness float64
+
+	// Live-tailing accounting (see Engine.TailStats).
+	Tail TailMetrics
 }
 
 // SchedClassMetrics reports one SLO class's pool accounting: executed
@@ -981,7 +1025,8 @@ func (e *Engine) MetricsSnapshotContext(ctx context.Context) Metrics {
 	}
 	m.ValueLookups, m.ValueProbes, m.ValueProbePruned, m.ValueProbeFallbacks = e.ValueProbeStats()
 	m.Caches = e.CacheStats()
-	m.Sched, m.Admission, m.StreamShedCalls = e.OverloadStats()
+	m.Sched, m.Admission, m.StreamShedCalls, m.AdmissionFairness = e.OverloadStats()
+	m.Tail = e.TailStats()
 	seen := map[docmodel.DocID]struct{}{}
 	for _, dn := range e.dataNodes() {
 		if ctx.Err() != nil {
@@ -1008,9 +1053,10 @@ func (e *Engine) MetricsSnapshotContext(ctx context.Context) Metrics {
 }
 
 // OverloadStats snapshots the overload-control counters: per-class
-// pool scheduling stats, per-class admission decisions, and how many
-// streaming fan-out node calls were shed un-dispatched.
-func (e *Engine) OverloadStats() (map[string]SchedClassMetrics, map[string]AdmissionClassMetrics, uint64) {
+// pool scheduling stats, per-class admission decisions, how many
+// streaming fan-out node calls were shed un-dispatched, and Jain's
+// fairness index over the per-tenant admission buckets.
+func (e *Engine) OverloadStats() (map[string]SchedClassMetrics, map[string]AdmissionClassMetrics, uint64, float64) {
 	scheds := map[string]SchedClassMetrics{}
 	pool := e.pool.StatsAll()
 	adm := e.admission.Stats()
@@ -1033,7 +1079,7 @@ func (e *Engine) OverloadStats() (map[string]SchedClassMetrics, map[string]Admis
 			Rejected: adm.Rejected[c],
 		}
 	}
-	return scheds, admits, e.streamShed.Load()
+	return scheds, admits, e.streamShed.Load(), e.admission.FairnessIndex()
 }
 
 // CacheStats snapshots the hot-path cache counters.

@@ -23,6 +23,7 @@ const (
 	msgPut          = "put"            // data: store a new document/version
 	msgReplica      = "replica"        // data: install a replicated version
 	msgReplicaBatch = "replica-batch"  // data: install many replicated versions in one call
+	msgDelete       = "delete"         // data: append a tombstone version
 	msgGet          = "get"            // data: fetch latest version by id
 	msgGetBatch     = "get-batch"      // data: fetch many latest versions
 	msgScanFiltered = "scan-filtered"  // data: pushed-down filtered scan
@@ -87,6 +88,24 @@ func (e *Engine) dataHandler(dn *dataNode) fabric.Handler {
 				e.caches.BumpEpoch(e.smgr.PartitionOf(d.ID))
 			}
 			return nil, nil
+
+		case msgDelete:
+			// Deletion is versioned like any other change (§4): the store
+			// appends a tombstone version and the reply ships it back so
+			// the caller can replicate it to the remaining write holders.
+			id, err := docmodel.ParseDocID(string(payload))
+			if err != nil {
+				return nil, err
+			}
+			key, err := dn.store.Delete(id)
+			if err != nil {
+				return nil, err
+			}
+			tomb, err := dn.store.GetVersion(key)
+			if err != nil {
+				return nil, err
+			}
+			return docmodel.EncodeDocument(tomb), nil
 
 		case msgGet:
 			id, err := docmodel.ParseDocID(string(payload))

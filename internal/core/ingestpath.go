@@ -10,6 +10,7 @@ import (
 	"impliance/internal/fabric"
 	"impliance/internal/sched"
 	"impliance/internal/storage"
+	"impliance/internal/tail"
 	"impliance/internal/virt"
 )
 
@@ -74,6 +75,10 @@ func (e *Engine) ingestOne(ctx context.Context, item Item) (*docmodel.Document, 
 		return nil, nil, err
 	}
 	e.smgr.Register(stored.ID, item.Class)
+	// The write is committed and registered: announce it to live tails
+	// before the ack returns, so a subscriber's watermark only ever
+	// acknowledges durable writes.
+	e.tailPublish(tail.KindIngest, stored)
 	e.postIngest(primary, stored)
 	return stored, others, nil
 }
@@ -219,8 +224,70 @@ func (e *Engine) UpdateContext(ctx context.Context, id docmodel.DocID, newBody d
 		}
 	}
 	e.replicateTo(stored, otherNodes)
+	e.tailPublish(tail.KindUpdate, stored)
 	e.postIngest(primary, stored)
 	return stored.Key(), nil
+}
+
+// Delete appends a tombstone version of the document (§4: deletion is a
+// change, and changes are new versions — history stays queryable by
+// version key).
+func (e *Engine) Delete(id docmodel.DocID) (docmodel.VersionKey, error) {
+	return e.DeleteContext(context.Background(), id)
+}
+
+// DeleteContext is Delete under a request lifecycle. The tombstone
+// replicates to the remaining write holders like any other version; the
+// document leaves the index and the hot-path caches before the ack. The
+// tail event carries the pre-delete head — a content-filtered
+// subscription must see which document vanished, and a tombstone body
+// (Null) matches nothing.
+func (e *Engine) DeleteContext(ctx context.Context, id docmodel.DocID) (docmodel.VersionKey, error) {
+	primary, err := e.primaryFor(id)
+	if err != nil {
+		return docmodel.VersionKey{}, err
+	}
+	latest, err := primary.store.Get(id)
+	if err != nil {
+		// Already deleted: the head is a tombstone Get reports as absent.
+		// Repeat deletes are no-ops returning the tombstone's key, like
+		// Store.Delete itself.
+		if errors.Is(err, storage.ErrNotFound) {
+			if n := primary.store.VersionCount(id); n > 0 {
+				key := docmodel.VersionKey{Doc: id, Ver: uint32(n)}
+				if tomb, verr := primary.store.GetVersion(key); verr == nil && tomb.Deleted {
+					return key, nil
+				}
+			}
+		}
+		return docmodel.VersionKey{}, err
+	}
+	// Deletes are write traffic on the document's source bucket, like
+	// updates.
+	if err := e.admitIngest(latest.Source, 1); err != nil {
+		return docmodel.VersionKey{}, err
+	}
+	reply, err := e.fab.CallCtx(ctx, primary.node.ID, msgDelete, []byte(id.String()))
+	if err != nil {
+		return docmodel.VersionKey{}, err
+	}
+	tomb, err := docmodel.DecodeDocument(reply)
+	if err != nil {
+		return docmodel.VersionKey{}, err
+	}
+	e.cacheInvalidateDoc(id)
+	holders := e.smgr.WriteHolders(id)
+	var otherNodes []*dataNode
+	for _, h := range holders {
+		if dn, ok := e.dataNode(h); ok && dn != primary {
+			otherNodes = append(otherNodes, dn)
+		}
+	}
+	e.replicateTo(tomb, otherNodes)
+	e.indexTargetFor(id, primary).unindexDoc(id)
+	e.caches.BumpEpoch(e.smgr.PartitionOf(id))
+	e.tailPublish(tail.KindDelete, latest)
+	return tomb.Key(), nil
 }
 
 // putOn persists the document on the node via the fabric and returns the
@@ -328,6 +395,9 @@ func (e *Engine) annotate(base *docmodel.Document) {
 			continue
 		}
 		e.smgr.Register(stored.ID, virt.ClassDerived)
+		// Annotations are ordinary documents: a tail filtered on an
+		// annotator's output streams them like any other ingest.
+		e.tailPublish(tail.KindIngest, stored)
 		e.replicate(stored, others)
 		e.indexTargetFor(stored.ID, owner).indexDoc(stored)
 		e.caches.BumpEpoch(e.smgr.PartitionOf(stored.ID))

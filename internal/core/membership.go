@@ -132,6 +132,11 @@ func (e *Engine) catchUpPartition(pt virt.PartitionTransfer) {
 	// the window closes and reads flip to the new owner.
 	e.caches.BumpEpoch(pt.Partition)
 	e.smgr.CompleteHandoff(pt)
+	// The hand-off closed and the partition's routing generation bumped:
+	// migrate tail subscriptions to the new owner's view — void queued
+	// pre-change deliveries and replay from each subscriber's acknowledged
+	// watermark (no gaps, no duplicates across the re-join).
+	e.tails.FencePartition(pt.Partition)
 }
 
 // reindexDocs makes each document's current answering owner index it if

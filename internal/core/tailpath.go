@@ -1,0 +1,215 @@
+package core
+
+import (
+	"context"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/expr"
+	"impliance/internal/sched"
+	"impliance/internal/tail"
+)
+
+// Live tailing / continuous queries (CDC). A TailCursor is the cursor
+// layer's "query that never finishes": Subscribe registers a filter
+// with the tail broker, every committed write the ingest path publishes
+// (ingestOne / UpdateContext / DeleteContext / annotate — all at their
+// ack points, so a delivered event is always an acked write) fans out
+// through the subscription's bounded queue, and Next streams matching
+// documents in per-partition watermark order. Catch-up and replay run
+// as Background pool work — delivery is never durability traffic — and
+// membership hooks (catchUpPartition, RecoverDataNode) fence moved
+// partitions so subscriptions migrate with them: resume from the
+// acknowledged watermark, no gaps, no duplicates.
+
+// TailOption configures a subscription.
+type TailOption func(*tailOpts)
+
+type tailOpts struct {
+	policy tail.DropPolicy
+	class  sched.Class
+	buffer int
+	resume map[int]uint64
+	parts  []int
+	tenant string
+}
+
+// WithTailPolicy overrides the lag policy (default: the subscription
+// class's policy — see tail.PolicyFor).
+func WithTailPolicy(p tail.DropPolicy) TailOption {
+	return func(o *tailOpts) { o.policy = p }
+}
+
+// WithTailClass sets the subscription's SLO class (default Background:
+// tail delivery is background work). The class picks the default lag
+// policy — interactive cancels laggards, background sheds oldest,
+// durability blocks.
+func WithTailClass(c sched.Class) TailOption {
+	return func(o *tailOpts) { o.class = c }
+}
+
+// WithTailBuffer overrides the per-subscriber queue capacity.
+func WithTailBuffer(n int) TailOption {
+	return func(o *tailOpts) { o.buffer = n }
+}
+
+// WithTailResume resumes delivery exactly after the given acknowledged
+// watermarks (a previous cursor's Watermarks snapshot).
+func WithTailResume(marks map[int]uint64) TailOption {
+	return func(o *tailOpts) { o.resume = marks }
+}
+
+// WithTailPartitions restricts the subscription to a partition subset
+// (default all — new documents hash anywhere).
+func WithTailPartitions(parts []int) TailOption {
+	return func(o *tailOpts) { o.parts = parts }
+}
+
+// WithTailTenant names the admission bucket the subscribe call draws
+// from (the per-call WithTenant analog for the tail surface).
+func WithTailTenant(t string) TailOption {
+	return func(o *tailOpts) { o.tenant = t }
+}
+
+// TailCursor is a long-lived cursor over the appliance's committed
+// writes. Unlike *Cursor it never finishes: Next blocks for the next
+// matching event until Close or a policy termination (ErrSlowConsumer,
+// ErrLagBehind).
+type TailCursor struct {
+	sub *tail.Subscription
+}
+
+// Next blocks until the next matching event, the context ends, or the
+// subscription terminates. Delivery acknowledges the event's watermark.
+func (c *TailCursor) Next(ctx context.Context) (tail.Event, error) {
+	return c.sub.Next(ctx)
+}
+
+// Watermarks snapshots the acknowledged per-partition watermarks — the
+// resume token for a later Subscribe(WithTailResume(...)).
+func (c *TailCursor) Watermarks() map[int]uint64 { return c.sub.Watermarks() }
+
+// Delivered reports events handed out so far.
+func (c *TailCursor) Delivered() uint64 { return c.sub.Delivered() }
+
+// Dropped reports events shed under the shed-oldest policy.
+func (c *TailCursor) Dropped() uint64 { return c.sub.Dropped() }
+
+// Err reports the termination error, if any.
+func (c *TailCursor) Err() error { return c.sub.Err() }
+
+// Close ends the subscription and releases any blocked publisher.
+func (c *TailCursor) Close() { c.sub.Close() }
+
+// Subscribe opens a live tail for documents matching the filter.
+func (e *Engine) Subscribe(filter expr.Expr, opts ...TailOption) (*TailCursor, error) {
+	return e.SubscribeContext(context.Background(), filter, opts...)
+}
+
+// SubscribeContext is Subscribe under a request lifecycle: the context
+// bounds the registration (consumption is bounded per-Next). The
+// subscribe itself is admission-gated as one interactive operation on
+// the tenant's bucket; delivery afterwards is accounted to the broker,
+// not the bucket — a subscription is one admitted long-lived operation,
+// not one operation per event.
+func (e *Engine) SubscribeContext(ctx context.Context, filter expr.Expr, opts ...TailOption) (*TailCursor, error) {
+	o := tailOpts{class: sched.Background}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := e.admitOp(sched.Interactive, o.tenant); err != nil {
+		return nil, err
+	}
+	var match func(tail.Event) bool
+	if !filter.IsTrue() {
+		f := filter
+		match = func(ev tail.Event) bool { return ev.Doc != nil && f.Eval(ev.Doc) }
+	}
+	// Densify resume marks: the wire token omits zero watermarks, but at
+	// the broker a partition absent from the map attaches live (skipping
+	// history). A resuming subscriber means "after these marks, and from
+	// the beginning elsewhere" — a zero mark IS from the beginning, so
+	// fill the gaps rather than silently skip a partition's backlog.
+	resume := o.resume
+	if resume != nil {
+		parts := o.parts
+		if parts == nil {
+			parts = make([]int, e.smgr.Partitions())
+			for i := range parts {
+				parts[i] = i
+			}
+		}
+		dense := make(map[int]uint64, len(parts))
+		for _, p := range parts {
+			dense[p] = resume[p]
+		}
+		resume = dense
+	}
+	sub, err := e.tails.Subscribe(tail.SubOptions{
+		Match:      match,
+		Partitions: o.parts,
+		Class:      o.class,
+		Policy:     o.policy,
+		Buffer:     o.buffer,
+		Resume:     resume,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TailCursor{sub: sub}, nil
+}
+
+// tailPublish announces one committed write to the tail broker, stamped
+// with its partition's current routing generation (the generation
+// fence's publish-side half).
+func (e *Engine) tailPublish(kind tail.Kind, doc *docmodel.Document) {
+	if e.tails == nil || doc == nil {
+		return
+	}
+	part := e.smgr.PartitionOf(doc.ID)
+	e.tails.Publish(part, e.smgr.PartitionGen(part), kind, doc)
+}
+
+// TailMetrics reports the live-tailing subsystem's accounting (the
+// MetricsSnapshot.Tail block): subscription population, event flow,
+// the delivery-lag distribution, and the churn counters — migrations
+// across generation fences, voided deliveries, and lag outcomes per
+// policy.
+type TailMetrics struct {
+	ActiveSubscriptions int
+	Published           uint64
+	Delivered           uint64
+	Drops               uint64
+	Cancelled           uint64
+	FencedPublishes     uint64
+	VoidedDeliveries    uint64
+	Migrations          uint64
+	LagTruncations      uint64
+	LagMeanUs           int64
+	LagP50Us            int64
+	LagP99Us            int64
+}
+
+// TailStats snapshots the tail broker.
+func (e *Engine) TailStats() TailMetrics {
+	if e.tails == nil {
+		return TailMetrics{}
+	}
+	st := e.tails.Stats()
+	return TailMetrics{
+		ActiveSubscriptions: st.Active,
+		Published:           st.Published,
+		Delivered:           st.Delivered,
+		Drops:               st.Drops,
+		Cancelled:           st.Cancelled,
+		FencedPublishes:     st.FencedPublishes,
+		VoidedDeliveries:    st.VoidedDeliveries,
+		Migrations:          st.Migrations,
+		LagTruncations:      st.LagTruncations,
+		LagMeanUs:           st.LagMean.Microseconds(),
+		LagP50Us:            st.LagP50.Microseconds(),
+		LagP99Us:            st.LagP99.Microseconds(),
+	}
+}

@@ -4,10 +4,13 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"sort"
+	"strings"
 
 	"impliance/internal/docmodel"
 	"impliance/internal/expr"
 	"impliance/internal/index"
+	"impliance/internal/tail"
 )
 
 // Wire formats for fabric messages. Documents travel in their native
@@ -254,6 +257,89 @@ func idStrings(ids []docmodel.DocID) []string {
 		out[i] = id.String()
 	}
 	return out
+}
+
+// Tail wire protocol. A tail subscription crosses process boundaries
+// (the HTTP SSE endpoint, implctl tail), so its three control messages
+// have stable wire forms: the subscribe carries a filter and an optional
+// resume token, each delivery is one TailFrame, and the acknowledgement
+// is implicit in the frame — Resume on frame N is the token that resumes
+// delivery exactly after N (per-partition acknowledged watermarks,
+// encoded "part:watermark" pairs joined by commas).
+
+// TailFrame is one delivered tail event in wire form.
+type TailFrame struct {
+	Partition int             `json:"part"`
+	Seq       uint64          `json:"seq"`
+	Gen       uint64          `json:"gen"`
+	Kind      string          `json:"kind"` // ingest | update | delete
+	ID        string          `json:"id"`
+	Version   uint32          `json:"version"`
+	MediaType string          `json:"media_type,omitempty"`
+	Source    string          `json:"source,omitempty"`
+	Body      json.RawMessage `json:"body,omitempty"`
+	// Resume is the token that resumes the subscription exactly after
+	// this frame (the cursor's acknowledged watermarks at delivery).
+	Resume string `json:"resume"`
+}
+
+// TailFrameOf converts a delivered event plus the cursor's current
+// watermarks into its wire frame.
+func TailFrameOf(ev tail.Event, marks map[int]uint64) TailFrame {
+	f := TailFrame{
+		Partition: ev.Partition,
+		Seq:       ev.Seq,
+		Gen:       ev.Gen,
+		Kind:      ev.Kind.String(),
+		Resume:    EncodeTailResume(marks),
+	}
+	if ev.Doc != nil {
+		f.ID = ev.Doc.ID.String()
+		f.Version = ev.Doc.Version
+		f.MediaType = ev.Doc.MediaType
+		f.Source = ev.Doc.Source
+		f.Body = docmodel.ToJSON(ev.Doc.Root)
+	}
+	return f
+}
+
+// EncodeTailResume renders per-partition watermarks as a resume token:
+// "part:watermark" pairs in ascending partition order, comma-joined.
+// Zero watermarks are omitted (nothing acknowledged, nothing to skip).
+func EncodeTailResume(marks map[int]uint64) string {
+	parts := make([]int, 0, len(marks))
+	for p, w := range marks {
+		if w > 0 {
+			parts = append(parts, p)
+		}
+	}
+	sort.Ints(parts)
+	var sb strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d:%d", p, marks[p])
+	}
+	return sb.String()
+}
+
+// DecodeTailResume parses EncodeTailResume output. An empty token is a
+// fresh subscription (nil map).
+func DecodeTailResume(tok string) (map[int]uint64, error) {
+	if tok == "" {
+		return nil, nil
+	}
+	marks := map[int]uint64{}
+	for _, pair := range strings.Split(tok, ",") {
+		var p int
+		var w uint64
+		if _, err := fmt.Sscanf(pair, "%d:%d", &p, &w); err != nil || p < 0 {
+			return nil, fmt.Errorf("core: bad tail resume token %q", tok)
+		}
+		marks[p] = w
+	}
+	return marks, nil
 }
 
 func hitsToWire(hits []index.Hit) []searchHit {

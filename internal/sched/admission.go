@@ -81,6 +81,10 @@ type Admission struct {
 	mu      sync.Mutex
 	buckets map[bucketKey]*bucket
 	stats   AdmissionStats
+	// admitted counts admissions per (class, tenant) — the input to the
+	// cross-tenant fairness index. Unlike buckets it is never evicted:
+	// fairness is judged over the whole run, not the hot set.
+	admitted map[bucketKey]uint64
 }
 
 // NewAdmission builds the gate.
@@ -96,7 +100,7 @@ func NewAdmission(cfg AdmissionConfig) *Admission {
 			cfg.Bursts[c] = 1
 		}
 	}
-	return &Admission{cfg: cfg, buckets: map[bucketKey]*bucket{}}
+	return &Admission{cfg: cfg, buckets: map[bucketKey]*bucket{}, admitted: map[bucketKey]uint64{}}
 }
 
 // Admit takes one token for (c, tenant), or rejects with *OverloadError.
@@ -137,6 +141,7 @@ func (a *Admission) AdmitN(c Class, tenant string, n int) error {
 	if b.tokens >= need {
 		b.tokens -= need
 		a.stats.Admitted[c]++
+		a.admitted[key] += uint64(n)
 		return nil
 	}
 	a.stats.Rejected[c]++
@@ -178,4 +183,51 @@ func (a *Admission) Stats() AdmissionStats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.stats
+}
+
+// TenantAdmitted snapshots admitted operations per tenant for one
+// class's buckets.
+func (a *Admission) TenantAdmitted(c Class) map[string]uint64 {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := map[string]uint64{}
+	for k, n := range a.admitted {
+		if k.class == c {
+			out[k.tenant] = n
+		}
+	}
+	return out
+}
+
+// FairnessIndex is Jain's fairness index over the interactive class's
+// per-tenant admitted counts: (Σx)² / (n·Σx²). It is 1.0 when every
+// tenant got the same share and 1/n when one tenant took everything.
+// The interactive buckets are the *tenant* buckets (ingest buckets are
+// keyed by source, a different population); an ungated or
+// single-tenant gate is vacuously fair (1.0) — the index only means
+// something when distinct tenants competed for tokens.
+func (a *Admission) FairnessIndex() float64 {
+	if a == nil {
+		return 1.0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var sum, sumSq float64
+	n := 0
+	for k, x := range a.admitted {
+		if k.class != Interactive || x == 0 {
+			continue
+		}
+		f := float64(x)
+		sum += f
+		sumSq += f * f
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 1.0
+	}
+	return sum * sum / (float64(n) * sumSq)
 }

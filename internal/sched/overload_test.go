@@ -366,3 +366,50 @@ func TestAdmissionDeterministicUnderSimClock(t *testing.T) {
 		}
 	}
 }
+
+// Jain's index over the interactive tenant buckets: 1.0 for an even
+// split, approaching 1/n when one tenant takes everything; ingest
+// (Background) buckets are a different population and must not skew it.
+func TestAdmissionFairnessIndex(t *testing.T) {
+	var none *Admission
+	if got := none.FairnessIndex(); got != 1.0 {
+		t.Fatalf("nil gate fairness %v, want 1.0", got)
+	}
+	clk := newManualClock()
+	newGate := func() *Admission {
+		return NewAdmission(AdmissionConfig{
+			Clock:  clk,
+			Rates:  [NumClasses]float64{Interactive: 1000, Background: 1000},
+			Bursts: [NumClasses]float64{Interactive: 1000, Background: 1000},
+		})
+	}
+	a := newGate()
+	if got := a.FairnessIndex(); got != 1.0 {
+		t.Fatalf("empty gate fairness %v, want vacuous 1.0", got)
+	}
+	for i := 0; i < 100; i++ {
+		_ = a.Admit(Interactive, "t0")
+		_ = a.Admit(Interactive, "t1")
+	}
+	// Background traffic keyed by source must not enter the index.
+	for i := 0; i < 500; i++ {
+		_ = a.Admit(Background, "bulk-source")
+	}
+	if got := a.FairnessIndex(); got < 0.999 {
+		t.Fatalf("even two-tenant split fairness %v, want ~1.0", got)
+	}
+	adm := a.TenantAdmitted(Interactive)
+	if adm["t0"] != 100 || adm["t1"] != 100 || len(adm) != 2 {
+		t.Fatalf("TenantAdmitted(Interactive) = %v", adm)
+	}
+
+	b := newGate()
+	for i := 0; i < 99; i++ {
+		_ = b.Admit(Interactive, "hog")
+	}
+	_ = b.Admit(Interactive, "starved")
+	// (100)^2 / (2 * (99^2+1)) ≈ 0.51 — a lopsided split reads unfair.
+	if got := b.FairnessIndex(); got > 0.6 {
+		t.Fatalf("lopsided split fairness %v, want well below even", got)
+	}
+}

@@ -1,0 +1,815 @@
+// Package tail implements live tailing / continuous queries (CDC): a
+// subscription broker that turns the appliance's committed writes into
+// ordered, exactly-once delivery streams for long-lived cursors.
+//
+// The paper's appliance *continuously absorbs* enterprise content
+// (§2.2's stewing pot), yet a query engine alone only answers about the
+// past. The broker closes that gap: every acked ingest/update/delete is
+// published into its partition's event log, where a monotonically
+// increasing per-partition sequence number — the partition watermark —
+// defines both delivery order and exactly-where-to-resume. Subscribers
+// attach a filter and consume matching events through a bounded queue
+// with a typed lag policy (block, shed-oldest, or cancel).
+//
+// Membership churn is the hard part. A partition's delivery attachment
+// is stamped with the partition's routing generation (the same
+// PartitionGen that fences the read caches); when a hand-off window
+// closes or a failure re-routes the partition, the engine fences the
+// partition and every subscription migrates: queued-but-undelivered
+// events from the pre-change attachment are voided and the new
+// attachment resumes from the subscriber's acknowledged watermark,
+// replaying from the log. Because acknowledgment advances exactly at
+// delivery, the replay re-offers precisely the voided suffix — a
+// re-join produces no gaps and no duplicates.
+package tail
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/sched"
+	"impliance/internal/workload"
+)
+
+// Kind classifies a published change.
+type Kind uint8
+
+// Event kinds: the three committed-write shapes the ingest path
+// publishes.
+const (
+	KindIngest Kind = iota // a new document's first version
+	KindUpdate             // a new version of an existing document
+	KindDelete             // a tombstone version (Doc is the last live version)
+)
+
+var kindNames = [...]string{"ingest", "update", "delete"}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// Event is one committed write as seen by subscribers.
+type Event struct {
+	// Partition and Seq position the event on its partition's watermark
+	// axis: Seq is assigned under the partition log's lock, so events of
+	// one partition are totally ordered and delivered in order. Seq is
+	// 1-based; a watermark of w acknowledges every event with Seq ≤ w.
+	Partition int
+	Seq       uint64
+	// Gen is the partition's routing generation when the event was
+	// published (diagnostics: a migration replays events whose Gen
+	// predates the subscriber's current attachment generation).
+	Gen  uint64
+	Kind Kind
+	// Doc is the committed version (for KindDelete, the last live
+	// version the tombstone superseded — so content filters still match).
+	Doc *docmodel.Document
+	// At is the publish instant on the engine clock; delivery lag is
+	// measured against it.
+	At time.Time
+}
+
+// DropPolicy is a subscription's typed response to its queue filling up
+// faster than the consumer drains it.
+type DropPolicy uint8
+
+// Lag policies.
+const (
+	// PolicyDefault resolves per the subscription's SLO class — see
+	// PolicyFor.
+	PolicyDefault DropPolicy = iota
+	// PolicyBlock applies backpressure: the publisher waits for queue
+	// space. Nothing is lost; the ingest ack path absorbs the stall.
+	PolicyBlock
+	// PolicyShedOldest drops the oldest queued event and counts it; the
+	// consumer observes the loss via Dropped(). Delivery stays live at
+	// the cost of completeness.
+	PolicyShedOldest
+	// PolicyCancel terminates the subscription with ErrSlowConsumer —
+	// a lagging consumer is cut rather than allowed to hold memory or
+	// stall publishers.
+	PolicyCancel
+)
+
+var policyNames = [...]string{"default", "block", "shed-oldest", "cancel"}
+
+// String names the policy.
+func (p DropPolicy) String() string {
+	if int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return "policy?"
+}
+
+// PolicyFor maps an SLO class to its default lag policy: durability
+// subscribers (downstream replication) must not lose events, so they
+// block; interactive subscribers are cancelled rather than allowed to
+// lag invisibly; background subscribers (the default class for tail
+// delivery) shed oldest and keep streaming.
+func PolicyFor(c sched.Class) DropPolicy {
+	switch c {
+	case sched.Durability:
+		return PolicyBlock
+	case sched.Interactive:
+		return PolicyCancel
+	default:
+		return PolicyShedOldest
+	}
+}
+
+// Typed subscription-termination errors; match with errors.Is.
+var (
+	// ErrSlowConsumer: the queue filled under PolicyCancel.
+	ErrSlowConsumer = errors.New("tail: subscriber lagged past its queue (policy cancel)")
+	// ErrLagBehind: a resume or migration needed events the partition
+	// log no longer retains.
+	ErrLagBehind = errors.New("tail: watermark fell behind the partition log retention")
+	// ErrClosed: the broker (or the subscription itself) was closed.
+	ErrClosed = errors.New("tail: closed")
+)
+
+// Options configures a Broker.
+type Options struct {
+	// Partitions is the partition count (required, > 0).
+	Partitions int
+	// Retain bounds each partition's event log (default 4096 events):
+	// the resume/migration horizon. A subscriber whose watermark falls
+	// off the horizon fails with ErrLagBehind.
+	Retain int
+	// Buffer is the default per-subscriber queue capacity (default 256).
+	Buffer int
+	// Clock stamps publish instants and measures delivery lag (nil =
+	// wall clock; the simulator passes its virtual clock).
+	Clock sched.Clock
+	// Run executes catch-up replay work (resume and post-migration
+	// replays). The engine wires the pool's Background class here —
+	// delivery is background work, never durability. Nil runs inline.
+	Run func(func())
+	// PartitionGen reports a partition's current routing generation
+	// (virt.PartitionMap.PartitionGen). Nil pins every generation to 0.
+	PartitionGen func(int) uint64
+}
+
+// plog is one partition's event log: a bounded ring of recent events,
+// the watermark counter, the newest routing generation stamped into the
+// partition, and the subscriptions attached to it.
+type plog struct {
+	mu   sync.Mutex
+	seq  uint64 // last assigned watermark (first event is 1)
+	gen  uint64 // newest routing generation observed
+	ring []Event
+	subs []*Subscription
+}
+
+// oldestLocked is the lowest retained watermark (1 until the ring wraps).
+func (lg *plog) oldestLocked() uint64 {
+	if lg.seq > uint64(len(lg.ring)) {
+		return lg.seq - uint64(len(lg.ring)) + 1
+	}
+	return 1
+}
+
+// rangeLocked returns events with Seq in [from, to), reporting false if
+// the range begins before the retention horizon.
+func (lg *plog) rangeLocked(from, to uint64) ([]Event, bool) {
+	if to > lg.seq+1 {
+		to = lg.seq + 1
+	}
+	if from >= to {
+		return nil, true
+	}
+	if from < lg.oldestLocked() {
+		return nil, false
+	}
+	out := make([]Event, 0, to-from)
+	for s := from; s < to; s++ {
+		out = append(out, lg.ring[(s-1)%uint64(len(lg.ring))])
+	}
+	return out, true
+}
+
+// Broker is the appliance-wide subscription registry and fan-out hub.
+// Safe for concurrent use.
+type Broker struct {
+	opt  Options
+	logs []plog
+
+	mu     sync.Mutex
+	subs   map[uint64]*Subscription
+	nextID uint64
+	closed bool
+
+	published  atomic.Uint64
+	delivered  atomic.Uint64
+	drops      atomic.Uint64
+	cancelled  atomic.Uint64
+	fencedPubs atomic.Uint64
+	voided     atomic.Uint64
+	migrations atomic.Uint64
+	truncated  atomic.Uint64
+	lag        workload.LatencyHist
+}
+
+// NewBroker builds the hub.
+func NewBroker(opt Options) *Broker {
+	if opt.Partitions <= 0 {
+		opt.Partitions = 1
+	}
+	if opt.Retain <= 0 {
+		opt.Retain = 4096
+	}
+	if opt.Buffer <= 0 {
+		opt.Buffer = 256
+	}
+	if opt.Clock == nil {
+		opt.Clock = sched.RealClock()
+	}
+	if opt.Run == nil {
+		opt.Run = func(fn func()) { fn() }
+	}
+	if opt.PartitionGen == nil {
+		opt.PartitionGen = func(int) uint64 { return 0 }
+	}
+	b := &Broker{opt: opt, subs: map[uint64]*Subscription{}}
+	b.logs = make([]plog, opt.Partitions)
+	for i := range b.logs {
+		b.logs[i].ring = make([]Event, opt.Retain)
+	}
+	return b
+}
+
+// Publish appends one committed write to its partition's log — under
+// the log lock, so the assigned Seq is the partition's total order —
+// and fans it out to the attached subscriptions. gen is the partition
+// routing generation the publisher observed at commit; a publisher
+// overtaken by a fence (gen older than the log's) is counted but its
+// event is still appended under the current generation — the write is
+// history either way, and the fence machinery operates on queued
+// deliveries, not on the log. Returns the assigned watermark.
+func (b *Broker) Publish(part int, gen uint64, kind Kind, doc *docmodel.Document) uint64 {
+	if part < 0 || part >= len(b.logs) || doc == nil {
+		return 0
+	}
+	lg := &b.logs[part]
+	lg.mu.Lock()
+	if gen < lg.gen {
+		b.fencedPubs.Add(1)
+		gen = lg.gen
+	} else {
+		lg.gen = gen
+	}
+	lg.seq++
+	ev := Event{Partition: part, Seq: lg.seq, Gen: gen, Kind: kind, Doc: doc, At: b.opt.Clock.Now()}
+	lg.ring[(ev.Seq-1)%uint64(len(lg.ring))] = ev
+	subs := append([]*Subscription(nil), lg.subs...)
+	lg.mu.Unlock()
+	b.published.Add(1)
+	for _, s := range subs {
+		s.offer(ev)
+	}
+	return ev.Seq
+}
+
+// Watermark reports a partition's current (latest-published) watermark.
+func (b *Broker) Watermark(part int) uint64 {
+	if part < 0 || part >= len(b.logs) {
+		return 0
+	}
+	lg := &b.logs[part]
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	return lg.seq
+}
+
+// FencePartition applies a generation fence after a membership change
+// re-routed the partition (CompleteHandoff, failure re-routing): every
+// attached subscription whose attachment generation predates the
+// partition's current routing generation migrates — its queued
+// undelivered events for the partition are voided and it re-attaches at
+// its acknowledged watermark, replaying the gap from the log as
+// background work.
+func (b *Broker) FencePartition(part int) {
+	if part < 0 || part >= len(b.logs) {
+		return
+	}
+	gen := b.opt.PartitionGen(part)
+	lg := &b.logs[part]
+	lg.mu.Lock()
+	if gen > lg.gen {
+		lg.gen = gen
+	}
+	subs := append([]*Subscription(nil), lg.subs...)
+	lg.mu.Unlock()
+	for _, s := range subs {
+		if s.migrate(part, gen) {
+			s := s
+			b.opt.Run(func() { b.replay(s, part) })
+		}
+	}
+}
+
+// FenceAll sweeps every partition — the failure-path hook, where the
+// set of re-routed partitions is not enumerated for the caller.
+func (b *Broker) FenceAll() {
+	for p := range b.logs {
+		b.FencePartition(p)
+	}
+}
+
+// replay re-offers logged events past the subscription's cursor for one
+// partition (post-resume and post-migration catch-up). offer dedups and
+// gap-fills internally, so replay racing live publishes stays
+// exactly-once.
+func (b *Broker) replay(s *Subscription, part int) {
+	lg := &b.logs[part]
+	lg.mu.Lock()
+	seq := lg.seq
+	lg.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	from, ok := s.next[part]
+	if !ok || from > seq {
+		return
+	}
+	evs, ok := b.logRange(part, from, seq+1)
+	if !ok {
+		b.truncated.Add(1)
+		s.failLocked(ErrLagBehind)
+		return
+	}
+	for _, ev := range evs {
+		if s.closed || s.err != nil {
+			return
+		}
+		s.offerLocked(ev, true)
+	}
+}
+
+// logRange fetches [from, to) from one partition's log.
+func (b *Broker) logRange(part int, from, to uint64) ([]Event, bool) {
+	lg := &b.logs[part]
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	return lg.rangeLocked(from, to)
+}
+
+// SubOptions configures one subscription.
+type SubOptions struct {
+	// Match filters events; nil matches everything. It runs on the
+	// publish fan-out path under the subscription lock — keep it pure.
+	Match func(Event) bool
+	// Partitions restricts the watched set (nil = all). New documents
+	// hash to arbitrary partitions, so content subscriptions watch all;
+	// partition-scoped consumers (downstream shard replication) narrow.
+	Partitions []int
+	// Class is the subscription's SLO class; it resolves PolicyDefault
+	// (see PolicyFor). The zero value is Interactive — pass explicitly.
+	Class sched.Class
+	// Policy overrides the class default lag policy.
+	Policy DropPolicy
+	// Buffer overrides the broker's default queue capacity.
+	Buffer int
+	// Resume holds acknowledged watermarks from a previous incarnation:
+	// delivery resumes exactly after them. Partitions absent from the
+	// map attach live (from the current watermark).
+	Resume map[int]uint64
+}
+
+// Subscription is one live tail: a filter, a bounded queue, and
+// per-partition cursors. Consume with Next; stop with Close.
+type Subscription struct {
+	b      *Broker
+	id     uint64
+	policy DropPolicy
+	cap    int
+	match  func(Event) bool
+	parts  []int
+
+	mu    sync.Mutex
+	space *sync.Cond    // publishers waiting for queue room (PolicyBlock)
+	data  chan struct{} // consumer wake-up, capacity 1
+
+	queue []Event
+	// next[p] is the partition cursor: every event with Seq < next[p]
+	// has been offered (queued, filtered out, or shed). acked[p] is the
+	// acknowledged watermark: every matching event with Seq ≤ acked[p]
+	// was delivered (or shed under PolicyShedOldest — the policy's
+	// accepted loss). pend[p] counts queued events, i.e. the
+	// offered-but-undelivered window (acked, next).
+	next  map[int]uint64
+	acked map[int]uint64
+	pend  map[int]int
+	gens  map[int]uint64 // attachment generation per partition
+
+	err       error
+	closed    bool
+	delivered uint64
+	dropped   uint64
+}
+
+// Subscribe attaches a new subscription. With Resume watermarks the
+// missed suffix replays from the partition logs (as broker Run work)
+// before live events continue — or the call fails with ErrLagBehind if
+// the suffix fell off the retention horizon.
+func (b *Broker) Subscribe(o SubOptions) (*Subscription, error) {
+	policy := o.Policy
+	if policy == PolicyDefault {
+		policy = PolicyFor(o.Class)
+	}
+	capacity := o.Buffer
+	if capacity <= 0 {
+		capacity = b.opt.Buffer
+	}
+	parts := o.Partitions
+	if parts == nil {
+		parts = make([]int, len(b.logs))
+		for i := range parts {
+			parts[i] = i
+		}
+	}
+	s := &Subscription{
+		b:      b,
+		policy: policy,
+		cap:    capacity,
+		match:  o.Match,
+		parts:  append([]int(nil), parts...),
+		data:   make(chan struct{}, 1),
+		next:   make(map[int]uint64, len(parts)),
+		acked:  make(map[int]uint64, len(parts)),
+		pend:   make(map[int]int, len(parts)),
+		gens:   make(map[int]uint64, len(parts)),
+	}
+	s.space = sync.NewCond(&s.mu)
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	b.nextID++
+	s.id = b.nextID
+	b.subs[s.id] = s
+	b.mu.Unlock()
+
+	var replayParts []int
+	s.mu.Lock()
+	for _, p := range s.parts {
+		if p < 0 || p >= len(b.logs) {
+			continue
+		}
+		lg := &b.logs[p]
+		lg.mu.Lock()
+		w := lg.seq // live attach: acknowledge everything already written
+		if r, ok := o.Resume[p]; ok {
+			if r > lg.seq {
+				r = lg.seq
+			}
+			if r+1 < lg.oldestLocked() {
+				lg.mu.Unlock()
+				s.mu.Unlock()
+				b.detach(s)
+				b.truncated.Add(1)
+				return nil, ErrLagBehind
+			}
+			w = r
+		}
+		s.next[p] = w + 1
+		s.acked[p] = w
+		s.gens[p] = lg.gen
+		lg.subs = append(lg.subs, s)
+		if w < lg.seq {
+			replayParts = append(replayParts, p)
+		}
+		lg.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, p := range replayParts {
+		p := p
+		b.opt.Run(func() { b.replay(s, p) })
+	}
+	return s, nil
+}
+
+// offer feeds one freshly published event to the subscription.
+func (s *Subscription) offer(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.offerLocked(ev, true)
+}
+
+// offerLocked delivers ev if it is the partition cursor's next expected
+// event, first pulling any missed range from the partition log (two
+// publishers release the log lock before fanning out, so a later event
+// can arrive first — the log is the order authority). fill guards the
+// recursion. Caller holds s.mu.
+func (s *Subscription) offerLocked(ev Event, fill bool) {
+	if s.closed || s.err != nil {
+		return
+	}
+	want, watched := s.next[ev.Partition]
+	if !watched || ev.Seq < want {
+		return // not our partition, or already offered (dup)
+	}
+	if ev.Seq > want {
+		if !fill {
+			return
+		}
+		evs, ok := s.b.logRange(ev.Partition, want, ev.Seq)
+		if !ok {
+			s.b.truncated.Add(1)
+			s.failLocked(ErrLagBehind)
+			return
+		}
+		for _, m := range evs {
+			s.offerLocked(m, false)
+			if s.closed || s.err != nil {
+				return
+			}
+		}
+		if s.next[ev.Partition] != ev.Seq {
+			return // a concurrent migration rewound the cursor mid-fill
+		}
+	}
+	s.next[ev.Partition] = ev.Seq + 1
+	if s.match != nil && !s.match(ev) {
+		// A non-matching event is acknowledged immediately when nothing
+		// is pending below it — otherwise a quiet filter would pin the
+		// watermark and every migration would replay the whole horizon.
+		if s.pend[ev.Partition] == 0 {
+			s.acked[ev.Partition] = ev.Seq
+		}
+		return
+	}
+	for len(s.queue) >= s.cap {
+		switch s.policy {
+		case PolicyShedOldest:
+			drop := s.queue[0]
+			s.queue = s.queue[1:]
+			s.pend[drop.Partition]--
+			if s.pend[drop.Partition] == 0 {
+				s.acked[drop.Partition] = s.next[drop.Partition] - 1
+			}
+			s.dropped++
+			s.b.drops.Add(1)
+		case PolicyCancel:
+			s.b.cancelled.Add(1)
+			s.failLocked(ErrSlowConsumer)
+			return
+		default: // PolicyBlock: backpressure onto the publisher
+			s.space.Wait()
+			if s.closed || s.err != nil {
+				return
+			}
+		}
+	}
+	s.queue = append(s.queue, ev)
+	s.pend[ev.Partition]++
+	select {
+	case s.data <- struct{}{}:
+	default:
+	}
+}
+
+// migrate re-attaches one partition under a newer routing generation:
+// queued undelivered events are voided (they were deliveries from the
+// pre-change attachment) and the cursor rewinds to the acknowledged
+// watermark for the caller to replay. Reports whether a replay is
+// needed.
+func (s *Subscription) migrate(part int, gen uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.err != nil {
+		return false
+	}
+	cur, watched := s.gens[part]
+	if !watched || gen <= cur {
+		return false // already attached under this generation (or newer)
+	}
+	s.gens[part] = gen
+	kept := s.queue[:0]
+	voided := 0
+	for _, ev := range s.queue {
+		if ev.Partition == part {
+			voided++
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	s.queue = kept
+	s.pend[part] = 0
+	s.next[part] = s.acked[part] + 1
+	s.b.migrations.Add(1)
+	if voided > 0 {
+		s.b.voided.Add(uint64(voided))
+		s.space.Broadcast()
+	}
+	return true
+}
+
+// Next blocks until an event is deliverable, the context ends, or the
+// subscription terminates. Delivery acknowledges: the event's watermark
+// is owned by the consumer the moment Next returns it, which is exactly
+// what makes migration-resume duplicate-free. Queued events drain
+// before a termination error is reported.
+func (s *Subscription) Next(ctx context.Context) (Event, error) {
+	for {
+		s.mu.Lock()
+		if len(s.queue) > 0 {
+			ev := s.queue[0]
+			s.queue = s.queue[1:]
+			s.pend[ev.Partition]--
+			if s.pend[ev.Partition] == 0 {
+				s.acked[ev.Partition] = s.next[ev.Partition] - 1
+			} else {
+				s.acked[ev.Partition] = ev.Seq
+			}
+			s.delivered++
+			s.space.Broadcast()
+			s.mu.Unlock()
+			s.b.delivered.Add(1)
+			s.b.lag.Observe(s.b.opt.Clock.Now().Sub(ev.At))
+			return ev, nil
+		}
+		err, closed := s.err, s.closed
+		s.mu.Unlock()
+		if err != nil {
+			return Event{}, err
+		}
+		if closed {
+			return Event{}, ErrClosed
+		}
+		select {
+		case <-ctx.Done():
+			return Event{}, ctx.Err()
+		case <-s.data:
+		}
+	}
+}
+
+// failLocked terminates the subscription with err and schedules its
+// detach (offer is a no-op once err is set, so deferring the fan-out
+// removal is safe). Caller holds s.mu.
+func (s *Subscription) failLocked(err error) {
+	if s.closed || s.err != nil {
+		return
+	}
+	s.err = err
+	s.space.Broadcast()
+	select {
+	case s.data <- struct{}{}:
+	default:
+	}
+	go s.b.detach(s)
+}
+
+// Watermarks snapshots the acknowledged per-partition watermarks — the
+// resume token: Subscribe with these as Resume continues exactly after
+// the last delivered event.
+func (s *Subscription) Watermarks() map[int]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]uint64, len(s.acked))
+	for p, w := range s.acked {
+		out[p] = w
+	}
+	return out
+}
+
+// Delivered reports events handed to the consumer.
+func (s *Subscription) Delivered() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delivered
+}
+
+// Dropped reports events shed under PolicyShedOldest.
+func (s *Subscription) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Err reports the termination error, if any.
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close detaches and terminates the subscription (consumer initiated):
+// Next returns ErrClosed once the queue is abandoned, and blocked
+// publishers are released.
+func (s *Subscription) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.space.Broadcast()
+	select {
+	case s.data <- struct{}{}:
+	default:
+	}
+	s.mu.Unlock()
+	s.b.detach(s)
+}
+
+// detach removes the subscription from the registry and every log's
+// fan-out list.
+func (b *Broker) detach(s *Subscription) {
+	b.mu.Lock()
+	delete(b.subs, s.id)
+	b.mu.Unlock()
+	for _, p := range s.parts {
+		if p < 0 || p >= len(b.logs) {
+			continue
+		}
+		lg := &b.logs[p]
+		lg.mu.Lock()
+		for i, other := range lg.subs {
+			if other == s {
+				lg.subs = append(lg.subs[:i], lg.subs[i+1:]...)
+				break
+			}
+		}
+		lg.mu.Unlock()
+	}
+}
+
+// Shutdown terminates every subscription with ErrClosed and refuses new
+// ones (engine close).
+func (b *Broker) Shutdown() {
+	b.mu.Lock()
+	b.closed = true
+	subs := make([]*Subscription, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.mu.Lock()
+		s.failLocked(ErrClosed)
+		s.mu.Unlock()
+	}
+}
+
+// Stats is a point-in-time snapshot of the broker's accounting.
+type Stats struct {
+	// Active is the number of live subscriptions.
+	Active int
+	// Published counts events appended across all partition logs.
+	Published uint64
+	// Delivered counts events handed to consumers.
+	Delivered uint64
+	// Drops counts events shed under PolicyShedOldest.
+	Drops uint64
+	// Cancelled counts subscriptions cut by PolicyCancel.
+	Cancelled uint64
+	// FencedPublishes counts publishes that arrived with a routing
+	// generation older than the partition's (a pre-change publisher
+	// overtaken by a fence).
+	FencedPublishes uint64
+	// VoidedDeliveries counts queued events voided at generation fences.
+	VoidedDeliveries uint64
+	// Migrations counts partition re-attachments across fences.
+	Migrations uint64
+	// LagTruncations counts resume/replay attempts that fell off the
+	// retention horizon.
+	LagTruncations uint64
+	// Delivery-lag distribution (publish instant → Next return).
+	LagMean, LagP50, LagP99 time.Duration
+}
+
+// Stats snapshots the broker.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	active := len(b.subs)
+	b.mu.Unlock()
+	return Stats{
+		Active:           active,
+		Published:        b.published.Load(),
+		Delivered:        b.delivered.Load(),
+		Drops:            b.drops.Load(),
+		Cancelled:        b.cancelled.Load(),
+		FencedPublishes:  b.fencedPubs.Load(),
+		VoidedDeliveries: b.voided.Load(),
+		Migrations:       b.migrations.Load(),
+		LagTruncations:   b.truncated.Load(),
+		LagMean:          b.lag.Mean(),
+		LagP50:           b.lag.Quantile(0.50),
+		LagP99:           b.lag.Quantile(0.99),
+	}
+}
+
+// Clock exposes the broker's time source (consumers measure lag against
+// the same clock that stamped the event).
+func (b *Broker) Clock() sched.Clock { return b.opt.Clock }

@@ -1,0 +1,342 @@
+package tail
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"impliance/internal/docmodel"
+	"impliance/internal/sched"
+)
+
+func doc(n uint64) *docmodel.Document {
+	return &docmodel.Document{
+		ID:     docmodel.DocID{Origin: 1, Seq: n},
+		Source: "test",
+		Root:   docmodel.String("body"),
+	}
+}
+
+func drain(t *testing.T, s *Subscription, n int) []Event {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	out := make([]Event, 0, n)
+	for len(out) < n {
+		ev, err := s.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next after %d events: %v", len(out), err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func TestPublishDeliversInWatermarkOrder(t *testing.T) {
+	b := NewBroker(Options{Partitions: 4})
+	s, err := b.Subscribe(SubOptions{Policy: PolicyBlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := uint64(1); i <= 20; i++ {
+		b.Publish(int(i%4), 0, KindIngest, doc(i))
+	}
+	evs := drain(t, s, 20)
+	last := map[int]uint64{}
+	for _, ev := range evs {
+		if ev.Seq <= last[ev.Partition] {
+			t.Fatalf("partition %d: seq %d after %d", ev.Partition, ev.Seq, last[ev.Partition])
+		}
+		last[ev.Partition] = ev.Seq
+	}
+	if got := s.Delivered(); got != 20 {
+		t.Fatalf("delivered %d, want 20", got)
+	}
+}
+
+func TestFilterAdvancesWatermark(t *testing.T) {
+	b := NewBroker(Options{Partitions: 1})
+	s, err := b.Subscribe(SubOptions{
+		Policy: PolicyBlock,
+		Match:  func(ev Event) bool { return ev.Doc.ID.Seq%2 == 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := uint64(1); i <= 10; i++ {
+		b.Publish(0, 0, KindIngest, doc(i))
+	}
+	evs := drain(t, s, 5)
+	for _, ev := range evs {
+		if ev.Doc.ID.Seq%2 != 0 {
+			t.Fatalf("filter leaked doc %v", ev.Doc.ID)
+		}
+	}
+	// The trailing event (seq 10) matched and was delivered, so the
+	// acknowledged watermark must sit at the partition head — quiet
+	// filters must not pin migrations to the whole horizon.
+	if w := s.Watermarks()[0]; w != 10 {
+		t.Fatalf("acked watermark %d, want 10", w)
+	}
+}
+
+func TestResumeFromWatermark(t *testing.T) {
+	b := NewBroker(Options{Partitions: 2})
+	s, err := b.Subscribe(SubOptions{Policy: PolicyBlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 10; i++ {
+		b.Publish(int(i%2), 0, KindIngest, doc(i))
+	}
+	seen := map[docmodel.DocID]int{}
+	for _, ev := range drain(t, s, 6) {
+		seen[ev.Doc.ID]++
+	}
+	marks := s.Watermarks()
+	s.Close()
+
+	// More traffic while nobody is subscribed.
+	for i := uint64(11); i <= 16; i++ {
+		b.Publish(int(i%2), 0, KindIngest, doc(i))
+	}
+	s2, err := b.Subscribe(SubOptions{Policy: PolicyBlock, Resume: marks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, ev := range drain(t, s2, 10) {
+		seen[ev.Doc.ID]++
+	}
+	if len(seen) != 16 {
+		t.Fatalf("saw %d distinct docs, want 16", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("doc %v delivered %d times", id, n)
+		}
+	}
+}
+
+func TestResumePastRetentionFails(t *testing.T) {
+	b := NewBroker(Options{Partitions: 1, Retain: 8})
+	for i := uint64(1); i <= 30; i++ {
+		b.Publish(0, 0, KindIngest, doc(i))
+	}
+	if _, err := b.Subscribe(SubOptions{Resume: map[int]uint64{0: 2}}); !errors.Is(err, ErrLagBehind) {
+		t.Fatalf("resume past retention: got %v, want ErrLagBehind", err)
+	}
+}
+
+func TestShedOldestCountsDrops(t *testing.T) {
+	b := NewBroker(Options{Partitions: 1})
+	s, err := b.Subscribe(SubOptions{Policy: PolicyShedOldest, Buffer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := uint64(1); i <= 20; i++ {
+		b.Publish(0, 0, KindIngest, doc(i))
+	}
+	if s.Dropped() != 16 {
+		t.Fatalf("dropped %d, want 16", s.Dropped())
+	}
+	evs := drain(t, s, 4)
+	// The survivors are the newest four, in order.
+	for i, ev := range evs {
+		if want := uint64(17 + i); ev.Seq != want {
+			t.Fatalf("survivor %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+	if st := b.Stats(); st.Drops != 16 {
+		t.Fatalf("broker drops %d, want 16", st.Drops)
+	}
+}
+
+func TestCancelPolicyCutsSlowConsumer(t *testing.T) {
+	b := NewBroker(Options{Partitions: 1})
+	s, err := b.Subscribe(SubOptions{Policy: PolicyCancel, Buffer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		b.Publish(0, 0, KindIngest, doc(i))
+	}
+	drain(t, s, 2) // queued before the overflow
+	if _, err := s.Next(context.Background()); !errors.Is(err, ErrSlowConsumer) {
+		t.Fatalf("got %v, want ErrSlowConsumer", err)
+	}
+}
+
+func TestBlockPolicyLosesNothing(t *testing.T) {
+	b := NewBroker(Options{Partitions: 1})
+	s, err := b.Subscribe(SubOptions{Policy: PolicyBlock, Buffer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const n = 50
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(1); i <= n; i++ {
+			b.Publish(0, 0, KindIngest, doc(i)) // blocks on the full queue
+		}
+	}()
+	evs := drain(t, s, n)
+	<-done
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+}
+
+// genSource is a settable PartitionGen for fence tests.
+type genSource struct{ gen atomic.Uint64 }
+
+func (g *genSource) fn(int) uint64 { return g.gen.Load() }
+
+func TestFenceMigrationNoGapsNoDuplicates(t *testing.T) {
+	gens := &genSource{}
+	b := NewBroker(Options{Partitions: 1, PartitionGen: gens.fn})
+	s, err := b.Subscribe(SubOptions{Policy: PolicyBlock, Buffer: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := uint64(1); i <= 10; i++ {
+		b.Publish(0, gens.gen.Load(), KindIngest, doc(i))
+	}
+	seen := map[uint64]int{}
+	for _, ev := range drain(t, s, 4) {
+		seen[ev.Seq]++
+	}
+	// The partition re-routes: events 5..10 are queued but undelivered —
+	// the fence voids them and the migration replays from the acked
+	// watermark (4).
+	gens.gen.Store(7)
+	b.FencePartition(0)
+	for i := uint64(11); i <= 14; i++ {
+		b.Publish(0, gens.gen.Load(), KindIngest, doc(i))
+	}
+	for _, ev := range drain(t, s, 10) {
+		seen[ev.Seq]++
+	}
+	if len(seen) != 14 {
+		t.Fatalf("saw %d distinct seqs, want 14", len(seen))
+	}
+	for seq, n := range seen {
+		if n != 1 {
+			t.Fatalf("seq %d delivered %d times", seq, n)
+		}
+	}
+	st := b.Stats()
+	if st.Migrations == 0 {
+		t.Fatal("fence did not count a migration")
+	}
+	if st.VoidedDeliveries == 0 {
+		t.Fatal("fence did not void the queued deliveries")
+	}
+}
+
+func TestStalePublishGenIsCountedAndStamped(t *testing.T) {
+	gens := &genSource{}
+	b := NewBroker(Options{Partitions: 1, PartitionGen: gens.fn})
+	b.Publish(0, 5, KindIngest, doc(1))
+	seq := b.Publish(0, 3, KindIngest, doc(2)) // pre-change publisher
+	if seq == 0 {
+		t.Fatal("stale-gen publish must still append (the write is history)")
+	}
+	evs, ok := b.logRange(0, 2, 3)
+	if !ok || len(evs) != 1 {
+		t.Fatalf("logRange: %v %v", evs, ok)
+	}
+	if evs[0].Gen != 5 {
+		t.Fatalf("stale publish stamped gen %d, want current 5", evs[0].Gen)
+	}
+	if st := b.Stats(); st.FencedPublishes != 1 {
+		t.Fatalf("fenced publishes %d, want 1", st.FencedPublishes)
+	}
+}
+
+func TestPolicyForClassDefaults(t *testing.T) {
+	cases := map[sched.Class]DropPolicy{
+		sched.Interactive: PolicyCancel,
+		sched.Background:  PolicyShedOldest,
+		sched.Durability:  PolicyBlock,
+	}
+	for class, want := range cases {
+		if got := PolicyFor(class); got != want {
+			t.Fatalf("PolicyFor(%v) = %v, want %v", class, got, want)
+		}
+	}
+}
+
+func TestShutdownTerminatesSubscribers(t *testing.T) {
+	b := NewBroker(Options{Partitions: 1})
+	s, err := b.Subscribe(SubOptions{Policy: PolicyBlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Shutdown()
+	if _, err := s.Next(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	if _, err := b.Subscribe(SubOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("subscribe after shutdown: got %v, want ErrClosed", err)
+	}
+}
+
+// TestConcurrentSubscribeCloseIngest is the -race lifecycle test:
+// publishers, subscribers, fences, and closes all interleave freely.
+func TestConcurrentSubscribeCloseIngest(t *testing.T) {
+	gens := &genSource{}
+	b := NewBroker(Options{Partitions: 8, PartitionGen: gens.fn})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b.Publish(int(i%8), gens.gen.Load(), KindIngest, doc(i*4+uint64(w)))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			gens.gen.Add(1)
+			b.FenceAll()
+		}
+	}()
+	for round := 0; round < 30; round++ {
+		s, err := b.Subscribe(SubOptions{Policy: PolicyShedOldest, Buffer: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		for {
+			if _, err := s.Next(ctx); err != nil {
+				break
+			}
+		}
+		cancel()
+		s.Close()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -56,6 +56,20 @@ func (a *Arrivals) Next() time.Duration {
 	return time.Duration(g * float64(time.Second))
 }
 
+// Record materializes the process's arrival offsets over a run of the
+// given duration — a recorded trace. Feeding the result to a class's
+// Schedule replays exactly these arrivals (trace replay), so two runs
+// compare systems under the identical offered load rather than two
+// draws of the same distribution. Recording consumes the generator's
+// stream, the same way RunOpenLoop would.
+func (a *Arrivals) Record(duration time.Duration) []time.Duration {
+	var offsets []time.Duration
+	for offset := a.Next(); offset <= duration; offset += a.Next() {
+		offsets = append(offsets, offset)
+	}
+	return offsets
+}
+
 // gammaSample draws Gamma(shape, 1) via Marsaglia–Tsang, with the
 // boost transform for shape < 1.
 func gammaSample(rng *rand.Rand, shape float64) float64 {
@@ -151,6 +165,10 @@ type OpenLoopClass struct {
 	Name string
 	// Arrivals schedules the class's operations.
 	Arrivals *Arrivals
+	// Schedule, when non-nil, replays these recorded arrival offsets
+	// instead of drawing from Arrivals (see Arrivals.Record) — trace
+	// replay for apples-to-apples comparisons across configurations.
+	Schedule []time.Duration
 	// SLO is the latency bound that defines goodput for this class: an
 	// operation that completes without error within SLO is good.
 	SLO time.Duration
@@ -193,9 +211,17 @@ func RunOpenLoop(duration time.Duration, classes ...*OpenLoopClass) []OpenLoopRe
 			var ops sync.WaitGroup
 			var good, late, rejected, failed atomic.Int64
 			hist := &LatencyHist{}
+			// A replayed trace and a generated schedule drive the same
+			// firing loop: Record materializes exactly the offsets the
+			// generator-driven loop used to produce inline, so replaying
+			// a recording reproduces the original run's offered load.
+			schedule := cl.Schedule
+			if schedule == nil {
+				schedule = cl.Arrivals.Record(duration)
+			}
 			start := time.Now()
 			offered := 0
-			for offset := cl.Arrivals.Next(); offset <= duration; offset += cl.Arrivals.Next() {
+			for _, offset := range schedule {
 				if d := time.Until(start.Add(offset)); d > 0 {
 					time.Sleep(d)
 				}

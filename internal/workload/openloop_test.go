@@ -3,6 +3,7 @@ package workload
 import (
 	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -93,5 +94,44 @@ func TestRunOpenLoopClassifies(t *testing.T) {
 	}
 	if int(r.Hist.Count()) != r.Good+r.Late {
 		t.Fatalf("hist samples %d, want %d", r.Hist.Count(), r.Good+r.Late)
+	}
+}
+
+// Record materializes exactly the offsets the generator would drive
+// inline, and a class replaying the recording fires the identical
+// arrival count — the trace-replay round trip.
+func TestArrivalsRecordReplayRoundTrip(t *testing.T) {
+	const dur = 200 * time.Millisecond
+	trace := PoissonArrivals(7, 500).Record(dur)
+	if len(trace) == 0 {
+		t.Fatal("empty recording at 500/s over 200ms")
+	}
+	// The recording is what the same seed generates step by step.
+	gen := PoissonArrivals(7, 500)
+	var offset time.Duration
+	for i := range trace {
+		offset += gen.Next()
+		if trace[i] != offset {
+			t.Fatalf("trace[%d]=%v, generator says %v", i, trace[i], offset)
+		}
+	}
+	// Replaying the trace offers exactly its arrivals — no draws, no
+	// duration cutoff — and both runs see the same offered count as a
+	// fresh same-seed generator run.
+	var replayFired, genFired atomic.Int64
+	RunOpenLoop(dur,
+		&OpenLoopClass{
+			Name: "replay", Schedule: trace, SLO: time.Second,
+			Op: func(int) error { replayFired.Add(1); return nil },
+		},
+		&OpenLoopClass{
+			Name: "generated", Arrivals: PoissonArrivals(7, 500), SLO: time.Second,
+			Op: func(int) error { genFired.Add(1); return nil },
+		})
+	if int(replayFired.Load()) != len(trace) {
+		t.Fatalf("replay fired %d ops, trace has %d", replayFired.Load(), len(trace))
+	}
+	if replayFired.Load() != genFired.Load() {
+		t.Fatalf("replay fired %d, same-seed generator fired %d", replayFired.Load(), genFired.Load())
 	}
 }
