@@ -189,6 +189,12 @@ func main() {
 			ev, err := cur.Next(next)
 			cancelNext()
 			if err != nil {
+				if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+					// Terminal subscription error (closed, cancelled,
+					// lagged) — retrying would spin hot forever.
+					fmt.Fprintf(os.Stderr, "tail terminated: %v\n", err)
+					break
+				}
 				select {
 				case <-done:
 				default:

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"impliance/internal/docmodel"
@@ -325,17 +326,26 @@ func EncodeTailResume(marks map[int]uint64) string {
 }
 
 // DecodeTailResume parses EncodeTailResume output. An empty token is a
-// fresh subscription (nil map).
+// fresh subscription (nil map). Parsing is strict — trailing garbage in
+// a pair or a repeated partition rejects the whole token, because a
+// silently misread watermark skips (or replays) committed events.
 func DecodeTailResume(tok string) (map[int]uint64, error) {
 	if tok == "" {
 		return nil, nil
 	}
 	marks := map[int]uint64{}
 	for _, pair := range strings.Split(tok, ",") {
-		var p int
-		var w uint64
-		if _, err := fmt.Sscanf(pair, "%d:%d", &p, &w); err != nil || p < 0 {
+		ps, ws, ok := strings.Cut(pair, ":")
+		if !ok {
 			return nil, fmt.Errorf("core: bad tail resume token %q", tok)
+		}
+		p, perr := strconv.Atoi(ps)
+		w, werr := strconv.ParseUint(ws, 10, 64)
+		if perr != nil || werr != nil || p < 0 {
+			return nil, fmt.Errorf("core: bad tail resume token %q", tok)
+		}
+		if _, dup := marks[p]; dup {
+			return nil, fmt.Errorf("core: bad tail resume token %q: partition %d repeated", tok, p)
 		}
 		marks[p] = w
 	}

@@ -399,11 +399,19 @@ type Subscription struct {
 
 	queue []Event
 	// next[p] is the partition cursor: every event with Seq < next[p]
-	// has been offered (queued, filtered out, or shed). acked[p] is the
-	// acknowledged watermark: every matching event with Seq ≤ acked[p]
-	// was delivered (or shed under PolicyShedOldest — the policy's
-	// accepted loss). pend[p] counts queued events, i.e. the
-	// offered-but-undelivered window (acked, next).
+	// has settled (queued, filtered out, or shed). The cursor advances
+	// only at the settle instant, never before: a publisher parked in
+	// space.Wait() still has next[p] == its event's Seq, so next[p] is
+	// an enqueue ticket — whoever holds the lock while next[p] equals
+	// an event's Seq owns that event's delivery, and a woken publisher
+	// whose ticket moved (a migration rewound the cursor, or a replay
+	// settled the event first) bails without enqueueing. acked[p] is
+	// the acknowledged watermark: every matching event with Seq ≤
+	// acked[p] was delivered (or shed under PolicyShedOldest — the
+	// policy's accepted loss). acked derives from next, so it can never
+	// cover an event a parked publisher has yet to enqueue. pend[p]
+	// counts queued events, i.e. the settled-but-undelivered window
+	// (acked, next).
 	next  map[int]uint64
 	acked map[int]uint64
 	pend  map[int]int
@@ -509,7 +517,11 @@ func (s *Subscription) offer(ev Event) {
 // event, first pulling any missed range from the partition log (two
 // publishers release the log lock before fanning out, so a later event
 // can arrive first — the log is the order authority). fill guards the
-// recursion. Caller holds s.mu.
+// recursion. The cursor advances only when ev settles (enqueued,
+// filtered, or the subscription dies) — never before a PolicyBlock
+// park — so a fence racing a parked publisher cannot double-deliver
+// and the acknowledged watermark cannot pass an event still in a
+// publisher's hands. Caller holds s.mu.
 func (s *Subscription) offerLocked(ev Event, fill bool) {
 	if s.closed || s.err != nil {
 		return
@@ -538,11 +550,12 @@ func (s *Subscription) offerLocked(ev Event, fill bool) {
 			return // a concurrent migration rewound the cursor mid-fill
 		}
 	}
-	s.next[ev.Partition] = ev.Seq + 1
 	if s.match != nil && !s.match(ev) {
-		// A non-matching event is acknowledged immediately when nothing
-		// is pending below it — otherwise a quiet filter would pin the
-		// watermark and every migration would replay the whole horizon.
+		// A non-matching event settles immediately and is acknowledged
+		// when nothing is pending below it — otherwise a quiet filter
+		// would pin the watermark and every migration would replay the
+		// whole horizon.
+		s.next[ev.Partition] = ev.Seq + 1
 		if s.pend[ev.Partition] == 0 {
 			s.acked[ev.Partition] = ev.Seq
 		}
@@ -568,8 +581,17 @@ func (s *Subscription) offerLocked(ev Event, fill bool) {
 			if s.closed || s.err != nil {
 				return
 			}
+			if s.next[ev.Partition] != ev.Seq {
+				// The enqueue ticket moved while we were parked: a
+				// migration rewound the cursor (its replay re-offers
+				// this event) or a replay settled it already. Either
+				// way another path owns the delivery — enqueueing here
+				// would duplicate it.
+				return
+			}
 		}
 	}
+	s.next[ev.Partition] = ev.Seq + 1
 	s.queue = append(s.queue, ev)
 	s.pend[ev.Partition]++
 	select {
@@ -609,8 +631,12 @@ func (s *Subscription) migrate(part int, gen uint64) bool {
 	s.b.migrations.Add(1)
 	if voided > 0 {
 		s.b.voided.Add(uint64(voided))
-		s.space.Broadcast()
 	}
+	// Wake parked publishers unconditionally: the rewind may have
+	// invalidated their enqueue tickets, and they should bail (the
+	// replay now owns their events) rather than stall the ingest path
+	// until the consumer next drains.
+	s.space.Broadcast()
 	return true
 }
 

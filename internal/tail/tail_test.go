@@ -245,6 +245,115 @@ func TestFenceMigrationNoGapsNoDuplicates(t *testing.T) {
 	}
 }
 
+// waitParked polls until event seq is in the partition log with the
+// subscription's cursor still at seq and the queue full — the state a
+// PolicyBlock publisher parks in — then yields a beat so the publisher
+// reaches space.Wait().
+func waitParked(t *testing.T, b *Broker, s *Subscription, part int, seq uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		published := b.Watermark(part) >= seq
+		s.mu.Lock()
+		parked := published && s.next[part] == seq && len(s.queue) >= s.cap
+		s.mu.Unlock()
+		if parked {
+			time.Sleep(20 * time.Millisecond)
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("publisher never filled the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFenceWhilePublisherBlockedNoDuplicates fences the partition while
+// a PolicyBlock publisher is parked on the full queue: the migration
+// rewinds the cursor and replays from the acked watermark, and the
+// woken publisher must notice its enqueue ticket moved and bail — not
+// enqueue a second copy of an event the replay already owns.
+func TestFenceWhilePublisherBlockedNoDuplicates(t *testing.T) {
+	gens := &genSource{}
+	b := NewBroker(Options{Partitions: 1, PartitionGen: gens.fn})
+	s, err := b.Subscribe(SubOptions{Policy: PolicyBlock, Buffer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	b.Publish(0, 0, KindIngest, doc(1))
+	b.Publish(0, 0, KindIngest, doc(2))
+	released := make(chan struct{})
+	go func() {
+		defer close(released)
+		b.Publish(0, 0, KindIngest, doc(3)) // queue full: parks
+	}()
+	waitParked(t, b, s, 0, 3)
+	// Fence with the publisher parked: events 1,2 are voided (acked=0),
+	// the cursor rewinds to 1, and the inline replay re-offers 1..3.
+	gens.gen.Store(2)
+	fenced := make(chan struct{})
+	go func() { defer close(fenced); b.FencePartition(0) }()
+	seen := map[uint64]int{}
+	for _, ev := range drain(t, s, 3) {
+		seen[ev.Seq]++
+	}
+	<-released
+	<-fenced
+	for seq := uint64(1); seq <= 3; seq++ {
+		if seen[seq] != 1 {
+			t.Fatalf("seq %d delivered %d times, want exactly once (saw %v)", seq, seen[seq], seen)
+		}
+	}
+	// Nothing further may dribble out of the voided/replayed window.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if ev, err := s.Next(ctx); err == nil {
+		t.Fatalf("unexpected extra delivery seq %d", ev.Seq)
+	}
+	if w := s.Watermarks()[0]; w != 3 {
+		t.Fatalf("acked watermark %d, want 3", w)
+	}
+}
+
+// TestAckedNeverCoversParkedPublisher drains the queue to empty while a
+// PolicyBlock publisher is still parked holding an undelivered event:
+// the acknowledged watermark (the resume token) must stop short of that
+// event, or a snapshot taken at that instant would skip it forever.
+func TestAckedNeverCoversParkedPublisher(t *testing.T) {
+	b := NewBroker(Options{Partitions: 1})
+	s, err := b.Subscribe(SubOptions{Policy: PolicyBlock, Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	b.Publish(0, 0, KindIngest, doc(1))
+	released := make(chan struct{})
+	go func() {
+		defer close(released)
+		b.Publish(0, 0, KindIngest, doc(2)) // queue full: parks
+	}()
+	waitParked(t, b, s, 0, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ev, err := s.Next(ctx)
+	if err != nil || ev.Seq != 1 {
+		t.Fatalf("Next = %v, %v; want seq 1", ev, err)
+	}
+	// pend hit 0 with event 2 still in the parked publisher's hands:
+	// the watermark may acknowledge 1, never 2.
+	if w := s.Watermarks()[0]; w != 1 {
+		t.Fatalf("acked watermark %d with seq 2 undelivered, want 1", w)
+	}
+	if ev := drain(t, s, 1)[0]; ev.Seq != 2 {
+		t.Fatalf("second delivery seq %d, want 2", ev.Seq)
+	}
+	<-released
+	if w := s.Watermarks()[0]; w != 2 {
+		t.Fatalf("acked watermark %d after draining, want 2", w)
+	}
+}
+
 func TestStalePublishGenIsCountedAndStamped(t *testing.T) {
 	gens := &genSource{}
 	b := NewBroker(Options{Partitions: 1, PartitionGen: gens.fn})
